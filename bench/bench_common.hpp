@@ -1,0 +1,36 @@
+#pragma once
+// Shared helpers for the paper-replication bench binaries: breakdown-row
+// formatting and the functional/model section banners.
+
+#include <cstdio>
+#include <string>
+
+#include "perfmodel/lasso_cost.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+namespace uoi::bench {
+
+inline std::vector<std::string> breakdown_row(
+    const std::string& label, const uoi::perf::RuntimeBreakdown& b) {
+  using uoi::support::format_seconds;
+  return {label,
+          format_seconds(b.computation),
+          format_seconds(b.communication),
+          format_seconds(b.distribution),
+          format_seconds(b.data_io),
+          format_seconds(b.total()),
+          uoi::support::format_fixed(
+              b.total() > 0.0 ? 100.0 * b.computation / b.total() : 0.0, 1) +
+              "%"};
+}
+
+inline uoi::support::Table breakdown_table(const std::string& first_column) {
+  return uoi::support::Table({first_column, "computation", "communication",
+                              "distribution", "data I/O", "total",
+                              "compute %"});
+}
+
+inline void banner(const char* text) { std::printf("\n-- %s --\n\n", text); }
+
+}  // namespace uoi::bench

@@ -1,0 +1,67 @@
+// Fig. 4 — UoI_LASSO weak scaling (128 GB / 4,352 cores -> 8 TB /
+// 278,528 cores; fixed bytes per core, p = 20,101 features).
+//
+// Paper shape: computation nearly ideal (flat, slight rise at 8 TB);
+// communication (~99% MPI_Allreduce) grows with core count.
+//
+// Functional validation: the same driver on the simulated cluster with
+// rank counts 2..16 and data scaled with ranks — the measured Allreduce
+// time must grow with ranks while per-rank compute stays flat.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/uoi_lasso_distributed.hpp"
+#include "data/synthetic_regression.hpp"
+#include "perfmodel/lasso_cost.hpp"
+#include "simcluster/cluster.hpp"
+
+int main() {
+  std::printf("== Fig. 4: UoI_LASSO weak scaling ==\n");
+
+  uoi::bench::banner("modeled at paper scale (bytes/core fixed)");
+  const uoi::perf::UoiLassoCostModel model;
+  auto table = uoi::bench::breakdown_table("size / cores");
+  for (const auto& point : uoi::perf::table1_lasso_weak_scaling()) {
+    uoi::perf::UoiLassoWorkload w;
+    w.data_bytes = point.data_gb << 30;
+    table.add_row(uoi::bench::breakdown_row(
+        uoi::support::format_bytes(w.data_bytes) + " / " +
+            uoi::support::format_count(point.cores),
+        model.run(w, point.cores)));
+  }
+  std::printf("%s", table.to_text().c_str());
+  std::printf(
+      "\npaper shape: computation ~flat across the row; communication "
+      "strictly grows with cores.\n");
+
+  uoi::bench::banner("functional weak scaling (rows grow with ranks)");
+  uoi::support::Table func({"ranks", "rows", "compute (rank 0)",
+                            "comm (rank 0)", "allreduce bytes/rank"});
+  uoi::core::UoiLassoOptions options;
+  options.n_selection_bootstraps = 5;
+  options.n_estimation_bootstraps = 3;
+  options.n_lambdas = 6;
+  for (const int ranks : {2, 4, 8, 16}) {
+    uoi::data::RegressionSpec spec;
+    spec.n_samples = static_cast<std::size_t>(ranks) * 96;
+    spec.n_features = 48;
+    spec.support_size = 6;
+    const auto data = uoi::data::make_regression(spec);
+    uoi::core::UoiDistributedBreakdown breakdown;
+    auto stats =
+        uoi::sim::Cluster::run_collect_stats(ranks, [&](uoi::sim::Comm& comm) {
+          const auto result = uoi::core::uoi_lasso_distributed(
+              comm, data.x, data.y, options);
+          if (comm.rank() == 0) breakdown = result.breakdown;
+        });
+    func.add_row({std::to_string(ranks), std::to_string(spec.n_samples),
+                  uoi::support::format_seconds(breakdown.computation_seconds),
+                  uoi::support::format_seconds(
+                      breakdown.communication_seconds),
+                  uoi::support::format_bytes(
+                      stats[0].of(uoi::sim::CommCategory::kAllreduce).bytes)});
+  }
+  std::printf("%s", func.to_text().c_str());
+  return 0;
+}

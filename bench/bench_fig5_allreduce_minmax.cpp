@@ -1,0 +1,64 @@
+// Fig. 5 — T_min / T_max envelope of one MPI_Allreduce across the weak-
+// scaling core counts (performance variability of the collective).
+//
+// Paper setup: one Allreduce of the p = 20,101-double estimate array at
+// every weak-scaling configuration; the T_max/T_min gap widens with scale
+// but "despite this we observe good scalability".
+//
+// Functional part: repeated Allreduces on the simulated cluster, reporting
+// the min/max measured per rank count.
+
+#include <cstdio>
+
+#include "perfmodel/collectives.hpp"
+#include "perfmodel/lasso_cost.hpp"
+#include "simcluster/cluster.hpp"
+#include "support/format.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+int main() {
+  std::printf("== Fig. 5: Allreduce T_min / T_max across weak scaling ==\n\n");
+
+  const auto m = uoi::perf::knl_profile();
+  const std::uint64_t bytes = 20101 * sizeof(double);
+
+  std::printf("-- modeled (20,101-double array, paper core counts) --\n\n");
+  uoi::support::Table table(
+      {"cores", "T_min", "T_mean", "T_max", "spread (max/min)"});
+  for (const auto& point : uoi::perf::table1_lasso_weak_scaling()) {
+    const auto envelope =
+        uoi::perf::allreduce_minmax(m, point.cores, bytes);
+    table.add_row({uoi::support::format_count(point.cores),
+                   uoi::support::format_seconds(envelope.t_min),
+                   uoi::support::format_seconds(envelope.t_mean),
+                   uoi::support::format_seconds(envelope.t_max),
+                   uoi::support::format_fixed(
+                       envelope.t_max / envelope.t_min, 2) +
+                       "x"});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+
+  std::printf("-- functional (50 Allreduces per rank count, measured) --\n\n");
+  uoi::support::Table func({"ranks", "T_min", "T_max"});
+  for (const int ranks : {2, 4, 8, 16}) {
+    double t_min = 1e300, t_max = 0.0;
+    uoi::sim::Cluster::run(ranks, [&](uoi::sim::Comm& comm) {
+      std::vector<double> payload(20101, 1.0);
+      for (int i = 0; i < 50; ++i) {
+        uoi::support::Stopwatch watch;
+        comm.allreduce(payload, uoi::sim::ReduceOp::kSum);
+        const double t = watch.seconds();
+        if (comm.rank() == 0) {
+          t_min = std::min(t_min, t);
+          t_max = std::max(t_max, t);
+        }
+      }
+    });
+    func.add_row({std::to_string(ranks),
+                  uoi::support::format_seconds(t_min),
+                  uoi::support::format_seconds(t_max)});
+  }
+  std::printf("%s", func.to_text().c_str());
+  return 0;
+}

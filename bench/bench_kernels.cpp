@@ -1,0 +1,153 @@
+// google-benchmark microbenchmarks of the computational kernels the
+// solvers are built on — the laptop-scale analogue of the paper's Intel
+// Advisor single-node profiling (§IV-A1, §IV-B1). Reports GFLOPS per
+// kernel so the local machine can be compared against the paper's KNL
+// measurements (gemm 30.83, gemv 1.12, trsv 0.011, spmv 2.08 GFLOPS).
+
+#include <benchmark/benchmark.h>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/kron.hpp"
+#include "linalg/sparse.hpp"
+#include "solvers/admm_lasso.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  uoi::support::Xoshiro256 rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal();
+  }
+  return m;
+}
+
+Vector random_vector(std::size_t n, std::uint64_t seed) {
+  uoi::support::Xoshiro256 rng(seed);
+  Vector v(n);
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    uoi::linalg::gemm(1.0, a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(uoi::linalg::gemm_flops(n, n, n)) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Gemv(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 3);
+  const Vector x = random_vector(n, 4);
+  Vector y(n, 0.0);
+  for (auto _ : state) {
+    uoi::linalg::gemv(1.0, a, x, 0.0, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(uoi::linalg::gemv_flops(n, n)) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Gemv)->Arg(256)->Arg(1024);
+
+void BM_CholeskyFactorAndSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n + 8, n, 5);
+  Matrix spd(n, n);
+  uoi::linalg::syrk_at_a(1.0, a, 0.0, spd);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 1.0;
+  const Vector b = random_vector(n, 6);
+  Vector x(n);
+  for (auto _ : state) {
+    const uoi::linalg::CholeskyFactor factor(spd);
+    factor.solve(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_CholeskyFactorAndSolve)->Arg(64)->Arg(256);
+
+void BM_TriangularSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n + 8, n, 7);
+  Matrix spd(n, n);
+  uoi::linalg::syrk_at_a(1.0, a, 0.0, spd);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 1.0;
+  const uoi::linalg::CholeskyFactor factor(spd);
+  const Vector b = random_vector(n, 8);
+  Vector x(n);
+  for (auto _ : state) {
+    factor.solve(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(uoi::linalg::trsv_flops(n)) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_TriangularSolve)->Arg(256)->Arg(1024);
+
+void BM_SparseGemv(benchmark::State& state) {
+  // A block-diagonal I (x) X operator at the VAR sparsity 1 - 1/p.
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const Matrix x_block = random_matrix(2 * p, p, 9);
+  const auto design = uoi::linalg::SparseMatrix::block_diagonal(x_block, p);
+  const Vector v = random_vector(design.cols(), 10);
+  Vector y(design.rows(), 0.0);
+  for (auto _ : state) {
+    design.gemv(1.0, v, 0.0, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(design.nnz()) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["sparsity"] = design.sparsity();
+}
+BENCHMARK(BM_SparseGemv)->Arg(16)->Arg(32);
+
+void BM_KronImplicitGemv(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const Matrix x_block = random_matrix(2 * p, p, 11);
+  const uoi::linalg::KroneckerIdentityOp op(x_block, p);
+  const Vector v = random_vector(op.cols(), 12);
+  Vector y(op.rows(), 0.0);
+  for (auto _ : state) {
+    op.gemv(1.0, v, 0.0, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_KronImplicitGemv)->Arg(16)->Arg(32);
+
+void BM_LassoAdmmSolve(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const Matrix x = random_matrix(4 * p, p, 13);
+  Vector beta(p, 0.0);
+  uoi::support::Xoshiro256 rng(14);
+  for (std::size_t i = 0; i < p / 8; ++i) beta[i] = rng.normal();
+  Vector y(4 * p, 0.0);
+  uoi::linalg::gemv(1.0, x, beta, 0.0, y);
+  for (auto& v : y) v += 0.1 * rng.normal();
+  const uoi::solvers::LassoAdmmSolver solver(x, y);
+  const double lambda = 0.1 * 4 * p;
+  for (auto _ : state) {
+    auto fit = solver.solve(lambda);
+    benchmark::DoNotOptimize(fit.beta.data());
+  }
+}
+BENCHMARK(BM_LassoAdmmSolve)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Single-node roofline analysis (paper §IV-A1/§IV-B1) — the Intel Advisor
+// table reproduced from the paper's measured (GFLOPS, arithmetic
+// intensity) points, classified against a KNL-node roofline.
+
+#include <cstdio>
+
+#include "perfmodel/roofline.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+int main() {
+  std::printf("== Roofline analysis of the paper's measured kernels ==\n\n");
+  const auto knl = uoi::perf::knl_node();
+  std::printf(
+      "platform: %.0f GFLOPS FP64 peak, %.0f GB/s DRAM "
+      "(ridge at AI = %.1f FLOPs/byte)\n\n",
+      knl.peak_gflops, knl.dram_bandwidth_gbs, knl.ridge_point());
+
+  uoi::support::Table table({"kernel", "measured GFLOPS", "AI (FLOPs/B)",
+                             "attainable", "roof fraction", "bound"});
+  for (const auto& kernel : uoi::perf::paper_kernel_points()) {
+    const double attainable =
+        knl.attainable_gflops(kernel.arithmetic_intensity);
+    table.add_row(
+        {kernel.name, uoi::support::format_fixed(kernel.measured_gflops, 2),
+         uoi::support::format_fixed(kernel.arithmetic_intensity, 2),
+         uoi::support::format_fixed(attainable, 1),
+         uoi::support::format_fixed(
+             100.0 * uoi::perf::roofline_efficiency(knl, kernel), 1) +
+             "%",
+         uoi::perf::is_memory_bound(knl, kernel) ? "memory" : "compute"});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "paper finding reproduced: every kernel in the UoI pipeline sits\n"
+      "under the DRAM bandwidth slope (memory bound), which is why the\n"
+      "cost model charges kernels at the paper's measured rates rather\n"
+      "than at peak FLOPS.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Table I — the performance-analysis setup grid.
+//
+// Prints (a) the paper's configuration grid (data sizes vs core counts for
+// both algorithms) with the problem dimensions our models derive from it,
+// and (b) the scaled-down functional configurations the laptop-scale
+// benches in this repository use. This is the reference card the other
+// bench binaries share.
+
+#include <cstdio>
+
+#include "perfmodel/lasso_cost.hpp"
+#include "perfmodel/var_cost.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+using uoi::support::format_bytes;
+using uoi::support::format_count;
+
+int main() {
+  std::printf(
+      "== Table I: performance-analysis setup (paper grid + derived "
+      "dimensions) ==\n\n");
+
+  uoi::support::Table grid({"analysis", "size", "cores (UoI_LASSO)",
+                            "cores (UoI_VAR)", "LASSO samples (p=20,101)",
+                            "VAR features p", "VAR parameters"});
+  grid.add_row({"single node", "16 GB", "68", "68", "99,000", "211", "44,521"});
+
+  const auto lasso_weak = uoi::perf::table1_lasso_weak_scaling();
+  const auto var_weak = uoi::perf::table1_var_weak_scaling();
+  for (std::size_t i = 0; i < lasso_weak.size(); ++i) {
+    uoi::perf::UoiLassoWorkload lasso;
+    lasso.data_bytes = lasso_weak[i].data_gb << 30;
+    const auto var = uoi::perf::UoiVarWorkload::from_problem_gb(
+        static_cast<double>(var_weak[i].data_gb));
+    grid.add_row({"weak scaling",
+                  format_bytes(lasso.data_bytes),
+                  format_count(lasso_weak[i].cores),
+                  format_count(var_weak[i].cores),
+                  format_count(lasso.n_samples()),
+                  format_count(var.n_features),
+                  format_count(var.n_coefficients())});
+  }
+  for (const auto& point : uoi::perf::table1_lasso_strong_scaling()) {
+    uoi::perf::UoiLassoWorkload lasso;
+    lasso.data_bytes = point.data_gb << 30;
+    grid.add_row({"strong scaling (LASSO)", format_bytes(lasso.data_bytes),
+                  format_count(point.cores), "-",
+                  format_count(lasso.n_samples()), "-", "-"});
+  }
+  for (const auto& point : uoi::perf::table1_var_strong_scaling()) {
+    const auto var = uoi::perf::UoiVarWorkload::from_problem_gb(
+        static_cast<double>(point.data_gb));
+    grid.add_row({"strong scaling (VAR)",
+                  format_bytes(point.data_gb << 30), "-",
+                  format_count(point.cores), "-",
+                  format_count(var.n_features),
+                  format_count(var.n_coefficients())});
+  }
+  std::printf("%s\n", grid.to_text().c_str());
+
+  std::printf(
+      "Headline check: the paper's largest VAR problem (8 TB) corresponds "
+      "to p = %s features\n= %s parameters (the paper's \"1000 nodes, 1M "
+      "parameters\").\n\n",
+      format_count(
+          uoi::perf::UoiVarWorkload::from_problem_gb(8192).n_features)
+          .c_str(),
+      format_count(
+          uoi::perf::UoiVarWorkload::from_problem_gb(8192).n_coefficients())
+          .c_str());
+
+  // Node-hours of the paper's campaign (68 cores per KNL node; wall time
+  // from the calibrated models): what this evaluation would cost to rerun.
+  std::printf("== Modeled node-hours per weak-scaling point ==\n\n");
+  {
+    const uoi::perf::UoiLassoCostModel lasso_model;
+    const uoi::perf::UoiVarCostModel var_model;
+    uoi::support::Table cost({"point", "UoI_LASSO node-hours",
+                              "UoI_VAR node-hours"});
+    const auto lasso_points = uoi::perf::table1_lasso_weak_scaling();
+    const auto var_points = uoi::perf::table1_var_weak_scaling();
+    double lasso_total = 0.0, var_total = 0.0;
+    for (std::size_t i = 0; i < lasso_points.size(); ++i) {
+      uoi::perf::UoiLassoWorkload lw;
+      lw.data_bytes = lasso_points[i].data_gb << 30;
+      const double lasso_hours =
+          lasso_model.run(lw, lasso_points[i].cores).total() / 3600.0 *
+          (static_cast<double>(lasso_points[i].cores) / 68.0);
+      const auto vw = uoi::perf::UoiVarWorkload::from_problem_gb(
+          static_cast<double>(var_points[i].data_gb));
+      const double var_hours =
+          var_model.run(vw, var_points[i].cores).total() / 3600.0 *
+          (static_cast<double>(var_points[i].cores) / 68.0);
+      lasso_total += lasso_hours;
+      var_total += var_hours;
+      cost.add_row({format_bytes(lasso_points[i].data_gb << 30),
+                    uoi::support::format_fixed(lasso_hours, 1),
+                    uoi::support::format_fixed(var_hours, 1)});
+    }
+    cost.add_row({"TOTAL (weak-scaling rows)",
+                  uoi::support::format_fixed(lasso_total, 1),
+                  uoi::support::format_fixed(var_total, 1)});
+    std::printf("%s\n", cost.to_text().c_str());
+  }
+
+  std::printf(
+      "== Functional (laptop-scale) configurations used by this repo's "
+      "benches ==\n\n");
+  uoi::support::Table func({"bench", "functional configuration"});
+  func.add_row({"fig2/fig7 single node", "4-8 sim ranks, MB-scale data"});
+  func.add_row({"fig3/fig8 parallelism", "8 sim ranks, P_B x P_L in {1,2,4}"});
+  func.add_row({"fig4/6/9/10 scaling", "2-16 sim ranks + calibrated model"});
+  func.add_row({"table2 distribution", "on-disk H5-lite files, 4-8 ranks"});
+  func.add_row({"fig11 applications", "50-ticker equity / 24-ch spikes"});
+  std::printf("%s", func.to_text().c_str());
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Neural-coupling inference from multi-electrode spike counts — the
+// paper's §VI neuroscience application (O'Doherty et al. reaching data,
+// 192 electrodes) on the synthetic spike substitute.
+//
+// The paper only reports runtime for this dataset; with a synthetic
+// ground-truth coupling network we can also score recovery. The default
+// channel count is scaled down so the example runs in seconds; pass 192
+// to match the paper's electrode count.
+//
+// Usage: neuro_spikes [n_channels] [n_samples]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/metrics.hpp"
+#include "core/uoi_poisson.hpp"
+#include "data/spikes.hpp"
+#include "perfmodel/var_cost.hpp"
+#include "support/format.hpp"
+#include "support/stopwatch.hpp"
+#include "var/granger.hpp"
+#include "var/uoi_var.hpp"
+
+int main(int argc, char** argv) {
+  uoi::data::SpikeSpec spec;
+  spec.n_channels = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 32;
+  spec.n_samples = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 1500;
+
+  std::printf(
+      "Neural spike-coupling analysis: %zu channels x %zu bins\n"
+      "(paper: 192 electrodes x 51,111 samples -> a ~1.3 TB VAR problem)\n\n",
+      spec.n_channels, spec.n_samples);
+  const auto recording = uoi::data::make_spikes(spec);
+
+  uoi::var::UoiVarOptions options;
+  options.order = 1;
+  options.n_selection_bootstraps = 15;
+  options.n_estimation_bootstraps = 8;
+  options.n_lambdas = 15;
+  options.lambda_min_ratio = 1e-2;  // spike data favors sparse pressure
+  uoi::support::Stopwatch watch;
+  const auto fit = uoi::var::UoiVar(options).fit(recording.series);
+  std::printf("UoI_VAR fit in %s (problem sparsity %.3f)\n\n",
+              uoi::support::format_seconds(watch.seconds()).c_str(),
+              fit.design_sparsity);
+
+  const auto network =
+      uoi::var::GrangerNetwork::from_model(fit.model, /*tolerance=*/0.02);
+  std::printf("Estimated coupling network: %zu directed edges, density %.3f\n",
+              network.edge_count(), network.density());
+
+  const auto est_support =
+      uoi::core::SupportSet::from_beta(fit.vec_beta, 0.02);
+  const auto true_support =
+      uoi::core::SupportSet::from_beta(recording.truth.vec_b(), 1e-6);
+  const auto acc = uoi::core::selection_accuracy(est_support, true_support,
+                                                 fit.vec_beta.size());
+  std::printf(
+      "Recovery vs ground truth: precision %.2f, recall %.2f, F1 %.2f\n\n",
+      acc.precision(), acc.recall(), acc.f1());
+
+  // Beyond the paper: refit one neuron's *counts* with the Poisson
+  // likelihood (UoI_Poisson) on the population's lagged counts — the
+  // statistically right model for spikes, versus the sqrt-Gaussian
+  // surrogate above.
+  {
+    const std::size_t target = 0;
+    const std::size_t t_max = recording.counts.rows() - 1;
+    uoi::linalg::Matrix lagged(t_max, spec.n_channels);
+    uoi::linalg::Vector counts(t_max);
+    for (std::size_t t = 0; t < t_max; ++t) {
+      const auto prev = recording.counts.row(t);
+      std::copy(prev.begin(), prev.end(), lagged.row(t).begin());
+      counts[t] = recording.counts(t + 1, target);
+    }
+    uoi::core::UoiPoissonOptions poisson_options;
+    poisson_options.n_selection_bootstraps = 8;
+    poisson_options.n_estimation_bootstraps = 5;
+    poisson_options.n_lambdas = 8;
+    const auto pfit =
+        uoi::core::UoiPoisson(poisson_options).fit(lagged, counts);
+    const auto pin = uoi::core::SupportSet::from_beta(pfit.beta, 0.02);
+    std::size_t true_in = 0;
+    for (std::size_t j = 0; j < spec.n_channels; ++j) {
+      if (recording.truth.coefficient(0)(target, j) != 0.0) ++true_in;
+    }
+    std::printf(
+        "Poisson refit of neuron %zu's counts: %zu lagged inputs selected "
+        "(truth has %zu in-edges)\n\n",
+        target, pin.size(), true_in);
+  }
+
+  // What would the paper-scale version of this analysis cost? Reuse the
+  // calibrated cost model with the real dataset's dimensions.
+  uoi::perf::UoiVarWorkload paper_scale;
+  paper_scale.n_features = 192;
+  paper_scale.n_samples = 51111;
+  const uoi::perf::UoiVarCostModel model;
+  const auto breakdown = model.run(paper_scale, 81600);
+  std::printf(
+      "Modeled paper-scale run (192 ch, 51,111 samples, 81,600 KNL cores):\n"
+      "  computation   %s   (paper measured:   96.9 s)\n"
+      "  communication %s   (paper measured: 1598.7 s)\n"
+      "  distribution  %s   (paper measured: 3034.4 s)\n",
+      uoi::support::format_seconds(breakdown.computation).c_str(),
+      uoi::support::format_seconds(breakdown.communication).c_str(),
+      uoi::support::format_seconds(breakdown.distribution).c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Quickstart: sparse regression with UoI_LASSO.
+//
+// Generates a synthetic dataset with a known sparse coefficient vector,
+// fits UoI_LASSO (Algorithm 1 of the paper), and compares selection and
+// estimation accuracy against a cross-validated LASSO baseline — the
+// comparison that motivates UoI: similar recall with far fewer false
+// positives and less coefficient shrinkage.
+//
+// Usage: quickstart [n_samples] [n_features] [support_size]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/metrics.hpp"
+#include "core/uoi_lasso.hpp"
+#include "data/synthetic_regression.hpp"
+#include "solvers/cd_lasso.hpp"
+#include "support/format.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  uoi::data::RegressionSpec spec;
+  spec.n_samples = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
+  spec.n_features = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 60;
+  spec.support_size = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 10;
+  spec.noise_stddev = 0.5;
+  spec.feature_correlation = 0.3;
+
+  std::printf("UoI_LASSO quickstart: n=%zu, p=%zu, true support=%zu\n\n",
+              spec.n_samples, spec.n_features, spec.support_size);
+  const auto data = uoi::data::make_regression(spec);
+  const auto truth = uoi::core::SupportSet::from_beta(data.beta_true);
+
+  // --- UoI_LASSO ---
+  uoi::core::UoiLassoOptions options;
+  options.n_selection_bootstraps = 20;
+  options.n_estimation_bootstraps = 10;
+  options.n_lambdas = 20;
+  uoi::support::Stopwatch watch;
+  const auto uoi_fit = uoi::core::UoiLasso(options).fit(data.x, data.y);
+  const double uoi_seconds = watch.seconds();
+
+  // --- cross-validated LASSO baseline ---
+  watch.reset();
+  const auto cv_fit = uoi::solvers::cv_lasso(data.x, data.y, 30, 5);
+  const double cv_seconds = watch.seconds();
+
+  auto report = [&](const char* name, const uoi::linalg::Vector& beta,
+                    double seconds, uoi::support::Table& table) {
+    // Count a feature as selected when it carries non-negligible weight.
+    const auto support = uoi::core::SupportSet::from_beta(beta, 1e-3);
+    const auto acc =
+        uoi::core::selection_accuracy(support, truth, spec.n_features);
+    const auto est = uoi::core::estimation_accuracy(beta, data.beta_true);
+    table.add_row({name, std::to_string(support.size()),
+                   std::to_string(acc.false_positives),
+                   std::to_string(acc.false_negatives),
+                   uoi::support::format_fixed(acc.f1(), 3),
+                   uoi::support::format_fixed(est.relative_l2, 3),
+                   uoi::support::format_fixed(est.bias_on_support, 4),
+                   uoi::support::format_seconds(seconds)});
+  };
+
+  uoi::support::Table table({"method", "selected", "FP", "FN", "F1",
+                             "rel-L2", "bias", "time"});
+  report("UoI_LASSO", uoi_fit.beta, uoi_seconds, table);
+  report("CV-LASSO", cv_fit.beta, cv_seconds, table);
+  std::printf("%s\n", table.to_text().c_str());
+
+  std::printf("UoI candidate supports along the lambda path:\n");
+  for (std::size_t j = 0; j < uoi_fit.lambdas.size(); ++j) {
+    std::printf("  lambda %8.3f -> |S| = %zu\n", uoi_fit.lambdas[j],
+                uoi_fit.candidate_supports[j].size());
+  }
+  std::printf(
+      "\nTrue support:      %s\nUoI support:       %s\n"
+      "(UoI keeps low false positives by intersecting bootstrap supports,\n"
+      " and low bias by averaging OLS re-estimates — eqs. 3 and 4.)\n",
+      truth.to_string().c_str(),
+      uoi::core::SupportSet::from_beta(uoi_fit.beta, 1e-3)
+          .to_string()
+          .c_str());
+  return 0;
+}

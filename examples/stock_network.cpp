@@ -1,0 +1,97 @@
+// Granger-causal network inference from equity time series — the paper's
+// §VI / Fig. 11 analysis on the synthetic S&P-style dataset.
+//
+// Pipeline (identical to the paper's): weekly closes -> first differences
+// -> VAR(1) fit by UoI_VAR with hyperparameters B1 = 40, B2 = 5 ("selected
+// to create a strong pressure toward sparse parameter estimates") ->
+// directed graph with edge j -> i for each nonzero a_ij.
+//
+// Usage: stock_network [n_companies] [n_weeks] [--dot file.dot]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "core/metrics.hpp"
+#include "data/equity.hpp"
+#include "support/format.hpp"
+#include "var/granger.hpp"
+#include "var/uoi_var.hpp"
+
+int main(int argc, char** argv) {
+  uoi::data::EquitySpec spec;
+  spec.n_companies = argc > 1 && argv[1][0] != '-'
+                         ? std::strtoul(argv[1], nullptr, 10)
+                         : 50;
+  spec.n_weeks =
+      argc > 2 && argv[2][0] != '-' ? std::strtoul(argv[2], nullptr, 10) : 104;
+  const char* dot_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--dot") == 0) dot_path = argv[i + 1];
+  }
+
+  std::printf(
+      "S&P-style Granger analysis: %zu companies, %zu weekly closes "
+      "(2 years),\nfirst differences -> VAR(1) via UoI_VAR (B1=40, B2=5)\n\n",
+      spec.n_companies, spec.n_weeks);
+  spec.cross_edge_probability = 0.02;  // sparse truth, as §VI's data implies
+  const auto market = uoi::data::make_equity(spec);
+
+  uoi::var::UoiVarOptions options;
+  options.order = 1;
+  options.n_selection_bootstraps = 40;  // paper's Fig. 11 hyperparameters
+  options.n_estimation_bootstraps = 5;
+  options.n_lambdas = 16;
+  options.lambda_min_ratio = 3e-2;  // "strong pressure toward sparsity"
+  const auto fit =
+      uoi::var::UoiVar(options).fit(market.weekly_differences);
+
+  const auto network =
+      uoi::var::GrangerNetwork::from_model(fit.model, /*tolerance=*/0.03);
+  const std::size_t possible = spec.n_companies * spec.n_companies;
+  std::printf("Estimated network: %zu edges out of %zu possible (%.1f%%)\n",
+              network.edge_count(), possible,
+              100.0 * static_cast<double>(network.edge_count()) /
+                  static_cast<double>(possible));
+  std::printf("(The paper reports < 40 of 2,500 for its 50-company fit.)\n\n");
+
+  // Hub companies, as Fig. 11 sizes nodes by degree.
+  const auto degrees = network.degrees();
+  std::printf("Highest-degree companies:\n");
+  for (int shown = 0; shown < 5; ++shown) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < degrees.size(); ++i) {
+      if (degrees[i] > degrees[best]) best = i;
+    }
+    if (degrees[best] == 0) break;
+    std::printf("  %-5s degree %zu (sector %zu)\n",
+                market.tickers[best].c_str(), degrees[best],
+                market.sector_of[best]);
+    const_cast<std::vector<std::size_t>&>(degrees)[best] = 0;
+  }
+
+  std::printf("\nEdges (source Granger-causes target):\n%s\n",
+              network.to_edge_list(market.tickers).c_str());
+
+  // Unlike the paper we know the generating network — score the recovery.
+  const auto truth_net =
+      uoi::var::GrangerNetwork::from_model(market.truth, 1e-6);
+  const auto est_support =
+      uoi::core::SupportSet::from_beta(fit.vec_beta, 0.03);
+  const auto true_support =
+      uoi::core::SupportSet::from_beta(market.truth.vec_b(), 1e-6);
+  const auto acc = uoi::core::selection_accuracy(est_support, true_support,
+                                                 fit.vec_beta.size());
+  std::printf(
+      "Against the generating network (%zu true edges): precision %.2f, "
+      "recall %.2f, F1 %.2f\n",
+      truth_net.edge_count(), acc.precision(), acc.recall(), acc.f1());
+
+  if (dot_path != nullptr) {
+    std::ofstream out(dot_path);
+    out << network.to_dot(market.tickers);
+    std::printf("Wrote Graphviz rendering to %s\n", dot_path);
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace uoi::core {
+
+namespace {
+constexpr const char* kMagic = "uoi-lasso-checkpoint v1";
+
+[[noreturn]] void malformed(const std::string& detail) {
+  throw uoi::support::IoError("malformed checkpoint: " + detail);
+}
+}  // namespace
+
+FingerprintBuilder& FingerprintBuilder::add(std::uint64_t value) {
+  // FNV-1a over the 8 bytes.
+  for (int b = 0; b < 8; ++b) {
+    state_ ^= (value >> (8 * b)) & 0xffULL;
+    state_ *= 0x100000001b3ULL;
+  }
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::add(double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return add(bits);
+}
+
+std::string SelectionCheckpoint::to_text() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << kMagic << "\n";
+  out << "fingerprint " << fingerprint << "\n";
+  out << "completed " << completed_bootstraps << "\n";
+  out << "q " << lambdas.size() << " p " << counts.cols() << "\n";
+  out << "lambdas";
+  for (const double l : lambdas) out << " " << l;
+  out << "\n";
+  for (std::size_t j = 0; j < counts.rows(); ++j) {
+    const auto row = counts.row(j);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out << " ";
+      out << row[i];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+SelectionCheckpoint SelectionCheckpoint::from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) malformed("magic line");
+
+  SelectionCheckpoint out;
+  std::string keyword;
+  in >> keyword >> out.fingerprint;
+  if (!in || keyword != "fingerprint") malformed("fingerprint");
+  in >> keyword >> out.completed_bootstraps;
+  if (!in || keyword != "completed") malformed("completed");
+  std::size_t q = 0, p = 0;
+  in >> keyword >> q;
+  if (!in || keyword != "q") malformed("q");
+  in >> keyword >> p;
+  if (!in || keyword != "p") malformed("p");
+  in >> keyword;
+  if (!in || keyword != "lambdas") malformed("lambdas");
+  out.lambdas.resize(q);
+  for (auto& l : out.lambdas) in >> l;
+  out.counts.resize(q, p);
+  for (std::size_t j = 0; j < q; ++j) {
+    for (std::size_t i = 0; i < p; ++i) in >> out.counts(j, i);
+  }
+  if (!in) malformed("truncated payload");
+  return out;
+}
+
+void save_checkpoint(const std::string& path,
+                     const SelectionCheckpoint& checkpoint) {
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream f(temp, std::ios::trunc);
+    if (!f) throw uoi::support::IoError("cannot open for writing: " + temp);
+    f << checkpoint.to_text();
+    if (!f) throw uoi::support::IoError("short write to " + temp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    throw uoi::support::IoError("cannot rename checkpoint into place: " +
+                                ec.message());
+  }
+}
+
+std::optional<SelectionCheckpoint> try_load_checkpoint(
+    const std::string& path, std::uint64_t expected_fingerprint) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  try {
+    auto checkpoint = SelectionCheckpoint::from_text(buffer.str());
+    if (checkpoint.fingerprint != expected_fingerprint) return std::nullopt;
+    return checkpoint;
+  } catch (const uoi::support::IoError&) {
+    return std::nullopt;  // corrupt checkpoint: restart from scratch
+  }
+}
+
+}  // namespace uoi::core

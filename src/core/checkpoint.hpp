@@ -1,0 +1,56 @@
+#pragma once
+// Checkpoint/restart for the UoI selection pass.
+//
+// On a large machine the selection phase (B1 bootstraps x q lambda fits)
+// is hours of work; a node failure should not discard it. Because the
+// resampling streams are deterministic functions of (seed, k), selection
+// can resume at any bootstrap boundary given the accumulated selection
+// counts. The checkpoint stores those counts plus a fingerprint of every
+// option that influences them — a mismatched fingerprint means the file
+// belongs to a different run and is ignored.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace uoi::core {
+
+struct SelectionCheckpoint {
+  std::uint64_t fingerprint = 0;
+  std::size_t completed_bootstraps = 0;
+  std::vector<double> lambdas;           ///< descending grid (q entries)
+  uoi::linalg::Matrix counts;            ///< q x p selection counts
+
+  /// Serializes to the versioned text format.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Parses; throws uoi::support::IoError on malformed input.
+  static SelectionCheckpoint from_text(const std::string& text);
+};
+
+/// Writes atomically (temp file + rename) so a crash mid-write never
+/// corrupts an existing checkpoint.
+void save_checkpoint(const std::string& path,
+                     const SelectionCheckpoint& checkpoint);
+
+/// Loads a checkpoint if the file exists, parses, and matches
+/// `expected_fingerprint`; otherwise returns nullopt (a missing or
+/// foreign checkpoint simply restarts from scratch).
+[[nodiscard]] std::optional<SelectionCheckpoint> try_load_checkpoint(
+    const std::string& path, std::uint64_t expected_fingerprint);
+
+/// Order-sensitive FNV-style fingerprint of the run configuration.
+class FingerprintBuilder {
+ public:
+  FingerprintBuilder& add(std::uint64_t value);
+  FingerprintBuilder& add(double value);
+  [[nodiscard]] std::uint64_t value() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace uoi::core

@@ -1,0 +1,67 @@
+#pragma once
+// Shared helpers for the distributed UoI drivers (internal): the
+// P_B x P_lambda x C layout arithmetic and the local row-block gathering
+// every driver performs when materializing its share of a resample.
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace uoi::core::detail {
+
+/// This rank's slice [begin, end) of a length-m index list split over C.
+struct Slice {
+  std::size_t begin;
+  std::size_t end;
+};
+
+inline Slice block_slice(std::size_t m, int c_ranks, int c_rank) {
+  const auto c = static_cast<std::size_t>(c_ranks);
+  const auto r = static_cast<std::size_t>(c_rank);
+  return {m * r / c, m * (r + 1) / c};
+}
+
+/// Gathers the rows of `x` (and entries of `y`) listed in idx[begin, end).
+inline void gather_local_block(uoi::linalg::ConstMatrixView x,
+                               std::span<const double> y,
+                               std::span<const std::size_t> idx, Slice slice,
+                               uoi::linalg::Matrix& x_out,
+                               uoi::linalg::Vector& y_out) {
+  const std::size_t m = slice.end - slice.begin;
+  x_out.resize(m, x.cols());
+  y_out.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t src = idx[slice.begin + i];
+    const auto row = x.row(src);
+    std::copy(row.begin(), row.end(), x_out.row(i).begin());
+    y_out[i] = y[src];
+  }
+}
+
+/// The three-level layout derived from a communicator rank.
+struct TaskLayout {
+  int c_ranks;     ///< ADMM cores per task group
+  int task_group;  ///< this rank's group id
+  int task_rank;   ///< rank within the group
+  int b_group;     ///< bootstrap-group index (owns k with k % P_B == b)
+  int l_group;     ///< lambda-group index (owns j with j % P_L == l)
+
+  [[nodiscard]] bool owns_bootstrap(std::size_t k, int pb) const {
+    return static_cast<int>(k % static_cast<std::size_t>(pb)) == b_group;
+  }
+  [[nodiscard]] bool owns_lambda(std::size_t j, int pl) const {
+    return static_cast<int>(j % static_cast<std::size_t>(pl)) == l_group;
+  }
+};
+
+inline TaskLayout make_task_layout(int rank, int comm_size, int pb, int pl) {
+  TaskLayout out{};
+  out.c_ranks = comm_size / (pb * pl);
+  out.task_group = rank / out.c_ranks;
+  out.task_rank = rank % out.c_ranks;
+  out.b_group = out.task_group / pl;
+  out.l_group = out.task_group % pl;
+  return out;
+}
+
+}  // namespace uoi::core::detail

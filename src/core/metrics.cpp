@@ -1,0 +1,82 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace uoi::core {
+
+double SelectionAccuracy::precision() const {
+  const auto denom = true_positives + false_positives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double SelectionAccuracy::recall() const {
+  const auto denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double SelectionAccuracy::f1() const {
+  const double prec = precision();
+  const double rec = recall();
+  return prec + rec == 0.0 ? 0.0 : 2.0 * prec * rec / (prec + rec);
+}
+
+double SelectionAccuracy::mcc() const {
+  const double tp = static_cast<double>(true_positives);
+  const double fp = static_cast<double>(false_positives);
+  const double fn = static_cast<double>(false_negatives);
+  const double tn = static_cast<double>(true_negatives);
+  const double denom =
+      std::sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn));
+  return denom == 0.0 ? 0.0 : (tp * tn - fp * fn) / denom;
+}
+
+SelectionAccuracy selection_accuracy(const SupportSet& estimated,
+                                     const SupportSet& truth, std::size_t p) {
+  SelectionAccuracy acc;
+  for (std::size_t i = 0; i < p; ++i) {
+    const bool in_est = estimated.contains(i);
+    const bool in_truth = truth.contains(i);
+    if (in_est && in_truth) {
+      ++acc.true_positives;
+    } else if (in_est) {
+      ++acc.false_positives;
+    } else if (in_truth) {
+      ++acc.false_negatives;
+    } else {
+      ++acc.true_negatives;
+    }
+  }
+  return acc;
+}
+
+EstimationAccuracy estimation_accuracy(std::span<const double> estimated,
+                                       std::span<const double> truth) {
+  UOI_CHECK_DIMS(estimated.size() == truth.size(),
+                 "estimation_accuracy length mismatch");
+  EstimationAccuracy out;
+  double err_sq = 0.0, truth_sq = 0.0, bias_sum = 0.0;
+  std::size_t support_count = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = estimated[i] - truth[i];
+    err_sq += d * d;
+    truth_sq += truth[i] * truth[i];
+    out.max_abs_error = std::max(out.max_abs_error, std::abs(d));
+    if (truth[i] != 0.0) {
+      bias_sum += d;
+      ++support_count;
+    }
+  }
+  out.l2_error = std::sqrt(err_sq);
+  out.relative_l2 = truth_sq > 0.0 ? out.l2_error / std::sqrt(truth_sq) : 0.0;
+  out.bias_on_support =
+      support_count > 0 ? bias_sum / static_cast<double>(support_count) : 0.0;
+  return out;
+}
+
+}  // namespace uoi::core

@@ -1,0 +1,40 @@
+#pragma once
+// Selection- and estimation-accuracy metrics used by the statistical
+// benches (UoI vs LASSO/Ridge comparisons) and the integration tests.
+
+#include <span>
+
+#include "core/support_set.hpp"
+
+namespace uoi::core {
+
+/// Confusion counts of an estimated support against the ground truth.
+struct SelectionAccuracy {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+  std::size_t true_negatives = 0;
+
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double recall() const;
+  [[nodiscard]] double f1() const;
+  /// Matthews correlation coefficient (balanced even for sparse truths).
+  [[nodiscard]] double mcc() const;
+};
+
+/// Compares supports over a feature space of size p.
+[[nodiscard]] SelectionAccuracy selection_accuracy(const SupportSet& estimated,
+                                                   const SupportSet& truth,
+                                                   std::size_t p);
+
+/// Estimation-accuracy summary against the true coefficients.
+struct EstimationAccuracy {
+  double l2_error = 0.0;        ///< ||beta_hat - beta*||_2
+  double relative_l2 = 0.0;     ///< l2_error / ||beta*||_2
+  double max_abs_error = 0.0;
+  double bias_on_support = 0.0; ///< mean (beta_hat - beta*) over true support
+};
+[[nodiscard]] EstimationAccuracy estimation_accuracy(
+    std::span<const double> estimated, std::span<const double> truth);
+
+}  // namespace uoi::core

@@ -1,0 +1,37 @@
+#include "core/predict.hpp"
+
+#include "linalg/blas.hpp"
+#include "solvers/logistic.hpp"
+#include "support/error.hpp"
+
+namespace uoi::core {
+
+using uoi::linalg::ConstMatrixView;
+using uoi::linalg::Vector;
+
+Vector predict(ConstMatrixView x, std::span<const double> beta,
+               double intercept) {
+  UOI_CHECK_DIMS(x.cols() == beta.size(), "predict: width mismatch");
+  Vector out(x.rows(), intercept);
+  uoi::linalg::gemv(1.0, x, beta, /*beta=*/intercept == 0.0 ? 0.0 : 1.0, out);
+  return out;
+}
+
+Vector predict(const UoiLassoResult& fit, ConstMatrixView x) {
+  return predict(x, fit.beta, fit.intercept);
+}
+
+Vector predict_proba(const UoiLogisticResult& fit, ConstMatrixView x) {
+  Vector out = predict(x, fit.beta, fit.intercept);
+  for (auto& v : out) v = uoi::solvers::sigmoid(v);
+  return out;
+}
+
+Vector predict_labels(const UoiLogisticResult& fit, ConstMatrixView x,
+                      double threshold) {
+  Vector out = predict_proba(fit, x);
+  for (auto& v : out) v = v >= threshold ? 1.0 : 0.0;
+  return out;
+}
+
+}  // namespace uoi::core

@@ -1,0 +1,31 @@
+#pragma once
+// Prediction helpers for fitted UoI models: the small amount of glue
+// between a fit result and new data that every caller otherwise rewrites.
+
+#include <span>
+
+#include "core/uoi_lasso.hpp"
+#include "core/uoi_logistic.hpp"
+#include "linalg/matrix.hpp"
+
+namespace uoi::core {
+
+/// X beta + intercept for each row of X.
+[[nodiscard]] uoi::linalg::Vector predict(uoi::linalg::ConstMatrixView x,
+                                          std::span<const double> beta,
+                                          double intercept = 0.0);
+
+/// Linear predictions from a UoI_LASSO fit.
+[[nodiscard]] uoi::linalg::Vector predict(const UoiLassoResult& fit,
+                                          uoi::linalg::ConstMatrixView x);
+
+/// Class-1 probabilities from a UoI_Logistic fit.
+[[nodiscard]] uoi::linalg::Vector predict_proba(
+    const UoiLogisticResult& fit, uoi::linalg::ConstMatrixView x);
+
+/// Hard 0/1 labels at the given probability threshold.
+[[nodiscard]] uoi::linalg::Vector predict_labels(
+    const UoiLogisticResult& fit, uoi::linalg::ConstMatrixView x,
+    double threshold = 0.5);
+
+}  // namespace uoi::core

@@ -1,0 +1,75 @@
+#include "core/standardize.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace uoi::core {
+
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+
+Standardizer Standardizer::fit(uoi::linalg::ConstMatrixView x) {
+  UOI_CHECK(x.rows() >= 2, "standardizer needs at least two rows");
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  Standardizer out;
+  out.means_.assign(p, 0.0);
+  out.scales_.assign(p, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < p; ++c) out.means_[c] += row[c];
+  }
+  for (auto& m : out.means_) m /= static_cast<double>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < p; ++c) {
+      const double d = row[c] - out.means_[c];
+      out.scales_[c] += d * d;
+    }
+  }
+  for (auto& s : out.scales_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s == 0.0) s = 1.0;  // constant column: transforms to zeros
+  }
+  return out;
+}
+
+Matrix Standardizer::transform(uoi::linalg::ConstMatrixView x) const {
+  UOI_CHECK_DIMS(x.cols() == means_.size(),
+                 "standardizer width mismatch");
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto src = x.row(r);
+    auto dst = out.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      dst[c] = (src[c] - means_[c]) / scales_[c];
+    }
+  }
+  return out;
+}
+
+Vector Standardizer::coefficients_to_original(
+    std::span<const double> beta_standardized) const {
+  UOI_CHECK_DIMS(beta_standardized.size() == scales_.size(),
+                 "coefficient width mismatch");
+  Vector out(beta_standardized.size());
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    out[c] = beta_standardized[c] / scales_[c];
+  }
+  return out;
+}
+
+double Standardizer::intercept_to_original(
+    std::span<const double> beta_standardized,
+    double intercept_standardized) const {
+  UOI_CHECK_DIMS(beta_standardized.size() == scales_.size(),
+                 "coefficient width mismatch");
+  double shift = 0.0;
+  for (std::size_t c = 0; c < means_.size(); ++c) {
+    shift += beta_standardized[c] * means_[c] / scales_[c];
+  }
+  return intercept_standardized - shift;
+}
+
+}  // namespace uoi::core

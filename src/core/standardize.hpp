@@ -1,0 +1,48 @@
+#pragma once
+// Column standardization (z-scoring) with coefficient back-transformation.
+//
+// LASSO-family penalties are not scale-invariant: a feature measured in
+// cents gets penalized 100x harder than the same feature in dollars.
+// Standard practice is to fit on z-scored columns and map the coefficients
+// back to the original units — this module does both directions and keeps
+// the fitted scaler around so new data can be transformed consistently.
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace uoi::core {
+
+class Standardizer {
+ public:
+  /// Learns per-column means and standard deviations from `x`.
+  /// Zero-variance columns get scale 1 (they transform to all-zeros).
+  static Standardizer fit(uoi::linalg::ConstMatrixView x);
+
+  /// (x - mean) / scale, column-wise.
+  [[nodiscard]] uoi::linalg::Matrix transform(
+      uoi::linalg::ConstMatrixView x) const;
+
+  /// Maps coefficients fitted on standardized features back to the
+  /// original units: beta_orig_i = beta_std_i / scale_i. The matching
+  /// intercept shift is `intercept_adjustment(beta_std)`:
+  /// b_orig = b_std - sum_i beta_std_i * mean_i / scale_i.
+  [[nodiscard]] uoi::linalg::Vector coefficients_to_original(
+      std::span<const double> beta_standardized) const;
+  [[nodiscard]] double intercept_to_original(
+      std::span<const double> beta_standardized,
+      double intercept_standardized) const;
+
+  [[nodiscard]] const uoi::linalg::Vector& means() const noexcept {
+    return means_;
+  }
+  [[nodiscard]] const uoi::linalg::Vector& scales() const noexcept {
+    return scales_;
+  }
+
+ private:
+  uoi::linalg::Vector means_;
+  uoi::linalg::Vector scales_;
+};
+
+}  // namespace uoi::core

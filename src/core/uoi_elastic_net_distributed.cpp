@@ -1,0 +1,206 @@
+#include "core/uoi_elastic_net_distributed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/distributed_common.hpp"
+#include "solvers/distributed_admm.hpp"
+#include "solvers/lambda_grid.hpp"
+#include "solvers/ols.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace uoi::core {
+
+using uoi::linalg::ConstMatrixView;
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+using uoi::sim::Comm;
+using uoi::sim::ReduceOp;
+
+namespace {
+
+using detail::block_slice;
+using detail::gather_local_block;
+
+UoiLassoOptions resample_options(const UoiElasticNetOptions& options) {
+  UoiLassoOptions out;
+  out.n_selection_bootstraps = options.n_selection_bootstraps;
+  out.n_estimation_bootstraps = options.n_estimation_bootstraps;
+  out.estimation_train_fraction = options.estimation_train_fraction;
+  out.seed = options.seed;
+  return out;
+}
+
+}  // namespace
+
+UoiElasticNetDistributedResult uoi_elastic_net_distributed(
+    Comm& comm, ConstMatrixView x, std::span<const double> y,
+    const UoiElasticNetOptions& options, const UoiParallelLayout& layout) {
+  UOI_CHECK_DIMS(x.rows() == y.size(), "UoI_ElasticNet: X rows != y size");
+  const int pb = layout.bootstrap_groups;
+  const int pl = layout.lambda_groups;
+  UOI_CHECK(pb >= 1 && pl >= 1, "layout group counts must be >= 1");
+  UOI_CHECK(comm.size() % (pb * pl) == 0,
+            "communicator size must be divisible by P_B * P_lambda");
+  const auto task =
+      detail::make_task_layout(comm.rank(), comm.size(), pb, pl);
+  Comm task_comm = comm.split(task.task_group, comm.rank());
+
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  const Matrix x_owned = Matrix::from_view(x);
+  const UoiLassoOptions resampling = resample_options(options);
+
+  UoiElasticNetDistributedResult out;
+  UoiElasticNetResult& model = out.model;
+  model.l1_ratios = options.l1_ratios;
+  model.lambdas = uoi::solvers::lambda_grid_for(
+      x, y, options.n_lambdas, options.lambda_min_ratio);
+  const std::size_t q = model.lambdas.size();
+  const std::size_t n_ratios = model.l1_ratios.size();
+  const std::size_t n_cells = q * n_ratios;
+
+  support::Stopwatch phase_watch;
+  const auto comm_seconds = [&] {
+    return comm.stats().collective_seconds() +
+           task_comm.stats().collective_seconds();
+  };
+  const double comm_before = comm_seconds();
+
+  // ---- selection over the flattened (ratio, lambda) grid ----
+  Matrix counts(n_cells, p, 0.0);
+  for (std::size_t k = 0; k < options.n_selection_bootstraps; ++k) {
+    if (!task.owns_bootstrap(k, pb)) continue;
+    support::Stopwatch distr_watch;
+    const auto idx = selection_bootstrap_indices(resampling, n, k);
+    Matrix x_local;
+    Vector y_local;
+    gather_local_block(x, y, idx,
+                       block_slice(idx.size(), task.c_ranks, task.task_rank),
+                       x_local, y_local);
+    out.breakdown.distribution_seconds += distr_watch.seconds();
+
+    const uoi::solvers::DistributedLassoAdmmSolver solver(
+        task_comm, x_local, y_local, options.admm);
+    for (std::size_t cell = 0; cell < n_cells; ++cell) {
+      if (!task.owns_lambda(cell, pl)) continue;
+      const double lambda = model.lambdas[cell % q];
+      const double ratio = model.l1_ratios[cell / q];
+      const auto fit =
+          solver.solve_elastic_net(lambda * ratio, lambda * (1.0 - ratio));
+      if (task.task_rank == 0) {
+        auto row = counts.row(cell);
+        for (std::size_t i = 0; i < p; ++i) {
+          if (std::abs(fit.beta[i]) > options.support_tolerance) row[i] += 1.0;
+        }
+      }
+    }
+  }
+  comm.allreduce(std::span<double>(counts.data(), counts.size()),
+                 ReduceOp::kSum);
+  const double threshold = std::max(
+      1.0, std::ceil(options.intersection_fraction *
+                         static_cast<double>(options.n_selection_bootstraps) -
+                     1e-12));
+  model.candidate_supports.reserve(n_cells);
+  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    std::vector<std::size_t> selected;
+    const auto row = counts.row(cell);
+    for (std::size_t i = 0; i < p; ++i) {
+      if (row[i] >= threshold) selected.push_back(i);
+    }
+    model.candidate_supports.emplace_back(std::move(selected));
+  }
+
+  // ---- estimation (distributed OLS, as in the LASSO driver) ----
+  const std::size_t b2 = options.n_estimation_bootstraps;
+  Matrix losses(b2, n_cells, std::numeric_limits<double>::infinity());
+  std::vector<Vector> computed(b2 * n_cells);
+  for (std::size_t k = 0; k < b2; ++k) {
+    if (!task.owns_bootstrap(k, pb)) continue;
+    const auto split = estimation_split(resampling, n, k);
+    Matrix x_train, x_eval;
+    Vector y_train, y_eval;
+    gather_local_block(
+        x, y, split.train,
+        block_slice(split.train.size(), task.c_ranks, task.task_rank),
+        x_train, y_train);
+    gather_local_block(
+        x, y, split.eval,
+        block_slice(split.eval.size(), task.c_ranks, task.task_rank), x_eval,
+        y_eval);
+
+    for (std::size_t cell = 0; cell < n_cells; ++cell) {
+      if (!task.owns_lambda(cell, pl)) continue;
+      const auto& support = model.candidate_supports[cell].indices();
+      Vector beta(p, 0.0);
+      if (!support.empty()) {
+        const Matrix x_train_s = x_train.gather_cols(support);
+        const auto fit = uoi::solvers::distributed_lasso_admm(
+            task_comm, x_train_s, y_train, /*lambda=*/0.0, options.admm);
+        for (std::size_t i = 0; i < support.size(); ++i) {
+          beta[support[i]] = fit.beta[i];
+        }
+      }
+      // Distributed MSE over the group, then the chosen criterion.
+      double acc[2] = {0.0, static_cast<double>(x_eval.rows())};
+      for (std::size_t r = 0; r < x_eval.rows(); ++r) {
+        double pred = 0.0;
+        const auto row = x_eval.row(r);
+        for (std::size_t c = 0; c < p; ++c) pred += row[c] * beta[c];
+        const double err = pred - y_eval[r];
+        acc[0] += err * err;
+      }
+      task_comm.allreduce(std::span<double>(acc, 2), ReduceOp::kSum);
+      const double mse = acc[1] > 0.0 ? acc[0] / acc[1] : 0.0;
+      losses(k, cell) = estimation_score(options.criterion, mse, acc[1],
+                                         support.size());
+      computed[k * n_cells + cell] = std::move(beta);
+    }
+  }
+  comm.allreduce(std::span<double>(losses.data(), losses.size()),
+                 ReduceOp::kMin);
+
+  model.chosen_support_per_bootstrap.assign(b2, 0);
+  model.best_loss_per_bootstrap.assign(b2, 0.0);
+  Matrix winners(b2, p, 0.0);
+  for (std::size_t k = 0; k < b2; ++k) {
+    std::size_t best = 0;
+    double best_loss = losses(k, 0);
+    for (std::size_t cell = 1; cell < n_cells; ++cell) {
+      if (losses(k, cell) < best_loss) {
+        best_loss = losses(k, cell);
+        best = cell;
+      }
+    }
+    model.chosen_support_per_bootstrap[k] = best;
+    model.best_loss_per_bootstrap[k] = best_loss;
+    if (!computed[k * n_cells + best].empty() && task.task_rank == 0) {
+      const auto& beta = computed[k * n_cells + best];
+      std::copy(beta.begin(), beta.end(), winners.row(k).begin());
+    }
+  }
+  comm.allreduce(std::span<double>(winners.data(), winners.size()),
+                 ReduceOp::kSum);
+
+  std::vector<Vector> winner_rows;
+  winner_rows.reserve(b2);
+  for (std::size_t k = 0; k < b2; ++k) {
+    const auto row = winners.row(k);
+    winner_rows.emplace_back(row.begin(), row.end());
+  }
+  model.beta = aggregate_estimates(winner_rows, options.aggregation);
+  model.support =
+      SupportSet::from_beta(model.beta, options.support_tolerance);
+
+  out.breakdown.communication_seconds = comm_seconds() - comm_before;
+  out.breakdown.computation_seconds = phase_watch.seconds() -
+                                      out.breakdown.communication_seconds -
+                                      out.breakdown.distribution_seconds;
+  comm.mutable_stats() += task_comm.stats();
+  return out;
+}
+
+}  // namespace uoi::core

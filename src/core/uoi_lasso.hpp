@@ -1,0 +1,151 @@
+#pragma once
+// Serial UoI_LASSO (paper Algorithm 1).
+//
+// Model selection: B1 bootstrap resamples x q lambda values of LASSO-ADMM;
+// per-lambda supports are intersected across bootstraps (eq. 3), producing a
+// family of candidate supports of decreasing size.
+//
+// Model estimation: B2 train/evaluation resamples; each candidate support is
+// refit by OLS on the training part and scored on the evaluation part; the
+// best support per resample wins, and the winners' OLS estimates are
+// averaged (the union operation, eq. 4).
+//
+// The serial driver is the reference implementation the distributed driver
+// (uoi_lasso_distributed.hpp) must agree with.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/support_set.hpp"
+#include "linalg/matrix.hpp"
+#include "solvers/admm_lasso.hpp"
+
+namespace uoi::core {
+
+/// How the winning per-bootstrap estimates are combined (eq. 4's union).
+enum class EstimationAggregation {
+  kMean,    ///< the paper's averaging (Algorithm 1 line 24)
+  kMedian,  ///< elementwise median: robust to occasional bad winners
+};
+
+/// How a candidate support is scored on the held-out evaluation split
+/// (Algorithm 1 line 19). MSE is the paper's choice; the information
+/// criteria additionally penalize support size, trading a little
+/// prediction accuracy for parsimony.
+enum class EstimationCriterion {
+  kMse,  ///< held-out mean squared error (the paper)
+  kAic,  ///< n ln(mse) + 2 k
+  kBic,  ///< n ln(mse) + k ln(n)
+};
+
+/// Scores one (support, evaluation) pair under the chosen criterion.
+[[nodiscard]] double estimation_score(EstimationCriterion criterion,
+                                      double mse, double n_eval,
+                                      std::size_t support_size);
+
+struct UoiLassoOptions {
+  std::size_t n_selection_bootstraps = 20;   ///< B1
+  std::size_t n_estimation_bootstraps = 10;  ///< B2
+  std::size_t n_lambdas = 16;                ///< q (ignored if lambdas set)
+  std::vector<double> lambdas;               ///< explicit grid (optional)
+  double lambda_min_ratio = 1e-3;            ///< grid spans this * lambda_max
+  /// Fraction of each selection bootstrap drawn (with replacement).
+  double selection_fraction = 1.0;
+  /// Fraction of samples used for training in each estimation resample.
+  double estimation_train_fraction = 0.75;
+  /// Soft intersection: a feature enters S_j when selected in at least
+  /// this fraction of the B1 bootstraps. 1.0 is the paper's strict
+  /// intersection (eq. 3); lower values trade false negatives for false
+  /// positives on noisy data (PyUoI's `selection_frac`).
+  double intersection_fraction = 1.0;
+  /// |beta_i| above this counts as selected.
+  double support_tolerance = 1e-7;
+  /// Use ADMM with lambda=0 for OLS (paper §II-C) instead of the direct
+  /// normal-equations solve; both give the same estimates.
+  bool ols_via_admm = false;
+  /// Estimate an intercept by centering X and y before fitting; the
+  /// returned intercept is y_bar - x_bar' beta.
+  bool fit_intercept = false;
+  EstimationAggregation aggregation = EstimationAggregation::kMean;
+  EstimationCriterion criterion = EstimationCriterion::kMse;
+  std::uint64_t seed = 20200518;  ///< master seed for all resampling
+  uoi::solvers::AdmmOptions admm;
+};
+
+struct UoiLassoResult {
+  uoi::linalg::Vector beta;                ///< final aggregated estimate
+  double intercept = 0.0;                  ///< 0 unless fit_intercept
+  SupportSet support;                      ///< nonzeros of beta
+  std::vector<double> lambdas;             ///< the grid used (descending)
+  std::vector<SupportSet> candidate_supports;  ///< S_j per lambda (eq. 3)
+  /// Index into candidate_supports chosen by each estimation bootstrap.
+  std::vector<std::size_t> chosen_support_per_bootstrap;
+  /// Evaluation loss of the winning model per estimation bootstrap.
+  std::vector<double> best_loss_per_bootstrap;
+  std::uint64_t total_flops = 0;           ///< aggregate solver FLOPs
+};
+
+class UoiLasso {
+ public:
+  explicit UoiLasso(UoiLassoOptions options = {});
+
+  /// Fits y ~ X beta. X is n x p, y has n entries.
+  [[nodiscard]] UoiLassoResult fit(uoi::linalg::ConstMatrixView x,
+                                   std::span<const double> y) const;
+
+  /// As fit(), but persists selection progress to `checkpoint_path` after
+  /// every bootstrap (atomic rewrite) and resumes from a compatible
+  /// checkpoint — same options, data shape, and lambda grid — when one
+  /// exists. The final result is identical to an uninterrupted fit().
+  [[nodiscard]] UoiLassoResult fit_with_checkpoint(
+      uoi::linalg::ConstMatrixView x, std::span<const double> y,
+      const std::string& checkpoint_path) const;
+
+  /// Fingerprint of everything that influences the selection counts for
+  /// this (options, data-shape) pair; exposed for checkpoint tooling.
+  [[nodiscard]] std::uint64_t selection_fingerprint(
+      std::size_t n, std::size_t p, std::span<const double> lambdas) const;
+
+  [[nodiscard]] const UoiLassoOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  UoiLassoOptions options_;
+
+  [[nodiscard]] UoiLassoResult fit_impl(
+      uoi::linalg::ConstMatrixView x, std::span<const double> y,
+      const std::string* checkpoint_path) const;
+};
+
+/// Deterministic per-task bootstrap index sets; shared with the distributed
+/// driver so both produce identical resamples from the same seed.
+/// Selection bootstrap k draws floor(n * fraction) indices with replacement.
+[[nodiscard]] std::vector<std::size_t> selection_bootstrap_indices(
+    const UoiLassoOptions& options, std::size_t n, std::size_t k);
+
+/// Estimation resample k: a disjoint train/evaluation split of [0, n).
+struct EstimationSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> eval;
+};
+[[nodiscard]] EstimationSplit estimation_split(const UoiLassoOptions& options,
+                                               std::size_t n, std::size_t k);
+
+/// The lambda grid the drivers use (explicit grid or data-driven).
+[[nodiscard]] std::vector<double> resolve_lambda_grid(
+    const UoiLassoOptions& options, uoi::linalg::ConstMatrixView x,
+    std::span<const double> y);
+
+/// Minimum number of bootstraps that must select a feature for it to enter
+/// a candidate support (ceil(intersection_fraction * B1), at least 1).
+[[nodiscard]] std::size_t intersection_count_threshold(
+    const UoiLassoOptions& options);
+
+/// Combines the winning per-bootstrap estimates (mean or elementwise
+/// median). Shared by the serial and distributed drivers.
+[[nodiscard]] uoi::linalg::Vector aggregate_estimates(
+    const std::vector<uoi::linalg::Vector>& winners,
+    EstimationAggregation aggregation);
+
+}  // namespace uoi::core

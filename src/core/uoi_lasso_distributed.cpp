@@ -1,0 +1,266 @@
+#include "core/uoi_lasso_distributed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "solvers/distributed_admm.hpp"
+#include "solvers/ols.hpp"
+#include "support/error.hpp"
+#include "core/distributed_common.hpp"
+#include "support/stopwatch.hpp"
+
+namespace uoi::core {
+
+using uoi::linalg::ConstMatrixView;
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+using uoi::sim::Comm;
+using uoi::sim::ReduceOp;
+
+namespace {
+
+using detail::block_slice;
+using detail::gather_local_block;
+
+
+/// Distributed evaluation over a task group: each rank scores its own
+/// evaluation rows, (sq_err, count) is sum-reduced, and the MSE plus the
+/// global evaluation count come back identical on every group rank.
+struct DistributedEvaluation {
+  double mse;
+  double n_eval;
+};
+DistributedEvaluation distributed_mse(Comm& task_comm,
+                                      ConstMatrixView x_local,
+                                      std::span<const double> y_local,
+                                      std::span<const double> beta) {
+  double acc[2] = {0.0, static_cast<double>(x_local.rows())};
+  for (std::size_t r = 0; r < x_local.rows(); ++r) {
+    double pred = 0.0;
+    const auto row = x_local.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) pred += row[c] * beta[c];
+    const double err = pred - y_local[r];
+    acc[0] += err * err;
+  }
+  task_comm.allreduce(std::span<double>(acc, 2), ReduceOp::kSum);
+  return {acc[1] > 0.0 ? acc[0] / acc[1] : 0.0, acc[1]};
+}
+
+}  // namespace
+
+UoiLassoDistributedResult uoi_lasso_distributed(
+    Comm& comm, ConstMatrixView x_view, std::span<const double> y_view,
+    const UoiLassoOptions& options, const UoiParallelLayout& layout) {
+  UOI_CHECK_DIMS(x_view.rows() == y_view.size(),
+                 "UoI_LASSO: X rows != y size");
+  const int pb = layout.bootstrap_groups;
+  const int pl = layout.lambda_groups;
+  UOI_CHECK(pb >= 1 && pl >= 1, "layout group counts must be >= 1");
+  UOI_CHECK(comm.size() % (pb * pl) == 0,
+            "communicator size must be divisible by P_B * P_lambda");
+  const int c_ranks = comm.size() / (pb * pl);
+
+  const int task_group = comm.rank() / c_ranks;
+  const int task_rank = comm.rank() % c_ranks;
+  const int b_group = task_group / pl;
+  const int l_group = task_group % pl;
+  Comm task_comm = comm.split(task_group, comm.rank());
+
+  const std::size_t n = x_view.rows();
+  const std::size_t p = x_view.cols();
+
+  // Intercept handling mirrors the serial driver: deterministic centering
+  // replicated on every rank.
+  Matrix x_owned = Matrix::from_view(x_view);
+  Vector y_owned(y_view.begin(), y_view.end());
+  Vector x_means(p, 0.0);
+  double y_mean = 0.0;
+  if (options.fit_intercept) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto row = x_owned.row(r);
+      for (std::size_t c = 0; c < p; ++c) x_means[c] += row[c];
+      y_mean += y_owned[r];
+    }
+    for (auto& m : x_means) m /= static_cast<double>(n);
+    y_mean /= static_cast<double>(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      auto row = x_owned.row(r);
+      for (std::size_t c = 0; c < p; ++c) row[c] -= x_means[c];
+      y_owned[r] -= y_mean;
+    }
+  }
+  const ConstMatrixView x = x_owned;
+  const std::span<const double> y = y_owned;
+
+  UoiLassoDistributedResult out;
+  UoiLassoResult& model = out.model;
+  model.lambdas = resolve_lambda_grid(options, x, y);
+  const std::size_t q = model.lambdas.size();
+
+  support::Stopwatch phase_watch;
+  const auto comm_seconds = [&] {
+    return comm.stats().collective_seconds() +
+           task_comm.stats().collective_seconds();
+  };
+  double comm_before = comm_seconds();
+  std::uint64_t local_flops = 0;
+
+  // ---- Model selection ----
+  // counts(j, i): how many bootstraps selected feature i at lambda_j.
+  // Every rank of a task group computes identical fits, so only the
+  // group's rank 0 contributes its counts to the global sum-reduction.
+  Matrix counts(q, p, 0.0);
+
+  for (std::size_t k = 0; k < options.n_selection_bootstraps; ++k) {
+    if (static_cast<int>(k % static_cast<std::size_t>(pb)) != b_group) continue;
+
+    support::Stopwatch distr_watch;
+    const auto idx = selection_bootstrap_indices(options, n, k);
+    Matrix x_local;
+    Vector y_local;
+    gather_local_block(x, y, idx, block_slice(idx.size(), c_ranks, task_rank),
+                       x_local, y_local);
+    out.breakdown.distribution_seconds += distr_watch.seconds();
+
+    const uoi::solvers::DistributedLassoAdmmSolver solver(
+        task_comm, x_local, y_local, options.admm);
+    uoi::solvers::DistributedAdmmResult previous;
+    bool have_previous = false;
+    for (std::size_t j = 0; j < q; ++j) {
+      if (static_cast<int>(j % static_cast<std::size_t>(pl)) != l_group)
+        continue;
+      auto fit =
+          solver.solve(model.lambdas[j], have_previous ? &previous : nullptr);
+      local_flops += fit.local_flops;
+      if (task_rank == 0) {
+        auto row = counts.row(j);
+        for (std::size_t i = 0; i < p; ++i) {
+          if (std::abs(fit.beta[i]) > options.support_tolerance) {
+            row[i] += 1.0;
+          }
+        }
+      }
+      previous = std::move(fit);
+      have_previous = true;
+    }
+  }
+
+  // Complete the (possibly soft) intersection across bootstrap groups and
+  // share all candidate supports with every rank (eq. 3's Reduce).
+  comm.allreduce(std::span<double>(counts.data(), counts.size()),
+                 ReduceOp::kSum);
+  const auto threshold =
+      static_cast<double>(intersection_count_threshold(options));
+  model.candidate_supports.reserve(q);
+  for (std::size_t j = 0; j < q; ++j) {
+    std::vector<std::size_t> selected;
+    const auto row = counts.row(j);
+    for (std::size_t i = 0; i < p; ++i) {
+      if (row[i] >= threshold) selected.push_back(i);
+    }
+    model.candidate_supports.emplace_back(std::move(selected));
+  }
+
+  // ---- Model estimation ----
+  const std::size_t b2 = options.n_estimation_bootstraps;
+  Matrix losses(b2, q, std::numeric_limits<double>::infinity());
+  // betas_by_task[k * q + j] exists only for tasks this group computed.
+  std::vector<Vector> computed_betas(b2 * q);
+
+  for (std::size_t k = 0; k < b2; ++k) {
+    if (static_cast<int>(k % static_cast<std::size_t>(pb)) != b_group) continue;
+
+    support::Stopwatch distr_watch;
+    const auto split = estimation_split(options, n, k);
+    Matrix x_train, x_eval;
+    Vector y_train, y_eval;
+    gather_local_block(x, y, split.train,
+                       block_slice(split.train.size(), c_ranks, task_rank),
+                       x_train, y_train);
+    gather_local_block(x, y, split.eval,
+                       block_slice(split.eval.size(), c_ranks, task_rank),
+                       x_eval, y_eval);
+    out.breakdown.distribution_seconds += distr_watch.seconds();
+
+    for (std::size_t j = 0; j < q; ++j) {
+      if (static_cast<int>(j % static_cast<std::size_t>(pl)) != l_group)
+        continue;
+      const auto& support = model.candidate_supports[j].indices();
+      Vector beta(p, 0.0);
+      if (!support.empty()) {
+        // Distributed OLS: consensus ADMM with lambda = 0 on the support
+        // columns (paper §II-C), row-distributed over the task group.
+        const Matrix x_train_s = x_train.gather_cols(support);
+        auto fit = uoi::solvers::distributed_lasso_admm(
+            task_comm, x_train_s, y_train, /*lambda=*/0.0, options.admm);
+        local_flops += fit.local_flops;
+        for (std::size_t i = 0; i < support.size(); ++i) {
+          beta[support[i]] = fit.beta[i];
+        }
+      }
+      const auto eval = distributed_mse(task_comm, x_eval, y_eval, beta);
+      losses(k, j) = estimation_score(options.criterion, eval.mse,
+                                      eval.n_eval, support.size());
+      computed_betas[k * q + j] = std::move(beta);
+    }
+  }
+
+  // Share all losses; every rank then knows each bootstrap's winner.
+  comm.allreduce(std::span<double>(losses.data(), losses.size()),
+                 ReduceOp::kMin);
+
+  model.chosen_support_per_bootstrap.assign(b2, 0);
+  model.best_loss_per_bootstrap.assign(b2, 0.0);
+  // winners(k, :) is assembled globally: the owning group's rank 0
+  // deposits its estimate, then one sum-reduction replicates the matrix.
+  Matrix winners(b2, p, 0.0);
+  for (std::size_t k = 0; k < b2; ++k) {
+    std::size_t best_j = 0;
+    double best_loss = losses(k, 0);
+    for (std::size_t j = 1; j < q; ++j) {
+      if (losses(k, j) < best_loss) {
+        best_loss = losses(k, j);
+        best_j = j;
+      }
+    }
+    model.chosen_support_per_bootstrap[k] = best_j;
+    model.best_loss_per_bootstrap[k] = best_loss;
+    if (!computed_betas[k * q + best_j].empty() && task_rank == 0) {
+      const auto& beta = computed_betas[k * q + best_j];
+      std::copy(beta.begin(), beta.end(), winners.row(k).begin());
+    }
+  }
+  comm.allreduce(std::span<double>(winners.data(), winners.size()),
+                 ReduceOp::kSum);
+
+  std::vector<Vector> winner_rows;
+  winner_rows.reserve(b2);
+  for (std::size_t k = 0; k < b2; ++k) {
+    const auto row = winners.row(k);
+    winner_rows.emplace_back(row.begin(), row.end());
+  }
+  model.beta = aggregate_estimates(winner_rows, options.aggregation);
+  model.support =
+      SupportSet::from_beta(model.beta, options.support_tolerance);
+  if (options.fit_intercept) {
+    double dot = 0.0;
+    for (std::size_t i = 0; i < p; ++i) dot += x_means[i] * model.beta[i];
+    model.intercept = y_mean - dot;
+  }
+
+  std::uint64_t flops = local_flops;
+  comm.allreduce(std::span<std::uint64_t>(&flops, 1), ReduceOp::kSum);
+  model.total_flops = flops;
+
+  out.breakdown.communication_seconds = comm_seconds() - comm_before;
+  out.breakdown.computation_seconds = phase_watch.seconds() -
+                                      out.breakdown.communication_seconds -
+                                      out.breakdown.distribution_seconds;
+  // Fold the task group's traffic into the caller's accounting so
+  // Cluster::run_collect_stats sees the consensus Allreduces.
+  comm.mutable_stats() += task_comm.stats();
+  return out;
+}
+
+}  // namespace uoi::core

@@ -1,0 +1,59 @@
+#pragma once
+// Distributed UoI_LASSO (paper §III, Fig. 1) on the uoi::sim runtime.
+//
+// Three-level parallelism, exactly the paper's decomposition:
+//
+//   P = P_B x P_lambda x C ranks
+//   - P_B     bootstrap groups   (selection bootstraps round-robin over them)
+//   - P_lambda lambda groups     (lambda indices round-robin over them)
+//   - C       "ADMM cores" per task group: the bootstrap sample is
+//             row-block-distributed over them and solved by the distributed
+//             consensus LASSO-ADMM.
+//
+// Reductions (the paper's Reduce steps) map onto collectives:
+//   - selection intersection (eq. 3): supports are encoded as 0/1 indicator
+//     matrices and combined with an elementwise-min Allreduce over the
+//     global communicator (AND == min over {0,1}; ranks contribute the
+//     neutral element 1 for (k, j) pairs they did not compute);
+//   - estimation: per-(bootstrap, support) evaluation losses are min-reduced
+//     globally, every rank then knows each bootstrap's winner, and the
+//     winning OLS estimates are sum-reduced and averaged (eq. 4's union).
+//
+// Given the same options/seed, the result matches the serial UoiLasso up to
+// solver tolerance (identical resamples by construction).
+
+#include "core/uoi_lasso.hpp"
+#include "simcluster/comm.hpp"
+
+namespace uoi::core {
+
+/// How the ranks of a communicator are arranged (paper Fig. 3's
+/// "P_B x P_lambda" configurations). C is derived: comm.size() / (pb * pl).
+struct UoiParallelLayout {
+  int bootstrap_groups = 1;  ///< P_B
+  int lambda_groups = 1;     ///< P_lambda
+};
+
+/// Per-rank timing breakdown, mirroring the paper's runtime buckets.
+struct UoiDistributedBreakdown {
+  double computation_seconds = 0.0;
+  double communication_seconds = 0.0;  ///< collectives (Allreduce-dominated)
+  double distribution_seconds = 0.0;   ///< data movement into task groups
+};
+
+struct UoiLassoDistributedResult {
+  UoiLassoResult model;                 ///< same contents as the serial result
+  UoiDistributedBreakdown breakdown;    ///< this rank's timing
+};
+
+/// Runs distributed UoI_LASSO. Collective: every rank of `comm` must call it
+/// with identical options/layout and the same (replicated) data views.
+/// `x`/`y` are the full dataset; each task group's ranks extract only their
+/// own row blocks of each bootstrap sample (in the paper the randomized
+/// HDF5 distribution delivers those blocks; see uoi::io for that path).
+[[nodiscard]] UoiLassoDistributedResult uoi_lasso_distributed(
+    uoi::sim::Comm& comm, uoi::linalg::ConstMatrixView x,
+    std::span<const double> y, const UoiLassoOptions& options = {},
+    const UoiParallelLayout& layout = {});
+
+}  // namespace uoi::core

@@ -1,0 +1,210 @@
+#include "core/uoi_logistic_distributed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "solvers/distributed_logistic.hpp"
+#include "solvers/lambda_grid.hpp"
+#include "solvers/logistic.hpp"
+#include "support/error.hpp"
+#include "core/distributed_common.hpp"
+#include "support/stopwatch.hpp"
+
+namespace uoi::core {
+
+using uoi::linalg::ConstMatrixView;
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+using uoi::sim::Comm;
+using uoi::sim::ReduceOp;
+
+namespace {
+
+using detail::block_slice;
+using detail::gather_local_block;
+
+
+UoiLassoOptions resample_options(const UoiLogisticOptions& options) {
+  UoiLassoOptions out;
+  out.n_selection_bootstraps = options.n_selection_bootstraps;
+  out.n_estimation_bootstraps = options.n_estimation_bootstraps;
+  out.estimation_train_fraction = options.estimation_train_fraction;
+  out.seed = options.seed;
+  return out;
+}
+
+}  // namespace
+
+UoiLogisticDistributedResult uoi_logistic_distributed(
+    Comm& comm, ConstMatrixView x, std::span<const double> y,
+    const UoiLogisticOptions& options, const UoiParallelLayout& layout) {
+  UOI_CHECK_DIMS(x.rows() == y.size(), "UoI_Logistic: X rows != y size");
+  const int pb = layout.bootstrap_groups;
+  const int pl = layout.lambda_groups;
+  UOI_CHECK(pb >= 1 && pl >= 1, "layout group counts must be >= 1");
+  UOI_CHECK(comm.size() % (pb * pl) == 0,
+            "communicator size must be divisible by P_B * P_lambda");
+  const int c_ranks = comm.size() / (pb * pl);
+  const int task_group = comm.rank() / c_ranks;
+  const int task_rank = comm.rank() % c_ranks;
+  const int b_group = task_group / pl;
+  const int l_group = task_group % pl;
+  Comm task_comm = comm.split(task_group, comm.rank());
+
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  const Matrix x_owned = Matrix::from_view(x);
+  const UoiLassoOptions resampling = resample_options(options);
+
+  UoiLogisticDistributedResult out;
+  UoiLogisticResult& model = out.model;
+  const double hi = uoi::solvers::logistic_lambda_max(x, y);
+  UOI_CHECK(hi > 0.0, "degenerate labels: lambda_max is zero");
+  model.lambdas = uoi::solvers::log_spaced_lambdas(
+      hi, options.lambda_min_ratio, options.n_lambdas);
+  const std::size_t q = model.lambdas.size();
+
+  support::Stopwatch phase_watch;
+  const auto comm_seconds = [&] {
+    return comm.stats().collective_seconds() +
+           task_comm.stats().collective_seconds();
+  };
+  const double comm_before = comm_seconds();
+
+  uoi::solvers::AdmmOptions admm;
+  admm.eps_abs = 1e-7;
+  admm.eps_rel = 1e-5;
+  admm.max_iterations = 2000;
+
+  // ---- selection ----
+  Matrix counts(q, p, 0.0);
+  for (std::size_t k = 0; k < options.n_selection_bootstraps; ++k) {
+    if (static_cast<int>(k % static_cast<std::size_t>(pb)) != b_group) continue;
+    support::Stopwatch distr_watch;
+    const auto idx = selection_bootstrap_indices(resampling, n, k);
+    Matrix x_local;
+    Vector y_local;
+    gather_local_block(x, y, idx, block_slice(idx.size(), c_ranks, task_rank),
+                       x_local, y_local);
+    out.breakdown.distribution_seconds += distr_watch.seconds();
+
+    for (std::size_t j = 0; j < q; ++j) {
+      if (static_cast<int>(j % static_cast<std::size_t>(pl)) != l_group)
+        continue;
+      const auto fit = uoi::solvers::distributed_logistic_lasso(
+          task_comm, x_local, y_local, model.lambdas[j], admm);
+      if (task_rank == 0) {
+        auto row = counts.row(j);
+        for (std::size_t i = 0; i < p; ++i) {
+          if (std::abs(fit.beta[i]) > options.support_tolerance) row[i] += 1.0;
+        }
+      }
+    }
+  }
+  comm.allreduce(std::span<double>(counts.data(), counts.size()),
+                 ReduceOp::kSum);
+  const double threshold = std::max(
+      1.0, std::ceil(options.intersection_fraction *
+                         static_cast<double>(options.n_selection_bootstraps) -
+                     1e-12));
+  model.candidate_supports.reserve(q);
+  for (std::size_t j = 0; j < q; ++j) {
+    std::vector<std::size_t> selected;
+    const auto row = counts.row(j);
+    for (std::size_t i = 0; i < p; ++i) {
+      if (row[i] >= threshold) selected.push_back(i);
+    }
+    model.candidate_supports.emplace_back(std::move(selected));
+  }
+
+  // ---- estimation ----
+  // Each task group scores its (bootstrap, support) pairs with held-out
+  // log loss; losses and winners reduce globally as in the LASSO driver.
+  const std::size_t b2 = options.n_estimation_bootstraps;
+  Matrix losses(b2, q, std::numeric_limits<double>::infinity());
+  std::vector<Vector> computed(b2 * q);       // beta + intercept appended
+  for (std::size_t k = 0; k < b2; ++k) {
+    if (static_cast<int>(k % static_cast<std::size_t>(pb)) != b_group) continue;
+    const auto split = estimation_split(resampling, n, k);
+    // IRLS refits run on the full training split (they are cheap: support
+    // columns only); evaluation rows are partitioned for the loss.
+    const Matrix x_train = x_owned.gather_rows(split.train);
+    Vector y_train(split.train.size());
+    for (std::size_t i = 0; i < split.train.size(); ++i) {
+      y_train[i] = y[split.train[i]];
+    }
+    Matrix x_eval_local;
+    Vector y_eval_local;
+    gather_local_block(x, y, split.eval,
+                       block_slice(split.eval.size(), c_ranks, task_rank),
+                       x_eval_local, y_eval_local);
+
+    for (std::size_t j = 0; j < q; ++j) {
+      if (static_cast<int>(j % static_cast<std::size_t>(pl)) != l_group)
+        continue;
+      const auto& support = model.candidate_supports[j].indices();
+      const auto fit = uoi::solvers::logistic_irls_on_support(
+          x_train, y_train, support, options.solver);
+      // Distributed held-out log loss: local sums reduced over the group.
+      double acc[2] = {0.0, static_cast<double>(x_eval_local.rows())};
+      if (x_eval_local.rows() > 0) {
+        acc[0] = uoi::solvers::logistic_log_loss(x_eval_local, y_eval_local,
+                                                 fit.beta, fit.intercept) *
+                 static_cast<double>(x_eval_local.rows());
+      }
+      task_comm.allreduce(std::span<double>(acc, 2), ReduceOp::kSum);
+      losses(k, j) = acc[1] > 0.0 ? acc[0] / acc[1] : 0.0;
+      Vector packed(p + 1);
+      std::copy(fit.beta.begin(), fit.beta.end(), packed.begin());
+      packed[p] = fit.intercept;
+      computed[k * q + j] = std::move(packed);
+    }
+  }
+  comm.allreduce(std::span<double>(losses.data(), losses.size()),
+                 ReduceOp::kMin);
+
+  model.chosen_support_per_bootstrap.assign(b2, 0);
+  model.best_loss_per_bootstrap.assign(b2, 0.0);
+  Matrix winners(b2, p + 1, 0.0);
+  for (std::size_t k = 0; k < b2; ++k) {
+    std::size_t best_j = 0;
+    double best_loss = losses(k, 0);
+    for (std::size_t j = 1; j < q; ++j) {
+      if (losses(k, j) < best_loss) {
+        best_loss = losses(k, j);
+        best_j = j;
+      }
+    }
+    model.chosen_support_per_bootstrap[k] = best_j;
+    model.best_loss_per_bootstrap[k] = best_loss;
+    if (!computed[k * q + best_j].empty() && task_rank == 0) {
+      const auto& packed = computed[k * q + best_j];
+      std::copy(packed.begin(), packed.end(), winners.row(k).begin());
+    }
+  }
+  comm.allreduce(std::span<double>(winners.data(), winners.size()),
+                 ReduceOp::kSum);
+
+  std::vector<Vector> winner_betas;
+  winner_betas.reserve(b2);
+  double intercept_sum = 0.0;
+  for (std::size_t k = 0; k < b2; ++k) {
+    const auto row = winners.row(k);
+    winner_betas.emplace_back(row.begin(), row.end() - 1);
+    intercept_sum += row[p];
+  }
+  model.beta = aggregate_estimates(winner_betas, options.aggregation);
+  model.intercept = intercept_sum / static_cast<double>(b2);
+  model.support =
+      SupportSet::from_beta(model.beta, options.support_tolerance);
+
+  out.breakdown.communication_seconds = comm_seconds() - comm_before;
+  out.breakdown.computation_seconds = phase_watch.seconds() -
+                                      out.breakdown.communication_seconds -
+                                      out.breakdown.distribution_seconds;
+  comm.mutable_stats() += task_comm.stats();
+  return out;
+}
+
+}  // namespace uoi::core

@@ -1,0 +1,48 @@
+#pragma once
+// UoI_Poisson: the UoI framework over L1-penalized Poisson regression
+// (PyUoI's UoI_Poisson) — count responses, log link. The natural model
+// for the paper's neuroscience application: per-neuron spike counts
+// regressed on the population's lagged activity give a Poisson Granger
+// network without the sqrt-transform surrogate.
+
+#include "core/uoi_lasso.hpp"
+#include "solvers/poisson.hpp"
+
+namespace uoi::core {
+
+struct UoiPoissonOptions {
+  std::size_t n_selection_bootstraps = 20;   ///< B1
+  std::size_t n_estimation_bootstraps = 10;  ///< B2
+  std::size_t n_lambdas = 16;                ///< q
+  double lambda_min_ratio = 1e-3;
+  double estimation_train_fraction = 0.75;
+  double intersection_fraction = 1.0;
+  double support_tolerance = 1e-7;
+  EstimationAggregation aggregation = EstimationAggregation::kMean;
+  std::uint64_t seed = 20200518;
+  uoi::solvers::PoissonOptions solver;
+};
+
+struct UoiPoissonResult {
+  uoi::linalg::Vector beta;
+  double intercept = 0.0;
+  SupportSet support;
+  std::vector<double> lambdas;                 ///< descending
+  std::vector<SupportSet> candidate_supports;
+  std::vector<std::size_t> chosen_support_per_bootstrap;
+  std::vector<double> best_loss_per_bootstrap;  ///< held-out deviance
+};
+
+class UoiPoisson {
+ public:
+  explicit UoiPoisson(UoiPoissonOptions options = {});
+
+  /// Fits y ~ Poisson(exp(X beta + b)); y must hold non-negative counts.
+  [[nodiscard]] UoiPoissonResult fit(uoi::linalg::ConstMatrixView x,
+                                     std::span<const double> y) const;
+
+ private:
+  UoiPoissonOptions options_;
+};
+
+}  // namespace uoi::core

@@ -1,0 +1,108 @@
+#include "data/equity.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "var/var_model.hpp"
+
+namespace uoi::data {
+
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+
+std::vector<std::string> make_tickers(std::size_t count, std::uint64_t seed) {
+  auto rng = uoi::support::Xoshiro256::for_task(seed, 0x71c4e2ULL);
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const std::size_t len = 2 + rng.uniform_below(3);  // 2-4 letters
+    std::string t;
+    for (std::size_t i = 0; i < len; ++i) {
+      t.push_back(static_cast<char>('A' + rng.uniform_below(26)));
+    }
+    if (seen.insert(t).second) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+EquityDataset make_equity(const EquitySpec& spec) {
+  UOI_CHECK(spec.n_companies >= 2, "need at least two companies");
+  UOI_CHECK(spec.n_weeks >= 8, "need at least eight weeks");
+  auto rng = uoi::support::Xoshiro256::for_task(spec.seed, 0xe4017ULL);
+  const std::size_t p = spec.n_companies;
+
+  std::vector<std::string> tickers = make_tickers(p, spec.seed);
+  std::vector<std::size_t> sector_of(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    sector_of[i] = rng.uniform_below(spec.n_sectors);
+  }
+
+  // Sparse sector-structured VAR(1) on returns: influence is far more
+  // likely within a sector; a light autoregressive diagonal keeps returns
+  // weakly persistent, and a global rescale enforces stability.
+  Matrix a(p, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    a(i, i) = 0.15;
+    for (std::size_t j = 0; j < p; ++j) {
+      if (i == j) continue;
+      const bool same_sector = sector_of[i] == sector_of[j];
+      const double probability =
+          same_sector ? spec.cross_edge_probability * 6.0
+                      : spec.cross_edge_probability * 0.25;
+      if (rng.bernoulli(std::min(1.0, probability))) {
+        const double magnitude =
+            rng.uniform(spec.coupling_min, spec.coupling_max);
+        a(i, j) = rng.bernoulli(0.5) ? magnitude : -magnitude;
+      }
+    }
+  }
+  {
+    const uoi::var::VarModel raw({a});
+    const double radius = raw.companion_spectral_radius();
+    if (radius > 0.85) {
+      const double scale = 0.85 / radius;
+      for (std::size_t i = 0; i < p; ++i) {
+        for (std::size_t j = 0; j < p; ++j) a(i, j) *= scale;
+      }
+    }
+  }
+  uoi::var::VarModel truth({a});
+
+  // Weekly returns straight from the VAR (the paper differences weekly
+  // closes; simulating returns weekly keeps the ground-truth network the
+  // object the estimator should recover).
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = spec.n_weeks;
+  sim.noise_stddev = spec.return_volatility;
+  sim.seed = spec.seed ^ 0xfeedULL;
+  const Matrix returns = uoi::var::simulate(truth, sim);
+
+  // Log-price levels -> weekly closes (prices start around $20-$200).
+  Matrix weekly_closes(spec.n_weeks, p);
+  Vector log_price(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    log_price[i] = std::log(20.0 + 180.0 * rng.uniform());
+  }
+  for (std::size_t w = 0; w < spec.n_weeks; ++w) {
+    for (std::size_t i = 0; i < p; ++i) {
+      log_price[i] += returns(w, i);
+      weekly_closes(w, i) = std::exp(log_price[i]);
+    }
+  }
+
+  // First differences of weekly closes (the paper's §VI preprocessing).
+  Matrix weekly_differences(spec.n_weeks - 1, p);
+  for (std::size_t w = 0; w + 1 < spec.n_weeks; ++w) {
+    for (std::size_t i = 0; i < p; ++i) {
+      weekly_differences(w, i) =
+          weekly_closes(w + 1, i) - weekly_closes(w, i);
+    }
+  }
+  return {std::move(weekly_differences), std::move(weekly_closes),
+          std::move(tickers), std::move(sector_of), std::move(truth)};
+}
+
+}  // namespace uoi::data

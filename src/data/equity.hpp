@@ -1,0 +1,49 @@
+#pragma once
+// Synthetic S&P-style equity data (DESIGN.md §2 substitution for the
+// paper's S&P 500 daily closes, 2013-2018).
+//
+// Generation pipeline mirrors what the paper analyzes:
+//   1. a sparse sector-structured VAR(1) on latent log-returns (companies
+//      in the same sector influence each other more often) — this is the
+//      ground-truth Granger network the estimator should recover;
+//   2. daily log-prices via cumulative returns (geometric walk);
+//   3. aggregation to weekly closes and first differences, producing the
+//      plausibly-stationary series the paper feeds UoI_VAR (§VI).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "var/var_model.hpp"
+
+namespace uoi::data {
+
+struct EquitySpec {
+  std::size_t n_companies = 50;
+  std::size_t n_sectors = 8;
+  std::size_t n_weeks = 104;       ///< two years of weekly closes
+  double cross_edge_probability = 0.04;  ///< within-sector influence rate
+  double coupling_min = 0.15;
+  double coupling_max = 0.45;
+  double return_volatility = 0.02;
+  std::uint64_t seed = 2013;
+};
+
+struct EquityDataset {
+  /// Weekly first differences, n_weeks-1 x n_companies (the UoI_VAR input).
+  uoi::linalg::Matrix weekly_differences;
+  /// Weekly closing prices, n_weeks x n_companies.
+  uoi::linalg::Matrix weekly_closes;
+  std::vector<std::string> tickers;
+  std::vector<std::size_t> sector_of;     ///< sector id per company
+  uoi::var::VarModel truth;               ///< generating VAR(1)
+};
+
+[[nodiscard]] EquityDataset make_equity(const EquitySpec& spec);
+
+/// Deterministic plausible ticker symbols ("AAX", "BCORP", ...).
+[[nodiscard]] std::vector<std::string> make_tickers(std::size_t count,
+                                                    std::uint64_t seed);
+
+}  // namespace uoi::data

@@ -1,0 +1,58 @@
+#include "data/spikes.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "data/synthetic_var.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace uoi::data {
+
+using uoi::linalg::Matrix;
+
+SpikeDataset make_spikes(const SpikeSpec& spec) {
+  UOI_CHECK(spec.n_channels >= 2, "need at least two channels");
+  UOI_CHECK(spec.n_samples >= 16, "need at least sixteen bins");
+
+  // Ground-truth coupling network on the latent log-rates.
+  VarSpec net;
+  net.n_nodes = spec.n_channels;
+  net.order = 1;
+  net.edges_per_node = spec.edges_per_channel;
+  net.self_coefficient = 0.3;
+  net.coupling_min = spec.coupling_min;
+  net.coupling_max = spec.coupling_max;
+  net.spectral_radius = 0.75;
+  net.seed = spec.seed;
+  uoi::var::VarModel truth = make_sparse_var(net);
+
+  // Latent dynamics.
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = spec.n_samples;
+  sim.noise_stddev = 0.25;
+  sim.seed = spec.seed ^ 0x5e9aULL;
+  const Matrix latent = uoi::var::simulate(truth, sim);
+
+  auto rng = uoi::support::Xoshiro256::for_task(spec.seed, 0x5b1ce5ULL);
+  Matrix counts(spec.n_samples, spec.n_channels);
+  Matrix series(spec.n_samples, spec.n_channels);
+  const double log_base = std::log(spec.base_rate);
+  for (std::size_t t = 0; t < spec.n_samples; ++t) {
+    // Shared slow drive: the reaching-task rhythm every channel sees.
+    const double drive =
+        spec.drive_amplitude *
+        std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                 spec.drive_period);
+    for (std::size_t c = 0; c < spec.n_channels; ++c) {
+      const double log_rate = log_base + drive + latent(t, c);
+      const double rate = std::min(std::exp(log_rate), 1e4);
+      const auto k = rng.poisson(rate);
+      counts(t, c) = static_cast<double>(k);
+      series(t, c) = std::sqrt(static_cast<double>(k));
+    }
+  }
+  return {std::move(series), std::move(counts), std::move(truth)};
+}
+
+}  // namespace uoi::data

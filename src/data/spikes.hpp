@@ -1,0 +1,39 @@
+#pragma once
+// Synthetic multi-electrode spike-count data (DESIGN.md §2 substitution for
+// the non-human-primate M1/S1 reaching dataset of O'Doherty et al., 192
+// electrodes x 51,111 samples).
+//
+// Generation: a sparse directed coupling network on latent log-rates
+// (VAR(1)), plus a shared slow oscillatory drive (reaching movements),
+// Poisson spike counts per bin. The returned series is the square-root-
+// transformed count matrix, a standard variance-stabilizing preprocessing
+// for fitting linear VAR models to spike counts.
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+#include "var/var_model.hpp"
+
+namespace uoi::data {
+
+struct SpikeSpec {
+  std::size_t n_channels = 192;   ///< electrodes (paper's M1+S1 count)
+  std::size_t n_samples = 2000;   ///< bins (paper: 51,111; scaled down)
+  double edges_per_channel = 3.0;
+  double coupling_min = 0.1;
+  double coupling_max = 0.3;
+  double base_rate = 5.0;         ///< mean spikes per bin
+  double drive_amplitude = 0.3;   ///< shared oscillation on the log-rate
+  double drive_period = 250.0;    ///< bins per reach cycle
+  std::uint64_t seed = 583331;    ///< nod to the dataset's Zenodo DOI
+};
+
+struct SpikeDataset {
+  uoi::linalg::Matrix series;     ///< sqrt counts, n_samples x n_channels
+  uoi::linalg::Matrix counts;     ///< raw counts
+  uoi::var::VarModel truth;       ///< generating coupling network
+};
+
+[[nodiscard]] SpikeDataset make_spikes(const SpikeSpec& spec);
+
+}  // namespace uoi::data

@@ -1,0 +1,122 @@
+#include "data/synthetic_regression.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace uoi::data {
+
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+
+RegressionDataset make_regression(const RegressionSpec& spec) {
+  UOI_CHECK(spec.support_size <= spec.n_features,
+            "support larger than the feature space");
+  UOI_CHECK(spec.feature_correlation >= 0.0 && spec.feature_correlation < 1.0,
+            "feature_correlation must be in [0, 1)");
+  auto rng = uoi::support::Xoshiro256::for_task(spec.seed, 0x4e64e5ULL);
+
+  RegressionDataset out;
+  out.x.resize(spec.n_samples, spec.n_features);
+  const double rho = spec.feature_correlation;
+  const double innovation = std::sqrt(1.0 - rho * rho);
+  for (std::size_t r = 0; r < spec.n_samples; ++r) {
+    auto row = out.x.row(r);
+    double previous = rng.normal();
+    row[0] = previous;
+    for (std::size_t c = 1; c < spec.n_features; ++c) {
+      // AR(1) across columns gives each row correlated features with
+      // corr(x_i, x_j) = rho^|i-j| — a standard hard case for selection.
+      previous = rho * previous + innovation * rng.normal();
+      row[c] = previous;
+    }
+  }
+
+  out.beta_true.assign(spec.n_features, 0.0);
+  const auto support = uoi::support::sample_without_replacement(
+      rng, spec.n_features, spec.support_size);
+  for (const std::size_t i : support) {
+    const double magnitude =
+        rng.uniform(spec.coefficient_min, spec.coefficient_max);
+    out.beta_true[i] = rng.bernoulli(0.5) ? magnitude : -magnitude;
+  }
+
+  out.y.assign(spec.n_samples, 0.0);
+  uoi::linalg::gemv(1.0, out.x, out.beta_true, 0.0, out.y);
+  for (auto& v : out.y) v += rng.normal(0.0, spec.noise_stddev);
+  return out;
+}
+
+}  // namespace uoi::data
+
+namespace uoi::data {
+
+ClassificationDataset make_classification(const ClassificationSpec& spec) {
+  UOI_CHECK(spec.support_size <= spec.n_features,
+            "support larger than the feature space");
+  auto rng = uoi::support::Xoshiro256::for_task(spec.seed, 0xc1a55ULL);
+
+  ClassificationDataset out;
+  out.x.resize(spec.n_samples, spec.n_features);
+  for (std::size_t r = 0; r < spec.n_samples; ++r) {
+    auto row = out.x.row(r);
+    for (auto& v : row) v = rng.normal();
+  }
+
+  out.beta_true.assign(spec.n_features, 0.0);
+  const auto support = uoi::support::sample_without_replacement(
+      rng, spec.n_features, spec.support_size);
+  for (const std::size_t i : support) {
+    const double magnitude =
+        rng.uniform(spec.coefficient_min, spec.coefficient_max);
+    out.beta_true[i] = rng.bernoulli(0.5) ? magnitude : -magnitude;
+  }
+  out.intercept_true = spec.intercept;
+
+  out.y.assign(spec.n_samples, 0.0);
+  for (std::size_t r = 0; r < spec.n_samples; ++r) {
+    const double t =
+        uoi::linalg::dot(out.x.row(r), out.beta_true) + spec.intercept;
+    const double prob = 1.0 / (1.0 + std::exp(-t));
+    out.y[r] = rng.bernoulli(prob) ? 1.0 : 0.0;
+  }
+  return out;
+}
+
+}  // namespace uoi::data
+
+namespace uoi::data {
+
+PoissonDataset make_poisson_counts(const PoissonSpec& spec) {
+  UOI_CHECK(spec.support_size <= spec.n_features,
+            "support larger than the feature space");
+  auto rng = uoi::support::Xoshiro256::for_task(spec.seed, 0x90155ULL);
+
+  PoissonDataset out;
+  out.x.resize(spec.n_samples, spec.n_features);
+  for (std::size_t r = 0; r < spec.n_samples; ++r) {
+    for (auto& v : out.x.row(r)) v = rng.normal();
+  }
+  out.beta_true.assign(spec.n_features, 0.0);
+  const auto support = uoi::support::sample_without_replacement(
+      rng, spec.n_features, spec.support_size);
+  for (const std::size_t i : support) {
+    const double magnitude =
+        rng.uniform(spec.coefficient_min, spec.coefficient_max);
+    out.beta_true[i] = rng.bernoulli(0.5) ? magnitude : -magnitude;
+  }
+  out.intercept_true = spec.intercept;
+
+  out.y.assign(spec.n_samples, 0.0);
+  for (std::size_t r = 0; r < spec.n_samples; ++r) {
+    const double eta =
+        uoi::linalg::dot(out.x.row(r), out.beta_true) + spec.intercept;
+    const double rate = std::min(std::exp(eta), 1e4);
+    out.y[r] = static_cast<double>(rng.poisson(rate));
+  }
+  return out;
+}
+
+}  // namespace uoi::data

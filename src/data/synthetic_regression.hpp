@@ -1,0 +1,82 @@
+#pragma once
+// Synthetic sparse-regression datasets for UoI_LASSO evaluation: a known
+// sparse coefficient vector with Gaussian designs, so selection accuracy
+// (F1, false positives/negatives) can be measured exactly.
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+
+namespace uoi::data {
+
+struct RegressionSpec {
+  std::size_t n_samples = 200;
+  std::size_t n_features = 50;
+  std::size_t support_size = 8;      ///< nonzero coefficients
+  double coefficient_min = 0.5;      ///< |beta| range on the support
+  double coefficient_max = 2.0;
+  double noise_stddev = 0.5;
+  double feature_correlation = 0.0;  ///< AR(1)-style column correlation
+  std::uint64_t seed = 42;
+};
+
+struct RegressionDataset {
+  uoi::linalg::Matrix x;
+  uoi::linalg::Vector y;
+  uoi::linalg::Vector beta_true;
+};
+
+[[nodiscard]] RegressionDataset make_regression(const RegressionSpec& spec);
+
+}  // namespace uoi::data
+
+namespace uoi::data {
+
+/// Sparse logistic-classification dataset: labels drawn from
+/// Bernoulli(sigmoid(X beta + intercept)) with a known sparse beta.
+struct ClassificationSpec {
+  std::size_t n_samples = 400;
+  std::size_t n_features = 30;
+  std::size_t support_size = 5;
+  double coefficient_min = 1.0;  ///< stronger than the regression default:
+  double coefficient_max = 3.0;  ///< logistic signal-to-noise is lower
+  double intercept = 0.0;
+  std::uint64_t seed = 42;
+};
+
+struct ClassificationDataset {
+  uoi::linalg::Matrix x;
+  uoi::linalg::Vector y;  ///< labels in {0, 1}
+  uoi::linalg::Vector beta_true;
+  double intercept_true = 0.0;
+};
+
+[[nodiscard]] ClassificationDataset make_classification(
+    const ClassificationSpec& spec);
+
+}  // namespace uoi::data
+
+namespace uoi::data {
+
+/// Sparse Poisson-regression dataset: counts drawn from
+/// Poisson(exp(X beta + intercept)) with a known sparse beta.
+struct PoissonSpec {
+  std::size_t n_samples = 400;
+  std::size_t n_features = 20;
+  std::size_t support_size = 4;
+  double coefficient_min = 0.3;  ///< kept moderate: the log link explodes
+  double coefficient_max = 0.8;
+  double intercept = 1.0;        ///< base rate e^1 ~ 2.7 counts per sample
+  std::uint64_t seed = 42;
+};
+
+struct PoissonDataset {
+  uoi::linalg::Matrix x;
+  uoi::linalg::Vector y;  ///< non-negative counts
+  uoi::linalg::Vector beta_true;
+  double intercept_true = 0.0;
+};
+
+[[nodiscard]] PoissonDataset make_poisson_counts(const PoissonSpec& spec);
+
+}  // namespace uoi::data

@@ -1,0 +1,74 @@
+#include "data/synthetic_var.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace uoi::data {
+
+using uoi::linalg::Matrix;
+
+uoi::var::VarModel make_sparse_var(const VarSpec& spec) {
+  UOI_CHECK(spec.n_nodes >= 1, "need at least one node");
+  UOI_CHECK(spec.spectral_radius > 0.0 && spec.spectral_radius < 1.0,
+            "target spectral radius must be in (0, 1)");
+  auto rng = uoi::support::Xoshiro256::for_task(spec.seed, 0x4a66e0ULL);
+  const std::size_t p = spec.n_nodes;
+
+  std::vector<Matrix> a(spec.order, Matrix(p, p));
+  const double edge_probability =
+      p > 1 ? std::min(1.0, spec.edges_per_node / static_cast<double>(p - 1))
+            : 0.0;
+  for (std::size_t lag = 0; lag < spec.order; ++lag) {
+    for (std::size_t i = 0; i < p; ++i) {
+      // Autoregressive diagonal only on the first lag.
+      if (lag == 0) a[lag](i, i) = spec.self_coefficient;
+      for (std::size_t j = 0; j < p; ++j) {
+        if (i == j) continue;
+        if (rng.bernoulli(edge_probability)) {
+          const double magnitude =
+              rng.uniform(spec.coupling_min, spec.coupling_max);
+          a[lag](i, j) = rng.bernoulli(0.5) ? magnitude : -magnitude;
+        }
+      }
+    }
+  }
+
+  uoi::var::VarModel model(a);
+  const double radius = model.companion_spectral_radius();
+  if (radius > 0.0) {
+    // Scaling every A_j by s scales companion eigenvalues by... not
+    // uniformly for d > 1, so rescale iteratively until within 1%.
+    double scale = spec.spectral_radius / radius;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      std::vector<Matrix> scaled = a;
+      for (std::size_t lag = 0; lag < spec.order; ++lag) {
+        const double lag_scale = std::pow(scale, static_cast<double>(lag + 1));
+        for (std::size_t i = 0; i < p; ++i) {
+          for (std::size_t j = 0; j < p; ++j) {
+            scaled[lag](i, j) = a[lag](i, j) * lag_scale;
+          }
+        }
+      }
+      uoi::var::VarModel candidate(scaled);
+      const double r = candidate.companion_spectral_radius();
+      if (std::abs(r - spec.spectral_radius) < 0.01) return candidate;
+      scale *= spec.spectral_radius / std::max(r, 1e-12);
+    }
+    // Fall through with the last scale applied.
+    std::vector<Matrix> scaled = a;
+    for (std::size_t lag = 0; lag < spec.order; ++lag) {
+      const double lag_scale = std::pow(scale, static_cast<double>(lag + 1));
+      for (std::size_t i = 0; i < p; ++i) {
+        for (std::size_t j = 0; j < p; ++j) {
+          scaled[lag](i, j) = a[lag](i, j) * lag_scale;
+        }
+      }
+    }
+    return uoi::var::VarModel(scaled);
+  }
+  return model;
+}
+
+}  // namespace uoi::data

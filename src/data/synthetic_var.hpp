@@ -1,0 +1,28 @@
+#pragma once
+// Random sparse *stable* VAR systems with known Granger structure — the
+// ground truth for UoI_VAR selection-accuracy evaluation.
+
+#include <cstdint>
+
+#include "var/var_model.hpp"
+
+namespace uoi::data {
+
+struct VarSpec {
+  std::size_t n_nodes = 20;        ///< p
+  std::size_t order = 1;           ///< d
+  /// Expected number of nonzero off-diagonal entries per row (per lag).
+  double edges_per_node = 2.0;
+  double self_coefficient = 0.4;   ///< diagonal (autoregressive) strength
+  double coupling_min = 0.2;       ///< |a_ij| range for cross edges
+  double coupling_max = 0.6;
+  /// Target spectral radius after rescaling; must be < 1 for stability.
+  double spectral_radius = 0.8;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a random sparse system and rescales all coefficient matrices
+/// uniformly so the companion spectral radius equals spec.spectral_radius.
+[[nodiscard]] uoi::var::VarModel make_sparse_var(const VarSpec& spec);
+
+}  // namespace uoi::data

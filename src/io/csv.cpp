@@ -1,0 +1,153 @@
+#include "io/csv.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace uoi::io {
+
+namespace {
+
+/// Splits one line into trimmed fields (commas, or whitespace when the
+/// line has no comma).
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  const bool comma = line.find(',') != std::string::npos;
+  std::string current;
+  auto flush = [&] {
+    // Trim.
+    std::size_t begin = 0, end = current.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(
+                              current[begin]))) {
+      ++begin;
+    }
+    while (end > begin && std::isspace(static_cast<unsigned char>(
+                              current[end - 1]))) {
+      --end;
+    }
+    fields.push_back(current.substr(begin, end - begin));
+    current.clear();
+  };
+  for (const char c : line) {
+    if ((comma && c == ',') ||
+        (!comma && std::isspace(static_cast<unsigned char>(c)))) {
+      if (comma || !current.empty()) flush();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty() || comma) flush();
+  // Drop a trailing empty field from whitespace-split lines.
+  while (!comma && !fields.empty() && fields.back().empty()) {
+    fields.pop_back();
+  }
+  return fields;
+}
+
+bool parse_double(const std::string& field, double& out) {
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+CsvData parse_csv(const std::string& text) {
+  CsvData out;
+  std::vector<std::vector<double>> rows;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_number = 0;
+  bool header_checked = false;
+  std::size_t width = 0;
+
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // Skip blanks and comments.
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+
+    const auto fields = split_fields(line);
+    if (fields.empty()) continue;
+
+    if (!header_checked) {
+      header_checked = true;
+      double probe;
+      if (!parse_double(fields[0], probe)) {
+        out.column_labels = fields;
+        width = fields.size();
+        continue;
+      }
+    }
+
+    std::vector<double> row(fields.size());
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (!parse_double(fields[i], row[i])) {
+        throw uoi::support::IoError("CSV line " + std::to_string(line_number) +
+                                    ": cannot parse field '" + fields[i] +
+                                    "'");
+      }
+    }
+    if (width == 0) width = row.size();
+    if (row.size() != width) {
+      throw uoi::support::IoError("CSV line " + std::to_string(line_number) +
+                                  ": expected " + std::to_string(width) +
+                                  " fields, got " +
+                                  std::to_string(row.size()));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  out.values.resize(rows.size(), width);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::copy(rows[r].begin(), rows[r].end(), out.values.row(r).begin());
+  }
+  return out;
+}
+
+CsvData read_csv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw uoi::support::IoError("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+std::string to_csv(uoi::linalg::ConstMatrixView values,
+                   const std::vector<std::string>& labels) {
+  std::ostringstream out;
+  out.precision(17);
+  if (!labels.empty()) {
+    UOI_CHECK_DIMS(labels.size() == values.cols(),
+                   "CSV header width mismatch");
+    for (std::size_t c = 0; c < labels.size(); ++c) {
+      if (c != 0) out << ",";
+      out << labels[c];
+    }
+    out << "\n";
+  }
+  for (std::size_t r = 0; r < values.rows(); ++r) {
+    const auto row = values.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ",";
+      out << row[c];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void write_csv(const std::string& path, uoi::linalg::ConstMatrixView values,
+               const std::vector<std::string>& labels) {
+  std::ofstream f(path);
+  if (!f) throw uoi::support::IoError("cannot open for writing: " + path);
+  f << to_csv(values, labels);
+  if (!f) throw uoi::support::IoError("short write to " + path);
+}
+
+}  // namespace uoi::io

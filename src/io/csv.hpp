@@ -1,0 +1,38 @@
+#pragma once
+// Minimal CSV reader/writer for numeric matrices — the interchange format
+// the command-line tool and the examples use for real-world data
+// (e.g. a downloaded table of closing prices).
+//
+// Dialect: one row per line; fields separated by commas (with optional
+// surrounding whitespace) or plain whitespace; '#'-prefixed lines are
+// comments; an optional first header line of non-numeric labels is
+// detected, skipped, and returned.
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace uoi::io {
+
+struct CsvData {
+  uoi::linalg::Matrix values;
+  std::vector<std::string> column_labels;  ///< empty when no header
+};
+
+/// Parses CSV text. Throws uoi::support::IoError on ragged rows or
+/// unparsable fields.
+[[nodiscard]] CsvData parse_csv(const std::string& text);
+
+/// Reads and parses a CSV file.
+[[nodiscard]] CsvData read_csv(const std::string& path);
+
+/// Serializes a matrix (with an optional header row) as CSV text.
+[[nodiscard]] std::string to_csv(uoi::linalg::ConstMatrixView values,
+                                 const std::vector<std::string>& labels = {});
+
+/// Writes a matrix to a CSV file.
+void write_csv(const std::string& path, uoi::linalg::ConstMatrixView values,
+               const std::vector<std::string>& labels = {});
+
+}  // namespace uoi::io

@@ -1,0 +1,170 @@
+#include "io/distribution.hpp"
+
+#include <algorithm>
+
+#include "simcluster/window.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+namespace uoi::io {
+
+using uoi::linalg::Matrix;
+using uoi::sim::Comm;
+using uoi::sim::Window;
+
+namespace {
+
+struct Range {
+  std::size_t begin;
+  std::size_t end;
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+
+Range even_slice(std::size_t total, int parts, int index) {
+  const auto k = static_cast<std::size_t>(parts);
+  const auto i = static_cast<std::size_t>(index);
+  return {total * i / k, total * (i + 1) / k};
+}
+
+/// Rank owning global position `pos` under even slicing. O(P) worst case
+/// but loops at most twice in practice thanks to the initial guess.
+int owner_of(std::size_t pos, std::size_t total, int parts) {
+  int guess = static_cast<int>(pos * static_cast<std::size_t>(parts) / total);
+  guess = std::min(guess, parts - 1);
+  while (pos < even_slice(total, parts, guess).begin) --guess;
+  while (pos >= even_slice(total, parts, guess).end) ++guess;
+  return guess;
+}
+
+}  // namespace
+
+LocalRows conventional_distribute(Comm& comm, const std::string& base,
+                                  DistributionTiming* timing) {
+  support::Stopwatch watch;
+  DatasetInfo info;
+  Matrix full;
+  if (comm.rank() == 0) {
+    // The conventional pattern: one reader, chunk-at-a-time, reopening the
+    // file for each chunk (serial HDF5 hyperslab reads in a loop).
+    DatasetReader reader(base);
+    info = reader.info();
+    full.resize(info.rows, info.cols);
+    Matrix chunk;
+    for (std::uint64_t c = 0; c < info.n_chunks(); ++c) {
+      reader.read_chunk_reopening(c, chunk);
+      const std::uint64_t row_begin = c * info.chunk_rows;
+      for (std::size_t r = 0; r < chunk.rows(); ++r) {
+        const auto src = chunk.row(r);
+        std::copy(src.begin(), src.end(), full.row(row_begin + r).begin());
+      }
+    }
+  }
+  std::size_t dims[2] = {full.rows(), full.cols()};
+  comm.bcast(std::span<std::size_t>(dims, 2), 0);
+  const std::size_t n = dims[0];
+  const std::size_t cols = dims[1];
+  const double read_seconds = watch.seconds();
+
+  // Distribute: rank 0 exposes the full matrix; everyone pulls its block.
+  watch.reset();
+  Window window(comm, {full.data(), full.size()});
+  const Range mine = even_slice(n, comm.size(), comm.rank());
+  LocalRows out;
+  out.rows.resize(mine.size(), cols);
+  out.global_indices.resize(mine.size());
+  window.fence();
+  if (!out.rows.empty()) {
+    window.get(0, mine.begin * cols,
+               {out.rows.data(), out.rows.size()});
+  }
+  window.fence();
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    out.global_indices[i] = mine.begin + i;
+  }
+  if (timing != nullptr) {
+    timing->read_seconds = read_seconds;
+    timing->distribute_seconds = watch.seconds();
+  }
+  return out;
+}
+
+LocalRows randomized_distribute(Comm& comm, const std::string& base,
+                                std::uint64_t seed,
+                                DistributionTiming* timing) {
+  // ---- T1: parallel contiguous hyperslab reads ----
+  support::Stopwatch watch;
+  DatasetReader reader(base);
+  const auto n = static_cast<std::size_t>(reader.info().rows);
+  const auto cols = static_cast<std::size_t>(reader.info().cols);
+  const Range slab = even_slice(n, comm.size(), comm.rank());
+  Matrix slab_rows;
+  reader.read_rows(slab.begin, slab.size(), slab_rows);
+  const double read_seconds = watch.seconds();
+
+  // ---- T2: one-sided random redistribution ----
+  watch.reset();
+  auto rng = uoi::support::Xoshiro256::for_task(seed, 0x7e1e2ULL);
+  const auto perm = uoi::support::random_permutation(rng, n);
+
+  const Range mine = slab;  // destination counts mirror the source slicing
+  LocalRows out;
+  out.rows.resize(mine.size(), cols);
+  out.global_indices.resize(mine.size());
+  Window window(comm, {out.rows.data(), out.rows.size()});
+  window.fence();
+  for (std::size_t i = 0; i < slab.size(); ++i) {
+    const std::size_t g = slab.begin + i;     // global source row
+    const std::size_t dest_pos = perm[g];     // shuffled position
+    const int dest = owner_of(dest_pos, n, comm.size());
+    const Range dest_range = even_slice(n, comm.size(), dest);
+    window.put(dest, (dest_pos - dest_range.begin) * cols, slab_rows.row(i));
+  }
+  window.fence();
+  // Invert the permutation to label what we received.
+  for (std::size_t g = 0; g < n; ++g) {
+    const std::size_t pos = perm[g];
+    if (pos >= mine.begin && pos < mine.end) {
+      out.global_indices[pos - mine.begin] = g;
+    }
+  }
+  if (timing != nullptr) {
+    timing->read_seconds = read_seconds;
+    timing->distribute_seconds = watch.seconds();
+  }
+  return out;
+}
+
+LocalRows reshuffle(Comm& comm, const LocalRows& held, std::size_t total_rows,
+                    std::uint64_t seed) {
+  UOI_CHECK_DIMS(held.rows.rows() == held.global_indices.size(),
+                 "reshuffle: inconsistent LocalRows");
+  const std::size_t cols = held.rows.cols();
+  auto rng = uoi::support::Xoshiro256::for_task(seed, 0x5bffe1ULL);
+  const auto perm = uoi::support::random_permutation(rng, total_rows);
+
+  const Range mine = even_slice(total_rows, comm.size(), comm.rank());
+  LocalRows out;
+  out.rows.resize(mine.size(), cols);
+  out.global_indices.resize(mine.size());
+  Window window(comm, {out.rows.data(), out.rows.size()});
+  window.fence();
+  for (std::size_t i = 0; i < held.global_indices.size(); ++i) {
+    const std::size_t g = held.global_indices[i];
+    UOI_CHECK_DIMS(g < total_rows, "reshuffle: global index out of range");
+    const std::size_t dest_pos = perm[g];
+    const int dest = owner_of(dest_pos, total_rows, comm.size());
+    const Range dest_range = even_slice(total_rows, comm.size(), dest);
+    window.put(dest, (dest_pos - dest_range.begin) * cols, held.rows.row(i));
+  }
+  window.fence();
+  for (std::size_t g = 0; g < total_rows; ++g) {
+    const std::size_t pos = perm[g];
+    if (pos >= mine.begin && pos < mine.end) {
+      out.global_indices[pos - mine.begin] = g;
+    }
+  }
+  return out;
+}
+
+}  // namespace uoi::io

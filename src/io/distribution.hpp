@@ -1,0 +1,61 @@
+#pragma once
+// Data-distribution strategies from the paper (§III-B, Table II, Fig. 1a).
+//
+// Conventional: one rank reads the dataset chunk by chunk — reopening the
+// file each time, as serial HDF5 with hyperslabs forces — and scatters
+// row blocks to the other ranks. Read time scales with the full dataset
+// through a single stream; this is the Table II baseline.
+//
+// Randomized three-tier (the paper's contribution):
+//   T0: the (striped) dataset on disk;
+//   T1: every rank reads its contiguous hyperslab in parallel;
+//   T2: rows are scattered to pseudo-random owners through one-sided puts,
+//       so each rank ends up holding a uniformly random subsample — which
+//       is what the bootstrap Map steps need.
+//
+// Both return the same LocalRows structure so the UoI drivers can consume
+// either. All functions are collective over their communicator.
+
+#include <cstdint>
+#include <vector>
+
+#include "io/h5lite.hpp"
+#include "linalg/matrix.hpp"
+#include "simcluster/comm.hpp"
+
+namespace uoi::io {
+
+/// A rank's share of the dataset after distribution.
+struct LocalRows {
+  uoi::linalg::Matrix rows;                 ///< local row payload
+  std::vector<std::size_t> global_indices;  ///< source row of each local row
+};
+
+/// Timing breakdown matching Table II's two columns.
+struct DistributionTiming {
+  double read_seconds = 0.0;
+  double distribute_seconds = 0.0;
+};
+
+/// Conventional strategy: rank 0 reads every chunk (reopening the file per
+/// chunk) and scatters contiguous row blocks.
+[[nodiscard]] LocalRows conventional_distribute(uoi::sim::Comm& comm,
+                                                const std::string& base,
+                                                DistributionTiming* timing =
+                                                    nullptr);
+
+/// Randomized three-tier strategy: parallel hyperslab reads (T1) followed
+/// by one-sided random redistribution (T2). `seed` fixes the permutation;
+/// all ranks must pass the same value.
+[[nodiscard]] LocalRows randomized_distribute(uoi::sim::Comm& comm,
+                                              const std::string& base,
+                                              std::uint64_t seed,
+                                              DistributionTiming* timing =
+                                                  nullptr);
+
+/// Tier-2 reshuffle of already-loaded local rows (the paper reuses it to
+/// re-randomize between model selection and model estimation, Fig. 1c).
+[[nodiscard]] LocalRows reshuffle(uoi::sim::Comm& comm, const LocalRows& held,
+                                  std::size_t total_rows, std::uint64_t seed);
+
+}  // namespace uoi::io

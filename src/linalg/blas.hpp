@@ -1,0 +1,88 @@
+#pragma once
+// BLAS-like dense kernels. These replace the Eigen3 + Intel-MKL stack the
+// paper used; the solvers only depend on this narrow interface.
+//
+// gemm is register-blocked + cache-blocked (good enough for the functional
+// benchmark path; modeled paper-scale rates come from perfmodel, calibrated
+// with the paper's measured MKL numbers). All kernels also report their FLOP
+// counts so perfmodel can charge simulated time.
+
+#include <cstdint>
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace uoi::linalg {
+
+// ---- Level 1 ----------------------------------------------------------
+
+/// dot(x, y) = sum_i x_i * y_i
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha
+void scal(double alpha, std::span<double> x);
+
+/// Euclidean norm.
+[[nodiscard]] double nrm2(std::span<const double> x);
+
+/// Squared Euclidean norm (no sqrt; used by loss computations).
+[[nodiscard]] double nrm2_squared(std::span<const double> x);
+
+/// Euclidean distance ||x - y||_2.
+[[nodiscard]] double dist2(std::span<const double> x, std::span<const double> y);
+
+/// L1 norm.
+[[nodiscard]] double nrm1(std::span<const double> x);
+
+// ---- Level 2 ----------------------------------------------------------
+
+/// y = alpha * A x + beta * y
+void gemv(double alpha, ConstMatrixView a, std::span<const double> x,
+          double beta, std::span<double> y);
+
+/// y = alpha * A' x + beta * y  (A accessed row-wise; no transpose copy)
+void gemv_transposed(double alpha, ConstMatrixView a, std::span<const double> x,
+                     double beta, std::span<double> y);
+
+// ---- Level 3 ----------------------------------------------------------
+
+/// C = alpha * A B + beta * C. Cache-blocked with an unrolled inner kernel.
+void gemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+          Matrix& c);
+
+/// C = alpha * A' A + beta * C (Gram matrix; exploits symmetry).
+void syrk_at_a(double alpha, ConstMatrixView a, double beta, Matrix& c);
+
+/// C = alpha * A' B + beta * C.
+void gemm_at_b(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+               Matrix& c);
+
+// ---- FLOP accounting ---------------------------------------------------
+
+/// FLOPs of C = A(m x k) B(k x n): 2 m k n.
+[[nodiscard]] constexpr std::uint64_t gemm_flops(std::uint64_t m,
+                                                 std::uint64_t k,
+                                                 std::uint64_t n) {
+  return 2ULL * m * k * n;
+}
+
+/// FLOPs of y = A(m x n) x: 2 m n.
+[[nodiscard]] constexpr std::uint64_t gemv_flops(std::uint64_t m,
+                                                 std::uint64_t n) {
+  return 2ULL * m * n;
+}
+
+/// FLOPs of a dense Cholesky of an n x n matrix: n^3 / 3.
+[[nodiscard]] constexpr std::uint64_t cholesky_flops(std::uint64_t n) {
+  return n * n * n / 3ULL;
+}
+
+/// FLOPs of one triangular solve with an n x n factor: n^2.
+[[nodiscard]] constexpr std::uint64_t trsv_flops(std::uint64_t n) {
+  return n * n;
+}
+
+}  // namespace uoi::linalg

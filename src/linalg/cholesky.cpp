@@ -1,0 +1,78 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/blas.hpp"
+
+namespace uoi::linalg {
+
+CholeskyFactor::CholeskyFactor(const Matrix& a) : l_(a.rows(), a.cols()) {
+  UOI_CHECK_DIMS(a.rows() == a.cols(), "Cholesky of a non-square matrix");
+  const std::size_t n = a.rows();
+  // Cholesky-Crout: column j at a time, contiguous row accesses into l_.
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j) - dot(l_.row(j).subspan(0, j), l_.row(j).subspan(0, j));
+    UOI_CHECK(diag > 0.0, "matrix is not positive definite");
+    diag = std::sqrt(diag);
+    l_(j, j) = diag;
+    const double inv_diag = 1.0 / diag;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      const double off =
+          a(i, j) - dot(l_.row(i).subspan(0, j), l_.row(j).subspan(0, j));
+      l_(i, j) = off * inv_diag;
+    }
+  }
+}
+
+void CholeskyFactor::solve_lower(std::span<const double> b,
+                                 std::span<double> y) const {
+  const std::size_t n = dim();
+  UOI_CHECK_DIMS(b.size() == n && y.size() == n, "solve_lower size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    const double partial = dot(l_.row(i).subspan(0, i), y.subspan(0, i));
+    y[i] = (b[i] - partial) / l_(i, i);
+  }
+}
+
+void CholeskyFactor::solve_upper(std::span<const double> y,
+                                 std::span<double> x) const {
+  const std::size_t n = dim();
+  UOI_CHECK_DIMS(y.size() == n && x.size() == n, "solve_upper size mismatch");
+  // L' x = y solved backwards; L is accessed down column i which is row i of
+  // the transpose — gather with a stride, n is small enough in practice
+  // (p per support) for this to be fine.
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l_(k, i) * x[k];
+    x[i] = sum / l_(i, i);
+  }
+}
+
+void CholeskyFactor::solve(std::span<const double> b,
+                           std::span<double> x) const {
+  std::vector<double> y(dim());
+  solve_lower(b, y);
+  solve_upper(y, x);
+}
+
+void CholeskyFactor::solve_matrix(const Matrix& b, Matrix& x) const {
+  UOI_CHECK_DIMS(b.rows() == dim(), "solve_matrix: B has the wrong row count");
+  x.resize(b.rows(), b.cols());
+  std::vector<double> col(dim()), sol(dim());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    solve(col, sol);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+}
+
+Vector cholesky_solve(const Matrix& a, std::span<const double> b) {
+  CholeskyFactor factor(a);
+  Vector x(b.size());
+  factor.solve(b, x);
+  return x;
+}
+
+}  // namespace uoi::linalg

@@ -1,0 +1,46 @@
+#pragma once
+// Cholesky factorization and triangular solves.
+//
+// LASSO-ADMM's x-update solves (X'X + rho I) x = q every iteration with a
+// factorization computed once per (bootstrap, lambda) task — exactly the
+// "triangular solve function used by LASSO-ADMM for matrix decomposition"
+// the paper profiles (0.011 GFLOPS, AI 0.075: memory bound).
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace uoi::linalg {
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+class CholeskyFactor {
+ public:
+  /// Factors `a` (which must be SPD). Throws uoi::support::InvalidArgument
+  /// if a non-positive pivot is met (matrix not SPD to working precision).
+  explicit CholeskyFactor(const Matrix& a);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return l_.rows(); }
+
+  /// The lower-triangular factor L (entries above the diagonal are zero).
+  [[nodiscard]] const Matrix& lower() const noexcept { return l_; }
+
+  /// Solves A x = b via L y = b then L' x = y. b and x may alias.
+  void solve(std::span<const double> b, std::span<double> x) const;
+
+  /// Solves A X = B column-by-column. B is (dim x k), X is (dim x k).
+  void solve_matrix(const Matrix& b, Matrix& x) const;
+
+  /// Forward substitution only: L y = b.
+  void solve_lower(std::span<const double> b, std::span<double> y) const;
+
+  /// Backward substitution only: L' x = y.
+  void solve_upper(std::span<const double> y, std::span<double> x) const;
+
+ private:
+  Matrix l_;
+};
+
+/// One-shot SPD solve: x = A^{-1} b.
+[[nodiscard]] Vector cholesky_solve(const Matrix& a, std::span<const double> b);
+
+}  // namespace uoi::linalg

@@ -1,0 +1,64 @@
+#include "linalg/kron.hpp"
+
+#include "linalg/blas.hpp"
+
+namespace uoi::linalg {
+
+Vector vec(const Matrix& m) {
+  Vector out(m.size());
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      out[c * m.rows() + r] = m(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix unvec(std::span<const double> v, std::size_t rows, std::size_t cols) {
+  UOI_CHECK_DIMS(v.size() == rows * cols, "unvec length mismatch");
+  Matrix out(rows, cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      out(r, c) = v[c * rows + r];
+    }
+  }
+  return out;
+}
+
+SparseMatrix kron_identity_sparse(ConstMatrixView block, std::size_t count) {
+  return SparseMatrix::block_diagonal(block, count);
+}
+
+void KroneckerIdentityOp::gemv(double alpha, std::span<const double> v,
+                               double beta, std::span<double> y) const {
+  UOI_CHECK_DIMS(v.size() == cols(), "kron gemv: v size mismatch");
+  UOI_CHECK_DIMS(y.size() == rows(), "kron gemv: y size mismatch");
+  const std::size_t n = x_.rows();
+  const std::size_t m = x_.cols();
+  for (std::size_t b = 0; b < count_; ++b) {
+    uoi::linalg::gemv(alpha, x_, v.subspan(b * m, m), beta,
+                      y.subspan(b * n, n));
+  }
+}
+
+void KroneckerIdentityOp::gemv_transposed(double alpha,
+                                          std::span<const double> v,
+                                          double beta,
+                                          std::span<double> y) const {
+  UOI_CHECK_DIMS(v.size() == rows(), "kron gemv_t: v size mismatch");
+  UOI_CHECK_DIMS(y.size() == cols(), "kron gemv_t: y size mismatch");
+  const std::size_t n = x_.rows();
+  const std::size_t m = x_.cols();
+  for (std::size_t b = 0; b < count_; ++b) {
+    uoi::linalg::gemv_transposed(alpha, x_, v.subspan(b * n, n), beta,
+                                 y.subspan(b * m, m));
+  }
+}
+
+Matrix KroneckerIdentityOp::block_gram() const {
+  Matrix g(x_.cols(), x_.cols());
+  syrk_at_a(1.0, x_, 0.0, g);
+  return g;
+}
+
+}  // namespace uoi::linalg

@@ -1,0 +1,68 @@
+#pragma once
+// Vectorization and Kronecker-product helpers for the VAR rearrangement
+// (paper eq. 9): vec Y = (I (x) X) vec B + vec E.
+//
+// Three representations of I (x) X are provided, trading memory for
+// generality:
+//   1. explicit sparse CSR (SparseMatrix::block_diagonal) — what the paper's
+//      sparse-Eigen path does after the distributed assembly;
+//   2. the implicit KroneckerIdentityOp below — never materializes the
+//      operator; gemv is p small dense gemvs, and the Gram matrix is
+//      I (x) (X'X), so one Cholesky of X'X + rho I serves all p blocks
+//      (the "communication-avoiding / local computation" variant the paper's
+//      Discussion proposes as future work);
+//   3. the distributed window-assembled CSR in uoi::var (the paper's method).
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+
+namespace uoi::linalg {
+
+/// Column-stacking vectorization: out[j * rows + i] = m(i, j).
+/// (vec of a rows x cols matrix, Fortran convention as in the paper.)
+[[nodiscard]] Vector vec(const Matrix& m);
+
+/// Inverse of `vec`: reshapes a length rows*cols vector column-wise.
+[[nodiscard]] Matrix unvec(std::span<const double> v, std::size_t rows,
+                           std::size_t cols);
+
+/// Explicit sparse I_count (x) block.
+[[nodiscard]] SparseMatrix kron_identity_sparse(ConstMatrixView block,
+                                                std::size_t count);
+
+/// Matrix-free operator for A = I_count (x) X where X is n x m.
+/// A is (count * n) x (count * m).
+class KroneckerIdentityOp {
+ public:
+  KroneckerIdentityOp(ConstMatrixView x, std::size_t count)
+      : x_(x), count_(count) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept {
+    return count_ * x_.rows();
+  }
+  [[nodiscard]] std::size_t cols() const noexcept {
+    return count_ * x_.cols();
+  }
+  [[nodiscard]] std::size_t block_count() const noexcept { return count_; }
+  [[nodiscard]] ConstMatrixView block() const noexcept { return x_; }
+
+  /// y = alpha * A v + beta * y; block b maps v[b*m .. b*m+m) through X.
+  void gemv(double alpha, std::span<const double> v, double beta,
+            std::span<double> y) const;
+
+  /// y = alpha * A' v + beta * y.
+  void gemv_transposed(double alpha, std::span<const double> v, double beta,
+                       std::span<double> y) const;
+
+  /// Dense Gram matrix of one block: X'X (the full Gram is I (x) X'X).
+  [[nodiscard]] Matrix block_gram() const;
+
+ private:
+  ConstMatrixView x_;
+  std::size_t count_;
+};
+
+}  // namespace uoi::linalg

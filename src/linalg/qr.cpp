@@ -1,0 +1,127 @@
+#include "linalg/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "support/error.hpp"
+
+namespace uoi::linalg {
+
+QrFactorization::QrFactorization(ConstMatrixView a, double rank_tolerance)
+    : m_(a.rows()), n_(a.cols()), qr_(Matrix::from_view(a)), tau_(n_, 0.0) {
+  UOI_CHECK(m_ >= n_, "QR requires rows >= cols");
+  UOI_CHECK(n_ >= 1, "QR of an empty matrix");
+  pivot_.resize(n_);
+  for (std::size_t j = 0; j < n_; ++j) pivot_[j] = j;
+
+  // Squared column norms, downdated as the factorization proceeds.
+  Vector col_norms(n_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    const auto row = qr_.row(i);
+    for (std::size_t j = 0; j < n_; ++j) col_norms[j] += row[j] * row[j];
+  }
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Pivot: bring the largest remaining column to position k.
+    std::size_t best = k;
+    for (std::size_t j = k + 1; j < n_; ++j) {
+      if (col_norms[j] > col_norms[best]) best = j;
+    }
+    if (best != k) {
+      for (std::size_t i = 0; i < m_; ++i) std::swap(qr_(i, k), qr_(i, best));
+      std::swap(col_norms[k], col_norms[best]);
+      std::swap(pivot_[k], pivot_[best]);
+    }
+
+    // Householder vector for column k: reflect x -> -sign(x0)||x|| e1.
+    double norm_sq = 0.0;
+    for (std::size_t i = k; i < m_; ++i) norm_sq += qr_(i, k) * qr_(i, k);
+    const double norm = std::sqrt(norm_sq);
+    if (norm == 0.0) {
+      tau_[k] = 0.0;
+      continue;
+    }
+    const double alpha = qr_(k, k) >= 0.0 ? -norm : norm;
+    const double v0 = qr_(k, k) - alpha;
+    // v = (v0, x_{k+1..m})' scaled so v[0] = 1; tau = -v0 / alpha.
+    tau_[k] = -v0 / alpha;
+    const double inv_v0 = 1.0 / v0;
+    for (std::size_t i = k + 1; i < m_; ++i) qr_(i, k) *= inv_v0;
+    qr_(k, k) = alpha;
+
+    // Apply the reflector to the trailing columns:
+    // A_j -= tau * v (v' A_j), with v = (1, qr_(k+1..m, k)).
+    for (std::size_t j = k + 1; j < n_; ++j) {
+      double dot = qr_(k, j);
+      for (std::size_t i = k + 1; i < m_; ++i) {
+        dot += qr_(i, k) * qr_(i, j);
+      }
+      const double scale = tau_[k] * dot;
+      qr_(k, j) -= scale;
+      for (std::size_t i = k + 1; i < m_; ++i) {
+        qr_(i, j) -= scale * qr_(i, k);
+      }
+      // Downdate the column norm (recompute when cancellation bites).
+      col_norms[j] -= qr_(k, j) * qr_(k, j);
+      if (col_norms[j] < 1e-12 * std::abs(qr_(k, j))) {
+        col_norms[j] = 0.0;
+        for (std::size_t i = k + 1; i < m_; ++i) {
+          col_norms[j] += qr_(i, j) * qr_(i, j);
+        }
+      }
+    }
+    col_norms[k] = 0.0;
+  }
+
+  // Extract R and determine the numerical rank.
+  r_.resize(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i; j < n_; ++j) r_(i, j) = qr_(i, j);
+  }
+  const double head = std::abs(r_(0, 0));
+  rank_ = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (std::abs(r_(i, i)) > rank_tolerance * std::max(head, 1e-300)) {
+      ++rank_;
+    } else {
+      break;  // pivoting makes |R_ii| non-increasing
+    }
+  }
+}
+
+void QrFactorization::solve(std::span<const double> b,
+                            std::span<double> x) const {
+  UOI_CHECK_DIMS(b.size() == m_ && x.size() == n_, "QR solve size mismatch");
+  // y = Q' b: apply the reflectors in order.
+  Vector y(b.begin(), b.end());
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (tau_[k] == 0.0) continue;
+    double dot = y[k];
+    for (std::size_t i = k + 1; i < m_; ++i) dot += qr_(i, k) * y[i];
+    const double scale = tau_[k] * dot;
+    y[k] -= scale;
+    for (std::size_t i = k + 1; i < m_; ++i) y[i] -= scale * qr_(i, k);
+  }
+  // Back-substitute R(0..rank, 0..rank) z = y(0..rank); zero the rest.
+  Vector z(n_, 0.0);
+  for (std::size_t ii = rank_; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t j = i + 1; j < rank_; ++j) sum -= r_(i, j) * z[j];
+    z[i] = sum / r_(i, i);
+  }
+  // Undo the pivoting.
+  std::fill(x.begin(), x.end(), 0.0);
+  for (std::size_t k = 0; k < n_; ++k) x[pivot_[k]] = z[k];
+}
+
+Vector qr_least_squares(ConstMatrixView a, std::span<const double> b,
+                        double rank_tolerance) {
+  const QrFactorization factor(a, rank_tolerance);
+  Vector x(a.cols());
+  factor.solve(b, x);
+  return x;
+}
+
+}  // namespace uoi::linalg

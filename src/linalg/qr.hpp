@@ -1,0 +1,54 @@
+#pragma once
+// Householder QR with column pivoting: the rank-revealing least-squares
+// solver used as the OLS fallback when a bootstrap sample's Gram matrix is
+// singular (duplicated rows, collinear support columns). Solves
+// min ||A x - b||_2 with the minimum-norm-ish convention of zeroing the
+// coefficients of columns beyond the numerical rank.
+
+#include <cstdint>
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace uoi::linalg {
+
+class QrFactorization {
+ public:
+  /// Factors A (m x n, m >= n) as A P = Q R with column pivoting;
+  /// `rank_tolerance` is relative to the largest diagonal of R.
+  explicit QrFactorization(ConstMatrixView a, double rank_tolerance = 1e-10);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return m_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return n_; }
+
+  /// Numerical rank (count of |R_ii| above tolerance * |R_00|).
+  [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+
+  /// Least-squares solve: x minimizes ||A x - b||; coefficients of
+  /// columns beyond the numerical rank are set to zero.
+  void solve(std::span<const double> b, std::span<double> x) const;
+
+  /// The upper-triangular factor R (n x n; rows below the rank are junk).
+  [[nodiscard]] const Matrix& r() const noexcept { return r_; }
+
+  /// Column permutation: column `pivot()[k]` of A is column k of A P.
+  [[nodiscard]] std::span<const std::size_t> pivot() const {
+    return pivot_;
+  }
+
+ private:
+  std::size_t m_;
+  std::size_t n_;
+  std::size_t rank_ = 0;
+  Matrix qr_;  // Householder vectors below the diagonal, R on/above
+  Matrix r_;
+  Vector tau_;
+  std::vector<std::size_t> pivot_;
+};
+
+/// One-shot least squares via pivoted QR.
+[[nodiscard]] Vector qr_least_squares(ConstMatrixView a,
+                                      std::span<const double> b,
+                                      double rank_tolerance = 1e-10);
+
+}  // namespace uoi::linalg

@@ -1,0 +1,166 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uoi::linalg {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), row_offsets_(rows + 1, 0) {}
+
+SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                         std::vector<Triplet> triplets) {
+  for (const auto& t : triplets) {
+    UOI_CHECK_DIMS(t.row < rows && t.col < cols, "triplet out of range");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  SparseMatrix out(rows, cols);
+  out.col_indices_.reserve(triplets.size());
+  out.values_.reserve(triplets.size());
+  std::size_t current_row = 0;
+  for (std::size_t i = 0; i < triplets.size();) {
+    const std::size_t r = triplets[i].row;
+    const std::size_t c = triplets[i].col;
+    double v = 0.0;
+    while (i < triplets.size() && triplets[i].row == r &&
+           triplets[i].col == c) {
+      v += triplets[i].value;
+      ++i;
+    }
+    while (current_row < r) out.row_offsets_[++current_row] = out.values_.size();
+    out.col_indices_.push_back(c);
+    out.values_.push_back(v);
+  }
+  while (current_row < rows) out.row_offsets_[++current_row] = out.values_.size();
+  return out;
+}
+
+SparseMatrix SparseMatrix::from_dense(const Matrix& dense, double tolerance) {
+  SparseMatrix out(dense.rows(), dense.cols());
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      const double v = dense(r, c);
+      if (std::abs(v) > tolerance) {
+        out.col_indices_.push_back(c);
+        out.values_.push_back(v);
+      }
+    }
+    out.row_offsets_[r + 1] = out.values_.size();
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::block_diagonal(ConstMatrixView block,
+                                          std::size_t count) {
+  SparseMatrix out(block.rows() * count, block.cols() * count);
+  out.col_indices_.reserve(block.rows() * block.cols() * count);
+  out.values_.reserve(block.rows() * block.cols() * count);
+  std::size_t out_row = 0;
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::size_t col_base = b * block.cols();
+    for (std::size_t r = 0; r < block.rows(); ++r, ++out_row) {
+      const auto row = block.row(r);
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (row[c] != 0.0) {
+          out.col_indices_.push_back(col_base + c);
+          out.values_.push_back(row[c]);
+        }
+      }
+      out.row_offsets_[out_row + 1] = out.values_.size();
+    }
+  }
+  return out;
+}
+
+double SparseMatrix::sparsity() const noexcept {
+  const double total = static_cast<double>(rows_) * static_cast<double>(cols_);
+  if (total == 0.0) return 0.0;
+  return 1.0 - static_cast<double>(nnz()) / total;
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+  UOI_CHECK_DIMS(r < rows_ && c < cols_, "sparse index out of range");
+  const auto begin = col_indices_.begin() + static_cast<std::ptrdiff_t>(row_offsets_[r]);
+  const auto end = col_indices_.begin() + static_cast<std::ptrdiff_t>(row_offsets_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_indices_.begin())];
+}
+
+void SparseMatrix::gemv(double alpha, std::span<const double> x, double beta,
+                        std::span<double> y) const {
+  UOI_CHECK_DIMS(x.size() == cols_, "sparse gemv: x size mismatch");
+  UOI_CHECK_DIMS(y.size() == rows_, "sparse gemv: y size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      acc += values_[k] * x[col_indices_[k]];
+    }
+    y[r] = beta * y[r] + alpha * acc;
+  }
+}
+
+void SparseMatrix::gemv_transposed(double alpha, std::span<const double> x,
+                                   double beta, std::span<double> y) const {
+  UOI_CHECK_DIMS(x.size() == rows_, "sparse gemv_t: x size mismatch");
+  UOI_CHECK_DIMS(y.size() == cols_, "sparse gemv_t: y size mismatch");
+  if (beta == 0.0) {
+    std::fill(y.begin(), y.end(), 0.0);
+  } else if (beta != 1.0) {
+    for (auto& v : y) v *= beta;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = alpha * x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      y[col_indices_[k]] += xr * values_[k];
+    }
+  }
+}
+
+Matrix SparseMatrix::gram() const {
+  Matrix g(cols_, cols_);
+  // G += a_r' a_r for each sparse row a_r.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = row_offsets_[r]; i < row_offsets_[r + 1]; ++i) {
+      const double vi = values_[i];
+      const std::size_t ci = col_indices_[i];
+      for (std::size_t j = i; j < row_offsets_[r + 1]; ++j) {
+        g(ci, col_indices_[j]) += vi * values_[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      out(r, col_indices_[k]) = values_[k];
+    }
+  }
+  return out;
+}
+
+void SparseMatrix::append_row(std::span<const std::size_t> cols,
+                              std::span<const double> values) {
+  UOI_CHECK_DIMS(cols.size() == values.size(), "append_row length mismatch");
+  UOI_CHECK(std::is_sorted(cols.begin(), cols.end()),
+            "append_row requires sorted columns");
+  if (!cols.empty()) {
+    UOI_CHECK_DIMS(cols.back() < cols_, "append_row column out of range");
+  }
+  col_indices_.insert(col_indices_.end(), cols.begin(), cols.end());
+  values_.insert(values_.end(), values.begin(), values.end());
+  row_offsets_.push_back(values_.size());
+  ++rows_;
+}
+
+}  // namespace uoi::linalg

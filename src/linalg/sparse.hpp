@@ -1,0 +1,85 @@
+#pragma once
+// Compressed sparse row (CSR) matrix and the kernels the sparse LASSO-ADMM
+// path needs. The UoI_VAR design matrix I (x) X is block diagonal with
+// sparsity exactly 1 - 1/p (paper §IV-B1), so the VAR solver runs on this
+// representation instead of a dense matrix.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace uoi::linalg {
+
+/// A (row, col, value) entry used to assemble sparse matrices.
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Empty rows x cols matrix (no stored entries).
+  SparseMatrix(std::size_t rows, std::size_t cols);
+
+  /// Builds from unordered triplets; duplicate (row, col) entries are summed.
+  static SparseMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                    std::vector<Triplet> triplets);
+
+  /// Compresses a dense matrix, dropping entries with |v| <= tolerance.
+  static SparseMatrix from_dense(const Matrix& dense, double tolerance = 0.0);
+
+  /// Block-diagonal matrix with `count` copies of `block` (i.e. I (x) block).
+  static SparseMatrix block_diagonal(ConstMatrixView block, std::size_t count);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
+
+  /// Fraction of entries that are zero: 1 - nnz / (rows * cols).
+  [[nodiscard]] double sparsity() const noexcept;
+
+  /// Element lookup (binary search within the row); zero when not stored.
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// y = alpha * A x + beta * y
+  void gemv(double alpha, std::span<const double> x, double beta,
+            std::span<double> y) const;
+
+  /// y = alpha * A' x + beta * y
+  void gemv_transposed(double alpha, std::span<const double> x, double beta,
+                       std::span<double> y) const;
+
+  /// Dense Gram matrix A' A (used when cols is small enough to densify).
+  [[nodiscard]] Matrix gram() const;
+
+  /// Densifies; for tests and small problems only.
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// CSR internals (exposed for the distributed assembly path).
+  [[nodiscard]] std::span<const std::size_t> row_offsets() const {
+    return row_offsets_;
+  }
+  [[nodiscard]] std::span<const std::size_t> col_indices() const {
+    return col_indices_;
+  }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+
+  /// Appends a fully-formed row (sorted column indices). Rows must be
+  /// appended in order; used by streaming assembly.
+  void append_row(std::span<const std::size_t> cols,
+                  std::span<const double> values);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_offsets_{0};
+  std::vector<std::size_t> col_indices_;
+  std::vector<double> values_;
+};
+
+}  // namespace uoi::linalg

@@ -1,0 +1,69 @@
+#include "perfmodel/collectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uoi::perf {
+
+namespace {
+double log2_ceil(std::uint64_t p) {
+  return p <= 1 ? 0.0 : std::ceil(std::log2(static_cast<double>(p)));
+}
+}  // namespace
+
+double allreduce_time(const MachineProfile& m, std::uint64_t p,
+                      std::uint64_t bytes) {
+  if (p <= 1) return 0.0;
+  const double stages = log2_ceil(p);
+  const double n = static_cast<double>(bytes);
+  const double pd = static_cast<double>(p);
+  const double alpha_beta =
+      2.0 * stages * m.allreduce_alpha +
+      2.0 * n * (pd - 1.0) / pd / m.network_bandwidth;
+  const double straggler = m.straggler_coeff * std::pow(pd, 1.5);
+  return alpha_beta + straggler;
+}
+
+MinMaxTime allreduce_minmax(const MachineProfile& m, std::uint64_t p,
+                            std::uint64_t bytes) {
+  const double mean = allreduce_time(m, p, bytes);
+  const double spread =
+      std::min(0.9, m.jitter_fraction * log2_ceil(p) / 18.0);
+  return {mean * (1.0 - spread), mean, mean * (1.0 + 2.5 * spread)};
+}
+
+double allreduce_ring_time(const MachineProfile& m, std::uint64_t p,
+                           std::uint64_t bytes) {
+  if (p <= 1) return 0.0;
+  const double pd = static_cast<double>(p);
+  const double n = static_cast<double>(bytes);
+  const double alpha_beta =
+      2.0 * (pd - 1.0) * m.allreduce_alpha +
+      2.0 * n * (pd - 1.0) / pd / m.network_bandwidth;
+  // The straggler term hits a ring harder: every stage is a full
+  // dependency chain around the machine.
+  const double straggler = 2.0 * m.straggler_coeff * std::pow(pd, 1.5);
+  return alpha_beta + straggler;
+}
+
+double allreduce_best_time(const MachineProfile& m, std::uint64_t p,
+                           std::uint64_t bytes) {
+  return std::min(allreduce_time(m, p, bytes),
+                  allreduce_ring_time(m, p, bytes));
+}
+
+double bcast_time(const MachineProfile& m, std::uint64_t p,
+                  std::uint64_t bytes) {
+  if (p <= 1) return 0.0;
+  return log2_ceil(p) *
+         (m.allreduce_alpha +
+          static_cast<double>(bytes) / m.network_bandwidth);
+}
+
+double onesided_time(const MachineProfile& m, std::uint64_t bytes,
+                     std::uint64_t messages) {
+  return static_cast<double>(messages) * m.onesided_latency +
+         static_cast<double>(bytes) / m.onesided_bandwidth;
+}
+
+}  // namespace uoi::perf

@@ -1,0 +1,46 @@
+#include "perfmodel/emulation.hpp"
+
+#include "perfmodel/collectives.hpp"
+#include "support/error.hpp"
+
+namespace uoi::perf {
+
+uoi::sim::LatencyInjector make_profile_injector(const MachineProfile& profile,
+                                                std::uint64_t emulated_cores,
+                                                double time_scale) {
+  UOI_CHECK(emulated_cores >= 1, "need at least one emulated core");
+  UOI_CHECK(time_scale > 0.0, "time scale must be positive");
+  return [profile, emulated_cores, time_scale](
+             uoi::sim::CommCategory category, std::uint64_t bytes,
+             int /*comm_size*/) {
+    using uoi::sim::CommCategory;
+    double seconds = 0.0;
+    switch (category) {
+      case CommCategory::kAllreduce:
+      case CommCategory::kReduce:
+        seconds = allreduce_time(profile, emulated_cores, bytes);
+        break;
+      case CommCategory::kBcast:
+      case CommCategory::kGather:
+      case CommCategory::kAllgather:
+      case CommCategory::kScatter:
+        seconds = bcast_time(profile, emulated_cores, bytes);
+        break;
+      case CommCategory::kBarrier:
+        seconds = allreduce_time(profile, emulated_cores, 8);
+        break;
+      case CommCategory::kPointToPoint:
+        seconds = profile.allreduce_alpha +
+                  static_cast<double>(bytes) / profile.network_bandwidth;
+        break;
+      case CommCategory::kOneSided:
+        seconds = onesided_time(profile, bytes, 1);
+        break;
+      default:
+        break;
+    }
+    return seconds * time_scale;
+  };
+}
+
+}  // namespace uoi::perf

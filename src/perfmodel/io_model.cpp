@@ -1,0 +1,47 @@
+#include "perfmodel/io_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uoi::perf {
+
+double conventional_read_time(const MachineProfile& m, std::uint64_t bytes,
+                              std::uint64_t chunk_bytes) {
+  const double n_chunks =
+      chunk_bytes == 0
+          ? 1.0
+          : std::ceil(static_cast<double>(bytes) /
+                      static_cast<double>(chunk_bytes));
+  return n_chunks * m.chunk_reopen_latency +
+         static_cast<double>(bytes) / m.serial_read_bandwidth;
+}
+
+double conventional_distribute_time(const MachineProfile& m,
+                                    std::uint64_t bytes) {
+  return static_cast<double>(bytes) / m.root_scatter_bandwidth;
+}
+
+double randomized_read_time(const MachineProfile& m, std::uint64_t bytes,
+                            std::uint64_t cores, bool striped) {
+  if (!striped) {
+    return static_cast<double>(bytes) / m.unstriped_parallel_bandwidth;
+  }
+  // Aggregate bandwidth saturates at the OST array; adding cores beyond
+  // that only helps until the per-core slab becomes latency-bound.
+  const double aggregate =
+      std::min(m.striped_read_bandwidth,
+               static_cast<double>(cores) * 50e6);  // 50 MB/s per reader floor
+  return m.chunk_reopen_latency +
+         static_cast<double>(bytes) / aggregate;
+}
+
+double randomized_distribute_time(const MachineProfile& m,
+                                  std::uint64_t bytes, std::uint64_t cores) {
+  // Each core pushes its slab through its own NIC share; the fence /
+  // window-setup latency floors the operation at a few hundred ms.
+  const double per_core_bytes =
+      static_cast<double>(bytes) / static_cast<double>(std::max<std::uint64_t>(cores, 1));
+  return m.t2_latency + per_core_bytes / m.t2_percore_bandwidth;
+}
+
+}  // namespace uoi::perf

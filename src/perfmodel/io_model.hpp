@@ -1,0 +1,31 @@
+#pragma once
+// Analytic I/O + data-distribution costs, fit to Table II.
+
+#include <cstdint>
+
+#include "perfmodel/machine.hpp"
+
+namespace uoi::perf {
+
+/// Conventional single-reader chunked read: per-chunk reopen latency plus
+/// one serial stream (Table II left columns; ~0.1 GB/s effective).
+[[nodiscard]] double conventional_read_time(const MachineProfile& m,
+                                            std::uint64_t bytes,
+                                            std::uint64_t chunk_bytes);
+
+/// Conventional distribution: root scatters row blocks to all ranks.
+[[nodiscard]] double conventional_distribute_time(const MachineProfile& m,
+                                                  std::uint64_t bytes);
+
+/// Tier-1 parallel hyperslab read. `striped` follows Table II's footnote:
+/// the 16 GB dataset was not striped into OSTs and read ~100x slower.
+[[nodiscard]] double randomized_read_time(const MachineProfile& m,
+                                          std::uint64_t bytes,
+                                          std::uint64_t cores, bool striped);
+
+/// Tier-2 one-sided random redistribution across `cores` ranks.
+[[nodiscard]] double randomized_distribute_time(const MachineProfile& m,
+                                                std::uint64_t bytes,
+                                                std::uint64_t cores);
+
+}  // namespace uoi::perf

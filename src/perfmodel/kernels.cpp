@@ -1,0 +1,41 @@
+#include "perfmodel/kernels.hpp"
+
+namespace uoi::perf {
+
+double gemm_time(const MachineProfile& m, std::uint64_t mm, std::uint64_t kk,
+                 std::uint64_t nn, std::uint64_t panel_bytes) {
+  const double flops = 2.0 * static_cast<double>(mm) *
+                       static_cast<double>(kk) * static_cast<double>(nn);
+  double rate = m.gemm_gflops * 1e9;
+  if (panel_bytes <= static_cast<std::uint64_t>(m.cache_panel_bytes)) {
+    rate *= m.cache_boost;
+  }
+  return flops / rate;
+}
+
+double gemv_time(const MachineProfile& m, std::uint64_t mm, std::uint64_t nn) {
+  const double flops =
+      2.0 * static_cast<double>(mm) * static_cast<double>(nn);
+  return flops / (m.gemv_gflops * 1e9);
+}
+
+double trsv_time(const MachineProfile& m, std::uint64_t nn) {
+  const double flops = 2.0 * static_cast<double>(nn) * static_cast<double>(nn);
+  return flops / (m.trsv_gflops * 1e9);
+}
+
+double cholesky_time(const MachineProfile& m, std::uint64_t nn) {
+  const double flops = static_cast<double>(nn) * static_cast<double>(nn) *
+                       static_cast<double>(nn) / 3.0;
+  return flops / (m.gemm_gflops * 1e9);
+}
+
+double spmv_time(const MachineProfile& m, std::uint64_t nnz) {
+  return 2.0 * static_cast<double>(nnz) / (m.sparse_mv_gflops * 1e9);
+}
+
+double spmm_time(const MachineProfile& m, std::uint64_t flops) {
+  return static_cast<double>(flops) / (m.sparse_mm_gflops * 1e9);
+}
+
+}  // namespace uoi::perf

@@ -1,0 +1,33 @@
+#pragma once
+// Analytic compute-kernel costs using the paper's measured rates.
+
+#include <cstdint>
+
+#include "perfmodel/machine.hpp"
+
+namespace uoi::perf {
+
+/// Dense C = A(m x k) B(k x n). `panel_bytes` (per-core working set)
+/// triggers the strong-scaling cache boost when it fits.
+[[nodiscard]] double gemm_time(const MachineProfile& m, std::uint64_t mm,
+                               std::uint64_t kk, std::uint64_t nn,
+                               std::uint64_t panel_bytes = ~0ULL);
+
+/// Dense y = A(m x n) x.
+[[nodiscard]] double gemv_time(const MachineProfile& m, std::uint64_t mm,
+                               std::uint64_t nn);
+
+/// One forward+backward triangular solve with an n x n factor.
+[[nodiscard]] double trsv_time(const MachineProfile& m, std::uint64_t nn);
+
+/// Dense Cholesky factorization of an n x n SPD matrix (runs at the gemm
+/// rate; it is blocked in practice).
+[[nodiscard]] double cholesky_time(const MachineProfile& m, std::uint64_t nn);
+
+/// Sparse mat-vec with `nnz` stored entries.
+[[nodiscard]] double spmv_time(const MachineProfile& m, std::uint64_t nnz);
+
+/// Sparse mat-mat style traversal over `nnz` entries (Gram assembly).
+[[nodiscard]] double spmm_time(const MachineProfile& m, std::uint64_t flops);
+
+}  // namespace uoi::perf

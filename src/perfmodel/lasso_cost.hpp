@@ -1,0 +1,78 @@
+#pragma once
+// Analytic runtime model of distributed UoI_LASSO (paper §IV-A).
+//
+// Mirrors the algorithm's phase structure exactly:
+//   data I/O  -> T1 parallel striped read of the dataset;
+//   distribution -> T2 one-sided randomized redistribution (selection +
+//                   estimation reshuffles);
+//   computation -> per (bootstrap, lambda) task, the consensus-ADMM setup
+//                  (local Gram + Cholesky, Woodbury when rows < features)
+//                  plus per-iteration solves at the paper's measured
+//                  kernel rates;
+//   communication -> two Allreduces per ADMM iteration (the p-length
+//                    consensus reduction + the 3-scalar residual check).
+//
+// This reproduces the weak/strong scaling *shapes* of Figs. 4-6: flat
+// compute under weak scaling (fixed bytes/core), Allreduce growth with
+// log2(P) plus the straggler term, and the superlinear compute drop in
+// strong scaling once the per-core panel fits cache.
+
+#include <cstdint>
+#include <vector>
+
+#include "perfmodel/machine.hpp"
+
+namespace uoi::perf {
+
+/// Runtime split into the paper's four buckets (Figs. 2, 4, 6, 7, 9, 10).
+struct RuntimeBreakdown {
+  double computation = 0.0;
+  double communication = 0.0;
+  double distribution = 0.0;
+  double data_io = 0.0;
+  [[nodiscard]] double total() const {
+    return computation + communication + distribution + data_io;
+  }
+};
+
+struct UoiLassoWorkload {
+  std::uint64_t data_bytes = 16ULL << 30;
+  std::uint64_t n_features = 20101;  ///< fixed across the paper's datasets
+  std::size_t b1 = 5;
+  std::size_t b2 = 5;
+  std::size_t q = 8;
+  std::size_t admm_iterations = 50;  ///< effective iterations to converge
+  std::size_t avg_support = 64;      ///< mean candidate-support size (est.)
+  bool striped = true;               ///< Table II: 16 GB was not striped
+
+  /// Samples implied by the on-disk layout: rows x (features + 1 response).
+  [[nodiscard]] std::uint64_t n_samples() const {
+    return data_bytes / (sizeof(double) * (n_features + 1));
+  }
+};
+
+class UoiLassoCostModel {
+ public:
+  explicit UoiLassoCostModel(MachineProfile profile = knl_profile())
+      : m_(profile) {}
+
+  /// Full-run breakdown on `cores` ranks with a P_B x P_lambda x C layout.
+  [[nodiscard]] RuntimeBreakdown run(const UoiLassoWorkload& w,
+                                     std::uint64_t cores, std::size_t pb = 1,
+                                     std::size_t pl = 1) const;
+
+  [[nodiscard]] const MachineProfile& profile() const noexcept { return m_; }
+
+ private:
+  MachineProfile m_;
+};
+
+/// The paper's Table I configuration grid.
+struct ScalingPoint {
+  std::uint64_t data_gb;
+  std::uint64_t cores;
+};
+[[nodiscard]] std::vector<ScalingPoint> table1_lasso_weak_scaling();
+[[nodiscard]] std::vector<ScalingPoint> table1_lasso_strong_scaling();
+
+}  // namespace uoi::perf

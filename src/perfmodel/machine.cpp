@@ -1,0 +1,7 @@
+#include "perfmodel/machine.hpp"
+
+namespace uoi::perf {
+
+MachineProfile knl_profile() { return MachineProfile{}; }
+
+}  // namespace uoi::perf

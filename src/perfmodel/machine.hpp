@@ -1,0 +1,69 @@
+#pragma once
+// Machine profile for the analytic performance model (DESIGN.md §5.4).
+//
+// The functional benchmarks measure real time at laptop scale; this profile
+// extrapolates to the paper's scale (Cori KNL, up to 278,528 cores). Every
+// constant is either (a) measured by the paper itself (the kernel rates in
+// §IV-A1/§IV-B1), (b) fit to a number the paper reports (Table II read
+// times, the §VI application runtimes), or (c) a standard Cori-class
+// hardware figure. The provenance is noted next to each field.
+
+#include <cstdint>
+
+namespace uoi::perf {
+
+struct MachineProfile {
+  // ---- Compute kernel rates (paper §IV-A1, §IV-B1: Intel Advisor) ----
+  double gemm_gflops = 30.83;       ///< dense MM, AI 3.59 (paper-measured)
+  double gemv_gflops = 1.12;        ///< dense MV, AI 0.32 (paper-measured)
+  double trsv_gflops = 0.011;       ///< triangular solve (paper-measured)
+  double sparse_mm_gflops = 1.08;   ///< sparse MM, AI 0.15 (paper-measured)
+  double sparse_mv_gflops = 2.08;   ///< sparse MV, AI 0.33 (paper-measured)
+
+  // ---- Strong-scaling superlinearity (paper §IV-A4) ----
+  /// gemm rate multiplier once the per-core panel fits in MCDRAM-backed
+  /// cache; models the AVX-512 + reduced-DRAM effect at 139,264 cores.
+  double cache_boost = 1.6;
+  double cache_panel_bytes = 8.0e6;
+
+  // ---- Collectives (alpha-beta + straggler term) ----
+  double allreduce_alpha = 15e-6;   ///< per-stage latency (Cori Aries class)
+  double network_bandwidth = 8e9;   ///< B/s per rank into the reduction
+  /// Straggler/variability coefficient: the §VI application runtimes imply
+  /// per-call Allreduce cost growing ~ P^1.5 at scale (1598.7 s at 81,600
+  /// cores vs 4.74 s at 2,176 cores with comparable call counts); this
+  /// constant is fit to the neuroscience point.
+  double straggler_coeff = 5e-10;   ///< seconds per P^1.5 per call
+  /// Relative T_max/T_min spread of one Allreduce (Fig. 5): grows with
+  /// log2(P) times this factor.
+  double jitter_fraction = 0.35;
+
+  // ---- One-sided (window) traffic ----
+  double onesided_latency = 3e-6;   ///< per get/put
+  double onesided_bandwidth = 6e9;  ///< B/s through one window target
+
+  // ---- File system (Lustre-like; fit to Table II) ----
+  double serial_read_bandwidth = 0.095e9;   ///< conventional single stream
+  double chunk_reopen_latency = 5e-3;       ///< per-chunk open+seek
+  double striped_read_bandwidth = 150e9;    ///< aggregate, 160-OST striping
+  double unstriped_parallel_bandwidth = 1.4e9;  ///< Table II's 16 GB footnote
+  double root_scatter_bandwidth = 6.4e9;    ///< conventional distribution
+  double t2_percore_bandwidth = 10e6;       ///< randomized T2, per core
+  double t2_latency = 0.25;                 ///< window setup + fences
+  int n_osts = 160;
+
+  // ---- Distributed Kronecker/vectorization hotspot (fit to §VI) ----
+  /// Distribution time ~ coeff * problem_bytes * P / n_readers-normalized;
+  /// fit to the neuroscience point (3034.4 s, 1.3 TB-class problem,
+  /// 81,600 cores), cross-checked against the S&P point (16.4 s).
+  double kron_hotspot_coeff = 1.28e-14;     ///< s per (byte * rank)
+
+  // ---- Topology ----
+  int cores_per_node = 68;          ///< KNL node (Table I uses multiples)
+  std::uint64_t node_dram_bytes = 96ULL << 30;  ///< 96 GB DDR per node
+};
+
+/// The Cori-KNL-calibrated profile used by all paper-replication benches.
+[[nodiscard]] MachineProfile knl_profile();
+
+}  // namespace uoi::perf

@@ -1,0 +1,41 @@
+#include "perfmodel/roofline.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace uoi::perf {
+
+double RooflinePlatform::attainable_gflops(double ai) const {
+  UOI_CHECK(ai > 0.0, "arithmetic intensity must be positive");
+  return std::min(peak_gflops, ai * dram_bandwidth_gbs);
+}
+
+double RooflinePlatform::ridge_point() const {
+  return peak_gflops / dram_bandwidth_gbs;
+}
+
+RooflinePlatform knl_node() { return {2600.0, 90.0, 450.0}; }
+
+std::vector<KernelPoint> paper_kernel_points() {
+  return {
+      {"dense mat-mat (MKL gemm)", 30.83, 3.59},
+      {"dense mat-vec (MKL gemv)", 1.12, 0.32},
+      {"triangular solve", 0.011, 0.075},
+      {"sparse mat-mat (Eigen)", 1.08, 0.15},
+      {"sparse mat-vec (Eigen)", 2.08, 0.33},
+  };
+}
+
+bool is_memory_bound(const RooflinePlatform& platform,
+                     const KernelPoint& kernel) {
+  return kernel.arithmetic_intensity < platform.ridge_point();
+}
+
+double roofline_efficiency(const RooflinePlatform& platform,
+                           const KernelPoint& kernel) {
+  return kernel.measured_gflops /
+         platform.attainable_gflops(kernel.arithmetic_intensity);
+}
+
+}  // namespace uoi::perf

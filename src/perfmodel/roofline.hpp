@@ -1,0 +1,48 @@
+#pragma once
+// Roofline model (Williams et al.), as used by the paper's single-node
+// analysis with Intel Advisor (§IV-A1): a kernel with arithmetic
+// intensity AI attains min(peak_flops, AI * memory_bandwidth). The paper
+// reports each kernel's (GFLOPS, AI) pair and classifies all of them as
+// DRAM-memory-bound; this module reproduces that classification and the
+// attainable-performance arithmetic.
+
+#include <string>
+#include <vector>
+
+namespace uoi::perf {
+
+struct RooflinePlatform {
+  double peak_gflops;           ///< compute ceiling
+  double dram_bandwidth_gbs;    ///< DRAM roof (GB/s)
+  double cache_bandwidth_gbs;   ///< MCDRAM/L2 roof (GB/s)
+
+  /// Attainable GFLOPS at the given arithmetic intensity (FLOPs/byte)
+  /// under the DRAM roof.
+  [[nodiscard]] double attainable_gflops(double ai) const;
+
+  /// AI below which a kernel is DRAM-bandwidth bound.
+  [[nodiscard]] double ridge_point() const;
+};
+
+/// A KNL-node-like platform (68 cores, AVX-512, MCDRAM): ~2,600 GFLOPS
+/// FP64 peak, ~90 GB/s DDR, ~450 GB/s MCDRAM.
+[[nodiscard]] RooflinePlatform knl_node();
+
+struct KernelPoint {
+  std::string name;
+  double measured_gflops;
+  double arithmetic_intensity;
+};
+
+/// The paper's measured kernel points (§IV-A1, §IV-B1).
+[[nodiscard]] std::vector<KernelPoint> paper_kernel_points();
+
+/// True when the kernel sits under the bandwidth slope (memory bound).
+[[nodiscard]] bool is_memory_bound(const RooflinePlatform& platform,
+                                   const KernelPoint& kernel);
+
+/// Fraction of the attainable roof the kernel achieves (0..1+).
+[[nodiscard]] double roofline_efficiency(const RooflinePlatform& platform,
+                                         const KernelPoint& kernel);
+
+}  // namespace uoi::perf

@@ -1,0 +1,109 @@
+#include "perfmodel/var_cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "perfmodel/collectives.hpp"
+#include "perfmodel/io_model.hpp"
+#include "support/error.hpp"
+
+namespace uoi::perf {
+
+UoiVarWorkload UoiVarWorkload::from_problem_gb(double gb) {
+  // bytes = 8 (N-d) p * dp * p with N = 2p, d = 1 collapses (for the
+  // paper's accounting) to ~8 p^4; solve p = (bytes / 8 / 2)^(1/4) * 2^(1/4)
+  // — numerically we just invert the exact expression by bisection.
+  const double target = gb * 1e9;
+  std::uint64_t lo = 4, hi = 4096;
+  while (lo + 1 < hi) {
+    const std::uint64_t mid = (lo + hi) / 2;
+    UoiVarWorkload probe;
+    probe.n_features = mid;
+    probe.n_samples = mid + 1;  // the paper's accounting: (N - d) = p
+    if (static_cast<double>(probe.problem_bytes()) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  UoiVarWorkload out;
+  out.n_features = hi;
+  out.n_samples = hi + 1;
+  return out;
+}
+
+RuntimeBreakdown UoiVarCostModel::run(const UoiVarWorkload& w,
+                                      std::uint64_t cores, std::size_t pb,
+                                      std::size_t pl) const {
+  UOI_CHECK(cores >= pb * pl, "fewer cores than task groups");
+  const std::uint64_t c_ranks = cores / (pb * pl);
+
+  const auto ceil_div = [](std::size_t a, std::size_t b) {
+    return (a + b - 1) / b;
+  };
+  const std::size_t sel_tasks = ceil_div(w.b1, pb) * ceil_div(w.q, pl);
+  const std::size_t est_tasks = ceil_div(w.b2, pb) * ceil_div(w.q, pl);
+  const std::size_t tasks = sel_tasks + est_tasks;
+
+  RuntimeBreakdown out;
+
+  // ---- computation ----
+  // Per-core work tracks the per-core share of the dense problem footprint
+  // (this is what makes the paper's weak scaling, fixed bytes/core, flat).
+  const double bytes_per_core =
+      static_cast<double>(w.problem_bytes()) / static_cast<double>(c_ranks);
+  out.computation =
+      bytes_per_core * static_cast<double>(tasks) / kTaskPassBandwidth;
+
+  // ---- communication ----
+  // Two Allreduces per ADMM iteration over the task group: the dp^2-length
+  // consensus vector ("1M parameters" at p = 1000) + the residual scalars.
+  const std::uint64_t consensus_bytes = w.n_coefficients() * sizeof(double);
+  const double per_iter =
+      allreduce_time(m_, c_ranks, consensus_bytes) +
+      allreduce_time(m_, c_ranks, 3 * sizeof(double));
+  out.communication =
+      static_cast<double>(tasks * w.admm_iterations) * per_iter;
+  // Global support-intersection / averaging reductions.
+  out.communication +=
+      allreduce_time(m_, cores, w.q * consensus_bytes) +
+      allreduce_time(m_, cores, consensus_bytes);
+
+  // ---- distribution: the Kronecker/vectorization hotspot ----
+  // A handful of readers serve every compute rank. The base term is the
+  // sparse payload through the readers' links; the hotspot term (fit to
+  // the neuroscience run) grows with problem_bytes x cores and dominates
+  // at >= 2 TB, exactly the trade-off Fig. 9 shows. One assembly runs per
+  // selection bootstrap handled by a task group.
+  const std::size_t assemblies = ceil_div(w.b1, pb);
+  const double payload = static_cast<double>(w.design_nnz()) * sizeof(double);
+  const double base =
+      payload / (static_cast<double>(w.n_readers) * m_.onesided_bandwidth);
+  const double hotspot = m_.kron_hotspot_coeff *
+                         static_cast<double>(w.problem_bytes()) *
+                         static_cast<double>(c_ranks);
+  // kron_hotspot_coeff was fit to a full B1-bootstrap run, so (base +
+  // hotspot) represents all B1 assemblies; a task group only performs its
+  // own `assemblies` share (P_B parallelism shrinks distribution, Fig. 8).
+  out.distribution = static_cast<double>(assemblies) *
+                     ((base + hotspot) / static_cast<double>(w.b1));
+
+  // ---- data I/O: the raw series is tiny; a few readers load it ----
+  const std::uint64_t series_bytes =
+      w.n_samples * w.n_features * sizeof(double);
+  out.data_io = randomized_read_time(m_, series_bytes, w.n_readers,
+                                     /*striped=*/false);
+
+  return out;
+}
+
+std::vector<ScalingPoint> table1_var_weak_scaling() {
+  return {{128, 2176},   {256, 4352},   {512, 8704},   {1024, 17408},
+          {2048, 34816}, {4096, 69632}, {8192, 139264}};
+}
+
+std::vector<ScalingPoint> table1_var_strong_scaling() {
+  return {{1024, 4352}, {1024, 8704}, {1024, 17408}, {1024, 34816}};
+}
+
+}  // namespace uoi::perf

@@ -1,0 +1,91 @@
+#pragma once
+// Analytic runtime model of distributed UoI_VAR (paper §IV-B, §VI).
+//
+// The defining property (paper §III-A): the input series is tiny, but the
+// vectorized problem explodes — the paper's "problem size" accounting is
+// the dense footprint of (I (x) X), i.e. 8 * (N-d)p * dp^2 bytes, which
+// reproduces Table I exactly (p = 356 -> 128 GB, p = 1000 -> 8 TB with
+// N = 2p, d = 1).
+//
+// Buckets:
+//   computation  — per-core work proportional to the per-core share of the
+//                  dense problem footprint times the number of
+//                  (bootstrap x lambda) tasks the core's group executes;
+//                  calibrated to the paper's S&P-470 run (376.87 s on
+//                  2,176 cores) and cross-checked on the neuroscience run
+//                  (96.9 s on 81,600 cores; model lands within 2x);
+//   communication — consensus Allreduces of the dp^2-length coefficient
+//                  vector (1M parameters at p = 1000), with the straggler
+//                  term that dominates at 10^4+ ranks;
+//   distribution — the distributed Kronecker/vectorization hotspot: few
+//                  readers serving every compute rank; time grows with
+//                  problem_bytes x cores (fit to the neuroscience run's
+//                  3,034 s; the S&P run's 16.4 s lands within 4x).
+
+#include <cstdint>
+#include <vector>
+
+#include "perfmodel/lasso_cost.hpp"  // RuntimeBreakdown, ScalingPoint
+#include "perfmodel/machine.hpp"
+
+namespace uoi::perf {
+
+struct UoiVarWorkload {
+  std::uint64_t n_features = 356;  ///< p
+  std::uint64_t n_samples = 712;   ///< N (Table I uses N = 2p)
+  std::size_t order = 1;           ///< d
+  std::size_t b1 = 30;             ///< weak-scaling hyperparameters (§IV-B3)
+  std::size_t b2 = 20;
+  std::size_t q = 20;
+  std::size_t admm_iterations = 50;
+  std::size_t n_readers = 32;      ///< reader ranks holding (X, Y)
+
+  [[nodiscard]] std::uint64_t lag_rows() const {
+    return n_samples - order;
+  }
+  /// Dense footprint of (I (x) X): the paper's "problem size".
+  [[nodiscard]] std::uint64_t problem_bytes() const {
+    return 8ULL * lag_rows() * n_features * (order * n_features) * n_features;
+  }
+  /// Stored nonzeros of the sparse representation.
+  [[nodiscard]] std::uint64_t design_nnz() const {
+    return lag_rows() * n_features * (order * n_features);
+  }
+  /// Length of the consensus coefficient vector (d p^2 parameters).
+  [[nodiscard]] std::uint64_t n_coefficients() const {
+    return order * n_features * n_features;
+  }
+  /// Sparsity of I (x) X (paper §IV-B1): 1 - 1/p.
+  [[nodiscard]] double design_sparsity() const {
+    return 1.0 - 1.0 / static_cast<double>(n_features);
+  }
+
+  /// Inverts the paper's problem-size accounting (8 p^4 with N = 2p,
+  /// d = 1): 128 GB -> p = 356, 8 TB -> p = 1000.
+  static UoiVarWorkload from_problem_gb(double gb);
+};
+
+class UoiVarCostModel {
+ public:
+  explicit UoiVarCostModel(MachineProfile profile = knl_profile())
+      : m_(profile) {}
+
+  [[nodiscard]] RuntimeBreakdown run(const UoiVarWorkload& w,
+                                     std::uint64_t cores, std::size_t pb = 1,
+                                     std::size_t pl = 1) const;
+
+  [[nodiscard]] const MachineProfile& profile() const noexcept { return m_; }
+
+  /// Effective per-core pipeline bandwidth (bytes of dense problem
+  /// processed per second per task); calibrated to the S&P-470 run.
+  static constexpr double kTaskPassBandwidth = 2.0e8;
+
+ private:
+  MachineProfile m_;
+};
+
+/// Table I grids for UoI_VAR.
+[[nodiscard]] std::vector<ScalingPoint> table1_var_weak_scaling();
+[[nodiscard]] std::vector<ScalingPoint> table1_var_strong_scaling();
+
+}  // namespace uoi::perf

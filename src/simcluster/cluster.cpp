@@ -1,0 +1,48 @@
+#include "simcluster/cluster.hpp"
+
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "simcluster/context.hpp"
+#include "support/error.hpp"
+
+namespace uoi::sim {
+
+std::vector<CommStats> Cluster::run_collect_stats(
+    int n_ranks, const std::function<void(Comm&)>& spmd) {
+  UOI_CHECK(n_ranks >= 1, "cluster needs at least one rank");
+  auto context = std::make_shared<detail::Context>(n_ranks);
+  std::vector<CommStats> stats(static_cast<std::size_t>(n_ranks));
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto rank_main = [&](int rank) {
+    Comm comm(context, rank);
+    try {
+      spmd(comm);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+    stats[static_cast<std::size_t>(rank)] = comm.stats();
+  };
+
+  if (n_ranks == 1) {
+    rank_main(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n_ranks));
+    for (int r = 0; r < n_ranks; ++r) threads.emplace_back(rank_main, r);
+    for (auto& t : threads) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return stats;
+}
+
+void Cluster::run(int n_ranks, const std::function<void(Comm&)>& spmd) {
+  (void)run_collect_stats(n_ranks, spmd);
+}
+
+}  // namespace uoi::sim

@@ -1,0 +1,23 @@
+#pragma once
+// SPMD launcher: runs a function on P ranks (threads), each bound to a Comm.
+
+#include <functional>
+#include <vector>
+
+#include "simcluster/comm.hpp"
+
+namespace uoi::sim {
+
+class Cluster {
+ public:
+  /// Runs `spmd` on `n_ranks` threads. Each invocation receives a Comm bound
+  /// to its rank. Blocks until every rank returns; the first exception thrown
+  /// by any rank is rethrown here after all threads have been joined.
+  static void run(int n_ranks, const std::function<void(Comm&)>& spmd);
+
+  /// As run(), but returns each rank's final CommStats (index == rank).
+  static std::vector<CommStats> run_collect_stats(
+      int n_ranks, const std::function<void(Comm&)>& spmd);
+};
+
+}  // namespace uoi::sim

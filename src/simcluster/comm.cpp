@@ -1,0 +1,540 @@
+#include "simcluster/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <tuple>
+
+#include "simcluster/context.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace uoi::sim {
+
+namespace {
+
+template <typename T>
+void apply_reduce(ReduceOp op, std::span<T> acc, std::span<const T> in) {
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::min(acc[i], in[i]);
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::max(acc[i], in[i]);
+      break;
+  }
+}
+
+template <typename T>
+void stage_copy_in(std::vector<std::uint8_t>& slot, std::span<const T> data) {
+  slot.resize(data.size_bytes());
+  if (!data.empty()) std::memcpy(slot.data(), data.data(), data.size_bytes());
+}
+
+template <typename T>
+std::span<const T> stage_view(const std::vector<std::uint8_t>& slot) {
+  return {reinterpret_cast<const T*>(slot.data()), slot.size() / sizeof(T)};
+}
+
+}  // namespace
+
+const char* to_string(CommCategory category) {
+  switch (category) {
+    case CommCategory::kBarrier:
+      return "barrier";
+    case CommCategory::kBcast:
+      return "bcast";
+    case CommCategory::kReduce:
+      return "reduce";
+    case CommCategory::kAllreduce:
+      return "allreduce";
+    case CommCategory::kGather:
+      return "gather";
+    case CommCategory::kAllgather:
+      return "allgather";
+    case CommCategory::kScatter:
+      return "scatter";
+    case CommCategory::kPointToPoint:
+      return "point-to-point";
+    case CommCategory::kOneSided:
+      return "one-sided";
+    default:
+      return "?";
+  }
+}
+
+CommStats& CommStats::operator+=(const CommStats& other) {
+  for (std::size_t c = 0; c < entries.size(); ++c) {
+    entries[c].calls += other.entries[c].calls;
+    entries[c].bytes += other.entries[c].bytes;
+    entries[c].seconds += other.entries[c].seconds;
+  }
+  return *this;
+}
+
+double CommStats::collective_seconds() const {
+  double total = 0.0;
+  for (int c = 0; c < static_cast<int>(CommCategory::kCategoryCount); ++c) {
+    if (c == static_cast<int>(CommCategory::kOneSided)) continue;
+    total += entries[static_cast<std::size_t>(c)].seconds;
+  }
+  return total;
+}
+
+double CommStats::onesided_seconds() const {
+  return of(CommCategory::kOneSided).seconds;
+}
+
+std::uint64_t CommStats::collective_bytes() const {
+  std::uint64_t total = 0;
+  for (int c = 0; c < static_cast<int>(CommCategory::kCategoryCount); ++c) {
+    if (c == static_cast<int>(CommCategory::kOneSided)) continue;
+    total += entries[static_cast<std::size_t>(c)].bytes;
+  }
+  return total;
+}
+
+Comm::Comm(std::shared_ptr<detail::Context> context, int rank)
+    : context_(std::move(context)), rank_(rank) {
+  UOI_CHECK(context_ != nullptr, "Comm requires a context");
+  UOI_CHECK(rank_ >= 0 && rank_ < context_->size(), "rank out of range");
+}
+
+Comm::~Comm() = default;
+
+int Comm::size() const noexcept { return context_->size(); }
+
+void Comm::barrier() {
+  support::Stopwatch watch;
+  context_->barrier_wait();
+  auto& entry = stats_.of(CommCategory::kBarrier);
+  ++entry.calls;
+  entry.seconds += watch.seconds();
+  entry.seconds += inject_latency(CommCategory::kBarrier, 0);
+}
+
+template <typename T>
+void Comm::bcast_impl(std::span<T> data, int root) {
+  UOI_CHECK(root >= 0 && root < size(), "bcast root out of range");
+  support::Stopwatch watch;
+  if (rank_ == root) {
+    stage_copy_in<T>(context_->staging(root), data);
+  }
+  context_->barrier_wait();
+  if (rank_ != root) {
+    const auto view = stage_view<T>(context_->staging(root));
+    UOI_CHECK_DIMS(view.size() == data.size(), "bcast size mismatch");
+    std::copy(view.begin(), view.end(), data.begin());
+  }
+  context_->barrier_wait();
+  auto& entry = stats_.of(CommCategory::kBcast);
+  ++entry.calls;
+  entry.bytes += data.size_bytes();
+  entry.seconds += watch.seconds();
+  entry.seconds += inject_latency(CommCategory::kBcast, data.size_bytes());
+}
+
+void Comm::bcast(std::span<double> data, int root) { bcast_impl(data, root); }
+void Comm::bcast(std::span<std::size_t> data, int root) {
+  bcast_impl(data, root);
+}
+void Comm::bcast(std::span<std::uint8_t> data, int root) {
+  bcast_impl(data, root);
+}
+
+void Comm::reduce(std::span<double> data, ReduceOp op, int root) {
+  UOI_CHECK(root >= 0 && root < size(), "reduce root out of range");
+  support::Stopwatch watch;
+  stage_copy_in<double>(context_->staging(rank_), std::span<const double>(data));
+  context_->barrier_wait();
+  if (rank_ == root) {
+    // Deterministic reduction order: rank 0, 1, ..., P-1.
+    auto first = stage_view<double>(context_->staging(0));
+    UOI_CHECK_DIMS(first.size() == data.size(), "reduce size mismatch");
+    std::copy(first.begin(), first.end(), data.begin());
+    for (int r = 1; r < size(); ++r) {
+      apply_reduce<double>(op, data, stage_view<double>(context_->staging(r)));
+    }
+  }
+  context_->barrier_wait();
+  auto& entry = stats_.of(CommCategory::kReduce);
+  ++entry.calls;
+  entry.bytes += data.size_bytes();
+  entry.seconds += watch.seconds();
+  entry.seconds += inject_latency(CommCategory::kReduce, data.size_bytes());
+}
+
+template <typename T>
+void Comm::allreduce_impl(std::span<T> data, ReduceOp op) {
+  support::Stopwatch watch;
+  stage_copy_in<T>(context_->staging(rank_), std::span<const T>(data));
+  context_->barrier_wait();
+  auto first = stage_view<T>(context_->staging(0));
+  UOI_CHECK_DIMS(first.size() == data.size(), "allreduce size mismatch");
+  std::copy(first.begin(), first.end(), data.begin());
+  for (int r = 1; r < size(); ++r) {
+    apply_reduce<T>(op, data, stage_view<T>(context_->staging(r)));
+  }
+  context_->barrier_wait();
+  auto& entry = stats_.of(CommCategory::kAllreduce);
+  ++entry.calls;
+  entry.bytes += data.size_bytes();
+  entry.seconds += watch.seconds();
+  entry.seconds += inject_latency(CommCategory::kAllreduce, data.size_bytes());
+}
+
+void Comm::allreduce(std::span<double> data, ReduceOp op) {
+  allreduce_impl(data, op);
+}
+void Comm::allreduce(std::span<std::uint64_t> data, ReduceOp op) {
+  allreduce_impl(data, op);
+}
+
+void Comm::send(int destination, std::span<const double> data, int tag) {
+  UOI_CHECK(destination >= 0 && destination < size(),
+            "send destination out of range");
+  support::Stopwatch watch;
+  std::vector<std::uint8_t> payload(data.size_bytes());
+  if (!data.empty()) {
+    std::memcpy(payload.data(), data.data(), data.size_bytes());
+  }
+  context_->mailbox(rank_, destination).deposit(tag, std::move(payload));
+  auto& entry = stats_.of(CommCategory::kPointToPoint);
+  ++entry.calls;
+  entry.bytes += data.size_bytes();
+  entry.seconds += watch.seconds();
+  entry.seconds += inject_latency(CommCategory::kPointToPoint, data.size_bytes());
+}
+
+void Comm::recv(int source, std::span<double> data, int tag) {
+  UOI_CHECK(source >= 0 && source < size(), "recv source out of range");
+  support::Stopwatch watch;
+  const auto payload = context_->mailbox(source, rank_).collect(tag);
+  UOI_CHECK_DIMS(payload.size() == data.size_bytes(),
+                 "received message size does not match the recv buffer");
+  if (!data.empty()) {
+    std::memcpy(data.data(), payload.data(), payload.size());
+  }
+  auto& entry = stats_.of(CommCategory::kPointToPoint);
+  ++entry.calls;
+  entry.bytes += data.size_bytes();
+  entry.seconds += watch.seconds();
+  entry.seconds += inject_latency(CommCategory::kPointToPoint, data.size_bytes());
+}
+
+void Comm::sendrecv(int destination, std::span<const double> send_data,
+                    int source, std::span<double> recv_data, int tag) {
+  send(destination, send_data, tag);
+  recv(source, recv_data, tag);
+}
+
+void Comm::allreduce_ring(std::span<double> data, ReduceOp op) {
+  const int p = size();
+  if (p == 1) {
+    auto& entry = stats_.of(CommCategory::kAllreduce);
+    ++entry.calls;
+    entry.bytes += data.size_bytes();
+    return;
+  }
+  support::Stopwatch watch;
+  const std::size_t n = data.size();
+
+  // Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]).
+  std::vector<std::size_t> bounds(static_cast<std::size_t>(p) + 1);
+  for (int c = 0; c <= p; ++c) {
+    bounds[static_cast<std::size_t>(c)] =
+        n * static_cast<std::size_t>(c) / static_cast<std::size_t>(p);
+  }
+  auto chunk = [&](int c) -> std::span<double> {
+    const int cc = ((c % p) + p) % p;
+    return data.subspan(bounds[static_cast<std::size_t>(cc)],
+                        bounds[static_cast<std::size_t>(cc) + 1] -
+                            bounds[static_cast<std::size_t>(cc)]);
+  };
+
+  const int next = (rank_ + 1) % p;
+  const int prev = (rank_ - 1 + p) % p;
+  std::vector<double> incoming(bounds[1] - bounds[0] + n / p + 2);
+
+  // Reduce-scatter: after step s, rank r holds the partial reduction of
+  // chunk (r - s) over ranks r-s..r.
+  for (int step = 0; step < p - 1; ++step) {
+    const auto out = chunk(rank_ - step);
+    const auto in = chunk(rank_ - step - 1);
+    send(next, out, /*tag=*/1000 + step);
+    incoming.resize(in.size());
+    recv(prev, std::span<double>(incoming.data(), in.size()),
+         /*tag=*/1000 + step);
+    apply_reduce<double>(op, in,
+                         std::span<const double>(incoming.data(), in.size()));
+  }
+  // Allgather: circulate the finished chunks around the ring.
+  for (int step = 0; step < p - 1; ++step) {
+    const auto out = chunk(rank_ + 1 - step);
+    const auto in = chunk(rank_ - step);
+    send(next, out, /*tag=*/2000 + step);
+    incoming.resize(in.size());
+    recv(prev, std::span<double>(incoming.data(), in.size()),
+         /*tag=*/2000 + step);
+    std::copy(incoming.begin(), incoming.begin() + static_cast<std::ptrdiff_t>(in.size()),
+              in.begin());
+  }
+
+  auto& entry = stats_.of(CommCategory::kAllreduce);
+  ++entry.calls;
+  entry.bytes += data.size_bytes();
+  entry.seconds += watch.seconds();
+  entry.seconds += inject_latency(CommCategory::kAllreduce, data.size_bytes());
+}
+
+void Comm::allreduce_recursive_doubling(std::span<double> data,
+                                        ReduceOp op) {
+  const int p = size();
+  if (p == 1) {
+    auto& entry = stats_.of(CommCategory::kAllreduce);
+    ++entry.calls;
+    entry.bytes += data.size_bytes();
+    return;
+  }
+  support::Stopwatch watch;
+  // Largest power of two <= p.
+  int pow2 = 1;
+  while (pow2 * 2 <= p) pow2 *= 2;
+  const int excess = p - pow2;
+  std::vector<double> incoming(data.size());
+  const auto reduce_in = [&] {
+    apply_reduce<double>(op, data,
+                         std::span<const double>(incoming.data(),
+                                                 incoming.size()));
+  };
+
+  // Fold-in: ranks [pow2, p) send their data to [0, excess) and sit out.
+  constexpr int kFoldTag = 3000;
+  if (rank_ >= pow2) {
+    send(rank_ - pow2, data, kFoldTag);
+  } else if (rank_ < excess) {
+    recv(rank_ + pow2, incoming, kFoldTag);
+    reduce_in();
+  }
+
+  if (rank_ < pow2) {
+    for (int mask = 1; mask < pow2; mask <<= 1) {
+      const int partner = rank_ ^ mask;
+      sendrecv(partner, data, partner, incoming, kFoldTag + mask);
+      reduce_in();
+    }
+  }
+
+  // Fold-out: the excess ranks receive the finished result.
+  if (rank_ < excess) {
+    send(rank_ + pow2, data, kFoldTag + pow2);
+  } else if (rank_ >= pow2) {
+    recv(rank_ - pow2, data, kFoldTag + pow2);
+  }
+
+  auto& entry = stats_.of(CommCategory::kAllreduce);
+  ++entry.calls;
+  entry.bytes += data.size_bytes();
+  entry.seconds += watch.seconds();
+  entry.seconds += inject_latency(CommCategory::kAllreduce, data.size_bytes());
+}
+
+bool Comm::all_agree(bool local) {
+  std::uint64_t flag = local ? 1 : 0;
+  allreduce(std::span<std::uint64_t>(&flag, 1), ReduceOp::kMin);
+  return flag == 1;
+}
+
+void Comm::gather(std::span<const double> send, std::span<double> recv,
+                  int root) {
+  UOI_CHECK(root >= 0 && root < size(), "gather root out of range");
+  support::Stopwatch watch;
+  stage_copy_in<double>(context_->staging(rank_), send);
+  context_->barrier_wait();
+  if (rank_ == root) {
+    UOI_CHECK_DIMS(recv.size() == send.size() * static_cast<std::size_t>(size()),
+                   "gather recv buffer has the wrong size");
+    for (int r = 0; r < size(); ++r) {
+      const auto view = stage_view<double>(context_->staging(r));
+      UOI_CHECK_DIMS(view.size() == send.size(), "gather contribution size");
+      std::copy(view.begin(), view.end(),
+                recv.begin() + static_cast<std::ptrdiff_t>(
+                                   static_cast<std::size_t>(r) * send.size()));
+    }
+  }
+  context_->barrier_wait();
+  auto& entry = stats_.of(CommCategory::kGather);
+  ++entry.calls;
+  entry.bytes += send.size_bytes();
+  entry.seconds += watch.seconds();
+  entry.seconds += inject_latency(CommCategory::kGather, send.size_bytes());
+}
+
+template <typename T>
+void Comm::allgather_impl(std::span<const T> send, std::span<T> recv) {
+  UOI_CHECK_DIMS(recv.size() == send.size() * static_cast<std::size_t>(size()),
+                 "allgather recv buffer has the wrong size");
+  support::Stopwatch watch;
+  stage_copy_in<T>(context_->staging(rank_), send);
+  context_->barrier_wait();
+  for (int r = 0; r < size(); ++r) {
+    const auto view = stage_view<T>(context_->staging(r));
+    UOI_CHECK_DIMS(view.size() == send.size(), "allgather contribution size");
+    std::copy(view.begin(), view.end(),
+              recv.begin() + static_cast<std::ptrdiff_t>(
+                                 static_cast<std::size_t>(r) * send.size()));
+  }
+  context_->barrier_wait();
+  auto& entry = stats_.of(CommCategory::kAllgather);
+  ++entry.calls;
+  entry.bytes += send.size_bytes() * static_cast<std::size_t>(size());
+  entry.seconds += watch.seconds();
+  entry.seconds += inject_latency(CommCategory::kAllgather, send.size_bytes() * static_cast<std::size_t>(size()));
+}
+
+void Comm::allgather(std::span<const double> send, std::span<double> recv) {
+  allgather_impl(send, recv);
+}
+void Comm::allgather(std::span<const std::size_t> send,
+                     std::span<std::size_t> recv) {
+  allgather_impl(send, recv);
+}
+
+std::vector<double> Comm::allgather_variable(
+    std::span<const double> send, std::vector<std::size_t>* counts) {
+  support::Stopwatch watch;
+  stage_copy_in<double>(context_->staging(rank_), send);
+  context_->barrier_wait();
+  std::vector<double> out;
+  if (counts != nullptr) counts->assign(static_cast<std::size_t>(size()), 0);
+  for (int r = 0; r < size(); ++r) {
+    const auto view = stage_view<double>(context_->staging(r));
+    if (counts != nullptr) (*counts)[static_cast<std::size_t>(r)] = view.size();
+    out.insert(out.end(), view.begin(), view.end());
+  }
+  context_->barrier_wait();
+  auto& entry = stats_.of(CommCategory::kAllgather);
+  ++entry.calls;
+  entry.bytes += out.size() * sizeof(double);
+  entry.seconds += watch.seconds();
+  entry.seconds +=
+      inject_latency(CommCategory::kAllgather, out.size() * sizeof(double));
+  return out;
+}
+
+void Comm::scatter(std::span<const double> send, std::span<double> recv,
+                   int root) {
+  UOI_CHECK(root >= 0 && root < size(), "scatter root out of range");
+  support::Stopwatch watch;
+  if (rank_ == root) {
+    UOI_CHECK_DIMS(send.size() == recv.size() * static_cast<std::size_t>(size()),
+                   "scatter send buffer has the wrong size");
+    stage_copy_in<double>(context_->staging(root), send);
+  }
+  context_->barrier_wait();
+  {
+    const auto view = stage_view<double>(context_->staging(root));
+    UOI_CHECK_DIMS(view.size() == recv.size() * static_cast<std::size_t>(size()),
+                   "scatter staged size mismatch");
+    const auto begin =
+        view.begin() + static_cast<std::ptrdiff_t>(
+                           static_cast<std::size_t>(rank_) * recv.size());
+    std::copy(begin, begin + static_cast<std::ptrdiff_t>(recv.size()),
+              recv.begin());
+  }
+  context_->barrier_wait();
+  auto& entry = stats_.of(CommCategory::kScatter);
+  ++entry.calls;
+  entry.bytes += recv.size_bytes();
+  entry.seconds += watch.seconds();
+  entry.seconds += inject_latency(CommCategory::kScatter, recv.size_bytes());
+}
+
+Comm Comm::split(int color, int key) {
+  // Exchange (color, key) triples through the staging area, then rank 0
+  // builds the new contexts and publishes them via the pointer slots.
+  struct Request {
+    int color;
+    int key;
+  };
+  Request mine{color, key};
+  auto& slot = context_->staging(rank_);
+  slot.resize(sizeof(Request));
+  std::memcpy(slot.data(), &mine, sizeof(Request));
+  context_->barrier_wait();
+
+  // Every rank computes the same grouping deterministically (cheaper than a
+  // root-plus-publish protocol and trivially correct).
+  std::vector<std::tuple<int, int, int>> members;  // (color, key, old rank)
+  members.reserve(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    Request req{};
+    std::memcpy(&req, context_->staging(r).data(), sizeof(Request));
+    members.emplace_back(req.color, req.key, r);
+  }
+  std::sort(members.begin(), members.end());
+
+  int group_size = 0;
+  int new_rank = -1;
+  int group_leader = -1;  // old rank of the first member of my group
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (std::get<0>(members[i]) != color) continue;
+    if (group_leader < 0) group_leader = std::get<2>(members[i]);
+    if (std::get<2>(members[i]) == rank_) new_rank = group_size;
+    ++group_size;
+  }
+  UOI_CHECK(new_rank >= 0, "split bookkeeping failure");
+
+  // The group leader allocates the shared context and publishes a pointer to
+  // a shared_ptr that peers copy (ownership is shared safely because the
+  // source shared_ptr outlives the exchange's closing barrier).
+  std::shared_ptr<detail::Context> new_context;
+  std::shared_ptr<detail::Context> leader_holder;
+  if (rank_ == group_leader) {
+    leader_holder = std::make_shared<detail::Context>(group_size);
+    context_->pointer_slot(rank_) = &leader_holder;
+  }
+  context_->barrier_wait();
+  {
+    const auto* holder = static_cast<const std::shared_ptr<detail::Context>*>(
+        context_->pointer_slot(group_leader));
+    new_context = *holder;
+  }
+  context_->barrier_wait();
+  Comm child(std::move(new_context), new_rank);
+  // Children emulate the same network as their parent.
+  child.latency_injector_ = latency_injector_;
+  return child;
+}
+
+Comm Comm::dup() { return split(0, rank_); }
+
+
+void Comm::set_latency_injector(LatencyInjector injector) {
+  latency_injector_ = std::move(injector);
+}
+
+double Comm::inject_latency(CommCategory category, std::uint64_t bytes) {
+  if (!latency_injector_) return 0.0;
+  const double target = latency_injector_(category, bytes, size());
+  if (target <= 0.0) return 0.0;
+  // Busy-wait with yields: wall time passes while peers make progress.
+  support::Stopwatch watch;
+  while (watch.seconds() < target) std::this_thread::yield();
+  return watch.seconds();
+}
+
+void Comm::account_onesided(std::uint64_t bytes, double seconds) {
+  auto& entry = stats_.of(CommCategory::kOneSided);
+  ++entry.calls;
+  entry.bytes += bytes;
+  entry.seconds += seconds;
+  entry.seconds += inject_latency(CommCategory::kOneSided, bytes);
+}
+
+}  // namespace uoi::sim

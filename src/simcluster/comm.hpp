@@ -1,0 +1,209 @@
+#pragma once
+// uoi::sim — an in-process SPMD cluster runtime.
+//
+// This substitutes for MPI on Cori KNL (see DESIGN.md §2): ranks are
+// std::threads sharing one address space, and the message-passing semantics
+// (collectives, one-sided windows, communicator splits) follow the MPI
+// functions the paper's implementation uses (MPI_Allreduce, MPI_Bcast,
+// MPI_Win_* one-sided calls, MPI_Comm_split). Algorithms written against
+// this API are genuinely SPMD: no rank reads another rank's data except
+// through Comm/Window operations, so the code would port to real MPI
+// mechanically.
+//
+// Collectives are implemented with a staging area plus a generation-counted
+// central barrier: correct and deterministic at the rank counts the
+// functional tests/benches use (P <= 32). Each Comm tracks per-category call
+// counts, byte volumes, and real elapsed time so the benchmark harness can
+// reproduce the paper's compute/communication/distribution breakdowns.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace uoi::sim {
+
+/// Reduction operators supported by reduce/allreduce.
+enum class ReduceOp { kSum, kMin, kMax };
+
+/// Communication categories tracked by CommStats; mirror the buckets in the
+/// paper's runtime-breakdown figures.
+enum class CommCategory : int {
+  kBarrier = 0,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kAllgather,
+  kScatter,
+  kPointToPoint,  // send/recv traffic
+  kOneSided,      // window put/get traffic ("Distribution" in the paper)
+  kCategoryCount
+};
+
+[[nodiscard]] const char* to_string(CommCategory category);
+
+/// Per-rank accounting of communication activity.
+struct CommStats {
+  struct Entry {
+    std::uint64_t calls = 0;
+    std::uint64_t bytes = 0;
+    double seconds = 0.0;  // real wall time spent inside the call
+  };
+  std::array<Entry, static_cast<int>(CommCategory::kCategoryCount)> entries{};
+
+  [[nodiscard]] const Entry& of(CommCategory c) const {
+    return entries[static_cast<int>(c)];
+  }
+  Entry& of(CommCategory c) { return entries[static_cast<int>(c)]; }
+
+  /// Merges another stats object into this one (used to fold a split
+  /// sub-communicator's activity back into its parent's accounting).
+  CommStats& operator+=(const CommStats& other);
+
+  /// Total seconds across collective categories (excluding one-sided).
+  [[nodiscard]] double collective_seconds() const;
+  /// Seconds in one-sided traffic (the paper's "Distribution" bucket).
+  [[nodiscard]] double onesided_seconds() const;
+  /// Total bytes moved in collectives.
+  [[nodiscard]] std::uint64_t collective_bytes() const;
+
+  void clear() { entries.fill(Entry{}); }
+};
+
+namespace detail {
+class Context;  // shared state of one communicator
+}
+
+/// Optional latency injector: called after every collective/one-sided
+/// operation with (category, payload bytes, communicator size); the
+/// returned seconds are spent busy-waiting before the call returns and
+/// are charged to that category's stats. This turns the shared-memory
+/// runtime into a poor-man's network emulator: functional runs then show
+/// cluster-like compute/communication proportions instead of
+/// oversubscription artifacts (see uoi::perf::make_profile_injector).
+using LatencyInjector =
+    std::function<double(CommCategory, std::uint64_t bytes, int comm_size)>;
+
+/// A rank's handle to a communicator. Not copyable; bound to the calling
+/// thread for its lifetime. All collective calls must be invoked by every
+/// rank of the communicator in the same order (standard SPMD discipline).
+class Comm {
+ public:
+  Comm(std::shared_ptr<detail::Context> context, int rank);
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+  Comm(Comm&&) = default;
+  Comm& operator=(Comm&&) = default;
+  ~Comm();
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  /// Blocks until every rank has entered the barrier.
+  void barrier();
+
+  /// Broadcasts `data` from `root` to all ranks (in place).
+  void bcast(std::span<double> data, int root);
+  void bcast(std::span<std::size_t> data, int root);
+  void bcast(std::span<std::uint8_t> data, int root);
+
+  /// Element-wise reduction of `data` across ranks into `root`'s buffer;
+  /// other ranks' buffers are untouched.
+  void reduce(std::span<double> data, ReduceOp op, int root);
+
+  /// Element-wise reduction visible on all ranks (in place). This is the
+  /// MPI_Allreduce the paper identifies as >= 99% of UoI communication.
+  void allreduce(std::span<double> data, ReduceOp op);
+  void allreduce(std::span<std::uint64_t> data, ReduceOp op);
+
+  /// Ring allreduce (reduce-scatter + allgather over point-to-point
+  /// messages): the bandwidth-optimal algorithm large MPI implementations
+  /// switch to for big payloads. Bitwise-identical semantics on every
+  /// rank; unlike the staged allreduce, partial sums accumulate in ring
+  /// order, so floating-point rounding may differ slightly.
+  void allreduce_ring(std::span<double> data, ReduceOp op);
+
+  /// Recursive-doubling allreduce over point-to-point messages: the
+  /// latency-optimal log2(P) algorithm small messages use. Non-power-of-
+  /// two rank counts are handled with the standard fold-in/fold-out of
+  /// the excess ranks. Rounding may differ from the staged allreduce.
+  void allreduce_recursive_doubling(std::span<double> data, ReduceOp op);
+
+  /// Buffered point-to-point send: deposits the message and returns
+  /// immediately. Message order per (source, destination, tag) is FIFO.
+  void send(int destination, std::span<const double> data, int tag = 0);
+
+  /// Blocking receive of a message with the given tag from `source`;
+  /// the received payload must match data.size() elements.
+  void recv(int source, std::span<double> data, int tag = 0);
+
+  /// Combined exchange (deadlock-free by construction: sends are buffered).
+  void sendrecv(int destination, std::span<const double> send_data,
+                int source, std::span<double> recv_data, int tag = 0);
+
+  /// Logical AND across ranks (implemented over a min-reduction).
+  [[nodiscard]] bool all_agree(bool local);
+
+  /// Gathers equal-size contributions to root: recv has size() * n elements
+  /// on root (ignored elsewhere).
+  void gather(std::span<const double> send, std::span<double> recv, int root);
+
+  /// Gathers equal-size contributions to every rank.
+  void allgather(std::span<const double> send, std::span<double> recv);
+  void allgather(std::span<const std::size_t> send, std::span<std::size_t> recv);
+
+  /// Variable-size allgather (MPI_Allgatherv): every rank contributes any
+  /// number of elements; the concatenation in rank order is returned, and
+  /// per-rank element counts are written to `counts` when non-null.
+  [[nodiscard]] std::vector<double> allgather_variable(
+      std::span<const double> send,
+      std::vector<std::size_t>* counts = nullptr);
+
+  /// Scatters equal-size slices from root's send buffer (size() * n) into
+  /// each rank's recv buffer (n).
+  void scatter(std::span<const double> send, std::span<double> recv, int root);
+
+  /// Splits into sub-communicators: ranks sharing `color` form a group,
+  /// ordered by (key, old rank). Collective over this communicator.
+  [[nodiscard]] Comm split(int color, int key);
+
+  /// Duplicates the communicator (MPI_Comm_dup): same ranks, independent
+  /// synchronization state. Collective. A dup is what makes nonblocking
+  /// collectives safe: the background progress thread synchronizes on the
+  /// duplicate, never interleaving with the caller's own collectives.
+  [[nodiscard]] Comm dup();
+
+  /// Per-rank communication statistics since construction / last clear.
+  [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
+  CommStats& mutable_stats() noexcept { return stats_; }
+
+  /// Used by Window to charge one-sided traffic to this rank's stats.
+  void account_onesided(std::uint64_t bytes, double seconds);
+
+  /// Installs (or clears, with nullptr-like empty function) the latency
+  /// injector for this rank's handle. Per-Comm, so ranks can emulate
+  /// heterogeneous links if desired; normally every rank installs the
+  /// same model.
+  void set_latency_injector(LatencyInjector injector);
+
+ private:
+  /// Busy-waits the injected delay (if any) and returns it.
+  double inject_latency(CommCategory category, std::uint64_t bytes);
+  template <typename T>
+  void bcast_impl(std::span<T> data, int root);
+  template <typename T>
+  void allreduce_impl(std::span<T> data, ReduceOp op);
+  template <typename T>
+  void allgather_impl(std::span<const T> send, std::span<T> recv);
+
+  std::shared_ptr<detail::Context> context_;
+  int rank_ = -1;
+  CommStats stats_;
+  LatencyInjector latency_injector_;
+};
+
+}  // namespace uoi::sim

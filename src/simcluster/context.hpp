@@ -1,0 +1,106 @@
+#pragma once
+// Shared state behind one communicator: a generation-counted central barrier
+// plus a per-rank staging area used by the two-barrier collective protocol
+// (write own slot -> barrier -> read peers' slots -> barrier).
+// Internal header; users include comm.hpp / cluster.hpp / window.hpp.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace uoi::sim::detail {
+
+/// A buffered point-to-point channel for one (source, destination) pair.
+/// send() deposits a message and returns immediately (buffered semantics);
+/// recv() blocks until a message with the requested tag arrives.
+class Mailbox {
+ public:
+  void deposit(int tag, std::vector<std::uint8_t> payload) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      messages_.push_back({tag, std::move(payload)});
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> collect(int tag) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      for (auto it = messages_.begin(); it != messages_.end(); ++it) {
+        if (it->tag == tag) {
+          auto payload = std::move(it->payload);
+          messages_.erase(it);
+          return payload;
+        }
+      }
+      cv_.wait(lock);
+    }
+  }
+
+ private:
+  struct Message {
+    int tag;
+    std::vector<std::uint8_t> payload;
+  };
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> messages_;
+};
+
+class Context {
+ public:
+  explicit Context(int size)
+      : size_(size),
+        staging_(size),
+        pointer_slots_(size),
+        mailboxes_(static_cast<std::size_t>(size) *
+                   static_cast<std::size_t>(size)) {}
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+  /// Central barrier; releases all ranks when the last one arrives.
+  void barrier_wait() {
+    std::unique_lock lock(mutex_);
+    const std::uint64_t my_generation = generation_;
+    if (++arrived_ == size_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != my_generation; });
+    }
+  }
+
+  /// Byte staging slot for `rank` (resized by the writer as needed).
+  [[nodiscard]] std::vector<std::uint8_t>& staging(int rank) {
+    return staging_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Raw pointer slot for `rank`; used to hand shared_ptr control blocks and
+  /// split results between ranks inside a two-barrier exchange.
+  [[nodiscard]] const void*& pointer_slot(int rank) {
+    return pointer_slots_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Point-to-point channel from `source` to `destination`.
+  [[nodiscard]] Mailbox& mailbox(int source, int destination) {
+    return mailboxes_[static_cast<std::size_t>(source) *
+                          static_cast<std::size_t>(size_) +
+                      static_cast<std::size_t>(destination)];
+  }
+
+ private:
+  int size_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::vector<std::uint8_t>> staging_;
+  std::vector<const void*> pointer_slots_;
+  std::vector<Mailbox> mailboxes_;
+};
+
+}  // namespace uoi::sim::detail

@@ -1,0 +1,40 @@
+#include "simcluster/nonblocking.hpp"
+
+#include <chrono>
+
+#include "support/error.hpp"
+
+namespace uoi::sim {
+
+AllreduceRequest::~AllreduceRequest() {
+  if (done_.valid()) done_.wait();  // never abandon an in-flight collective
+}
+
+void AllreduceRequest::wait() {
+  UOI_CHECK(done_.valid(), "wait() called twice on an AllreduceRequest");
+  done_.get();
+}
+
+bool AllreduceRequest::test() {
+  UOI_CHECK(done_.valid(), "test() after wait()");
+  return done_.wait_for(std::chrono::seconds(0)) ==
+         std::future_status::ready;
+}
+
+NonblockingContext::NonblockingContext(Comm& comm) : dup_(comm.dup()) {}
+
+AllreduceRequest NonblockingContext::iallreduce(std::span<double> data,
+                                                ReduceOp op) {
+  // std::async with the launch::async policy gives one progress thread per
+  // rank per request; the duplicate communicator keeps its barriers
+  // disjoint from the caller's.
+  return AllreduceRequest(std::async(std::launch::async, [this, data, op] {
+    dup_.allreduce(data, op);
+  }));
+}
+
+double NonblockingContext::background_seconds() const {
+  return dup_.stats().collective_seconds();
+}
+
+}  // namespace uoi::sim

@@ -1,0 +1,67 @@
+#pragma once
+// Nonblocking collectives — the paper's stated future work ("we are
+// evaluating non-blocking MPI and asynchronous execution models to enable
+// further scaling", §IV-A4).
+//
+// IAllreduce starts an allreduce on a *duplicate* communicator owned by a
+// background progress thread, so the caller can overlap computation and
+// only pay the residual communication time at wait(). Usage is SPMD like
+// everything else: every rank constructs the operation, overlaps whatever
+// work it likes, then calls wait().
+//
+//   uoi::sim::NonblockingContext nb(comm);          // collective, once
+//   auto op = nb.iallreduce(data, ReduceOp::kSum);  // returns immediately
+//   ... compute ...
+//   op.wait();                                      // data now reduced
+
+#include <future>
+#include <memory>
+
+#include "simcluster/comm.hpp"
+
+namespace uoi::sim {
+
+/// A pending nonblocking allreduce. Move-only; wait() must be called
+/// exactly once before destruction (the destructor asserts completion in
+/// debug builds and blocks otherwise, mirroring MPI_Request semantics).
+class AllreduceRequest {
+ public:
+  AllreduceRequest(AllreduceRequest&&) = default;
+  AllreduceRequest& operator=(AllreduceRequest&&) = default;
+  ~AllreduceRequest();
+
+  /// Blocks until the reduction is complete; `data` passed at start now
+  /// holds the result on every rank.
+  void wait();
+
+  /// Non-blocking completion probe.
+  [[nodiscard]] bool test();
+
+ private:
+  friend class NonblockingContext;
+  explicit AllreduceRequest(std::future<void> done) : done_(std::move(done)) {}
+  std::future<void> done_;
+};
+
+/// Per-rank handle owning the duplicate communicator and the progress
+/// machinery. Construction is collective over `comm`; the object must
+/// outlive every request it issues. Only one request may be in flight per
+/// context at a time (matching how the ADMM overlap uses it).
+class NonblockingContext {
+ public:
+  explicit NonblockingContext(Comm& comm);
+
+  /// Starts an allreduce over the duplicate communicator. `data` must stay
+  /// alive and untouched until wait() returns.
+  [[nodiscard]] AllreduceRequest iallreduce(std::span<double> data,
+                                            ReduceOp op);
+
+  /// Seconds the background thread spent inside collectives (the traffic
+  /// a blocking implementation would have put on the critical path).
+  [[nodiscard]] double background_seconds() const;
+
+ private:
+  Comm dup_;
+};
+
+}  // namespace uoi::sim

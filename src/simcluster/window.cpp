@@ -1,0 +1,102 @@
+#include "simcluster/window.hpp"
+
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "simcluster/context.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace uoi::sim {
+
+namespace detail {
+
+struct WindowState {
+  explicit WindowState(std::size_t n_ranks)
+      : bases(n_ranks, nullptr), sizes(n_ranks, 0), locks(n_ranks) {}
+  std::vector<double*> bases;
+  std::vector<std::size_t> sizes;
+  std::vector<std::mutex> locks;
+};
+
+}  // namespace detail
+
+Window::Window(Comm& comm, std::span<double> local) : comm_(&comm) {
+  const auto n_ranks = static_cast<std::size_t>(comm.size());
+  // Rank 0 allocates the shared registration table; peers copy the
+  // shared_ptr during the exchange (the source outlives the closing
+  // barrier, so copying the control block is safe).
+  std::shared_ptr<detail::WindowState> holder;
+  if (comm.rank() == 0) {
+    holder = std::make_shared<detail::WindowState>(n_ranks);
+  }
+  // Reuse the allgather machinery to publish the holder address: encode the
+  // pointer-to-shared_ptr as a size_t from rank 0.
+  std::size_t encoded = reinterpret_cast<std::size_t>(&holder);
+  comm.bcast(std::span<std::size_t>(&encoded, 1), 0);
+  const auto* source =
+      reinterpret_cast<const std::shared_ptr<detail::WindowState>*>(encoded);
+  state_ = *source;
+  comm.barrier();  // rank 0's `holder` must stay alive until everyone copied
+
+  state_->bases[static_cast<std::size_t>(comm.rank())] = local.data();
+  state_->sizes[static_cast<std::size_t>(comm.rank())] = local.size();
+  comm.barrier();  // registration complete on all ranks
+}
+
+std::size_t Window::size_at(int rank) const {
+  UOI_CHECK(rank >= 0 && rank < comm_->size(), "window rank out of range");
+  return state_->sizes[static_cast<std::size_t>(rank)];
+}
+
+std::span<double> Window::local() const {
+  const auto r = static_cast<std::size_t>(comm_->rank());
+  return {state_->bases[r], state_->sizes[r]};
+}
+
+void Window::get(int target, std::size_t offset, std::span<double> out) {
+  UOI_CHECK(target >= 0 && target < comm_->size(), "get target out of range");
+  const auto t = static_cast<std::size_t>(target);
+  UOI_CHECK_DIMS(offset + out.size() <= state_->sizes[t],
+                 "one-sided get out of the target buffer's range");
+  support::Stopwatch watch;
+  if (!out.empty()) {
+    std::memcpy(out.data(), state_->bases[t] + offset, out.size_bytes());
+  }
+  comm_->account_onesided(out.size_bytes(), watch.seconds());
+}
+
+void Window::put(int target, std::size_t offset, std::span<const double> in) {
+  UOI_CHECK(target >= 0 && target < comm_->size(), "put target out of range");
+  const auto t = static_cast<std::size_t>(target);
+  UOI_CHECK_DIMS(offset + in.size() <= state_->sizes[t],
+                 "one-sided put out of the target buffer's range");
+  support::Stopwatch watch;
+  if (!in.empty()) {
+    std::lock_guard<std::mutex> lock(state_->locks[t]);
+    std::memcpy(state_->bases[t] + offset, in.data(), in.size_bytes());
+  }
+  comm_->account_onesided(in.size_bytes(), watch.seconds());
+}
+
+void Window::accumulate_add(int target, std::size_t offset,
+                            std::span<const double> in) {
+  UOI_CHECK(target >= 0 && target < comm_->size(),
+            "accumulate target out of range");
+  const auto t = static_cast<std::size_t>(target);
+  UOI_CHECK_DIMS(offset + in.size() <= state_->sizes[t],
+                 "one-sided accumulate out of the target buffer's range");
+  support::Stopwatch watch;
+  if (!in.empty()) {
+    std::lock_guard<std::mutex> lock(state_->locks[t]);
+    double* base = state_->bases[t] + offset;
+    for (std::size_t i = 0; i < in.size(); ++i) base[i] += in[i];
+  }
+  comm_->account_onesided(in.size_bytes(), watch.seconds());
+}
+
+void Window::fence() { comm_->barrier(); }
+
+}  // namespace uoi::sim

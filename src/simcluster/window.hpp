@@ -1,0 +1,64 @@
+#pragma once
+// One-sided communication windows, modeled on MPI_Win with fence
+// synchronization. The paper's two HPC contributions both ride on these:
+// the Tier-2 randomized redistribution (UoI_LASSO) and the distributed
+// Kronecker product / vectorization (UoI_VAR).
+//
+// Usage follows the MPI fence discipline:
+//   Window win(comm, local_span);
+//   win.fence();             // open an epoch
+//   win.get(target, off, out);  // or put / accumulate_add
+//   win.fence();             // close the epoch: remote data now visible
+//
+// Concurrent put/accumulate to overlapping remote ranges within one epoch
+// are serialized with a per-target lock; concurrent gets are lock-free.
+
+#include <cstddef>
+#include <span>
+
+#include "simcluster/comm.hpp"
+
+namespace uoi::sim {
+
+namespace detail {
+struct WindowState;
+}
+
+class Window {
+ public:
+  /// Collective over `comm`: every rank contributes (and retains ownership
+  /// of) its local buffer. Buffers may have different sizes per rank.
+  Window(Comm& comm, std::span<double> local);
+
+  Window(const Window&) = delete;
+  Window& operator=(const Window&) = delete;
+  Window(Window&&) = default;
+  Window& operator=(Window&&) = default;
+
+  /// Size (in doubles) of `rank`'s exposed buffer.
+  [[nodiscard]] std::size_t size_at(int rank) const;
+
+  /// This rank's exposed buffer.
+  [[nodiscard]] std::span<double> local() const;
+
+  /// Copies `out.size()` doubles from `target`'s buffer at `offset`.
+  void get(int target, std::size_t offset, std::span<double> out);
+
+  /// Writes `in` into `target`'s buffer at `offset`.
+  void put(int target, std::size_t offset, std::span<const double> in);
+
+  /// Atomically adds `in` into `target`'s buffer at `offset`
+  /// (MPI_Accumulate with MPI_SUM).
+  void accumulate_add(int target, std::size_t offset,
+                      std::span<const double> in);
+
+  /// Epoch boundary: a barrier that makes all prior one-sided operations
+  /// visible to every rank.
+  void fence();
+
+ private:
+  Comm* comm_ = nullptr;
+  std::shared_ptr<detail::WindowState> state_;
+};
+
+}  // namespace uoi::sim

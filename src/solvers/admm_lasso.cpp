@@ -1,0 +1,56 @@
+#include "solvers/admm_lasso.hpp"
+
+#include "linalg/blas.hpp"
+#include "solvers/admm_loop.hpp"
+#include "solvers/ridge_system.hpp"
+#include "support/error.hpp"
+
+namespace uoi::solvers {
+
+using uoi::linalg::ConstMatrixView;
+
+LassoAdmmSolver::LassoAdmmSolver(ConstMatrixView a, std::span<const double> b,
+                                 const AdmmOptions& options)
+    : a_(a), b_(b), options_(options) {
+  UOI_CHECK_DIMS(a.rows() == b.size(), "LASSO: X rows != y size");
+  UOI_CHECK(a.rows() > 0 && a.cols() > 0, "LASSO: empty problem");
+
+  atb_.assign(a.cols(), 0.0);
+  uoi::linalg::gemv_transposed(1.0, a, b, 0.0, atb_);
+  system_ = std::make_unique<RidgeSystemSolver>(a, options_.rho);
+  setup_flops_ = uoi::linalg::gemv_flops(a.rows(), a.cols()) +
+                 system_->setup_flops();
+}
+
+LassoAdmmSolver::~LassoAdmmSolver() = default;
+
+AdmmResult LassoAdmmSolver::solve(double lambda,
+                                  const AdmmResult* warm_start) const {
+  return solve_elastic_net(lambda, 0.0, warm_start);
+}
+
+AdmmResult LassoAdmmSolver::solve_elastic_net(
+    double lambda1, double lambda2, const AdmmResult* warm_start) const {
+  // The constructor-built factorization serves the initial rho; adaptive
+  // rho changes trigger a (per-solve, local) rebuild.
+  std::unique_ptr<RidgeSystemSolver> rebuilt;
+  double current_rho = options_.rho;
+  return detail::run_admm_loop(
+      a_.cols(), lambda1, options_, atb_,
+      [&](std::span<const double> q, std::span<double> x, double rho) {
+        if (rho != current_rho) {
+          rebuilt = std::make_unique<RidgeSystemSolver>(a_, rho);
+          current_rho = rho;
+        }
+        (rebuilt ? *rebuilt : *system_).solve(q, x);
+      },
+      setup_flops_, system_->solve_flops(), warm_start, lambda2);
+}
+
+AdmmResult lasso_admm(ConstMatrixView a, std::span<const double> b,
+                      double lambda, const AdmmOptions& options) {
+  LassoAdmmSolver solver(a, b, options);
+  return solver.solve(lambda);
+}
+
+}  // namespace uoi::solvers

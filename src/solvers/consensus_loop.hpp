@@ -1,0 +1,174 @@
+#pragma once
+// Shared consensus-ADMM loop (internal). The dense distributed solver and
+// the block-structured VAR solver differ only in their local x-update; the
+// z-update Allreduce, dual update, global stopping test, and the §3.4.1
+// residual-balancing rho adaptation live here once.
+//
+// rho updates are driven by globally reduced residuals, so every rank
+// takes the same branch — no extra communication is needed to stay in
+// lock step.
+
+#include <cmath>
+#include <optional>
+
+#include "linalg/blas.hpp"
+#include "simcluster/comm.hpp"
+#include "simcluster/nonblocking.hpp"
+#include "solvers/admm_loop.hpp"  // rho_rescale_factor
+#include "solvers/distributed_admm.hpp"
+#include "solvers/prox.hpp"
+#include "support/error.hpp"
+
+namespace uoi::solvers::detail {
+
+/// Runs the consensus loop on `comm`. `x_update(z, u, x, rho)` must set
+/// this rank's local minimizer of
+/// (1/2)||A_i x - b_i||^2 + (rho/2)||x - z + u||^2, rebuilding any cached
+/// factorization when rho changed since the previous call.
+/// `n_unpenalized_tail`: the last k coordinates (e.g. an intercept) are
+/// averaged in the z-update without soft-thresholding. `l2_penalty` > 0
+/// turns the z-update into the elastic-net prox (ridge component applied
+/// to the penalized coordinates only).
+template <typename XUpdate>
+DistributedAdmmResult run_consensus_admm_loop(
+    uoi::sim::Comm& comm, std::size_t p, double lambda,
+    const AdmmOptions& options, XUpdate&& x_update,
+    std::uint64_t setup_flops, std::uint64_t per_iteration_flops,
+    const DistributedAdmmResult* warm_start,
+    std::size_t n_unpenalized_tail = 0, double l2_penalty = 0.0) {
+  UOI_CHECK(l2_penalty >= 0.0, "l2 penalty must be non-negative");
+  UOI_CHECK(lambda >= 0.0, "lambda must be non-negative");
+  UOI_CHECK(options.rho > 0.0, "rho must be positive");
+  double rho = options.rho;
+  const auto n_ranks = static_cast<double>(comm.size());
+
+  uoi::linalg::Vector x(p, 0.0), z(p, 0.0), u(p, 0.0), z_old(p), xu_sum(p);
+  if (warm_start != nullptr && warm_start->beta.size() == p) {
+    z = warm_start->beta;
+  }
+
+  DistributedAdmmResult result;
+  result.local_flops = setup_flops;
+  const double sqrt_p = std::sqrt(static_cast<double>(p));
+  std::size_t rho_updates = 0;
+
+  // Pipelined stopping test: the 3-scalar residual reduction runs on a
+  // duplicate communicator while the next iteration computes; the
+  // convergence decision then uses one-iteration-stale norms.
+  std::optional<uoi::sim::NonblockingContext> nonblocking;
+  if (options.pipelined_convergence_check) nonblocking.emplace(comm);
+  std::optional<uoi::sim::AllreduceRequest> pending;
+  double pending_sums[3] = {0.0, 0.0, 0.0};
+  double pending_s_norm = 0.0;
+
+  // Evaluates the (possibly stale) stopping test from reduced sums;
+  // identical on every rank. Returns true on convergence.
+  const auto evaluate = [&](const double sums[3], double s_norm,
+                            std::size_t iter) {
+    const double r_norm = std::sqrt(sums[0]);
+    const double z_stack_norm = std::sqrt(n_ranks) * uoi::linalg::nrm2(z);
+    const double eps_pri =
+        sqrt_p * std::sqrt(n_ranks) * options.eps_abs +
+        options.eps_rel * std::max(std::sqrt(sums[1]), z_stack_norm);
+    const double eps_dual = sqrt_p * std::sqrt(n_ranks) * options.eps_abs +
+                            options.eps_rel * rho * std::sqrt(sums[2]);
+    result.primal_residual = r_norm;
+    result.dual_residual = s_norm;
+    if (r_norm <= eps_pri && s_norm <= eps_dual) return true;
+    const double factor =
+        rho_rescale_factor(options, iter, rho_updates, r_norm, s_norm);
+    if (factor != 1.0) {
+      rho *= factor;
+      for (auto& v : u) v /= factor;
+      ++rho_updates;
+    }
+    return false;
+  };
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Harvest the previous iteration's pipelined reduction first: its
+    // verdict arrives one iteration late but costs no blocking time here
+    // beyond the residual overlap.
+    if (pending.has_value()) {
+      pending->wait();
+      pending.reset();
+      result.iterations = iter;  // verdict refers to the previous iterates
+      if (evaluate(pending_sums, pending_s_norm, iter - 1)) {
+        result.converged = true;
+        break;
+      }
+    }
+
+    x_update(z, u, x, rho);
+    result.local_flops += per_iteration_flops;
+
+    // Consensus z-update: one p-length Allreduce of (x_i + u_i).
+    for (std::size_t i = 0; i < p; ++i) xu_sum[i] = x[i] + u[i];
+    comm.allreduce(xu_sum, uoi::sim::ReduceOp::kSum);
+    ++result.allreduce_calls;
+    result.allreduce_bytes += p * sizeof(double);
+
+    z_old = z;
+    const std::size_t penalized = p - n_unpenalized_tail;
+    // z = argmin lambda|z|_1 + (l2/2)|z|^2 + sum_i (rho/2)(z - (x_i+u_i))^2
+    //   = S(rho * sum_i(x_i+u_i), lambda) / (rho N + l2).
+    const double denom = rho * n_ranks + l2_penalty;
+    for (std::size_t i = 0; i < penalized; ++i) {
+      z[i] = soft_threshold(rho * xu_sum[i], lambda) / denom;
+    }
+    for (std::size_t i = penalized; i < p; ++i) {
+      z[i] = xu_sum[i] / n_ranks;
+    }
+    for (std::size_t i = 0; i < p; ++i) u[i] += x[i] - z[i];
+
+    // Global stopping test (Boyd §7.1 for consensus).
+    double local_r_sq = 0.0, local_x_sq = 0.0, local_u_sq = 0.0;
+    for (std::size_t i = 0; i < p; ++i) {
+      const double r = x[i] - z[i];
+      local_r_sq += r * r;
+      local_x_sq += x[i] * x[i];
+      local_u_sq += u[i] * u[i];
+    }
+    double s_sq = 0.0;
+    for (std::size_t i = 0; i < p; ++i) {
+      const double dz = z[i] - z_old[i];
+      s_sq += dz * dz;
+    }
+    const double s_norm = rho * std::sqrt(n_ranks) * std::sqrt(s_sq);
+
+    result.iterations = iter + 1;
+    if (nonblocking.has_value()) {
+      pending_sums[0] = local_r_sq;
+      pending_sums[1] = local_x_sq;
+      pending_sums[2] = local_u_sq;
+      pending_s_norm = s_norm;
+      pending.emplace(nonblocking->iallreduce(
+          std::span<double>(pending_sums, 3), uoi::sim::ReduceOp::kSum));
+      continue;
+    }
+
+    double sums[3] = {local_r_sq, local_x_sq, local_u_sq};
+    comm.allreduce(std::span<double>(sums, 3), uoi::sim::ReduceOp::kSum);
+    if (evaluate(sums, s_norm, iter)) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (pending.has_value()) {
+    pending->wait();
+    pending.reset();
+    if (!result.converged &&
+        evaluate(pending_sums, pending_s_norm, options.max_iterations)) {
+      result.converged = true;
+    }
+  }
+
+  if (!result.converged && options.throw_on_nonconvergence) {
+    throw uoi::support::ConvergenceError(
+        "consensus LASSO-ADMM did not converge within the iteration budget");
+  }
+  result.beta = std::move(z);
+  return result;
+}
+
+}  // namespace uoi::solvers::detail

@@ -1,0 +1,44 @@
+#include "solvers/lambda_grid.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "support/error.hpp"
+
+namespace uoi::solvers {
+
+double lambda_max(uoi::linalg::ConstMatrixView x, std::span<const double> y) {
+  UOI_CHECK_DIMS(x.rows() == y.size(), "lambda_max: X rows != y size");
+  std::vector<double> xty(x.cols(), 0.0);
+  uoi::linalg::gemv_transposed(1.0, x, y, 0.0, xty);
+  double worst = 0.0;
+  for (double v : xty) worst = std::max(worst, std::abs(v));
+  return worst;
+}
+
+std::vector<double> log_spaced_lambdas(double hi, double ratio,
+                                       std::size_t q) {
+  UOI_CHECK(hi > 0.0, "lambda grid needs a positive maximum");
+  UOI_CHECK(ratio > 0.0 && ratio < 1.0, "ratio must be in (0, 1)");
+  UOI_CHECK(q >= 1, "lambda grid needs at least one value");
+  std::vector<double> grid(q);
+  if (q == 1) {
+    grid[0] = hi;
+    return grid;
+  }
+  const double step = std::log(ratio) / static_cast<double>(q - 1);
+  for (std::size_t j = 0; j < q; ++j) {
+    grid[j] = hi * std::exp(step * static_cast<double>(j));
+  }
+  return grid;
+}
+
+std::vector<double> lambda_grid_for(uoi::linalg::ConstMatrixView x,
+                                    std::span<const double> y, std::size_t q,
+                                    double eps) {
+  const double hi = lambda_max(x, y);
+  UOI_CHECK(hi > 0.0, "lambda_max is zero: X'y vanishes");
+  return log_spaced_lambdas(hi, eps, q);
+}
+
+}  // namespace uoi::solvers

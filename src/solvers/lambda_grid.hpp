@@ -1,0 +1,28 @@
+#pragma once
+// Regularization-path grids. UoI sweeps q lambda values (Algorithm 1/2,
+// the P_lambda parallel dimension); this module builds the grids.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace uoi::solvers {
+
+/// Smallest lambda for which the LASSO solution is identically zero:
+/// lambda_max = ||X'y||_inf (for the 1/2||.||^2 + lambda||.||_1 objective).
+[[nodiscard]] double lambda_max(uoi::linalg::ConstMatrixView x,
+                                std::span<const double> y);
+
+/// q logarithmically spaced values descending from `hi` to `hi * ratio`.
+[[nodiscard]] std::vector<double> log_spaced_lambdas(double hi, double ratio,
+                                                     std::size_t q);
+
+/// Convenience: grid from the data, spanning [eps * lambda_max, lambda_max].
+[[nodiscard]] std::vector<double> lambda_grid_for(uoi::linalg::ConstMatrixView x,
+                                                  std::span<const double> y,
+                                                  std::size_t q,
+                                                  double eps = 1e-3);
+
+}  // namespace uoi::solvers

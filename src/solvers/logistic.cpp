@@ -1,0 +1,228 @@
+#include "solvers/logistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "solvers/prox.hpp"
+#include "support/error.hpp"
+
+namespace uoi::solvers {
+
+using uoi::linalg::ConstMatrixView;
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+
+double sigmoid(double t) noexcept {
+  if (t >= 0.0) {
+    const double e = std::exp(-t);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(t);
+  return e / (1.0 + e);
+}
+
+double logistic_log_loss(ConstMatrixView x, std::span<const double> y,
+                         std::span<const double> beta, double intercept) {
+  UOI_CHECK_DIMS(x.rows() == y.size() && x.cols() == beta.size(),
+                 "log loss: shape mismatch");
+  UOI_CHECK(x.rows() > 0, "log loss of an empty sample");
+  double acc = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double t = uoi::linalg::dot(x.row(r), beta) + intercept;
+    const double prob =
+        std::clamp(sigmoid(t), 1e-12, 1.0 - 1e-12);
+    acc -= y[r] * std::log(prob) + (1.0 - y[r]) * std::log(1.0 - prob);
+  }
+  return acc / static_cast<double>(x.rows());
+}
+
+double logistic_accuracy(ConstMatrixView x, std::span<const double> y,
+                         std::span<const double> beta, double intercept) {
+  UOI_CHECK(x.rows() > 0, "accuracy of an empty sample");
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double t = uoi::linalg::dot(x.row(r), beta) + intercept;
+    const bool predicted = t > 0.0;
+    if (predicted == (y[r] > 0.5)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.rows());
+}
+
+double logistic_lambda_max(ConstMatrixView x, std::span<const double> y) {
+  UOI_CHECK_DIMS(x.rows() == y.size(), "lambda_max: shape mismatch");
+  double y_bar = 0.0;
+  for (const double v : y) y_bar += v;
+  y_bar /= static_cast<double>(y.size());
+  Vector residual(y.size());
+  for (std::size_t r = 0; r < y.size(); ++r) residual[r] = y[r] - y_bar;
+  Vector grad(x.cols(), 0.0);
+  uoi::linalg::gemv_transposed(1.0, x, residual, 0.0, grad);
+  double worst = 0.0;
+  for (const double g : grad) worst = std::max(worst, std::abs(g));
+  return worst;
+}
+
+namespace {
+
+/// Largest eigenvalue of X'X by power iteration (a few sweeps suffice for
+/// a step-size bound; we inflate by 5% for safety).
+double gram_spectral_bound(ConstMatrixView x) {
+  const std::size_t p = x.cols();
+  Vector v(p, 1.0 / std::sqrt(static_cast<double>(p)));
+  Vector xv(x.rows(), 0.0), xtxv(p, 0.0);
+  double eigenvalue = 1.0;
+  for (int iter = 0; iter < 30; ++iter) {
+    uoi::linalg::gemv(1.0, x, v, 0.0, xv);
+    uoi::linalg::gemv_transposed(1.0, x, xv, 0.0, xtxv);
+    eigenvalue = uoi::linalg::nrm2(xtxv);
+    if (eigenvalue == 0.0) return 1.0;
+    for (std::size_t i = 0; i < p; ++i) v[i] = xtxv[i] / eigenvalue;
+  }
+  return eigenvalue * 1.05;
+}
+
+}  // namespace
+
+LogisticResult logistic_lasso(ConstMatrixView x, std::span<const double> y,
+                              double lambda,
+                              const LogisticOptions& options) {
+  UOI_CHECK_DIMS(x.rows() == y.size(), "logistic lasso: shape mismatch");
+  UOI_CHECK(lambda >= 0.0, "lambda must be non-negative");
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+
+  // Lipschitz constant of the gradient (including the intercept column):
+  // L <= (||X'X||_2 + n) / 4; the +n accounts for the implicit 1s column.
+  const double lipschitz =
+      (gram_spectral_bound(x) + static_cast<double>(n)) / 4.0;
+  const double step = 1.0 / lipschitz;
+
+  LogisticResult result;
+  result.beta.assign(p, 0.0);
+  Vector momentum(p, 0.0);
+  double intercept_momentum = 0.0;
+  double t_k = 1.0;
+
+  Vector probs(n), grad(p);
+  Vector previous(p, 0.0);
+  double previous_intercept = 0.0;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Gradient at the momentum point.
+    double grad_intercept = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double t =
+          uoi::linalg::dot(x.row(r), momentum) + intercept_momentum;
+      probs[r] = sigmoid(t) - y[r];
+      grad_intercept += probs[r];
+    }
+    uoi::linalg::gemv_transposed(1.0, x, probs, 0.0, grad);
+
+    // Proximal step (intercept unpenalized).
+    Vector next(p);
+    for (std::size_t i = 0; i < p; ++i) {
+      next[i] = soft_threshold(momentum[i] - step * grad[i], step * lambda);
+    }
+    const double next_intercept =
+        intercept_momentum - step * grad_intercept;
+
+    // FISTA momentum update.
+    const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t_k * t_k));
+    const double mix = (t_k - 1.0) / t_next;
+    for (std::size_t i = 0; i < p; ++i) {
+      momentum[i] = next[i] + mix * (next[i] - previous[i]);
+    }
+    intercept_momentum =
+        next_intercept + mix * (next_intercept - previous_intercept);
+    t_k = t_next;
+
+    // Convergence: movement of the iterate.
+    double delta = std::abs(next_intercept - previous_intercept);
+    for (std::size_t i = 0; i < p; ++i) {
+      delta = std::max(delta, std::abs(next[i] - previous[i]));
+    }
+    previous = next;
+    previous_intercept = next_intercept;
+    result.beta = std::move(next);
+    result.intercept = next_intercept;
+    result.iterations = iter + 1;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+LogisticResult logistic_irls_on_support(ConstMatrixView x,
+                                        std::span<const double> y,
+                                        std::span<const std::size_t> support,
+                                        const LogisticOptions& options) {
+  UOI_CHECK_DIMS(x.rows() == y.size(), "IRLS: shape mismatch");
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  const std::size_t k = support.size();
+
+  LogisticResult result;
+  result.beta.assign(p, 0.0);
+
+  // Design restricted to the support plus an intercept column (last).
+  Matrix design(n, k + 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = x.row(r);
+    auto dst = design.row(r);
+    for (std::size_t c = 0; c < k; ++c) dst[c] = row[support[c]];
+    dst[k] = 1.0;
+  }
+
+  Vector theta(k + 1, 0.0);  // coefficients + intercept
+  Vector eta(n), weights(n), z(n);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Working response and weights.
+    for (std::size_t r = 0; r < n; ++r) {
+      eta[r] = uoi::linalg::dot(design.row(r), theta);
+      const double mu = sigmoid(eta[r]);
+      const double w = std::max(mu * (1.0 - mu), 1e-10);
+      weights[r] = w;
+      z[r] = eta[r] + (y[r] - mu) / w;
+    }
+    // Weighted least squares: (D' W D + jitter I) theta = D' W z.
+    Matrix gram(k + 1, k + 1);
+    Vector rhs(k + 1, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto row = design.row(r);
+      const double w = weights[r];
+      for (std::size_t i = 0; i <= k; ++i) {
+        rhs[i] += w * row[i] * z[r];
+        for (std::size_t j = i; j <= k; ++j) {
+          gram(i, j) += w * row[i] * row[j];
+        }
+      }
+    }
+    for (std::size_t i = 0; i <= k; ++i) {
+      gram(i, i) += options.l2_jitter;
+      for (std::size_t j = 0; j < i; ++j) gram(i, j) = gram(j, i);
+    }
+    const Vector next = uoi::linalg::cholesky_solve(gram, rhs);
+
+    double delta = 0.0;
+    for (std::size_t i = 0; i <= k; ++i) {
+      delta = std::max(delta, std::abs(next[i] - theta[i]));
+    }
+    theta = next;
+    result.iterations = iter + 1;
+    if (delta < options.tolerance * 10.0) {
+      result.converged = true;
+      break;
+    }
+    if (iter >= 100) break;  // IRLS either converges fast or diverges
+  }
+
+  for (std::size_t c = 0; c < k; ++c) result.beta[support[c]] = theta[c];
+  result.intercept = theta[k];
+  return result;
+}
+
+}  // namespace uoi::solvers

@@ -1,0 +1,68 @@
+#pragma once
+// L1-regularized and unpenalized logistic regression — the solvers behind
+// UoI_Logistic (the GLM member of the UoI family, cf. PyUoI).
+//
+//  * logistic_lasso: FISTA (accelerated proximal gradient) on
+//      f(beta) = sum_i log(1 + exp(x_i'beta)) - y_i x_i'beta,
+//    prox = soft threshold. Step size from the logistic Hessian bound
+//    L <= ||X'X||_2 / 4, estimated by power iteration.
+//  * logistic_irls: Newton / iteratively reweighted least squares for the
+//    unpenalized fits on candidate supports (estimation step), with an
+//    optional tiny L2 for separation robustness.
+
+#include <cstdint>
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace uoi::solvers {
+
+struct LogisticOptions {
+  double tolerance = 1e-8;        ///< gradient-map norm to declare converged
+  std::size_t max_iterations = 5000;
+  double l2_jitter = 1e-8;        ///< tiny ridge for IRLS separation cases
+};
+
+struct LogisticResult {
+  uoi::linalg::Vector beta;
+  double intercept = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// sigma(t) = 1 / (1 + exp(-t)), numerically stable at both tails.
+[[nodiscard]] double sigmoid(double t) noexcept;
+
+/// Mean negative log-likelihood of labels y in {0,1} under (beta,
+/// intercept); clamped away from log(0).
+[[nodiscard]] double logistic_log_loss(uoi::linalg::ConstMatrixView x,
+                                       std::span<const double> y,
+                                       std::span<const double> beta,
+                                       double intercept);
+
+/// Classification accuracy at threshold 0.5.
+[[nodiscard]] double logistic_accuracy(uoi::linalg::ConstMatrixView x,
+                                       std::span<const double> y,
+                                       std::span<const double> beta,
+                                       double intercept);
+
+/// L1-penalized logistic regression by FISTA. The intercept is always
+/// unpenalized and fitted.
+[[nodiscard]] LogisticResult logistic_lasso(uoi::linalg::ConstMatrixView x,
+                                            std::span<const double> y,
+                                            double lambda,
+                                            const LogisticOptions& options = {});
+
+/// Unpenalized logistic fit restricted to `support` (zero-padded result),
+/// by IRLS/Newton.
+[[nodiscard]] LogisticResult logistic_irls_on_support(
+    uoi::linalg::ConstMatrixView x, std::span<const double> y,
+    std::span<const std::size_t> support, const LogisticOptions& options = {});
+
+/// Smallest lambda with an all-zero solution:
+/// lambda_max = ||X'(y - y_bar)||_inf / n for the mean-loss objective...
+/// we use the sum-loss convention, so it is ||X'(y - y_bar)||_inf.
+[[nodiscard]] double logistic_lambda_max(uoi::linalg::ConstMatrixView x,
+                                         std::span<const double> y);
+
+}  // namespace uoi::solvers

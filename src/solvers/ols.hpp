@@ -1,0 +1,48 @@
+#pragma once
+// Ordinary least squares, the model-estimation solver of UoI (Algorithm 1
+// line 18 / Algorithm 2 line 24). Two interchangeable implementations:
+//
+//  * ols_direct       — normal equations + Cholesky (with a tiny ridge
+//                       jitter retry when the Gram matrix is singular, e.g.
+//                       bootstrap samples with duplicated rows);
+//  * ols_admm         — LASSO-ADMM with lambda = 0, the formulation the
+//                       paper uses "to ensure good scalability" (§II-C).
+//
+// Both support restriction to a support set: the estimate is computed over
+// the selected columns and scattered back into a full-length, zero-padded
+// coefficient vector.
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "solvers/admm_lasso.hpp"
+
+namespace uoi::solvers {
+
+/// OLS over all columns via normal equations.
+[[nodiscard]] uoi::linalg::Vector ols_direct(uoi::linalg::ConstMatrixView x,
+                                             std::span<const double> y);
+
+/// OLS restricted to `support` (sorted column indices); the result has
+/// x.cols() entries with zeros off-support.
+[[nodiscard]] uoi::linalg::Vector ols_direct_on_support(
+    uoi::linalg::ConstMatrixView x, std::span<const double> y,
+    std::span<const std::size_t> support);
+
+/// OLS via ADMM with lambda = 0 (paper §II-C); same restriction semantics.
+[[nodiscard]] uoi::linalg::Vector ols_admm_on_support(
+    uoi::linalg::ConstMatrixView x, std::span<const double> y,
+    std::span<const std::size_t> support, const AdmmOptions& options = {});
+
+/// Mean squared prediction error of `beta` on (x, y).
+[[nodiscard]] double mean_squared_error(uoi::linalg::ConstMatrixView x,
+                                        std::span<const double> y,
+                                        std::span<const double> beta);
+
+/// Coefficient of determination R^2 of `beta` on (x, y).
+[[nodiscard]] double r_squared(uoi::linalg::ConstMatrixView x,
+                               std::span<const double> y,
+                               std::span<const double> beta);
+
+}  // namespace uoi::solvers

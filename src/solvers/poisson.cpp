@@ -1,0 +1,240 @@
+#include "solvers/poisson.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "solvers/prox.hpp"
+#include "support/error.hpp"
+
+namespace uoi::solvers {
+
+using uoi::linalg::ConstMatrixView;
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+
+namespace {
+
+/// eta clamped so exp() never overflows; counts above e^30 are beyond any
+/// physical spike-rate regime anyway.
+constexpr double kEtaCap = 30.0;
+
+double smooth_loss(ConstMatrixView x, std::span<const double> y,
+                   std::span<const double> beta, double intercept) {
+  double loss = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double eta = std::min(
+        uoi::linalg::dot(x.row(r), beta) + intercept, kEtaCap);
+    loss += std::exp(eta) - y[r] * eta;
+  }
+  return loss;
+}
+
+}  // namespace
+
+double poisson_deviance(ConstMatrixView x, std::span<const double> y,
+                        std::span<const double> beta, double intercept) {
+  UOI_CHECK_DIMS(x.rows() == y.size() && x.cols() == beta.size(),
+                 "deviance: shape mismatch");
+  UOI_CHECK(x.rows() > 0, "deviance of an empty sample");
+  double dev = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double eta = std::min(
+        uoi::linalg::dot(x.row(r), beta) + intercept, kEtaCap);
+    const double mu = std::exp(eta);
+    if (y[r] > 0.0) dev += y[r] * std::log(y[r] / mu);
+    dev -= (y[r] - mu);
+  }
+  return 2.0 * dev / static_cast<double>(x.rows());
+}
+
+double poisson_lambda_max(ConstMatrixView x, std::span<const double> y) {
+  UOI_CHECK_DIMS(x.rows() == y.size(), "lambda_max: shape mismatch");
+  double y_bar = 0.0;
+  for (const double v : y) {
+    UOI_CHECK(v >= 0.0, "Poisson counts must be non-negative");
+    y_bar += v;
+  }
+  y_bar /= static_cast<double>(y.size());
+  Vector residual(y.size());
+  for (std::size_t r = 0; r < y.size(); ++r) residual[r] = y[r] - y_bar;
+  Vector grad(x.cols(), 0.0);
+  uoi::linalg::gemv_transposed(1.0, x, residual, 0.0, grad);
+  double worst = 0.0;
+  for (const double g : grad) worst = std::max(worst, std::abs(g));
+  return worst;
+}
+
+PoissonResult poisson_lasso(ConstMatrixView x, std::span<const double> y,
+                            double lambda, const PoissonOptions& options) {
+  UOI_CHECK_DIMS(x.rows() == y.size(), "poisson lasso: shape mismatch");
+  UOI_CHECK(lambda >= 0.0, "lambda must be non-negative");
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+
+  PoissonResult result;
+  result.beta.assign(p, 0.0);
+  // Start the intercept at log(mean + eps): the lambda_max fit.
+  double y_bar = 0.0;
+  for (const double v : y) y_bar += v;
+  y_bar /= static_cast<double>(n);
+  result.intercept = std::log(std::max(y_bar, 1e-8));
+
+  Vector residual(n), grad(p), candidate(p);
+  double step = options.initial_step;
+  double loss = smooth_loss(x, y, result.beta, result.intercept);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Gradient of the smooth part at the current iterate.
+    double grad_intercept = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double eta = std::min(
+          uoi::linalg::dot(x.row(r), result.beta) + result.intercept,
+          kEtaCap);
+      residual[r] = std::exp(eta) - y[r];
+      grad_intercept += residual[r];
+    }
+    uoi::linalg::gemv_transposed(1.0, x, residual, 0.0, grad);
+
+    // Backtracking proximal step: shrink until the quadratic upper bound
+    // at step size `step` certifies descent.
+    double candidate_intercept = 0.0;
+    double new_loss = 0.0;
+    bool accepted = false;
+    for (int halving = 0; halving < 60; ++halving) {
+      for (std::size_t i = 0; i < p; ++i) {
+        candidate[i] =
+            soft_threshold(result.beta[i] - step * grad[i], step * lambda);
+      }
+      candidate_intercept = result.intercept - step * grad_intercept;
+      new_loss = smooth_loss(x, y, candidate, candidate_intercept);
+      double quad = loss;
+      double dist_sq = 0.0;
+      for (std::size_t i = 0; i < p; ++i) {
+        const double d = candidate[i] - result.beta[i];
+        quad += grad[i] * d;
+        dist_sq += d * d;
+      }
+      const double d0 = candidate_intercept - result.intercept;
+      quad += grad_intercept * d0;
+      dist_sq += d0 * d0;
+      quad += dist_sq / (2.0 * step);
+      if (new_loss <= quad + 1e-12) {
+        accepted = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!accepted) break;  // step underflow: numerically converged
+
+    double movement = std::abs(candidate_intercept - result.intercept);
+    for (std::size_t i = 0; i < p; ++i) {
+      movement = std::max(movement, std::abs(candidate[i] - result.beta[i]));
+    }
+    result.beta = candidate;
+    result.intercept = candidate_intercept;
+    loss = new_loss;
+    result.iterations = iter + 1;
+    step *= 1.2;  // optimistic growth; backtracking re-shrinks as needed
+    if (movement < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+PoissonResult poisson_irls_on_support(ConstMatrixView x,
+                                      std::span<const double> y,
+                                      std::span<const std::size_t> support,
+                                      const PoissonOptions& options) {
+  UOI_CHECK_DIMS(x.rows() == y.size(), "poisson IRLS: shape mismatch");
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  const std::size_t k = support.size();
+
+  PoissonResult result;
+  result.beta.assign(p, 0.0);
+
+  Matrix design(n, k + 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = x.row(r);
+    auto dst = design.row(r);
+    for (std::size_t c = 0; c < k; ++c) dst[c] = row[support[c]];
+    dst[k] = 1.0;
+  }
+
+  Vector theta(k + 1, 0.0);
+  {
+    double y_bar = 0.0;
+    for (const double v : y) y_bar += v;
+    theta[k] = std::log(std::max(y_bar / static_cast<double>(n), 1e-8));
+  }
+
+  Vector eta(n), mu(n);
+  const auto objective = [&](const Vector& t) {
+    double loss = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double e =
+          std::min(uoi::linalg::dot(design.row(r), t), kEtaCap);
+      loss += std::exp(e) - y[r] * e;
+    }
+    return loss;
+  };
+
+  for (std::size_t iter = 0; iter < 200; ++iter) {
+    Matrix gram(k + 1, k + 1);
+    Vector rhs(k + 1, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto row = design.row(r);
+      eta[r] = std::min(uoi::linalg::dot(row, theta), kEtaCap);
+      mu[r] = std::exp(eta[r]);
+      const double w = std::max(mu[r], 1e-10);
+      for (std::size_t i = 0; i <= k; ++i) {
+        rhs[i] += (y[r] - mu[r]) * row[i];
+        for (std::size_t j = i; j <= k; ++j) {
+          gram(i, j) += w * row[i] * row[j];
+        }
+      }
+    }
+    for (std::size_t i = 0; i <= k; ++i) {
+      gram(i, i) += options.l2_jitter;
+      for (std::size_t j = 0; j < i; ++j) gram(i, j) = gram(j, i);
+    }
+    const Vector delta = uoi::linalg::cholesky_solve(gram, rhs);
+
+    // Damped Newton: halve until the objective does not increase.
+    const double base = objective(theta);
+    double scale = 1.0;
+    Vector next(k + 1);
+    bool accepted = false;
+    for (int halving = 0; halving < 30; ++halving) {
+      for (std::size_t i = 0; i <= k; ++i) {
+        next[i] = theta[i] + scale * delta[i];
+      }
+      if (objective(next) <= base + 1e-12) {
+        accepted = true;
+        break;
+      }
+      scale *= 0.5;
+    }
+    if (!accepted) break;
+    double movement = 0.0;
+    for (std::size_t i = 0; i <= k; ++i) {
+      movement = std::max(movement, std::abs(next[i] - theta[i]));
+    }
+    theta = next;
+    result.iterations = iter + 1;
+    if (movement < options.tolerance * 10.0) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  for (std::size_t c = 0; c < k; ++c) result.beta[support[c]] = theta[c];
+  result.intercept = theta[k];
+  return result;
+}
+
+}  // namespace uoi::solvers

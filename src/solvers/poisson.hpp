@@ -1,0 +1,58 @@
+#pragma once
+// L1-regularized and unpenalized Poisson regression — the right likelihood
+// for the paper's neuroscience application (spike *counts*), where the
+// Gaussian VAR treats sqrt-transformed counts as a surrogate.
+//
+//  * poisson_lasso: proximal gradient with backtracking line search on
+//      f(beta, b) = sum_i exp(eta_i) - y_i eta_i,   eta = x_i'beta + b
+//    (the Poisson Hessian is unbounded, so a fixed step is unsafe; the
+//    backtracking condition is the standard quadratic-upper-bound test).
+//  * poisson_irls_on_support: damped Newton/IRLS for the unpenalized
+//    refits on candidate supports.
+
+#include <cstdint>
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace uoi::solvers {
+
+struct PoissonOptions {
+  double tolerance = 1e-8;        ///< iterate-movement stopping test
+  std::size_t max_iterations = 20000;
+  double initial_step = 1.0;
+  double l2_jitter = 1e-8;        ///< IRLS ridge for degenerate designs
+};
+
+struct PoissonResult {
+  uoi::linalg::Vector beta;
+  double intercept = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Mean Poisson deviance of counts y under (beta, intercept):
+/// (2/n) sum_i [y_i log(y_i / mu_i) - (y_i - mu_i)], with the y = 0 term
+/// defined by continuity. Lower is better; 0 = saturated fit.
+[[nodiscard]] double poisson_deviance(uoi::linalg::ConstMatrixView x,
+                                      std::span<const double> y,
+                                      std::span<const double> beta,
+                                      double intercept);
+
+/// Smallest lambda with an all-zero coefficient vector (intercept fit to
+/// log(mean y)): ||X'(y - y_bar)||_inf.
+[[nodiscard]] double poisson_lambda_max(uoi::linalg::ConstMatrixView x,
+                                        std::span<const double> y);
+
+/// L1-penalized Poisson regression (intercept unpenalized).
+[[nodiscard]] PoissonResult poisson_lasso(uoi::linalg::ConstMatrixView x,
+                                          std::span<const double> y,
+                                          double lambda,
+                                          const PoissonOptions& options = {});
+
+/// Unpenalized Poisson fit restricted to `support` (zero-padded result).
+[[nodiscard]] PoissonResult poisson_irls_on_support(
+    uoi::linalg::ConstMatrixView x, std::span<const double> y,
+    std::span<const std::size_t> support, const PoissonOptions& options = {});
+
+}  // namespace uoi::solvers

@@ -1,0 +1,34 @@
+#pragma once
+// Proximal operators used by the ADMM solvers.
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+namespace uoi::solvers {
+
+/// Scalar soft-thresholding: S_k(a) = sign(a) * max(|a| - k, 0).
+/// This is the z-update of LASSO-ADMM (prox of k * |.|_1).
+[[nodiscard]] inline double soft_threshold(double a, double k) noexcept {
+  if (a > k) return a - k;
+  if (a < -k) return a + k;
+  return 0.0;
+}
+
+/// Element-wise soft-thresholding: out_i = S_k(in_i). May alias.
+inline void soft_threshold(std::span<const double> in, double k,
+                           std::span<double> out) noexcept {
+  const std::size_t n = std::min(in.size(), out.size());
+  for (std::size_t i = 0; i < n; ++i) out[i] = soft_threshold(in[i], k);
+}
+
+/// Prox of the elastic-net penalty lambda1 |z| + (lambda2 / 2) z^2 at
+/// parameter rho: argmin_z of the penalty + (rho/2)(z - v)^2. Reduces to
+/// plain soft-thresholding when lambda2 = 0.
+[[nodiscard]] inline double elastic_net_prox(double v, double lambda1,
+                                             double lambda2,
+                                             double rho) noexcept {
+  return soft_threshold(rho * v, lambda1) / (rho + lambda2);
+}
+
+}  // namespace uoi::solvers

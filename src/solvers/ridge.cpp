@@ -1,0 +1,21 @@
+#include "solvers/ridge.hpp"
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "support/error.hpp"
+
+namespace uoi::solvers {
+
+uoi::linalg::Vector ridge(uoi::linalg::ConstMatrixView x,
+                          std::span<const double> y, double lambda) {
+  UOI_CHECK_DIMS(x.rows() == y.size(), "ridge: X rows != y size");
+  UOI_CHECK(lambda > 0.0, "ridge requires a positive lambda");
+  uoi::linalg::Matrix gram(x.cols(), x.cols());
+  uoi::linalg::syrk_at_a(1.0, x, 0.0, gram);
+  for (std::size_t i = 0; i < x.cols(); ++i) gram(i, i) += lambda;
+  uoi::linalg::Vector xty(x.cols(), 0.0);
+  uoi::linalg::gemv_transposed(1.0, x, y, 0.0, xty);
+  return uoi::linalg::cholesky_solve(gram, xty);
+}
+
+}  // namespace uoi::solvers

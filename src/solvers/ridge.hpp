@@ -1,0 +1,16 @@
+#pragma once
+// Ridge regression baseline (closed form), used in the statistical
+// comparison benches alongside CV-LASSO.
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace uoi::solvers {
+
+/// beta = (X'X + lambda I)^{-1} X'y
+[[nodiscard]] uoi::linalg::Vector ridge(uoi::linalg::ConstMatrixView x,
+                                        std::span<const double> y,
+                                        double lambda);
+
+}  // namespace uoi::solvers

@@ -1,0 +1,42 @@
+#pragma once
+// Cached solver for the ADMM x-update system (A'A + rho I) x = q.
+//
+// Chooses between a p x p Cholesky of the Gram matrix (n >= p) and the
+// matrix-inversion-lemma path through an n x n factorization of
+// (A A' + rho I) (n < p). Shared by the serial and the distributed
+// consensus LASSO-ADMM solvers.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+
+namespace uoi::solvers {
+
+class RidgeSystemSolver {
+ public:
+  RidgeSystemSolver(uoi::linalg::ConstMatrixView a, double rho);
+
+  /// Solves (A'A + rho I) x = q.
+  void solve(std::span<const double> q, std::span<double> x) const;
+
+  /// FLOPs spent building the factorization.
+  [[nodiscard]] std::uint64_t setup_flops() const noexcept {
+    return setup_flops_;
+  }
+  /// FLOPs of one solve() call.
+  [[nodiscard]] std::uint64_t solve_flops() const noexcept;
+
+  [[nodiscard]] bool uses_woodbury() const noexcept { return use_woodbury_; }
+
+ private:
+  uoi::linalg::ConstMatrixView a_;
+  double rho_;
+  bool use_woodbury_;
+  std::unique_ptr<uoi::linalg::CholeskyFactor> factor_;
+  std::uint64_t setup_flops_ = 0;
+};
+
+}  // namespace uoi::solvers

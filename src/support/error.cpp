@@ -1,0 +1,20 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace uoi::support {
+
+std::string detail_format_check_message(const char* file, int line,
+                                        const char* expr,
+                                        const std::string& msg) {
+  std::ostringstream oss;
+  oss << file << ":" << line << ": check `" << expr << "` failed: " << msg;
+  return oss.str();
+}
+
+void detail_throw_check_failure(const char* file, int line, const char* expr,
+                                const std::string& msg) {
+  throw InvalidArgument(detail_format_check_message(file, line, expr, msg));
+}
+
+}  // namespace uoi::support

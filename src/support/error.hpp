@@ -1,0 +1,80 @@
+#pragma once
+// Error handling for the UoI library.
+//
+// Policy (follows C++ Core Guidelines E.2/E.3): programming and input errors
+// surface as exceptions derived from uoi::support::Error; hot inner loops use
+// UOI_ASSERT which compiles away in release builds unless UOI_ENABLE_ASSERTS
+// is defined.
+
+#include <stdexcept>
+#include <string>
+
+namespace uoi::support {
+
+/// Base class for all exceptions thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument violates its contract.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when matrix/vector shapes are incompatible.
+class DimensionMismatch : public Error {
+ public:
+  explicit DimensionMismatch(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on I/O failures (missing file, short read, bad magic, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an iterative solver fails to converge within its budget
+/// and the caller asked for strict convergence.
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+/// Builds a "file:line: msg" string; used by the check macros below.
+[[nodiscard]] std::string detail_format_check_message(const char* file, int line,
+                                                      const char* expr,
+                                                      const std::string& msg);
+
+[[noreturn]] void detail_throw_check_failure(const char* file, int line,
+                                             const char* expr,
+                                             const std::string& msg);
+
+}  // namespace uoi::support
+
+/// Always-on contract check: throws uoi::support::InvalidArgument on failure.
+#define UOI_CHECK(expr, msg)                                                  \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::uoi::support::detail_throw_check_failure(__FILE__, __LINE__, #expr,   \
+                                                 (msg));                      \
+    }                                                                         \
+  } while (false)
+
+/// Shape check: throws uoi::support::DimensionMismatch on failure.
+#define UOI_CHECK_DIMS(expr, msg)                                             \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      throw ::uoi::support::DimensionMismatch(                                \
+          ::uoi::support::detail_format_check_message(__FILE__, __LINE__,     \
+                                                      #expr, (msg)));         \
+    }                                                                         \
+  } while (false)
+
+/// Debug-only assertion for hot paths.
+#if defined(UOI_ENABLE_ASSERTS) || !defined(NDEBUG)
+#define UOI_ASSERT(expr) UOI_CHECK(expr, "assertion failed")
+#else
+#define UOI_ASSERT(expr) ((void)0)
+#endif

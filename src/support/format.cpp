@@ -1,0 +1,73 @@
+#include "support/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace uoi::support {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 7> kUnits = {"B",  "KB", "MB", "GB",
+                                                        "TB", "PB", "EB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[48];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else if (value == std::floor(value)) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds < 0.0) seconds = 0.0;
+  if (seconds >= 3600.0) {
+    const int hours = static_cast<int>(seconds / 3600.0);
+    const int minutes = static_cast<int>((seconds - hours * 3600.0) / 60.0);
+    std::snprintf(buf, sizeof(buf), "%dh %02dm", hours, minutes);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+std::string format_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_sci(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", decimals, value);
+  return buf;
+}
+
+}  // namespace uoi::support

@@ -1,0 +1,25 @@
+#pragma once
+// Human-readable formatting helpers shared by the benchmark harness and the
+// examples: byte sizes ("1.5 TB"), durations, counts, and fixed-width floats.
+
+#include <cstdint>
+#include <string>
+
+namespace uoi::support {
+
+/// "16 GB", "1.5 TB", "512 B" — powers of 1024, up to two decimals.
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// "1.23 s", "45.6 ms", "789 us", "2h 05m" for long durations.
+[[nodiscard]] std::string format_seconds(double seconds);
+
+/// "139,264" — thousands separators.
+[[nodiscard]] std::string format_count(std::uint64_t value);
+
+/// Fixed-point with the given number of decimals.
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Scientific notation with the given number of significant decimals.
+[[nodiscard]] std::string format_sci(double value, int decimals);
+
+}  // namespace uoi::support

@@ -1,0 +1,46 @@
+#pragma once
+// Minimal leveled logger. The library itself is silent by default; examples
+// and benches raise the level to Info. Thread-safe: each log line is
+// assembled into one string and written with a single stream insertion.
+
+#include <sstream>
+#include <string>
+
+namespace uoi::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Writes a single formatted line ("[level] message\n") to stderr if
+/// `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace uoi::support
+
+#define UOI_LOG_DEBUG ::uoi::support::detail::LogStream(::uoi::support::LogLevel::kDebug)
+#define UOI_LOG_INFO ::uoi::support::detail::LogStream(::uoi::support::LogLevel::kInfo)
+#define UOI_LOG_WARN ::uoi::support::detail::LogStream(::uoi::support::LogLevel::kWarn)
+#define UOI_LOG_ERROR ::uoi::support::detail::LogStream(::uoi::support::LogLevel::kError)

@@ -1,0 +1,181 @@
+#include "support/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace uoi::support {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+  // Xoshiro's all-zero state is absorbing; SplitMix64 cannot produce four
+  // zero outputs in a row from any seed, so no further guard is needed.
+}
+
+Xoshiro256 Xoshiro256::for_task(std::uint64_t master_seed, std::uint64_t a,
+                                std::uint64_t b, std::uint64_t c) noexcept {
+  // Mix the task coordinates into the master seed with distinct SplitMix64
+  // walks so that nearby coordinates yield uncorrelated streams.
+  std::uint64_t s = master_seed;
+  std::uint64_t h = splitmix64(s);
+  s ^= a * 0x9e3779b97f4a7c15ULL;
+  h ^= splitmix64(s);
+  s ^= b * 0xc2b2ae3d27d4eb4fULL;
+  h ^= splitmix64(s);
+  s ^= c * 0x165667b19e3779f9ULL;
+  h ^= splitmix64(s);
+  return Xoshiro256(h);
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Xoshiro256::uniform_below(std::uint64_t n) noexcept {
+  if (n <= 1) return 0;
+  // Lemire's multiply-shift rejection method: unbiased, usually one multiply.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::normal() noexcept {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+double Xoshiro256::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+std::uint64_t Xoshiro256::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's product-of-uniforms method.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double prod = uniform();
+    while (prod > limit) {
+      ++k;
+      prod *= uniform();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction is adequate for the
+  // synthetic spike-count generator (mean >= 30 is far into the CLT regime).
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+bool Xoshiro256::bernoulli(double p) noexcept { return uniform() < p; }
+
+std::vector<std::size_t> bootstrap_indices(Xoshiro256& rng,
+                                           std::size_t population,
+                                           std::size_t n) {
+  UOI_CHECK(population > 0, "bootstrap from an empty population");
+  std::vector<std::size_t> idx(n);
+  for (auto& i : idx) i = rng.uniform_below(population);
+  return idx;
+}
+
+std::vector<std::size_t> random_permutation(Xoshiro256& rng, std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.uniform_below(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<std::size_t> sample_without_replacement(Xoshiro256& rng,
+                                                    std::size_t population,
+                                                    std::size_t k) {
+  UOI_CHECK(k <= population, "cannot sample more than the population");
+  // Floyd's algorithm: k iterations, O(k) memory.
+  std::vector<std::size_t> chosen;
+  chosen.reserve(k);
+  for (std::size_t j = population - k; j < population; ++j) {
+    const std::size_t t = rng.uniform_below(j + 1);
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+      chosen.push_back(t);
+    } else {
+      chosen.push_back(j);
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+TrainTestSplit train_test_split(Xoshiro256& rng, std::size_t n,
+                                double test_fraction) {
+  UOI_CHECK(test_fraction >= 0.0 && test_fraction < 1.0,
+            "test_fraction must be in [0, 1)");
+  auto perm = random_permutation(rng, n);
+  const auto n_test = static_cast<std::size_t>(
+      std::floor(test_fraction * static_cast<double>(n)));
+  TrainTestSplit split;
+  split.test.assign(perm.begin(), perm.begin() + static_cast<std::ptrdiff_t>(n_test));
+  split.train.assign(perm.begin() + static_cast<std::ptrdiff_t>(n_test), perm.end());
+  std::sort(split.test.begin(), split.test.end());
+  std::sort(split.train.begin(), split.train.end());
+  return split;
+}
+
+}  // namespace uoi::support

@@ -1,0 +1,91 @@
+#pragma once
+// Deterministic, splittable pseudo-random number generation.
+//
+// UoI's statistical guarantees come from resampling, so reproducibility
+// across serial and distributed executions is a hard requirement: the same
+// master seed must yield the same bootstrap index sets regardless of which
+// rank computes them.  We use Xoshiro256** (Blackman & Vigna) seeded through
+// SplitMix64, which lets every (bootstrap, lambda, purpose) task derive an
+// independent stream from the master seed.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace uoi::support {
+
+/// SplitMix64 step; used for seeding and cheap hashing of task coordinates.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can be
+/// used with <random> distributions, though we provide our own samplers for
+/// reproducibility across standard-library implementations.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0xdeadbeefcafef00dULL) noexcept;
+
+  /// Constructs the generator for a task with coordinates (a, b, c) derived
+  /// from a master seed: independent streams for each bootstrap/lambda pair.
+  static Xoshiro256 for_task(std::uint64_t master_seed, std::uint64_t a,
+                             std::uint64_t b = 0, std::uint64_t c = 0) noexcept;
+
+  [[nodiscard]] result_type operator()() noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Uses Lemire's unbiased bounded method.
+  [[nodiscard]] std::uint64_t uniform_below(std::uint64_t n) noexcept;
+
+  /// Standard normal via the polar Box-Muller method (cached spare).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Poisson draw (Knuth for small mean, PTRS-lite rejection for large).
+  [[nodiscard]] std::uint64_t poisson(double mean) noexcept;
+
+  /// Bernoulli draw with success probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+/// n indices sampled uniformly with replacement from [0, population).
+/// This is the classic iid bootstrap used by UoI_LASSO (Algorithm 1, line 3).
+[[nodiscard]] std::vector<std::size_t> bootstrap_indices(Xoshiro256& rng,
+                                                         std::size_t population,
+                                                         std::size_t n);
+
+/// Random permutation of [0, n): Fisher-Yates.
+[[nodiscard]] std::vector<std::size_t> random_permutation(Xoshiro256& rng,
+                                                          std::size_t n);
+
+/// k distinct indices sampled uniformly without replacement from
+/// [0, population), returned sorted. Floyd's algorithm.
+[[nodiscard]] std::vector<std::size_t> sample_without_replacement(
+    Xoshiro256& rng, std::size_t population, std::size_t k);
+
+/// Splits [0, n) into a train/test partition with `test_fraction` of the
+/// indices in the test set, after a random shuffle. Both halves are sorted.
+struct TrainTestSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+[[nodiscard]] TrainTestSplit train_test_split(Xoshiro256& rng, std::size_t n,
+                                              double test_fraction);
+
+}  // namespace uoi::support

@@ -1,0 +1,43 @@
+#pragma once
+// Wall-clock stopwatch used for the functional (real) measurements in the
+// benchmark harness. Modeled (paper-scale) times come from perfmodel instead.
+
+#include <chrono>
+
+namespace uoi::support {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals; used to attribute
+/// runtime to the paper's four buckets (compute / communication /
+/// distribution / data I/O) in the functional benchmark paths.
+class IntervalTimer {
+ public:
+  void start() { watch_.reset(); }
+  void stop() { total_ += watch_.seconds(); }
+  [[nodiscard]] double total_seconds() const { return total_; }
+  void clear() { total_ = 0.0; }
+
+ private:
+  Stopwatch watch_;
+  double total_ = 0.0;
+};
+
+}  // namespace uoi::support

@@ -1,0 +1,33 @@
+#pragma once
+// Plain-text table printer used by the benchmark harness to emit the
+// paper-replication tables (Table II, the figure series, EXPERIMENTS.md
+// fodder). Columns are sized to their widest cell; a separator row follows
+// the header. Also emits CSV for machine consumption.
+
+#include <string>
+#include <vector>
+
+namespace uoi::support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with aligned columns and a header separator.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Renders as CSV (comma-separated, quotes when a cell contains a comma).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace uoi::support

@@ -1,0 +1,101 @@
+#include "var/analysis.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "support/error.hpp"
+
+namespace uoi::var {
+
+using uoi::linalg::Matrix;
+
+std::vector<Matrix> impulse_responses(const VarModel& model,
+                                      std::size_t horizon) {
+  const std::size_t p = model.dim();
+  const std::size_t d = model.order();
+  std::vector<Matrix> phi;
+  phi.reserve(horizon + 1);
+
+  Matrix identity(p, p);
+  for (std::size_t i = 0; i < p; ++i) identity(i, i) = 1.0;
+  phi.push_back(std::move(identity));
+
+  for (std::size_t h = 1; h <= horizon; ++h) {
+    Matrix next(p, p);
+    for (std::size_t j = 1; j <= std::min(h, d); ++j) {
+      uoi::linalg::gemm(1.0, model.coefficient(j - 1), phi[h - j], 1.0, next);
+    }
+    phi.push_back(std::move(next));
+  }
+  return phi;
+}
+
+std::vector<Matrix> fevd(const VarModel& model, std::size_t horizon) {
+  UOI_CHECK(horizon >= 1, "FEVD horizon must be >= 1");
+  const std::size_t p = model.dim();
+  const auto phi = impulse_responses(model, horizon - 1);
+
+  // With Sigma_U = sigma^2 I, the h-step forecast-error variance of
+  // variable i is sigma^2 * sum_{s<h} sum_k Phi_s(i,k)^2 and shock k's
+  // contribution is sigma^2 * sum_{s<h} Phi_s(i,k)^2; sigma^2 cancels.
+  std::vector<Matrix> shares;
+  shares.reserve(horizon);
+  Matrix cumulative(p, p);  // running sum of Phi_s(i,k)^2
+  for (std::size_t h = 0; h < horizon; ++h) {
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t k = 0; k < p; ++k) {
+        cumulative(i, k) += phi[h](i, k) * phi[h](i, k);
+      }
+    }
+    Matrix share(p, p);
+    for (std::size_t i = 0; i < p; ++i) {
+      double total = 0.0;
+      for (std::size_t k = 0; k < p; ++k) total += cumulative(i, k);
+      UOI_CHECK(total > 0.0, "degenerate forecast-error variance");
+      for (std::size_t k = 0; k < p; ++k) {
+        share(i, k) = cumulative(i, k) / total;
+      }
+    }
+    shares.push_back(std::move(share));
+  }
+  return shares;
+}
+
+Matrix stationary_covariance(const VarModel& model, double noise_variance,
+                             double tolerance, std::size_t max_iterations) {
+  UOI_CHECK(model.is_stable(),
+            "stationary covariance requires a stable model");
+  UOI_CHECK(noise_variance > 0.0, "noise variance must be positive");
+  const std::size_t p = model.dim();
+  const std::size_t d = model.order();
+  const Matrix companion = model.companion();
+  const std::size_t m = d * p;
+
+  // Q: sigma^2 I on the first p x p block (the disturbance enters the
+  // newest lag only).
+  Matrix sigma(m, m);
+  for (std::size_t i = 0; i < p; ++i) sigma(i, i) = noise_variance;
+
+  Matrix temp(m, m), next(m, m);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // next = C sigma C' + Q
+    uoi::linalg::gemm(1.0, companion, sigma, 0.0, temp);
+    const Matrix companion_t = companion.transposed();
+    uoi::linalg::gemm(1.0, temp, companion_t, 0.0, next);
+    for (std::size_t i = 0; i < p; ++i) next(i, i) += noise_variance;
+
+    const double delta = uoi::linalg::max_abs_diff(next, sigma);
+    sigma = next;
+    if (delta < tolerance) break;
+  }
+
+  // The caller cares about the contemporaneous covariance: the leading
+  // p x p block of the companion-form solution.
+  Matrix out(p, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < p; ++j) out(i, j) = sigma(i, j);
+  }
+  return out;
+}
+
+}  // namespace uoi::var

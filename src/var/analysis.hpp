@@ -1,0 +1,42 @@
+#pragma once
+// Classical VAR analysis tools (Lütkepohl 2005, ch. 2): the quantities an
+// econometrician computes from a fitted Granger network.
+//
+//  * MA(infinity) / impulse-response coefficients Phi_h: the response of
+//    every variable h steps after a unit shock to one variable;
+//  * forecast-error variance decomposition (FEVD): how much of each
+//    variable's h-step forecast variance each shock explains;
+//  * the stationary covariance of the process (discrete Lyapunov
+//    equation, solved by fixed-point iteration — geometric convergence
+//    for stable systems).
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "var/var_model.hpp"
+
+namespace uoi::var {
+
+/// Phi_0..Phi_horizon with Phi_0 = I and
+/// Phi_h = sum_{j=1..min(h,d)} A_j Phi_{h-j}.
+/// Entry (i, k) of Phi_h: response of variable i, h steps after a unit
+/// disturbance to variable k.
+[[nodiscard]] std::vector<uoi::linalg::Matrix> impulse_responses(
+    const VarModel& model, std::size_t horizon);
+
+/// FEVD with isotropic disturbances (Sigma = sigma^2 I, the model this
+/// library simulates and fits): share[h](i, k) is the fraction of
+/// variable i's (h+1)-step forecast-error variance attributable to the
+/// disturbance of variable k. Rows sum to 1.
+[[nodiscard]] std::vector<uoi::linalg::Matrix> fevd(const VarModel& model,
+                                                    std::size_t horizon);
+
+/// Stationary covariance Sigma_X solving the companion-form discrete
+/// Lyapunov equation Sigma = C Sigma C' + Q (Q = isotropic disturbance on
+/// the first block). Requires a stable model; `noise_variance` is the
+/// disturbance variance sigma^2.
+[[nodiscard]] uoi::linalg::Matrix stationary_covariance(
+    const VarModel& model, double noise_variance = 1.0,
+    double tolerance = 1e-12, std::size_t max_iterations = 10000);
+
+}  // namespace uoi::var

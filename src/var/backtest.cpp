@@ -1,0 +1,87 @@
+#include "var/backtest.hpp"
+
+#include <memory>
+
+#include "linalg/blas.hpp"
+#include "solvers/ols.hpp"
+#include "support/error.hpp"
+#include "var/lag_matrix.hpp"
+
+namespace uoi::var {
+
+using uoi::linalg::ConstMatrixView;
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+
+BacktestResult backtest_var(ConstMatrixView series, const VarFitter& fit,
+                            const BacktestOptions& options) {
+  const std::size_t n = series.rows();
+  const std::size_t p = series.cols();
+  UOI_CHECK(options.horizon >= 1, "horizon must be >= 1");
+  std::size_t first =
+      options.first_origin > 0 ? options.first_origin : (n * 3) / 5;
+  UOI_CHECK(first + options.horizon < n,
+            "first origin leaves no evaluation range");
+  UOI_CHECK(options.refit_interval >= 1, "refit interval must be >= 1");
+
+  BacktestResult result;
+  std::unique_ptr<VarModel> model;
+  Vector running_mean(p, 0.0);
+
+  for (std::size_t origin = first; origin + options.horizon < n;
+       ++origin) {
+    if (!model ||
+        (origin - first) % options.refit_interval == 0) {
+      model = std::make_unique<VarModel>(
+          fit(series.row_block(0, origin + 1)));
+      ++result.n_refits;
+    }
+    const Matrix fc =
+        forecast(*model, series.row_block(0, origin + 1), options.horizon);
+    // Historical mean of the training prefix.
+    for (std::size_t c = 0; c < p; ++c) running_mean[c] = 0.0;
+    for (std::size_t t = 0; t <= origin; ++t) {
+      const auto row = series.row(t);
+      for (std::size_t c = 0; c < p; ++c) running_mean[c] += row[c];
+    }
+    for (auto& m : running_mean) m /= static_cast<double>(origin + 1);
+
+    const auto realized = series.row(origin + options.horizon);
+    const auto last = series.row(origin);
+    for (std::size_t c = 0; c < p; ++c) {
+      const double model_err = fc(options.horizon - 1, c) - realized[c];
+      const double persist_err = last[c] - realized[c];
+      const double mean_err = running_mean[c] - realized[c];
+      result.model_mse += model_err * model_err;
+      result.persistence_mse += persist_err * persist_err;
+      result.mean_mse += mean_err * mean_err;
+    }
+    ++result.n_forecasts;
+  }
+  const double denom =
+      static_cast<double>(result.n_forecasts) * static_cast<double>(p);
+  result.model_mse /= denom;
+  result.persistence_mse /= denom;
+  result.mean_mse /= denom;
+  return result;
+}
+
+VarFitter ols_var_fitter(std::size_t order) {
+  return [order](ConstMatrixView train) {
+    const LagRegression lag = build_lag_regression(train, order);
+    const std::size_t p = train.cols();
+    const std::size_t dp = lag.x.cols();
+    std::vector<Matrix> a(order, Matrix(p, p));
+    Vector y_e(lag.y.rows());
+    for (std::size_t e = 0; e < p; ++e) {
+      for (std::size_t r = 0; r < lag.y.rows(); ++r) y_e[r] = lag.y(r, e);
+      const Vector beta = uoi::solvers::ols_direct(lag.x, y_e);
+      for (std::size_t c = 0; c < dp; ++c) {
+        a[c / p](e, c % p) = beta[c];
+      }
+    }
+    return VarModel(std::move(a));
+  };
+}
+
+}  // namespace uoi::var

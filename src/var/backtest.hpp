@@ -1,0 +1,48 @@
+#pragma once
+// Rolling-origin backtesting of VAR forecasts: the out-of-sample
+// evaluation a practitioner runs before trusting an inferred network.
+// For each origin t in the evaluation range, a model is fit on data up to
+// t (expanding window, refit every `refit_interval` origins) and its
+// h-step forecast is scored against the realized values, alongside the
+// persistence ("random walk") and historical-mean baselines.
+
+#include <cstdint>
+#include <functional>
+
+#include "linalg/matrix.hpp"
+#include "var/var_model.hpp"
+
+namespace uoi::var {
+
+struct BacktestOptions {
+  std::size_t first_origin = 0;   ///< 0 -> 60% of the series
+  std::size_t horizon = 1;        ///< steps ahead to score
+  std::size_t refit_interval = 8; ///< origins between refits
+};
+
+struct BacktestResult {
+  double model_mse = 0.0;        ///< the fitted model's forecast MSE
+  double persistence_mse = 0.0;  ///< x_{t+h} = x_t baseline
+  double mean_mse = 0.0;         ///< historical-mean baseline
+  std::size_t n_forecasts = 0;
+  std::size_t n_refits = 0;
+
+  /// model MSE / persistence MSE (< 1 means the model adds value).
+  [[nodiscard]] double skill_vs_persistence() const {
+    return persistence_mse > 0.0 ? model_mse / persistence_mse : 0.0;
+  }
+};
+
+/// `fit` maps a training prefix of the series to a model; any fitter works
+/// (UoI_VAR, plain OLS VAR, a saved model via a constant lambda, ...).
+using VarFitter =
+    std::function<VarModel(uoi::linalg::ConstMatrixView train)>;
+
+[[nodiscard]] BacktestResult backtest_var(uoi::linalg::ConstMatrixView series,
+                                          const VarFitter& fit,
+                                          const BacktestOptions& options = {});
+
+/// Convenience fitter: unpenalized per-equation OLS VAR(order).
+[[nodiscard]] VarFitter ols_var_fitter(std::size_t order);
+
+}  // namespace uoi::var

@@ -1,0 +1,49 @@
+#include "var/block_bootstrap.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace uoi::var {
+
+std::size_t default_block_length(std::size_t n) {
+  const auto cube_root = static_cast<std::size_t>(
+      std::ceil(std::cbrt(static_cast<double>(n))));
+  return std::max<std::size_t>(2, cube_root);
+}
+
+std::vector<std::size_t> block_bootstrap_indices(
+    std::size_t n, const BlockBootstrapOptions& options) {
+  UOI_CHECK(n >= 2, "block bootstrap needs at least two samples");
+  std::size_t block = options.block_length == 0 ? default_block_length(n)
+                                                : options.block_length;
+  block = std::min(block, n);
+
+  auto rng = uoi::support::Xoshiro256::for_task(options.seed, options.task_a,
+                                                options.task_b, 0xb10cULL);
+  std::vector<std::size_t> indices;
+  indices.reserve(n + block);
+  const std::size_t max_start = n - block;
+  while (indices.size() < n) {
+    const std::size_t start = rng.uniform_below(max_start + 1);
+    for (std::size_t i = 0; i < block && indices.size() < n; ++i) {
+      indices.push_back(start + i);
+    }
+  }
+  return indices;
+}
+
+uoi::linalg::Matrix block_bootstrap_sample(
+    uoi::linalg::ConstMatrixView series,
+    const BlockBootstrapOptions& options) {
+  const auto indices = block_bootstrap_indices(series.rows(), options);
+  uoi::linalg::Matrix out(indices.size(), series.cols());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto src = series.row(indices[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+}  // namespace uoi::var

@@ -1,0 +1,37 @@
+#pragma once
+// Moving-block bootstrap for time series (paper §III-B2: "a block bootstrap
+// approach was adopted by randomly selecting time series blocks for every
+// bootstrap subsample"). Resampling contiguous blocks preserves the
+// temporal dependence an iid bootstrap would destroy.
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace uoi::var {
+
+struct BlockBootstrapOptions {
+  /// Block length L; 0 picks the n^(1/3) heuristic.
+  std::size_t block_length = 0;
+  std::uint64_t seed = 1;
+  /// Task coordinates mixed into the stream (bootstrap index, stage tag) so
+  /// each resample is independent yet reproducible.
+  std::uint64_t task_a = 0;
+  std::uint64_t task_b = 0;
+};
+
+/// Time indices of a moving-block resample of length n drawn from [0, n):
+/// ceil(n/L) block starts are sampled uniformly from [0, n - L], blocks are
+/// concatenated, and the tail is trimmed to n.
+[[nodiscard]] std::vector<std::size_t> block_bootstrap_indices(
+    std::size_t n, const BlockBootstrapOptions& options);
+
+/// Gathers the resampled rows into a new series matrix.
+[[nodiscard]] uoi::linalg::Matrix block_bootstrap_sample(
+    uoi::linalg::ConstMatrixView series, const BlockBootstrapOptions& options);
+
+/// The default block length heuristic: ceil(n^(1/3)), at least 2.
+[[nodiscard]] std::size_t default_block_length(std::size_t n);
+
+}  // namespace uoi::var

@@ -1,0 +1,142 @@
+#include "var/diagnostics.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "support/error.hpp"
+#include "var/lag_matrix.hpp"
+
+namespace uoi::var {
+
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+
+namespace {
+
+/// Regularized lower incomplete gamma P(a, x): series expansion for
+/// x < a + 1, Lentz continued fraction otherwise (clean-room after the
+/// classic formulations).
+double regularized_gamma_p(double a, double x) {
+  UOI_CHECK(a > 0.0 && x >= 0.0, "invalid incomplete gamma arguments");
+  if (x == 0.0) return 0.0;
+  const double log_gamma_a = std::lgamma(a);
+
+  if (x < a + 1.0) {
+    // Series: P(a,x) = x^a e^-x / Gamma(a) * sum x^n / (a (a+1) ... (a+n)).
+    double term = 1.0 / a;
+    double sum = term;
+    double denominator = a;
+    for (int n = 0; n < 500; ++n) {
+      denominator += 1.0;
+      term *= x / denominator;
+      sum += term;
+      if (std::abs(term) < std::abs(sum) * 1e-15) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - log_gamma_a);
+  }
+
+  // Continued fraction for Q(a,x) = 1 - P(a,x).
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - log_gamma_a) * h;
+  return 1.0 - q;
+}
+
+}  // namespace
+
+double chi_square_upper_tail(double statistic, double dof) {
+  UOI_CHECK(dof > 0.0, "chi-square needs positive degrees of freedom");
+  if (statistic <= 0.0) return 1.0;
+  return 1.0 - regularized_gamma_p(dof / 2.0, statistic / 2.0);
+}
+
+LjungBoxResult ljung_box(std::span<const double> residuals, std::size_t lags,
+                         std::size_t fitted_lags) {
+  const std::size_t t = residuals.size();
+  UOI_CHECK(lags >= 1, "need at least one lag");
+  UOI_CHECK(t > lags + 1, "residual series too short for the lag count");
+  UOI_CHECK(lags > fitted_lags, "lags must exceed the fitted lag count");
+
+  double mean = 0.0;
+  for (const double r : residuals) mean += r;
+  mean /= static_cast<double>(t);
+  double variance = 0.0;
+  for (const double r : residuals) variance += (r - mean) * (r - mean);
+  UOI_CHECK(variance > 0.0, "degenerate residuals");
+
+  LjungBoxResult out;
+  out.autocorrelations.resize(lags);
+  for (std::size_t k = 1; k <= lags; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = k; i < t; ++i) {
+      acc += (residuals[i] - mean) * (residuals[i - k] - mean);
+    }
+    out.autocorrelations[k - 1] = acc / variance;
+  }
+
+  const double td = static_cast<double>(t);
+  for (std::size_t k = 1; k <= lags; ++k) {
+    const double r = out.autocorrelations[k - 1];
+    out.statistic += r * r / (td - static_cast<double>(k));
+  }
+  out.statistic *= td * (td + 2.0);
+  out.p_value = chi_square_upper_tail(
+      out.statistic, static_cast<double>(lags - fitted_lags));
+  return out;
+}
+
+Matrix var_residuals(const VarModel& model,
+                     uoi::linalg::ConstMatrixView series) {
+  UOI_CHECK_DIMS(series.cols() == model.dim(),
+                 "residuals: series width != model dim");
+  const LagRegression lag = build_lag_regression(series, model.order());
+  const std::size_t rows = lag.y.rows();
+  const std::size_t p = model.dim();
+  const std::size_t dp = lag.x.cols();
+  const Vector vb = model.vec_b();
+  const auto& mu = model.intercept();
+
+  // lag rows are newest-first; flip to ascending time for the output.
+  Matrix residuals(rows, p);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto x_row = lag.x.row(r);
+    for (std::size_t e = 0; e < p; ++e) {
+      const double prediction =
+          uoi::linalg::dot(x_row,
+                           std::span<const double>(vb).subspan(e * dp, dp)) +
+          mu[e];
+      residuals(rows - 1 - r, e) = lag.y(r, e) - prediction;
+    }
+  }
+  return residuals;
+}
+
+std::vector<LjungBoxResult> residual_diagnostics(
+    const VarModel& model, uoi::linalg::ConstMatrixView series,
+    std::size_t lags) {
+  const Matrix residuals = var_residuals(model, series);
+  std::vector<LjungBoxResult> out;
+  out.reserve(model.dim());
+  for (std::size_t e = 0; e < model.dim(); ++e) {
+    const Vector column = residuals.col(e);
+    out.push_back(ljung_box(column, lags, model.order()));
+  }
+  return out;
+}
+
+}  // namespace uoi::var

@@ -1,0 +1,42 @@
+#pragma once
+// Residual diagnostics for fitted VAR models (Lütkepohl 2005, §4.4): the
+// model-checking step between "the solver converged" and "the network is
+// believable". If the residuals of a VAR(d) fit are still autocorrelated,
+// the order is too small (or the linear model is wrong) and the Granger
+// edges inherit the misspecification.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "var/var_model.hpp"
+
+namespace uoi::var {
+
+/// Upper-tail probability of the chi-square distribution with k degrees
+/// of freedom, via the regularized incomplete gamma function.
+[[nodiscard]] double chi_square_upper_tail(double statistic, double dof);
+
+struct LjungBoxResult {
+  double statistic = 0.0;  ///< Q = T(T+2) sum_k r_k^2 / (T - k)
+  double p_value = 1.0;    ///< against chi-square(lags - fitted_params)
+  std::vector<double> autocorrelations;  ///< r_1..r_lags
+};
+
+/// Ljung-Box portmanteau test on one residual series. `fitted_lags`
+/// reduces the degrees of freedom (d for a VAR(d) residual).
+[[nodiscard]] LjungBoxResult ljung_box(std::span<const double> residuals,
+                                       std::size_t lags,
+                                       std::size_t fitted_lags = 0);
+
+/// Per-variable residuals of a VAR fit on `series`: row t holds
+/// X_{t+d} - prediction (ascending time, (N - d) rows).
+[[nodiscard]] uoi::linalg::Matrix var_residuals(
+    const VarModel& model, uoi::linalg::ConstMatrixView series);
+
+/// Runs Ljung-Box on every variable's residuals; index i = variable i.
+[[nodiscard]] std::vector<LjungBoxResult> residual_diagnostics(
+    const VarModel& model, uoi::linalg::ConstMatrixView series,
+    std::size_t lags = 10);
+
+}  // namespace uoi::var

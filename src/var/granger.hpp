@@ -1,0 +1,76 @@
+#pragma once
+// Granger-causal network extraction from estimated VAR coefficients
+// (paper §VI / Fig. 11): a directed edge j -> i exists when any lag's
+// coefficient a_ij is nonzero; edge weight is the largest-magnitude
+// coefficient across lags.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "var/var_model.hpp"
+
+namespace uoi::var {
+
+struct GrangerEdge {
+  std::size_t source;  ///< j: the Granger-causing node
+  std::size_t target;  ///< i: the influenced node
+  double weight;       ///< signed coefficient of the dominant lag
+};
+
+class GrangerNetwork {
+ public:
+  /// Extracts the network; coefficients with |a| <= tolerance are ignored.
+  /// `include_self_loops` keeps i -> i autoregressive edges (Fig. 11 plots
+  /// cross-company influence, so the default drops them).
+  static GrangerNetwork from_model(const VarModel& model,
+                                   double tolerance = 0.0,
+                                   bool include_self_loops = false);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return p_; }
+  [[nodiscard]] const std::vector<GrangerEdge>& edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+
+  /// In-degree + out-degree per node (the paper sizes nodes by degree).
+  [[nodiscard]] std::vector<std::size_t> degrees() const;
+  [[nodiscard]] std::vector<std::size_t> in_degrees() const;
+  [[nodiscard]] std::vector<std::size_t> out_degrees() const;
+
+  /// Fraction of possible (ordered, non-self) edges present.
+  [[nodiscard]] double density() const;
+
+  /// Graphviz DOT rendering with optional node labels (ticker symbols).
+  [[nodiscard]] std::string to_dot(
+      const std::vector<std::string>& labels = {}) const;
+
+  /// Edge-list text: "SRC -> DST  weight".
+  [[nodiscard]] std::string to_edge_list(
+      const std::vector<std::string>& labels = {}) const;
+
+  /// JSON document ({"nodes": [...], "edges": [...]}) for plotting tools.
+  [[nodiscard]] std::string to_json(
+      const std::vector<std::string>& labels = {}) const;
+
+  /// Signed weighted adjacency: entry (i, j) is the j -> i edge weight
+  /// (zero when absent).
+  [[nodiscard]] uoi::linalg::Matrix to_adjacency_matrix() const;
+
+  /// The induced subnetwork on `nodes` (indices into this network), with
+  /// nodes renumbered 0..k-1 in the given order.
+  [[nodiscard]] GrangerNetwork subgraph(
+      const std::vector<std::size_t>& nodes) const;
+
+  /// Nodes reachable from `source` along directed edges (including it):
+  /// the downstream influence set of a shock to `source`.
+  [[nodiscard]] std::vector<std::size_t> descendants(std::size_t source) const;
+
+ private:
+  std::size_t p_ = 0;
+  std::vector<GrangerEdge> edges_;
+};
+
+}  // namespace uoi::var

@@ -1,0 +1,159 @@
+#include "var/granger_test.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "solvers/ols.hpp"
+#include "support/error.hpp"
+#include "var/lag_matrix.hpp"
+
+namespace uoi::var {
+
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+
+namespace {
+
+/// Regularized incomplete beta I_x(a, b) by Lentz's continued fraction
+/// (Numerical Recipes 6.4-style, clean-room implementation).
+double incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+
+  const double log_beta =
+      std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  const double front = std::exp(log_beta + a * std::log(x) +
+                                b * std::log(1.0 - x));
+
+  // Use the symmetry that keeps the continued fraction convergent.
+  if (x > (a + 1.0) / (a + b + 2.0)) {
+    return 1.0 - incomplete_beta(b, a, 1.0 - x);
+  }
+
+  constexpr double kTiny = 1e-300;
+  double c = 1.0;
+  double d = 1.0 - (a + b) * x / (a + 1.0);
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double result = d;
+  for (int m = 1; m <= 300; ++m) {
+    const double md = static_cast<double>(m);
+    // Even step.
+    double numerator = md * (b - md) * x / ((a + 2.0 * md - 1.0) *
+                                            (a + 2.0 * md));
+    d = 1.0 + numerator * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    d = 1.0 / d;
+    c = 1.0 + numerator / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    result *= d * c;
+    // Odd step.
+    numerator = -(a + md) * (a + b + md) * x /
+                ((a + 2.0 * md) * (a + 2.0 * md + 1.0));
+    d = 1.0 + numerator * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    d = 1.0 / d;
+    c = 1.0 + numerator / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    const double delta = d * c;
+    result *= delta;
+    if (std::abs(delta - 1.0) < 1e-14) break;
+  }
+  return front * result / a;
+}
+
+/// Residual sum of squares of y on the given design columns.
+double rss(const Matrix& x, std::span<const double> y,
+           std::span<const std::size_t> cols) {
+  const Vector beta = uoi::solvers::ols_direct_on_support(x, y, cols);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double err = uoi::linalg::dot(x.row(r), beta) - y[r];
+    acc += err * err;
+  }
+  return acc;
+}
+
+}  // namespace
+
+double f_distribution_upper_tail(double f, double d1, double d2) {
+  if (f <= 0.0) return 1.0;
+  // P(F > f) = I_{d2 / (d2 + d1 f)}(d2/2, d1/2)
+  const double x = d2 / (d2 + d1 * f);
+  return incomplete_beta(d2 / 2.0, d1 / 2.0, x);
+}
+
+std::vector<GrangerTestResult> granger_f_tests(
+    uoi::linalg::ConstMatrixView series, std::size_t order,
+    bool include_intercept) {
+  const std::size_t p = series.cols();
+  UOI_CHECK(p >= 2, "Granger tests need at least two variables");
+  const LagRegression lag = build_lag_regression(series, order);
+  const std::size_t t_eff = lag.x.rows();
+  const std::size_t dp = lag.x.cols();
+
+  // Augment with a constant column when requested.
+  Matrix design(t_eff, dp + (include_intercept ? 1 : 0));
+  for (std::size_t r = 0; r < t_eff; ++r) {
+    const auto src = lag.x.row(r);
+    auto dst = design.row(r);
+    std::copy(src.begin(), src.end(), dst.begin());
+    if (include_intercept) dst[dp] = 1.0;
+  }
+  const std::size_t n_regressors = design.cols();
+  const double dof_den =
+      static_cast<double>(t_eff) - static_cast<double>(n_regressors);
+  UOI_CHECK(dof_den > 0.0, "not enough samples for the unrestricted model");
+  const double dof_num = static_cast<double>(order);
+
+  // Column sets: all columns, and all-minus-source-j's-lags.
+  std::vector<std::size_t> all_cols(n_regressors);
+  for (std::size_t c = 0; c < n_regressors; ++c) all_cols[c] = c;
+
+  std::vector<GrangerTestResult> out;
+  out.reserve(p * (p - 1));
+  Vector y_i(t_eff);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t r = 0; r < t_eff; ++r) y_i[r] = lag.y(r, i);
+    const double rss_unrestricted = rss(design, y_i, all_cols);
+    for (std::size_t j = 0; j < p; ++j) {
+      if (i == j) continue;
+      std::vector<std::size_t> restricted;
+      restricted.reserve(n_regressors - order);
+      for (std::size_t c = 0; c < n_regressors; ++c) {
+        const bool is_lag_of_j = c < dp && (c % p) == j;
+        if (!is_lag_of_j) restricted.push_back(c);
+      }
+      const double rss_restricted = rss(design, y_i, restricted);
+      const double numerator =
+          std::max(0.0, rss_restricted - rss_unrestricted) / dof_num;
+      const double denominator = rss_unrestricted / dof_den;
+      const double f =
+          denominator > 0.0 ? numerator / denominator : 0.0;
+      out.push_back({j, i, f, f_distribution_upper_tail(f, dof_num, dof_den)});
+    }
+  }
+  return out;
+}
+
+GrangerNetwork granger_network_from_tests(
+    const std::vector<GrangerTestResult>& tests, std::size_t n_nodes,
+    double significance, bool bonferroni) {
+  const double alpha =
+      bonferroni && !tests.empty()
+          ? significance / static_cast<double>(tests.size())
+          : significance;
+  // Assemble through a synthetic coefficient matrix (weight = F statistic)
+  // so the result is a regular GrangerNetwork.
+  Matrix weights(n_nodes, n_nodes);
+  for (const auto& t : tests) {
+    if (t.p_value < alpha) {
+      weights(t.target, t.source) = t.f_statistic;
+    }
+  }
+  return GrangerNetwork::from_model(
+      uoi::var::VarModel({weights}), /*tolerance=*/0.0,
+      /*include_self_loops=*/false);
+}
+
+}  // namespace uoi::var

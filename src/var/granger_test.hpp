@@ -1,0 +1,46 @@
+#pragma once
+// Classical pairwise Granger-causality F-tests — the econometric baseline
+// UoI_VAR competes with. For each ordered pair (source j -> target i), the
+// restricted model excludes all lags of variable j from variable i's
+// equation; the F statistic compares the residual sums of squares:
+//
+//   F = ((RSS_r - RSS_u) / d) / (RSS_u / (T - dp - 1))
+//
+// with d restrictions and T effective samples. Edges whose p-value clears
+// the significance level form the estimated network. Unlike UoI_VAR, the
+// test is per-pair (no joint sparsity) and needs a multiple-comparison
+// correction at scale — which is exactly why the UoI approach wins on
+// false positives (see bench_stat_accuracy).
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "var/granger.hpp"
+
+namespace uoi::var {
+
+struct GrangerTestResult {
+  std::size_t source;
+  std::size_t target;
+  double f_statistic;
+  double p_value;
+};
+
+/// All ordered pairs' tests on a VAR(order) fit of `series`.
+/// `include_intercept` adds a constant regressor to both models.
+[[nodiscard]] std::vector<GrangerTestResult> granger_f_tests(
+    uoi::linalg::ConstMatrixView series, std::size_t order,
+    bool include_intercept = true);
+
+/// Thresholds the tests into a network. `significance` is the per-test
+/// alpha; `bonferroni` divides it by the number of tests.
+[[nodiscard]] GrangerNetwork granger_network_from_tests(
+    const std::vector<GrangerTestResult>& tests, std::size_t n_nodes,
+    double significance = 0.05, bool bonferroni = true);
+
+/// Upper-tail probability of the F(d1, d2) distribution via the
+/// regularized incomplete beta function (continued-fraction evaluation).
+[[nodiscard]] double f_distribution_upper_tail(double f, double d1,
+                                               double d2);
+
+}  // namespace uoi::var

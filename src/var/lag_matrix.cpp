@@ -1,0 +1,41 @@
+#include "var/lag_matrix.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace uoi::var {
+
+using uoi::linalg::Matrix;
+
+LagRegression build_lag_regression(uoi::linalg::ConstMatrixView series,
+                                   std::size_t order) {
+  const std::size_t n = series.rows();
+  const std::size_t p = series.cols();
+  UOI_CHECK(order >= 1, "VAR order must be >= 1");
+  UOI_CHECK(n > order, "series too short for the requested order");
+  const std::size_t rows = n - order;
+
+  LagRegression out{Matrix(rows, p), Matrix(rows, order * p)};
+  for (std::size_t i = 0; i < rows; ++i) {
+    // Y row i is the observation at time index (n - 1 - i) [0-based], i.e.
+    // X_N down to X_{d+1} in the paper's 1-based notation.
+    const std::size_t t = n - 1 - i;
+    const auto y_src = series.row(t);
+    std::copy(y_src.begin(), y_src.end(), out.y.row(i).begin());
+    auto x_row = out.x.row(i);
+    for (std::size_t j = 0; j < order; ++j) {
+      const auto lag_src = series.row(t - 1 - j);
+      std::copy(lag_src.begin(), lag_src.end(),
+                x_row.begin() + static_cast<std::ptrdiff_t>(j * p));
+    }
+  }
+  return out;
+}
+
+VectorizedProblem vectorize(const LagRegression& lag) {
+  return {uoi::linalg::vec(lag.y),
+          uoi::linalg::KroneckerIdentityOp(lag.x, lag.y.cols())};
+}
+
+}  // namespace uoi::var

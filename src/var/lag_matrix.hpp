@@ -1,0 +1,35 @@
+#pragma once
+// Rearrangement of a vector time series into the multivariate least-squares
+// problem Y = X B + E (paper eqs. 7-8):
+//
+//   Y ((N-d) x p):   rows are X_N, X_{N-1}, ..., X_{d+1}   (descending time)
+//   X ((N-d) x dp):  row i = [X'_{N-1-i}, X'_{N-2-i}, ..., X'_{N-d-i}]
+//
+// and the vectorized single-response form (eq. 9):
+//   vec Y = (I_p (x) X) vec B + vec E.
+
+#include "linalg/kron.hpp"
+#include "linalg/matrix.hpp"
+
+namespace uoi::var {
+
+struct LagRegression {
+  uoi::linalg::Matrix y;  ///< (N-d) x p response
+  uoi::linalg::Matrix x;  ///< (N-d) x (d p) lagged regressors
+};
+
+/// Builds (Y, X) from an N x p series (row = time, ascending). Requires
+/// N > d.
+[[nodiscard]] LagRegression build_lag_regression(
+    uoi::linalg::ConstMatrixView series, std::size_t order);
+
+/// The vectorized problem: b = vec Y (length (N-d) p) and the implicit
+/// design operator I_p (x) X. The operator borrows `lag.x`, which must
+/// outlive it.
+struct VectorizedProblem {
+  uoi::linalg::Vector vec_y;
+  uoi::linalg::KroneckerIdentityOp design;
+};
+[[nodiscard]] VectorizedProblem vectorize(const LagRegression& lag);
+
+}  // namespace uoi::var

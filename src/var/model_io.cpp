@@ -1,0 +1,104 @@
+#include "var/model_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace uoi::var {
+
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+
+namespace {
+constexpr const char* kMagic = "uoi-var-model v1";
+
+[[noreturn]] void malformed(const std::string& detail) {
+  throw uoi::support::IoError("malformed VAR model text: " + detail);
+}
+}  // namespace
+
+std::string model_to_text(const VarModel& model) {
+  std::ostringstream out;
+  out.precision(17);
+  out << kMagic << "\n";
+  out << "dim " << model.dim() << " order " << model.order() << "\n";
+  for (std::size_t j = 0; j < model.order(); ++j) {
+    out << "A " << j << "\n";
+    const auto& a = model.coefficient(j);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      const auto row = a.row(r);
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c != 0) out << " ";
+        out << row[c];
+      }
+      out << "\n";
+    }
+  }
+  out << "mu\n";
+  const auto& mu = model.intercept();
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    if (i != 0) out << " ";
+    out << mu[i];
+  }
+  out << "\n";
+  return out.str();
+}
+
+VarModel model_from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    malformed("missing or wrong magic line");
+  }
+
+  std::string keyword;
+  std::size_t p = 0, d = 0;
+  in >> keyword;
+  if (keyword != "dim") malformed("expected 'dim'");
+  in >> p;
+  in >> keyword;
+  if (keyword != "order") malformed("expected 'order'");
+  in >> d;
+  if (!in || p == 0 || d == 0) malformed("bad dimensions");
+
+  std::vector<Matrix> a(d, Matrix(p, p));
+  for (std::size_t j = 0; j < d; ++j) {
+    std::size_t index = 0;
+    in >> keyword >> index;
+    if (!in || keyword != "A" || index != j) {
+      malformed("expected 'A " + std::to_string(j) + "'");
+    }
+    for (std::size_t r = 0; r < p; ++r) {
+      for (std::size_t c = 0; c < p; ++c) {
+        in >> a[j](r, c);
+      }
+    }
+    if (!in) malformed("truncated coefficient block");
+  }
+
+  in >> keyword;
+  if (!in || keyword != "mu") malformed("expected 'mu'");
+  Vector mu(p);
+  for (std::size_t i = 0; i < p; ++i) in >> mu[i];
+  if (!in) malformed("truncated intercept");
+
+  return VarModel(std::move(a), std::move(mu));
+}
+
+void save_model(const std::string& path, const VarModel& model) {
+  std::ofstream f(path);
+  if (!f) throw uoi::support::IoError("cannot open for writing: " + path);
+  f << model_to_text(model);
+  if (!f) throw uoi::support::IoError("short write to " + path);
+}
+
+VarModel load_model(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw uoi::support::IoError("cannot open model file: " + path);
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  return model_from_text(buffer.str());
+}
+
+}  // namespace uoi::var

@@ -1,0 +1,29 @@
+#pragma once
+// Plain-text serialization of fitted VAR models — so a network inferred by
+// the cluster run can be archived, diffed, and reloaded by the analysis
+// tools. The format is line-oriented and versioned:
+//
+//   uoi-var-model v1
+//   dim <p> order <d>
+//   A <j>            (for j = 0..d-1; followed by p rows of p values)
+//   ...
+//   mu               (followed by p values on one line)
+
+#include <string>
+
+#include "var/var_model.hpp"
+
+namespace uoi::var {
+
+/// Serializes a model (full precision round trip).
+[[nodiscard]] std::string model_to_text(const VarModel& model);
+
+/// Parses a serialized model; throws uoi::support::IoError on malformed
+/// input.
+[[nodiscard]] VarModel model_from_text(const std::string& text);
+
+/// File convenience wrappers.
+void save_model(const std::string& path, const VarModel& model);
+[[nodiscard]] VarModel load_model(const std::string& path);
+
+}  // namespace uoi::var

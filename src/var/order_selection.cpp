@@ -1,0 +1,94 @@
+#include "var/order_selection.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "solvers/ols.hpp"
+#include "support/error.hpp"
+#include "var/lag_matrix.hpp"
+
+namespace uoi::var {
+
+using uoi::linalg::ConstMatrixView;
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+
+namespace {
+
+/// ln det of an SPD matrix via its Cholesky factor (2 * sum ln L_ii).
+double log_det_spd(const Matrix& m) {
+  const uoi::linalg::CholeskyFactor factor(m);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < factor.dim(); ++i) {
+    acc += std::log(factor.lower()(i, i));
+  }
+  return 2.0 * acc;
+}
+
+}  // namespace
+
+OrderSelectionResult select_var_order(ConstMatrixView series,
+                                      std::size_t max_order,
+                                      OrderCriterion criterion) {
+  const std::size_t n = series.rows();
+  const std::size_t p = series.cols();
+  UOI_CHECK(max_order >= 1, "max_order must be >= 1");
+  UOI_CHECK(n > max_order + p + 1,
+            "series too short for the largest candidate order");
+
+  // A common effective sample across orders makes the criteria
+  // comparable: always predict the last (n - max_order) observations.
+  const std::size_t t_common = n - max_order;
+
+  OrderSelectionResult out;
+  out.aic.reserve(max_order);
+  out.bic.reserve(max_order);
+  out.hannan_quinn.reserve(max_order);
+
+  const Matrix series_owned = Matrix::from_view(series);
+  for (std::size_t d = 1; d <= max_order; ++d) {
+    const LagRegression lag = build_lag_regression(series_owned, d);
+    // Keep only the first t_common rows (the newest observations; the lag
+    // matrices are ordered newest-first).
+    const ConstMatrixView x = lag.x.row_block(0, t_common);
+    const ConstMatrixView y_all = lag.y.row_block(0, t_common);
+
+    // Per-equation OLS; accumulate the residual matrix E (t_common x p).
+    Matrix residuals(t_common, p);
+    Vector y_e(t_common);
+    for (std::size_t e = 0; e < p; ++e) {
+      for (std::size_t r = 0; r < t_common; ++r) y_e[r] = y_all(r, e);
+      const Vector beta = uoi::solvers::ols_direct(x, y_e);
+      for (std::size_t r = 0; r < t_common; ++r) {
+        residuals(r, e) = y_e[r] - uoi::linalg::dot(x.row(r), beta);
+      }
+    }
+    // Sigma_hat = E'E / T (ML estimator), with a tiny ridge for
+    // positive-definiteness when residuals are near-degenerate.
+    Matrix sigma(p, p);
+    uoi::linalg::syrk_at_a(1.0 / static_cast<double>(t_common), residuals,
+                           0.0, sigma);
+    for (std::size_t i = 0; i < p; ++i) sigma(i, i) += 1e-12;
+
+    const double log_det = log_det_spd(sigma);
+    const double t = static_cast<double>(t_common);
+    const double params =
+        static_cast<double>(d) * static_cast<double>(p) *
+        static_cast<double>(p);
+    out.aic.push_back(log_det + 2.0 * params / t);
+    out.bic.push_back(log_det + std::log(t) * params / t);
+    out.hannan_quinn.push_back(log_det +
+                               2.0 * std::log(std::log(t)) * params / t);
+  }
+
+  const auto& scores = out.of(criterion);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] < scores[best]) best = i;
+  }
+  out.best_order = best + 1;
+  return out;
+}
+
+}  // namespace uoi::var

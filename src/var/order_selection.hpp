@@ -1,0 +1,48 @@
+#pragma once
+// VAR order selection by information criteria (Lütkepohl 2005, §4.3).
+//
+// The paper fixes d per application (VAR(1) for the S&P analysis); a
+// downstream user needs a principled way to pick d. For each candidate
+// order the full (unpenalized) VAR is fit by per-equation OLS on a common
+// effective sample, and the criterion
+//
+//   IC(d) = ln det(Sigma_hat(d)) + penalty(T) * d * p^2 / T
+//
+// is evaluated, where Sigma_hat is the residual covariance and T the
+// common sample size. AIC uses penalty 2, BIC ln T, Hannan-Quinn
+// 2 ln ln T.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace uoi::var {
+
+enum class OrderCriterion { kAic, kBic, kHannanQuinn };
+
+struct OrderSelectionResult {
+  std::size_t best_order = 1;     ///< argmin of the chosen criterion
+  std::vector<double> aic;        ///< index 0 <-> order 1
+  std::vector<double> bic;
+  std::vector<double> hannan_quinn;
+
+  [[nodiscard]] const std::vector<double>& of(OrderCriterion c) const {
+    switch (c) {
+      case OrderCriterion::kAic:
+        return aic;
+      case OrderCriterion::kHannanQuinn:
+        return hannan_quinn;
+      default:
+        return bic;
+    }
+  }
+};
+
+/// Evaluates orders 1..max_order on an N x p series (rows = time).
+/// Requires N > max_order + p (enough rows for the largest OLS fit).
+[[nodiscard]] OrderSelectionResult select_var_order(
+    uoi::linalg::ConstMatrixView series, std::size_t max_order,
+    OrderCriterion criterion = OrderCriterion::kBic);
+
+}  // namespace uoi::var

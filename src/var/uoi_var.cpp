@@ -1,0 +1,287 @@
+#include "var/uoi_var.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/blas.hpp"
+#include "linalg/sparse.hpp"
+#include "solvers/admm_lasso_sparse.hpp"
+#include "solvers/lambda_grid.hpp"
+#include "solvers/ols.hpp"
+#include "support/error.hpp"
+#include "var/lag_matrix.hpp"
+
+namespace uoi::var {
+
+using uoi::core::SupportSet;
+using uoi::linalg::ConstMatrixView;
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+
+namespace {
+
+// Stage tags for the block-bootstrap streams.
+constexpr std::size_t kSelectionStage = 0;
+constexpr std::size_t kEstimationTrainStage = 1;
+constexpr std::size_t kEstimationEvalStage = 2;
+
+/// Subtracts column means in place; returns the means.
+Vector center_columns(Matrix& series) {
+  Vector means(series.cols(), 0.0);
+  for (std::size_t r = 0; r < series.rows(); ++r) {
+    const auto row = series.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) means[c] += row[c];
+  }
+  for (auto& m : means) m /= static_cast<double>(series.rows());
+  for (std::size_t r = 0; r < series.rows(); ++r) {
+    auto row = series.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] -= means[c];
+  }
+  return means;
+}
+
+}  // namespace
+
+BlockBootstrapOptions var_bootstrap_options(const UoiVarOptions& options,
+                                            std::size_t stage, std::size_t k) {
+  BlockBootstrapOptions out;
+  out.block_length = options.block_length;
+  out.seed = options.seed;
+  out.task_a = stage;
+  out.task_b = k;
+  return out;
+}
+
+std::vector<double> resolve_var_lambda_grid(const UoiVarOptions& options,
+                                            const Matrix& y, const Matrix& x) {
+  if (!options.lambdas.empty()) {
+    auto grid = options.lambdas;
+    std::sort(grid.rbegin(), grid.rend());
+    return grid;
+  }
+  // lambda_max of the vectorized problem = max over equations e of
+  // ||X' y_e||_inf; no Kronecker product needed.
+  double hi = 0.0;
+  Vector xty(x.cols(), 0.0);
+  for (std::size_t e = 0; e < y.cols(); ++e) {
+    const Vector y_e = y.col(e);
+    uoi::linalg::gemv_transposed(1.0, x, y_e, 0.0, xty);
+    for (const double v : xty) hi = std::max(hi, std::abs(v));
+  }
+  UOI_CHECK(hi > 0.0, "lambda_max is zero: X'Y vanishes");
+  return uoi::solvers::log_spaced_lambdas(hi, options.lambda_min_ratio,
+                                          options.n_lambdas);
+}
+
+Vector var_restricted_ols(const Matrix& y, const Matrix& x,
+                          const SupportSet& support) {
+  const std::size_t dp = x.cols();
+  const std::size_t p = y.cols();
+  Vector beta(dp * p, 0.0);
+  // The block-diagonal design decouples the OLS per equation: coordinates
+  // [e * dp, (e+1) * dp) only ever multiply X against y_e.
+  std::vector<std::size_t> eq_support;
+  for (std::size_t e = 0; e < p; ++e) {
+    eq_support.clear();
+    for (const std::size_t c : support.indices()) {
+      if (c >= e * dp && c < (e + 1) * dp) eq_support.push_back(c - e * dp);
+    }
+    if (eq_support.empty()) continue;
+    const Vector y_e = y.col(e);
+    const Vector sub =
+        uoi::solvers::ols_direct_on_support(x, y_e, eq_support);
+    for (std::size_t c = 0; c < dp; ++c) beta[e * dp + c] = sub[c];
+  }
+  return beta;
+}
+
+double var_mse(const Matrix& y, const Matrix& x,
+               std::span<const double> vec_beta) {
+  const std::size_t dp = x.cols();
+  const std::size_t p = y.cols();
+  UOI_CHECK_DIMS(vec_beta.size() == dp * p, "var_mse: vec_beta length");
+  double acc = 0.0;
+  for (std::size_t e = 0; e < p; ++e) {
+    const auto beta_e = vec_beta.subspan(e * dp, dp);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const double err = uoi::linalg::dot(x.row(r), beta_e) - y(r, e);
+      acc += err * err;
+    }
+  }
+  return acc / (static_cast<double>(x.rows()) * static_cast<double>(p));
+}
+
+double UoiVarResult::edge_stability(std::size_t target,
+                                    std::size_t source) const {
+  const std::size_t p = model.dim();
+  const std::size_t d = model.order();
+  UOI_CHECK(target < p && source < p, "edge index out of range");
+  const std::size_t dp = d * p;
+  double best = 0.0;
+  // Coefficient a_{target,source} at lag j lives at vec index
+  // target * dp + j * p + source (see VarModel::vec_b).
+  for (std::size_t j = 0; j < d; ++j) {
+    best = std::max(best,
+                    selection_frequency[target * dp + j * p + source]);
+  }
+  return best;
+}
+
+UoiVar::UoiVar(UoiVarOptions options) : options_(std::move(options)) {
+  UOI_CHECK(options_.order >= 1, "VAR order must be >= 1");
+  UOI_CHECK(options_.n_selection_bootstraps >= 1, "B1 must be >= 1");
+  UOI_CHECK(options_.n_estimation_bootstraps >= 1, "B2 must be >= 1");
+}
+
+UoiVarResult UoiVar::fit(ConstMatrixView series_view) const {
+  const std::size_t n = series_view.rows();
+  const std::size_t p = series_view.cols();
+  const std::size_t d = options_.order;
+  UOI_CHECK(n > d + 2, "series too short for the requested order");
+
+  Matrix series = Matrix::from_view(series_view);
+  Vector means(p, 0.0);
+  if (options_.center) means = center_columns(series);
+
+  const LagRegression full = build_lag_regression(series, d);
+  const std::size_t dp = d * p;
+  const std::size_t n_coeffs = dp * p;
+
+  UoiVarResult result{VarModel(std::vector<Matrix>(d, Matrix(p, p))),
+                      Vector(n_coeffs, 0.0),
+                      {},
+                      {},
+                      {},
+                      {},
+                      {},
+                      0,
+                      1.0 - 1.0 / static_cast<double>(p),
+                      {}};
+  result.lambdas = resolve_var_lambda_grid(options_, full.y, full.x);
+  const std::size_t q = result.lambdas.size();
+
+  // ---- Model selection (Algorithm 2, lines 1-13) ----
+  // counts(j, i): how many block-bootstraps selected coefficient i at
+  // lambda_j (strict intersection = count reaching B1).
+  Matrix selection_counts(q, n_coeffs, 0.0);
+  for (std::size_t k = 0; k < options_.n_selection_bootstraps; ++k) {
+    const Matrix sample = block_bootstrap_sample(
+        series, var_bootstrap_options(options_, kSelectionStage, k));
+    const LagRegression lag = build_lag_regression(sample, d);
+    const VectorizedProblem problem = vectorize(lag);
+
+    uoi::solvers::AdmmResult previous;
+    bool have_previous = false;
+    auto record = [&](std::size_t j, uoi::solvers::AdmmResult fit) {
+      result.total_flops += fit.flops;
+      auto row = selection_counts.row(j);
+      for (std::size_t i = 0; i < n_coeffs; ++i) {
+        if (std::abs(fit.beta[i]) > options_.support_tolerance) row[i] += 1.0;
+      }
+      previous = std::move(fit);
+      have_previous = true;
+    };
+
+    if (options_.backend == VarSolverBackend::kStructured) {
+      const uoi::solvers::KronLassoAdmmSolver solver(problem.design,
+                                                     problem.vec_y,
+                                                     options_.admm);
+      for (std::size_t j = 0; j < q; ++j) {
+        record(j, solver.solve(result.lambdas[j],
+                               have_previous ? &previous : nullptr));
+      }
+    } else {
+      // The paper's sparse path: materialize I (x) X as CSR.
+      const uoi::linalg::SparseMatrix design =
+          uoi::linalg::SparseMatrix::block_diagonal(lag.x, p);
+      const uoi::solvers::SparseLassoAdmmSolver solver(design, problem.vec_y,
+                                                       options_.admm);
+      for (std::size_t j = 0; j < q; ++j) {
+        record(j, solver.solve(result.lambdas[j],
+                               have_previous ? &previous : nullptr));
+      }
+    }
+  }
+  const double count_threshold = std::max(
+      1.0, std::ceil(options_.intersection_fraction *
+                         static_cast<double>(options_.n_selection_bootstraps) -
+                     1e-12));
+  result.candidate_supports.reserve(q);
+  for (std::size_t j = 0; j < q; ++j) {
+    std::vector<std::size_t> selected;
+    const auto row = selection_counts.row(j);
+    for (std::size_t i = 0; i < n_coeffs; ++i) {
+      if (row[i] >= count_threshold) selected.push_back(i);
+    }
+    result.candidate_supports.emplace_back(std::move(selected));
+  }
+
+  // ---- Model estimation (Algorithm 2, lines 14-30) ----
+  const std::size_t b2 = options_.n_estimation_bootstraps;
+  result.chosen_support_per_bootstrap.assign(b2, 0);
+  result.best_loss_per_bootstrap.assign(
+      b2, std::numeric_limits<double>::infinity());
+  Vector beta_sum(n_coeffs, 0.0);
+  Vector selection_counts_est(n_coeffs, 0.0);
+
+  for (std::size_t k = 0; k < b2; ++k) {
+    const Matrix train_sample = block_bootstrap_sample(
+        series, var_bootstrap_options(options_, kEstimationTrainStage, k));
+    const Matrix eval_sample = block_bootstrap_sample(
+        series, var_bootstrap_options(options_, kEstimationEvalStage, k));
+    const LagRegression train = build_lag_regression(train_sample, d);
+    const LagRegression eval = build_lag_regression(eval_sample, d);
+
+    Vector best_beta(n_coeffs, 0.0);
+    for (std::size_t j = 0; j < q; ++j) {
+      const Vector beta =
+          var_restricted_ols(train.y, train.x, result.candidate_supports[j]);
+      const double mse = var_mse(eval.y, eval.x, beta);
+      const double loss = uoi::core::estimation_score(
+          options_.criterion, mse,
+          static_cast<double>(eval.x.rows()) * static_cast<double>(p),
+          result.candidate_supports[j].size());
+      if (loss < result.best_loss_per_bootstrap[k]) {
+        result.best_loss_per_bootstrap[k] = loss;
+        result.chosen_support_per_bootstrap[k] = j;
+        best_beta = beta;
+      }
+    }
+    for (std::size_t i = 0; i < n_coeffs; ++i) {
+      beta_sum[i] += best_beta[i];
+      if (std::abs(best_beta[i]) > options_.support_tolerance) {
+        selection_counts_est[i] += 1.0;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n_coeffs; ++i) {
+    result.vec_beta[i] = beta_sum[i] / static_cast<double>(b2);
+  }
+  result.selection_frequency.assign(n_coeffs, 0.0);
+  for (std::size_t i = 0; i < n_coeffs; ++i) {
+    result.selection_frequency[i] =
+        selection_counts_est[i] / static_cast<double>(b2);
+  }
+  result.support =
+      SupportSet::from_beta(result.vec_beta, options_.support_tolerance);
+
+  // Rebuild (A_1..A_d) and mu (Algorithm 2, lines 31-32). With centered
+  // data, mu_hat = (I - sum_j A_j) x_bar.
+  VarModel fitted = VarModel::from_vec_b(result.vec_beta, p, d);
+  Vector mu(p, 0.0);
+  if (options_.center) {
+    mu = means;
+    for (std::size_t j = 0; j < d; ++j) {
+      const auto& a = fitted.coefficient(j);
+      for (std::size_t i = 0; i < p; ++i) {
+        mu[i] -= uoi::linalg::dot(a.row(i), means);
+      }
+    }
+  }
+  result.model = VarModel(fitted.coefficients(), std::move(mu));
+  return result;
+}
+
+}  // namespace uoi::var

@@ -1,0 +1,511 @@
+#include "var/var_distributed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "io/h5lite.hpp"
+#include "linalg/blas.hpp"
+#include "solvers/consensus_loop.hpp"
+#include "solvers/ols.hpp"
+#include "solvers/ridge_system.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+#include "var/lag_matrix.hpp"
+
+namespace uoi::var {
+
+using uoi::core::SupportSet;
+using uoi::linalg::ConstMatrixView;
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+using uoi::sim::Comm;
+using uoi::sim::ReduceOp;
+using uoi::sim::Window;
+
+namespace {
+
+struct Range {
+  std::size_t begin;
+  std::size_t end;
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+
+Range even_slice(std::size_t total, int parts, int index) {
+  const auto k = static_cast<std::size_t>(parts);
+  const auto i = static_cast<std::size_t>(index);
+  return {total * i / k, total * (i + 1) / k};
+}
+
+/// Which reader owns lag-matrix row t under even row partitioning.
+int reader_of_row(std::size_t t, std::size_t rows, int n_readers) {
+  // Inverse of even_slice: the smallest reader whose range contains t.
+  for (int r = 0; r < n_readers; ++r) {
+    const Range range = even_slice(rows, n_readers, r);
+    if (t >= range.begin && t < range.end) return r;
+  }
+  UOI_CHECK(false, "row has no reader");
+  return -1;
+}
+
+}  // namespace
+
+Matrix load_series_distributed(Comm& comm, const std::string& dataset_base,
+                               int n_readers) {
+  UOI_CHECK(n_readers >= 1, "need at least one reader rank");
+  n_readers = std::min(n_readers, comm.size());
+  const bool is_reader = comm.rank() < n_readers;
+
+  std::size_t dims[2] = {0, 0};
+  if (comm.rank() == 0) {
+    const uoi::io::DatasetInfo info = uoi::io::read_info(dataset_base);
+    dims[0] = info.rows;
+    dims[1] = info.cols;
+  }
+  comm.bcast(std::span<std::size_t>(dims, 2), 0);
+  const std::size_t rows = dims[0];
+  const std::size_t cols = dims[1];
+
+  // Every rank exposes the full series buffer; readers fill their slabs
+  // locally and push them to every peer.
+  Matrix series(rows, cols);
+  uoi::sim::Window window(comm, {series.data(), series.size()});
+  window.fence();
+  if (is_reader) {
+    const Range share = even_slice(rows, n_readers, comm.rank());
+    uoi::io::DatasetReader reader(dataset_base);
+    Matrix slab;
+    reader.read_rows(share.begin, share.size(), slab);
+    for (std::size_t r = 0; r < slab.rows(); ++r) {
+      const auto src = slab.row(r);
+      std::copy(src.begin(), src.end(), series.row(share.begin + r).begin());
+      for (int target = 0; target < comm.size(); ++target) {
+        if (target == comm.rank()) continue;
+        window.put(target, (share.begin + r) * cols, src);
+      }
+    }
+  }
+  window.fence();
+  return series;
+}
+
+VarLocalBlock distributed_kron_vectorize(Comm& comm, const LagRegression& lag,
+                                         int n_readers) {
+  UOI_CHECK(n_readers >= 1, "need at least one reader rank");
+  n_readers = std::min(n_readers, comm.size());
+  const bool is_reader = comm.rank() < n_readers;
+
+  // Readers publish the problem shape.
+  std::size_t dims[3] = {0, 0, 0};  // rows (N-d), dp, p
+  if (comm.rank() == 0) {
+    UOI_CHECK(lag.x.rows() > 0, "reader rank 0 has an empty lag regression");
+    dims[0] = lag.x.rows();
+    dims[1] = lag.x.cols();
+    dims[2] = lag.y.cols();
+  }
+  comm.bcast(std::span<std::size_t>(dims, 3), 0);
+  const std::size_t rows = dims[0];
+  const std::size_t dp = dims[1];
+  const std::size_t p = dims[2];
+
+  // Each reader exposes its share of X's rows and Y's rows through windows.
+  const Range my_share =
+      is_reader ? even_slice(rows, n_readers, comm.rank()) : Range{0, 0};
+  Vector x_buffer, y_buffer;
+  if (is_reader) {
+    UOI_CHECK_DIMS(lag.x.rows() == rows && lag.y.cols() == p,
+                   "reader lag regression shape mismatch");
+    x_buffer.resize(my_share.size() * dp);
+    y_buffer.resize(my_share.size() * p);
+    for (std::size_t t = my_share.begin; t < my_share.end; ++t) {
+      const auto x_src = lag.x.row(t);
+      std::copy(x_src.begin(), x_src.end(),
+                x_buffer.begin() +
+                    static_cast<std::ptrdiff_t>((t - my_share.begin) * dp));
+      const auto y_src = lag.y.row(t);
+      std::copy(y_src.begin(), y_src.end(),
+                y_buffer.begin() +
+                    static_cast<std::ptrdiff_t>((t - my_share.begin) * p));
+    }
+  }
+  Window x_window(comm, x_buffer);
+  Window y_window(comm, y_buffer);
+
+  // Assemble this rank's contiguous rows of the vectorized problem.
+  const std::size_t total_rows = rows * p;
+  const Range mine = even_slice(total_rows, comm.size(), comm.rank());
+
+  VarLocalBlock block;
+  block.dp = dp;
+  block.n_equations = p;
+  block.global_row_begin = mine.begin;
+  block.x_rows.resize(mine.size(), dp);
+  block.y.resize(mine.size());
+  block.equation_of_row.resize(mine.size());
+
+  x_window.fence();
+  y_window.fence();
+  Vector y_cell(1);
+  for (std::size_t r = mine.begin; r < mine.end; ++r) {
+    const std::size_t local = r - mine.begin;
+    const std::size_t e = r / rows;       // equation (block) index
+    const std::size_t t = r % rows;       // lag-matrix row
+    block.equation_of_row[local] = e;
+    const int reader = reader_of_row(t, rows, n_readers);
+    const Range reader_share = even_slice(rows, n_readers, reader);
+    const std::size_t local_t = t - reader_share.begin;
+    x_window.get(reader, local_t * dp, block.x_rows.row(local));
+    y_window.get(reader, local_t * p + e, y_cell);
+    block.y[local] = y_cell[0];
+  }
+  x_window.fence();
+  y_window.fence();
+  return block;
+}
+
+struct DistributedVarAdmmSolver::EquationSystem {
+  std::size_t equation;
+  std::size_t row_begin;  // local row range [row_begin, row_end)
+  std::size_t row_end;
+  std::unique_ptr<uoi::solvers::RidgeSystemSolver> solver;
+};
+
+DistributedVarAdmmSolver::DistributedVarAdmmSolver(
+    Comm& comm, const VarLocalBlock& block,
+    const uoi::solvers::AdmmOptions& options)
+    : comm_(&comm), block_(&block), options_(options) {
+  const std::size_t dp = block.dp;
+  atb_.assign(block.n_coefficients(), 0.0);
+
+  // Local rows arrive grouped by equation (global rows are contiguous), so
+  // one pass finds the per-equation ranges.
+  std::size_t begin = 0;
+  const std::size_t n_local = block.equation_of_row.size();
+  while (begin < n_local) {
+    std::size_t end = begin;
+    const std::size_t e = block.equation_of_row[begin];
+    while (end < n_local && block.equation_of_row[end] == e) ++end;
+
+    const ConstMatrixView rows_view =
+        block.x_rows.row_block(begin, end - begin);
+    auto solver = std::make_unique<uoi::solvers::RidgeSystemSolver>(
+        rows_view, options_.rho);
+    setup_flops_ += solver->setup_flops();
+
+    // A'b restricted to this equation's coordinate block.
+    Vector partial(dp, 0.0);
+    uoi::linalg::gemv_transposed(
+        1.0, rows_view,
+        std::span<const double>(block.y).subspan(begin, end - begin), 0.0,
+        partial);
+    for (std::size_t c = 0; c < dp; ++c) atb_[e * dp + c] = partial[c];
+
+    systems_.push_back({e, begin, end, std::move(solver)});
+    begin = end;
+  }
+}
+
+DistributedVarAdmmSolver::~DistributedVarAdmmSolver() = default;
+
+uoi::solvers::DistributedAdmmResult DistributedVarAdmmSolver::solve(
+    double lambda,
+    const uoi::solvers::DistributedAdmmResult* warm_start) const {
+  const std::size_t n_coeffs = block_->n_coefficients();
+  const std::size_t dp = block_->dp;
+
+  std::uint64_t per_iter_flops = 0;
+  for (const auto& sys : systems_) per_iter_flops += sys.solver->solve_flops();
+
+  Vector q(dp);
+  std::vector<std::unique_ptr<uoi::solvers::RidgeSystemSolver>> rebuilt;
+  double current_rho = options_.rho;
+  return uoi::solvers::detail::run_consensus_admm_loop(
+      *comm_, n_coeffs, lambda, options_,
+      [&](const Vector& z, const Vector& u, Vector& x, double rho) {
+        if (rho != current_rho) {
+          // Adaptive rho: refactor every equation's local system.
+          rebuilt.clear();
+          rebuilt.reserve(systems_.size());
+          for (const auto& sys : systems_) {
+            rebuilt.push_back(std::make_unique<uoi::solvers::RidgeSystemSolver>(
+                block_->x_rows.row_block(sys.row_begin,
+                                         sys.row_end - sys.row_begin),
+                rho));
+          }
+          current_rho = rho;
+        }
+        // Coordinates with no local rows: x = z - u (prox-only minimizer).
+        for (std::size_t i = 0; i < n_coeffs; ++i) x[i] = z[i] - u[i];
+        // Per-equation dense solves on the local row ranges.
+        for (std::size_t k = 0; k < systems_.size(); ++k) {
+          const auto& sys = systems_[k];
+          const std::size_t off = sys.equation * dp;
+          for (std::size_t c = 0; c < dp; ++c) {
+            q[c] = atb_[off + c] + rho * (z[off + c] - u[off + c]);
+          }
+          const auto& solver = rebuilt.empty() ? *sys.solver : *rebuilt[k];
+          solver.solve(q, std::span<double>(x).subspan(off, dp));
+        }
+      },
+      setup_flops_, per_iter_flops, warm_start);
+}
+
+namespace {
+
+/// Equations handled by task-group rank `c` of `c_ranks` during estimation.
+bool owns_equation(std::size_t e, int c_ranks, int c_rank) {
+  return static_cast<int>(e % static_cast<std::size_t>(c_ranks)) == c_rank;
+}
+
+}  // namespace
+
+UoiVarDistributedResult uoi_var_distributed(
+    Comm& comm, ConstMatrixView series_view, const UoiVarOptions& options,
+    const uoi::core::UoiParallelLayout& layout, int n_readers) {
+  const int pb = layout.bootstrap_groups;
+  const int pl = layout.lambda_groups;
+  UOI_CHECK(pb >= 1 && pl >= 1, "layout group counts must be >= 1");
+  UOI_CHECK(comm.size() % (pb * pl) == 0,
+            "communicator size must be divisible by P_B * P_lambda");
+  const int c_ranks = comm.size() / (pb * pl);
+  const int task_group = comm.rank() / c_ranks;
+  const int task_rank = comm.rank() % c_ranks;
+  const int b_group = task_group / pl;
+  const int l_group = task_group % pl;
+  Comm task_comm = comm.split(task_group, comm.rank());
+  const int group_readers = std::min(n_readers, c_ranks);
+
+  const std::size_t p = series_view.cols();
+  const std::size_t d = options.order;
+
+  // Center the series exactly as the serial driver does.
+  Matrix series = Matrix::from_view(series_view);
+  Vector means(p, 0.0);
+  if (options.center) {
+    for (std::size_t r = 0; r < series.rows(); ++r) {
+      const auto row = series.row(r);
+      for (std::size_t c = 0; c < p; ++c) means[c] += row[c];
+    }
+    for (auto& m : means) m /= static_cast<double>(series.rows());
+    for (std::size_t r = 0; r < series.rows(); ++r) {
+      auto row = series.row(r);
+      for (std::size_t c = 0; c < p; ++c) row[c] -= means[c];
+    }
+  }
+
+  const std::size_t dp = d * p;
+  const std::size_t n_coeffs = dp * p;
+
+  UoiVarDistributedResult out{
+      {VarModel(std::vector<Matrix>(d, Matrix(p, p))),
+       Vector(n_coeffs, 0.0),
+       {},
+       {},
+       {},
+       {},
+       {},
+       0,
+       1.0 - 1.0 / static_cast<double>(p),
+       {}},
+      {}};
+  UoiVarResult& model = out.model;
+
+  const LagRegression full = build_lag_regression(series, d);
+  model.lambdas = resolve_var_lambda_grid(options, full.y, full.x);
+  const std::size_t q = model.lambdas.size();
+
+  support::Stopwatch phase_watch;
+  const auto comm_seconds = [&] {
+    return comm.stats().collective_seconds() +
+           task_comm.stats().collective_seconds();
+  };
+  const auto distribution_seconds = [&] {
+    return comm.stats().onesided_seconds() +
+           task_comm.stats().onesided_seconds();
+  };
+  const double comm_before = comm_seconds();
+  const double distr_before = distribution_seconds();
+  std::uint64_t local_flops = 0;
+
+  // ---- Model selection ----
+  // counts(j, i): selections across bootstraps; each task group's rank 0
+  // contributes its fits, then one global sum-reduction completes the
+  // (possibly soft) intersection.
+  Matrix selection_counts(q, n_coeffs, 0.0);
+  for (std::size_t k = 0; k < options.n_selection_bootstraps; ++k) {
+    if (static_cast<int>(k % static_cast<std::size_t>(pb)) != b_group) continue;
+
+    // Readers construct the bootstrap sample's lag regression; compute
+    // ranks assemble their vectorized row blocks through the windows.
+    LagRegression lag;
+    if (task_rank < group_readers) {
+      const Matrix sample = block_bootstrap_sample(
+          series, var_bootstrap_options(options, /*stage=*/0, k));
+      lag = build_lag_regression(sample, d);
+    }
+    const VarLocalBlock block =
+        distributed_kron_vectorize(task_comm, lag, group_readers);
+
+    const DistributedVarAdmmSolver solver(task_comm, block, options.admm);
+    uoi::solvers::DistributedAdmmResult previous;
+    bool have_previous = false;
+    for (std::size_t j = 0; j < q; ++j) {
+      if (static_cast<int>(j % static_cast<std::size_t>(pl)) != l_group)
+        continue;
+      auto fit =
+          solver.solve(model.lambdas[j], have_previous ? &previous : nullptr);
+      local_flops += fit.local_flops;
+      if (task_rank == 0) {
+        auto row = selection_counts.row(j);
+        for (std::size_t i = 0; i < n_coeffs; ++i) {
+          if (std::abs(fit.beta[i]) > options.support_tolerance) {
+            row[i] += 1.0;
+          }
+        }
+      }
+      previous = std::move(fit);
+      have_previous = true;
+    }
+  }
+  comm.allreduce(
+      std::span<double>(selection_counts.data(), selection_counts.size()),
+      ReduceOp::kSum);
+  const double count_threshold = std::max(
+      1.0, std::ceil(options.intersection_fraction *
+                         static_cast<double>(options.n_selection_bootstraps) -
+                     1e-12));
+  model.candidate_supports.reserve(q);
+  for (std::size_t j = 0; j < q; ++j) {
+    std::vector<std::size_t> selected;
+    const auto row = selection_counts.row(j);
+    for (std::size_t i = 0; i < n_coeffs; ++i) {
+      if (row[i] >= count_threshold) selected.push_back(i);
+    }
+    model.candidate_supports.emplace_back(std::move(selected));
+  }
+
+  // ---- Model estimation ----
+  // Parallelism: bootstraps over P_B, candidate supports over P_lambda,
+  // equations over the C ranks of each task group (the vectorized OLS
+  // decomposes exactly per equation; see var_restricted_ols).
+  const std::size_t b2 = options.n_estimation_bootstraps;
+  Matrix losses(b2, q, std::numeric_limits<double>::infinity());
+  std::vector<Vector> computed_betas(b2 * q);  // this rank's equations only
+
+  for (std::size_t k = 0; k < b2; ++k) {
+    if (static_cast<int>(k % static_cast<std::size_t>(pb)) != b_group) continue;
+
+    const Matrix train_sample = block_bootstrap_sample(
+        series, var_bootstrap_options(options, /*stage=*/1, k));
+    const Matrix eval_sample = block_bootstrap_sample(
+        series, var_bootstrap_options(options, /*stage=*/2, k));
+    const LagRegression train = build_lag_regression(train_sample, d);
+    const LagRegression eval = build_lag_regression(eval_sample, d);
+
+    std::vector<std::size_t> eq_support;
+    for (std::size_t j = 0; j < q; ++j) {
+      if (static_cast<int>(j % static_cast<std::size_t>(pl)) != l_group)
+        continue;
+      Vector beta_local(n_coeffs, 0.0);
+      double sse[2] = {0.0, 0.0};  // (sum of squared errors, row count)
+      for (std::size_t e = 0; e < p; ++e) {
+        if (!owns_equation(e, c_ranks, task_rank)) continue;
+        eq_support.clear();
+        for (const std::size_t c : model.candidate_supports[j].indices()) {
+          if (c >= e * dp && c < (e + 1) * dp) eq_support.push_back(c - e * dp);
+        }
+        Vector beta_e(dp, 0.0);
+        if (!eq_support.empty()) {
+          const Vector y_e = train.y.col(e);
+          beta_e = uoi::solvers::ols_direct_on_support(train.x, y_e,
+                                                       eq_support);
+        }
+        for (std::size_t c = 0; c < dp; ++c) beta_local[e * dp + c] = beta_e[c];
+        for (std::size_t r = 0; r < eval.x.rows(); ++r) {
+          const double err =
+              uoi::linalg::dot(eval.x.row(r), beta_e) - eval.y(r, e);
+          sse[0] += err * err;
+        }
+        sse[1] += static_cast<double>(eval.x.rows());
+      }
+      task_comm.allreduce(std::span<double>(sse, 2), ReduceOp::kSum);
+      const double mse = sse[1] > 0.0 ? sse[0] / sse[1] : 0.0;
+      losses(k, j) = uoi::core::estimation_score(
+          options.criterion, mse, sse[1],
+          model.candidate_supports[j].size());
+      computed_betas[k * q + j] = std::move(beta_local);
+    }
+  }
+
+  comm.allreduce(std::span<double>(losses.data(), losses.size()),
+                 ReduceOp::kMin);
+
+  model.chosen_support_per_bootstrap.assign(b2, 0);
+  model.best_loss_per_bootstrap.assign(b2, 0.0);
+  Vector beta_sum(n_coeffs, 0.0);
+  Vector freq_sum(n_coeffs, 0.0);
+  for (std::size_t k = 0; k < b2; ++k) {
+    std::size_t best_j = 0;
+    double best_loss = losses(k, 0);
+    for (std::size_t j = 1; j < q; ++j) {
+      if (losses(k, j) < best_loss) {
+        best_loss = losses(k, j);
+        best_j = j;
+      }
+    }
+    model.chosen_support_per_bootstrap[k] = best_j;
+    model.best_loss_per_bootstrap[k] = best_loss;
+    // Each rank of the owning task group holds disjoint equations of the
+    // winner, so summing every rank's copy assembles the full estimate.
+    if (!computed_betas[k * q + best_j].empty()) {
+      const auto& beta = computed_betas[k * q + best_j];
+      for (std::size_t i = 0; i < n_coeffs; ++i) {
+        beta_sum[i] += beta[i];
+        if (std::abs(beta[i]) > options.support_tolerance) {
+          freq_sum[i] += 1.0;
+        }
+      }
+    }
+  }
+  comm.allreduce(beta_sum, ReduceOp::kSum);
+  comm.allreduce(freq_sum, ReduceOp::kSum);
+  model.selection_frequency.assign(n_coeffs, 0.0);
+  for (std::size_t i = 0; i < n_coeffs; ++i) {
+    model.selection_frequency[i] = freq_sum[i] / static_cast<double>(b2);
+  }
+
+  for (std::size_t i = 0; i < n_coeffs; ++i) {
+    model.vec_beta[i] = beta_sum[i] / static_cast<double>(b2);
+  }
+  model.support =
+      SupportSet::from_beta(model.vec_beta, options.support_tolerance);
+
+  VarModel fitted = VarModel::from_vec_b(model.vec_beta, p, d);
+  Vector mu(p, 0.0);
+  if (options.center) {
+    mu = means;
+    for (std::size_t j = 0; j < d; ++j) {
+      const auto& a = fitted.coefficient(j);
+      for (std::size_t i = 0; i < p; ++i) {
+        mu[i] -= uoi::linalg::dot(a.row(i), means);
+      }
+    }
+  }
+  model.model = VarModel(fitted.coefficients(), std::move(mu));
+
+  std::uint64_t flops = local_flops;
+  comm.allreduce(std::span<std::uint64_t>(&flops, 1), ReduceOp::kSum);
+  model.total_flops = flops;
+
+  out.breakdown.distribution_seconds = distribution_seconds() - distr_before;
+  out.breakdown.communication_seconds = comm_seconds() - comm_before;
+  out.breakdown.computation_seconds = phase_watch.seconds() -
+                                      out.breakdown.communication_seconds -
+                                      out.breakdown.distribution_seconds;
+  // Fold the task group's traffic into the caller's accounting so
+  // Cluster::run_collect_stats sees the consensus Allreduces.
+  comm.mutable_stats() += task_comm.stats();
+  return out;
+}
+
+}  // namespace uoi::var

@@ -1,0 +1,96 @@
+#pragma once
+// Distributed UoI_VAR (paper §III-B2, §IV-B): the distributed Kronecker
+// product + vectorization over one-sided windows, the block-structured
+// distributed consensus LASSO-ADMM, and the full distributed driver.
+//
+// The paper's key observation: the input series is small (MBs), but the
+// vectorized problem (I (x) X, vec Y) explodes ~ p^3. So a handful of
+// n_reader ranks construct (X, Y) for each bootstrap and expose them
+// through MPI one-sided windows; every compute rank assembles only its own
+// row block of the vectorized problem by remote gets — the full operator is
+// never materialized anywhere.
+//
+// Row r of the vectorized problem maps to (equation e = r / (N-d),
+// lag-matrix row t = r mod (N-d)): its nonzeros are X row t at column
+// offset e * dp, and its response is Y(t, e). Because columns from
+// different equations never co-occur in a row, each rank's local Gram
+// matrix is block diagonal, so the consensus-ADMM x-update factorizes into
+// at most ceil(rows-per-rank / (N-d)) + 1 small dp x dp systems.
+
+#include "core/uoi_lasso_distributed.hpp"  // UoiParallelLayout, breakdown
+#include "simcluster/comm.hpp"
+#include "simcluster/window.hpp"
+#include "solvers/distributed_admm.hpp"
+#include "var/lag_matrix.hpp"
+#include "var/uoi_var.hpp"
+
+namespace uoi::var {
+
+/// This rank's assembled row block of the vectorized VAR problem.
+struct VarLocalBlock {
+  uoi::linalg::Matrix x_rows;            ///< local rows x dp (dense payload)
+  uoi::linalg::Vector y;                 ///< local responses
+  std::vector<std::size_t> equation_of_row;  ///< e per local row (ascending)
+  std::size_t dp = 0;                    ///< block width (d * p)
+  std::size_t n_equations = 0;           ///< p
+  std::size_t global_row_begin = 0;      ///< first global row owned
+
+  [[nodiscard]] std::size_t n_coefficients() const noexcept {
+    return dp * n_equations;
+  }
+};
+
+/// Parallel series load (the paper's "small number of processes read the
+/// data file in parallel"): reader ranks [0, n_readers) read disjoint row
+/// slabs of an H5-lite dataset and the (small) series is replicated to
+/// every rank through a one-sided window. Collective over `comm`.
+[[nodiscard]] uoi::linalg::Matrix load_series_distributed(
+    uoi::sim::Comm& comm, const std::string& dataset_base, int n_readers);
+
+/// Distributed Kronecker product + vectorization. Collective over `comm`.
+/// Readers are ranks [0, n_readers); `lag` must contain the full lag
+/// regression on reader ranks (ignored elsewhere). Every rank receives its
+/// contiguous row block of (I (x) X, vec Y). One-sided traffic is charged
+/// to the caller's CommStats "Distribution" bucket.
+[[nodiscard]] VarLocalBlock distributed_kron_vectorize(
+    uoi::sim::Comm& comm, const LagRegression& lag, int n_readers);
+
+/// Block-structured distributed consensus LASSO-ADMM over assembled blocks.
+/// Semantics match solvers::DistributedLassoAdmmSolver with the Gram
+/// factorization specialized to the block-diagonal structure.
+class DistributedVarAdmmSolver {
+ public:
+  DistributedVarAdmmSolver(uoi::sim::Comm& comm, const VarLocalBlock& block,
+                           const uoi::solvers::AdmmOptions& options = {});
+  ~DistributedVarAdmmSolver();
+  DistributedVarAdmmSolver(DistributedVarAdmmSolver&&) = default;
+
+  [[nodiscard]] uoi::solvers::DistributedAdmmResult solve(
+      double lambda,
+      const uoi::solvers::DistributedAdmmResult* warm_start = nullptr) const;
+
+ private:
+  struct EquationSystem;
+  uoi::sim::Comm* comm_;
+  const VarLocalBlock* block_;
+  uoi::solvers::AdmmOptions options_;
+  uoi::linalg::Vector atb_;  // full-length A'b restricted to local coords
+  std::vector<EquationSystem> systems_;
+  std::uint64_t setup_flops_ = 0;
+};
+
+struct UoiVarDistributedResult {
+  UoiVarResult model;
+  uoi::core::UoiDistributedBreakdown breakdown;
+};
+
+/// Distributed UoI_VAR driver. Collective over `comm`; the full series is
+/// replicated (reader ranks use it to stand in for the HDF5 file, compute
+/// ranks only touch it through windows and for the estimation resamples).
+/// Layout works as in uoi_lasso_distributed: P = P_B x P_lambda x C.
+[[nodiscard]] UoiVarDistributedResult uoi_var_distributed(
+    uoi::sim::Comm& comm, uoi::linalg::ConstMatrixView series,
+    const UoiVarOptions& options = {},
+    const uoi::core::UoiParallelLayout& layout = {}, int n_readers = 2);
+
+}  // namespace uoi::var

@@ -1,0 +1,221 @@
+#include "var/var_model.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace uoi::var {
+
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+
+VarModel::VarModel(std::vector<Matrix> a, Vector intercept)
+    : a_(std::move(a)), intercept_(std::move(intercept)) {
+  UOI_CHECK(!a_.empty(), "VAR model needs at least one coefficient matrix");
+  p_ = a_[0].rows();
+  for (const auto& m : a_) {
+    UOI_CHECK_DIMS(m.rows() == p_ && m.cols() == p_,
+                   "VAR coefficient matrices must be square and same-size");
+  }
+  if (intercept_.empty()) intercept_.assign(p_, 0.0);
+  UOI_CHECK_DIMS(intercept_.size() == p_, "intercept dimension mismatch");
+}
+
+const Matrix& VarModel::coefficient(std::size_t j) const {
+  UOI_CHECK(j < a_.size(), "lag index out of range");
+  return a_[j];
+}
+
+Matrix VarModel::companion() const {
+  const std::size_t d = order();
+  Matrix c(d * p_, d * p_);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t r = 0; r < p_; ++r) {
+      for (std::size_t col = 0; col < p_; ++col) {
+        c(r, j * p_ + col) = a_[j](r, col);
+      }
+    }
+  }
+  // Sub-diagonal identity blocks shift the lag window.
+  for (std::size_t j = 1; j < d; ++j) {
+    for (std::size_t r = 0; r < p_; ++r) {
+      c(j * p_ + r, (j - 1) * p_ + r) = 1.0;
+    }
+  }
+  return c;
+}
+
+double VarModel::companion_spectral_radius(std::size_t iterations) const {
+  const Matrix c = companion();
+  const std::size_t m = c.rows();
+  // Power iteration. When the dominant eigenvalue is a complex conjugate
+  // pair (common for oscillatory VAR dynamics) the per-step growth ratio
+  // oscillates, but its geometric mean over a window still converges to
+  // |lambda_max|: ||C^k v||^(1/k) -> rho(C).
+  Vector v(m);
+  uoi::support::Xoshiro256 rng(0x5bec7fadULL);
+  for (auto& e : v) e = rng.uniform(-1.0, 1.0);
+  double norm = uoi::linalg::nrm2(v);
+  UOI_CHECK(norm > 0.0, "degenerate start vector");
+  for (auto& e : v) e /= norm;
+
+  const std::size_t warmup = iterations / 2;
+  Vector w(m, 0.0);
+  double log_growth_sum = 0.0;
+  std::size_t averaged = 0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    uoi::linalg::gemv(1.0, c, v, 0.0, w);
+    const double grow = uoi::linalg::nrm2(w);
+    if (grow == 0.0) return 0.0;  // nilpotent companion
+    if (it >= warmup) {
+      log_growth_sum += std::log(grow);
+      ++averaged;
+    }
+    for (std::size_t i = 0; i < m; ++i) v[i] = w[i] / grow;
+  }
+  return std::exp(log_growth_sum / static_cast<double>(averaged));
+}
+
+bool VarModel::is_stable(double margin) const {
+  return companion_spectral_radius() < 1.0 - margin;
+}
+
+Vector VarModel::vec_b() const {
+  const std::size_t d = order();
+  // B is (dp) x p with B = [A_1' ; A_2' ; ... ; A_d'];
+  // vec stacks B's columns: entry (row = j*p + s, col = e) = A_j(e, s).
+  Vector v(d * p_ * p_);
+  for (std::size_t e = 0; e < p_; ++e) {        // equation (column of B)
+    for (std::size_t j = 0; j < d; ++j) {       // lag block
+      for (std::size_t s = 0; s < p_; ++s) {    // source node
+        v[e * (d * p_) + j * p_ + s] = a_[j](e, s);
+      }
+    }
+  }
+  return v;
+}
+
+VarModel VarModel::from_vec_b(std::span<const double> v, std::size_t p,
+                              std::size_t d, Vector intercept) {
+  UOI_CHECK_DIMS(v.size() == d * p * p, "vec_b length mismatch");
+  std::vector<Matrix> a(d, Matrix(p, p));
+  for (std::size_t e = 0; e < p; ++e) {
+    for (std::size_t j = 0; j < d; ++j) {
+      for (std::size_t s = 0; s < p; ++s) {
+        a[j](e, s) = v[e * (d * p) + j * p + s];
+      }
+    }
+  }
+  return VarModel(std::move(a), std::move(intercept));
+}
+
+Matrix simulate(const VarModel& model, const SimulateOptions& options) {
+  UOI_CHECK(options.n_samples > 0, "simulate: n_samples must be positive");
+  UOI_CHECK(options.student_t_dof == 0.0 || options.student_t_dof > 2.0,
+            "Student-t disturbances need dof > 2 (finite variance)");
+  const std::size_t p = model.dim();
+  const std::size_t d = model.order();
+  const std::size_t total = options.n_samples + options.burn_in + d;
+
+  uoi::support::Xoshiro256 rng(options.seed);
+  // Unit-variance disturbance draw: Gaussian, or Student-t rescaled so
+  // heavy tails do not change the variance the estimators see.
+  const auto draw_noise = [&]() {
+    if (options.student_t_dof == 0.0) return rng.normal();
+    const double dof = options.student_t_dof;
+    // t_v = Z / sqrt(ChiSq_v / v); ChiSq_v as a sum of v squared normals
+    // works for integer-ish dof and is unbiased enough for synthesis.
+    double chi_sq = 0.0;
+    const auto k = static_cast<std::size_t>(dof + 0.5);
+    for (std::size_t i = 0; i < k; ++i) {
+      const double z = rng.normal();
+      chi_sq += z * z;
+    }
+    const double t = rng.normal() / std::sqrt(chi_sq / dof);
+    return t * std::sqrt((dof - 2.0) / dof);  // rescale to unit variance
+  };
+
+  Matrix series(total, p);
+  // Initial d rows: pure noise.
+  for (std::size_t t = 0; t < d; ++t) {
+    auto row = series.row(t);
+    for (auto& v : row) v = options.noise_stddev * draw_noise();
+  }
+  const auto& mu = model.intercept();
+  for (std::size_t t = d; t < total; ++t) {
+    auto row = series.row(t);
+    for (std::size_t i = 0; i < p; ++i) {
+      row[i] = mu[i] + options.noise_stddev * draw_noise();
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      const auto lag_row = series.row(t - 1 - j);
+      const auto& a = model.coefficient(j);
+      for (std::size_t i = 0; i < p; ++i) {
+        row[i] += uoi::linalg::dot(a.row(i), lag_row);
+      }
+    }
+  }
+  // Drop burn-in and the seed rows.
+  Matrix out(options.n_samples, p);
+  for (std::size_t t = 0; t < options.n_samples; ++t) {
+    const auto src = series.row(t + options.burn_in + d);
+    std::copy(src.begin(), src.end(), out.row(t).begin());
+  }
+  return out;
+}
+
+Matrix forecast(const VarModel& model, uoi::linalg::ConstMatrixView history,
+                std::size_t horizon) {
+  const std::size_t p = model.dim();
+  const std::size_t d = model.order();
+  UOI_CHECK_DIMS(history.cols() == p, "forecast: history width != model dim");
+  UOI_CHECK(history.rows() >= d, "forecast: history shorter than the order");
+  UOI_CHECK(horizon >= 1, "forecast: horizon must be >= 1");
+
+  // Working buffer: the last d observed rows followed by the forecasts.
+  Matrix window(d + horizon, p);
+  for (std::size_t j = 0; j < d; ++j) {
+    const auto src = history.row(history.rows() - d + j);
+    std::copy(src.begin(), src.end(), window.row(j).begin());
+  }
+  const auto& mu = model.intercept();
+  for (std::size_t h = 0; h < horizon; ++h) {
+    auto row = window.row(d + h);
+    for (std::size_t i = 0; i < p; ++i) row[i] = mu[i];
+    for (std::size_t j = 0; j < d; ++j) {
+      const auto lag_row = window.row(d + h - 1 - j);
+      const auto& a = model.coefficient(j);
+      for (std::size_t i = 0; i < p; ++i) {
+        row[i] += uoi::linalg::dot(a.row(i), lag_row);
+      }
+    }
+  }
+  Matrix out(horizon, p);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    const auto src = window.row(d + h);
+    std::copy(src.begin(), src.end(), out.row(h).begin());
+  }
+  return out;
+}
+
+Vector unconditional_mean(const VarModel& model) {
+  UOI_CHECK(model.is_stable(),
+            "unconditional mean requires a stable model");
+  const std::size_t p = model.dim();
+  // Solve (I - sum_j A_j) m = mu by QR-free dense Cholesky on the normal
+  // equations is wrong for non-symmetric systems; use the QR solver.
+  Matrix system(p, p);
+  for (std::size_t i = 0; i < p; ++i) system(i, i) = 1.0;
+  for (std::size_t j = 0; j < model.order(); ++j) {
+    const auto& a = model.coefficient(j);
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t c = 0; c < p; ++c) system(i, c) -= a(i, c);
+    }
+  }
+  return uoi::linalg::qr_least_squares(system, model.intercept());
+}
+
+}  // namespace uoi::var

@@ -1,0 +1,90 @@
+#pragma once
+// Vector autoregressive model VAR(d) (paper eq. 6):
+//
+//   X_t = sum_{j=1..d} A_j X_{t-j} + mu + U_t,   U_t ~ N_p(0, Sigma)
+//
+// with the stability constraint det(I - sum_j A_j z^j) != 0 for |z| <= 1,
+// checked here through the spectral radius of the companion matrix.
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace uoi::var {
+
+class VarModel {
+ public:
+  /// Coefficient matrices a[j] are p x p; a.size() is the order d.
+  /// `intercept` (mu) defaults to zero.
+  explicit VarModel(std::vector<uoi::linalg::Matrix> a,
+                    uoi::linalg::Vector intercept = {});
+
+  [[nodiscard]] std::size_t order() const noexcept { return a_.size(); }
+  [[nodiscard]] std::size_t dim() const noexcept { return p_; }
+  [[nodiscard]] const uoi::linalg::Matrix& coefficient(std::size_t j) const;
+  [[nodiscard]] const std::vector<uoi::linalg::Matrix>& coefficients()
+      const noexcept {
+    return a_;
+  }
+  [[nodiscard]] const uoi::linalg::Vector& intercept() const noexcept {
+    return intercept_;
+  }
+
+  /// The (d*p) x (d*p) companion matrix whose eigenvalues govern stability.
+  [[nodiscard]] uoi::linalg::Matrix companion() const;
+
+  /// Spectral radius of the companion matrix (power iteration on C'C is not
+  /// valid for non-symmetric C; we use power iteration with deflation-free
+  /// norm growth estimates, which converges to |lambda_max| for generic
+  /// starts). Accurate to ~1e-6 for the stability check's purposes.
+  [[nodiscard]] double companion_spectral_radius(
+      std::size_t iterations = 500) const;
+
+  /// True when the spectral radius is below 1 - margin.
+  [[nodiscard]] bool is_stable(double margin = 1e-6) const;
+
+  /// vec of the stacked coefficient matrix B = [A_1' ; ... ; A_d']
+  /// ((dp) x p), matching the vectorized regression (eq. 9). Element order
+  /// is column-major over B, i.e. equation-by-equation.
+  [[nodiscard]] uoi::linalg::Vector vec_b() const;
+
+  /// Inverse of vec_b(): rebuilds a model from the vectorized coefficients.
+  static VarModel from_vec_b(std::span<const double> v, std::size_t p,
+                             std::size_t d,
+                             uoi::linalg::Vector intercept = {});
+
+ private:
+  std::vector<uoi::linalg::Matrix> a_;
+  uoi::linalg::Vector intercept_;
+  std::size_t p_ = 0;
+};
+
+/// Simulation options for generating synthetic series from a model.
+struct SimulateOptions {
+  std::size_t n_samples = 0;        ///< length of the returned series
+  std::size_t burn_in = 200;        ///< discarded initial samples
+  double noise_stddev = 1.0;        ///< isotropic disturbance scale
+  /// Degrees of freedom for Student-t disturbances (heavy tails, for
+  /// robustness experiments); 0 means Gaussian. Must be > 2 when set so
+  /// the variance exists (draws are rescaled to noise_stddev).
+  double student_t_dof = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Simulates the process; returns an n_samples x p matrix (row = time).
+[[nodiscard]] uoi::linalg::Matrix simulate(const VarModel& model,
+                                           const SimulateOptions& options);
+
+/// h-step-ahead point forecast: iterates the deterministic recursion
+/// x_{t+1} = mu + sum_j A_j x_{t+1-j} from the last `order()` rows of
+/// `history`. Returns a horizon x p matrix (row h-1 = h steps ahead).
+[[nodiscard]] uoi::linalg::Matrix forecast(const VarModel& model,
+                                           uoi::linalg::ConstMatrixView history,
+                                           std::size_t horizon);
+
+/// Unconditional process mean (I - sum_j A_j)^{-1} mu; throws when the
+/// model is not stable (the mean does not exist).
+[[nodiscard]] uoi::linalg::Vector unconditional_mean(const VarModel& model);
+
+}  // namespace uoi::var

@@ -1,0 +1,316 @@
+// Tests for the VAR analysis tools (impulse responses, FEVD, stationary
+// covariance) and the classical Granger F-test baseline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic_var.hpp"
+#include "linalg/blas.hpp"
+#include "support/rng.hpp"
+#include "var/analysis.hpp"
+#include "var/diagnostics.hpp"
+#include "var/granger_test.hpp"
+#include "var/var_model.hpp"
+
+namespace {
+
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+using uoi::var::VarModel;
+
+TEST(ImpulseResponse, Var1PowersOfA) {
+  Matrix a{{0.5, 0.2}, {0.0, 0.4}};
+  const VarModel model({a});
+  const auto phi = uoi::var::impulse_responses(model, 3);
+  ASSERT_EQ(phi.size(), 4u);
+  // Phi_0 = I.
+  EXPECT_DOUBLE_EQ(phi[0](0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(phi[0](0, 1), 0.0);
+  // Phi_1 = A, Phi_2 = A^2.
+  EXPECT_EQ(uoi::linalg::max_abs_diff(phi[1], a), 0.0);
+  Matrix a2(2, 2);
+  uoi::linalg::gemm(1.0, a, a, 0.0, a2);
+  EXPECT_LT(uoi::linalg::max_abs_diff(phi[2], a2), 1e-14);
+}
+
+TEST(ImpulseResponse, Var2Recursion) {
+  Matrix a1{{0.4}};
+  Matrix a2{{0.3}};
+  const VarModel model({a1, a2});
+  const auto phi = uoi::var::impulse_responses(model, 4);
+  // Scalar recursion: phi_h = 0.4 phi_{h-1} + 0.3 phi_{h-2}.
+  EXPECT_DOUBLE_EQ(phi[1](0, 0), 0.4);
+  EXPECT_NEAR(phi[2](0, 0), 0.4 * 0.4 + 0.3, 1e-14);
+  EXPECT_NEAR(phi[3](0, 0), 0.4 * phi[2](0, 0) + 0.3 * phi[1](0, 0), 1e-14);
+}
+
+TEST(ImpulseResponse, DecaysForStableSystems) {
+  const auto model = uoi::data::make_sparse_var({});
+  const auto phi = uoi::var::impulse_responses(model, 80);
+  double late = 0.0;
+  for (std::size_t i = 0; i < model.dim(); ++i) {
+    for (std::size_t k = 0; k < model.dim(); ++k) {
+      late = std::max(late, std::abs(phi[80](i, k)));
+    }
+  }
+  EXPECT_LT(late, 1e-3);
+}
+
+TEST(Fevd, RowsSumToOneAndOwnShockDominatesAtHorizonOne) {
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 6;
+  spec.seed = 3;
+  const auto model = uoi::data::make_sparse_var(spec);
+  const auto shares = uoi::var::fevd(model, 5);
+  ASSERT_EQ(shares.size(), 5u);
+  for (const auto& share : shares) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      double total = 0.0;
+      for (std::size_t k = 0; k < 6; ++k) {
+        EXPECT_GE(share(i, k), 0.0);
+        total += share(i, k);
+      }
+      EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+  }
+  // Horizon 1: Phi_0 = I, so each variable's variance is 100% own shock.
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(shares[0](i, i), 1.0, 1e-12);
+  }
+}
+
+TEST(Fevd, CrossSharesGrowWithHorizonWhenCoupled) {
+  Matrix a{{0.5, 0.4}, {0.0, 0.5}};  // variable 1 drives variable 0
+  const VarModel model({a});
+  const auto shares = uoi::var::fevd(model, 10);
+  // Variable 0's variance share from shock 1 grows with horizon.
+  EXPECT_GT(shares[9](0, 1), shares[1](0, 1));
+  EXPECT_GT(shares[9](0, 1), 0.05);
+  // Variable 1 is never influenced by shock 0 (lower-triangular system).
+  EXPECT_NEAR(shares[9](1, 0), 0.0, 1e-12);
+}
+
+TEST(StationaryCovariance, MatchesScalarFormula) {
+  // AR(1): var = sigma^2 / (1 - a^2).
+  Matrix a{{0.6}};
+  const VarModel model({a});
+  const Matrix sigma = uoi::var::stationary_covariance(model, 2.0);
+  EXPECT_NEAR(sigma(0, 0), 2.0 / (1.0 - 0.36), 1e-9);
+}
+
+TEST(StationaryCovariance, MatchesSimulatedMoments) {
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 4;
+  spec.seed = 5;
+  const auto model = uoi::data::make_sparse_var(spec);
+  const Matrix sigma = uoi::var::stationary_covariance(model, 1.0);
+
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 60000;
+  sim.seed = 6;
+  const Matrix series = uoi::var::simulate(model, sim);
+  Matrix empirical(4, 4);
+  for (std::size_t t = 0; t < series.rows(); ++t) {
+    const auto row = series.row(t);
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        empirical(i, j) += row[i] * row[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      empirical(i, j) /= static_cast<double>(series.rows());
+      EXPECT_NEAR(empirical(i, j), sigma(i, j),
+                  0.05 * std::max(1.0, std::abs(sigma(i, j))))
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(StationaryCovariance, UnstableModelRejected) {
+  Matrix a{{1.1}};
+  EXPECT_THROW(
+      (void)uoi::var::stationary_covariance(VarModel({a})),
+      uoi::support::InvalidArgument);
+}
+
+// ---- F distribution / Granger tests ----
+
+TEST(FDistribution, KnownQuantiles) {
+  // F(1, 10): P(F > 4.96) ~ 0.05; F(5, 20): P(F > 2.71) ~ 0.05.
+  EXPECT_NEAR(uoi::var::f_distribution_upper_tail(4.96, 1, 10), 0.05, 0.005);
+  EXPECT_NEAR(uoi::var::f_distribution_upper_tail(2.71, 5, 20), 0.05, 0.005);
+  // Degenerate ends.
+  EXPECT_DOUBLE_EQ(uoi::var::f_distribution_upper_tail(0.0, 3, 7), 1.0);
+  EXPECT_LT(uoi::var::f_distribution_upper_tail(1000.0, 3, 7), 1e-6);
+}
+
+TEST(FDistribution, MonotoneInF) {
+  double previous = 1.0;
+  for (const double f : {0.1, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+    const double tail = uoi::var::f_distribution_upper_tail(f, 4, 30);
+    EXPECT_LT(tail, previous);
+    previous = tail;
+  }
+}
+
+TEST(GrangerFTest, RecoversTrueEdgesOnCleanSystem) {
+  // Strong, sparse system with plenty of data: the classical test should
+  // find exactly the true edges.
+  Matrix a{{0.5, 0.0, 0.0}, {0.45, 0.5, 0.0}, {0.0, 0.0, 0.5}};
+  const VarModel truth({a});
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 3000;
+  sim.seed = 9;
+  const Matrix series = uoi::var::simulate(truth, sim);
+
+  const auto tests = uoi::var::granger_f_tests(series, 1);
+  ASSERT_EQ(tests.size(), 6u);
+  const auto network =
+      uoi::var::granger_network_from_tests(tests, 3, 0.05, true);
+  ASSERT_EQ(network.edge_count(), 1u);
+  EXPECT_EQ(network.edges()[0].source, 0u);
+  EXPECT_EQ(network.edges()[0].target, 1u);
+}
+
+TEST(GrangerFTest, NullSystemHasCalibratedFalsePositiveRate) {
+  // Independent white noise: without correction, each test rejects at
+  // ~alpha; with Bonferroni, the network is almost always empty.
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 1000;
+  sim.seed = 11;
+  Matrix zero(5, 5);
+  const Matrix series = uoi::var::simulate(VarModel({zero}), sim);
+  const auto tests = uoi::var::granger_f_tests(series, 1);
+  std::size_t rejections = 0;
+  for (const auto& t : tests) {
+    if (t.p_value < 0.05) ++rejections;
+  }
+  EXPECT_LE(rejections, 4u);  // 20 tests at alpha = 0.05 -> expect ~1
+  const auto network =
+      uoi::var::granger_network_from_tests(tests, 5, 0.05, true);
+  EXPECT_LE(network.edge_count(), 1u);
+}
+
+TEST(GrangerFTest, Var2CountsBothLagsAsRestrictions) {
+  Matrix a1{{0.3, 0.25}, {0.0, 0.3}};
+  Matrix a2{{0.2, 0.0}, {0.0, 0.2}};
+  const VarModel truth({a1, a2});
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 4000;
+  sim.seed = 1;  // the null p-value is seed-dependent; 1/40 seeds reject
+  const Matrix series = uoi::var::simulate(truth, sim);
+  const auto tests = uoi::var::granger_f_tests(series, 2);
+  // Edge 1 -> 0 exists (lag-1 coupling 0.25); 0 -> 1 does not.
+  for (const auto& t : tests) {
+    if (t.source == 1 && t.target == 0) {
+      EXPECT_LT(t.p_value, 1e-4);
+    } else if (t.source == 0 && t.target == 1) {
+      EXPECT_GT(t.p_value, 0.01);
+    }
+  }
+}
+
+}  // namespace
+
+namespace diagnostics_tests {
+
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+using uoi::var::VarModel;
+
+TEST(ChiSquare, KnownQuantiles) {
+  // chi2(1): P(X > 3.841) ~ 0.05; chi2(10): P(X > 18.31) ~ 0.05.
+  EXPECT_NEAR(uoi::var::chi_square_upper_tail(3.841, 1), 0.05, 0.002);
+  EXPECT_NEAR(uoi::var::chi_square_upper_tail(18.31, 10), 0.05, 0.002);
+  EXPECT_DOUBLE_EQ(uoi::var::chi_square_upper_tail(0.0, 5), 1.0);
+  EXPECT_LT(uoi::var::chi_square_upper_tail(100.0, 3), 1e-10);
+  // Median of chi2(2) is 2 ln 2.
+  EXPECT_NEAR(uoi::var::chi_square_upper_tail(2.0 * std::log(2.0), 2), 0.5,
+              1e-10);
+}
+
+TEST(LjungBox, WhiteNoisePassesAutocorrelatedFails) {
+  uoi::support::Xoshiro256 rng(3);
+  constexpr std::size_t kT = 2000;
+  Vector white(kT), ar(kT);
+  double previous = 0.0;
+  for (std::size_t t = 0; t < kT; ++t) {
+    white[t] = rng.normal();
+    previous = 0.6 * previous + rng.normal();
+    ar[t] = previous;
+  }
+  const auto white_test = uoi::var::ljung_box(white, 10);
+  EXPECT_GT(white_test.p_value, 0.01);
+  const auto ar_test = uoi::var::ljung_box(ar, 10);
+  EXPECT_LT(ar_test.p_value, 1e-10);
+  EXPECT_NEAR(ar_test.autocorrelations[0], 0.6, 0.05);
+}
+
+TEST(VarResiduals, TrueModelLeavesWhiteResiduals) {
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 5;
+  spec.seed = 5;
+  const auto truth = uoi::data::make_sparse_var(spec);
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 1500;
+  sim.seed = 6;
+  const Matrix series = uoi::var::simulate(truth, sim);
+
+  const auto diagnostics = uoi::var::residual_diagnostics(truth, series, 8);
+  ASSERT_EQ(diagnostics.size(), 5u);
+  // With the generating model, every variable's residuals are white; a
+  // Bonferroni-ish bound keeps the test stable across seeds.
+  std::size_t rejections = 0;
+  for (const auto& d : diagnostics) {
+    if (d.p_value < 0.01) ++rejections;
+  }
+  EXPECT_LE(rejections, 1u);
+}
+
+TEST(VarResiduals, UnderfittedOrderIsFlagged) {
+  // Fit a VAR(1)-shaped zero model to strongly autocorrelated data: the
+  // diagnostics must reject whiteness loudly.
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 4;
+  spec.self_coefficient = 0.7;
+  spec.seed = 7;
+  const auto truth = uoi::data::make_sparse_var(spec);
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 1000;
+  sim.seed = 8;
+  const Matrix series = uoi::var::simulate(truth, sim);
+
+  Matrix zero(4, 4);
+  const VarModel null_model({zero});
+  const auto diagnostics =
+      uoi::var::residual_diagnostics(null_model, series, 8);
+  for (const auto& d : diagnostics) {
+    EXPECT_LT(d.p_value, 1e-6);
+  }
+}
+
+TEST(VarResiduals, ResidualVarianceMatchesDisturbance) {
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 3;
+  spec.seed = 9;
+  const auto truth = uoi::data::make_sparse_var(spec);
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 20000;
+  sim.noise_stddev = 1.5;
+  sim.seed = 10;
+  const Matrix series = uoi::var::simulate(truth, sim);
+  const Matrix residuals = uoi::var::var_residuals(truth, series);
+  for (std::size_t e = 0; e < 3; ++e) {
+    double var = 0.0;
+    for (std::size_t t = 0; t < residuals.rows(); ++t) {
+      var += residuals(t, e) * residuals(t, e);
+    }
+    var /= static_cast<double>(residuals.rows());
+    EXPECT_NEAR(var, 1.5 * 1.5, 0.1);
+  }
+}
+
+}  // namespace diagnostics_tests

@@ -1,0 +1,154 @@
+// Tests for the rolling-origin backtester and heavy-tailed simulation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "data/synthetic_var.hpp"
+#include "var/backtest.hpp"
+#include "var/uoi_var.hpp"
+#include "var/var_model.hpp"
+
+namespace {
+
+using uoi::linalg::Matrix;
+
+TEST(Backtest, OlsVarBeatsBaselinesOnPersistentSystem) {
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 5;
+  spec.self_coefficient = 0.6;
+  spec.seed = 3;
+  const auto truth = uoi::data::make_sparse_var(spec);
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 500;
+  sim.seed = 4;
+  const Matrix series = uoi::var::simulate(truth, sim);
+
+  const auto result =
+      uoi::var::backtest_var(series, uoi::var::ols_var_fitter(1));
+  EXPECT_GT(result.n_forecasts, 100u);
+  EXPECT_GT(result.n_refits, 5u);
+  EXPECT_LT(result.model_mse, result.persistence_mse);
+  EXPECT_LT(result.model_mse, result.mean_mse);
+  EXPECT_LT(result.skill_vs_persistence(), 1.0);
+  // The true disturbance variance floors the 1-step MSE at ~1.
+  EXPECT_GT(result.model_mse, 0.8);
+  EXPECT_LT(result.model_mse, 1.5);
+}
+
+TEST(Backtest, TrueModelFitterIsNearOptimal) {
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 4;
+  spec.seed = 5;
+  const auto truth = uoi::data::make_sparse_var(spec);
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 400;
+  sim.seed = 6;
+  const Matrix series = uoi::var::simulate(truth, sim);
+
+  const auto oracle = uoi::var::backtest_var(
+      series, [&](uoi::linalg::ConstMatrixView) { return truth; });
+  const auto fitted =
+      uoi::var::backtest_var(series, uoi::var::ols_var_fitter(1));
+  // The estimated model cannot beat the oracle by more than noise jitter.
+  EXPECT_GT(fitted.model_mse, oracle.model_mse * 0.95);
+  EXPECT_LT(fitted.model_mse, oracle.model_mse * 1.3);
+}
+
+TEST(Backtest, MultiStepHorizonDegradesGracefully) {
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 4;
+  spec.self_coefficient = 0.6;
+  spec.seed = 7;
+  const auto truth = uoi::data::make_sparse_var(spec);
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 400;
+  sim.seed = 8;
+  const Matrix series = uoi::var::simulate(truth, sim);
+
+  uoi::var::BacktestOptions h1, h4;
+  h4.horizon = 4;
+  const auto one = uoi::var::backtest_var(
+      series, uoi::var::ols_var_fitter(1), h1);
+  const auto four = uoi::var::backtest_var(
+      series, uoi::var::ols_var_fitter(1), h4);
+  EXPECT_GT(four.model_mse, one.model_mse);
+}
+
+TEST(Backtest, RejectsDegenerateRanges) {
+  Matrix tiny(10, 2);
+  uoi::var::BacktestOptions options;
+  options.first_origin = 9;
+  EXPECT_THROW((void)uoi::var::backtest_var(
+                   tiny, uoi::var::ols_var_fitter(1), options),
+               uoi::support::InvalidArgument);
+}
+
+TEST(StudentT, UnitVarianceAfterRescaling) {
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 1;
+  spec.self_coefficient = 0.0;
+  spec.edges_per_node = 0.0;
+  spec.seed = 9;
+  // A pure-noise "VAR": variance of the series == disturbance variance.
+  Matrix zero(1, 1);
+  const uoi::var::VarModel white({zero});
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 60000;
+  sim.student_t_dof = 4.0;
+  sim.seed = 10;
+  const Matrix series = uoi::var::simulate(white, sim);
+  double var = 0.0, kurt = 0.0;
+  for (std::size_t t = 0; t < series.rows(); ++t) {
+    var += series(t, 0) * series(t, 0);
+  }
+  var /= static_cast<double>(series.rows());
+  for (std::size_t t = 0; t < series.rows(); ++t) {
+    const double z2 = series(t, 0) * series(t, 0) / var;
+    kurt += z2 * z2;
+  }
+  kurt /= static_cast<double>(series.rows());
+  EXPECT_NEAR(var, 1.0, 0.1);
+  EXPECT_GT(kurt, 4.0);  // heavier than the Gaussian's 3
+}
+
+TEST(StudentT, SelectionSurvivesHeavyTails) {
+  // UoI_VAR's selection should hold up under t(4) disturbances — the
+  // robustness property bootstrap-based intersection buys.
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 8;
+  spec.edges_per_node = 1.5;
+  spec.seed = 11;
+  const auto truth = uoi::data::make_sparse_var(spec);
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 600;
+  sim.student_t_dof = 4.0;
+  sim.seed = 12;
+  const Matrix series = uoi::var::simulate(truth, sim);
+
+  uoi::var::UoiVarOptions options;
+  options.n_selection_bootstraps = 10;
+  options.n_estimation_bootstraps = 6;
+  options.n_lambdas = 10;
+  const auto fit = uoi::var::UoiVar(options).fit(series);
+
+  const auto est = uoi::core::SupportSet::from_beta(fit.vec_beta, 0.05);
+  const auto ref = uoi::core::SupportSet::from_beta(truth.vec_b(), 1e-9);
+  const auto acc =
+      uoi::core::selection_accuracy(est, ref, fit.vec_beta.size());
+  EXPECT_EQ(acc.false_negatives, 0u);
+  EXPECT_LE(acc.false_positives, 6u);  // heavy tails admit a few extras
+}
+
+TEST(StudentT, RejectsLowDof) {
+  Matrix zero(1, 1);
+  const uoi::var::VarModel white({zero});
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 10;
+  sim.student_t_dof = 1.5;
+  EXPECT_THROW((void)uoi::var::simulate(white, sim),
+               uoi::support::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+// Tests for uoi::data generators: determinism, shape contracts, and the
+// statistical structure each generator promises.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/equity.hpp"
+#include "data/spikes.hpp"
+#include "data/synthetic_regression.hpp"
+#include "data/synthetic_var.hpp"
+#include "linalg/blas.hpp"
+#include "var/granger.hpp"
+
+namespace {
+
+TEST(Regression, ShapesAndDeterminism) {
+  uoi::data::RegressionSpec spec;
+  spec.n_samples = 40;
+  spec.n_features = 10;
+  spec.support_size = 3;
+  const auto a = uoi::data::make_regression(spec);
+  const auto b = uoi::data::make_regression(spec);
+  EXPECT_EQ(a.x.rows(), 40u);
+  EXPECT_EQ(a.x.cols(), 10u);
+  EXPECT_EQ(a.y.size(), 40u);
+  EXPECT_EQ(uoi::linalg::max_abs_diff(a.x, b.x), 0.0);
+  EXPECT_EQ(uoi::linalg::max_abs_diff(a.y, b.y), 0.0);
+}
+
+TEST(Regression, SupportSizeAndMagnitudes) {
+  uoi::data::RegressionSpec spec;
+  spec.n_features = 30;
+  spec.support_size = 7;
+  spec.coefficient_min = 0.5;
+  spec.coefficient_max = 2.0;
+  const auto data = uoi::data::make_regression(spec);
+  std::size_t nonzero = 0;
+  for (const double b : data.beta_true) {
+    if (b != 0.0) {
+      ++nonzero;
+      EXPECT_GE(std::abs(b), 0.5);
+      EXPECT_LE(std::abs(b), 2.0);
+    }
+  }
+  EXPECT_EQ(nonzero, 7u);
+}
+
+TEST(Regression, NoiselessResidualIsZero) {
+  uoi::data::RegressionSpec spec;
+  spec.noise_stddev = 0.0;
+  const auto data = uoi::data::make_regression(spec);
+  for (std::size_t r = 0; r < data.x.rows(); ++r) {
+    const double pred = uoi::linalg::dot(data.x.row(r), data.beta_true);
+    EXPECT_NEAR(pred, data.y[r], 1e-12);
+  }
+}
+
+TEST(Regression, CorrelatedDesignHasCorrelation) {
+  uoi::data::RegressionSpec spec;
+  spec.n_samples = 4000;
+  spec.n_features = 2;
+  spec.support_size = 1;
+  spec.feature_correlation = 0.7;
+  const auto data = uoi::data::make_regression(spec);
+  double c01 = 0.0, v0 = 0.0, v1 = 0.0;
+  for (std::size_t r = 0; r < data.x.rows(); ++r) {
+    c01 += data.x(r, 0) * data.x(r, 1);
+    v0 += data.x(r, 0) * data.x(r, 0);
+    v1 += data.x(r, 1) * data.x(r, 1);
+  }
+  EXPECT_NEAR(c01 / std::sqrt(v0 * v1), 0.7, 0.05);
+}
+
+class SparseVarParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SparseVarParam, StableWithRequestedDensity) {
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 15;
+  spec.edges_per_node = 2.0;
+  spec.seed = GetParam();
+  const auto model = uoi::data::make_sparse_var(spec);
+  EXPECT_TRUE(model.is_stable());
+  const auto net = uoi::var::GrangerNetwork::from_model(model);
+  // ~2 edges per node on average; allow generous slack.
+  EXPECT_GT(net.edge_count(), 10u);
+  EXPECT_LT(net.edge_count(), 60u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseVarParam,
+                         ::testing::Values(1, 2, 3, 10, 99));
+
+TEST(Equity, ShapesTickersSectors) {
+  uoi::data::EquitySpec spec;
+  spec.n_companies = 50;
+  spec.n_weeks = 104;
+  const auto data = uoi::data::make_equity(spec);
+  EXPECT_EQ(data.weekly_closes.rows(), 104u);
+  EXPECT_EQ(data.weekly_differences.rows(), 103u);
+  EXPECT_EQ(data.weekly_differences.cols(), 50u);
+  EXPECT_EQ(data.tickers.size(), 50u);
+  const std::set<std::string> unique(data.tickers.begin(),
+                                     data.tickers.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (const auto s : data.sector_of) EXPECT_LT(s, spec.n_sectors);
+}
+
+TEST(Equity, PricesArePositiveAndDifferencesConsistent) {
+  const auto data = uoi::data::make_equity({});
+  for (std::size_t w = 0; w < data.weekly_closes.rows(); ++w) {
+    for (std::size_t c = 0; c < data.weekly_closes.cols(); ++c) {
+      EXPECT_GT(data.weekly_closes(w, c), 0.0);
+    }
+  }
+  for (std::size_t w = 0; w + 1 < data.weekly_closes.rows(); ++w) {
+    for (std::size_t c = 0; c < data.weekly_closes.cols(); ++c) {
+      EXPECT_NEAR(data.weekly_differences(w, c),
+                  data.weekly_closes(w + 1, c) - data.weekly_closes(w, c),
+                  1e-9);
+    }
+  }
+}
+
+TEST(Equity, GroundTruthNetworkIsSparseAndSectorBiased) {
+  uoi::data::EquitySpec spec;
+  spec.n_companies = 60;
+  spec.seed = 7;
+  const auto data = uoi::data::make_equity(spec);
+  const auto net = uoi::var::GrangerNetwork::from_model(data.truth);
+  EXPECT_LT(net.density(), 0.15);
+  std::size_t within = 0, across = 0;
+  for (const auto& e : net.edges()) {
+    if (data.sector_of[e.source] == data.sector_of[e.target]) {
+      ++within;
+    } else {
+      ++across;
+    }
+  }
+  // Within-sector edges dominate despite sectors holding ~1/8 of pairs.
+  EXPECT_GT(within, across);
+}
+
+TEST(Equity, TruthIsStable) {
+  const auto data = uoi::data::make_equity({});
+  EXPECT_LT(data.truth.companion_spectral_radius(), 0.9);
+}
+
+TEST(Spikes, ShapesAndNonNegativity) {
+  uoi::data::SpikeSpec spec;
+  spec.n_channels = 24;
+  spec.n_samples = 400;
+  const auto data = uoi::data::make_spikes(spec);
+  EXPECT_EQ(data.series.rows(), 400u);
+  EXPECT_EQ(data.series.cols(), 24u);
+  for (std::size_t t = 0; t < data.counts.rows(); ++t) {
+    for (std::size_t c = 0; c < data.counts.cols(); ++c) {
+      EXPECT_GE(data.counts(t, c), 0.0);
+      EXPECT_NEAR(data.series(t, c), std::sqrt(data.counts(t, c)), 1e-12);
+    }
+  }
+}
+
+TEST(Spikes, MeanRateNearBase) {
+  uoi::data::SpikeSpec spec;
+  spec.n_channels = 16;
+  spec.n_samples = 2000;
+  spec.base_rate = 5.0;
+  const auto data = uoi::data::make_spikes(spec);
+  double total = 0.0;
+  for (std::size_t t = 0; t < data.counts.rows(); ++t) {
+    for (std::size_t c = 0; c < data.counts.cols(); ++c) {
+      total += data.counts(t, c);
+    }
+  }
+  const double mean =
+      total / static_cast<double>(data.counts.rows() * data.counts.cols());
+  // The latent log-normal factor inflates the mean above base_rate; just
+  // require the right order of magnitude.
+  EXPECT_GT(mean, 2.0);
+  EXPECT_LT(mean, 30.0);
+}
+
+TEST(Spikes, TruthNetworkIsSparseAndStable) {
+  uoi::data::SpikeSpec spec;
+  spec.n_channels = 32;
+  const auto data = uoi::data::make_spikes(spec);
+  EXPECT_TRUE(data.truth.is_stable());
+  const auto net = uoi::var::GrangerNetwork::from_model(data.truth);
+  EXPECT_LT(net.density(), 0.25);
+}
+
+TEST(Tickers, DeterministicAndUnique) {
+  const auto a = uoi::data::make_tickers(100, 5);
+  const auto b = uoi::data::make_tickers(100, 5);
+  EXPECT_EQ(a, b);
+  const std::set<std::string> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (const auto& t : a) {
+    EXPECT_GE(t.size(), 2u);
+    EXPECT_LE(t.size(), 4u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Tests for VAR forecasting, the unconditional mean, and the parallel
+// series loader.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "data/synthetic_var.hpp"
+#include "io/h5lite.hpp"
+#include "linalg/blas.hpp"
+#include "simcluster/cluster.hpp"
+#include "var/var_distributed.hpp"
+#include "var/var_model.hpp"
+
+namespace {
+
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+using uoi::var::VarModel;
+
+TEST(Forecast, OneStepMatchesManualRecursion) {
+  Matrix a{{0.5, 0.2}, {-0.1, 0.3}};
+  const VarModel model({a}, Vector{1.0, -2.0});
+  Matrix history{{0.4, 0.6}, {1.0, 2.0}};
+  const Matrix fc = uoi::var::forecast(model, history, 1);
+  ASSERT_EQ(fc.rows(), 1u);
+  EXPECT_NEAR(fc(0, 0), 1.0 + 0.5 * 1.0 + 0.2 * 2.0, 1e-14);
+  EXPECT_NEAR(fc(0, 1), -2.0 - 0.1 * 1.0 + 0.3 * 2.0, 1e-14);
+}
+
+TEST(Forecast, Var2UsesBothLags) {
+  Matrix a1{{0.4}};
+  Matrix a2{{0.3}};
+  const VarModel model({a1, a2});
+  Matrix history{{2.0}, {5.0}};  // x_{t-1} = 2 (older), x_t = 5 (newest)
+  const Matrix fc = uoi::var::forecast(model, history, 2);
+  EXPECT_NEAR(fc(0, 0), 0.4 * 5.0 + 0.3 * 2.0, 1e-14);  // 2.6
+  EXPECT_NEAR(fc(1, 0), 0.4 * 2.6 + 0.3 * 5.0, 1e-14);
+}
+
+TEST(Forecast, ConvergesToUnconditionalMean) {
+  Matrix a{{0.6, 0.1}, {0.0, 0.5}};
+  const VarModel model({a}, Vector{1.0, 1.0});
+  const Vector mean = uoi::var::unconditional_mean(model);
+  // Verify (I - A) mean == mu.
+  EXPECT_NEAR((1.0 - 0.6) * mean[0] - 0.1 * mean[1], 1.0, 1e-10);
+  EXPECT_NEAR((1.0 - 0.5) * mean[1], 1.0, 1e-10);
+
+  Matrix history{{10.0, -10.0}};
+  const Matrix fc = uoi::var::forecast(model, history, 200);
+  EXPECT_NEAR(fc(199, 0), mean[0], 1e-6);
+  EXPECT_NEAR(fc(199, 1), mean[1], 1e-6);
+}
+
+TEST(Forecast, UnstableModelMeanThrows) {
+  Matrix a{{1.2}};
+  const VarModel model({a});
+  EXPECT_THROW((void)uoi::var::unconditional_mean(model),
+               uoi::support::InvalidArgument);
+}
+
+TEST(Forecast, RejectsShortHistory) {
+  Matrix a1{{0.4}};
+  Matrix a2{{0.3}};
+  const VarModel model({a1, a2});
+  Matrix history{{1.0}};
+  EXPECT_THROW((void)uoi::var::forecast(model, history, 1),
+               uoi::support::InvalidArgument);
+}
+
+TEST(Forecast, BeatsNaiveOnSimulatedData) {
+  // One-step forecasts from the true model must beat the "persistence"
+  // forecast (x_{t+1} = x_t) on mean squared error.
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 6;
+  spec.seed = 31;
+  const auto model = uoi::data::make_sparse_var(spec);
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 400;
+  sim.seed = 32;
+  const Matrix series = uoi::var::simulate(model, sim);
+
+  double model_sse = 0.0, naive_sse = 0.0;
+  for (std::size_t t = 50; t + 1 < series.rows(); ++t) {
+    const auto history = series.row_block(0, t + 1);
+    const Matrix fc = uoi::var::forecast(model, history, 1);
+    for (std::size_t c = 0; c < series.cols(); ++c) {
+      const double err = fc(0, c) - series(t + 1, c);
+      model_sse += err * err;
+      const double naive = series(t, c) - series(t + 1, c);
+      naive_sse += naive * naive;
+    }
+  }
+  EXPECT_LT(model_sse, naive_sse);
+}
+
+class LoadSeriesParam : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(LoadSeriesParam, ReplicatesTheFileOnEveryRank) {
+  const auto [ranks, readers] = GetParam();
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 5;
+  spec.seed = 33;
+  const auto truth = uoi::data::make_sparse_var(spec);
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 64;
+  sim.seed = 34;
+  const Matrix series = uoi::var::simulate(truth, sim);
+
+  const std::string base =
+      (std::filesystem::temp_directory_path() /
+       ("uoi_series_" + std::to_string(ranks) + "_" +
+        std::to_string(readers)))
+          .string();
+  uoi::io::write_dataset(base, series, 16, 2);
+
+  uoi::sim::Cluster::run(ranks, [&](uoi::sim::Comm& comm) {
+    const Matrix loaded =
+        uoi::var::load_series_distributed(comm, base, readers);
+    EXPECT_EQ(uoi::linalg::max_abs_diff(loaded, series), 0.0)
+        << "rank " << comm.rank();
+  });
+  for (std::uint64_t k = 0; k < 2; ++k) {
+    std::error_code ec;
+    std::filesystem::remove(uoi::io::stripe_path(base, k), ec);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, LoadSeriesParam,
+                         ::testing::Values(std::pair<int, int>{1, 1},
+                                           std::pair<int, int>{4, 1},
+                                           std::pair<int, int>{4, 2},
+                                           std::pair<int, int>{6, 6}));
+
+}  // namespace

@@ -1,0 +1,322 @@
+// Unit + property tests for uoi::linalg: dense kernels against naive
+// references, Cholesky round-trips, sparse CSR semantics, and the
+// Kronecker/vectorization identities the VAR rearrangement relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/kron.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using uoi::linalg::ConstMatrixView;
+using uoi::linalg::Matrix;
+using uoi::linalg::SparseMatrix;
+using uoi::linalg::Vector;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  uoi::support::Xoshiro256 rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal();
+  }
+  return m;
+}
+
+Vector random_vector(std::size_t n, std::uint64_t seed) {
+  uoi::support::Xoshiro256 rng(seed);
+  Vector v(n);
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+Matrix naive_gemm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST(Matrix, InitializerListAndAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), uoi::support::DimensionMismatch);
+}
+
+TEST(Matrix, GatherRowsAndCols) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const std::vector<std::size_t> rows{2, 0};
+  const Matrix gr = m.gather_rows(rows);
+  EXPECT_DOUBLE_EQ(gr(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(gr(1, 2), 3.0);
+  const std::vector<std::size_t> cols{1};
+  const Matrix gc = m.gather_cols(cols);
+  EXPECT_EQ(gc.cols(), 1u);
+  EXPECT_DOUBLE_EQ(gc(2, 0), 8.0);
+}
+
+TEST(Matrix, TransposedRoundTrip) {
+  const Matrix m = random_matrix(5, 3, 1);
+  EXPECT_EQ(uoi::linalg::max_abs_diff(m.transposed().transposed(), m), 0.0);
+}
+
+TEST(Matrix, RowBlockViewsShareData) {
+  const Matrix m = random_matrix(6, 4, 2);
+  const ConstMatrixView block = m.row_block(2, 3);
+  EXPECT_EQ(block.rows(), 3u);
+  EXPECT_DOUBLE_EQ(block(0, 1), m(2, 1));
+  const Matrix copy = Matrix::from_view(block);
+  EXPECT_DOUBLE_EQ(copy(2, 3), m(4, 3));
+}
+
+TEST(Blas, DotAxpyNrm) {
+  const Vector x{1.0, 2.0, 3.0};
+  Vector y{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(uoi::linalg::dot(x, y), 32.0);
+  uoi::linalg::axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+  EXPECT_DOUBLE_EQ(uoi::linalg::nrm1(x), 6.0);
+  EXPECT_DOUBLE_EQ(uoi::linalg::nrm2_squared(x), 14.0);
+  EXPECT_NEAR(uoi::linalg::nrm2(x), std::sqrt(14.0), 1e-15);
+}
+
+TEST(Blas, GemvMatchesNaive) {
+  const Matrix a = random_matrix(7, 5, 3);
+  const Vector x = random_vector(5, 4);
+  Vector y(7, 1.0);
+  uoi::linalg::gemv(2.0, a, x, 0.5, y);
+  for (std::size_t i = 0; i < 7; ++i) {
+    double expect = 0.5;
+    for (std::size_t j = 0; j < 5; ++j) expect += 2.0 * a(i, j) * x[j];
+    EXPECT_NEAR(y[i], expect, 1e-12);
+  }
+}
+
+TEST(Blas, GemvTransposedMatchesNaive) {
+  const Matrix a = random_matrix(7, 5, 5);
+  const Vector x = random_vector(7, 6);
+  Vector y(5, 0.0);
+  uoi::linalg::gemv_transposed(1.0, a, x, 0.0, y);
+  for (std::size_t j = 0; j < 5; ++j) {
+    double expect = 0.0;
+    for (std::size_t i = 0; i < 7; ++i) expect += a(i, j) * x[i];
+    EXPECT_NEAR(y[j], expect, 1e-12);
+  }
+}
+
+TEST(Blas, GemmMatchesNaiveAcrossShapes) {
+  for (const auto [m, k, n] :
+       {std::array<std::size_t, 3>{3, 4, 5}, {1, 7, 2}, {65, 70, 33},
+        {128, 300, 17}}) {
+    const Matrix a = random_matrix(m, k, m * 100 + k);
+    const Matrix b = random_matrix(k, n, n * 100 + k);
+    Matrix c(m, n);
+    uoi::linalg::gemm(1.0, a, b, 0.0, c);
+    EXPECT_LT(uoi::linalg::max_abs_diff(c, naive_gemm(a, b)), 1e-10)
+        << "shape " << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(Blas, GemmAccumulatesWithBeta) {
+  const Matrix a = random_matrix(4, 4, 10);
+  const Matrix b = random_matrix(4, 4, 11);
+  Matrix c(4, 4, 1.0);
+  uoi::linalg::gemm(1.0, a, b, 2.0, c);
+  const Matrix ab = naive_gemm(a, b);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(c(i, j), ab(i, j) + 2.0, 1e-12);
+    }
+  }
+}
+
+TEST(Blas, SyrkMatchesAtA) {
+  const Matrix a = random_matrix(9, 6, 12);
+  Matrix g(6, 6);
+  uoi::linalg::syrk_at_a(1.0, a, 0.0, g);
+  const Matrix expect = naive_gemm(a.transposed(), a);
+  EXPECT_LT(uoi::linalg::max_abs_diff(g, expect), 1e-11);
+}
+
+TEST(Blas, GemmAtBMatchesNaive) {
+  const Matrix a = random_matrix(8, 3, 13);
+  const Matrix b = random_matrix(8, 5, 14);
+  Matrix c(3, 5);
+  uoi::linalg::gemm_at_b(1.0, a, b, 0.0, c);
+  EXPECT_LT(uoi::linalg::max_abs_diff(c, naive_gemm(a.transposed(), b)),
+            1e-11);
+}
+
+TEST(Blas, ShapeMismatchThrows) {
+  const Matrix a = random_matrix(3, 4, 15);
+  const Matrix b = random_matrix(5, 2, 16);
+  Matrix c(3, 2);
+  EXPECT_THROW(uoi::linalg::gemm(1.0, a, b, 0.0, c),
+               uoi::support::DimensionMismatch);
+}
+
+class CholeskyParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskyParam, FactorReconstructsAndSolves) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_matrix(n + 3, n, 17 + n);
+  Matrix spd(n, n);
+  uoi::linalg::syrk_at_a(1.0, a, 0.0, spd);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 1.0;
+
+  const uoi::linalg::CholeskyFactor factor(spd);
+  // L L' == A
+  const Matrix l = factor.lower();
+  const Matrix reconstructed = naive_gemm(l, l.transposed());
+  EXPECT_LT(uoi::linalg::max_abs_diff(reconstructed, spd), 1e-9);
+
+  // Solve check: A x = b.
+  const Vector b = random_vector(n, 18 + n);
+  Vector x(n);
+  factor.solve(b, x);
+  Vector ax(n, 0.0);
+  uoi::linalg::gemv(1.0, spd, x, 0.0, ax);
+  EXPECT_LT(uoi::linalg::max_abs_diff(ax, b), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyParam,
+                         ::testing::Values(1, 2, 5, 17, 40, 100));
+
+TEST(Cholesky, RejectsNonSpd) {
+  Matrix not_spd{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(uoi::linalg::CholeskyFactor factor(not_spd),
+               uoi::support::InvalidArgument);
+}
+
+TEST(Cholesky, SolveMatrixMultipleRhs) {
+  Matrix spd{{4.0, 1.0}, {1.0, 3.0}};
+  Matrix b{{1.0, 0.0}, {0.0, 1.0}};
+  const uoi::linalg::CholeskyFactor factor(spd);
+  Matrix x;
+  factor.solve_matrix(b, x);
+  // spd * x should equal identity.
+  const Matrix prod = naive_gemm(spd, x);
+  EXPECT_NEAR(prod(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(prod(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(prod(1, 1), 1.0, 1e-12);
+}
+
+TEST(Sparse, FromTripletsSumsDuplicates) {
+  auto s = SparseMatrix::from_triplets(
+      2, 3, {{0, 1, 1.5}, {1, 2, 2.0}, {0, 1, 0.5}});
+  EXPECT_EQ(s.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(s.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(s.at(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 0.0);
+}
+
+TEST(Sparse, FromDenseRoundTrip) {
+  Matrix dense{{0.0, 1.0}, {2.0, 0.0}};
+  const auto s = SparseMatrix::from_dense(dense);
+  EXPECT_EQ(s.nnz(), 2u);
+  EXPECT_EQ(uoi::linalg::max_abs_diff(s.to_dense(), dense), 0.0);
+}
+
+TEST(Sparse, GemvMatchesDense) {
+  const Matrix dense = random_matrix(10, 8, 20);
+  const auto s = SparseMatrix::from_dense(dense);
+  const Vector x = random_vector(8, 21);
+  Vector y_sparse(10, 0.0), y_dense(10, 0.0);
+  s.gemv(1.0, x, 0.0, y_sparse);
+  uoi::linalg::gemv(1.0, dense, x, 0.0, y_dense);
+  EXPECT_LT(uoi::linalg::max_abs_diff(y_sparse, y_dense), 1e-12);
+}
+
+TEST(Sparse, GemvTransposedMatchesDense) {
+  const Matrix dense = random_matrix(10, 8, 22);
+  const auto s = SparseMatrix::from_dense(dense);
+  const Vector x = random_vector(10, 23);
+  Vector y_sparse(8, 0.0), y_dense(8, 0.0);
+  s.gemv_transposed(1.0, x, 0.0, y_sparse);
+  uoi::linalg::gemv_transposed(1.0, dense, x, 0.0, y_dense);
+  EXPECT_LT(uoi::linalg::max_abs_diff(y_sparse, y_dense), 1e-12);
+}
+
+TEST(Sparse, GramMatchesDense) {
+  const Matrix dense = random_matrix(12, 5, 24);
+  const auto s = SparseMatrix::from_dense(dense);
+  Matrix expect(5, 5);
+  uoi::linalg::syrk_at_a(1.0, dense, 0.0, expect);
+  EXPECT_LT(uoi::linalg::max_abs_diff(s.gram(), expect), 1e-11);
+}
+
+TEST(Sparse, BlockDiagonalSparsityFormula) {
+  // The paper §IV-B1: I (x) X has sparsity exactly 1 - 1/p for dense X.
+  const std::size_t p = 16;
+  const Matrix x = random_matrix(6, 4, 25);
+  const auto s = SparseMatrix::block_diagonal(x, p);
+  EXPECT_EQ(s.rows(), 6 * p);
+  EXPECT_EQ(s.cols(), 4 * p);
+  EXPECT_NEAR(s.sparsity(), 1.0 - 1.0 / static_cast<double>(p), 1e-12);
+}
+
+TEST(Sparse, AppendRowStreaming) {
+  SparseMatrix s(0, 4);
+  const std::vector<std::size_t> cols{1, 3};
+  const std::vector<double> vals{2.0, -1.0};
+  s.append_row(cols, vals);
+  s.append_row({}, {});
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s.at(0, 3), -1.0);
+  EXPECT_DOUBLE_EQ(s.at(1, 2), 0.0);
+}
+
+TEST(Kron, VecUnvecRoundTrip) {
+  const Matrix m = random_matrix(4, 3, 26);
+  const Vector v = uoi::linalg::vec(m);
+  // Column-major stacking: v[c * rows + r] = m(r, c).
+  EXPECT_DOUBLE_EQ(v[0], m(0, 0));
+  EXPECT_DOUBLE_EQ(v[4], m(0, 1));
+  const Matrix back = uoi::linalg::unvec(v, 4, 3);
+  EXPECT_EQ(uoi::linalg::max_abs_diff(back, m), 0.0);
+}
+
+TEST(Kron, ImplicitOpMatchesExplicitSparse) {
+  const Matrix x = random_matrix(5, 3, 27);
+  const std::size_t count = 4;
+  const uoi::linalg::KroneckerIdentityOp op(x, count);
+  const auto explicit_sparse = uoi::linalg::kron_identity_sparse(x, count);
+
+  const Vector v = random_vector(op.cols(), 28);
+  Vector y_op(op.rows(), 0.0), y_sparse(op.rows(), 0.0);
+  op.gemv(1.0, v, 0.0, y_op);
+  explicit_sparse.gemv(1.0, v, 0.0, y_sparse);
+  EXPECT_LT(uoi::linalg::max_abs_diff(y_op, y_sparse), 1e-12);
+
+  const Vector w = random_vector(op.rows(), 29);
+  Vector z_op(op.cols(), 0.0), z_sparse(op.cols(), 0.0);
+  op.gemv_transposed(1.0, w, 0.0, z_op);
+  explicit_sparse.gemv_transposed(1.0, w, 0.0, z_sparse);
+  EXPECT_LT(uoi::linalg::max_abs_diff(z_op, z_sparse), 1e-12);
+}
+
+TEST(Kron, BlockGramIsXtX) {
+  const Matrix x = random_matrix(6, 4, 30);
+  const uoi::linalg::KroneckerIdentityOp op(x, 3);
+  Matrix expect(4, 4);
+  uoi::linalg::syrk_at_a(1.0, x, 0.0, expect);
+  EXPECT_LT(uoi::linalg::max_abs_diff(op.block_gram(), expect), 1e-11);
+}
+
+}  // namespace

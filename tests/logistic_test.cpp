@@ -1,0 +1,175 @@
+// Tests for the logistic solvers and UoI_Logistic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "core/uoi_logistic.hpp"
+#include "data/synthetic_regression.hpp"
+#include "linalg/blas.hpp"
+#include "solvers/logistic.hpp"
+
+namespace {
+
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+
+TEST(Sigmoid, StableAtExtremes) {
+  EXPECT_DOUBLE_EQ(uoi::solvers::sigmoid(0.0), 0.5);
+  EXPECT_NEAR(uoi::solvers::sigmoid(40.0), 1.0, 1e-15);
+  EXPECT_NEAR(uoi::solvers::sigmoid(-40.0), 0.0, 1e-15);
+  EXPECT_NEAR(uoi::solvers::sigmoid(2.0) + uoi::solvers::sigmoid(-2.0), 1.0,
+              1e-15);
+  // No overflow at absurd arguments.
+  EXPECT_EQ(uoi::solvers::sigmoid(1e6), 1.0);
+  EXPECT_EQ(uoi::solvers::sigmoid(-1e6), 0.0);
+}
+
+TEST(LogisticLambdaMax, ZeroesTheSolution) {
+  const auto data = uoi::data::make_classification({});
+  const double hi = uoi::solvers::logistic_lambda_max(data.x, data.y);
+  const auto fit = uoi::solvers::logistic_lasso(data.x, data.y, hi * 1.05);
+  for (const double b : fit.beta) EXPECT_NEAR(b, 0.0, 1e-5);
+}
+
+TEST(LogisticLasso, SubgradientOptimality) {
+  uoi::data::ClassificationSpec spec;
+  spec.n_samples = 200;
+  spec.n_features = 12;
+  spec.support_size = 3;
+  spec.seed = 5;
+  const auto data = uoi::data::make_classification(spec);
+  const double lambda =
+      0.05 * uoi::solvers::logistic_lambda_max(data.x, data.y);
+  uoi::solvers::LogisticOptions options;
+  options.tolerance = 1e-10;
+  options.max_iterations = 50000;
+  const auto fit = uoi::solvers::logistic_lasso(data.x, data.y, lambda,
+                                                options);
+  EXPECT_TRUE(fit.converged);
+
+  // KKT: |grad_i| <= lambda off-support, = -sign(beta_i) lambda on it;
+  // intercept gradient ~ 0.
+  Vector residual(data.x.rows());
+  double grad_intercept = 0.0;
+  for (std::size_t r = 0; r < data.x.rows(); ++r) {
+    const double t =
+        uoi::linalg::dot(data.x.row(r), fit.beta) + fit.intercept;
+    residual[r] = uoi::solvers::sigmoid(t) - data.y[r];
+    grad_intercept += residual[r];
+  }
+  Vector grad(data.x.cols(), 0.0);
+  uoi::linalg::gemv_transposed(1.0, data.x, residual, 0.0, grad);
+  const double slack = 1e-3 * lambda + 1e-5;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    EXPECT_LE(std::abs(grad[i]), lambda + slack) << "coordinate " << i;
+    if (std::abs(fit.beta[i]) > 1e-6) {
+      EXPECT_NEAR(grad[i], fit.beta[i] > 0 ? -lambda : lambda, slack);
+    }
+  }
+  EXPECT_NEAR(grad_intercept, 0.0, 1e-4);
+}
+
+TEST(LogisticIrls, MatchesProxAtLambdaZero) {
+  uoi::data::ClassificationSpec spec;
+  spec.n_samples = 300;
+  spec.n_features = 6;
+  spec.support_size = 3;
+  spec.seed = 7;
+  const auto data = uoi::data::make_classification(spec);
+  std::vector<std::size_t> all{0, 1, 2, 3, 4, 5};
+
+  const auto irls =
+      uoi::solvers::logistic_irls_on_support(data.x, data.y, all);
+  uoi::solvers::LogisticOptions options;
+  options.tolerance = 1e-11;
+  options.max_iterations = 200000;
+  const auto prox =
+      uoi::solvers::logistic_lasso(data.x, data.y, 0.0, options);
+  EXPECT_TRUE(irls.converged);
+  EXPECT_LT(uoi::linalg::max_abs_diff(irls.beta, prox.beta), 1e-3);
+  EXPECT_NEAR(irls.intercept, prox.intercept, 1e-3);
+}
+
+TEST(LogisticIrls, EmptySupportFitsInterceptOnly) {
+  uoi::data::ClassificationSpec spec;
+  spec.n_samples = 500;
+  spec.support_size = 0;
+  spec.intercept = 1.0;  // base rate sigmoid(1) ~ 0.73
+  spec.seed = 9;
+  const auto data = uoi::data::make_classification(spec);
+  const auto fit =
+      uoi::solvers::logistic_irls_on_support(data.x, data.y, {});
+  double rate = 0.0;
+  for (const double v : data.y) rate += v;
+  rate /= static_cast<double>(data.y.size());
+  EXPECT_NEAR(uoi::solvers::sigmoid(fit.intercept), rate, 1e-6);
+}
+
+TEST(LogisticMetrics, LossAndAccuracyBasics) {
+  Matrix x{{1.0}, {1.0}};
+  const Vector y{1.0, 0.0};
+  const Vector zero{0.0};
+  EXPECT_NEAR(uoi::solvers::logistic_log_loss(x, y, zero, 0.0),
+              std::log(2.0), 1e-12);
+  const Vector strong{10.0};
+  EXPECT_DOUBLE_EQ(uoi::solvers::logistic_accuracy(x, y, strong, -5.0), 0.5);
+}
+
+TEST(UoiLogistic, RecoversSparseSupport) {
+  uoi::data::ClassificationSpec spec;
+  spec.n_samples = 600;
+  spec.n_features = 20;
+  spec.support_size = 4;
+  spec.seed = 11;
+  const auto data = uoi::data::make_classification(spec);
+
+  uoi::core::UoiLogisticOptions options;
+  options.n_selection_bootstraps = 8;
+  options.n_estimation_bootstraps = 5;
+  options.n_lambdas = 8;
+  const auto fit = uoi::core::UoiLogistic(options).fit(data.x, data.y);
+
+  const auto truth = uoi::core::SupportSet::from_beta(data.beta_true);
+  const auto support = uoi::core::SupportSet::from_beta(fit.beta, 0.2);
+  const auto acc =
+      uoi::core::selection_accuracy(support, truth, spec.n_features);
+  EXPECT_EQ(acc.false_negatives, 0u) << "missed true features";
+  EXPECT_LE(acc.false_positives, 2u) << "spurious features";
+
+  // Signs recovered; held-out-style accuracy well above chance.
+  for (std::size_t i = 0; i < spec.n_features; ++i) {
+    if (data.beta_true[i] != 0.0) {
+      EXPECT_GT(fit.beta[i] * data.beta_true[i], 0.0) << "sign flip at " << i;
+    }
+  }
+  EXPECT_GT(
+      uoi::solvers::logistic_accuracy(data.x, data.y, fit.beta, fit.intercept),
+      0.85);
+}
+
+TEST(UoiLogistic, InterceptRecovered) {
+  uoi::data::ClassificationSpec spec;
+  spec.n_samples = 800;
+  spec.n_features = 10;
+  spec.support_size = 2;
+  spec.intercept = -1.0;
+  spec.seed = 13;
+  const auto data = uoi::data::make_classification(spec);
+  uoi::core::UoiLogisticOptions options;
+  options.n_selection_bootstraps = 6;
+  options.n_estimation_bootstraps = 4;
+  options.n_lambdas = 8;
+  const auto fit = uoi::core::UoiLogistic(options).fit(data.x, data.y);
+  EXPECT_NEAR(fit.intercept, -1.0, 0.35);
+}
+
+TEST(UoiLogistic, RejectsNonBinaryLabels) {
+  Matrix x{{1.0}, {2.0}};
+  const Vector y{0.5, 1.0};
+  EXPECT_THROW((void)uoi::core::UoiLogistic().fit(x, y),
+               uoi::support::InvalidArgument);
+}
+
+}  // namespace

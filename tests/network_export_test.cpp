@@ -1,0 +1,133 @@
+// Tests for the Granger network export/analysis utilities and the
+// distributed elastic net.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_regression.hpp"
+#include "linalg/blas.hpp"
+#include "simcluster/cluster.hpp"
+#include "solvers/admm_lasso.hpp"
+#include "solvers/distributed_admm.hpp"
+#include "solvers/lambda_grid.hpp"
+#include "var/granger.hpp"
+#include "var/var_model.hpp"
+
+namespace {
+
+using uoi::linalg::Matrix;
+using uoi::var::GrangerNetwork;
+using uoi::var::VarModel;
+
+GrangerNetwork chain_network() {
+  // 0 -> 1 -> 2, plus 0 -> 3.
+  Matrix a(4, 4);
+  a(1, 0) = 0.5;
+  a(2, 1) = 0.4;
+  a(3, 0) = -0.3;
+  return GrangerNetwork::from_model(VarModel({a}));
+}
+
+TEST(NetworkExport, JsonContainsNodesAndEdges) {
+  const auto net = chain_network();
+  const auto json = net.to_json({"A", "B", "C", "D"});
+  EXPECT_NE(json.find("\"nodes\": [\"A\", \"B\", \"C\", \"D\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"source\": 0, \"target\": 1, \"weight\": 0.5}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"weight\": -0.3"), std::string::npos);
+}
+
+TEST(NetworkExport, AdjacencyMatrixLayout) {
+  const auto adjacency = chain_network().to_adjacency_matrix();
+  EXPECT_DOUBLE_EQ(adjacency(1, 0), 0.5);   // 0 -> 1
+  EXPECT_DOUBLE_EQ(adjacency(2, 1), 0.4);
+  EXPECT_DOUBLE_EQ(adjacency(3, 0), -0.3);
+  EXPECT_DOUBLE_EQ(adjacency(0, 1), 0.0);   // no reverse edge
+}
+
+TEST(NetworkExport, SubgraphRenumbersAndFilters) {
+  const auto sub = chain_network().subgraph({0, 1});
+  EXPECT_EQ(sub.node_count(), 2u);
+  ASSERT_EQ(sub.edge_count(), 1u);  // only 0 -> 1 survives
+  EXPECT_EQ(sub.edges()[0].source, 0u);
+  EXPECT_EQ(sub.edges()[0].target, 1u);
+
+  // Renumbering follows the node-list order.
+  const auto reversed = chain_network().subgraph({1, 0});
+  ASSERT_EQ(reversed.edge_count(), 1u);
+  EXPECT_EQ(reversed.edges()[0].source, 1u);  // old 0 is new 1
+  EXPECT_EQ(reversed.edges()[0].target, 0u);
+}
+
+TEST(NetworkExport, DescendantsFollowDirectedPaths) {
+  const auto net = chain_network();
+  EXPECT_EQ(net.descendants(0), (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(net.descendants(1), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(net.descendants(2), (std::vector<std::size_t>{2}));
+}
+
+TEST(NetworkExport, SubgraphRejectsBadNode) {
+  EXPECT_THROW((void)chain_network().subgraph({7}),
+               uoi::support::InvalidArgument);
+}
+
+TEST(DistributedElasticNet, MatchesSerialSolver) {
+  uoi::data::RegressionSpec spec;
+  spec.n_samples = 90;
+  spec.n_features = 14;
+  spec.support_size = 4;
+  spec.feature_correlation = 0.6;
+  spec.seed = 3;
+  const auto data = uoi::data::make_regression(spec);
+  const double lambda1 = 0.1 * uoi::solvers::lambda_max(data.x, data.y);
+  const double lambda2 = 2.0;
+
+  uoi::solvers::AdmmOptions options;
+  options.eps_abs = 1e-9;
+  options.eps_rel = 1e-7;
+  options.max_iterations = 30000;
+  const uoi::solvers::LassoAdmmSolver serial(data.x, data.y, options);
+  const auto reference = serial.solve_elastic_net(lambda1, lambda2);
+
+  uoi::sim::Cluster::run(4, [&](uoi::sim::Comm& comm) {
+    const std::size_t n = data.x.rows();
+    const std::size_t begin = n * comm.rank() / comm.size();
+    const std::size_t end = n * (comm.rank() + 1) / comm.size();
+    const uoi::solvers::DistributedLassoAdmmSolver solver(
+        comm, data.x.row_block(begin, end - begin),
+        std::span<const double>(data.y).subspan(begin, end - begin),
+        options);
+    const auto fit = solver.solve_elastic_net(lambda1, lambda2);
+    EXPECT_TRUE(fit.converged);
+    EXPECT_LT(uoi::linalg::max_abs_diff(fit.beta, reference.beta), 2e-3);
+  });
+}
+
+TEST(DistributedElasticNet, L2ShrinksGroupedCoefficients) {
+  // On a correlated design the ridge component spreads weight across the
+  // group instead of picking one member — the elastic net's raison d'etre.
+  uoi::data::RegressionSpec spec;
+  spec.n_samples = 150;
+  spec.n_features = 8;
+  spec.support_size = 2;
+  spec.feature_correlation = 0.9;
+  spec.seed = 5;
+  const auto data = uoi::data::make_regression(spec);
+  const double lambda1 = 0.2 * uoi::solvers::lambda_max(data.x, data.y);
+
+  uoi::sim::Cluster::run(2, [&](uoi::sim::Comm& comm) {
+    const std::size_t n = data.x.rows();
+    const std::size_t begin = n * comm.rank() / comm.size();
+    const std::size_t end = n * (comm.rank() + 1) / comm.size();
+    const uoi::solvers::DistributedLassoAdmmSolver solver(
+        comm, data.x.row_block(begin, end - begin),
+        std::span<const double>(data.y).subspan(begin, end - begin));
+    const auto pure_l1 = solver.solve_elastic_net(lambda1, 0.0);
+    const auto elastic = solver.solve_elastic_net(lambda1, 20.0);
+    // The ridge component strictly shrinks the coefficient norm.
+    EXPECT_LT(uoi::linalg::nrm2(elastic.beta),
+              uoi::linalg::nrm2(pure_l1.beta));
+  });
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Tests for Comm::dup, nonblocking allreduce, and the pipelined
+// convergence check in the consensus solvers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "data/synthetic_regression.hpp"
+#include "linalg/blas.hpp"
+#include "simcluster/cluster.hpp"
+#include "perfmodel/emulation.hpp"
+#include "simcluster/nonblocking.hpp"
+#include "solvers/distributed_admm.hpp"
+#include "solvers/lambda_grid.hpp"
+
+namespace {
+
+using uoi::sim::Cluster;
+using uoi::sim::Comm;
+using uoi::sim::NonblockingContext;
+using uoi::sim::ReduceOp;
+
+TEST(Dup, IndependentSynchronizationState) {
+  Cluster::run(4, [&](Comm& comm) {
+    Comm duplicate = comm.dup();
+    EXPECT_EQ(duplicate.rank(), comm.rank());
+    EXPECT_EQ(duplicate.size(), comm.size());
+    // Collectives on the two communicators do not interfere.
+    std::vector<double> a{1.0}, b{2.0};
+    comm.allreduce(a, ReduceOp::kSum);
+    duplicate.allreduce(b, ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(a[0], 4.0);
+    EXPECT_DOUBLE_EQ(b[0], 8.0);
+  });
+}
+
+TEST(Nonblocking, IallreduceProducesTheSameResult) {
+  Cluster::run(4, [&](Comm& comm) {
+    NonblockingContext nb(comm);
+    std::vector<double> async_data(64), sync_data(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+      async_data[i] = static_cast<double>(comm.rank()) + static_cast<double>(i);
+      sync_data[i] = async_data[i];
+    }
+    auto request = nb.iallreduce(async_data, ReduceOp::kSum);
+    comm.allreduce(sync_data, ReduceOp::kSum);  // overlapped collective
+    request.wait();
+    EXPECT_EQ(uoi::linalg::max_abs_diff(async_data, sync_data), 0.0);
+  });
+}
+
+TEST(Nonblocking, OverlapsComputation) {
+  Cluster::run(2, [&](Comm& comm) {
+    NonblockingContext nb(comm);
+    std::vector<double> data(1024, 1.0);
+    auto request = nb.iallreduce(data, ReduceOp::kSum);
+    // Do real work while the reduction is in flight.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 200000; ++i) sink = sink + 1.0;
+    request.wait();
+    for (const double v : data) EXPECT_DOUBLE_EQ(v, 2.0);
+  });
+}
+
+TEST(Nonblocking, TestProbeEventuallyReady) {
+  Cluster::run(2, [&](Comm& comm) {
+    NonblockingContext nb(comm);
+    std::vector<double> data{1.0};
+    auto request = nb.iallreduce(data, ReduceOp::kSum);
+    while (!request.test()) {
+    }
+    request.wait();
+    EXPECT_DOUBLE_EQ(data[0], 2.0);
+  });
+}
+
+TEST(Nonblocking, SequentialRequestsOnOneContext) {
+  Cluster::run(3, [&](Comm& comm) {
+    NonblockingContext nb(comm);
+    for (int round = 0; round < 5; ++round) {
+      std::vector<double> data{static_cast<double>(round)};
+      auto request = nb.iallreduce(data, ReduceOp::kSum);
+      request.wait();
+      EXPECT_DOUBLE_EQ(data[0], 3.0 * round);
+    }
+  });
+}
+
+TEST(PipelinedAdmm, MatchesBlockingSolution) {
+  uoi::data::RegressionSpec spec;
+  spec.n_samples = 90;
+  spec.n_features = 14;
+  spec.support_size = 4;
+  spec.seed = 5;
+  const auto data = uoi::data::make_regression(spec);
+  const double lambda = 0.1 * uoi::solvers::lambda_max(data.x, data.y);
+
+  uoi::solvers::AdmmOptions blocking;
+  blocking.eps_abs = 1e-9;
+  blocking.eps_rel = 1e-7;
+  blocking.max_iterations = 20000;
+  auto pipelined = blocking;
+  pipelined.pipelined_convergence_check = true;
+
+  Cluster::run(4, [&](Comm& comm) {
+    const std::size_t n = data.x.rows();
+    const std::size_t begin = n * comm.rank() / comm.size();
+    const std::size_t end = n * (comm.rank() + 1) / comm.size();
+    const auto local_x = data.x.row_block(begin, end - begin);
+    const auto local_y =
+        std::span<const double>(data.y).subspan(begin, end - begin);
+
+    const auto blocking_fit = uoi::solvers::distributed_lasso_admm(
+        comm, local_x, local_y, lambda, blocking);
+    const auto pipelined_fit = uoi::solvers::distributed_lasso_admm(
+        comm, local_x, local_y, lambda, pipelined);
+
+    EXPECT_TRUE(blocking_fit.converged);
+    EXPECT_TRUE(pipelined_fit.converged);
+    EXPECT_LT(uoi::linalg::max_abs_diff(blocking_fit.beta,
+                                        pipelined_fit.beta),
+              1e-4);
+    // The stale check may run at most a few extra iterations.
+    EXPECT_LE(pipelined_fit.iterations, blocking_fit.iterations + 4);
+  });
+}
+
+TEST(PipelinedAdmm, ConvergesAtMaxIterationBoundary) {
+  // A budget that ends with a pipelined reduction still in flight must be
+  // harvested cleanly.
+  uoi::data::RegressionSpec spec;
+  spec.n_samples = 40;
+  spec.n_features = 8;
+  spec.support_size = 2;
+  spec.seed = 7;
+  const auto data = uoi::data::make_regression(spec);
+  uoi::solvers::AdmmOptions options;
+  options.pipelined_convergence_check = true;
+  options.max_iterations = 3;
+  Cluster::run(2, [&](Comm& comm) {
+    const std::size_t n = data.x.rows();
+    const std::size_t begin = n * comm.rank() / comm.size();
+    const std::size_t end = n * (comm.rank() + 1) / comm.size();
+    const auto fit = uoi::solvers::distributed_lasso_admm(
+        comm, data.x.row_block(begin, end - begin),
+        std::span<const double>(data.y).subspan(begin, end - begin), 1.0,
+        options);
+    EXPECT_LE(fit.iterations, 3u);
+  });
+}
+
+}  // namespace
+
+namespace emulation_tests {
+
+using uoi::sim::Cluster;
+using uoi::sim::Comm;
+using uoi::sim::ReduceOp;
+
+TEST(LatencyEmulation, InjectedDelayShowsUpInStats) {
+  auto stats = Cluster::run_collect_stats(2, [&](Comm& comm) {
+    // A flat 2 ms per allreduce regardless of size.
+    comm.set_latency_injector([](uoi::sim::CommCategory category,
+                                 std::uint64_t, int) {
+      return category == uoi::sim::CommCategory::kAllreduce ? 2e-3 : 0.0;
+    });
+    std::vector<double> v(8, 1.0);
+    for (int i = 0; i < 5; ++i) comm.allreduce(v, ReduceOp::kSum);
+  });
+  for (const auto& s : stats) {
+    EXPECT_GE(s.of(uoi::sim::CommCategory::kAllreduce).seconds, 5 * 2e-3);
+  }
+}
+
+TEST(LatencyEmulation, ResultsAreUnaffected) {
+  Cluster::run(3, [&](Comm& comm) {
+    comm.set_latency_injector(uoi::perf::make_profile_injector(
+        uoi::perf::knl_profile(), /*emulated_cores=*/4352,
+        /*time_scale=*/1e-3));
+    std::vector<double> v{static_cast<double>(comm.rank())};
+    comm.allreduce(v, ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(v[0], 3.0);
+  });
+}
+
+TEST(LatencyEmulation, ProfileInjectorScalesWithEmulatedCores) {
+  const auto injector_small = uoi::perf::make_profile_injector(
+      uoi::perf::knl_profile(), 68, 1.0);
+  const auto injector_large = uoi::perf::make_profile_injector(
+      uoi::perf::knl_profile(), 139264, 1.0);
+  const double small = injector_small(uoi::sim::CommCategory::kAllreduce,
+                                      160000, 8);
+  const double large = injector_large(uoi::sim::CommCategory::kAllreduce,
+                                      160000, 8);
+  EXPECT_GT(large, small);
+  EXPECT_GT(small, 0.0);
+}
+
+}  // namespace emulation_tests

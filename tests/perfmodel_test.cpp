@@ -1,0 +1,311 @@
+// Tests for uoi::perf: the analytic models must reproduce the paper's
+// qualitative scaling claims (the "shapes" of Table II and Figs. 2-10) and
+// basic monotonicity/consistency properties.
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/collectives.hpp"
+#include "perfmodel/io_model.hpp"
+#include "perfmodel/kernels.hpp"
+#include "perfmodel/lasso_cost.hpp"
+#include "perfmodel/machine.hpp"
+#include "perfmodel/var_cost.hpp"
+
+namespace {
+
+using uoi::perf::knl_profile;
+using uoi::perf::MachineProfile;
+
+constexpr std::uint64_t kGiB = 1ULL << 30;
+
+TEST(Collectives, AllreduceMonotoneInRanksAndBytes) {
+  const auto m = knl_profile();
+  EXPECT_EQ(uoi::perf::allreduce_time(m, 1, 1024), 0.0);
+  double previous = 0.0;
+  for (const std::uint64_t p : {2u, 16u, 256u, 4096u, 139264u}) {
+    const double t = uoi::perf::allreduce_time(m, p, 160000);
+    EXPECT_GT(t, previous);
+    previous = t;
+  }
+  EXPECT_GT(uoi::perf::allreduce_time(m, 64, 1 << 20),
+            uoi::perf::allreduce_time(m, 64, 1 << 10));
+}
+
+TEST(Collectives, MinMaxEnvelopeWidensWithRanks) {
+  const auto m = knl_profile();
+  const auto small = uoi::perf::allreduce_minmax(m, 4352, 160000);
+  const auto large = uoi::perf::allreduce_minmax(m, 278528, 160000);
+  EXPECT_LT(small.t_min, small.t_mean);
+  EXPECT_LT(small.t_mean, small.t_max);
+  // Relative spread grows with log2(P) — Fig. 5's widening envelope.
+  const double spread_small = (small.t_max - small.t_min) / small.t_mean;
+  const double spread_large = (large.t_max - large.t_min) / large.t_mean;
+  EXPECT_GT(spread_large, spread_small);
+}
+
+TEST(IoModel, ReproducesTableTwoShape) {
+  // Table II: conventional read takes ~100x-1000x longer than the
+  // randomized design, and the gap widens with data size.
+  const auto m = knl_profile();
+  for (const std::uint64_t gb : {128u, 256u, 512u, 1024u}) {
+    const std::uint64_t bytes = gb * kGiB;
+    const std::uint64_t cores = gb * 34;  // ~Table I ratio
+    const double conventional =
+        uoi::perf::conventional_read_time(m, bytes, 64 << 20);
+    const double randomized =
+        uoi::perf::randomized_read_time(m, bytes, cores, true);
+    EXPECT_GT(conventional / randomized, 100.0) << gb << " GB";
+  }
+}
+
+TEST(IoModel, TableTwoAbsoluteMagnitudes) {
+  // Spot-check against the paper's measured values (order of magnitude):
+  // 1 TB conventional read 11,732 s; randomized read 8.8 s.
+  const auto m = knl_profile();
+  const double conventional =
+      uoi::perf::conventional_read_time(m, 1024 * kGiB, 64 << 20);
+  EXPECT_GT(conventional, 5000.0);
+  EXPECT_LT(conventional, 25000.0);
+  const double randomized =
+      uoi::perf::randomized_read_time(m, 1024 * kGiB, 34816, true);
+  EXPECT_GT(randomized, 2.0);
+  EXPECT_LT(randomized, 60.0);
+}
+
+TEST(IoModel, UnstripedReadIsSlower) {
+  // Table II's footnote: the 16 GB dataset was not striped and read slower
+  // than far larger striped ones.
+  const auto m = knl_profile();
+  const double unstriped =
+      uoi::perf::randomized_read_time(m, 16 * kGiB, 1088, false);
+  const double striped_larger =
+      uoi::perf::randomized_read_time(m, 128 * kGiB, 4352, true);
+  EXPECT_GT(unstriped, striped_larger);
+}
+
+TEST(Kernels, RatesMatchPaperMeasurements) {
+  const auto m = knl_profile();
+  // 2 m k n flops at 30.83 GFLOPS.
+  EXPECT_NEAR(uoi::perf::gemm_time(m, 1000, 1000, 1000),
+              2e9 / 30.83e9, 1e-4);
+  EXPECT_NEAR(uoi::perf::gemv_time(m, 1000, 1000), 2e6 / 1.12e9, 1e-6);
+  EXPECT_NEAR(uoi::perf::trsv_time(m, 1000), 2e6 / 0.011e9, 1e-3);
+  EXPECT_NEAR(uoi::perf::spmv_time(m, 1000000), 2e6 / 2.08e9, 1e-6);
+}
+
+TEST(Kernels, CacheBoostKicksInForSmallPanels) {
+  const auto m = knl_profile();
+  const double slow = uoi::perf::gemm_time(m, 100, 100, 100, 1ULL << 30);
+  const double fast = uoi::perf::gemm_time(m, 100, 100, 100, 1ULL << 20);
+  EXPECT_GT(slow, fast);
+  EXPECT_NEAR(slow / fast, m.cache_boost, 1e-9);
+}
+
+TEST(LassoModel, WeakScalingShapes) {
+  // Fig. 4: computation ~ flat (fixed bytes/core), communication grows
+  // with core count.
+  const uoi::perf::UoiLassoCostModel model;
+  std::vector<double> compute, comm;
+  for (const auto& point : uoi::perf::table1_lasso_weak_scaling()) {
+    uoi::perf::UoiLassoWorkload w;
+    w.data_bytes = point.data_gb * kGiB;
+    const auto breakdown = model.run(w, point.cores);
+    compute.push_back(breakdown.computation);
+    comm.push_back(breakdown.communication);
+  }
+  // Compute stays within 2x of its first value across a 64x core range.
+  for (const double c : compute) {
+    EXPECT_GT(c, compute.front() * 0.5);
+    EXPECT_LT(c, compute.front() * 2.0);
+  }
+  // Communication strictly grows.
+  for (std::size_t i = 1; i < comm.size(); ++i) {
+    EXPECT_GT(comm[i], comm[i - 1]);
+  }
+}
+
+TEST(LassoModel, StrongScalingShapes) {
+  // Fig. 6: computation drops with cores (superlinear at the top end),
+  // communication grows.
+  const uoi::perf::UoiLassoCostModel model;
+  std::vector<uoi::perf::RuntimeBreakdown> runs;
+  for (const auto& point : uoi::perf::table1_lasso_strong_scaling()) {
+    uoi::perf::UoiLassoWorkload w;
+    w.data_bytes = point.data_gb * kGiB;
+    runs.push_back(model.run(w, point.cores));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_LT(runs[i].computation, runs[i - 1].computation);
+    EXPECT_GT(runs[i].communication, runs[i - 1].communication);
+  }
+  // Superlinearity at the last doubling: better than 2x reduction.
+  const double last_ratio =
+      runs[runs.size() - 2].computation / runs.back().computation;
+  EXPECT_GT(last_ratio, 2.0);
+}
+
+TEST(LassoModel, ParallelismConfigurationsFig3Shape) {
+  // Fig. 3 sweeps P_B x P_lambda in {16x2, 8x4, 4x8, 2x16} while doubling
+  // data and cores together. The model's qualitative content: the four
+  // configurations are within a small factor of each other (total work is
+  // symmetric in P_B/P_lambda), and communication grows as ADMM_cores
+  // double along the weak-scaled series.
+  const uoi::perf::UoiLassoCostModel model;
+  const std::pair<std::size_t, std::size_t> configs[] = {
+      {16, 2}, {8, 4}, {4, 8}, {2, 16}};
+  uoi::perf::UoiLassoWorkload w;
+  w.b1 = 48;
+  w.b2 = 48;
+  w.q = 48;
+
+  // Configurations comparable at fixed size.
+  w.data_bytes = 16 * kGiB;
+  double lo = 1e300, hi = 0.0;
+  for (const auto& [pb, pl] : configs) {
+    const double total = model.run(w, 2176, pb, pl).total();
+    lo = std::min(lo, total);
+    hi = std::max(hi, total);
+  }
+  EXPECT_LT(hi / lo, 3.0);
+
+  // Communication grows along the weak-scaled series (ADMM_cores 68 ->
+  // 544), for every configuration.
+  for (const auto& [pb, pl] : configs) {
+    double previous = 0.0;
+    std::uint64_t cores = 2176;
+    for (std::uint64_t gb = 16; gb <= 128; gb *= 2, cores *= 2) {
+      w.data_bytes = gb * kGiB;
+      const double comm = model.run(w, cores, pb, pl).communication;
+      EXPECT_GT(comm, previous);
+      previous = comm;
+    }
+  }
+
+  // And grouping beats dedicating every core to one giant consensus group
+  // when bootstraps are plentiful (the reason P_B/P_lambda parallelism
+  // exists): fewer sequential tasks per group.
+  w.data_bytes = 16 * kGiB;
+  const auto flat = model.run(w, 2176, 1, 1);
+  const auto grouped = model.run(w, 2176, 4, 8);
+  EXPECT_LT(grouped.communication, flat.communication);
+}
+
+TEST(VarModelCost, ProblemSizeAccountingMatchesTable1) {
+  // 128 GB -> p = 356; 8 TB -> p = 1000 (the paper's feature counts).
+  const auto w128 = uoi::perf::UoiVarWorkload::from_problem_gb(128);
+  EXPECT_NEAR(static_cast<double>(w128.n_features), 356.0, 4.0);
+  const auto w8t = uoi::perf::UoiVarWorkload::from_problem_gb(8192);
+  EXPECT_NEAR(static_cast<double>(w8t.n_features), 1000.0, 8.0);
+  // p = 1000 gives the paper's headline 1M parameters.
+  EXPECT_EQ(w8t.n_coefficients() / 1000000, 1u);
+}
+
+TEST(VarModelCost, SparsityFormula) {
+  uoi::perf::UoiVarWorkload w;
+  w.n_features = 95;
+  EXPECT_NEAR(w.design_sparsity(), 0.98947, 1e-4);  // the paper's example
+}
+
+TEST(VarModelCost, WeakScalingDistributionDominatesAtLargeScale) {
+  // Fig. 9: computation ~ flat; distribution grows and overtakes
+  // computation for problems >= 2 TB.
+  const uoi::perf::UoiVarCostModel model;
+  std::vector<uoi::perf::RuntimeBreakdown> runs;
+  for (const auto& point : uoi::perf::table1_var_weak_scaling()) {
+    const auto w = uoi::perf::UoiVarWorkload::from_problem_gb(
+        static_cast<double>(point.data_gb));
+    runs.push_back(model.run(w, point.cores));
+  }
+  for (const auto& r : runs) {
+    EXPECT_GT(r.computation, runs.front().computation * 0.4);
+    EXPECT_LT(r.computation, runs.front().computation * 2.5);
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_GT(runs[i].distribution, runs[i - 1].distribution);
+  }
+  // Crossover: distribution below compute at 128 GB, above at 8 TB.
+  EXPECT_LT(runs.front().distribution, runs.front().computation);
+  EXPECT_GT(runs.back().distribution, runs.back().computation);
+}
+
+TEST(VarModelCost, StrongScalingShapes) {
+  // Fig. 10: computation ~ ideal 1/P; distribution grows with P.
+  const uoi::perf::UoiVarCostModel model;
+  std::vector<uoi::perf::RuntimeBreakdown> runs;
+  const auto w = uoi::perf::UoiVarWorkload::from_problem_gb(1024);
+  for (const auto& point : uoi::perf::table1_var_strong_scaling()) {
+    runs.push_back(model.run(w, point.cores));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_NEAR(runs[i - 1].computation / runs[i].computation, 2.0, 0.2);
+    EXPECT_GT(runs[i].distribution, runs[i - 1].distribution);
+  }
+}
+
+TEST(VarModelCost, ApplicationRuntimesMatchPaperWithinFactor) {
+  // §VI absolute calibration points.
+  const uoi::perf::UoiVarCostModel model;
+
+  // S&P: 470 companies, 195 samples, 2,176 cores ->
+  // compute 376.87 s, kron+vec 16.409 s.
+  uoi::perf::UoiVarWorkload stock;
+  stock.n_features = 470;
+  stock.n_samples = 195;
+  const auto sp = model.run(stock, 2176);
+  EXPECT_GT(sp.computation, 376.87 / 4.0);
+  EXPECT_LT(sp.computation, 376.87 * 4.0);
+  EXPECT_GT(sp.distribution, 16.409 / 6.0);
+  EXPECT_LT(sp.distribution, 16.409 * 6.0);
+
+  // Neuroscience: 192 channels, 51,111 samples, 81,600 cores ->
+  // compute 96.9 s, comm 1598.7 s, distribution 3034.4 s.
+  uoi::perf::UoiVarWorkload neuro;
+  neuro.n_features = 192;
+  neuro.n_samples = 51111;
+  const auto nh = model.run(neuro, 81600);
+  EXPECT_GT(nh.computation, 96.9 / 4.0);
+  EXPECT_LT(nh.computation, 96.9 * 4.0);
+  EXPECT_GT(nh.distribution, 3034.4 / 4.0);
+  EXPECT_LT(nh.distribution, 3034.4 * 4.0);
+  EXPECT_GT(nh.communication, 1598.7 / 4.0);
+  EXPECT_LT(nh.communication, 1598.7 * 4.0);
+  // The qualitative story: at this scale communication + distribution
+  // dwarf computation.
+  EXPECT_GT(nh.communication + nh.distribution, nh.computation);
+}
+
+TEST(VarModelCost, PbParallelismRelievesDistribution) {
+  // §V: "One of the ways to avoid the problem is by utilizing P_B
+  // parallelism."
+  const uoi::perf::UoiVarCostModel model;
+  const auto w = uoi::perf::UoiVarWorkload::from_problem_gb(2048);
+  const auto flat = model.run(w, 34816, 1, 1);
+  const auto pb = model.run(w, 34816, 5, 1);
+  EXPECT_LT(pb.distribution, flat.distribution);
+}
+
+}  // namespace
+
+namespace ring_model_tests {
+
+TEST(Collectives, RingVsHalvingDoublingCrossover) {
+  // Small payloads favor the log-latency algorithm; the ring's latency
+  // term grows linearly with P, so at scale it must not win for the
+  // paper's 20k-double arrays.
+  const auto m = uoi::perf::knl_profile();
+  EXPECT_LT(uoi::perf::allreduce_time(m, 139264, 160000),
+            uoi::perf::allreduce_ring_time(m, 139264, 160000));
+  // Huge payloads on few ranks: ring's bandwidth optimality wins or ties.
+  EXPECT_LE(uoi::perf::allreduce_best_time(m, 16, 1ULL << 30),
+            uoi::perf::allreduce_time(m, 16, 1ULL << 30));
+  // best() is never worse than either algorithm.
+  for (const std::uint64_t p : {2u, 64u, 4096u}) {
+    for (const std::uint64_t bytes : {64u, 1u << 20}) {
+      const double best = uoi::perf::allreduce_best_time(m, p, bytes);
+      EXPECT_LE(best, uoi::perf::allreduce_time(m, p, bytes));
+      EXPECT_LE(best, uoi::perf::allreduce_ring_time(m, p, bytes));
+    }
+  }
+}
+
+}  // namespace ring_model_tests

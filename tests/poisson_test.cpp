@@ -1,0 +1,138 @@
+// Tests for the Poisson solvers and UoI_Poisson.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "core/uoi_poisson.hpp"
+#include "data/synthetic_regression.hpp"
+#include "linalg/blas.hpp"
+#include "solvers/poisson.hpp"
+
+namespace {
+
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+
+TEST(PoissonLambdaMax, ZeroesTheSolution) {
+  const auto data = uoi::data::make_poisson_counts({});
+  const double hi = uoi::solvers::poisson_lambda_max(data.x, data.y);
+  const auto fit = uoi::solvers::poisson_lasso(data.x, data.y, hi * 1.05);
+  for (const double b : fit.beta) EXPECT_NEAR(b, 0.0, 1e-5);
+  // The intercept-only model matches the empirical mean.
+  double y_bar = 0.0;
+  for (const double v : data.y) y_bar += v;
+  y_bar /= static_cast<double>(data.y.size());
+  EXPECT_NEAR(std::exp(fit.intercept), y_bar, 0.15 * y_bar);
+}
+
+TEST(PoissonLasso, SubgradientOptimality) {
+  uoi::data::PoissonSpec spec;
+  spec.n_samples = 250;
+  spec.n_features = 10;
+  spec.support_size = 3;
+  spec.seed = 5;
+  const auto data = uoi::data::make_poisson_counts(spec);
+  const double lambda =
+      0.05 * uoi::solvers::poisson_lambda_max(data.x, data.y);
+  uoi::solvers::PoissonOptions options;
+  options.tolerance = 1e-10;
+  const auto fit =
+      uoi::solvers::poisson_lasso(data.x, data.y, lambda, options);
+  EXPECT_TRUE(fit.converged);
+
+  // KKT: grad = X'(mu - y); |grad_i| <= lambda off-support, sign-matched
+  // on it; intercept gradient ~ 0.
+  Vector residual(data.x.rows());
+  double grad_intercept = 0.0;
+  for (std::size_t r = 0; r < data.x.rows(); ++r) {
+    const double eta =
+        uoi::linalg::dot(data.x.row(r), fit.beta) + fit.intercept;
+    residual[r] = std::exp(eta) - data.y[r];
+    grad_intercept += residual[r];
+  }
+  Vector grad(data.x.cols(), 0.0);
+  uoi::linalg::gemv_transposed(1.0, data.x, residual, 0.0, grad);
+  const double slack = 1e-3 * lambda + 1e-4;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    EXPECT_LE(std::abs(grad[i]), lambda + slack) << "coordinate " << i;
+    if (std::abs(fit.beta[i]) > 1e-6) {
+      EXPECT_NEAR(grad[i], fit.beta[i] > 0 ? -lambda : lambda, slack);
+    }
+  }
+  EXPECT_NEAR(grad_intercept, 0.0, 1e-3);
+}
+
+TEST(PoissonIrls, RecoversTrueParametersOnLargeSample) {
+  uoi::data::PoissonSpec spec;
+  spec.n_samples = 4000;
+  spec.n_features = 6;
+  spec.support_size = 3;
+  spec.seed = 7;
+  const auto data = uoi::data::make_poisson_counts(spec);
+  std::vector<std::size_t> all{0, 1, 2, 3, 4, 5};
+  const auto fit = uoi::solvers::poisson_irls_on_support(data.x, data.y, all);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_LT(uoi::linalg::max_abs_diff(fit.beta, data.beta_true), 0.06);
+  EXPECT_NEAR(fit.intercept, data.intercept_true, 0.05);
+}
+
+TEST(PoissonDeviance, SaturatedFitIsZeroAndWorseFitsArePositive) {
+  uoi::data::PoissonSpec spec;
+  spec.n_samples = 200;
+  spec.seed = 9;
+  const auto data = uoi::data::make_poisson_counts(spec);
+  const Vector zero(spec.n_features, 0.0);
+  const double bad =
+      uoi::solvers::poisson_deviance(data.x, data.y, zero, 0.0);
+  const double better = uoi::solvers::poisson_deviance(
+      data.x, data.y, data.beta_true, data.intercept_true);
+  EXPECT_GT(bad, better);
+  EXPECT_GT(better, 0.0);
+}
+
+TEST(PoissonDeviance, RejectsNegativeCounts) {
+  Matrix x{{1.0}, {1.0}};
+  const Vector y{-1.0, 2.0};
+  EXPECT_THROW((void)uoi::solvers::poisson_lambda_max(x, y),
+               uoi::support::InvalidArgument);
+}
+
+TEST(UoiPoisson, RecoversSparseSupport) {
+  uoi::data::PoissonSpec spec;
+  spec.n_samples = 600;
+  spec.n_features = 15;
+  spec.support_size = 3;
+  spec.seed = 11;
+  const auto data = uoi::data::make_poisson_counts(spec);
+
+  uoi::core::UoiPoissonOptions options;
+  options.n_selection_bootstraps = 8;
+  options.n_estimation_bootstraps = 5;
+  options.n_lambdas = 8;
+  const auto fit = uoi::core::UoiPoisson(options).fit(data.x, data.y);
+
+  const auto truth = uoi::core::SupportSet::from_beta(data.beta_true);
+  const auto support = uoi::core::SupportSet::from_beta(fit.beta, 0.05);
+  const auto acc =
+      uoi::core::selection_accuracy(support, truth, spec.n_features);
+  EXPECT_EQ(acc.false_negatives, 0u) << "missed true features";
+  EXPECT_LE(acc.false_positives, 2u) << "spurious features";
+  // Sign recovery and intercept.
+  for (std::size_t i = 0; i < spec.n_features; ++i) {
+    if (data.beta_true[i] != 0.0) {
+      EXPECT_GT(fit.beta[i] * data.beta_true[i], 0.0) << "sign flip at " << i;
+    }
+  }
+  EXPECT_NEAR(fit.intercept, data.intercept_true, 0.2);
+}
+
+TEST(UoiPoisson, RejectsNegativeResponses) {
+  Matrix x{{1.0}, {2.0}};
+  const Vector y{3.0, -1.0};
+  EXPECT_THROW((void)uoi::core::UoiPoisson().fit(x, y),
+               uoi::support::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Tests for the pivoted-QR least-squares solver and the roofline model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+#include "perfmodel/roofline.hpp"
+#include "solvers/ols.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using uoi::linalg::Matrix;
+using uoi::linalg::QrFactorization;
+using uoi::linalg::Vector;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  uoi::support::Xoshiro256 rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal();
+  }
+  return m;
+}
+
+class QrParam
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(QrParam, FullRankLeastSquaresMatchesNormalEquations) {
+  const auto [m, n] = GetParam();
+  const Matrix a = random_matrix(m, n, m * 31 + n);
+  Vector b(m);
+  uoi::support::Xoshiro256 rng(m + n);
+  for (auto& v : b) v = rng.normal();
+
+  const QrFactorization qr(a);
+  EXPECT_EQ(qr.rank(), n);
+  Vector x_qr(n);
+  qr.solve(b, x_qr);
+
+  const Vector x_ne = uoi::solvers::ols_direct(a, b);
+  EXPECT_LT(uoi::linalg::max_abs_diff(x_qr, x_ne), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrParam,
+    ::testing::Values(std::make_tuple(8, 8), std::make_tuple(20, 5),
+                      std::make_tuple(100, 30), std::make_tuple(50, 50)));
+
+TEST(Qr, ResidualIsOrthogonalToColumns) {
+  // Least-squares optimality: A'(b - A x) = 0.
+  const Matrix a = random_matrix(40, 10, 7);
+  Vector b(40);
+  uoi::support::Xoshiro256 rng(8);
+  for (auto& v : b) v = rng.normal();
+  const Vector x = uoi::linalg::qr_least_squares(a, b);
+  Vector residual(b);
+  uoi::linalg::gemv(1.0, a, x, -1.0, residual);  // r = A x - b... sign ok
+  Vector grad(10, 0.0);
+  uoi::linalg::gemv_transposed(1.0, a, residual, 0.0, grad);
+  for (const double g : grad) EXPECT_NEAR(g, 0.0, 1e-8);
+}
+
+TEST(Qr, DetectsRankDeficiency) {
+  // Third column = first + second.
+  Matrix a = random_matrix(20, 3, 9);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    a(r, 2) = a(r, 0) + a(r, 1);
+  }
+  const QrFactorization qr(a);
+  EXPECT_EQ(qr.rank(), 2u);
+
+  // The solve is still consistent: predictions match the best fit.
+  Vector b(20);
+  for (std::size_t r = 0; r < 20; ++r) b[r] = a(r, 0) - a(r, 1);
+  Vector x(3);
+  qr.solve(b, x);
+  Vector pred(20, 0.0);
+  uoi::linalg::gemv(1.0, a, x, 0.0, pred);
+  EXPECT_LT(uoi::linalg::max_abs_diff(pred, b), 1e-8);
+}
+
+TEST(Qr, ExactlyDuplicatedColumns) {
+  Matrix a = random_matrix(15, 4, 11);
+  for (std::size_t r = 0; r < a.rows(); ++r) a(r, 3) = a(r, 1);
+  const QrFactorization qr(a);
+  EXPECT_EQ(qr.rank(), 3u);
+}
+
+TEST(Qr, ZeroMatrixRankZeroSolvesToZero) {
+  Matrix a(10, 3);
+  const QrFactorization qr(a);
+  EXPECT_EQ(qr.rank(), 0u);
+  Vector b(10, 1.0), x(3, 99.0);
+  qr.solve(b, x);
+  for (const double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Qr, OlsFallsBackOnSingularGram) {
+  // OLS on a design with duplicated columns must not throw and must fit.
+  Matrix a = random_matrix(30, 4, 13);
+  for (std::size_t r = 0; r < a.rows(); ++r) a(r, 3) = 2.0 * a(r, 0);
+  Vector b(30);
+  for (std::size_t r = 0; r < 30; ++r) b[r] = a(r, 1) * 3.0;
+  const Vector x = uoi::solvers::ols_direct(a, b);
+  Vector pred(30, 0.0);
+  uoi::linalg::gemv(1.0, a, x, 0.0, pred);
+  EXPECT_LT(uoi::linalg::max_abs_diff(pred, b), 1e-6);
+}
+
+TEST(Qr, RejectsWideMatrices) {
+  const Matrix a = random_matrix(3, 5, 15);
+  EXPECT_THROW(QrFactorization qr(a), uoi::support::InvalidArgument);
+}
+
+// ---- roofline ----
+
+TEST(Roofline, AttainableAndRidge) {
+  const auto knl = uoi::perf::knl_node();
+  // Below the ridge: bandwidth-limited.
+  EXPECT_DOUBLE_EQ(knl.attainable_gflops(1.0), 90.0);
+  // Far above the ridge: compute-limited.
+  EXPECT_DOUBLE_EQ(knl.attainable_gflops(1000.0), 2600.0);
+  EXPECT_NEAR(knl.ridge_point(), 2600.0 / 90.0, 1e-12);
+}
+
+TEST(Roofline, PaperKernelsAreAllMemoryBound) {
+  // §IV-A1: "Both the BLAS operations were found to be DRAM memory bound";
+  // the sparse kernels' AI (0.15/0.33) sits far below the ridge too.
+  const auto knl = uoi::perf::knl_node();
+  for (const auto& kernel : uoi::perf::paper_kernel_points()) {
+    EXPECT_TRUE(uoi::perf::is_memory_bound(knl, kernel)) << kernel.name;
+    const double eff = uoi::perf::roofline_efficiency(knl, kernel);
+    EXPECT_GT(eff, 0.0) << kernel.name;
+    EXPECT_LT(eff, 1.0) << kernel.name;  // nobody beats the roof
+  }
+}
+
+TEST(Roofline, GemmIsClosestToTheRoof) {
+  // The paper's gemm (30.83 GFLOPS at AI 3.59) achieves the highest
+  // fraction of attainable performance among the measured kernels.
+  const auto knl = uoi::perf::knl_node();
+  const auto kernels = uoi::perf::paper_kernel_points();
+  double gemm_eff = 0.0, best_other = 0.0;
+  for (const auto& kernel : kernels) {
+    const double eff = uoi::perf::roofline_efficiency(knl, kernel);
+    if (kernel.name.find("gemm") != std::string::npos) {
+      gemm_eff = eff;
+    } else {
+      best_other = std::max(best_other, eff);
+    }
+  }
+  EXPECT_GT(gemm_eff, best_other);
+}
+
+}  // namespace

@@ -1,0 +1,228 @@
+// Failure-injection and robustness tests: corrupted datasets, solver
+// misuse, pathological inputs, and algebraic property sweeps that go
+// beyond the per-module unit tests.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/synthetic_regression.hpp"
+#include "io/h5lite.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "simcluster/cluster.hpp"
+#include "solvers/admm_lasso.hpp"
+#include "solvers/cd_lasso.hpp"
+#include "solvers/distributed_admm.hpp"
+#include "solvers/lambda_grid.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using uoi::linalg::Matrix;
+using uoi::linalg::Vector;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  uoi::support::Xoshiro256 rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal();
+  }
+  return m;
+}
+
+// ---- corrupted datasets ----
+
+class CorruptFile {
+ public:
+  explicit CorruptFile(const std::string& name)
+      : base_((std::filesystem::temp_directory_path() / name).string()) {}
+  ~CorruptFile() {
+    std::error_code ec;
+    std::filesystem::remove(uoi::io::stripe_path(base_, 0), ec);
+    std::filesystem::remove(uoi::io::stripe_path(base_, 1), ec);
+  }
+  [[nodiscard]] const std::string& base() const { return base_; }
+
+ private:
+  std::string base_;
+};
+
+TEST(FailureInjection, BadMagicRejected) {
+  CorruptFile tmp("uoi_bad_magic");
+  std::ofstream f(uoi::io::stripe_path(tmp.base(), 0), std::ios::binary);
+  const char garbage[64] = "this is not an H5-lite dataset at all!";
+  f.write(garbage, sizeof(garbage));
+  f.close();
+  EXPECT_THROW((void)uoi::io::read_info(tmp.base()), uoi::support::IoError);
+}
+
+TEST(FailureInjection, TruncatedHeaderRejected) {
+  CorruptFile tmp("uoi_trunc_header");
+  std::ofstream f(uoi::io::stripe_path(tmp.base(), 0), std::ios::binary);
+  const char partial[10] = {0};
+  f.write(partial, sizeof(partial));
+  f.close();
+  EXPECT_THROW((void)uoi::io::read_info(tmp.base()), uoi::support::IoError);
+}
+
+TEST(FailureInjection, TruncatedPayloadRejectedOnRead) {
+  CorruptFile tmp("uoi_trunc_payload");
+  const Matrix data = random_matrix(20, 4, 1);
+  uoi::io::write_dataset(tmp.base(), data, 10, 1);
+  // Chop the file short.
+  const auto path = uoi::io::stripe_path(tmp.base(), 0);
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size - 64);
+
+  const uoi::io::DatasetReader reader(tmp.base());
+  Matrix out;
+  EXPECT_THROW(reader.read_rows(0, 20, out), uoi::support::IoError);
+}
+
+TEST(FailureInjection, MissingStripeRejected) {
+  CorruptFile tmp("uoi_missing_stripe");
+  const Matrix data = random_matrix(20, 4, 2);
+  uoi::io::write_dataset(tmp.base(), data, 5, 2);
+  std::filesystem::remove(uoi::io::stripe_path(tmp.base(), 1));
+  const uoi::io::DatasetReader reader(tmp.base());
+  Matrix out;
+  EXPECT_THROW(reader.read_rows(0, 20, out), uoi::support::IoError);
+}
+
+// ---- solver misuse and pathological inputs ----
+
+TEST(FailureInjection, AdmmThrowsOnDemandWhenNotConverged) {
+  const auto data = uoi::data::make_regression({});
+  uoi::solvers::AdmmOptions options;
+  options.max_iterations = 1;  // cannot converge
+  options.throw_on_nonconvergence = true;
+  EXPECT_THROW(
+      (void)uoi::solvers::lasso_admm(data.x, data.y, 0.1, options),
+      uoi::support::ConvergenceError);
+  // Default: best effort, no throw.
+  options.throw_on_nonconvergence = false;
+  const auto fit = uoi::solvers::lasso_admm(data.x, data.y, 0.1, options);
+  EXPECT_FALSE(fit.converged);
+  EXPECT_EQ(fit.iterations, 1u);
+}
+
+TEST(FailureInjection, ConstantFeatureIsHandled) {
+  // A zero-variance column (constant feature) must not break the solvers.
+  Matrix x = random_matrix(50, 5, 3);
+  for (std::size_t r = 0; r < x.rows(); ++r) x(r, 2) = 1.0;
+  Vector y(50);
+  uoi::support::Xoshiro256 rng(4);
+  for (auto& v : y) v = rng.normal();
+  const auto admm = uoi::solvers::lasso_admm(x, y, 1.0);
+  EXPECT_TRUE(admm.converged);
+  const auto cd = uoi::solvers::cd_lasso(x, y, 1.0);
+  EXPECT_TRUE(cd.converged);
+  EXPECT_LT(uoi::linalg::max_abs_diff(admm.beta, cd.beta), 1e-3);
+}
+
+TEST(FailureInjection, AllZeroResponseGivesZeroModel) {
+  const Matrix x = random_matrix(30, 6, 5);
+  Vector y(30, 0.0);
+  const auto fit = uoi::solvers::lasso_admm(x, y, 0.5);
+  for (const double b : fit.beta) EXPECT_NEAR(b, 0.0, 1e-9);
+  EXPECT_THROW((void)uoi::solvers::lambda_grid_for(x, y, 5),
+               uoi::support::InvalidArgument);
+}
+
+TEST(FailureInjection, SingleSampleProblems) {
+  Matrix x{{1.0, 2.0, 3.0}};
+  Vector y{6.0};
+  const auto fit = uoi::solvers::lasso_admm(x, y, 0.01);
+  // Underdetermined: any fit must at least predict the one sample well.
+  const double pred = uoi::linalg::dot(x.row(0), fit.beta);
+  EXPECT_NEAR(pred, 6.0, 0.5);
+}
+
+TEST(FailureInjection, HugeLambdaGivesEmptyModelEverywhere) {
+  const auto data = uoi::data::make_regression({});
+  for (const double lambda : {1e6, 1e9, 1e12}) {
+    const auto fit = uoi::solvers::lasso_admm(data.x, data.y, lambda);
+    for (const double b : fit.beta) EXPECT_DOUBLE_EQ(b, 0.0);
+  }
+}
+
+// ---- algebraic property sweeps ----
+
+class GemmPropertyParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GemmPropertyParam, AssociativityAndDistributivity) {
+  const std::uint64_t seed = GetParam();
+  const Matrix a = random_matrix(9, 7, seed);
+  const Matrix b = random_matrix(7, 8, seed + 1);
+  const Matrix c = random_matrix(8, 6, seed + 2);
+  const Matrix b2 = random_matrix(7, 8, seed + 3);
+
+  // (A B) C == A (B C)
+  Matrix ab(9, 8), ab_c(9, 6), bc(7, 6), a_bc(9, 6);
+  uoi::linalg::gemm(1.0, a, b, 0.0, ab);
+  uoi::linalg::gemm(1.0, ab, c, 0.0, ab_c);
+  uoi::linalg::gemm(1.0, b, c, 0.0, bc);
+  uoi::linalg::gemm(1.0, a, bc, 0.0, a_bc);
+  EXPECT_LT(uoi::linalg::max_abs_diff(ab_c, a_bc), 1e-10);
+
+  // A (B + B2) == A B + A B2
+  Matrix b_sum(7, 8);
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) b_sum(i, j) = b(i, j) + b2(i, j);
+  }
+  Matrix lhs(9, 8), rhs(9, 8);
+  uoi::linalg::gemm(1.0, a, b_sum, 0.0, lhs);
+  uoi::linalg::gemm(1.0, a, b, 0.0, rhs);
+  uoi::linalg::gemm(1.0, a, b2, 1.0, rhs);
+  EXPECT_LT(uoi::linalg::max_abs_diff(lhs, rhs), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GemmPropertyParam,
+                         ::testing::Values(10, 20, 30, 40));
+
+class SerialDistributedSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SerialDistributedSweep, LassoAgreesAcrossSeeds) {
+  uoi::data::RegressionSpec spec;
+  spec.n_samples = 80;
+  spec.n_features = 12;
+  spec.support_size = 3;
+  spec.seed = GetParam();
+  const auto data = uoi::data::make_regression(spec);
+  const double lambda = 0.1 * uoi::solvers::lambda_max(data.x, data.y);
+  uoi::solvers::AdmmOptions options;
+  options.eps_abs = 1e-9;
+  options.eps_rel = 1e-7;
+  options.max_iterations = 20000;
+  const auto serial = uoi::solvers::lasso_admm(data.x, data.y, lambda, options);
+  uoi::sim::Cluster::run(3, [&](uoi::sim::Comm& comm) {
+    const std::size_t n = data.x.rows();
+    const std::size_t begin = n * comm.rank() / comm.size();
+    const std::size_t end = n * (comm.rank() + 1) / comm.size();
+    const auto fit = uoi::solvers::distributed_lasso_admm(
+        comm, data.x.row_block(begin, end - begin),
+        std::span<const double>(data.y).subspan(begin, end - begin), lambda,
+        options);
+    EXPECT_LT(uoi::linalg::max_abs_diff(fit.beta, serial.beta), 2e-3)
+        << "seed " << GetParam();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialDistributedSweep,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// ---- misc typed-collective coverage ----
+
+TEST(FailureInjection, ByteBcastWorks) {
+  uoi::sim::Cluster::run(3, [&](uoi::sim::Comm& comm) {
+    std::vector<std::uint8_t> bytes(5, comm.rank() == 1 ? 0xAB : 0x00);
+    comm.bcast(bytes, 1);
+    for (const auto b : bytes) EXPECT_EQ(b, 0xAB);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// Tests for CSV parsing/writing and VAR model serialization.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/synthetic_var.hpp"
+#include "io/csv.hpp"
+#include "linalg/blas.hpp"
+#include "support/rng.hpp"
+#include "var/model_io.hpp"
+
+namespace {
+
+using uoi::linalg::Matrix;
+
+TEST(Csv, ParsesCommaSeparatedWithHeader) {
+  const auto data = uoi::io::parse_csv("a,b,c\n1,2,3\n4.5, -6 ,7e-1\n");
+  EXPECT_EQ(data.column_labels,
+            (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(data.values.rows(), 2u);
+  EXPECT_DOUBLE_EQ(data.values(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(data.values(1, 0), 4.5);
+  EXPECT_DOUBLE_EQ(data.values(1, 1), -6.0);
+  EXPECT_DOUBLE_EQ(data.values(1, 2), 0.7);
+}
+
+TEST(Csv, ParsesWhitespaceSeparatedNoHeader) {
+  const auto data = uoi::io::parse_csv("1 2\n3\t4\n");
+  EXPECT_TRUE(data.column_labels.empty());
+  ASSERT_EQ(data.values.rows(), 2u);
+  EXPECT_DOUBLE_EQ(data.values(1, 1), 4.0);
+}
+
+TEST(Csv, SkipsCommentsAndBlankLines) {
+  const auto data = uoi::io::parse_csv("# comment\n\n1,2\n  \n# more\n3,4\n");
+  ASSERT_EQ(data.values.rows(), 2u);
+  EXPECT_DOUBLE_EQ(data.values(1, 0), 3.0);
+}
+
+TEST(Csv, HandlesWindowsLineEndings) {
+  const auto data = uoi::io::parse_csv("x,y\r\n1,2\r\n");
+  EXPECT_EQ(data.column_labels[1], "y");
+  EXPECT_DOUBLE_EQ(data.values(0, 1), 2.0);
+}
+
+TEST(Csv, RaggedRowRejected) {
+  EXPECT_THROW((void)uoi::io::parse_csv("1,2\n3\n"), uoi::support::IoError);
+}
+
+TEST(Csv, NonNumericFieldRejected) {
+  EXPECT_THROW((void)uoi::io::parse_csv("1,2\n3,oops\n"),
+               uoi::support::IoError);
+}
+
+TEST(Csv, RoundTripThroughText) {
+  Matrix m{{1.25, -2.0}, {3.0, 1e-7}};
+  const auto text = uoi::io::to_csv(m, {"u", "v"});
+  const auto back = uoi::io::parse_csv(text);
+  EXPECT_EQ(back.column_labels, (std::vector<std::string>{"u", "v"}));
+  EXPECT_EQ(uoi::linalg::max_abs_diff(back.values, m), 0.0);
+}
+
+TEST(Csv, RoundTripThroughFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "uoi_csv_rt.csv").string();
+  Matrix m{{0.1, 0.2, 0.3}};
+  uoi::io::write_csv(path, m);
+  const auto back = uoi::io::read_csv(path);
+  EXPECT_EQ(uoi::linalg::max_abs_diff(back.values, m), 0.0);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, HeaderWidthMismatchRejected) {
+  Matrix m{{1.0, 2.0}};
+  EXPECT_THROW((void)uoi::io::to_csv(m, {"only-one"}),
+               uoi::support::DimensionMismatch);
+}
+
+TEST(ModelIo, RoundTripsExactly) {
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 7;
+  spec.order = 2;
+  spec.seed = 5;
+  const auto model = uoi::data::make_sparse_var(spec);
+  const auto text = uoi::var::model_to_text(model);
+  const auto back = uoi::var::model_from_text(text);
+  ASSERT_EQ(back.dim(), model.dim());
+  ASSERT_EQ(back.order(), model.order());
+  for (std::size_t j = 0; j < model.order(); ++j) {
+    EXPECT_EQ(uoi::linalg::max_abs_diff(back.coefficient(j),
+                                        model.coefficient(j)),
+              0.0);
+  }
+  EXPECT_EQ(uoi::linalg::max_abs_diff(back.intercept(), model.intercept()),
+            0.0);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "uoi_model_rt.txt").string();
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 4;
+  spec.seed = 6;
+  const auto model = uoi::data::make_sparse_var(spec);
+  uoi::var::save_model(path, model);
+  const auto back = uoi::var::load_model(path);
+  EXPECT_EQ(uoi::linalg::max_abs_diff(back.coefficient(0),
+                                      model.coefficient(0)),
+            0.0);
+  std::filesystem::remove(path);
+}
+
+TEST(ModelIo, MalformedInputsRejected) {
+  EXPECT_THROW((void)uoi::var::model_from_text("not a model"),
+               uoi::support::IoError);
+  EXPECT_THROW((void)uoi::var::model_from_text("uoi-var-model v1\nd 2\n"),
+               uoi::support::IoError);
+  EXPECT_THROW(
+      (void)uoi::var::model_from_text("uoi-var-model v1\ndim 2 order 1\nA 0\n1 2\n"),
+      uoi::support::IoError);
+  EXPECT_THROW((void)uoi::var::load_model("/nonexistent/model.txt"),
+               uoi::support::IoError);
+}
+
+TEST(ModelIo, PreservesStability) {
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 6;
+  spec.seed = 7;
+  const auto model = uoi::data::make_sparse_var(spec);
+  const auto back = uoi::var::model_from_text(uoi::var::model_to_text(model));
+  EXPECT_NEAR(back.companion_spectral_radius(),
+              model.companion_spectral_radius(), 1e-12);
+}
+
+}  // namespace
+
+namespace csv_property_tests {
+
+using uoi::linalg::Matrix;
+
+class CsvRoundTripSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsvRoundTripSweep, RandomMatricesSurviveTextRoundTrip) {
+  uoi::support::Xoshiro256 rng(GetParam());
+  const std::size_t rows = 1 + rng.uniform_below(40);
+  const std::size_t cols = 1 + rng.uniform_below(12);
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      // Mix magnitudes, signs, and exact zeros.
+      switch (rng.uniform_below(4)) {
+        case 0:
+          m(r, c) = 0.0;
+          break;
+        case 1:
+          m(r, c) = rng.normal() * 1e-9;
+          break;
+        case 2:
+          m(r, c) = rng.normal() * 1e12;
+          break;
+        default:
+          m(r, c) = rng.normal();
+      }
+    }
+  }
+  const auto back = uoi::io::parse_csv(uoi::io::to_csv(m));
+  ASSERT_EQ(back.values.rows(), rows);
+  ASSERT_EQ(back.values.cols(), cols);
+  EXPECT_EQ(uoi::linalg::max_abs_diff(back.values, m), 0.0)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundTripSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace csv_property_tests

@@ -1,0 +1,289 @@
+// Tests for the uoi::sim SPMD runtime: collectives against serial
+// references, communicator splits, one-sided windows, and statistics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "simcluster/cluster.hpp"
+#include "simcluster/comm.hpp"
+#include "simcluster/window.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using uoi::sim::Cluster;
+using uoi::sim::Comm;
+using uoi::sim::ReduceOp;
+using uoi::sim::Window;
+
+class ClusterParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterParam, BarrierSynchronizesPhases) {
+  const int p = GetParam();
+  std::atomic<int> arrived{0};
+  std::atomic<bool> violated{false};
+  Cluster::run(p, [&](Comm& comm) {
+    arrived.fetch_add(1);
+    comm.barrier();
+    if (arrived.load() != p) violated.store(true);
+    comm.barrier();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(ClusterParam, AllreduceSum) {
+  const int p = GetParam();
+  Cluster::run(p, [&](Comm& comm) {
+    std::vector<double> data{static_cast<double>(comm.rank()), 1.0};
+    comm.allreduce(data, ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(data[0], p * (p - 1) / 2.0);
+    EXPECT_DOUBLE_EQ(data[1], static_cast<double>(p));
+  });
+}
+
+TEST_P(ClusterParam, AllreduceMinMax) {
+  const int p = GetParam();
+  Cluster::run(p, [&](Comm& comm) {
+    std::vector<double> lo{static_cast<double>(comm.rank())};
+    comm.allreduce(lo, ReduceOp::kMin);
+    EXPECT_DOUBLE_EQ(lo[0], 0.0);
+    std::vector<double> hi{static_cast<double>(comm.rank())};
+    comm.allreduce(hi, ReduceOp::kMax);
+    EXPECT_DOUBLE_EQ(hi[0], static_cast<double>(p - 1));
+  });
+}
+
+TEST_P(ClusterParam, BcastFromEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    Cluster::run(p, [&](Comm& comm) {
+      std::vector<double> data(3, comm.rank() == root ? 42.0 : 0.0);
+      comm.bcast(data, root);
+      for (const double v : data) EXPECT_DOUBLE_EQ(v, 42.0);
+    });
+  }
+}
+
+TEST_P(ClusterParam, ReduceToRootOnly) {
+  const int p = GetParam();
+  Cluster::run(p, [&](Comm& comm) {
+    std::vector<double> data{1.0};
+    comm.reduce(data, ReduceOp::kSum, 0);
+    if (comm.rank() == 0) {
+      EXPECT_DOUBLE_EQ(data[0], static_cast<double>(p));
+    } else {
+      EXPECT_DOUBLE_EQ(data[0], 1.0);  // untouched off-root
+    }
+  });
+}
+
+TEST_P(ClusterParam, GatherAndAllgather) {
+  const int p = GetParam();
+  Cluster::run(p, [&](Comm& comm) {
+    const std::vector<double> mine{static_cast<double>(comm.rank()),
+                                   static_cast<double>(comm.rank()) + 0.5};
+    std::vector<double> all(2 * static_cast<std::size_t>(p), -1.0);
+    comm.allgather(mine, all);
+    for (int r = 0; r < p; ++r) {
+      EXPECT_DOUBLE_EQ(all[2 * r], static_cast<double>(r));
+      EXPECT_DOUBLE_EQ(all[2 * r + 1], static_cast<double>(r) + 0.5);
+    }
+    std::vector<double> rooted(2 * static_cast<std::size_t>(p), -1.0);
+    comm.gather(mine, rooted, p - 1);
+    if (comm.rank() == p - 1) {
+      EXPECT_DOUBLE_EQ(rooted[0], 0.0);
+      EXPECT_DOUBLE_EQ(rooted[2 * (p - 1)], static_cast<double>(p - 1));
+    }
+  });
+}
+
+TEST_P(ClusterParam, ScatterSlices) {
+  const int p = GetParam();
+  Cluster::run(p, [&](Comm& comm) {
+    std::vector<double> send;
+    if (comm.rank() == 0) {
+      send.resize(static_cast<std::size_t>(p) * 2);
+      std::iota(send.begin(), send.end(), 0.0);
+    }
+    std::vector<double> recv(2, -1.0);
+    comm.scatter(send, recv, 0);
+    EXPECT_DOUBLE_EQ(recv[0], comm.rank() * 2.0);
+    EXPECT_DOUBLE_EQ(recv[1], comm.rank() * 2.0 + 1.0);
+  });
+}
+
+TEST_P(ClusterParam, AllAgree) {
+  const int p = GetParam();
+  Cluster::run(p, [&](Comm& comm) {
+    EXPECT_TRUE(comm.all_agree(true));
+    EXPECT_FALSE(comm.all_agree(comm.rank() != 0));
+    EXPECT_TRUE(comm.all_agree(comm.rank() >= 0));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ClusterParam,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Cluster, SplitFormsCorrectGroups) {
+  Cluster::run(6, [&](Comm& comm) {
+    // Two groups of 3: color = rank / 3.
+    Comm sub = comm.split(comm.rank() / 3, comm.rank());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() % 3);
+    // Group-local reduction stays inside the group.
+    std::vector<double> data{static_cast<double>(comm.rank())};
+    sub.allreduce(data, ReduceOp::kSum);
+    const double expect = comm.rank() < 3 ? 0.0 + 1 + 2 : 3.0 + 4 + 5;
+    EXPECT_DOUBLE_EQ(data[0], expect);
+  });
+}
+
+TEST(Cluster, SplitHonorsKeyOrdering) {
+  Cluster::run(4, [&](Comm& comm) {
+    // Reverse ordering within one group: key = -rank.
+    Comm sub = comm.split(0, -comm.rank());
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), 3 - comm.rank());
+  });
+}
+
+TEST(Cluster, NestedSplits) {
+  Cluster::run(8, [&](Comm& comm) {
+    Comm half = comm.split(comm.rank() / 4, comm.rank());
+    Comm quarter = half.split(half.rank() / 2, half.rank());
+    EXPECT_EQ(quarter.size(), 2);
+    std::vector<double> one{1.0};
+    quarter.allreduce(one, ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(one[0], 2.0);
+  });
+}
+
+TEST(Cluster, ExceptionPropagatesAfterJoin) {
+  EXPECT_THROW(
+      Cluster::run(2,
+                   [&](Comm& comm) {
+                     comm.barrier();
+                     throw std::runtime_error("rank failure");
+                   }),
+      std::runtime_error);
+}
+
+TEST(Window, PutGetAcrossRanks) {
+  Cluster::run(4, [&](Comm& comm) {
+    std::vector<double> local(4, static_cast<double>(comm.rank()));
+    Window win(comm, local);
+    win.fence();
+    // Everyone writes its rank into slot `rank` of rank 0's buffer.
+    const std::vector<double> value{static_cast<double>(comm.rank()) + 10.0};
+    win.put(0, static_cast<std::size_t>(comm.rank()), value);
+    win.fence();
+    if (comm.rank() == 0) {
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_DOUBLE_EQ(local[static_cast<std::size_t>(r)], r + 10.0);
+      }
+    }
+    // Everyone reads rank 3's buffer.
+    std::vector<double> fetched(4, -1.0);
+    win.get(3, 0, fetched);
+    win.fence();
+    for (const double v : fetched) {
+      EXPECT_TRUE(v == 3.0 || v == 13.0);  // slot 3 was overwritten on rank 0 only
+    }
+  });
+}
+
+TEST(Window, AccumulateAddsAtomically) {
+  Cluster::run(8, [&](Comm& comm) {
+    std::vector<double> local(1, 0.0);
+    Window win(comm, local);
+    win.fence();
+    const std::vector<double> one{1.0};
+    for (int i = 0; i < 50; ++i) win.accumulate_add(0, 0, one);
+    win.fence();
+    if (comm.rank() == 0) {
+      EXPECT_DOUBLE_EQ(local[0], 400.0);
+    }
+  });
+}
+
+TEST(Window, SizesPerRankDiffer) {
+  Cluster::run(3, [&](Comm& comm) {
+    std::vector<double> local(static_cast<std::size_t>(comm.rank()) + 1, 1.0);
+    Window win(comm, local);
+    win.fence();
+    EXPECT_EQ(win.size_at(0), 1u);
+    EXPECT_EQ(win.size_at(1), 2u);
+    EXPECT_EQ(win.size_at(2), 3u);
+    EXPECT_EQ(win.local().size(), static_cast<std::size_t>(comm.rank()) + 1);
+    win.fence();
+  });
+}
+
+TEST(Window, OutOfRangeGetThrows) {
+  Cluster::run(2, [&](Comm& comm) {
+    std::vector<double> local(2, 0.0);
+    Window win(comm, local);
+    win.fence();
+    std::vector<double> big(5);
+    bool threw = false;
+    try {
+      win.get(0, 0, big);
+    } catch (const uoi::support::DimensionMismatch&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+    win.fence();
+  });
+}
+
+TEST(Stats, TracksCallsBytesAndCategories) {
+  auto stats = Cluster::run_collect_stats(2, [&](Comm& comm) {
+    std::vector<double> data(10, 1.0);
+    comm.allreduce(data, ReduceOp::kSum);
+    comm.allreduce(data, ReduceOp::kSum);
+    comm.bcast(data, 0);
+    comm.barrier();
+  });
+  ASSERT_EQ(stats.size(), 2u);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.of(uoi::sim::CommCategory::kAllreduce).calls, 2u);
+    EXPECT_EQ(s.of(uoi::sim::CommCategory::kAllreduce).bytes,
+              2u * 10u * sizeof(double));
+    EXPECT_EQ(s.of(uoi::sim::CommCategory::kBcast).calls, 1u);
+    EXPECT_EQ(s.of(uoi::sim::CommCategory::kBarrier).calls, 1u);
+    EXPECT_GE(s.collective_seconds(), 0.0);
+  }
+}
+
+TEST(Stats, OneSidedAccounting) {
+  auto stats = Cluster::run_collect_stats(2, [&](Comm& comm) {
+    std::vector<double> local(8, 0.0);
+    Window win(comm, local);
+    win.fence();
+    std::vector<double> buf(8);
+    win.get(1 - comm.rank(), 0, buf);
+    win.fence();
+  });
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.of(uoi::sim::CommCategory::kOneSided).calls, 1u);
+    EXPECT_EQ(s.of(uoi::sim::CommCategory::kOneSided).bytes,
+              8u * sizeof(double));
+  }
+}
+
+TEST(Cluster, SingleRankRunsInline) {
+  int calls = 0;
+  Cluster::run(1, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 1);
+    comm.barrier();
+    std::vector<double> v{3.0};
+    comm.allreduce(v, ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(v[0], 3.0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace

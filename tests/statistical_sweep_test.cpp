@@ -1,0 +1,117 @@
+// Statistical property sweeps: UoI selection quality across a grid of
+// problem regimes (dimension, sparsity, noise, correlation). These encode
+// the framework's *claims* as properties that must hold in every regime
+// where they statistically should — zero missed features at adequate
+// sample sizes, and fewer false positives than the LASSO baseline when
+// aggregated across the sweep.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "core/uoi_lasso.hpp"
+#include "data/synthetic_regression.hpp"
+#include "solvers/cd_lasso.hpp"
+
+namespace {
+
+struct Regime {
+  std::size_t n;
+  std::size_t p;
+  std::size_t k;
+  double noise;
+  double correlation;
+};
+
+class UoiRegimeSweep : public ::testing::TestWithParam<Regime> {};
+
+TEST_P(UoiRegimeSweep, NoMissedFeaturesAndBoundedFalsePositives) {
+  const Regime regime = GetParam();
+  uoi::data::RegressionSpec spec;
+  spec.n_samples = regime.n;
+  spec.n_features = regime.p;
+  spec.support_size = regime.k;
+  spec.noise_stddev = regime.noise;
+  spec.feature_correlation = regime.correlation;
+  spec.coefficient_min = 0.75;  // keep the betamin condition comfortable
+  spec.seed = 1000 + regime.n + regime.p;
+  const auto data = uoi::data::make_regression(spec);
+
+  uoi::core::UoiLassoOptions options;
+  options.n_selection_bootstraps = 12;
+  options.n_estimation_bootstraps = 6;
+  options.n_lambdas = 12;
+  options.seed = 7 + regime.p;
+  const auto fit = uoi::core::UoiLasso(options).fit(data.x, data.y);
+
+  const auto truth = uoi::core::SupportSet::from_beta(data.beta_true);
+  const auto support = uoi::core::SupportSet::from_beta(fit.beta, 0.05);
+  const auto acc =
+      uoi::core::selection_accuracy(support, truth, regime.p);
+  EXPECT_EQ(acc.false_negatives, 0u)
+      << "missed features at n=" << regime.n << " p=" << regime.p;
+  // FP bound: generous per-regime cap; the aggregate comparison with the
+  // baseline below is the sharp claim.
+  EXPECT_LE(acc.false_positives, regime.p / 5)
+      << "too many spurious features at n=" << regime.n;
+  // Estimation quality: relative error bounded away from disaster.
+  const auto est =
+      uoi::core::estimation_accuracy(fit.beta, data.beta_true);
+  EXPECT_LT(est.relative_l2, 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, UoiRegimeSweep,
+    ::testing::Values(Regime{200, 20, 4, 0.3, 0.0},   // easy
+                      Regime{200, 40, 6, 0.5, 0.0},   // moderate p
+                      Regime{300, 40, 6, 0.5, 0.5},   // correlated
+                      Regime{400, 60, 8, 0.7, 0.3},   // noisy
+                      Regime{150, 30, 3, 0.4, 0.6},   // small n, correlated
+                      Regime{500, 25, 10, 0.5, 0.0}   // denser truth
+                      ));
+
+TEST(UoiVsLassoAggregate, FewerFalsePositivesAcrossTheSweep) {
+  // The paper's core statistical claim, aggregated over regimes: UoI
+  // accumulates strictly fewer false positives than CV-LASSO at equal
+  // (zero) false negatives.
+  const Regime regimes[] = {{200, 20, 4, 0.3, 0.0},
+                            {200, 40, 6, 0.5, 0.0},
+                            {300, 40, 6, 0.5, 0.5},
+                            {150, 30, 3, 0.4, 0.6}};
+  std::size_t uoi_fp = 0, lasso_fp = 0, uoi_fn = 0, lasso_fn = 0;
+  for (const auto& regime : regimes) {
+    uoi::data::RegressionSpec spec;
+    spec.n_samples = regime.n;
+    spec.n_features = regime.p;
+    spec.support_size = regime.k;
+    spec.noise_stddev = regime.noise;
+    spec.feature_correlation = regime.correlation;
+    spec.coefficient_min = 0.75;
+    spec.seed = 2000 + regime.n;
+    const auto data = uoi::data::make_regression(spec);
+    const auto truth = uoi::core::SupportSet::from_beta(data.beta_true);
+
+    uoi::core::UoiLassoOptions options;
+    options.n_selection_bootstraps = 12;
+    options.n_estimation_bootstraps = 6;
+    options.n_lambdas = 12;
+    const auto fit = uoi::core::UoiLasso(options).fit(data.x, data.y);
+    const auto uoi_acc = uoi::core::selection_accuracy(
+        uoi::core::SupportSet::from_beta(fit.beta, 0.05), truth, regime.p);
+    uoi_fp += uoi_acc.false_positives;
+    uoi_fn += uoi_acc.false_negatives;
+
+    const auto cv = uoi::solvers::cv_lasso(data.x, data.y, 20, 4);
+    const auto cv_acc = uoi::core::selection_accuracy(
+        uoi::core::SupportSet::from_beta(cv.beta, 0.05), truth, regime.p);
+    lasso_fp += cv_acc.false_positives;
+    lasso_fn += cv_acc.false_negatives;
+  }
+  EXPECT_EQ(uoi_fn, 0u);
+  EXPECT_EQ(lasso_fn, 0u);
+  EXPECT_LT(uoi_fp, lasso_fp)
+      << "UoI did not beat CV-LASSO on false positives in aggregate";
+}
+
+}  // namespace

@@ -1,0 +1,232 @@
+// Unit tests for uoi::support — RNG determinism and statistical sanity,
+// formatting, table rendering, and the error-check macros.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using uoi::support::Xoshiro256;
+
+TEST(Rng, SameSeedSameStream) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(123), b(124);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForTaskIsDeterministic) {
+  auto a = Xoshiro256::for_task(7, 1, 2, 3);
+  auto b = Xoshiro256::for_task(7, 1, 2, 3);
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ForTaskCoordinatesMatter) {
+  auto a = Xoshiro256::for_task(7, 1, 2, 3);
+  auto b = Xoshiro256::for_task(7, 1, 2, 4);
+  auto c = Xoshiro256::for_task(7, 2, 2, 3);
+  const auto va = a(), vb = b(), vc = c();
+  EXPECT_NE(va, vb);
+  EXPECT_NE(va, vc);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(5);
+  double lo = 1.0, hi = 0.0, sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.uniform();
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LT(hi, 1.0);
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+}
+
+TEST(Rng, UniformBelowIsUnbiasedish) {
+  Xoshiro256 rng(6);
+  constexpr std::uint64_t kBound = 7;
+  std::vector<int> histogram(kBound, 0);
+  constexpr int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.uniform_below(kBound)];
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, kDraws / static_cast<int>(kBound), 500);
+  }
+}
+
+TEST(Rng, UniformBelowEdgeCases) {
+  Xoshiro256 rng(6);
+  EXPECT_EQ(rng.uniform_below(0), 0u);
+  EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Xoshiro256 rng(7);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Xoshiro256 rng(8);
+  for (const double mean : {2.5, 80.0}) {
+    double sum = 0.0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i) {
+      sum += static_cast<double>(rng.poisson(mean));
+    }
+    EXPECT_NEAR(sum / kDraws, mean, mean * 0.05);
+  }
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Xoshiro256 rng(8);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, BootstrapIndicesInRange) {
+  Xoshiro256 rng(9);
+  const auto idx = uoi::support::bootstrap_indices(rng, 50, 200);
+  ASSERT_EQ(idx.size(), 200u);
+  for (const auto i : idx) EXPECT_LT(i, 50u);
+}
+
+TEST(Rng, BootstrapHasRepeats) {
+  Xoshiro256 rng(9);
+  const auto idx = uoi::support::bootstrap_indices(rng, 100, 100);
+  const std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_LT(unique.size(), idx.size());  // overwhelmingly likely
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Xoshiro256 rng(10);
+  const auto perm = uoi::support::random_permutation(rng, 257);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinctSorted) {
+  Xoshiro256 rng(11);
+  const auto sample = uoi::support::sample_without_replacement(rng, 100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto i : sample) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullPopulation) {
+  Xoshiro256 rng(11);
+  const auto sample = uoi::support::sample_without_replacement(rng, 10, 10);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, TrainTestSplitPartitions) {
+  Xoshiro256 rng(12);
+  const auto split = uoi::support::train_test_split(rng, 100, 0.25);
+  EXPECT_EQ(split.test.size(), 25u);
+  EXPECT_EQ(split.train.size(), 75u);
+  std::set<std::size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(Rng, TrainTestSplitRejectsBadFraction) {
+  Xoshiro256 rng(12);
+  EXPECT_THROW((void)uoi::support::train_test_split(rng, 10, 1.0),
+               uoi::support::InvalidArgument);
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(uoi::support::format_bytes(512), "512 B");
+  EXPECT_EQ(uoi::support::format_bytes(16ULL << 30), "16 GB");
+  EXPECT_EQ(uoi::support::format_bytes(1536), "1.50 KB");
+  EXPECT_EQ(uoi::support::format_bytes(8ULL << 40), "8 TB");
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(uoi::support::format_seconds(1.234), "1.23 s");
+  EXPECT_EQ(uoi::support::format_seconds(0.0042), "4.20 ms");
+  EXPECT_EQ(uoi::support::format_seconds(7201.0), "2h 00m");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(uoi::support::format_count(139264), "139,264");
+  EXPECT_EQ(uoi::support::format_count(42), "42");
+  EXPECT_EQ(uoi::support::format_count(1000), "1,000");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  uoi::support::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("| name "), std::string::npos);
+  EXPECT_NE(text.find("| alpha "), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvQuotesCommas) {
+  uoi::support::Table t({"a"});
+  t.add_row({"x,y"});
+  EXPECT_NE(t.to_csv().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRow) {
+  uoi::support::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), uoi::support::InvalidArgument);
+}
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  try {
+    UOI_CHECK(1 == 2, "math is broken");
+    FAIL() << "expected a throw";
+  } catch (const uoi::support::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken"),
+              std::string::npos);
+  }
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  uoi::support::Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GT(watch.seconds(), 0.0);
+}
+
+TEST(Stopwatch, IntervalTimerAccumulates) {
+  uoi::support::IntervalTimer timer;
+  timer.start();
+  timer.stop();
+  timer.start();
+  timer.stop();
+  EXPECT_GE(timer.total_seconds(), 0.0);
+  timer.clear();
+  EXPECT_EQ(timer.total_seconds(), 0.0);
+}
+
+}  // namespace

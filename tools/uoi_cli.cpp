@@ -1,0 +1,332 @@
+// uoi — command-line front end to the library.
+//
+//   uoi lasso  --csv data.csv [options]   sparse regression (last column
+//                                         of the CSV is the response)
+//   uoi var    --csv series.csv [options] Granger network from a series
+//                                         (columns = variables)
+//   uoi order  --csv series.csv [--max-order D]
+//                                         VAR order selection (AIC/BIC/HQ)
+//   uoi demo                              synthetic end-to-end showcase
+//
+// Common options:
+//   --b1 N / --b2 N       selection / estimation bootstraps
+//   --lambdas Q           lambda grid size
+//   --seed S              master seed
+// var-specific:
+//   --order D             VAR order (default 1)
+//   --tolerance T         edge magnitude threshold (default 0.01)
+//   --dot FILE            write the Graphviz network
+//   --save-model FILE     write the fitted model (model_io format)
+//   --forecast H          print an H-step forecast
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/metrics.hpp"
+#include "core/uoi_lasso.hpp"
+#include "core/uoi_logistic.hpp"
+#include "solvers/logistic.hpp"
+#include "data/synthetic_regression.hpp"
+#include "data/synthetic_var.hpp"
+#include "io/csv.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+#include "var/granger.hpp"
+#include "var/granger_test.hpp"
+#include "var/model_io.hpp"
+#include "var/order_selection.hpp"
+#include "var/uoi_var.hpp"
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string csv_path;
+  std::string dot_path;
+  std::string json_path;
+  std::string model_path;
+  std::size_t b1 = 20;
+  std::size_t b2 = 10;
+  std::size_t n_lambdas = 16;
+  std::size_t order = 1;
+  std::size_t max_order = 4;
+  std::size_t forecast_horizon = 0;
+  double tolerance = 0.01;
+  std::uint64_t seed = 20200518;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s {lasso|logistic|var|granger|order|demo} [--csv FILE] [--b1 N] "
+               "[--b2 N] [--lambdas Q] [--order D] [--max-order D] "
+               "[--tolerance T] [--dot FILE] [--json FILE] [--save-model FILE] "
+               "[--forecast H] [--seed S]\n",
+               argv0);
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--csv") {
+      args.csv_path = value();
+    } else if (flag == "--b1") {
+      args.b1 = std::strtoul(value(), nullptr, 10);
+    } else if (flag == "--b2") {
+      args.b2 = std::strtoul(value(), nullptr, 10);
+    } else if (flag == "--lambdas") {
+      args.n_lambdas = std::strtoul(value(), nullptr, 10);
+    } else if (flag == "--order") {
+      args.order = std::strtoul(value(), nullptr, 10);
+    } else if (flag == "--max-order") {
+      args.max_order = std::strtoul(value(), nullptr, 10);
+    } else if (flag == "--forecast") {
+      args.forecast_horizon = std::strtoul(value(), nullptr, 10);
+    } else if (flag == "--tolerance") {
+      args.tolerance = std::strtod(value(), nullptr);
+    } else if (flag == "--dot") {
+      args.dot_path = value();
+    } else if (flag == "--json") {
+      args.json_path = value();
+    } else if (flag == "--save-model") {
+      args.model_path = value();
+    } else if (flag == "--seed") {
+      args.seed = std::strtoull(value(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      usage(argv[0]);
+    }
+  }
+  return args;
+}
+
+uoi::io::CsvData require_csv(const Args& args) {
+  if (args.csv_path.empty()) {
+    std::fprintf(stderr, "--csv FILE is required for this command\n");
+    std::exit(2);
+  }
+  return uoi::io::read_csv(args.csv_path);
+}
+
+int run_lasso(const Args& args) {
+  const auto csv = require_csv(args);
+  const auto& m = csv.values;
+  if (m.cols() < 2 || m.rows() < 4) {
+    std::fprintf(stderr, "need at least 2 columns and 4 rows\n");
+    return 2;
+  }
+  const std::size_t p = m.cols() - 1;
+  const auto x = uoi::linalg::Matrix::from_view(m).gather_cols([&] {
+    std::vector<std::size_t> cols(p);
+    for (std::size_t c = 0; c < p; ++c) cols[c] = c;
+    return cols;
+  }());
+  const auto y = uoi::linalg::Matrix::from_view(m).col(p);
+
+  uoi::core::UoiLassoOptions options;
+  options.n_selection_bootstraps = args.b1;
+  options.n_estimation_bootstraps = args.b2;
+  options.n_lambdas = args.n_lambdas;
+  options.fit_intercept = true;
+  options.seed = args.seed;
+  const auto fit = uoi::core::UoiLasso(options).fit(x, y);
+
+  std::printf("UoI_LASSO fit: %zu samples x %zu features\n", x.rows(), p);
+  std::printf("intercept: %.6g\nselected features (|beta| > %g):\n",
+              fit.intercept, args.tolerance);
+  for (std::size_t i = 0; i < p; ++i) {
+    if (std::abs(fit.beta[i]) > args.tolerance) {
+      const std::string label = i < csv.column_labels.size()
+                                    ? csv.column_labels[i]
+                                    : "x" + std::to_string(i);
+      std::printf("  %-16s %+.6g\n", label.c_str(), fit.beta[i]);
+    }
+  }
+  return 0;
+}
+
+int run_logistic(const Args& args) {
+  const auto csv = require_csv(args);
+  const auto& m = csv.values;
+  if (m.cols() < 2 || m.rows() < 8) {
+    std::fprintf(stderr, "need at least 2 columns and 8 rows\n");
+    return 2;
+  }
+  const std::size_t p = m.cols() - 1;
+  const auto x = uoi::linalg::Matrix::from_view(m).gather_cols([&] {
+    std::vector<std::size_t> cols(p);
+    for (std::size_t c = 0; c < p; ++c) cols[c] = c;
+    return cols;
+  }());
+  const auto y = uoi::linalg::Matrix::from_view(m).col(p);
+  for (const double v : y) {
+    if (v != 0.0 && v != 1.0) {
+      std::fprintf(stderr, "last column must hold 0/1 labels\n");
+      return 2;
+    }
+  }
+
+  uoi::core::UoiLogisticOptions options;
+  options.n_selection_bootstraps = args.b1;
+  options.n_estimation_bootstraps = args.b2;
+  options.n_lambdas = args.n_lambdas;
+  options.seed = args.seed;
+  const auto fit = uoi::core::UoiLogistic(options).fit(x, y);
+
+  std::printf("UoI_Logistic fit: %zu samples x %zu features\n", x.rows(), p);
+  std::printf("intercept: %.6g\ntraining accuracy: %.3f\n", fit.intercept,
+              uoi::solvers::logistic_accuracy(x, y, fit.beta, fit.intercept));
+  std::printf("selected features (|beta| > %g):\n", args.tolerance);
+  for (std::size_t i = 0; i < p; ++i) {
+    if (std::abs(fit.beta[i]) > args.tolerance) {
+      const std::string label = i < csv.column_labels.size()
+                                    ? csv.column_labels[i]
+                                    : "x" + std::to_string(i);
+      std::printf("  %-16s %+.6g\n", label.c_str(), fit.beta[i]);
+    }
+  }
+  return 0;
+}
+
+int run_var(const Args& args) {
+  const auto csv = require_csv(args);
+  if (csv.values.rows() < args.order + 4) {
+    std::fprintf(stderr, "series too short for order %zu\n", args.order);
+    return 2;
+  }
+  uoi::var::UoiVarOptions options;
+  options.order = args.order;
+  options.n_selection_bootstraps = args.b1;
+  options.n_estimation_bootstraps = args.b2;
+  options.n_lambdas = args.n_lambdas;
+  options.seed = args.seed;
+  const auto fit = uoi::var::UoiVar(options).fit(csv.values);
+
+  const auto network =
+      uoi::var::GrangerNetwork::from_model(fit.model, args.tolerance);
+  std::printf("UoI_VAR(%zu) fit: %zu samples x %zu variables\n", args.order,
+              csv.values.rows(), csv.values.cols());
+  std::printf("Granger network: %zu edges (density %.3f)\n",
+              network.edge_count(), network.density());
+  std::printf("%s", network.to_edge_list(csv.column_labels).c_str());
+
+  if (!args.dot_path.empty()) {
+    std::ofstream out(args.dot_path);
+    out << network.to_dot(csv.column_labels);
+    std::printf("wrote %s\n", args.dot_path.c_str());
+  }
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    out << network.to_json(csv.column_labels);
+    std::printf("wrote %s\n", args.json_path.c_str());
+  }
+  if (!args.model_path.empty()) {
+    uoi::var::save_model(args.model_path, fit.model);
+    std::printf("wrote %s\n", args.model_path.c_str());
+  }
+  if (args.forecast_horizon > 0) {
+    const auto fc =
+        uoi::var::forecast(fit.model, csv.values, args.forecast_horizon);
+    std::printf("forecast (%zu steps):\n%s",
+                args.forecast_horizon,
+                uoi::io::to_csv(fc, csv.column_labels).c_str());
+  }
+  return 0;
+}
+
+int run_granger(const Args& args) {
+  // Classical pairwise Granger F-tests (the econometric baseline).
+  const auto csv = require_csv(args);
+  const auto tests =
+      uoi::var::granger_f_tests(csv.values, args.order);
+  uoi::support::Table table({"source", "target", "F", "p-value", "signif."});
+  const double alpha = 0.05 / static_cast<double>(tests.size());
+  for (const auto& t : tests) {
+    const auto name = [&](std::size_t i) {
+      return i < csv.column_labels.size() ? csv.column_labels[i]
+                                          : "x" + std::to_string(i);
+    };
+    table.add_row({name(t.source), name(t.target),
+                   uoi::support::format_fixed(t.f_statistic, 3),
+                   uoi::support::format_sci(t.p_value, 2),
+                   t.p_value < alpha ? "*" : ""});
+  }
+  std::printf("%s", table.to_text().c_str());
+  std::printf("(* = significant at 5%% with Bonferroni over %zu tests)\n",
+              tests.size());
+  return 0;
+}
+
+int run_order(const Args& args) {
+  const auto csv = require_csv(args);
+  const auto result = uoi::var::select_var_order(csv.values, args.max_order);
+  uoi::support::Table table({"order", "AIC", "BIC", "Hannan-Quinn"});
+  for (std::size_t d = 1; d <= args.max_order; ++d) {
+    table.add_row({std::to_string(d),
+                   uoi::support::format_fixed(result.aic[d - 1], 4),
+                   uoi::support::format_fixed(result.bic[d - 1], 4),
+                   uoi::support::format_fixed(result.hannan_quinn[d - 1], 4)});
+  }
+  std::printf("%sbest order by BIC: %zu\n", table.to_text().c_str(),
+              result.best_order);
+  return 0;
+}
+
+int run_demo(const Args& args) {
+  std::printf("== synthetic UoI_VAR demo ==\n");
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 8;
+  spec.seed = args.seed;
+  const auto truth = uoi::data::make_sparse_var(spec);
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 500;
+  sim.seed = args.seed + 1;
+  const auto series = uoi::var::simulate(truth, sim);
+
+  uoi::var::UoiVarOptions options;
+  options.n_selection_bootstraps = args.b1;
+  options.n_estimation_bootstraps = args.b2;
+  options.n_lambdas = args.n_lambdas;
+  options.seed = args.seed;
+  const auto fit = uoi::var::UoiVar(options).fit(series);
+
+  const auto est = uoi::var::GrangerNetwork::from_model(fit.model, 0.02);
+  const auto ref = uoi::var::GrangerNetwork::from_model(truth, 1e-9);
+  std::printf("true edges: %zu, estimated edges: %zu\n", ref.edge_count(),
+              est.edge_count());
+  const auto acc = uoi::core::selection_accuracy(
+      uoi::core::SupportSet::from_beta(fit.vec_beta, 0.02),
+      uoi::core::SupportSet::from_beta(truth.vec_b(), 1e-9),
+      fit.vec_beta.size());
+  std::printf("recovery: precision %.2f recall %.2f F1 %.2f\n",
+              acc.precision(), acc.recall(), acc.f1());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.command == "lasso") return run_lasso(args);
+    if (args.command == "logistic") return run_logistic(args);
+    if (args.command == "var") return run_var(args);
+    if (args.command == "granger") return run_granger(args);
+    if (args.command == "order") return run_order(args);
+    if (args.command == "demo") return run_demo(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage(argv[0]);
+}
