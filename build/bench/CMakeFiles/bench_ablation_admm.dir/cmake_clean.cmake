@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_admm.dir/bench_ablation_admm.cpp.o"
+  "CMakeFiles/bench_ablation_admm.dir/bench_ablation_admm.cpp.o.d"
+  "bench_ablation_admm"
+  "bench_ablation_admm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_admm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

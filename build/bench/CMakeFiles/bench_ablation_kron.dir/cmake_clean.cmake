@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kron.dir/bench_ablation_kron.cpp.o"
+  "CMakeFiles/bench_ablation_kron.dir/bench_ablation_kron.cpp.o.d"
+  "bench_ablation_kron"
+  "bench_ablation_kron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_lasso_singlenode.dir/bench_fig2_lasso_singlenode.cpp.o"
+  "CMakeFiles/bench_fig2_lasso_singlenode.dir/bench_fig2_lasso_singlenode.cpp.o.d"
+  "bench_fig2_lasso_singlenode"
+  "bench_fig2_lasso_singlenode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_lasso_singlenode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

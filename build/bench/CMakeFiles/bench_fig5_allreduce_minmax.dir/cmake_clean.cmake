@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_allreduce_minmax.dir/bench_fig5_allreduce_minmax.cpp.o"
+  "CMakeFiles/bench_fig5_allreduce_minmax.dir/bench_fig5_allreduce_minmax.cpp.o.d"
+  "bench_fig5_allreduce_minmax"
+  "bench_fig5_allreduce_minmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_allreduce_minmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

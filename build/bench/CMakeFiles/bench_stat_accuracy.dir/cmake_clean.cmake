@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stat_accuracy.dir/bench_stat_accuracy.cpp.o"
+  "CMakeFiles/bench_stat_accuracy.dir/bench_stat_accuracy.cpp.o.d"
+  "bench_stat_accuracy"
+  "bench_stat_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stat_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

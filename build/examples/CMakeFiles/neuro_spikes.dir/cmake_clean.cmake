@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuro_spikes.dir/neuro_spikes.cpp.o"
+  "CMakeFiles/neuro_spikes.dir/neuro_spikes.cpp.o.d"
+  "neuro_spikes"
+  "neuro_spikes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuro_spikes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_network.dir/stock_network.cpp.o"
+  "CMakeFiles/stock_network.dir/stock_network.cpp.o.d"
+  "stock_network"
+  "stock_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

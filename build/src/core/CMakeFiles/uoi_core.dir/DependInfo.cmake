@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/uoi_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/uoi_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/uoi_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/uoi_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/predict.cpp" "src/core/CMakeFiles/uoi_core.dir/predict.cpp.o" "gcc" "src/core/CMakeFiles/uoi_core.dir/predict.cpp.o.d"
+  "/root/repo/src/core/standardize.cpp" "src/core/CMakeFiles/uoi_core.dir/standardize.cpp.o" "gcc" "src/core/CMakeFiles/uoi_core.dir/standardize.cpp.o.d"
+  "/root/repo/src/core/support_set.cpp" "src/core/CMakeFiles/uoi_core.dir/support_set.cpp.o" "gcc" "src/core/CMakeFiles/uoi_core.dir/support_set.cpp.o.d"
+  "/root/repo/src/core/uoi_elastic_net.cpp" "src/core/CMakeFiles/uoi_core.dir/uoi_elastic_net.cpp.o" "gcc" "src/core/CMakeFiles/uoi_core.dir/uoi_elastic_net.cpp.o.d"
+  "/root/repo/src/core/uoi_elastic_net_distributed.cpp" "src/core/CMakeFiles/uoi_core.dir/uoi_elastic_net_distributed.cpp.o" "gcc" "src/core/CMakeFiles/uoi_core.dir/uoi_elastic_net_distributed.cpp.o.d"
+  "/root/repo/src/core/uoi_lasso.cpp" "src/core/CMakeFiles/uoi_core.dir/uoi_lasso.cpp.o" "gcc" "src/core/CMakeFiles/uoi_core.dir/uoi_lasso.cpp.o.d"
+  "/root/repo/src/core/uoi_lasso_distributed.cpp" "src/core/CMakeFiles/uoi_core.dir/uoi_lasso_distributed.cpp.o" "gcc" "src/core/CMakeFiles/uoi_core.dir/uoi_lasso_distributed.cpp.o.d"
+  "/root/repo/src/core/uoi_logistic.cpp" "src/core/CMakeFiles/uoi_core.dir/uoi_logistic.cpp.o" "gcc" "src/core/CMakeFiles/uoi_core.dir/uoi_logistic.cpp.o.d"
+  "/root/repo/src/core/uoi_logistic_distributed.cpp" "src/core/CMakeFiles/uoi_core.dir/uoi_logistic_distributed.cpp.o" "gcc" "src/core/CMakeFiles/uoi_core.dir/uoi_logistic_distributed.cpp.o.d"
+  "/root/repo/src/core/uoi_poisson.cpp" "src/core/CMakeFiles/uoi_core.dir/uoi_poisson.cpp.o" "gcc" "src/core/CMakeFiles/uoi_core.dir/uoi_poisson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solvers/CMakeFiles/uoi_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/uoi_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uoi_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/uoi_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

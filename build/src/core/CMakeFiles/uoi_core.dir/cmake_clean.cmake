@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uoi_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/uoi_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/uoi_core.dir/metrics.cpp.o"
+  "CMakeFiles/uoi_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/uoi_core.dir/predict.cpp.o"
+  "CMakeFiles/uoi_core.dir/predict.cpp.o.d"
+  "CMakeFiles/uoi_core.dir/standardize.cpp.o"
+  "CMakeFiles/uoi_core.dir/standardize.cpp.o.d"
+  "CMakeFiles/uoi_core.dir/support_set.cpp.o"
+  "CMakeFiles/uoi_core.dir/support_set.cpp.o.d"
+  "CMakeFiles/uoi_core.dir/uoi_elastic_net.cpp.o"
+  "CMakeFiles/uoi_core.dir/uoi_elastic_net.cpp.o.d"
+  "CMakeFiles/uoi_core.dir/uoi_elastic_net_distributed.cpp.o"
+  "CMakeFiles/uoi_core.dir/uoi_elastic_net_distributed.cpp.o.d"
+  "CMakeFiles/uoi_core.dir/uoi_lasso.cpp.o"
+  "CMakeFiles/uoi_core.dir/uoi_lasso.cpp.o.d"
+  "CMakeFiles/uoi_core.dir/uoi_lasso_distributed.cpp.o"
+  "CMakeFiles/uoi_core.dir/uoi_lasso_distributed.cpp.o.d"
+  "CMakeFiles/uoi_core.dir/uoi_logistic.cpp.o"
+  "CMakeFiles/uoi_core.dir/uoi_logistic.cpp.o.d"
+  "CMakeFiles/uoi_core.dir/uoi_logistic_distributed.cpp.o"
+  "CMakeFiles/uoi_core.dir/uoi_logistic_distributed.cpp.o.d"
+  "CMakeFiles/uoi_core.dir/uoi_poisson.cpp.o"
+  "CMakeFiles/uoi_core.dir/uoi_poisson.cpp.o.d"
+  "libuoi_core.a"
+  "libuoi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uoi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

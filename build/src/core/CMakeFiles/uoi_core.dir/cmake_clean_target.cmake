@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuoi_core.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uoi_data.dir/equity.cpp.o"
+  "CMakeFiles/uoi_data.dir/equity.cpp.o.d"
+  "CMakeFiles/uoi_data.dir/spikes.cpp.o"
+  "CMakeFiles/uoi_data.dir/spikes.cpp.o.d"
+  "CMakeFiles/uoi_data.dir/synthetic_regression.cpp.o"
+  "CMakeFiles/uoi_data.dir/synthetic_regression.cpp.o.d"
+  "CMakeFiles/uoi_data.dir/synthetic_var.cpp.o"
+  "CMakeFiles/uoi_data.dir/synthetic_var.cpp.o.d"
+  "libuoi_data.a"
+  "libuoi_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uoi_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/uoi_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/uoi_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/distribution.cpp" "src/io/CMakeFiles/uoi_io.dir/distribution.cpp.o" "gcc" "src/io/CMakeFiles/uoi_io.dir/distribution.cpp.o.d"
+  "/root/repo/src/io/h5lite.cpp" "src/io/CMakeFiles/uoi_io.dir/h5lite.cpp.o" "gcc" "src/io/CMakeFiles/uoi_io.dir/h5lite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/uoi_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/uoi_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uoi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uoi_io.dir/csv.cpp.o"
+  "CMakeFiles/uoi_io.dir/csv.cpp.o.d"
+  "CMakeFiles/uoi_io.dir/distribution.cpp.o"
+  "CMakeFiles/uoi_io.dir/distribution.cpp.o.d"
+  "CMakeFiles/uoi_io.dir/h5lite.cpp.o"
+  "CMakeFiles/uoi_io.dir/h5lite.cpp.o.d"
+  "libuoi_io.a"
+  "libuoi_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uoi_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuoi_io.a"
+)

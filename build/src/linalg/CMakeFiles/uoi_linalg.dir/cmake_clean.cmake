@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uoi_linalg.dir/blas.cpp.o"
+  "CMakeFiles/uoi_linalg.dir/blas.cpp.o.d"
+  "CMakeFiles/uoi_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/uoi_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/uoi_linalg.dir/kron.cpp.o"
+  "CMakeFiles/uoi_linalg.dir/kron.cpp.o.d"
+  "CMakeFiles/uoi_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/uoi_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/uoi_linalg.dir/qr.cpp.o"
+  "CMakeFiles/uoi_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/uoi_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/uoi_linalg.dir/sparse.cpp.o.d"
+  "libuoi_linalg.a"
+  "libuoi_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uoi_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/collectives.cpp" "src/perfmodel/CMakeFiles/uoi_perfmodel.dir/collectives.cpp.o" "gcc" "src/perfmodel/CMakeFiles/uoi_perfmodel.dir/collectives.cpp.o.d"
+  "/root/repo/src/perfmodel/emulation.cpp" "src/perfmodel/CMakeFiles/uoi_perfmodel.dir/emulation.cpp.o" "gcc" "src/perfmodel/CMakeFiles/uoi_perfmodel.dir/emulation.cpp.o.d"
+  "/root/repo/src/perfmodel/io_model.cpp" "src/perfmodel/CMakeFiles/uoi_perfmodel.dir/io_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/uoi_perfmodel.dir/io_model.cpp.o.d"
+  "/root/repo/src/perfmodel/kernels.cpp" "src/perfmodel/CMakeFiles/uoi_perfmodel.dir/kernels.cpp.o" "gcc" "src/perfmodel/CMakeFiles/uoi_perfmodel.dir/kernels.cpp.o.d"
+  "/root/repo/src/perfmodel/lasso_cost.cpp" "src/perfmodel/CMakeFiles/uoi_perfmodel.dir/lasso_cost.cpp.o" "gcc" "src/perfmodel/CMakeFiles/uoi_perfmodel.dir/lasso_cost.cpp.o.d"
+  "/root/repo/src/perfmodel/machine.cpp" "src/perfmodel/CMakeFiles/uoi_perfmodel.dir/machine.cpp.o" "gcc" "src/perfmodel/CMakeFiles/uoi_perfmodel.dir/machine.cpp.o.d"
+  "/root/repo/src/perfmodel/roofline.cpp" "src/perfmodel/CMakeFiles/uoi_perfmodel.dir/roofline.cpp.o" "gcc" "src/perfmodel/CMakeFiles/uoi_perfmodel.dir/roofline.cpp.o.d"
+  "/root/repo/src/perfmodel/var_cost.cpp" "src/perfmodel/CMakeFiles/uoi_perfmodel.dir/var_cost.cpp.o" "gcc" "src/perfmodel/CMakeFiles/uoi_perfmodel.dir/var_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcluster/CMakeFiles/uoi_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uoi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

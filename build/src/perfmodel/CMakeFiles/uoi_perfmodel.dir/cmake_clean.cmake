@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uoi_perfmodel.dir/collectives.cpp.o"
+  "CMakeFiles/uoi_perfmodel.dir/collectives.cpp.o.d"
+  "CMakeFiles/uoi_perfmodel.dir/emulation.cpp.o"
+  "CMakeFiles/uoi_perfmodel.dir/emulation.cpp.o.d"
+  "CMakeFiles/uoi_perfmodel.dir/io_model.cpp.o"
+  "CMakeFiles/uoi_perfmodel.dir/io_model.cpp.o.d"
+  "CMakeFiles/uoi_perfmodel.dir/kernels.cpp.o"
+  "CMakeFiles/uoi_perfmodel.dir/kernels.cpp.o.d"
+  "CMakeFiles/uoi_perfmodel.dir/lasso_cost.cpp.o"
+  "CMakeFiles/uoi_perfmodel.dir/lasso_cost.cpp.o.d"
+  "CMakeFiles/uoi_perfmodel.dir/machine.cpp.o"
+  "CMakeFiles/uoi_perfmodel.dir/machine.cpp.o.d"
+  "CMakeFiles/uoi_perfmodel.dir/roofline.cpp.o"
+  "CMakeFiles/uoi_perfmodel.dir/roofline.cpp.o.d"
+  "CMakeFiles/uoi_perfmodel.dir/var_cost.cpp.o"
+  "CMakeFiles/uoi_perfmodel.dir/var_cost.cpp.o.d"
+  "libuoi_perfmodel.a"
+  "libuoi_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uoi_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

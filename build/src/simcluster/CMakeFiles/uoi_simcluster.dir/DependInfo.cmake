@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcluster/cluster.cpp" "src/simcluster/CMakeFiles/uoi_simcluster.dir/cluster.cpp.o" "gcc" "src/simcluster/CMakeFiles/uoi_simcluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/simcluster/comm.cpp" "src/simcluster/CMakeFiles/uoi_simcluster.dir/comm.cpp.o" "gcc" "src/simcluster/CMakeFiles/uoi_simcluster.dir/comm.cpp.o.d"
+  "/root/repo/src/simcluster/nonblocking.cpp" "src/simcluster/CMakeFiles/uoi_simcluster.dir/nonblocking.cpp.o" "gcc" "src/simcluster/CMakeFiles/uoi_simcluster.dir/nonblocking.cpp.o.d"
+  "/root/repo/src/simcluster/window.cpp" "src/simcluster/CMakeFiles/uoi_simcluster.dir/window.cpp.o" "gcc" "src/simcluster/CMakeFiles/uoi_simcluster.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/uoi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uoi_simcluster.dir/cluster.cpp.o"
+  "CMakeFiles/uoi_simcluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/uoi_simcluster.dir/comm.cpp.o"
+  "CMakeFiles/uoi_simcluster.dir/comm.cpp.o.d"
+  "CMakeFiles/uoi_simcluster.dir/nonblocking.cpp.o"
+  "CMakeFiles/uoi_simcluster.dir/nonblocking.cpp.o.d"
+  "CMakeFiles/uoi_simcluster.dir/window.cpp.o"
+  "CMakeFiles/uoi_simcluster.dir/window.cpp.o.d"
+  "libuoi_simcluster.a"
+  "libuoi_simcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uoi_simcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solvers/admm_lasso.cpp" "src/solvers/CMakeFiles/uoi_solvers.dir/admm_lasso.cpp.o" "gcc" "src/solvers/CMakeFiles/uoi_solvers.dir/admm_lasso.cpp.o.d"
+  "/root/repo/src/solvers/admm_lasso_sparse.cpp" "src/solvers/CMakeFiles/uoi_solvers.dir/admm_lasso_sparse.cpp.o" "gcc" "src/solvers/CMakeFiles/uoi_solvers.dir/admm_lasso_sparse.cpp.o.d"
+  "/root/repo/src/solvers/cd_lasso.cpp" "src/solvers/CMakeFiles/uoi_solvers.dir/cd_lasso.cpp.o" "gcc" "src/solvers/CMakeFiles/uoi_solvers.dir/cd_lasso.cpp.o.d"
+  "/root/repo/src/solvers/distributed_admm.cpp" "src/solvers/CMakeFiles/uoi_solvers.dir/distributed_admm.cpp.o" "gcc" "src/solvers/CMakeFiles/uoi_solvers.dir/distributed_admm.cpp.o.d"
+  "/root/repo/src/solvers/distributed_logistic.cpp" "src/solvers/CMakeFiles/uoi_solvers.dir/distributed_logistic.cpp.o" "gcc" "src/solvers/CMakeFiles/uoi_solvers.dir/distributed_logistic.cpp.o.d"
+  "/root/repo/src/solvers/lambda_grid.cpp" "src/solvers/CMakeFiles/uoi_solvers.dir/lambda_grid.cpp.o" "gcc" "src/solvers/CMakeFiles/uoi_solvers.dir/lambda_grid.cpp.o.d"
+  "/root/repo/src/solvers/logistic.cpp" "src/solvers/CMakeFiles/uoi_solvers.dir/logistic.cpp.o" "gcc" "src/solvers/CMakeFiles/uoi_solvers.dir/logistic.cpp.o.d"
+  "/root/repo/src/solvers/ols.cpp" "src/solvers/CMakeFiles/uoi_solvers.dir/ols.cpp.o" "gcc" "src/solvers/CMakeFiles/uoi_solvers.dir/ols.cpp.o.d"
+  "/root/repo/src/solvers/poisson.cpp" "src/solvers/CMakeFiles/uoi_solvers.dir/poisson.cpp.o" "gcc" "src/solvers/CMakeFiles/uoi_solvers.dir/poisson.cpp.o.d"
+  "/root/repo/src/solvers/ridge.cpp" "src/solvers/CMakeFiles/uoi_solvers.dir/ridge.cpp.o" "gcc" "src/solvers/CMakeFiles/uoi_solvers.dir/ridge.cpp.o.d"
+  "/root/repo/src/solvers/ridge_system.cpp" "src/solvers/CMakeFiles/uoi_solvers.dir/ridge_system.cpp.o" "gcc" "src/solvers/CMakeFiles/uoi_solvers.dir/ridge_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/uoi_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/uoi_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uoi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uoi_solvers.dir/admm_lasso.cpp.o"
+  "CMakeFiles/uoi_solvers.dir/admm_lasso.cpp.o.d"
+  "CMakeFiles/uoi_solvers.dir/admm_lasso_sparse.cpp.o"
+  "CMakeFiles/uoi_solvers.dir/admm_lasso_sparse.cpp.o.d"
+  "CMakeFiles/uoi_solvers.dir/cd_lasso.cpp.o"
+  "CMakeFiles/uoi_solvers.dir/cd_lasso.cpp.o.d"
+  "CMakeFiles/uoi_solvers.dir/distributed_admm.cpp.o"
+  "CMakeFiles/uoi_solvers.dir/distributed_admm.cpp.o.d"
+  "CMakeFiles/uoi_solvers.dir/distributed_logistic.cpp.o"
+  "CMakeFiles/uoi_solvers.dir/distributed_logistic.cpp.o.d"
+  "CMakeFiles/uoi_solvers.dir/lambda_grid.cpp.o"
+  "CMakeFiles/uoi_solvers.dir/lambda_grid.cpp.o.d"
+  "CMakeFiles/uoi_solvers.dir/logistic.cpp.o"
+  "CMakeFiles/uoi_solvers.dir/logistic.cpp.o.d"
+  "CMakeFiles/uoi_solvers.dir/ols.cpp.o"
+  "CMakeFiles/uoi_solvers.dir/ols.cpp.o.d"
+  "CMakeFiles/uoi_solvers.dir/poisson.cpp.o"
+  "CMakeFiles/uoi_solvers.dir/poisson.cpp.o.d"
+  "CMakeFiles/uoi_solvers.dir/ridge.cpp.o"
+  "CMakeFiles/uoi_solvers.dir/ridge.cpp.o.d"
+  "CMakeFiles/uoi_solvers.dir/ridge_system.cpp.o"
+  "CMakeFiles/uoi_solvers.dir/ridge_system.cpp.o.d"
+  "libuoi_solvers.a"
+  "libuoi_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uoi_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

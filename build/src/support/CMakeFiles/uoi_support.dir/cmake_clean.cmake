@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uoi_support.dir/error.cpp.o"
+  "CMakeFiles/uoi_support.dir/error.cpp.o.d"
+  "CMakeFiles/uoi_support.dir/format.cpp.o"
+  "CMakeFiles/uoi_support.dir/format.cpp.o.d"
+  "CMakeFiles/uoi_support.dir/logging.cpp.o"
+  "CMakeFiles/uoi_support.dir/logging.cpp.o.d"
+  "CMakeFiles/uoi_support.dir/rng.cpp.o"
+  "CMakeFiles/uoi_support.dir/rng.cpp.o.d"
+  "CMakeFiles/uoi_support.dir/table.cpp.o"
+  "CMakeFiles/uoi_support.dir/table.cpp.o.d"
+  "libuoi_support.a"
+  "libuoi_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uoi_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/var/analysis.cpp" "src/var/CMakeFiles/uoi_var.dir/analysis.cpp.o" "gcc" "src/var/CMakeFiles/uoi_var.dir/analysis.cpp.o.d"
+  "/root/repo/src/var/backtest.cpp" "src/var/CMakeFiles/uoi_var.dir/backtest.cpp.o" "gcc" "src/var/CMakeFiles/uoi_var.dir/backtest.cpp.o.d"
+  "/root/repo/src/var/block_bootstrap.cpp" "src/var/CMakeFiles/uoi_var.dir/block_bootstrap.cpp.o" "gcc" "src/var/CMakeFiles/uoi_var.dir/block_bootstrap.cpp.o.d"
+  "/root/repo/src/var/diagnostics.cpp" "src/var/CMakeFiles/uoi_var.dir/diagnostics.cpp.o" "gcc" "src/var/CMakeFiles/uoi_var.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/var/granger.cpp" "src/var/CMakeFiles/uoi_var.dir/granger.cpp.o" "gcc" "src/var/CMakeFiles/uoi_var.dir/granger.cpp.o.d"
+  "/root/repo/src/var/granger_test.cpp" "src/var/CMakeFiles/uoi_var.dir/granger_test.cpp.o" "gcc" "src/var/CMakeFiles/uoi_var.dir/granger_test.cpp.o.d"
+  "/root/repo/src/var/lag_matrix.cpp" "src/var/CMakeFiles/uoi_var.dir/lag_matrix.cpp.o" "gcc" "src/var/CMakeFiles/uoi_var.dir/lag_matrix.cpp.o.d"
+  "/root/repo/src/var/model_io.cpp" "src/var/CMakeFiles/uoi_var.dir/model_io.cpp.o" "gcc" "src/var/CMakeFiles/uoi_var.dir/model_io.cpp.o.d"
+  "/root/repo/src/var/order_selection.cpp" "src/var/CMakeFiles/uoi_var.dir/order_selection.cpp.o" "gcc" "src/var/CMakeFiles/uoi_var.dir/order_selection.cpp.o.d"
+  "/root/repo/src/var/uoi_var.cpp" "src/var/CMakeFiles/uoi_var.dir/uoi_var.cpp.o" "gcc" "src/var/CMakeFiles/uoi_var.dir/uoi_var.cpp.o.d"
+  "/root/repo/src/var/var_distributed.cpp" "src/var/CMakeFiles/uoi_var.dir/var_distributed.cpp.o" "gcc" "src/var/CMakeFiles/uoi_var.dir/var_distributed.cpp.o.d"
+  "/root/repo/src/var/var_model.cpp" "src/var/CMakeFiles/uoi_var.dir/var_model.cpp.o" "gcc" "src/var/CMakeFiles/uoi_var.dir/var_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uoi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/uoi_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/uoi_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/uoi_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uoi_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/uoi_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uoi_var.dir/analysis.cpp.o"
+  "CMakeFiles/uoi_var.dir/analysis.cpp.o.d"
+  "CMakeFiles/uoi_var.dir/backtest.cpp.o"
+  "CMakeFiles/uoi_var.dir/backtest.cpp.o.d"
+  "CMakeFiles/uoi_var.dir/block_bootstrap.cpp.o"
+  "CMakeFiles/uoi_var.dir/block_bootstrap.cpp.o.d"
+  "CMakeFiles/uoi_var.dir/diagnostics.cpp.o"
+  "CMakeFiles/uoi_var.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/uoi_var.dir/granger.cpp.o"
+  "CMakeFiles/uoi_var.dir/granger.cpp.o.d"
+  "CMakeFiles/uoi_var.dir/granger_test.cpp.o"
+  "CMakeFiles/uoi_var.dir/granger_test.cpp.o.d"
+  "CMakeFiles/uoi_var.dir/lag_matrix.cpp.o"
+  "CMakeFiles/uoi_var.dir/lag_matrix.cpp.o.d"
+  "CMakeFiles/uoi_var.dir/model_io.cpp.o"
+  "CMakeFiles/uoi_var.dir/model_io.cpp.o.d"
+  "CMakeFiles/uoi_var.dir/order_selection.cpp.o"
+  "CMakeFiles/uoi_var.dir/order_selection.cpp.o.d"
+  "CMakeFiles/uoi_var.dir/uoi_var.cpp.o"
+  "CMakeFiles/uoi_var.dir/uoi_var.cpp.o.d"
+  "CMakeFiles/uoi_var.dir/var_distributed.cpp.o"
+  "CMakeFiles/uoi_var.dir/var_distributed.cpp.o.d"
+  "CMakeFiles/uoi_var.dir/var_model.cpp.o"
+  "CMakeFiles/uoi_var.dir/var_model.cpp.o.d"
+  "libuoi_var.a"
+  "libuoi_var.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uoi_var.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

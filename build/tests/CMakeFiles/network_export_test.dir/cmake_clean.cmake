@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_export_test.dir/network_export_test.cpp.o"
+  "CMakeFiles/network_export_test.dir/network_export_test.cpp.o.d"
+  "network_export_test"
+  "network_export_test.pdb"
+  "network_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

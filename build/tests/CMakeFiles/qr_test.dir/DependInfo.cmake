@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/qr_test.cpp" "tests/CMakeFiles/qr_test.dir/qr_test.cpp.o" "gcc" "tests/CMakeFiles/qr_test.dir/qr_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/uoi_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/var/CMakeFiles/uoi_var.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/uoi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/uoi_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/uoi_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/uoi_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/uoi_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/uoi_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uoi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

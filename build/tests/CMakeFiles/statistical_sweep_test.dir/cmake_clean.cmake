@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statistical_sweep_test.dir/statistical_sweep_test.cpp.o"
+  "CMakeFiles/statistical_sweep_test.dir/statistical_sweep_test.cpp.o.d"
+  "statistical_sweep_test"
+  "statistical_sweep_test.pdb"
+  "statistical_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statistical_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/var_test.dir/var_test.cpp.o"
+  "CMakeFiles/var_test.dir/var_test.cpp.o.d"
+  "var_test"
+  "var_test.pdb"
+  "var_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/var_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

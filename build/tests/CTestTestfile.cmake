@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/simcluster_test[1]_include.cmake")
+include("/root/repo/build/tests/solvers_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/var_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/perfmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/qr_test[1]_include.cmake")
+include("/root/repo/build/tests/forecast_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/p2p_test[1]_include.cmake")
+include("/root/repo/build/tests/serialization_test[1]_include.cmake")
+include("/root/repo/build/tests/elastic_net_test[1]_include.cmake")
+include("/root/repo/build/tests/nonblocking_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/logistic_test[1]_include.cmake")
+include("/root/repo/build/tests/standardize_test[1]_include.cmake")
+include("/root/repo/build/tests/backtest_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/network_export_test[1]_include.cmake")
+include("/root/repo/build/tests/statistical_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/poisson_test[1]_include.cmake")

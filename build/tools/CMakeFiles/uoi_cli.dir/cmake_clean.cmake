@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uoi_cli.dir/uoi_cli.cpp.o"
+  "CMakeFiles/uoi_cli.dir/uoi_cli.cpp.o.d"
+  "uoi"
+  "uoi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uoi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
