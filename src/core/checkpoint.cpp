@@ -6,6 +6,11 @@
 #include <fstream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "support/error.hpp"
 
 namespace uoi::core {
@@ -33,6 +38,27 @@ FingerprintBuilder& FingerprintBuilder::add(double value) {
   return add(bits);
 }
 
+std::size_t SelectionCheckpoint::completed_prefix() const {
+  if (done.rows() == 0) return completed_bootstraps;
+  for (std::size_t k = 0; k < done.rows(); ++k) {
+    for (std::size_t j = 0; j < done.cols(); ++j) {
+      if (done(k, j) == 0.0) return k;
+    }
+  }
+  return done.rows();
+}
+
+bool SelectionCheckpoint::is_prefix_consistent() const {
+  if (done.rows() == 0) return true;
+  for (std::size_t k = 0; k < done.rows(); ++k) {
+    for (std::size_t j = 0; j < done.cols(); ++j) {
+      const bool expected = k < completed_bootstraps;
+      if ((done(k, j) != 0.0) != expected) return false;
+    }
+  }
+  return true;
+}
+
 std::string SelectionCheckpoint::to_text() const {
   std::ostringstream out;
   out.precision(17);
@@ -50,6 +76,16 @@ std::string SelectionCheckpoint::to_text() const {
       out << row[i];
     }
     out << "\n";
+  }
+  if (done.rows() > 0) {
+    out << "done " << done.rows() << "\n";
+    for (std::size_t k = 0; k < done.rows(); ++k) {
+      for (std::size_t j = 0; j < done.cols(); ++j) {
+        if (j != 0) out << " ";
+        out << (done(k, j) != 0.0 ? 1 : 0);
+      }
+      out << "\n";
+    }
   }
   return out.str();
 }
@@ -79,17 +115,62 @@ SelectionCheckpoint SelectionCheckpoint::from_text(const std::string& text) {
     for (std::size_t i = 0; i < p; ++i) in >> out.counts(j, i);
   }
   if (!in) malformed("truncated payload");
+  // Optional trailing cell-completion section (absent in v1 files).
+  if (in >> keyword) {
+    if (keyword != "done") malformed("unexpected trailing section");
+    std::size_t b1 = 0;
+    in >> b1;
+    if (!in) malformed("done header");
+    out.done.resize(b1, q);
+    for (std::size_t k = 0; k < b1; ++k) {
+      for (std::size_t j = 0; j < q; ++j) in >> out.done(k, j);
+    }
+    if (!in) malformed("truncated done section");
+  }
   return out;
 }
 
 void save_checkpoint(const std::string& path,
                      const SelectionCheckpoint& checkpoint) {
   const std::string temp = path + ".tmp";
+  const std::string text = checkpoint.to_text();
+#if defined(__unix__) || defined(__APPLE__)
+  // Write + flush + fsync the temp file so its bytes are on stable
+  // storage before the rename makes them visible under `path`.
   {
-    std::ofstream f(temp, std::ios::trunc);
+    std::FILE* f = std::fopen(temp.c_str(), "wb");
+    if (f == nullptr) {
+      throw uoi::support::IoError("cannot open for writing: " + temp);
+    }
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    const bool synced = ::fsync(::fileno(f)) == 0;
+    const bool closed = std::fclose(f) == 0;
+    if (written != text.size() || !flushed || !synced || !closed) {
+      std::remove(temp.c_str());
+      throw uoi::support::IoError("short or unsynced write to " + temp);
+    }
+  }
+#else
+  {
+    std::ofstream f(temp, std::ios::trunc | std::ios::binary);
     if (!f) throw uoi::support::IoError("cannot open for writing: " + temp);
-    f << checkpoint.to_text();
+    f << text;
+    f.flush();
     if (!f) throw uoi::support::IoError("short write to " + temp);
+  }
+#endif
+  // Verify the bytes that actually landed before clobbering a good
+  // checkpoint: a truncated or corrupted temp must never win the rename.
+  {
+    std::ifstream f(temp, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << f.rdbuf();
+    if (!f || buffer.str() != text) {
+      std::remove(temp.c_str());
+      throw uoi::support::IoError("checkpoint verification failed for " +
+                                  temp);
+    }
   }
   std::error_code ec;
   std::filesystem::rename(temp, path, ec);
@@ -97,6 +178,16 @@ void save_checkpoint(const std::string& path,
     throw uoi::support::IoError("cannot rename checkpoint into place: " +
                                 ec.message());
   }
+#if defined(__unix__) || defined(__APPLE__)
+  // Best effort: persist the rename itself by syncing the directory.
+  const auto parent = std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+#endif
 }
 
 std::optional<SelectionCheckpoint> try_load_checkpoint(

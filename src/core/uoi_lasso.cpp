@@ -202,7 +202,8 @@ UoiLassoResult UoiLasso::fit_impl(ConstMatrixView x_view,
       if (restored->lambdas == result.lambdas &&
           restored->counts.rows() == q && restored->counts.cols() == p &&
           restored->completed_bootstraps <=
-              options_.n_selection_bootstraps) {
+              options_.n_selection_bootstraps &&
+          restored->is_prefix_consistent()) {
         counts = std::move(restored->counts);
         k_begin = restored->completed_bootstraps;
       }

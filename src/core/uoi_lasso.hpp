@@ -14,10 +14,12 @@
 // (uoi_lasso_distributed.hpp) must agree with.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/support_set.hpp"
 #include "linalg/matrix.hpp"
+#include "simcluster/fault.hpp"
 #include "solvers/admm_lasso.hpp"
 
 namespace uoi::core {
@@ -42,6 +44,36 @@ enum class EstimationCriterion {
 [[nodiscard]] double estimation_score(EstimationCriterion criterion,
                                       double mse, double n_eval,
                                       std::size_t support_size);
+
+/// Fault-tolerance knobs shared by the distributed drivers. Defaults are
+/// conservative: no checkpointing, one shrink-and-resume attempt, and a
+/// small bounded retry budget for transient one-sided failures.
+struct UoiRecoveryOptions {
+  /// How many times a driver may shrink the communicator and resume after
+  /// a rank failure before giving up and rethrowing RankFailedError.
+  int max_recovery_attempts = 1;
+  /// Retry budget for transient one-sided (window) failures; forwarded to
+  /// uoi::sim::retry_onesided around Tier-2 distribution and Kronecker
+  /// assembly traffic.
+  int onesided_max_attempts = 4;
+  double onesided_base_backoff_seconds = 50e-6;
+  double onesided_backoff_multiplier = 2.0;
+  double onesided_backoff_budget_seconds = 0.25;
+  /// When non-empty, selection progress is persisted here (atomic, fsync'd
+  /// rewrite) every `checkpoint_interval` bootstraps and on recovery, and a
+  /// compatible checkpoint is resumed from at startup.
+  std::string checkpoint_path;
+  std::size_t checkpoint_interval = 1;
+
+  [[nodiscard]] uoi::sim::RetryOptions retry_options() const {
+    uoi::sim::RetryOptions retry;
+    retry.max_attempts = onesided_max_attempts;
+    retry.base_backoff_seconds = onesided_base_backoff_seconds;
+    retry.backoff_multiplier = onesided_backoff_multiplier;
+    retry.backoff_budget_seconds = onesided_backoff_budget_seconds;
+    return retry;
+  }
+};
 
 struct UoiLassoOptions {
   std::size_t n_selection_bootstraps = 20;   ///< B1
@@ -70,6 +102,9 @@ struct UoiLassoOptions {
   EstimationCriterion criterion = EstimationCriterion::kMse;
   std::uint64_t seed = 20200518;  ///< master seed for all resampling
   uoi::solvers::AdmmOptions admm;
+  /// Fault tolerance (used by the distributed drivers; the serial driver
+  /// honors only `checkpoint_path` semantics via fit_with_checkpoint).
+  UoiRecoveryOptions recovery;
 };
 
 struct UoiLassoResult {

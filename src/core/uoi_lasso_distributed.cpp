@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
 
-#include "solvers/distributed_admm.hpp"
-#include "solvers/ols.hpp"
-#include "support/error.hpp"
+#include "core/checkpoint.hpp"
 #include "core/distributed_common.hpp"
+#include "solvers/distributed_admm.hpp"
+#include "support/error.hpp"
 #include "support/stopwatch.hpp"
 
 namespace uoi::core {
@@ -16,13 +19,16 @@ using uoi::linalg::ConstMatrixView;
 using uoi::linalg::Matrix;
 using uoi::linalg::Vector;
 using uoi::sim::Comm;
+using uoi::sim::CommStats;
+using uoi::sim::RecoveryStats;
 using uoi::sim::ReduceOp;
 
 namespace {
 
 using detail::block_slice;
 using detail::gather_local_block;
-
+using detail::make_task_layout;
+using detail::TaskLayout;
 
 /// Distributed evaluation over a task group: each rank scores its own
 /// evaluation rows, (sq_err, count) is sum-reduced, and the MSE plus the
@@ -47,6 +53,16 @@ DistributedEvaluation distributed_mse(Comm& task_comm,
   return {acc[1] > 0.0 ? acc[0] / acc[1] : 0.0, acc[1]};
 }
 
+/// Largest divisor of `size` not exceeding `cap` (at least 1): the
+/// bootstrap-group fallback after a shrink leaves a size that the original
+/// layout no longer divides.
+int largest_divisor_at_most(int size, int cap) {
+  for (int d = std::min(cap, size); d > 1; --d) {
+    if (size % d == 0) return d;
+  }
+  return 1;
+}
+
 }  // namespace
 
 UoiLassoDistributedResult uoi_lasso_distributed(
@@ -54,18 +70,11 @@ UoiLassoDistributedResult uoi_lasso_distributed(
     const UoiLassoOptions& options, const UoiParallelLayout& layout) {
   UOI_CHECK_DIMS(x_view.rows() == y_view.size(),
                  "UoI_LASSO: X rows != y size");
-  const int pb = layout.bootstrap_groups;
-  const int pl = layout.lambda_groups;
-  UOI_CHECK(pb >= 1 && pl >= 1, "layout group counts must be >= 1");
-  UOI_CHECK(comm.size() % (pb * pl) == 0,
+  UOI_CHECK(layout.bootstrap_groups >= 1 && layout.lambda_groups >= 1,
+            "layout group counts must be >= 1");
+  UOI_CHECK(comm.size() % (layout.bootstrap_groups * layout.lambda_groups) ==
+                0,
             "communicator size must be divisible by P_B * P_lambda");
-  const int c_ranks = comm.size() / (pb * pl);
-
-  const int task_group = comm.rank() / c_ranks;
-  const int task_rank = comm.rank() % c_ranks;
-  const int b_group = task_group / pl;
-  const int l_group = task_group % pl;
-  Comm task_comm = comm.split(task_group, comm.rank());
 
   const std::size_t n = x_view.rows();
   const std::size_t p = x_view.cols();
@@ -97,169 +106,355 @@ UoiLassoDistributedResult uoi_lasso_distributed(
   UoiLassoResult& model = out.model;
   model.lambdas = resolve_lambda_grid(options, x, y);
   const std::size_t q = model.lambdas.size();
+  const std::size_t b1 = options.n_selection_bootstraps;
+  const std::size_t b2 = options.n_estimation_bootstraps;
+
+  const UoiRecoveryOptions& recovery = options.recovery;
+  const bool checkpointing = !recovery.checkpoint_path.empty();
+  const std::uint64_t fingerprint =
+      UoiLasso(options).selection_fingerprint(n, p, model.lambdas);
 
   support::Stopwatch phase_watch;
-  const auto comm_seconds = [&] {
-    return comm.stats().collective_seconds() +
-           task_comm.stats().collective_seconds();
-  };
-  double comm_before = comm_seconds();
+  const double comm_before = comm.stats().collective_seconds();
   std::uint64_t local_flops = 0;
 
-  // ---- Model selection ----
-  // counts(j, i): how many bootstraps selected feature i at lambda_j.
-  // Every rank of a task group computes identical fits, so only the
-  // group's rank 0 contributes its counts to the global sum-reduction.
-  Matrix counts(q, p, 0.0);
+  // Selection state. `*_merged` is replicated and globally consistent;
+  // `*_local` holds this rank's contributions not yet committed by a
+  // merge. A (bootstrap, lambda) cell's count and done flag live on the
+  // same rank (the owning group's task rank 0) until merged, so a rank
+  // death loses them together — `done` never claims counts that died with
+  // a failed rank.
+  Matrix counts_merged(q, p, 0.0);
+  Matrix done_merged(b1, q, 0.0);
+  Matrix counts_local(q, p, 0.0);
+  Matrix done_local(b1, q, 0.0);
 
-  for (std::size_t k = 0; k < options.n_selection_bootstraps; ++k) {
-    if (static_cast<int>(k % static_cast<std::size_t>(pb)) != b_group) continue;
-
-    support::Stopwatch distr_watch;
-    const auto idx = selection_bootstrap_indices(options, n, k);
-    Matrix x_local;
-    Vector y_local;
-    gather_local_block(x, y, idx, block_slice(idx.size(), c_ranks, task_rank),
-                       x_local, y_local);
-    out.breakdown.distribution_seconds += distr_watch.seconds();
-
-    const uoi::solvers::DistributedLassoAdmmSolver solver(
-        task_comm, x_local, y_local, options.admm);
-    uoi::solvers::DistributedAdmmResult previous;
-    bool have_previous = false;
-    for (std::size_t j = 0; j < q; ++j) {
-      if (static_cast<int>(j % static_cast<std::size_t>(pl)) != l_group)
-        continue;
-      auto fit =
-          solver.solve(model.lambdas[j], have_previous ? &previous : nullptr);
-      local_flops += fit.local_flops;
-      if (task_rank == 0) {
-        auto row = counts.row(j);
-        for (std::size_t i = 0; i < p; ++i) {
-          if (std::abs(fit.beta[i]) > options.support_tolerance) {
-            row[i] += 1.0;
+  if (checkpointing) {
+    // Every rank reads the same stable file (in-process cluster: one
+    // filesystem), so the restored state is replicated by construction.
+    if (auto restored =
+            try_load_checkpoint(recovery.checkpoint_path, fingerprint)) {
+      const bool shape_ok =
+          restored->lambdas == model.lambdas &&
+          restored->counts.rows() == q && restored->counts.cols() == p &&
+          (restored->done.rows() == 0 ||
+           (restored->done.rows() == b1 && restored->done.cols() == q)) &&
+          restored->completed_bootstraps <= b1;
+      if (shape_ok) {
+        counts_merged = std::move(restored->counts);
+        if (restored->done.rows() != 0) {
+          done_merged = std::move(restored->done);
+        } else {
+          for (std::size_t k = 0; k < restored->completed_bootstraps; ++k) {
+            for (std::size_t j = 0; j < q; ++j) done_merged(k, j) = 1.0;
           }
         }
+        ++comm.mutable_recovery_stats().checkpoint_resumes;
       }
-      previous = std::move(fit);
-      have_previous = true;
     }
   }
 
-  // Complete the (possibly soft) intersection across bootstrap groups and
-  // share all candidate supports with every rank (eq. 3's Reduce).
-  comm.allreduce(std::span<double>(counts.data(), counts.size()),
-                 ReduceOp::kSum);
-  const auto threshold =
-      static_cast<double>(intersection_count_threshold(options));
-  model.candidate_supports.reserve(q);
-  for (std::size_t j = 0; j < q; ++j) {
-    std::vector<std::size_t> selected;
-    const auto row = counts.row(j);
-    for (std::size_t i = 0; i < p; ++i) {
-      if (row[i] >= threshold) selected.push_back(i);
+  // The layout is mutable: a shrink falls back to the largest bootstrap
+  // grouping the surviving rank count supports, with a single lambda group.
+  int pb = layout.bootstrap_groups;
+  int pl = layout.lambda_groups;
+
+  CommStats folded;
+  RecoveryStats folded_rec;
+  std::optional<Comm> owned;  // current shrunk communicator, if any
+  Comm* active = &comm;
+
+  const auto save = [&](Comm& c) {
+    if (!checkpointing || c.rank() != 0) return;
+    SelectionCheckpoint checkpoint;
+    checkpoint.fingerprint = fingerprint;
+    checkpoint.lambdas = model.lambdas;
+    checkpoint.counts = counts_merged;
+    checkpoint.done = done_merged;
+    checkpoint.completed_bootstraps = checkpoint.completed_prefix();
+    save_checkpoint(recovery.checkpoint_path, checkpoint);
+  };
+
+  // Commits every rank's unmerged contributions into the replicated merged
+  // state. Collective over `c`. Atomic with respect to rank failures: the
+  // fused allreduce either completes on every survivor or raises on every
+  // survivor before the commit, so locals are never half-applied.
+  const auto merge = [&](Comm& c) {
+    std::vector<double> buffer(counts_local.size() + done_local.size());
+    std::copy(counts_local.data(), counts_local.data() + counts_local.size(),
+              buffer.begin());
+    std::copy(done_local.data(), done_local.data() + done_local.size(),
+              buffer.begin() + static_cast<std::ptrdiff_t>(
+                                   counts_local.size()));
+    c.allreduce(std::span<double>(buffer), ReduceOp::kSum);
+    for (std::size_t i = 0; i < counts_merged.size(); ++i) {
+      counts_merged.data()[i] += buffer[i];
     }
-    model.candidate_supports.emplace_back(std::move(selected));
-  }
+    for (std::size_t i = 0; i < done_merged.size(); ++i) {
+      done_merged.data()[i] = std::min(
+          1.0, done_merged.data()[i] + buffer[counts_merged.size() + i]);
+    }
+    std::fill(counts_local.data(), counts_local.data() + counts_local.size(),
+              0.0);
+    std::fill(done_local.data(), done_local.data() + done_local.size(), 0.0);
+  };
 
-  // ---- Model estimation ----
-  const std::size_t b2 = options.n_estimation_bootstraps;
-  Matrix losses(b2, q, std::numeric_limits<double>::infinity());
-  // betas_by_task[k * q + j] exists only for tasks this group computed.
-  std::vector<Vector> computed_betas(b2 * q);
+  const auto run_selection = [&](Comm& c) {
+    const TaskLayout tl = make_task_layout(c.rank(), c.size(), pb, pl);
+    Comm task_comm = c.split(tl.task_group, c.rank());
+    try {
+      const std::size_t interval =
+          std::max<std::size_t>(1, recovery.checkpoint_interval);
+      for (std::size_t k = 0; k < b1; ++k) {
+        if (tl.owns_bootstrap(k, pb)) {
+          // This group's warm-start chain for bootstrap k: its lambda
+          // indices still missing from the merged state, in grid order.
+          std::vector<std::size_t> chain;
+          for (std::size_t j = 0; j < q; ++j) {
+            if (tl.owns_lambda(j, pl) && done_merged(k, j) == 0.0) {
+              chain.push_back(j);
+            }
+          }
+          if (!chain.empty()) {
+            support::Stopwatch distr_watch;
+            const auto idx = selection_bootstrap_indices(options, n, k);
+            Matrix x_local;
+            Vector y_local;
+            gather_local_block(x, y, idx,
+                               block_slice(idx.size(), tl.c_ranks,
+                                           tl.task_rank),
+                               x_local, y_local);
+            out.breakdown.distribution_seconds += distr_watch.seconds();
 
-  for (std::size_t k = 0; k < b2; ++k) {
-    if (static_cast<int>(k % static_cast<std::size_t>(pb)) != b_group) continue;
-
-    support::Stopwatch distr_watch;
-    const auto split = estimation_split(options, n, k);
-    Matrix x_train, x_eval;
-    Vector y_train, y_eval;
-    gather_local_block(x, y, split.train,
-                       block_slice(split.train.size(), c_ranks, task_rank),
-                       x_train, y_train);
-    gather_local_block(x, y, split.eval,
-                       block_slice(split.eval.size(), c_ranks, task_rank),
-                       x_eval, y_eval);
-    out.breakdown.distribution_seconds += distr_watch.seconds();
-
-    for (std::size_t j = 0; j < q; ++j) {
-      if (static_cast<int>(j % static_cast<std::size_t>(pl)) != l_group)
-        continue;
-      const auto& support = model.candidate_supports[j].indices();
-      Vector beta(p, 0.0);
-      if (!support.empty()) {
-        // Distributed OLS: consensus ADMM with lambda = 0 on the support
-        // columns (paper §II-C), row-distributed over the task group.
-        const Matrix x_train_s = x_train.gather_cols(support);
-        auto fit = uoi::solvers::distributed_lasso_admm(
-            task_comm, x_train_s, y_train, /*lambda=*/0.0, options.admm);
-        local_flops += fit.local_flops;
-        for (std::size_t i = 0; i < support.size(); ++i) {
-          beta[support[i]] = fit.beta[i];
+            const uoi::solvers::DistributedLassoAdmmSolver solver(
+                task_comm, x_local, y_local, options.admm);
+            uoi::solvers::DistributedAdmmResult previous;
+            bool have_previous = false;
+            // Indicators are staged and committed only once the whole
+            // chain finished: a failure mid-chain must leave no partial
+            // contribution, so the chain reruns cold — replaying exactly
+            // the warm-start trajectory a fault-free run produces.
+            Matrix staged(chain.size(), p, 0.0);
+            for (std::size_t m = 0; m < chain.size(); ++m) {
+              auto fit = solver.solve(model.lambdas[chain[m]],
+                                      have_previous ? &previous : nullptr);
+              local_flops += fit.local_flops;
+              if (tl.task_rank == 0) {
+                auto row = staged.row(m);
+                for (std::size_t i = 0; i < p; ++i) {
+                  if (std::abs(fit.beta[i]) > options.support_tolerance) {
+                    row[i] = 1.0;
+                  }
+                }
+              }
+              previous = std::move(fit);
+              have_previous = true;
+            }
+            if (tl.task_rank == 0) {
+              for (std::size_t m = 0; m < chain.size(); ++m) {
+                auto dest = counts_local.row(chain[m]);
+                const auto src = staged.row(m);
+                for (std::size_t i = 0; i < p; ++i) dest[i] += src[i];
+                done_local(k, chain[m]) = 1.0;
+              }
+            }
+          }
+        }
+        if (checkpointing && (k + 1) % interval == 0) {
+          merge(c);
+          save(c);
         }
       }
-      const auto eval = distributed_mse(task_comm, x_eval, y_eval, beta);
-      losses(k, j) = estimation_score(options.criterion, eval.mse,
-                                      eval.n_eval, support.size());
-      computed_betas[k * q + j] = std::move(beta);
+      merge(c);  // the final commit doubles as eq. 3's Reduce
+      save(c);
+      folded += task_comm.stats();
+      folded_rec += task_comm.recovery_stats();
+    } catch (const uoi::sim::RankFailedError&) {
+      folded += task_comm.stats();
+      folded_rec += task_comm.recovery_stats();
+      throw;
     }
-  }
+  };
 
-  // Share all losses; every rank then knows each bootstrap's winner.
-  comm.allreduce(std::span<double>(losses.data(), losses.size()),
-                 ReduceOp::kMin);
+  const auto run_estimation = [&](Comm& c) {
+    const TaskLayout tl = make_task_layout(c.rank(), c.size(), pb, pl);
+    Comm task_comm = c.split(tl.task_group, c.rank());
+    try {
+      Matrix losses(b2, q, std::numeric_limits<double>::infinity());
+      // betas_by_task[k * q + j] exists only for tasks this group computed.
+      std::vector<Vector> computed_betas(b2 * q);
 
-  model.chosen_support_per_bootstrap.assign(b2, 0);
-  model.best_loss_per_bootstrap.assign(b2, 0.0);
-  // winners(k, :) is assembled globally: the owning group's rank 0
-  // deposits its estimate, then one sum-reduction replicates the matrix.
-  Matrix winners(b2, p, 0.0);
-  for (std::size_t k = 0; k < b2; ++k) {
-    std::size_t best_j = 0;
-    double best_loss = losses(k, 0);
-    for (std::size_t j = 1; j < q; ++j) {
-      if (losses(k, j) < best_loss) {
-        best_loss = losses(k, j);
-        best_j = j;
+      for (std::size_t k = 0; k < b2; ++k) {
+        if (!tl.owns_bootstrap(k, pb)) continue;
+
+        support::Stopwatch distr_watch;
+        const auto split = estimation_split(options, n, k);
+        Matrix x_train, x_eval;
+        Vector y_train, y_eval;
+        gather_local_block(
+            x, y, split.train,
+            block_slice(split.train.size(), tl.c_ranks, tl.task_rank),
+            x_train, y_train);
+        gather_local_block(
+            x, y, split.eval,
+            block_slice(split.eval.size(), tl.c_ranks, tl.task_rank), x_eval,
+            y_eval);
+        out.breakdown.distribution_seconds += distr_watch.seconds();
+
+        for (std::size_t j = 0; j < q; ++j) {
+          if (!tl.owns_lambda(j, pl)) continue;
+          const auto& support = model.candidate_supports[j].indices();
+          Vector beta(p, 0.0);
+          if (!support.empty()) {
+            // Distributed OLS: consensus ADMM with lambda = 0 on the
+            // support columns (paper §II-C), row-distributed over the
+            // task group.
+            const Matrix x_train_s = x_train.gather_cols(support);
+            auto fit = uoi::solvers::distributed_lasso_admm(
+                task_comm, x_train_s, y_train, /*lambda=*/0.0, options.admm);
+            local_flops += fit.local_flops;
+            for (std::size_t i = 0; i < support.size(); ++i) {
+              beta[support[i]] = fit.beta[i];
+            }
+          }
+          const auto eval = distributed_mse(task_comm, x_eval, y_eval, beta);
+          losses(k, j) = estimation_score(options.criterion, eval.mse,
+                                          eval.n_eval, support.size());
+          computed_betas[k * q + j] = std::move(beta);
+        }
       }
+
+      // Share all losses; every rank then knows each bootstrap's winner.
+      c.allreduce(std::span<double>(losses.data(), losses.size()),
+                  ReduceOp::kMin);
+
+      model.chosen_support_per_bootstrap.assign(b2, 0);
+      model.best_loss_per_bootstrap.assign(b2, 0.0);
+      // winners(k, :) is assembled globally: the owning group's rank 0
+      // deposits its estimate, then one sum-reduction replicates the
+      // matrix.
+      Matrix winners(b2, p, 0.0);
+      for (std::size_t k = 0; k < b2; ++k) {
+        std::size_t best_j = 0;
+        double best_loss = losses(k, 0);
+        for (std::size_t j = 1; j < q; ++j) {
+          if (losses(k, j) < best_loss) {
+            best_loss = losses(k, j);
+            best_j = j;
+          }
+        }
+        model.chosen_support_per_bootstrap[k] = best_j;
+        model.best_loss_per_bootstrap[k] = best_loss;
+        if (!computed_betas[k * q + best_j].empty() && tl.task_rank == 0) {
+          const auto& beta = computed_betas[k * q + best_j];
+          std::copy(beta.begin(), beta.end(), winners.row(k).begin());
+        }
+      }
+      c.allreduce(std::span<double>(winners.data(), winners.size()),
+                  ReduceOp::kSum);
+
+      std::vector<Vector> winner_rows;
+      winner_rows.reserve(b2);
+      for (std::size_t k = 0; k < b2; ++k) {
+        const auto row = winners.row(k);
+        winner_rows.emplace_back(row.begin(), row.end());
+      }
+      model.beta = aggregate_estimates(winner_rows, options.aggregation);
+      model.support =
+          SupportSet::from_beta(model.beta, options.support_tolerance);
+      if (options.fit_intercept) {
+        double dot = 0.0;
+        for (std::size_t i = 0; i < p; ++i) dot += x_means[i] * model.beta[i];
+        model.intercept = y_mean - dot;
+      }
+
+      std::uint64_t flops = local_flops;
+      c.allreduce(std::span<std::uint64_t>(&flops, 1), ReduceOp::kSum);
+      model.total_flops = flops;
+
+      folded += task_comm.stats();
+      folded_rec += task_comm.recovery_stats();
+    } catch (const uoi::sim::RankFailedError&) {
+      folded += task_comm.stats();
+      folded_rec += task_comm.recovery_stats();
+      throw;
     }
-    model.chosen_support_per_bootstrap[k] = best_j;
-    model.best_loss_per_bootstrap[k] = best_loss;
-    if (!computed_betas[k * q + best_j].empty() && task_rank == 0) {
-      const auto& beta = computed_betas[k * q + best_j];
-      std::copy(beta.begin(), beta.end(), winners.row(k).begin());
+  };
+
+  // ---- Recovery attempt loop ----
+  // Each pass runs selection (skipping merged cells) and estimation on the
+  // current communicator. A RankFailedError triggers shrink + merge +
+  // layout fallback; the estimation phase is redone wholesale (its fits
+  // are cold, so a redo is deterministic), selection resumes cell-wise.
+  bool selection_complete = false;
+  int attempts_left = recovery.max_recovery_attempts;
+  for (;;) {
+    try {
+      if (!selection_complete) {
+        run_selection(*active);
+        // Build the (possibly soft) intersection from the merged counts
+        // (eq. 3); identical on every rank.
+        const auto threshold =
+            static_cast<double>(intersection_count_threshold(options));
+        model.candidate_supports.clear();
+        model.candidate_supports.reserve(q);
+        for (std::size_t j = 0; j < q; ++j) {
+          std::vector<std::size_t> selected;
+          const auto row = counts_merged.row(j);
+          for (std::size_t i = 0; i < p; ++i) {
+            if (row[i] >= threshold) selected.push_back(i);
+          }
+          model.candidate_supports.emplace_back(std::move(selected));
+        }
+        selection_complete = true;
+      }
+      run_estimation(*active);
+      break;
+    } catch (const uoi::sim::RankFailedError&) {
+      if (attempts_left-- <= 0) throw;
+      // Survivors converge here (any rank still blocked in a collective of
+      // the revoked communicator raises and follows); the shrink is
+      // collective over the alive ranks only.
+      Comm next = active->shrink();
+      if (owned.has_value()) {
+        folded += owned->stats();
+        folded_rec += owned->recovery_stats();
+      }
+      owned = std::move(next);
+      active = &*owned;
+      pl = 1;
+      pb = largest_divisor_at_most(active->size(), layout.bootstrap_groups);
+      // Commit what every survivor already finished, then account the
+      // cells that died with the failed rank and must be redistributed.
+      merge(*active);
+      if (!selection_complete) {
+        std::uint64_t missing = 0;
+        for (std::size_t i = 0; i < done_merged.size(); ++i) {
+          if (done_merged.data()[i] == 0.0) ++missing;
+        }
+        folded_rec.cells_recovered += missing;
+      }
+      save(*active);
     }
   }
-  comm.allreduce(std::span<double>(winners.data(), winners.size()),
-                 ReduceOp::kSum);
 
-  std::vector<Vector> winner_rows;
-  winner_rows.reserve(b2);
-  for (std::size_t k = 0; k < b2; ++k) {
-    const auto row = winners.row(k);
-    winner_rows.emplace_back(row.begin(), row.end());
+  out.selection_counts = counts_merged;
+
+  // Fold every child communicator's traffic into the caller's accounting
+  // so Cluster::run_collect_reports sees the consensus Allreduces and the
+  // recovery activity.
+  if (owned.has_value()) {
+    folded += owned->stats();
+    folded_rec += owned->recovery_stats();
   }
-  model.beta = aggregate_estimates(winner_rows, options.aggregation);
-  model.support =
-      SupportSet::from_beta(model.beta, options.support_tolerance);
-  if (options.fit_intercept) {
-    double dot = 0.0;
-    for (std::size_t i = 0; i < p; ++i) dot += x_means[i] * model.beta[i];
-    model.intercept = y_mean - dot;
-  }
+  comm.mutable_stats() += folded;
+  comm.mutable_recovery_stats() += folded_rec;
 
-  std::uint64_t flops = local_flops;
-  comm.allreduce(std::span<std::uint64_t>(&flops, 1), ReduceOp::kSum);
-  model.total_flops = flops;
-
-  out.breakdown.communication_seconds = comm_seconds() - comm_before;
+  out.breakdown.communication_seconds =
+      comm.stats().collective_seconds() - comm_before;
   out.breakdown.computation_seconds = phase_watch.seconds() -
                                       out.breakdown.communication_seconds -
                                       out.breakdown.distribution_seconds;
-  // Fold the task group's traffic into the caller's accounting so
-  // Cluster::run_collect_stats sees the consensus Allreduces.
-  comm.mutable_stats() += task_comm.stats();
   return out;
 }
 

@@ -44,6 +44,10 @@ struct UoiDistributedBreakdown {
 struct UoiLassoDistributedResult {
   UoiLassoResult model;                 ///< same contents as the serial result
   UoiDistributedBreakdown breakdown;    ///< this rank's timing
+  /// Final merged q x p selection-count matrix (bootstraps that selected
+  /// feature i at lambda_j). Replicated; exposed so fault-injection tests
+  /// can assert bit-identical counts against a fault-free run.
+  uoi::linalg::Matrix selection_counts;
 };
 
 /// Runs distributed UoI_LASSO. Collective: every rank of `comm` must call it
@@ -51,6 +55,18 @@ struct UoiLassoDistributedResult {
 /// `x`/`y` are the full dataset; each task group's ranks extract only their
 /// own row blocks of each bootstrap sample (in the paper the randomized
 /// HDF5 distribution delivers those blocks; see uoi::io for that path).
+///
+/// Fault tolerance (options.recovery): when a rank dies mid-run, survivors
+/// detect the failure at their next synchronization point, shrink the
+/// communicator, merge every survivor's accumulated selection counts, and
+/// resume — recomputing only the (bootstrap, lambda) cells the dead rank's
+/// group had not committed. Warm-start chains are committed atomically per
+/// (bootstrap, lambda-group), so recomputed cells replay the exact ADMM
+/// trajectories of a fault-free run and the final selection counts are
+/// bit-identical. With `recovery.checkpoint_path` set, merged selection
+/// progress also persists to disk (atomic, fsync'd) and a compatible
+/// checkpoint is resumed on startup. After `max_recovery_attempts`
+/// failures the RankFailedError propagates to the caller.
 [[nodiscard]] UoiLassoDistributedResult uoi_lasso_distributed(
     uoi::sim::Comm& comm, uoi::linalg::ConstMatrixView x,
     std::span<const double> y, const UoiLassoOptions& options = {},

@@ -40,7 +40,8 @@ int owner_of(std::size_t pos, std::size_t total, int parts) {
 }  // namespace
 
 LocalRows conventional_distribute(Comm& comm, const std::string& base,
-                                  DistributionTiming* timing) {
+                                  DistributionTiming* timing,
+                                  const uoi::sim::RetryOptions& retry) {
   support::Stopwatch watch;
   DatasetInfo info;
   Matrix full;
@@ -75,8 +76,9 @@ LocalRows conventional_distribute(Comm& comm, const std::string& base,
   out.global_indices.resize(mine.size());
   window.fence();
   if (!out.rows.empty()) {
-    window.get(0, mine.begin * cols,
-               {out.rows.data(), out.rows.size()});
+    uoi::sim::retry_onesided(comm, retry, [&] {
+      window.get(0, mine.begin * cols, {out.rows.data(), out.rows.size()});
+    });
   }
   window.fence();
   for (std::size_t i = 0; i < mine.size(); ++i) {
@@ -91,7 +93,8 @@ LocalRows conventional_distribute(Comm& comm, const std::string& base,
 
 LocalRows randomized_distribute(Comm& comm, const std::string& base,
                                 std::uint64_t seed,
-                                DistributionTiming* timing) {
+                                DistributionTiming* timing,
+                                const uoi::sim::RetryOptions& retry) {
   // ---- T1: parallel contiguous hyperslab reads ----
   support::Stopwatch watch;
   DatasetReader reader(base);
@@ -118,7 +121,9 @@ LocalRows randomized_distribute(Comm& comm, const std::string& base,
     const std::size_t dest_pos = perm[g];     // shuffled position
     const int dest = owner_of(dest_pos, n, comm.size());
     const Range dest_range = even_slice(n, comm.size(), dest);
-    window.put(dest, (dest_pos - dest_range.begin) * cols, slab_rows.row(i));
+    uoi::sim::retry_onesided(comm, retry, [&] {
+      window.put(dest, (dest_pos - dest_range.begin) * cols, slab_rows.row(i));
+    });
   }
   window.fence();
   // Invert the permutation to label what we received.
@@ -136,7 +141,7 @@ LocalRows randomized_distribute(Comm& comm, const std::string& base,
 }
 
 LocalRows reshuffle(Comm& comm, const LocalRows& held, std::size_t total_rows,
-                    std::uint64_t seed) {
+                    std::uint64_t seed, const uoi::sim::RetryOptions& retry) {
   UOI_CHECK_DIMS(held.rows.rows() == held.global_indices.size(),
                  "reshuffle: inconsistent LocalRows");
   const std::size_t cols = held.rows.cols();
@@ -155,7 +160,9 @@ LocalRows reshuffle(Comm& comm, const LocalRows& held, std::size_t total_rows,
     const std::size_t dest_pos = perm[g];
     const int dest = owner_of(dest_pos, total_rows, comm.size());
     const Range dest_range = even_slice(total_rows, comm.size(), dest);
-    window.put(dest, (dest_pos - dest_range.begin) * cols, held.rows.row(i));
+    uoi::sim::retry_onesided(comm, retry, [&] {
+      window.put(dest, (dest_pos - dest_range.begin) * cols, held.rows.row(i));
+    });
   }
   window.fence();
   for (std::size_t g = 0; g < total_rows; ++g) {

@@ -38,24 +38,26 @@ struct DistributionTiming {
 };
 
 /// Conventional strategy: rank 0 reads every chunk (reopening the file per
-/// chunk) and scatters contiguous row blocks.
-[[nodiscard]] LocalRows conventional_distribute(uoi::sim::Comm& comm,
-                                                const std::string& base,
-                                                DistributionTiming* timing =
-                                                    nullptr);
+/// chunk) and scatters contiguous row blocks. Transient one-sided faults
+/// are absorbed by bounded exponential-backoff retries (`retry`).
+[[nodiscard]] LocalRows conventional_distribute(
+    uoi::sim::Comm& comm, const std::string& base,
+    DistributionTiming* timing = nullptr,
+    const uoi::sim::RetryOptions& retry = {});
 
 /// Randomized three-tier strategy: parallel hyperslab reads (T1) followed
 /// by one-sided random redistribution (T2). `seed` fixes the permutation;
-/// all ranks must pass the same value.
-[[nodiscard]] LocalRows randomized_distribute(uoi::sim::Comm& comm,
-                                              const std::string& base,
-                                              std::uint64_t seed,
-                                              DistributionTiming* timing =
-                                                  nullptr);
+/// all ranks must pass the same value. T2 puts are retried under `retry`'s
+/// bounded backoff budget when a fault plan injects transient failures.
+[[nodiscard]] LocalRows randomized_distribute(
+    uoi::sim::Comm& comm, const std::string& base, std::uint64_t seed,
+    DistributionTiming* timing = nullptr,
+    const uoi::sim::RetryOptions& retry = {});
 
 /// Tier-2 reshuffle of already-loaded local rows (the paper reuses it to
 /// re-randomize between model selection and model estimation, Fig. 1c).
 [[nodiscard]] LocalRows reshuffle(uoi::sim::Comm& comm, const LocalRows& held,
-                                  std::size_t total_rows, std::uint64_t seed);
+                                  std::size_t total_rows, std::uint64_t seed,
+                                  const uoi::sim::RetryOptions& retry = {});
 
 }  // namespace uoi::io

@@ -10,11 +10,12 @@
 
 namespace uoi::sim {
 
-std::vector<CommStats> Cluster::run_collect_stats(
+std::vector<RankReport> Cluster::run_collect_reports(
     int n_ranks, const std::function<void(Comm&)>& spmd) {
   UOI_CHECK(n_ranks >= 1, "cluster needs at least one rank");
   auto context = std::make_shared<detail::Context>(n_ranks);
-  std::vector<CommStats> stats(static_cast<std::size_t>(n_ranks));
+  auto registry = context->registry();
+  std::vector<RankReport> reports(static_cast<std::size_t>(n_ranks));
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
@@ -22,11 +23,18 @@ std::vector<CommStats> Cluster::run_collect_stats(
     Comm comm(context, rank);
     try {
       spmd(comm);
+    } catch (const RankKilledError&) {
+      // A planned fault-injection death: the survivors' outcome decides
+      // the run, so the victim's unwind is not an error.
     } catch (...) {
       std::lock_guard<std::mutex> lock(error_mutex);
       if (!first_error) first_error = std::current_exception();
     }
-    stats[static_cast<std::size_t>(rank)] = comm.stats();
+    reports[static_cast<std::size_t>(rank)] = {comm.stats(),
+                                               comm.recovery_stats()};
+    // Releases parked victims still waiting for this rank to certify
+    // their death: a finished rank can never observe the failure.
+    registry->mark_done(rank);
   };
 
   if (n_ranks == 1) {
@@ -38,6 +46,15 @@ std::vector<CommStats> Cluster::run_collect_stats(
     for (auto& t : threads) t.join();
   }
   if (first_error) std::rethrow_exception(first_error);
+  return reports;
+}
+
+std::vector<CommStats> Cluster::run_collect_stats(
+    int n_ranks, const std::function<void(Comm&)>& spmd) {
+  auto reports = run_collect_reports(n_ranks, spmd);
+  std::vector<CommStats> stats;
+  stats.reserve(reports.size());
+  for (auto& report : reports) stats.push_back(report.comm);
   return stats;
 }
 

@@ -8,15 +8,27 @@
 
 namespace uoi::sim {
 
+/// One rank's final accounting, returned by Cluster::run_collect_reports.
+struct RankReport {
+  CommStats comm;
+  RecoveryStats recovery;
+};
+
 class Cluster {
  public:
   /// Runs `spmd` on `n_ranks` threads. Each invocation receives a Comm bound
   /// to its rank. Blocks until every rank returns; the first exception thrown
   /// by any rank is rethrown here after all threads have been joined.
+  /// A rank that dies with RankKilledError (a planned fault-injection death)
+  /// is NOT treated as an error: the survivors' outcome decides the run.
   static void run(int n_ranks, const std::function<void(Comm&)>& spmd);
 
   /// As run(), but returns each rank's final CommStats (index == rank).
   static std::vector<CommStats> run_collect_stats(
+      int n_ranks, const std::function<void(Comm&)>& spmd);
+
+  /// As run(), but returns each rank's CommStats + RecoveryStats.
+  static std::vector<RankReport> run_collect_reports(
       int n_ranks, const std::function<void(Comm&)>& spmd);
 };
 

@@ -110,8 +110,9 @@ Comm::~Comm() = default;
 int Comm::size() const noexcept { return context_->size(); }
 
 void Comm::barrier() {
+  maybe_kill();
   support::Stopwatch watch;
-  context_->barrier_wait();
+  sync();
   auto& entry = stats_.of(CommCategory::kBarrier);
   ++entry.calls;
   entry.seconds += watch.seconds();
@@ -121,17 +122,18 @@ void Comm::barrier() {
 template <typename T>
 void Comm::bcast_impl(std::span<T> data, int root) {
   UOI_CHECK(root >= 0 && root < size(), "bcast root out of range");
+  maybe_kill();
   support::Stopwatch watch;
   if (rank_ == root) {
     stage_copy_in<T>(context_->staging(root), data);
   }
-  context_->barrier_wait();
+  sync();
   if (rank_ != root) {
     const auto view = stage_view<T>(context_->staging(root));
     UOI_CHECK_DIMS(view.size() == data.size(), "bcast size mismatch");
     std::copy(view.begin(), view.end(), data.begin());
   }
-  context_->barrier_wait();
+  sync();
   auto& entry = stats_.of(CommCategory::kBcast);
   ++entry.calls;
   entry.bytes += data.size_bytes();
@@ -149,9 +151,10 @@ void Comm::bcast(std::span<std::uint8_t> data, int root) {
 
 void Comm::reduce(std::span<double> data, ReduceOp op, int root) {
   UOI_CHECK(root >= 0 && root < size(), "reduce root out of range");
+  maybe_kill();
   support::Stopwatch watch;
   stage_copy_in<double>(context_->staging(rank_), std::span<const double>(data));
-  context_->barrier_wait();
+  sync();
   if (rank_ == root) {
     // Deterministic reduction order: rank 0, 1, ..., P-1.
     auto first = stage_view<double>(context_->staging(0));
@@ -161,7 +164,7 @@ void Comm::reduce(std::span<double> data, ReduceOp op, int root) {
       apply_reduce<double>(op, data, stage_view<double>(context_->staging(r)));
     }
   }
-  context_->barrier_wait();
+  sync();
   auto& entry = stats_.of(CommCategory::kReduce);
   ++entry.calls;
   entry.bytes += data.size_bytes();
@@ -171,16 +174,17 @@ void Comm::reduce(std::span<double> data, ReduceOp op, int root) {
 
 template <typename T>
 void Comm::allreduce_impl(std::span<T> data, ReduceOp op) {
+  maybe_kill();
   support::Stopwatch watch;
   stage_copy_in<T>(context_->staging(rank_), std::span<const T>(data));
-  context_->barrier_wait();
+  sync();
   auto first = stage_view<T>(context_->staging(0));
   UOI_CHECK_DIMS(first.size() == data.size(), "allreduce size mismatch");
   std::copy(first.begin(), first.end(), data.begin());
   for (int r = 1; r < size(); ++r) {
     apply_reduce<T>(op, data, stage_view<T>(context_->staging(r)));
   }
-  context_->barrier_wait();
+  sync();
   auto& entry = stats_.of(CommCategory::kAllreduce);
   ++entry.calls;
   entry.bytes += data.size_bytes();
@@ -198,6 +202,12 @@ void Comm::allreduce(std::span<std::uint64_t> data, ReduceOp op) {
 void Comm::send(int destination, std::span<const double> data, int tag) {
   UOI_CHECK(destination >= 0 && destination < size(),
             "send destination out of range");
+  if (context_->revoked()) {
+    raise_rank_failed("send on a revoked communicator");
+  }
+  if (context_->rank_is_failed(destination)) {
+    raise_rank_failed("send to a failed rank");
+  }
   support::Stopwatch watch;
   std::vector<std::uint8_t> payload(data.size_bytes());
   if (!data.empty()) {
@@ -214,11 +224,19 @@ void Comm::send(int destination, std::span<const double> data, int tag) {
 void Comm::recv(int source, std::span<double> data, int tag) {
   UOI_CHECK(source >= 0 && source < size(), "recv source out of range");
   support::Stopwatch watch;
-  const auto payload = context_->mailbox(source, rank_).collect(tag);
-  UOI_CHECK_DIMS(payload.size() == data.size_bytes(),
+  // Buffered messages win over an abort; an unmatched receive from a dead
+  // rank (or on a revoked communicator) raises instead of hanging.
+  auto payload = context_->mailbox(source, rank_).collect(tag, [&] {
+    return context_->revoked() || context_->rank_is_failed(source) ||
+           context_->rank_is_failed(rank_);
+  });
+  if (!payload.has_value()) {
+    raise_rank_failed("receive aborted: source rank failed");
+  }
+  UOI_CHECK_DIMS(payload->size() == data.size_bytes(),
                  "received message size does not match the recv buffer");
   if (!data.empty()) {
-    std::memcpy(data.data(), payload.data(), payload.size());
+    std::memcpy(data.data(), payload->data(), payload->size());
   }
   auto& entry = stats_.of(CommCategory::kPointToPoint);
   ++entry.calls;
@@ -234,6 +252,7 @@ void Comm::sendrecv(int destination, std::span<const double> send_data,
 }
 
 void Comm::allreduce_ring(std::span<double> data, ReduceOp op) {
+  maybe_kill();
   const int p = size();
   if (p == 1) {
     auto& entry = stats_.of(CommCategory::kAllreduce);
@@ -294,6 +313,7 @@ void Comm::allreduce_ring(std::span<double> data, ReduceOp op) {
 
 void Comm::allreduce_recursive_doubling(std::span<double> data,
                                         ReduceOp op) {
+  maybe_kill();
   const int p = size();
   if (p == 1) {
     auto& entry = stats_.of(CommCategory::kAllreduce);
@@ -353,9 +373,10 @@ bool Comm::all_agree(bool local) {
 void Comm::gather(std::span<const double> send, std::span<double> recv,
                   int root) {
   UOI_CHECK(root >= 0 && root < size(), "gather root out of range");
+  maybe_kill();
   support::Stopwatch watch;
   stage_copy_in<double>(context_->staging(rank_), send);
-  context_->barrier_wait();
+  sync();
   if (rank_ == root) {
     UOI_CHECK_DIMS(recv.size() == send.size() * static_cast<std::size_t>(size()),
                    "gather recv buffer has the wrong size");
@@ -367,7 +388,7 @@ void Comm::gather(std::span<const double> send, std::span<double> recv,
                                    static_cast<std::size_t>(r) * send.size()));
     }
   }
-  context_->barrier_wait();
+  sync();
   auto& entry = stats_.of(CommCategory::kGather);
   ++entry.calls;
   entry.bytes += send.size_bytes();
@@ -379,9 +400,10 @@ template <typename T>
 void Comm::allgather_impl(std::span<const T> send, std::span<T> recv) {
   UOI_CHECK_DIMS(recv.size() == send.size() * static_cast<std::size_t>(size()),
                  "allgather recv buffer has the wrong size");
+  maybe_kill();
   support::Stopwatch watch;
   stage_copy_in<T>(context_->staging(rank_), send);
-  context_->barrier_wait();
+  sync();
   for (int r = 0; r < size(); ++r) {
     const auto view = stage_view<T>(context_->staging(r));
     UOI_CHECK_DIMS(view.size() == send.size(), "allgather contribution size");
@@ -389,7 +411,7 @@ void Comm::allgather_impl(std::span<const T> send, std::span<T> recv) {
               recv.begin() + static_cast<std::ptrdiff_t>(
                                  static_cast<std::size_t>(r) * send.size()));
   }
-  context_->barrier_wait();
+  sync();
   auto& entry = stats_.of(CommCategory::kAllgather);
   ++entry.calls;
   entry.bytes += send.size_bytes() * static_cast<std::size_t>(size());
@@ -407,9 +429,10 @@ void Comm::allgather(std::span<const std::size_t> send,
 
 std::vector<double> Comm::allgather_variable(
     std::span<const double> send, std::vector<std::size_t>* counts) {
+  maybe_kill();
   support::Stopwatch watch;
   stage_copy_in<double>(context_->staging(rank_), send);
-  context_->barrier_wait();
+  sync();
   std::vector<double> out;
   if (counts != nullptr) counts->assign(static_cast<std::size_t>(size()), 0);
   for (int r = 0; r < size(); ++r) {
@@ -417,7 +440,7 @@ std::vector<double> Comm::allgather_variable(
     if (counts != nullptr) (*counts)[static_cast<std::size_t>(r)] = view.size();
     out.insert(out.end(), view.begin(), view.end());
   }
-  context_->barrier_wait();
+  sync();
   auto& entry = stats_.of(CommCategory::kAllgather);
   ++entry.calls;
   entry.bytes += out.size() * sizeof(double);
@@ -430,13 +453,14 @@ std::vector<double> Comm::allgather_variable(
 void Comm::scatter(std::span<const double> send, std::span<double> recv,
                    int root) {
   UOI_CHECK(root >= 0 && root < size(), "scatter root out of range");
+  maybe_kill();
   support::Stopwatch watch;
   if (rank_ == root) {
     UOI_CHECK_DIMS(send.size() == recv.size() * static_cast<std::size_t>(size()),
                    "scatter send buffer has the wrong size");
     stage_copy_in<double>(context_->staging(root), send);
   }
-  context_->barrier_wait();
+  sync();
   {
     const auto view = stage_view<double>(context_->staging(root));
     UOI_CHECK_DIMS(view.size() == recv.size() * static_cast<std::size_t>(size()),
@@ -447,7 +471,7 @@ void Comm::scatter(std::span<const double> send, std::span<double> recv,
     std::copy(begin, begin + static_cast<std::ptrdiff_t>(recv.size()),
               recv.begin());
   }
-  context_->barrier_wait();
+  sync();
   auto& entry = stats_.of(CommCategory::kScatter);
   ++entry.calls;
   entry.bytes += recv.size_bytes();
@@ -456,6 +480,7 @@ void Comm::scatter(std::span<const double> send, std::span<double> recv,
 }
 
 Comm Comm::split(int color, int key) {
+  maybe_kill();
   // Exchange (color, key) triples through the staging area, then rank 0
   // builds the new contexts and publishes them via the pointer slots.
   struct Request {
@@ -466,7 +491,7 @@ Comm Comm::split(int color, int key) {
   auto& slot = context_->staging(rank_);
   slot.resize(sizeof(Request));
   std::memcpy(slot.data(), &mine, sizeof(Request));
-  context_->barrier_wait();
+  sync();
 
   // Every rank computes the same grouping deterministically (cheaper than a
   // root-plus-publish protocol and trivially correct).
@@ -481,11 +506,13 @@ Comm Comm::split(int color, int key) {
 
   int group_size = 0;
   int new_rank = -1;
-  int group_leader = -1;  // old rank of the first member of my group
+  int group_leader = -1;          // old rank of the first member of my group
+  std::vector<int> group_globals;  // job-wide ranks in new-rank order
   for (std::size_t i = 0; i < members.size(); ++i) {
     if (std::get<0>(members[i]) != color) continue;
     if (group_leader < 0) group_leader = std::get<2>(members[i]);
     if (std::get<2>(members[i]) == rank_) new_rank = group_size;
+    group_globals.push_back(context_->global_rank(std::get<2>(members[i])));
     ++group_size;
   }
   UOI_CHECK(new_rank >= 0, "split bookkeeping failure");
@@ -496,24 +523,177 @@ Comm Comm::split(int color, int key) {
   std::shared_ptr<detail::Context> new_context;
   std::shared_ptr<detail::Context> leader_holder;
   if (rank_ == group_leader) {
-    leader_holder = std::make_shared<detail::Context>(group_size);
+    leader_holder = std::make_shared<detail::Context>(
+        group_size, context_->registry(), std::move(group_globals));
     context_->pointer_slot(rank_) = &leader_holder;
   }
-  context_->barrier_wait();
+  sync();
   {
     const auto* holder = static_cast<const std::shared_ptr<detail::Context>*>(
         context_->pointer_slot(group_leader));
     new_context = *holder;
   }
-  context_->barrier_wait();
+  sync();
   Comm child(std::move(new_context), new_rank);
-  // Children emulate the same network as their parent.
+  // Children emulate the same network and fault schedule as their parent,
+  // and inherit its failure horizon: anything the parent handle already
+  // acknowledged must not re-raise through the child.
   child.latency_injector_ = latency_injector_;
+  child.fault_plan_ = fault_plan_;
+  child.acknowledged_fail_seq_ = acknowledged_fail_seq_;
   return child;
 }
 
 Comm Comm::dup() { return split(0, rank_); }
 
+Comm Comm::shrink() {
+  auto registry = context_->registry();
+  support::Stopwatch watch;
+  // Revoke first (idempotent): any rank still blocked in — or about to
+  // enter — a normal collective on this communicator raises
+  // RankFailedError and converges here. This is the agreement protocol:
+  // once the recovery barrier below releases, every alive rank is inside
+  // shrink, and since fault-plan kills only trigger at normal collective
+  // entries, the alive set is stable until the new communicator exists.
+  context_->revoke();
+  context_->recovery_barrier_wait(rank_);
+
+  const auto alive = context_->alive_local_ranks();
+  UOI_CHECK(!alive.empty(), "shrink with no surviving ranks");
+  int new_rank = -1;
+  std::vector<int> global_ranks;
+  global_ranks.reserve(alive.size());
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    if (alive[i] == rank_) new_rank = static_cast<int>(i);
+    global_ranks.push_back(context_->global_rank(alive[i]));
+  }
+  UOI_CHECK(new_rank >= 0, "shrink called by a failed rank");
+
+  // The lowest surviving rank builds the fresh context and publishes it
+  // through the recovery slot (the staging area belongs to the revoked
+  // normal path).
+  std::shared_ptr<detail::Context> fresh;
+  std::shared_ptr<detail::Context> leader_holder;
+  if (rank_ == alive.front()) {
+    leader_holder = std::make_shared<detail::Context>(
+        static_cast<int>(alive.size()), registry, std::move(global_ranks));
+    context_->recovery_slot() = &leader_holder;
+  }
+  context_->recovery_barrier_wait(rank_);
+  {
+    const auto* holder = static_cast<const std::shared_ptr<detail::Context>*>(
+        context_->recovery_slot());
+    fresh = *holder;
+  }
+  context_->recovery_barrier_wait(rank_);
+
+  Comm child(std::move(fresh), new_rank);
+  child.latency_injector_ = latency_injector_;
+  child.fault_plan_ = fault_plan_;
+  // Every failure up to now is part of the epoch this shrink recovers
+  // from; only *new* deaths raise through the shrunk communicator.
+  child.acknowledged_fail_seq_ = registry->fail_seq();
+  ++recovery_stats_.shrinks;
+  recovery_stats_.recovery_seconds += watch.seconds();
+  return child;
+}
+
+int Comm::global_rank() const { return context_->global_rank(rank_); }
+
+bool Comm::is_alive(int rank) const {
+  UOI_CHECK(rank >= 0 && rank < size(), "rank out of range");
+  return !context_->rank_is_failed(rank);
+}
+
+std::vector<int> Comm::alive_ranks() const {
+  return context_->alive_local_ranks();
+}
+
+int Comm::alive_size() const {
+  return static_cast<int>(context_->alive_local_ranks().size());
+}
+
+void Comm::set_fault_plan(std::shared_ptr<const FaultPlan> plan) {
+  fault_plan_ = std::move(plan);
+}
+
+void Comm::sync() {
+  std::uint64_t snapshot = 0;
+  try {
+    snapshot = context_->barrier_wait(rank_);
+  } catch (const RankFailedError&) {
+    // Revoked communicator or a failure observed mid-wait: account and
+    // acknowledge exactly as a snapshot-detected failure.
+    ++recovery_stats_.rank_failures_detected;
+    if (!progress_handle_) {
+      auto& registry = *context_->registry();
+      registry.acknowledge(global_rank(), registry.fail_seq());
+    }
+    throw;
+  }
+  if (snapshot > acknowledged_fail_seq_) {
+    acknowledged_fail_seq_ = snapshot;
+    raise_rank_failed("peer rank failure detected at a collective");
+  }
+}
+
+void Comm::maybe_kill() {
+  if (fault_plan_ == nullptr) return;
+  auto& registry = *context_->registry();
+  const int global = global_rank();
+  const std::uint64_t op = registry.next_collective_op(global);
+  if (!fault_plan_->kills_at(global, op)) return;
+  registry.mark_failed(global);
+  // Park until every surviving rank has either acknowledged this death or
+  // finished its SPMD function: survivors may still be inside a window
+  // epoch reading buffers that live on this rank's stack, so the stack
+  // must not unwind from under them.
+  registry.park_until_safe_to_unwind(global);
+  throw RankKilledError("rank " + std::to_string(global) +
+                        " killed by fault plan at its collective #" +
+                        std::to_string(op));
+}
+
+void Comm::raise_rank_failed(const char* what) {
+  ++recovery_stats_.rank_failures_detected;
+  auto& registry = *context_->registry();
+  if (!progress_handle_) {
+    // Acknowledging certifies this rank will not touch pre-failure window
+    // memory again, which is what lets the dead rank's stack unwind.
+    registry.acknowledge(global_rank(), registry.fail_seq());
+  }
+  std::string message(what);
+  message += " (failed global ranks:";
+  for (const int r : registry.failed_ranks()) {
+    message += " " + std::to_string(r);
+  }
+  message += ")";
+  throw RankFailedError(message);
+}
+
+Comm::OneSidedAction Comm::onesided_fault_point() {
+  OneSidedAction action;
+  if (fault_plan_ == nullptr) return action;
+  auto& registry = *context_->registry();
+  const int global = global_rank();
+  const std::uint64_t op = registry.next_onesided_op(global);
+  const auto* fault = fault_plan_->onesided_at(global, op);
+  if (fault == nullptr) return action;
+  switch (fault->kind) {
+    case FaultPlan::OneSidedKind::kTransient:
+      ++recovery_stats_.transient_faults;
+      throw TransientCommError("injected transient one-sided fault (rank " +
+                               std::to_string(global) + ", op " +
+                               std::to_string(op) + ")");
+    case FaultPlan::OneSidedKind::kDelay:
+      action.delay_seconds = fault->delay_seconds;
+      break;
+    case FaultPlan::OneSidedKind::kCorrupt:
+      action.corrupt = true;
+      break;
+  }
+  return action;
+}
 
 void Comm::set_latency_injector(LatencyInjector injector) {
   latency_injector_ = std::move(injector);

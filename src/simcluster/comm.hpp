@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "simcluster/fault.hpp"
+
 namespace uoi::sim {
 
 /// Reduction operators supported by reduce/allreduce.
@@ -177,6 +179,42 @@ class Comm {
   /// duplicate, never interleaving with the caller's own collectives.
   [[nodiscard]] Comm dup();
 
+  /// ULFM-style recovery (MPI_Comm_shrink): collectively — over the
+  /// surviving ranks only — builds a smaller communicator containing the
+  /// alive ranks in old-rank order. Revokes this communicator first, so
+  /// any rank still blocked in (or later entering) one of its collectives
+  /// raises RankFailedError and converges here instead of deadlocking.
+  /// The shrunk communicator inherits the latency injector and fault plan
+  /// and starts with all past failures acknowledged.
+  [[nodiscard]] Comm shrink();
+
+  /// This rank's job-wide (root communicator) rank.
+  [[nodiscard]] int global_rank() const;
+
+  /// Failure queries (local, no communication).
+  [[nodiscard]] bool is_alive(int rank) const;
+  [[nodiscard]] std::vector<int> alive_ranks() const;
+  [[nodiscard]] int alive_size() const;
+
+  /// Installs a shared fault plan (nullptr clears). Inherited across
+  /// split()/dup()/shrink() like the latency injector.
+  void set_fault_plan(std::shared_ptr<const FaultPlan> plan);
+  [[nodiscard]] const std::shared_ptr<const FaultPlan>& fault_plan() const {
+    return fault_plan_;
+  }
+
+  /// Per-rank fault-tolerance accounting alongside stats().
+  [[nodiscard]] const RecoveryStats& recovery_stats() const noexcept {
+    return recovery_stats_;
+  }
+  RecoveryStats& mutable_recovery_stats() noexcept { return recovery_stats_; }
+
+  /// Marks this handle as owned by an internal progress thread (the
+  /// NonblockingContext dup): failures still raise through it, but it
+  /// never acknowledges them on the rank's behalf — only the main handle's
+  /// raise certifies that the rank has left its pre-failure epoch.
+  void set_progress_handle(bool value) { progress_handle_ = value; }
+
   /// Per-rank communication statistics since construction / last clear.
   [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
   CommStats& mutable_stats() noexcept { return stats_; }
@@ -191,6 +229,8 @@ class Comm {
   void set_latency_injector(LatencyInjector injector);
 
  private:
+  friend class Window;
+
   /// Busy-waits the injected delay (if any) and returns it.
   double inject_latency(CommCategory category, std::uint64_t bytes);
   template <typename T>
@@ -200,10 +240,33 @@ class Comm {
   template <typename T>
   void allgather_impl(std::span<const T> send, std::span<T> recv);
 
+  /// Failure-aware barrier: forwards to the context and converts a
+  /// fresh failure snapshot into a RankFailedError raise.
+  void sync();
+  /// FaultPlan collective hook: counts this rank's collective entry and,
+  /// when the plan says so, marks the rank dead, parks it until every
+  /// survivor has moved past its window epochs, and throws RankKilledError.
+  void maybe_kill();
+  /// Raises RankFailedError (acknowledging the failure unless this is a
+  /// progress handle). `[[noreturn]]`-shaped but kept plain for clarity.
+  void raise_rank_failed(const char* what);
+  /// FaultPlan one-sided hook used by Window: throws TransientCommError
+  /// for transient entries; returns the delay/corruption to apply.
+  struct OneSidedAction {
+    double delay_seconds = 0.0;
+    bool corrupt = false;
+  };
+  OneSidedAction onesided_fault_point();
+
   std::shared_ptr<detail::Context> context_;
   int rank_ = -1;
   CommStats stats_;
+  RecoveryStats recovery_stats_;
   LatencyInjector latency_injector_;
+  std::shared_ptr<const FaultPlan> fault_plan_;
+  /// Failures with sequence <= this are already handled by this handle.
+  std::uint64_t acknowledged_fail_seq_ = 0;
+  bool progress_handle_ = false;
 };
 
 }  // namespace uoi::sim

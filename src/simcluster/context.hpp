@@ -2,20 +2,172 @@
 // Shared state behind one communicator: a generation-counted central barrier
 // plus a per-rank staging area used by the two-barrier collective protocol
 // (write own slot -> barrier -> read peers' slots -> barrier).
+//
+// Failure awareness (ULFM-style): every context of one job shares a
+// FailureRegistry. Barriers release when every *alive* rank has arrived and
+// hand back a failure-sequence snapshot taken at release time, so all ranks
+// released together observe the identical failure state and raise
+// RankFailedError at the same logical collective. revoke() (the
+// MPI_Comm_revoke analogue) wakes and fails every current and future waiter
+// so survivors converge on Comm::shrink() instead of deadlocking. A
+// disjoint recovery barrier, spanning only the alive ranks, sequences the
+// shrink protocol itself.
+//
+// Lock order: FailureRegistry::mutex_ before Context::mutex_. Barrier-path
+// reads of failure state are lock-free (atomics) so a rank inside a
+// context never takes the registry lock.
+//
 // Internal header; users include comm.hpp / cluster.hpp / window.hpp.
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
+
+#include "simcluster/fault.hpp"
+#include "support/error.hpp"
 
 namespace uoi::sim::detail {
 
+class Context;
+
+/// Job-wide failure state shared by every communicator of one Cluster run:
+/// which global ranks are dead, in what order they died, and which
+/// survivors have acknowledged each death. Also owns the per-rank
+/// operation counters FaultPlan triggers are indexed by.
+class FailureRegistry {
+ public:
+  explicit FailureRegistry(int job_size)
+      : job_size_(job_size),
+        failed_(std::make_unique<std::atomic<bool>[]>(
+            static_cast<std::size_t>(job_size))),
+        collective_ops_(std::make_unique<std::atomic<std::uint64_t>[]>(
+            static_cast<std::size_t>(job_size))),
+        onesided_ops_(std::make_unique<std::atomic<std::uint64_t>[]>(
+            static_cast<std::size_t>(job_size))),
+        death_seq_(static_cast<std::size_t>(job_size), 0),
+        acked_seq_(static_cast<std::size_t>(job_size), 0),
+        done_(static_cast<std::size_t>(job_size), false) {
+    for (int r = 0; r < job_size; ++r) {
+      failed_[static_cast<std::size_t>(r)].store(false);
+      collective_ops_[static_cast<std::size_t>(r)].store(0);
+      onesided_ops_[static_cast<std::size_t>(r)].store(0);
+    }
+  }
+
+  [[nodiscard]] int job_size() const noexcept { return job_size_; }
+
+  [[nodiscard]] bool is_failed(int global_rank) const {
+    return failed_[static_cast<std::size_t>(global_rank)].load();
+  }
+
+  /// Monotone count of failures; barriers snapshot it at release time.
+  [[nodiscard]] std::uint64_t fail_seq() const { return fail_seq_.load(); }
+
+  [[nodiscard]] std::vector<int> failed_ranks() const {
+    std::vector<int> out;
+    for (int r = 0; r < job_size_; ++r) {
+      if (is_failed(r)) out.push_back(r);
+    }
+    return out;
+  }
+
+  /// Marks `global_rank` dead and re-evaluates every live context's
+  /// barriers so no survivor waits for the dead rank. Returns the rank's
+  /// death sequence number.
+  std::uint64_t mark_failed(int global_rank);
+
+  /// A survivor raising RankFailedError acknowledges every failure up to
+  /// `seq`: it promises not to touch pre-failure window memory again,
+  /// which is what lets the dead rank's stack frame unwind.
+  void acknowledge(int global_rank, std::uint64_t seq) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto& acked = acked_seq_[static_cast<std::size_t>(global_rank)];
+      acked = std::max(acked, seq);
+    }
+    cv_.notify_all();
+  }
+
+  /// A rank's SPMD function returned (normally or not); it will never
+  /// touch shared state again.
+  void mark_done(int global_rank) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_[static_cast<std::size_t>(global_rank)] = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Parks the dying rank until every other alive rank has either
+  /// acknowledged its death or finished, keeping the victim's stack (and
+  /// thus any window buffers registered from it) alive while survivors
+  /// may still legitimately read them.
+  void park_until_safe_to_unwind(int global_rank) {
+    const auto my_death =
+        death_seq_in_lock_free(global_rank);
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] {
+      for (int r = 0; r < job_size_; ++r) {
+        if (r == global_rank || is_failed(r)) continue;
+        if (!done_[static_cast<std::size_t>(r)] &&
+            acked_seq_[static_cast<std::size_t>(r)] < my_death) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+
+  /// Per-rank operation counters (post-incremented) used to index
+  /// FaultPlan triggers deterministically.
+  std::uint64_t next_collective_op(int global_rank) {
+    return collective_ops_[static_cast<std::size_t>(global_rank)]++;
+  }
+  std::uint64_t next_onesided_op(int global_rank) {
+    return onesided_ops_[static_cast<std::size_t>(global_rank)]++;
+  }
+
+  void register_context(Context* context) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    contexts_.push_back(context);
+  }
+  void unregister_context(Context* context) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    contexts_.erase(std::remove(contexts_.begin(), contexts_.end(), context),
+                    contexts_.end());
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t death_seq_in_lock_free(int global_rank) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return death_seq_[static_cast<std::size_t>(global_rank)];
+  }
+
+  int job_size_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Context*> contexts_;
+  std::unique_ptr<std::atomic<bool>[]> failed_;
+  std::atomic<std::uint64_t> fail_seq_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> collective_ops_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> onesided_ops_;
+  std::vector<std::uint64_t> death_seq_;  // guarded by mutex_
+  std::vector<std::uint64_t> acked_seq_;  // guarded by mutex_
+  std::vector<bool> done_;                // guarded by mutex_
+};
+
 /// A buffered point-to-point channel for one (source, destination) pair.
 /// send() deposits a message and returns immediately (buffered semantics);
-/// recv() blocks until a message with the requested tag arrives.
+/// collect() blocks until a message with the requested tag arrives or the
+/// caller-supplied abort predicate fires (source died, communicator
+/// revoked).
 class Mailbox {
  public:
   void deposit(int tag, std::vector<std::uint8_t> payload) {
@@ -26,7 +178,12 @@ class Mailbox {
     cv_.notify_all();
   }
 
-  [[nodiscard]] std::vector<std::uint8_t> collect(int tag) {
+  /// Blocking collect; `abort` is polled between waits (buffered messages
+  /// win over an abort, matching MPI's "matched messages complete"
+  /// semantics). Returns nullopt when aborted.
+  template <typename Abort>
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> collect(
+      int tag, Abort&& abort) {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
       for (auto it = messages_.begin(); it != messages_.end(); ++it) {
@@ -36,7 +193,8 @@ class Mailbox {
           return payload;
         }
       }
-      cv_.wait(lock);
+      if (abort()) return std::nullopt;
+      cv_.wait_for(lock, std::chrono::microseconds(200));
     }
   }
 
@@ -52,26 +210,139 @@ class Mailbox {
 
 class Context {
  public:
+  /// Root context of a job: global rank r is local rank r, fresh registry.
   explicit Context(int size)
+      : Context(size, std::make_shared<FailureRegistry>(size),
+                identity_ranks(size)) {}
+
+  /// Sub-communicator context: `global_ranks[r]` maps local rank r to its
+  /// job-wide rank in the shared registry.
+  Context(int size, std::shared_ptr<FailureRegistry> registry,
+          std::vector<int> global_ranks)
       : size_(size),
-        staging_(size),
-        pointer_slots_(size),
+        registry_(std::move(registry)),
+        global_ranks_(std::move(global_ranks)),
+        arrived_(static_cast<std::size_t>(size), 0),
+        recovery_arrived_(static_cast<std::size_t>(size), 0),
+        staging_(static_cast<std::size_t>(size)),
+        pointer_slots_(static_cast<std::size_t>(size)),
         mailboxes_(static_cast<std::size_t>(size) *
-                   static_cast<std::size_t>(size)) {}
+                   static_cast<std::size_t>(size)) {
+    registry_->register_context(this);
+  }
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  ~Context() { registry_->unregister_context(this); }
 
   [[nodiscard]] int size() const noexcept { return size_; }
 
-  /// Central barrier; releases all ranks when the last one arrives.
-  void barrier_wait() {
-    std::unique_lock lock(mutex_);
-    const std::uint64_t my_generation = generation_;
-    if (++arrived_ == size_) {
-      arrived_ = 0;
-      ++generation_;
-      cv_.notify_all();
-    } else {
-      cv_.wait(lock, [&] { return generation_ != my_generation; });
+  [[nodiscard]] int global_rank(int local_rank) const {
+    return global_ranks_[static_cast<std::size_t>(local_rank)];
+  }
+
+  [[nodiscard]] const std::shared_ptr<FailureRegistry>& registry() const {
+    return registry_;
+  }
+
+  [[nodiscard]] bool revoked() const { return revoked_.load(); }
+
+  [[nodiscard]] bool rank_is_failed(int local_rank) const {
+    return registry_->is_failed(global_rank(local_rank));
+  }
+
+  /// Local ranks whose global rank is still alive, in local-rank order.
+  [[nodiscard]] std::vector<int> alive_local_ranks() const {
+    std::vector<int> out;
+    for (int r = 0; r < size_; ++r) {
+      if (!rank_is_failed(r)) out.push_back(r);
     }
+    return out;
+  }
+
+  /// Central barrier; releases all ranks when every alive rank has
+  /// arrived. Returns the registry failure-sequence snapshot taken at
+  /// release time — identical on every rank released together, so every
+  /// survivor detects a failure at the same logical collective. Throws
+  /// RankFailedError when the context is revoked or the caller itself is
+  /// marked dead (a dying rank's pending background work must not hang).
+  std::uint64_t barrier_wait(int rank) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    throw_if_unusable(rank);
+    arrived_[static_cast<std::size_t>(rank)] = 1;
+    const std::uint64_t my_generation = generation_;
+    if (all_alive_arrived()) {
+      release_barrier_locked();
+      return release_snapshot_;
+    }
+    cv_.wait(lock, [&] {
+      return generation_ != my_generation || revoked_.load() ||
+             rank_is_failed(rank);
+    });
+    if (generation_ != my_generation) return release_snapshot_;
+    // Woken without a release: revoked, or this rank was marked dead while
+    // waiting. Withdraw the arrival so the flag cannot leak into a later
+    // generation, then raise.
+    arrived_[static_cast<std::size_t>(rank)] = 0;
+    lock.unlock();
+    throw RankFailedError(revoked_.load()
+                              ? "communicator revoked during a collective"
+                              : "rank failed while inside a barrier");
+  }
+
+  /// Marks the context unusable: every rank currently inside (or later
+  /// entering) one of its barriers raises RankFailedError instead of
+  /// waiting. The MPI_Comm_revoke analogue; idempotent.
+  void revoke() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      revoked_.store(true);
+    }
+    cv_.notify_all();
+    recovery_cv_.notify_all();
+  }
+
+  /// Barrier over the *alive* ranks only, on state disjoint from the
+  /// normal barrier; used exclusively by the shrink protocol (which runs
+  /// on a revoked context). The alive set is stable inside shrink — kills
+  /// only trigger at normal collective entries — so no snapshot is needed.
+  void recovery_barrier_wait(int rank) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    UOI_CHECK(!rank_is_failed(rank),
+              "a failed rank entered the recovery barrier");
+    recovery_arrived_[static_cast<std::size_t>(rank)] = 1;
+    const std::uint64_t my_generation = recovery_generation_;
+    if (all_alive_recovery_arrived()) {
+      std::fill(recovery_arrived_.begin(), recovery_arrived_.end(), 0);
+      ++recovery_generation_;
+      recovery_cv_.notify_all();
+      return;
+    }
+    recovery_cv_.wait(lock,
+                      [&] { return recovery_generation_ != my_generation; });
+  }
+
+  /// Publication slot for the shrink protocol (the staging area belongs to
+  /// the revoked normal path and is left untouched).
+  [[nodiscard]] const void*& recovery_slot() { return recovery_slot_; }
+
+  /// Called by FailureRegistry::mark_failed (registry lock held): releases
+  /// any barrier now complete without the dead rank and wakes waiters so
+  /// self-failed or revoked ranks can raise.
+  void on_failure_update() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!revoked_.load() && any_arrived() && all_alive_arrived()) {
+        release_barrier_locked();
+      }
+      if (any_recovery_arrived() && all_alive_recovery_arrived()) {
+        std::fill(recovery_arrived_.begin(), recovery_arrived_.end(), 0);
+        ++recovery_generation_;
+      }
+    }
+    cv_.notify_all();
+    recovery_cv_.notify_all();
   }
 
   /// Byte staging slot for `rank` (resized by the writer as needed).
@@ -93,14 +364,88 @@ class Context {
   }
 
  private:
+  static std::vector<int> identity_ranks(int size) {
+    std::vector<int> out(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) out[static_cast<std::size_t>(r)] = r;
+    return out;
+  }
+
+  void throw_if_unusable(int rank) {
+    if (revoked_.load()) {
+      throw RankFailedError("collective on a revoked communicator");
+    }
+    if (rank_is_failed(rank)) {
+      throw RankFailedError("collective entered by a failed rank");
+    }
+  }
+
+  [[nodiscard]] bool any_arrived() const {
+    return std::any_of(arrived_.begin(), arrived_.end(),
+                       [](char a) { return a != 0; });
+  }
+  [[nodiscard]] bool all_alive_arrived() const {
+    for (int r = 0; r < size_; ++r) {
+      if (!rank_is_failed(r) && arrived_[static_cast<std::size_t>(r)] == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+  [[nodiscard]] bool any_recovery_arrived() const {
+    return std::any_of(recovery_arrived_.begin(), recovery_arrived_.end(),
+                       [](char a) { return a != 0; });
+  }
+  [[nodiscard]] bool all_alive_recovery_arrived() const {
+    for (int r = 0; r < size_; ++r) {
+      if (!rank_is_failed(r) &&
+          recovery_arrived_[static_cast<std::size_t>(r)] == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void release_barrier_locked() {
+    std::fill(arrived_.begin(), arrived_.end(), 0);
+    ++generation_;
+    release_snapshot_ = registry_->fail_seq();
+    cv_.notify_all();
+  }
+
   int size_;
+  std::shared_ptr<FailureRegistry> registry_;
+  std::vector<int> global_ranks_;
   std::mutex mutex_;
   std::condition_variable cv_;
-  int arrived_ = 0;
+  std::condition_variable recovery_cv_;
+  std::vector<char> arrived_;           // guarded by mutex_
+  std::vector<char> recovery_arrived_;  // guarded by mutex_
   std::uint64_t generation_ = 0;
+  std::uint64_t recovery_generation_ = 0;
+  std::uint64_t release_snapshot_ = 0;
+  std::atomic<bool> revoked_{false};
+  const void* recovery_slot_ = nullptr;
   std::vector<std::vector<std::uint8_t>> staging_;
   std::vector<const void*> pointer_slots_;
   std::vector<Mailbox> mailboxes_;
 };
+
+inline std::uint64_t FailureRegistry::mark_failed(int global_rank) {
+  std::uint64_t my_seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!failed_[static_cast<std::size_t>(global_rank)].exchange(true)) {
+      my_seq = fail_seq_.fetch_add(1) + 1;
+      death_seq_[static_cast<std::size_t>(global_rank)] = my_seq;
+    } else {
+      my_seq = death_seq_[static_cast<std::size_t>(global_rank)];
+    }
+    // Sweep under the registry lock (lock order: registry before context)
+    // so a context cannot be unregistered and destroyed mid-sweep.
+    for (Context* context : contexts_) context->on_failure_update();
+  }
+  cv_.notify_all();
+  return my_seq;
+}
 
 }  // namespace uoi::sim::detail

@@ -1,0 +1,75 @@
+#include "simcluster/fault.hpp"
+
+#include <thread>
+
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+namespace uoi::sim {
+
+bool FaultPlan::kills_at(int rank, std::uint64_t op) const {
+  for (const auto& kill : kills) {
+    if (kill.rank == rank && kill.at_collective == op) return true;
+  }
+  return false;
+}
+
+const FaultPlan::OneSidedFault* FaultPlan::onesided_at(
+    int rank, std::uint64_t op) const {
+  for (const auto& fault : onesided) {
+    if (fault.rank == rank && op >= fault.at_op &&
+        op < fault.at_op + fault.count) {
+      return &fault;
+    }
+  }
+  return nullptr;
+}
+
+FaultPlan FaultPlan::random_transients(std::uint64_t seed, int n_ranks,
+                                       std::uint64_t max_op,
+                                       std::size_t n_faults) {
+  auto rng = uoi::support::Xoshiro256::for_task(seed, 0xfa017ULL);
+  FaultPlan plan;
+  plan.onesided.reserve(n_faults);
+  for (std::size_t i = 0; i < n_faults; ++i) {
+    OneSidedFault fault;
+    fault.rank = static_cast<int>(
+        rng.uniform_below(static_cast<std::uint64_t>(n_ranks)));
+    fault.at_op = rng.uniform_below(max_op > 0 ? max_op : 1);
+    fault.count = 1;
+    fault.kind = OneSidedKind::kTransient;
+    plan.onesided.push_back(fault);
+  }
+  return plan;
+}
+
+RecoveryStats& RecoveryStats::operator+=(const RecoveryStats& other) {
+  transient_faults += other.transient_faults;
+  retries += other.retries;
+  giveups += other.giveups;
+  backoff_seconds += other.backoff_seconds;
+  rank_failures_detected += other.rank_failures_detected;
+  shrinks += other.shrinks;
+  cells_recovered += other.cells_recovered;
+  checkpoint_resumes += other.checkpoint_resumes;
+  recovery_seconds += other.recovery_seconds;
+  return *this;
+}
+
+bool RecoveryStats::any() const {
+  return transient_faults != 0 || retries != 0 || giveups != 0 ||
+         rank_failures_detected != 0 || shrinks != 0 ||
+         cells_recovered != 0 || checkpoint_resumes != 0;
+}
+
+namespace detail {
+
+void busy_wait_seconds(double seconds) {
+  if (seconds <= 0.0) return;
+  support::Stopwatch watch;
+  while (watch.seconds() < seconds) std::this_thread::yield();
+}
+
+}  // namespace detail
+
+}  // namespace uoi::sim

@@ -1,0 +1,164 @@
+#pragma once
+// Fault injection and recovery primitives for the uoi::sim runtime.
+//
+// At the paper's target scale (~4k KNL nodes, hours-long selection passes)
+// node failure is routine, so the simulated cluster can *experience*
+// failures deterministically: a seeded FaultPlan kills a rank at its Nth
+// collective, or delays / transiently fails / corrupts one-sided window
+// traffic at a given per-rank operation index. Plans are installed
+// per-Comm like the LatencyInjector and inherited across split()/shrink().
+//
+// Failure semantics follow ULFM MPI: survivors observe a dead rank as a
+// RankFailedError at their next synchronization point (collective barrier,
+// point-to-point receive, or one-sided access to the dead rank), agree on
+// the surviving set, and rebuild a smaller communicator with
+// Comm::shrink(). The dying rank itself unwinds with RankKilledError,
+// which the Cluster launcher treats as a planned death rather than a test
+// failure. Transient one-sided faults surface as TransientCommError and
+// are absorbed by retry_onesided()'s bounded exponential backoff.
+//
+// Every event is counted in RecoveryStats (the fault-tolerance sibling of
+// CommStats) so benches and tests can report time-to-recover.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace uoi::sim {
+
+/// A peer rank died; raised on the *surviving* ranks at their next
+/// synchronization point. Catch it, call Comm::shrink(), redistribute the
+/// dead rank's work, and resume.
+class RankFailedError : public uoi::support::Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised on the rank a FaultPlan kills. Deliberately *not* derived from
+/// RankFailedError: driver recovery code catches the latter, and must not
+/// intercept the victim's own unwind. The Cluster launcher swallows it.
+class RankKilledError : public uoi::support::Error {
+ public:
+  using Error::Error;
+};
+
+/// A one-sided operation failed transiently (lost RDMA packet, NIC stall).
+/// Retryable: the same get/put succeeds once the injected fault window has
+/// passed. retry_onesided() rethrows it once the retry budget is spent.
+class TransientCommError : public uoi::support::Error {
+ public:
+  using Error::Error;
+};
+
+/// A deterministic, seeded schedule of injected faults. Ranks are *global*
+/// (root-communicator) ranks; operation indices count per rank from the
+/// start of the job, so a plan replays identically across runs.
+struct FaultPlan {
+  /// Kill `rank` when it enters its `at_collective`-th collective
+  /// (0-based, counted across every communicator the rank uses).
+  struct KillRank {
+    int rank = -1;
+    std::uint64_t at_collective = 0;
+  };
+
+  enum class OneSidedKind {
+    kTransient,  ///< the operation throws TransientCommError
+    kDelay,      ///< the operation busy-waits delay_seconds, then succeeds
+    kCorrupt,    ///< the payload's first element gets a flipped mantissa bit
+  };
+
+  /// Affects `rank`'s one-sided ops with per-rank index in
+  /// [at_op, at_op + count). Retries advance the index, so a transient
+  /// fault with count = c fails exactly c attempts and then clears.
+  struct OneSidedFault {
+    int rank = -1;
+    std::uint64_t at_op = 0;
+    std::uint64_t count = 1;
+    OneSidedKind kind = OneSidedKind::kTransient;
+    double delay_seconds = 0.0;  ///< used by kDelay
+  };
+
+  std::vector<KillRank> kills;
+  std::vector<OneSidedFault> onesided;
+
+  [[nodiscard]] bool kills_at(int rank, std::uint64_t op) const;
+  /// The fault covering this (rank, op), or nullptr. First match wins.
+  [[nodiscard]] const OneSidedFault* onesided_at(int rank,
+                                                 std::uint64_t op) const;
+
+  /// Seeded pseudo-random plan: `n_faults` transient one-sided failures
+  /// spread uniformly over ranks [0, n_ranks) and ops [0, max_op).
+  [[nodiscard]] static FaultPlan random_transients(std::uint64_t seed,
+                                                   int n_ranks,
+                                                   std::uint64_t max_op,
+                                                   std::size_t n_faults);
+};
+
+/// Bounded retry policy for one-sided operations.
+struct RetryOptions {
+  int max_attempts = 4;                     ///< total tries, including the first
+  double base_backoff_seconds = 50e-6;      ///< wait before the 2nd attempt
+  double backoff_multiplier = 2.0;          ///< exponential growth per retry
+  double backoff_budget_seconds = 0.25;     ///< give up once total wait exceeds
+};
+
+/// Per-rank fault-tolerance accounting, the recovery-side companion of
+/// CommStats. Folded across sub-communicators the same way.
+struct RecoveryStats {
+  std::uint64_t transient_faults = 0;        ///< TransientCommError raised
+  std::uint64_t retries = 0;                 ///< re-attempts after transients
+  std::uint64_t giveups = 0;                 ///< retry budgets exhausted
+  double backoff_seconds = 0.0;              ///< total time spent backing off
+  std::uint64_t rank_failures_detected = 0;  ///< RankFailedError raised here
+  std::uint64_t shrinks = 0;                 ///< Comm::shrink() completions
+  std::uint64_t cells_recovered = 0;         ///< (bootstrap, lambda) redone
+  std::uint64_t checkpoint_resumes = 0;      ///< selection resumed from disk
+  double recovery_seconds = 0.0;             ///< detection -> shrunk comm ready
+
+  RecoveryStats& operator+=(const RecoveryStats& other);
+  void clear() { *this = RecoveryStats{}; }
+  /// True when any fault-tolerance event fired.
+  [[nodiscard]] bool any() const;
+};
+
+namespace detail {
+/// Busy-waits (with yields) so injected delays consume wall time the same
+/// way the latency injector does.
+void busy_wait_seconds(double seconds);
+}  // namespace detail
+
+/// Runs `fn` with bounded exponential-backoff retry around transient
+/// one-sided faults, charging every event to `comm`'s RecoveryStats.
+/// `CommT` is always uoi::sim::Comm (kept dependent so this header does
+/// not need comm.hpp). Rethrows a TransientCommError with the retry
+/// history once the budget is exhausted; RankFailedError and everything
+/// else pass straight through (a dead rank is not retryable).
+template <typename CommT, typename Fn>
+auto retry_onesided(CommT& comm, const RetryOptions& options, Fn&& fn)
+    -> decltype(fn()) {
+  double backoff = options.base_backoff_seconds;
+  double total_backoff = 0.0;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const TransientCommError& error) {
+      auto& recovery = comm.mutable_recovery_stats();
+      if (attempt >= options.max_attempts ||
+          total_backoff > options.backoff_budget_seconds) {
+        ++recovery.giveups;
+        throw TransientCommError(
+            "one-sided retry budget exhausted after " +
+            std::to_string(attempt) + " attempts (" + error.what() + ")");
+      }
+      ++recovery.retries;
+      detail::busy_wait_seconds(backoff);
+      recovery.backoff_seconds += backoff;
+      total_backoff += backoff;
+      backoff *= options.backoff_multiplier;
+    }
+  }
+}
+
+}  // namespace uoi::sim

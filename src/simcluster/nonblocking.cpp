@@ -21,7 +21,15 @@ bool AllreduceRequest::test() {
          std::future_status::ready;
 }
 
-NonblockingContext::NonblockingContext(Comm& comm) : dup_(comm.dup()) {}
+NonblockingContext::NonblockingContext(Comm& comm) : dup_(comm.dup()) {
+  // The dup is driven by internal progress threads: it must neither
+  // acknowledge failures on the rank's behalf (only the main handle's
+  // unwind certifies the rank left its pre-failure epoch) nor consume
+  // fault-plan collective slots (background reductions would perturb the
+  // deterministic op counting of the rank's own collectives).
+  dup_.set_progress_handle(true);
+  dup_.set_fault_plan(nullptr);
+}
 
 AllreduceRequest NonblockingContext::iallreduce(std::span<double> data,
                                                 ReduceOp op) {

@@ -23,6 +23,21 @@ struct WindowState {
 
 }  // namespace detail
 
+namespace {
+
+/// Deterministic payload corruption: one flipped mantissa bit in the first
+/// transferred element — large enough to derail a fit, small enough not to
+/// trip range checks.
+void corrupt_first(std::span<double> data) {
+  if (data.empty()) return;
+  std::uint64_t bits;
+  std::memcpy(&bits, &data[0], sizeof(bits));
+  bits ^= 0x0008000000000000ULL;
+  std::memcpy(&data[0], &bits, sizeof(bits));
+}
+
+}  // namespace
+
 Window::Window(Comm& comm, std::span<double> local) : comm_(&comm) {
   const auto n_ranks = static_cast<std::size_t>(comm.size());
   // Rank 0 allocates the shared registration table; peers copy the
@@ -58,25 +73,39 @@ std::span<double> Window::local() const {
 
 void Window::get(int target, std::size_t offset, std::span<double> out) {
   UOI_CHECK(target >= 0 && target < comm_->size(), "get target out of range");
+  if (!comm_->is_alive(target)) {
+    comm_->raise_rank_failed("one-sided get from a failed rank");
+  }
+  const auto action = comm_->onesided_fault_point();
   const auto t = static_cast<std::size_t>(target);
   UOI_CHECK_DIMS(offset + out.size() <= state_->sizes[t],
                  "one-sided get out of the target buffer's range");
   support::Stopwatch watch;
+  detail::busy_wait_seconds(action.delay_seconds);
   if (!out.empty()) {
     std::memcpy(out.data(), state_->bases[t] + offset, out.size_bytes());
   }
+  if (action.corrupt) corrupt_first(out);
   comm_->account_onesided(out.size_bytes(), watch.seconds());
 }
 
 void Window::put(int target, std::size_t offset, std::span<const double> in) {
   UOI_CHECK(target >= 0 && target < comm_->size(), "put target out of range");
+  if (!comm_->is_alive(target)) {
+    comm_->raise_rank_failed("one-sided put to a failed rank");
+  }
+  const auto action = comm_->onesided_fault_point();
   const auto t = static_cast<std::size_t>(target);
   UOI_CHECK_DIMS(offset + in.size() <= state_->sizes[t],
                  "one-sided put out of the target buffer's range");
   support::Stopwatch watch;
+  detail::busy_wait_seconds(action.delay_seconds);
   if (!in.empty()) {
     std::lock_guard<std::mutex> lock(state_->locks[t]);
     std::memcpy(state_->bases[t] + offset, in.data(), in.size_bytes());
+    if (action.corrupt) {
+      corrupt_first({state_->bases[t] + offset, in.size()});
+    }
   }
   comm_->account_onesided(in.size_bytes(), watch.seconds());
 }
@@ -85,6 +114,10 @@ void Window::accumulate_add(int target, std::size_t offset,
                             std::span<const double> in) {
   UOI_CHECK(target >= 0 && target < comm_->size(),
             "accumulate target out of range");
+  if (!comm_->is_alive(target)) {
+    comm_->raise_rank_failed("one-sided accumulate to a failed rank");
+  }
+  (void)comm_->onesided_fault_point();
   const auto t = static_cast<std::size_t>(target);
   UOI_CHECK_DIMS(offset + in.size() <= state_->sizes[t],
                  "one-sided accumulate out of the target buffer's range");

@@ -85,6 +85,7 @@ DistributedAdmmResult run_consensus_admm_loop(
     return false;
   };
 
+  try {
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     // Harvest the previous iteration's pipelined reduction first: its
     // verdict arrives one iteration late but costs no blocking time here
@@ -161,6 +162,15 @@ DistributedAdmmResult run_consensus_admm_loop(
         evaluate(pending_sums, pending_s_norm, options.max_iterations)) {
       result.converged = true;
     }
+  }
+  } catch (const uoi::sim::RankFailedError&) {
+    // A peer died mid-solve: abort this bootstrap cleanly. Dropping the
+    // request first drains any in-flight background reduction (its dup
+    // barrier releases once the failure is registered, so the wait is
+    // bounded); the driver's recovery loop re-runs the bootstrap on the
+    // shrunk communicator.
+    pending.reset();
+    throw;
   }
 
   if (!result.converged && options.throw_on_nonconvergence) {

@@ -54,6 +54,10 @@ struct UoiVarOptions {
   bool center = true;
   std::uint64_t seed = 20200518;
   uoi::solvers::AdmmOptions admm;
+  /// Fault tolerance for the distributed driver: shrink-and-resume on rank
+  /// failure, retry budget for transient one-sided faults, and optional
+  /// selection checkpointing (see core::UoiRecoveryOptions).
+  uoi::core::UoiRecoveryOptions recovery;
 };
 
 struct UoiVarResult {

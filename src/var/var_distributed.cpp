@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
 
+#include "core/checkpoint.hpp"
 #include "io/h5lite.hpp"
 #include "linalg/blas.hpp"
 #include "solvers/consensus_loop.hpp"
@@ -51,7 +55,8 @@ int reader_of_row(std::size_t t, std::size_t rows, int n_readers) {
 }  // namespace
 
 Matrix load_series_distributed(Comm& comm, const std::string& dataset_base,
-                               int n_readers) {
+                               int n_readers,
+                               const uoi::sim::RetryOptions& retry) {
   UOI_CHECK(n_readers >= 1, "need at least one reader rank");
   n_readers = std::min(n_readers, comm.size());
   const bool is_reader = comm.rank() < n_readers;
@@ -81,7 +86,9 @@ Matrix load_series_distributed(Comm& comm, const std::string& dataset_base,
       std::copy(src.begin(), src.end(), series.row(share.begin + r).begin());
       for (int target = 0; target < comm.size(); ++target) {
         if (target == comm.rank()) continue;
-        window.put(target, (share.begin + r) * cols, src);
+        uoi::sim::retry_onesided(comm, retry, [&] {
+          window.put(target, (share.begin + r) * cols, src);
+        });
       }
     }
   }
@@ -90,7 +97,8 @@ Matrix load_series_distributed(Comm& comm, const std::string& dataset_base,
 }
 
 VarLocalBlock distributed_kron_vectorize(Comm& comm, const LagRegression& lag,
-                                         int n_readers) {
+                                         int n_readers,
+                                         const uoi::sim::RetryOptions& retry) {
   UOI_CHECK(n_readers >= 1, "need at least one reader rank");
   n_readers = std::min(n_readers, comm.size());
   const bool is_reader = comm.rank() < n_readers;
@@ -154,8 +162,12 @@ VarLocalBlock distributed_kron_vectorize(Comm& comm, const LagRegression& lag,
     const int reader = reader_of_row(t, rows, n_readers);
     const Range reader_share = even_slice(rows, n_readers, reader);
     const std::size_t local_t = t - reader_share.begin;
-    x_window.get(reader, local_t * dp, block.x_rows.row(local));
-    y_window.get(reader, local_t * p + e, y_cell);
+    uoi::sim::retry_onesided(comm, retry, [&] {
+      x_window.get(reader, local_t * dp, block.x_rows.row(local));
+    });
+    uoi::sim::retry_onesided(comm, retry, [&] {
+      y_window.get(reader, local_t * p + e, y_cell);
+    });
     block.y[local] = y_cell[0];
   }
   x_window.fence();
@@ -257,23 +269,25 @@ bool owns_equation(std::size_t e, int c_ranks, int c_rank) {
   return static_cast<int>(e % static_cast<std::size_t>(c_ranks)) == c_rank;
 }
 
+/// Largest divisor of `size` not exceeding `cap` (at least 1): the
+/// bootstrap-group fallback after a shrink.
+int largest_divisor_at_most(int size, int cap) {
+  for (int d = std::min(cap, size); d > 1; --d) {
+    if (size % d == 0) return d;
+  }
+  return 1;
+}
+
 }  // namespace
 
 UoiVarDistributedResult uoi_var_distributed(
     Comm& comm, ConstMatrixView series_view, const UoiVarOptions& options,
     const uoi::core::UoiParallelLayout& layout, int n_readers) {
-  const int pb = layout.bootstrap_groups;
-  const int pl = layout.lambda_groups;
-  UOI_CHECK(pb >= 1 && pl >= 1, "layout group counts must be >= 1");
-  UOI_CHECK(comm.size() % (pb * pl) == 0,
+  UOI_CHECK(layout.bootstrap_groups >= 1 && layout.lambda_groups >= 1,
+            "layout group counts must be >= 1");
+  UOI_CHECK(comm.size() % (layout.bootstrap_groups * layout.lambda_groups) ==
+                0,
             "communicator size must be divisible by P_B * P_lambda");
-  const int c_ranks = comm.size() / (pb * pl);
-  const int task_group = comm.rank() / c_ranks;
-  const int task_rank = comm.rank() % c_ranks;
-  const int b_group = task_group / pl;
-  const int l_group = task_group % pl;
-  Comm task_comm = comm.split(task_group, comm.rank());
-  const int group_readers = std::min(n_readers, c_ranks);
 
   const std::size_t p = series_view.cols();
   const std::size_t d = options.order;
@@ -307,204 +321,392 @@ UoiVarDistributedResult uoi_var_distributed(
        0,
        1.0 - 1.0 / static_cast<double>(p),
        {}},
+      {},
       {}};
   UoiVarResult& model = out.model;
 
   const LagRegression full = build_lag_regression(series, d);
   model.lambdas = resolve_var_lambda_grid(options, full.y, full.x);
   const std::size_t q = model.lambdas.size();
+  const std::size_t b1 = options.n_selection_bootstraps;
+  const std::size_t b2 = options.n_estimation_bootstraps;
+
+  const uoi::core::UoiRecoveryOptions& recovery = options.recovery;
+  const bool checkpointing = !recovery.checkpoint_path.empty();
+  const uoi::sim::RetryOptions retry = recovery.retry_options();
+  uoi::core::FingerprintBuilder fp;
+  // Tag keeps VAR checkpoints apart from LASSO ones.
+  fp.add(static_cast<std::uint64_t>(0x766172ULL))
+      .add(options.seed)
+      .add(static_cast<std::uint64_t>(d))
+      .add(static_cast<std::uint64_t>(b1))
+      .add(static_cast<std::uint64_t>(options.block_length))
+      .add(static_cast<std::uint64_t>(series.rows()))
+      .add(static_cast<std::uint64_t>(p))
+      .add(options.support_tolerance);
+  for (const double l : model.lambdas) fp.add(l);
+  const std::uint64_t fingerprint = fp.value();
 
   support::Stopwatch phase_watch;
-  const auto comm_seconds = [&] {
-    return comm.stats().collective_seconds() +
-           task_comm.stats().collective_seconds();
-  };
-  const auto distribution_seconds = [&] {
-    return comm.stats().onesided_seconds() +
-           task_comm.stats().onesided_seconds();
-  };
-  const double comm_before = comm_seconds();
-  const double distr_before = distribution_seconds();
+  const double comm_before = comm.stats().collective_seconds();
+  const double distr_before = comm.stats().onesided_seconds();
   std::uint64_t local_flops = 0;
 
-  // ---- Model selection ----
-  // counts(j, i): selections across bootstraps; each task group's rank 0
-  // contributes its fits, then one global sum-reduction completes the
-  // (possibly soft) intersection.
-  Matrix selection_counts(q, n_coeffs, 0.0);
-  for (std::size_t k = 0; k < options.n_selection_bootstraps; ++k) {
-    if (static_cast<int>(k % static_cast<std::size_t>(pb)) != b_group) continue;
+  // Selection state: merged (replicated, globally consistent) versus this
+  // rank's unmerged contributions. See uoi_lasso_distributed.cpp — the
+  // recovery protocol is identical; only the per-cell work differs.
+  Matrix counts_merged(q, n_coeffs, 0.0);
+  Matrix done_merged(b1, q, 0.0);
+  Matrix counts_local(q, n_coeffs, 0.0);
+  Matrix done_local(b1, q, 0.0);
 
-    // Readers construct the bootstrap sample's lag regression; compute
-    // ranks assemble their vectorized row blocks through the windows.
-    LagRegression lag;
-    if (task_rank < group_readers) {
-      const Matrix sample = block_bootstrap_sample(
-          series, var_bootstrap_options(options, /*stage=*/0, k));
-      lag = build_lag_regression(sample, d);
+  if (checkpointing) {
+    if (auto restored = uoi::core::try_load_checkpoint(
+            recovery.checkpoint_path, fingerprint)) {
+      const bool shape_ok =
+          restored->lambdas == model.lambdas &&
+          restored->counts.rows() == q &&
+          restored->counts.cols() == n_coeffs &&
+          (restored->done.rows() == 0 ||
+           (restored->done.rows() == b1 && restored->done.cols() == q)) &&
+          restored->completed_bootstraps <= b1;
+      if (shape_ok) {
+        counts_merged = std::move(restored->counts);
+        if (restored->done.rows() != 0) {
+          done_merged = std::move(restored->done);
+        } else {
+          for (std::size_t k = 0; k < restored->completed_bootstraps; ++k) {
+            for (std::size_t j = 0; j < q; ++j) done_merged(k, j) = 1.0;
+          }
+        }
+        ++comm.mutable_recovery_stats().checkpoint_resumes;
+      }
     }
-    const VarLocalBlock block =
-        distributed_kron_vectorize(task_comm, lag, group_readers);
+  }
 
-    const DistributedVarAdmmSolver solver(task_comm, block, options.admm);
-    uoi::solvers::DistributedAdmmResult previous;
-    bool have_previous = false;
-    for (std::size_t j = 0; j < q; ++j) {
-      if (static_cast<int>(j % static_cast<std::size_t>(pl)) != l_group)
-        continue;
-      auto fit =
-          solver.solve(model.lambdas[j], have_previous ? &previous : nullptr);
-      local_flops += fit.local_flops;
-      if (task_rank == 0) {
-        auto row = selection_counts.row(j);
-        for (std::size_t i = 0; i < n_coeffs; ++i) {
-          if (std::abs(fit.beta[i]) > options.support_tolerance) {
-            row[i] += 1.0;
+  int pb = layout.bootstrap_groups;
+  int pl = layout.lambda_groups;
+
+  uoi::sim::CommStats folded;
+  uoi::sim::RecoveryStats folded_rec;
+  std::optional<Comm> owned;
+  Comm* active = &comm;
+
+  const auto save = [&](Comm& c) {
+    if (!checkpointing || c.rank() != 0) return;
+    uoi::core::SelectionCheckpoint checkpoint;
+    checkpoint.fingerprint = fingerprint;
+    checkpoint.lambdas = model.lambdas;
+    checkpoint.counts = counts_merged;
+    checkpoint.done = done_merged;
+    checkpoint.completed_bootstraps = checkpoint.completed_prefix();
+    uoi::core::save_checkpoint(recovery.checkpoint_path, checkpoint);
+  };
+
+  const auto merge = [&](Comm& c) {
+    std::vector<double> buffer(counts_local.size() + done_local.size());
+    std::copy(counts_local.data(), counts_local.data() + counts_local.size(),
+              buffer.begin());
+    std::copy(done_local.data(), done_local.data() + done_local.size(),
+              buffer.begin() +
+                  static_cast<std::ptrdiff_t>(counts_local.size()));
+    c.allreduce(std::span<double>(buffer), ReduceOp::kSum);
+    for (std::size_t i = 0; i < counts_merged.size(); ++i) {
+      counts_merged.data()[i] += buffer[i];
+    }
+    for (std::size_t i = 0; i < done_merged.size(); ++i) {
+      done_merged.data()[i] = std::min(
+          1.0, done_merged.data()[i] + buffer[counts_merged.size() + i]);
+    }
+    std::fill(counts_local.data(), counts_local.data() + counts_local.size(),
+              0.0);
+    std::fill(done_local.data(), done_local.data() + done_local.size(), 0.0);
+  };
+
+  const auto run_selection = [&](Comm& c) {
+    const int c_ranks = c.size() / (pb * pl);
+    const int task_group = c.rank() / c_ranks;
+    const int task_rank = c.rank() % c_ranks;
+    const int b_group = task_group / pl;
+    const int l_group = task_group % pl;
+    Comm task_comm = c.split(task_group, c.rank());
+    const int group_readers = std::min(n_readers, c_ranks);
+    try {
+      const std::size_t interval =
+          std::max<std::size_t>(1, recovery.checkpoint_interval);
+      for (std::size_t k = 0; k < b1; ++k) {
+        if (static_cast<int>(k % static_cast<std::size_t>(pb)) == b_group) {
+          std::vector<std::size_t> chain;
+          for (std::size_t j = 0; j < q; ++j) {
+            if (static_cast<int>(j % static_cast<std::size_t>(pl)) ==
+                    l_group &&
+                done_merged(k, j) == 0.0) {
+              chain.push_back(j);
+            }
+          }
+          if (!chain.empty()) {
+            // Readers construct the bootstrap sample's lag regression;
+            // compute ranks assemble their vectorized row blocks through
+            // the windows.
+            LagRegression lag;
+            if (task_rank < group_readers) {
+              const Matrix sample = block_bootstrap_sample(
+                  series, var_bootstrap_options(options, /*stage=*/0, k));
+              lag = build_lag_regression(sample, d);
+            }
+            const VarLocalBlock block = distributed_kron_vectorize(
+                task_comm, lag, group_readers, retry);
+
+            const DistributedVarAdmmSolver solver(task_comm, block,
+                                                  options.admm);
+            uoi::solvers::DistributedAdmmResult previous;
+            bool have_previous = false;
+            // Committed atomically once the warm-start chain finished, so
+            // an interrupted chain reruns cold — replaying exactly the
+            // trajectory of a fault-free run.
+            Matrix staged(chain.size(), n_coeffs, 0.0);
+            for (std::size_t m = 0; m < chain.size(); ++m) {
+              auto fit = solver.solve(model.lambdas[chain[m]],
+                                      have_previous ? &previous : nullptr);
+              local_flops += fit.local_flops;
+              if (task_rank == 0) {
+                auto row = staged.row(m);
+                for (std::size_t i = 0; i < n_coeffs; ++i) {
+                  if (std::abs(fit.beta[i]) > options.support_tolerance) {
+                    row[i] = 1.0;
+                  }
+                }
+              }
+              previous = std::move(fit);
+              have_previous = true;
+            }
+            if (task_rank == 0) {
+              for (std::size_t m = 0; m < chain.size(); ++m) {
+                auto dest = counts_local.row(chain[m]);
+                const auto src = staged.row(m);
+                for (std::size_t i = 0; i < n_coeffs; ++i) dest[i] += src[i];
+                done_local(k, chain[m]) = 1.0;
+              }
+            }
+          }
+        }
+        if (checkpointing && (k + 1) % interval == 0) {
+          merge(c);
+          save(c);
+        }
+      }
+      merge(c);  // the final commit doubles as the intersection's Reduce
+      save(c);
+      folded += task_comm.stats();
+      folded_rec += task_comm.recovery_stats();
+    } catch (const uoi::sim::RankFailedError&) {
+      folded += task_comm.stats();
+      folded_rec += task_comm.recovery_stats();
+      throw;
+    }
+  };
+
+  const auto run_estimation = [&](Comm& c) {
+    const int c_ranks = c.size() / (pb * pl);
+    const int task_group = c.rank() / c_ranks;
+    const int task_rank = c.rank() % c_ranks;
+    const int b_group = task_group / pl;
+    const int l_group = task_group % pl;
+    Comm task_comm = c.split(task_group, c.rank());
+    try {
+      // Parallelism: bootstraps over P_B, candidate supports over
+      // P_lambda, equations over the C ranks of each task group (the
+      // vectorized OLS decomposes exactly per equation).
+      Matrix losses(b2, q, std::numeric_limits<double>::infinity());
+      std::vector<Vector> computed_betas(b2 * q);  // this rank's equations
+
+      for (std::size_t k = 0; k < b2; ++k) {
+        if (static_cast<int>(k % static_cast<std::size_t>(pb)) != b_group) {
+          continue;
+        }
+
+        const Matrix train_sample = block_bootstrap_sample(
+            series, var_bootstrap_options(options, /*stage=*/1, k));
+        const Matrix eval_sample = block_bootstrap_sample(
+            series, var_bootstrap_options(options, /*stage=*/2, k));
+        const LagRegression train = build_lag_regression(train_sample, d);
+        const LagRegression eval = build_lag_regression(eval_sample, d);
+
+        std::vector<std::size_t> eq_support;
+        for (std::size_t j = 0; j < q; ++j) {
+          if (static_cast<int>(j % static_cast<std::size_t>(pl)) != l_group) {
+            continue;
+          }
+          Vector beta_local(n_coeffs, 0.0);
+          double sse[2] = {0.0, 0.0};  // (sum of squared errors, row count)
+          for (std::size_t e = 0; e < p; ++e) {
+            if (!owns_equation(e, c_ranks, task_rank)) continue;
+            eq_support.clear();
+            for (const std::size_t cc :
+                 model.candidate_supports[j].indices()) {
+              if (cc >= e * dp && cc < (e + 1) * dp) {
+                eq_support.push_back(cc - e * dp);
+              }
+            }
+            Vector beta_e(dp, 0.0);
+            if (!eq_support.empty()) {
+              const Vector y_e = train.y.col(e);
+              beta_e = uoi::solvers::ols_direct_on_support(train.x, y_e,
+                                                           eq_support);
+            }
+            for (std::size_t cc = 0; cc < dp; ++cc) {
+              beta_local[e * dp + cc] = beta_e[cc];
+            }
+            for (std::size_t r = 0; r < eval.x.rows(); ++r) {
+              const double err =
+                  uoi::linalg::dot(eval.x.row(r), beta_e) - eval.y(r, e);
+              sse[0] += err * err;
+            }
+            sse[1] += static_cast<double>(eval.x.rows());
+          }
+          task_comm.allreduce(std::span<double>(sse, 2), ReduceOp::kSum);
+          const double mse = sse[1] > 0.0 ? sse[0] / sse[1] : 0.0;
+          losses(k, j) = uoi::core::estimation_score(
+              options.criterion, mse, sse[1],
+              model.candidate_supports[j].size());
+          computed_betas[k * q + j] = std::move(beta_local);
+        }
+      }
+
+      c.allreduce(std::span<double>(losses.data(), losses.size()),
+                  ReduceOp::kMin);
+
+      model.chosen_support_per_bootstrap.assign(b2, 0);
+      model.best_loss_per_bootstrap.assign(b2, 0.0);
+      Vector beta_sum(n_coeffs, 0.0);
+      Vector freq_sum(n_coeffs, 0.0);
+      for (std::size_t k = 0; k < b2; ++k) {
+        std::size_t best_j = 0;
+        double best_loss = losses(k, 0);
+        for (std::size_t j = 1; j < q; ++j) {
+          if (losses(k, j) < best_loss) {
+            best_loss = losses(k, j);
+            best_j = j;
+          }
+        }
+        model.chosen_support_per_bootstrap[k] = best_j;
+        model.best_loss_per_bootstrap[k] = best_loss;
+        // Each rank of the owning task group holds disjoint equations of
+        // the winner, so summing every rank's copy assembles the full
+        // estimate.
+        if (!computed_betas[k * q + best_j].empty()) {
+          const auto& beta = computed_betas[k * q + best_j];
+          for (std::size_t i = 0; i < n_coeffs; ++i) {
+            beta_sum[i] += beta[i];
+            if (std::abs(beta[i]) > options.support_tolerance) {
+              freq_sum[i] += 1.0;
+            }
           }
         }
       }
-      previous = std::move(fit);
-      have_previous = true;
-    }
-  }
-  comm.allreduce(
-      std::span<double>(selection_counts.data(), selection_counts.size()),
-      ReduceOp::kSum);
-  const double count_threshold = std::max(
-      1.0, std::ceil(options.intersection_fraction *
-                         static_cast<double>(options.n_selection_bootstraps) -
-                     1e-12));
-  model.candidate_supports.reserve(q);
-  for (std::size_t j = 0; j < q; ++j) {
-    std::vector<std::size_t> selected;
-    const auto row = selection_counts.row(j);
-    for (std::size_t i = 0; i < n_coeffs; ++i) {
-      if (row[i] >= count_threshold) selected.push_back(i);
-    }
-    model.candidate_supports.emplace_back(std::move(selected));
-  }
-
-  // ---- Model estimation ----
-  // Parallelism: bootstraps over P_B, candidate supports over P_lambda,
-  // equations over the C ranks of each task group (the vectorized OLS
-  // decomposes exactly per equation; see var_restricted_ols).
-  const std::size_t b2 = options.n_estimation_bootstraps;
-  Matrix losses(b2, q, std::numeric_limits<double>::infinity());
-  std::vector<Vector> computed_betas(b2 * q);  // this rank's equations only
-
-  for (std::size_t k = 0; k < b2; ++k) {
-    if (static_cast<int>(k % static_cast<std::size_t>(pb)) != b_group) continue;
-
-    const Matrix train_sample = block_bootstrap_sample(
-        series, var_bootstrap_options(options, /*stage=*/1, k));
-    const Matrix eval_sample = block_bootstrap_sample(
-        series, var_bootstrap_options(options, /*stage=*/2, k));
-    const LagRegression train = build_lag_regression(train_sample, d);
-    const LagRegression eval = build_lag_regression(eval_sample, d);
-
-    std::vector<std::size_t> eq_support;
-    for (std::size_t j = 0; j < q; ++j) {
-      if (static_cast<int>(j % static_cast<std::size_t>(pl)) != l_group)
-        continue;
-      Vector beta_local(n_coeffs, 0.0);
-      double sse[2] = {0.0, 0.0};  // (sum of squared errors, row count)
-      for (std::size_t e = 0; e < p; ++e) {
-        if (!owns_equation(e, c_ranks, task_rank)) continue;
-        eq_support.clear();
-        for (const std::size_t c : model.candidate_supports[j].indices()) {
-          if (c >= e * dp && c < (e + 1) * dp) eq_support.push_back(c - e * dp);
-        }
-        Vector beta_e(dp, 0.0);
-        if (!eq_support.empty()) {
-          const Vector y_e = train.y.col(e);
-          beta_e = uoi::solvers::ols_direct_on_support(train.x, y_e,
-                                                       eq_support);
-        }
-        for (std::size_t c = 0; c < dp; ++c) beta_local[e * dp + c] = beta_e[c];
-        for (std::size_t r = 0; r < eval.x.rows(); ++r) {
-          const double err =
-              uoi::linalg::dot(eval.x.row(r), beta_e) - eval.y(r, e);
-          sse[0] += err * err;
-        }
-        sse[1] += static_cast<double>(eval.x.rows());
-      }
-      task_comm.allreduce(std::span<double>(sse, 2), ReduceOp::kSum);
-      const double mse = sse[1] > 0.0 ? sse[0] / sse[1] : 0.0;
-      losses(k, j) = uoi::core::estimation_score(
-          options.criterion, mse, sse[1],
-          model.candidate_supports[j].size());
-      computed_betas[k * q + j] = std::move(beta_local);
-    }
-  }
-
-  comm.allreduce(std::span<double>(losses.data(), losses.size()),
-                 ReduceOp::kMin);
-
-  model.chosen_support_per_bootstrap.assign(b2, 0);
-  model.best_loss_per_bootstrap.assign(b2, 0.0);
-  Vector beta_sum(n_coeffs, 0.0);
-  Vector freq_sum(n_coeffs, 0.0);
-  for (std::size_t k = 0; k < b2; ++k) {
-    std::size_t best_j = 0;
-    double best_loss = losses(k, 0);
-    for (std::size_t j = 1; j < q; ++j) {
-      if (losses(k, j) < best_loss) {
-        best_loss = losses(k, j);
-        best_j = j;
-      }
-    }
-    model.chosen_support_per_bootstrap[k] = best_j;
-    model.best_loss_per_bootstrap[k] = best_loss;
-    // Each rank of the owning task group holds disjoint equations of the
-    // winner, so summing every rank's copy assembles the full estimate.
-    if (!computed_betas[k * q + best_j].empty()) {
-      const auto& beta = computed_betas[k * q + best_j];
+      c.allreduce(beta_sum, ReduceOp::kSum);
+      c.allreduce(freq_sum, ReduceOp::kSum);
+      model.selection_frequency.assign(n_coeffs, 0.0);
       for (std::size_t i = 0; i < n_coeffs; ++i) {
-        beta_sum[i] += beta[i];
-        if (std::abs(beta[i]) > options.support_tolerance) {
-          freq_sum[i] += 1.0;
+        model.selection_frequency[i] = freq_sum[i] / static_cast<double>(b2);
+      }
+
+      for (std::size_t i = 0; i < n_coeffs; ++i) {
+        model.vec_beta[i] = beta_sum[i] / static_cast<double>(b2);
+      }
+      model.support =
+          SupportSet::from_beta(model.vec_beta, options.support_tolerance);
+
+      VarModel fitted = VarModel::from_vec_b(model.vec_beta, p, d);
+      Vector mu(p, 0.0);
+      if (options.center) {
+        mu = means;
+        for (std::size_t j = 0; j < d; ++j) {
+          const auto& a = fitted.coefficient(j);
+          for (std::size_t i = 0; i < p; ++i) {
+            mu[i] -= uoi::linalg::dot(a.row(i), means);
+          }
         }
       }
+      model.model = VarModel(fitted.coefficients(), std::move(mu));
+
+      std::uint64_t flops = local_flops;
+      c.allreduce(std::span<std::uint64_t>(&flops, 1), ReduceOp::kSum);
+      model.total_flops = flops;
+
+      folded += task_comm.stats();
+      folded_rec += task_comm.recovery_stats();
+    } catch (const uoi::sim::RankFailedError&) {
+      folded += task_comm.stats();
+      folded_rec += task_comm.recovery_stats();
+      throw;
     }
-  }
-  comm.allreduce(beta_sum, ReduceOp::kSum);
-  comm.allreduce(freq_sum, ReduceOp::kSum);
-  model.selection_frequency.assign(n_coeffs, 0.0);
-  for (std::size_t i = 0; i < n_coeffs; ++i) {
-    model.selection_frequency[i] = freq_sum[i] / static_cast<double>(b2);
-  }
+  };
 
-  for (std::size_t i = 0; i < n_coeffs; ++i) {
-    model.vec_beta[i] = beta_sum[i] / static_cast<double>(b2);
-  }
-  model.support =
-      SupportSet::from_beta(model.vec_beta, options.support_tolerance);
-
-  VarModel fitted = VarModel::from_vec_b(model.vec_beta, p, d);
-  Vector mu(p, 0.0);
-  if (options.center) {
-    mu = means;
-    for (std::size_t j = 0; j < d; ++j) {
-      const auto& a = fitted.coefficient(j);
-      for (std::size_t i = 0; i < p; ++i) {
-        mu[i] -= uoi::linalg::dot(a.row(i), means);
+  // ---- Recovery attempt loop (see uoi_lasso_distributed.cpp) ----
+  bool selection_complete = false;
+  int attempts_left = recovery.max_recovery_attempts;
+  for (;;) {
+    try {
+      if (!selection_complete) {
+        run_selection(*active);
+        const double count_threshold = std::max(
+            1.0, std::ceil(options.intersection_fraction *
+                               static_cast<double>(b1) -
+                           1e-12));
+        model.candidate_supports.clear();
+        model.candidate_supports.reserve(q);
+        for (std::size_t j = 0; j < q; ++j) {
+          std::vector<std::size_t> selected;
+          const auto row = counts_merged.row(j);
+          for (std::size_t i = 0; i < n_coeffs; ++i) {
+            if (row[i] >= count_threshold) selected.push_back(i);
+          }
+          model.candidate_supports.emplace_back(std::move(selected));
+        }
+        selection_complete = true;
       }
+      run_estimation(*active);
+      break;
+    } catch (const uoi::sim::RankFailedError&) {
+      if (attempts_left-- <= 0) throw;
+      Comm next = active->shrink();
+      if (owned.has_value()) {
+        folded += owned->stats();
+        folded_rec += owned->recovery_stats();
+      }
+      owned = std::move(next);
+      active = &*owned;
+      pl = 1;
+      pb = largest_divisor_at_most(active->size(), layout.bootstrap_groups);
+      merge(*active);
+      if (!selection_complete) {
+        std::uint64_t missing = 0;
+        for (std::size_t i = 0; i < done_merged.size(); ++i) {
+          if (done_merged.data()[i] == 0.0) ++missing;
+        }
+        folded_rec.cells_recovered += missing;
+      }
+      save(*active);
     }
   }
-  model.model = VarModel(fitted.coefficients(), std::move(mu));
 
-  std::uint64_t flops = local_flops;
-  comm.allreduce(std::span<std::uint64_t>(&flops, 1), ReduceOp::kSum);
-  model.total_flops = flops;
+  out.selection_counts = counts_merged;
 
-  out.breakdown.distribution_seconds = distribution_seconds() - distr_before;
-  out.breakdown.communication_seconds = comm_seconds() - comm_before;
+  if (owned.has_value()) {
+    folded += owned->stats();
+    folded_rec += owned->recovery_stats();
+  }
+  comm.mutable_stats() += folded;
+  comm.mutable_recovery_stats() += folded_rec;
+
+  out.breakdown.distribution_seconds =
+      comm.stats().onesided_seconds() - distr_before;
+  out.breakdown.communication_seconds =
+      comm.stats().collective_seconds() - comm_before;
   out.breakdown.computation_seconds = phase_watch.seconds() -
                                       out.breakdown.communication_seconds -
                                       out.breakdown.distribution_seconds;
-  // Fold the task group's traffic into the caller's accounting so
-  // Cluster::run_collect_stats sees the consensus Allreduces.
-  comm.mutable_stats() += task_comm.stats();
   return out;
 }
 

@@ -44,16 +44,21 @@ struct VarLocalBlock {
 /// data file in parallel"): reader ranks [0, n_readers) read disjoint row
 /// slabs of an H5-lite dataset and the (small) series is replicated to
 /// every rank through a one-sided window. Collective over `comm`.
+/// Transient one-sided failures injected by a fault plan are absorbed by
+/// bounded exponential-backoff retries (`retry`).
 [[nodiscard]] uoi::linalg::Matrix load_series_distributed(
-    uoi::sim::Comm& comm, const std::string& dataset_base, int n_readers);
+    uoi::sim::Comm& comm, const std::string& dataset_base, int n_readers,
+    const uoi::sim::RetryOptions& retry = {});
 
 /// Distributed Kronecker product + vectorization. Collective over `comm`.
 /// Readers are ranks [0, n_readers); `lag` must contain the full lag
 /// regression on reader ranks (ignored elsewhere). Every rank receives its
 /// contiguous row block of (I (x) X, vec Y). One-sided traffic is charged
-/// to the caller's CommStats "Distribution" bucket.
+/// to the caller's CommStats "Distribution" bucket. Assembly gets retry
+/// transient faults under `retry`'s bounded backoff budget.
 [[nodiscard]] VarLocalBlock distributed_kron_vectorize(
-    uoi::sim::Comm& comm, const LagRegression& lag, int n_readers);
+    uoi::sim::Comm& comm, const LagRegression& lag, int n_readers,
+    const uoi::sim::RetryOptions& retry = {});
 
 /// Block-structured distributed consensus LASSO-ADMM over assembled blocks.
 /// Semantics match solvers::DistributedLassoAdmmSolver with the Gram
@@ -82,6 +87,10 @@ class DistributedVarAdmmSolver {
 struct UoiVarDistributedResult {
   UoiVarResult model;
   uoi::core::UoiDistributedBreakdown breakdown;
+  /// Final merged q x (d p^2) selection-count matrix (replicated);
+  /// exposed so fault-injection tests can assert bit-identical counts
+  /// against a fault-free run.
+  uoi::linalg::Matrix selection_counts;
 };
 
 /// Distributed UoI_VAR driver. Collective over `comm`; the full series is

@@ -4,20 +4,32 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
 
+#include "core/checkpoint.hpp"
+#include "core/uoi_lasso_distributed.hpp"
 #include "data/synthetic_regression.hpp"
+#include "data/synthetic_var.hpp"
+#include "io/distribution.hpp"
 #include "io/h5lite.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 #include "simcluster/cluster.hpp"
+#include "simcluster/window.hpp"
 #include "solvers/admm_lasso.hpp"
 #include "solvers/cd_lasso.hpp"
 #include "solvers/distributed_admm.hpp"
 #include "solvers/lambda_grid.hpp"
 #include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+#include "var/var_distributed.hpp"
 
 namespace {
 
@@ -225,4 +237,542 @@ TEST(FailureInjection, ByteBcastWorks) {
   });
 }
 
+// ---- checkpoint durability ----
+
+TEST(FailureInjection, ZeroByteCheckpointReturnsNullopt) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "uoi_zero_ckpt.txt").string();
+  {
+    std::ofstream f(path, std::ios::trunc);
+  }
+  // A crash that left an empty file must read as "no checkpoint", never
+  // throw: the run restarts from scratch.
+  EXPECT_FALSE(uoi::core::try_load_checkpoint(path, 1234).has_value());
+  std::filesystem::remove(path);
+}
+
+TEST(FailureInjection, CheckpointDoneSectionRoundTrips) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "uoi_done_ckpt.txt").string();
+  uoi::core::SelectionCheckpoint ckpt;
+  ckpt.fingerprint = 42;
+  ckpt.lambdas = {1.0, 0.5};
+  ckpt.counts = Matrix(2, 3, 0.0);
+  ckpt.counts(0, 1) = 3.0;
+  ckpt.counts(1, 2) = 1.0;
+  // Scattered completion map: bootstrap 0 fully done, 1 half done, 2 not.
+  ckpt.done = Matrix(3, 2, 0.0);
+  ckpt.done(0, 0) = 1.0;
+  ckpt.done(0, 1) = 1.0;
+  ckpt.done(1, 0) = 1.0;
+  EXPECT_EQ(ckpt.completed_prefix(), 1u);
+  EXPECT_FALSE(ckpt.is_prefix_consistent());
+  ckpt.completed_bootstraps = ckpt.completed_prefix();
+  uoi::core::save_checkpoint(path, ckpt);
+
+  const auto restored = uoi::core::try_load_checkpoint(path, 42);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->completed_bootstraps, 1u);
+  EXPECT_EQ(restored->lambdas, ckpt.lambdas);
+  EXPECT_EQ(uoi::linalg::max_abs_diff(restored->counts, ckpt.counts), 0.0);
+  EXPECT_EQ(uoi::linalg::max_abs_diff(restored->done, ckpt.done), 0.0);
+  EXPECT_FALSE(restored->is_prefix_consistent());
+  // A foreign fingerprint is ignored, not an error.
+  EXPECT_FALSE(uoi::core::try_load_checkpoint(path, 43).has_value());
+  std::filesystem::remove(path);
+}
+
 }  // namespace
+
+// ---- fault injection: the simcluster runtime ----
+
+namespace fault_injection_tests {
+
+using uoi::linalg::Matrix;
+using uoi::sim::Cluster;
+using uoi::sim::Comm;
+using uoi::sim::FaultPlan;
+using uoi::sim::RankFailedError;
+using uoi::sim::ReduceOp;
+using uoi::sim::TransientCommError;
+using uoi::sim::Window;
+
+std::shared_ptr<const FaultPlan> kill_plan(int rank, std::uint64_t at) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->kills.push_back({rank, at});
+  return plan;
+}
+
+TEST(FaultInjection, KillDetectShrinkResume) {
+  const auto plan = kill_plan(2, 3);
+  const auto reports = Cluster::run_collect_reports(4, [&](Comm& comm) {
+    comm.set_fault_plan(plan);
+    bool detected = false;
+    try {
+      for (int i = 0; i < 10; ++i) {
+        double sum = 1.0;
+        comm.allreduce(std::span<double>(&sum, 1), ReduceOp::kSum);
+      }
+    } catch (const RankFailedError&) {
+      detected = true;
+    }
+    // Only survivors reach this point; the victim unwound above.
+    ASSERT_TRUE(detected);
+    EXPECT_FALSE(comm.is_alive(2));
+    EXPECT_EQ(comm.alive_size(), 3);
+    Comm shrunk = comm.shrink();
+    EXPECT_EQ(shrunk.size(), 3);
+    EXPECT_EQ(shrunk.global_rank(), comm.rank());  // old-rank order
+    double sum = 1.0;
+    shrunk.allreduce(std::span<double>(&sum, 1), ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(sum, 3.0);
+  });
+  for (const int r : {0, 1, 3}) {
+    EXPECT_GE(reports[r].recovery.rank_failures_detected, 1u) << "rank " << r;
+    EXPECT_EQ(reports[r].recovery.shrinks, 1u) << "rank " << r;
+  }
+}
+
+TEST(FaultInjection, DeadRankRaisesOnOneSidedAndRecv) {
+  const auto plan = kill_plan(0, 3);
+  Cluster::run(2, [&](Comm& comm) {
+    comm.set_fault_plan(plan);
+    std::vector<double> buffer(2, comm.rank() + 1.0);
+    Window window(comm, buffer);
+    bool detected = false;
+    try {
+      window.fence();
+      for (int i = 0; i < 8; ++i) comm.barrier();
+    } catch (const RankFailedError&) {
+      detected = true;
+    }
+    ASSERT_TRUE(detected);
+    std::vector<double> out(2, 0.0);
+    EXPECT_THROW(window.get(0, 0, std::span<double>(out)), RankFailedError);
+    double x = 0.0;
+    EXPECT_THROW(comm.recv(0, std::span<double>(&x, 1)), RankFailedError);
+  });
+}
+
+TEST(FaultInjection, TransientWindowFaultIsRetriedAndConverges) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->onesided.push_back({/*rank=*/1, /*at_op=*/0, /*count=*/2,
+                            FaultPlan::OneSidedKind::kTransient, 0.0});
+  const auto reports = Cluster::run_collect_reports(2, [&](Comm& comm) {
+    comm.set_fault_plan(plan);
+    std::vector<double> buffer(4, comm.rank() == 0 ? 7.0 : 0.0);
+    Window window(comm, buffer);
+    window.fence();
+    if (comm.rank() == 1) {
+      std::vector<double> out(4, 0.0);
+      uoi::sim::retry_onesided(comm, {}, [&] {
+        window.get(0, 0, std::span<double>(out));
+      });
+      for (const double v : out) EXPECT_DOUBLE_EQ(v, 7.0);
+    }
+    window.fence();
+  });
+  EXPECT_EQ(reports[1].recovery.transient_faults, 2u);
+  EXPECT_EQ(reports[1].recovery.retries, 2u);
+  EXPECT_EQ(reports[1].recovery.giveups, 0u);
+  EXPECT_GT(reports[1].recovery.backoff_seconds, 0.0);
+}
+
+TEST(FaultInjection, RetryBudgetExhaustionRaisesClearError) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->onesided.push_back({/*rank=*/1, /*at_op=*/0, /*count=*/10,
+                            FaultPlan::OneSidedKind::kTransient, 0.0});
+  const auto reports = Cluster::run_collect_reports(2, [&](Comm& comm) {
+    comm.set_fault_plan(plan);
+    std::vector<double> buffer(4, 1.0);
+    Window window(comm, buffer);
+    window.fence();
+    if (comm.rank() == 1) {
+      std::vector<double> out(4, 0.0);
+      bool exhausted = false;
+      try {
+        uoi::sim::retry_onesided(comm, {}, [&] {
+          window.get(0, 0, std::span<double>(out));
+        });
+      } catch (const TransientCommError& error) {
+        exhausted = true;
+        EXPECT_NE(std::string(error.what()).find("retry budget exhausted"),
+                  std::string::npos)
+            << error.what();
+      }
+      EXPECT_TRUE(exhausted);
+    }
+    window.fence();
+  });
+  EXPECT_EQ(reports[1].recovery.giveups, 1u);
+  EXPECT_EQ(reports[1].recovery.retries, 3u);  // 4 attempts = 3 retries
+}
+
+TEST(FaultInjection, CorruptionFlipsOnePayloadBit) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->onesided.push_back({/*rank=*/1, /*at_op=*/0, /*count=*/1,
+                            FaultPlan::OneSidedKind::kCorrupt, 0.0});
+  Cluster::run(2, [&](Comm& comm) {
+    comm.set_fault_plan(plan);
+    std::vector<double> buffer(3, comm.rank() == 0 ? 7.0 : 0.0);
+    Window window(comm, buffer);
+    window.fence();
+    if (comm.rank() == 1) {
+      std::vector<double> out(3, 0.0);
+      window.get(0, 0, std::span<double>(out));
+      EXPECT_NE(out[0], 7.0);  // first element corrupted...
+      EXPECT_TRUE(std::isfinite(out[0]));
+      EXPECT_DOUBLE_EQ(out[1], 7.0);  // ...the rest intact
+      EXPECT_DOUBLE_EQ(out[2], 7.0);
+      window.get(0, 0, std::span<double>(out));  // next op is clean
+      EXPECT_DOUBLE_EQ(out[0], 7.0);
+    }
+    window.fence();
+  });
+}
+
+TEST(FaultInjection, DelayFaultConsumesWallTime) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->onesided.push_back({/*rank=*/1, /*at_op=*/0, /*count=*/1,
+                            FaultPlan::OneSidedKind::kDelay, 0.005});
+  Cluster::run(2, [&](Comm& comm) {
+    comm.set_fault_plan(plan);
+    std::vector<double> buffer(2, 1.0);
+    Window window(comm, buffer);
+    window.fence();
+    if (comm.rank() == 1) {
+      std::vector<double> out(2, 0.0);
+      uoi::support::Stopwatch watch;
+      window.get(0, 0, std::span<double>(out));
+      EXPECT_GE(watch.seconds(), 0.005);
+    }
+    window.fence();
+  });
+}
+
+TEST(FaultInjection, ReshuffleAbsorbsRandomTransients) {
+  const std::size_t n = 40;
+  const std::size_t cols = 3;
+  uoi::support::Xoshiro256 rng(77);
+  Matrix data(n, cols);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) data(r, c) = rng.normal();
+  }
+  const auto make_held = [&](const Comm& comm) {
+    const std::size_t begin = n * static_cast<std::size_t>(comm.rank()) / 4;
+    const std::size_t end =
+        n * (static_cast<std::size_t>(comm.rank()) + 1) / 4;
+    uoi::io::LocalRows held;
+    held.rows = Matrix::from_view(data.row_block(begin, end - begin));
+    for (std::size_t g = begin; g < end; ++g) held.global_indices.push_back(g);
+    return held;
+  };
+
+  std::vector<uoi::io::LocalRows> clean(4);
+  Cluster::run(4, [&](Comm& comm) {
+    clean[comm.rank()] = uoi::io::reshuffle(comm, make_held(comm), n, 5);
+  });
+
+  const auto plan = std::make_shared<FaultPlan>(
+      FaultPlan::random_transients(/*seed=*/99, /*n_ranks=*/4, /*max_op=*/10,
+                                   /*n_faults=*/5));
+  const auto reports = Cluster::run_collect_reports(4, [&](Comm& comm) {
+    comm.set_fault_plan(plan);
+    const auto shuffled = uoi::io::reshuffle(comm, make_held(comm), n, 5);
+    EXPECT_EQ(uoi::linalg::max_abs_diff(shuffled.rows,
+                                        clean[comm.rank()].rows),
+              0.0);
+    EXPECT_EQ(shuffled.global_indices, clean[comm.rank()].global_indices);
+  });
+  std::uint64_t faults = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t giveups = 0;
+  for (const auto& report : reports) {
+    faults += report.recovery.transient_faults;
+    retries += report.recovery.retries;
+    giveups += report.recovery.giveups;
+  }
+  EXPECT_GE(faults, 1u);
+  EXPECT_GE(retries, 1u);
+  EXPECT_EQ(giveups, 0u);
+}
+
+}  // namespace fault_injection_tests
+
+// ---- fail-recoverable UoI drivers ----
+
+namespace fault_recovery_tests {
+
+using fault_injection_tests::kill_plan;
+using uoi::linalg::Matrix;
+using uoi::sim::Cluster;
+using uoi::sim::Comm;
+using uoi::sim::FaultPlan;
+using uoi::sim::RankFailedError;
+
+/// Collectives a rank entered, from its folded CommStats: used to place a
+/// kill mid-run as a fraction of the fault-free total.
+std::uint64_t collective_calls(const uoi::sim::CommStats& stats) {
+  std::uint64_t total = 0;
+  for (int c = 0; c < static_cast<int>(uoi::sim::CommCategory::kPointToPoint);
+       ++c) {
+    total += stats.entries[static_cast<std::size_t>(c)].calls;
+  }
+  return total;
+}
+
+uoi::core::UoiLassoOptions lasso_options() {
+  uoi::core::UoiLassoOptions options;
+  options.n_selection_bootstraps = 5;
+  options.n_estimation_bootstraps = 3;
+  options.n_lambdas = 5;
+  options.seed = 909;
+  options.admm.eps_abs = 1e-8;
+  options.admm.eps_rel = 1e-6;
+  options.admm.max_iterations = 5000;
+  return options;
+}
+
+uoi::data::RegressionDataset lasso_data() {
+  uoi::data::RegressionSpec spec;
+  spec.n_samples = 80;
+  spec.n_features = 16;
+  spec.support_size = 4;
+  spec.noise_stddev = 0.3;
+  spec.seed = 44;
+  return uoi::data::make_regression(spec);
+}
+
+struct LassoRun {
+  std::vector<uoi::core::UoiLassoDistributedResult> results;  // index == rank
+  std::vector<uoi::sim::RankReport> reports;
+};
+
+LassoRun run_lasso(int ranks, const uoi::data::RegressionDataset& data,
+                   const uoi::core::UoiLassoOptions& options,
+                   const uoi::core::UoiParallelLayout& layout,
+                   std::shared_ptr<const FaultPlan> plan) {
+  LassoRun run;
+  run.results.resize(static_cast<std::size_t>(ranks));
+  run.reports = Cluster::run_collect_reports(ranks, [&](Comm& comm) {
+    if (plan != nullptr) comm.set_fault_plan(plan);
+    run.results[static_cast<std::size_t>(comm.rank())] =
+        uoi::core::uoi_lasso_distributed(comm, data.x, data.y, options,
+                                         layout);
+  });
+  return run;
+}
+
+void expect_same_model(const uoi::core::UoiLassoDistributedResult& actual,
+                       const uoi::core::UoiLassoDistributedResult& expected,
+                       bool bit_identical_counts) {
+  if (bit_identical_counts) {
+    EXPECT_EQ(uoi::linalg::max_abs_diff(actual.selection_counts,
+                                        expected.selection_counts),
+              0.0);
+  }
+  ASSERT_EQ(actual.model.candidate_supports.size(),
+            expected.model.candidate_supports.size());
+  for (std::size_t j = 0; j < expected.model.candidate_supports.size(); ++j) {
+    EXPECT_EQ(actual.model.candidate_supports[j],
+              expected.model.candidate_supports[j])
+        << "candidate support mismatch at lambda index " << j;
+  }
+  EXPECT_EQ(actual.model.support, expected.model.support);
+}
+
+TEST(FaultRecovery, LassoRankKilledMidSelectionIsBitIdentical) {
+  const auto data = lasso_data();
+  const auto options = lasso_options();
+  const uoi::core::UoiParallelLayout layout{5, 1};  // C = 1 throughout
+
+  const auto clean = run_lasso(5, data, options, layout, nullptr);
+  // Kill rank 2 a quarter of the way through its fault-free collective
+  // schedule: inside the selection loop, past setup.
+  const auto kill_at = collective_calls(clean.reports[2].comm) / 4;
+  const auto faulty =
+      run_lasso(5, data, options, layout, kill_plan(2, kill_at));
+
+  for (const int r : {0, 1, 3, 4}) {
+    const auto& result = faulty.results[static_cast<std::size_t>(r)];
+    expect_same_model(result, clean.results[0], /*bit_identical_counts=*/true);
+    EXPECT_GE(faulty.reports[static_cast<std::size_t>(r)]
+                  .recovery.rank_failures_detected,
+              1u)
+        << "rank " << r;
+    EXPECT_GE(faulty.reports[static_cast<std::size_t>(r)].recovery.shrinks, 1u)
+        << "rank " << r;
+  }
+  // At least one survivor accounted for redistributed selection cells.
+  std::uint64_t recovered = 0;
+  for (const auto& report : faulty.reports) {
+    recovered += report.recovery.cells_recovered;
+  }
+  EXPECT_GE(recovered, 1u);
+}
+
+TEST(FaultRecovery, LassoRecoversAcrossConsensusGroups) {
+  const auto data = lasso_data();
+  const auto options = lasso_options();
+  const uoi::core::UoiParallelLayout layout{2, 1};  // 4 ranks -> C = 2
+
+  const auto clean = run_lasso(4, data, options, layout, nullptr);
+  const auto kill_at = (2 * collective_calls(clean.reports[3].comm)) / 5;
+  const auto faulty =
+      run_lasso(4, data, options, layout, kill_plan(3, kill_at));
+
+  for (const int r : {0, 1, 2}) {
+    const auto& result = faulty.results[static_cast<std::size_t>(r)];
+    expect_same_model(result, clean.results[0], /*bit_identical_counts=*/true);
+    EXPECT_GE(faulty.reports[static_cast<std::size_t>(r)].recovery.shrinks, 1u)
+        << "rank " << r;
+  }
+}
+
+TEST(FaultRecovery, ExhaustedRecoveryBudgetPropagates) {
+  const auto data = lasso_data();
+  auto options = lasso_options();
+  options.recovery.max_recovery_attempts = 0;  // no recovery allowed
+
+  const auto clean = run_lasso(4, data, options, {2, 1}, nullptr);
+  const auto kill_at = collective_calls(clean.reports[1].comm) / 3;
+  const auto plan = kill_plan(1, kill_at);
+  EXPECT_THROW(Cluster::run(4,
+                            [&](Comm& comm) {
+                              comm.set_fault_plan(plan);
+                              (void)uoi::core::uoi_lasso_distributed(
+                                  comm, data.x, data.y, options, {2, 1});
+                            }),
+               RankFailedError);
+}
+
+TEST(FaultRecovery, TwoFailuresExhaustSingleRecoveryAttempt) {
+  const auto data = lasso_data();
+  auto options = lasso_options();
+  options.recovery.max_recovery_attempts = 1;
+  // Per-bootstrap merges bound how long a failure can stay undetected, so
+  // the second death always lands after the first recovery completed.
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "uoi_two_failures_ckpt.txt")
+                        .string();
+  std::filesystem::remove(path);
+  options.recovery.checkpoint_path = path;
+  options.recovery.checkpoint_interval = 1;
+
+  const auto clean = run_lasso(4, data, options, {2, 1}, nullptr);
+  std::filesystem::remove(path);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->kills.push_back({1, collective_calls(clean.reports[1].comm) / 4});
+  plan->kills.push_back({2, (3 * collective_calls(clean.reports[2].comm)) / 4});
+  EXPECT_THROW(Cluster::run(4,
+                            [&](Comm& comm) {
+                              comm.set_fault_plan(plan);
+                              (void)uoi::core::uoi_lasso_distributed(
+                                  comm, data.x, data.y, options, {2, 1});
+                            }),
+               RankFailedError);
+  std::filesystem::remove(path);
+}
+
+TEST(FaultRecovery, CheckpointCrashRestartResumesAndMatches) {
+  const auto data = lasso_data();
+  auto options = lasso_options();
+  const uoi::core::UoiParallelLayout layout{5, 1};
+  const auto path =
+      (std::filesystem::temp_directory_path() / "uoi_restart_ckpt.txt")
+          .string();
+  std::filesystem::remove(path);
+
+  const auto clean = run_lasso(5, data, options, layout, nullptr);
+
+  // Crash run: checkpoint every bootstrap, kill mid-selection, no recovery
+  // budget — the job dies, leaving only the checkpoint behind.
+  auto crash_options = options;
+  crash_options.recovery.checkpoint_path = path;
+  crash_options.recovery.checkpoint_interval = 1;
+  crash_options.recovery.max_recovery_attempts = 0;
+  const auto kill_at = (2 * collective_calls(clean.reports[2].comm)) / 5;
+  const auto plan = kill_plan(2, kill_at);
+  EXPECT_THROW(
+      Cluster::run(5,
+                   [&](Comm& comm) {
+                     comm.set_fault_plan(plan);
+                     (void)uoi::core::uoi_lasso_distributed(
+                         comm, data.x, data.y, crash_options, layout);
+                   }),
+      RankFailedError);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // Restart run: same options, no faults. Selection resumes from the
+  // checkpoint and the final model matches the fault-free run exactly.
+  auto resume_options = options;
+  resume_options.recovery.checkpoint_path = path;
+  const auto resumed = run_lasso(5, data, resume_options, layout, nullptr);
+  for (std::size_t r = 0; r < 5; ++r) {
+    expect_same_model(resumed.results[r], clean.results[0],
+                      /*bit_identical_counts=*/true);
+    EXPECT_GE(resumed.reports[r].recovery.checkpoint_resumes, 1u)
+        << "rank " << r;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(FaultRecovery, VarRankKilledMidSelectionMatchesFaultFree) {
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 4;
+  spec.edges_per_node = 1.0;
+  spec.seed = 61;
+  const auto truth = uoi::data::make_sparse_var(spec);
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 100;
+  sim.seed = 62;
+  const Matrix series = uoi::var::simulate(truth, sim);
+
+  uoi::var::UoiVarOptions options;
+  options.n_selection_bootstraps = 4;
+  options.n_estimation_bootstraps = 2;
+  options.n_lambdas = 4;
+  options.seed = 63;
+  options.admm.eps_abs = 1e-8;
+  options.admm.eps_rel = 1e-6;
+  options.admm.max_iterations = 5000;
+
+  std::vector<std::optional<uoi::var::UoiVarDistributedResult>> clean_results(
+      4);
+  const auto clean_reports = Cluster::run_collect_reports(4, [&](Comm& comm) {
+    clean_results[static_cast<std::size_t>(comm.rank())] =
+        uoi::var::uoi_var_distributed(comm, series, options, {2, 1}, 2);
+  });
+
+  const auto kill_at = collective_calls(clean_reports[3].comm) / 3;
+  const auto plan = kill_plan(3, kill_at);
+  std::vector<std::optional<uoi::var::UoiVarDistributedResult>> faulty_results(
+      4);
+  const auto faulty_reports = Cluster::run_collect_reports(4, [&](Comm& comm) {
+    comm.set_fault_plan(plan);
+    faulty_results[static_cast<std::size_t>(comm.rank())] =
+        uoi::var::uoi_var_distributed(comm, series, options, {2, 1}, 2);
+  });
+
+  for (const int r : {0, 1, 2}) {
+    ASSERT_TRUE(faulty_results[static_cast<std::size_t>(r)].has_value());
+    const auto& result = *faulty_results[static_cast<std::size_t>(r)];
+    const auto& reference = *clean_results[0];
+    EXPECT_EQ(uoi::linalg::max_abs_diff(result.selection_counts,
+                                        reference.selection_counts),
+              0.0);
+    ASSERT_EQ(result.model.candidate_supports.size(),
+              reference.model.candidate_supports.size());
+    for (std::size_t j = 0; j < reference.model.candidate_supports.size();
+         ++j) {
+      EXPECT_EQ(result.model.candidate_supports[j],
+                reference.model.candidate_supports[j])
+          << "candidate support mismatch at lambda index " << j;
+    }
+    EXPECT_EQ(result.model.support, reference.model.support);
+    EXPECT_GE(faulty_reports[static_cast<std::size_t>(r)].recovery.shrinks, 1u)
+        << "rank " << r;
+  }
+}
+
+}  // namespace fault_recovery_tests

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Build the suite under ThreadSanitizer and run the concurrency-sensitive
+# tests. The simulated SPMD cluster runs ranks as std::threads, so TSan
+# covers every collective, one-sided window epoch, and fault-recovery path
+# that real MPI would exercise across processes.
+#
+#   tools/run_tsan.sh [build-dir] [ctest -R regex]
+#
+# Defaults: build-tsan/ next to the source tree; runs the simcluster,
+# robustness, p2p, and nonblocking suites (the ones with real cross-thread
+# traffic). Pass a regex of '.' to run everything (slow under TSan).
+set -eu
+
+src_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"${src_dir}/build-tsan"}
+regex=${2:-"simcluster|robustness|p2p|nonblocking"}
+
+cmake -S "${src_dir}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DUOI_SANITIZE=thread
+cmake --build "${build_dir}" -j "$(nproc 2>/dev/null || echo 4)"
+
+# halt_on_error=0: collect every report in one pass instead of dying at the
+# first; second_deadlock_stack aids the barrier-vs-window lock ordering.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=0 second_deadlock_stack=1}" \
+  ctest --test-dir "${build_dir}" -R "${regex}" --output-on-failure

@@ -7,31 +7,44 @@
 //   uoi order  --csv series.csv [--max-order D]
 //                                         VAR order selection (AIC/BIC/HQ)
 //   uoi demo                              synthetic end-to-end showcase
+//   uoi faultdemo                         fault-injected distributed run:
+//                                         kill a rank mid-selection, watch
+//                                         the survivors shrink + recover
 //
 // Common options:
 //   --b1 N / --b2 N       selection / estimation bootstraps
 //   --lambdas Q           lambda grid size
 //   --seed S              master seed
+//   --checkpoint-path F   persist selection progress to F and resume from it
 // var-specific:
 //   --order D             VAR order (default 1)
 //   --tolerance T         edge magnitude threshold (default 0.01)
 //   --dot FILE            write the Graphviz network
 //   --save-model FILE     write the fitted model (model_io format)
 //   --forecast H          print an H-step forecast
+// faultdemo-specific:
+//   --ranks P             simulated cluster size (default 4)
+//   --inject-fault R@S    kill global rank R at its S-th collective
+//   --max-retries N       one-sided retry budget (default 4)
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/metrics.hpp"
 #include "core/uoi_lasso.hpp"
+#include "core/uoi_lasso_distributed.hpp"
 #include "core/uoi_logistic.hpp"
 #include "solvers/logistic.hpp"
 #include "data/synthetic_regression.hpp"
 #include "data/synthetic_var.hpp"
 #include "io/csv.hpp"
+#include "simcluster/cluster.hpp"
 #include "support/format.hpp"
 #include "support/table.hpp"
 #include "var/granger.hpp"
@@ -56,14 +69,20 @@ struct Args {
   std::size_t forecast_horizon = 0;
   double tolerance = 0.01;
   std::uint64_t seed = 20200518;
+  std::string checkpoint_path;
+  std::string inject_fault;  ///< "rank@step", empty = no fault
+  int max_retries = 4;
+  int ranks = 4;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s {lasso|logistic|var|granger|order|demo} [--csv FILE] [--b1 N] "
+               "usage: %s {lasso|logistic|var|granger|order|demo|faultdemo} "
+               "[--csv FILE] [--b1 N] "
                "[--b2 N] [--lambdas Q] [--order D] [--max-order D] "
                "[--tolerance T] [--dot FILE] [--json FILE] [--save-model FILE] "
-               "[--forecast H] [--seed S]\n",
+               "[--forecast H] [--seed S] [--checkpoint-path FILE] "
+               "[--ranks P] [--inject-fault RANK@STEP] [--max-retries N]\n",
                argv0);
   std::exit(2);
 }
@@ -102,6 +121,14 @@ Args parse_args(int argc, char** argv) {
       args.model_path = value();
     } else if (flag == "--seed") {
       args.seed = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--checkpoint-path") {
+      args.checkpoint_path = value();
+    } else if (flag == "--inject-fault") {
+      args.inject_fault = value();
+    } else if (flag == "--max-retries") {
+      args.max_retries = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (flag == "--ranks") {
+      args.ranks = static_cast<int>(std::strtol(value(), nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       usage(argv[0]);
@@ -139,7 +166,11 @@ int run_lasso(const Args& args) {
   options.n_lambdas = args.n_lambdas;
   options.fit_intercept = true;
   options.seed = args.seed;
-  const auto fit = uoi::core::UoiLasso(options).fit(x, y);
+  const auto fit =
+      args.checkpoint_path.empty()
+          ? uoi::core::UoiLasso(options).fit(x, y)
+          : uoi::core::UoiLasso(options).fit_with_checkpoint(
+                x, y, args.checkpoint_path);
 
   std::printf("UoI_LASSO fit: %zu samples x %zu features\n", x.rows(), p);
   std::printf("intercept: %.6g\nselected features (|beta| > %g):\n",
@@ -313,6 +344,97 @@ int run_demo(const Args& args) {
   return 0;
 }
 
+int run_faultdemo(const Args& args) {
+  if (args.ranks < 2) {
+    std::fprintf(stderr, "faultdemo needs --ranks >= 2\n");
+    return 2;
+  }
+  std::printf("== fault-injection demo: distributed UoI_LASSO on %d ranks ==\n",
+              args.ranks);
+
+  uoi::data::RegressionSpec spec;
+  spec.n_samples = 120;
+  spec.n_features = 16;
+  spec.support_size = 4;
+  spec.seed = args.seed;
+  const auto data = uoi::data::make_regression(spec);
+
+  uoi::core::UoiLassoOptions options;
+  options.n_selection_bootstraps = args.b1;
+  options.n_estimation_bootstraps = args.b2;
+  options.n_lambdas = args.n_lambdas;
+  options.seed = args.seed;
+  options.recovery.checkpoint_path = args.checkpoint_path;
+  options.recovery.checkpoint_interval = 1;
+  options.recovery.onesided_max_attempts = args.max_retries;
+
+  auto plan = std::make_shared<uoi::sim::FaultPlan>();
+  int victim = -1;
+  if (!args.inject_fault.empty()) {
+    const auto at = args.inject_fault.find('@');
+    if (at == std::string::npos) {
+      std::fprintf(stderr, "--inject-fault expects RANK@STEP, got %s\n",
+                   args.inject_fault.c_str());
+      return 2;
+    }
+    victim = static_cast<int>(
+        std::strtol(args.inject_fault.substr(0, at).c_str(), nullptr, 10));
+    const std::uint64_t step = std::strtoull(
+        args.inject_fault.substr(at + 1).c_str(), nullptr, 10);
+    if (victim < 0 || victim >= args.ranks) {
+      std::fprintf(stderr, "--inject-fault rank %d outside [0, %d)\n", victim,
+                   args.ranks);
+      return 2;
+    }
+    plan->kills.push_back({victim, step});
+    std::printf("fault plan: kill rank %d at its %llu-th collective\n", victim,
+                static_cast<unsigned long long>(step));
+  }
+
+  std::vector<std::optional<uoi::core::UoiLassoDistributedResult>> results(
+      static_cast<std::size_t>(args.ranks));
+  const auto reports = uoi::sim::Cluster::run_collect_reports(
+      args.ranks, [&](uoi::sim::Comm& comm) {
+        if (victim >= 0) comm.set_fault_plan(plan);
+        results[static_cast<std::size_t>(comm.rank())] =
+            uoi::core::uoi_lasso_distributed(comm, data.x, data.y, options,
+                                             {1, 1});
+      });
+
+  uoi::support::Table table({"rank", "outcome", "failures seen", "shrinks",
+                             "cells redone", "retries", "ckpt resumes"});
+  for (int r = 0; r < args.ranks; ++r) {
+    const auto& recovery = reports[static_cast<std::size_t>(r)].recovery;
+    table.add_row({std::to_string(r),
+                   results[static_cast<std::size_t>(r)].has_value()
+                       ? "finished"
+                       : "killed (planned)",
+                   std::to_string(recovery.rank_failures_detected),
+                   std::to_string(recovery.shrinks),
+                   std::to_string(recovery.cells_recovered),
+                   std::to_string(recovery.retries),
+                   std::to_string(recovery.checkpoint_resumes)});
+  }
+  std::printf("%s", table.to_text().c_str());
+
+  for (int r = 0; r < args.ranks; ++r) {
+    if (!results[static_cast<std::size_t>(r)].has_value()) continue;
+    const auto& fit = results[static_cast<std::size_t>(r)]->model;
+    std::printf("survivor rank %d: final support {", r);
+    const auto& indices = fit.support.indices();
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      std::printf("%s%zu", i == 0 ? "" : ", ", indices[i]);
+    }
+    std::printf("} (true support size %zu)\n", spec.support_size);
+    break;  // replicated result: one survivor speaks for all
+  }
+  if (!args.checkpoint_path.empty()) {
+    std::printf("selection progress persisted to %s\n",
+                args.checkpoint_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -324,6 +446,7 @@ int main(int argc, char** argv) {
     if (args.command == "granger") return run_granger(args);
     if (args.command == "order") return run_order(args);
     if (args.command == "demo") return run_demo(args);
+    if (args.command == "faultdemo") return run_faultdemo(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
