@@ -1,13 +1,16 @@
 #pragma once
 // Shared helpers for the paper-replication bench binaries: breakdown-row
-// formatting and the functional/model section banners.
+// formatting, the functional/model section banners, and opt-in per-figure
+// trace capture.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "perfmodel/lasso_cost.hpp"
 #include "support/format.hpp"
 #include "support/table.hpp"
+#include "support/trace.hpp"
 
 namespace uoi::bench {
 
@@ -32,5 +35,40 @@ inline uoi::support::Table breakdown_table(const std::string& first_column) {
 }
 
 inline void banner(const char* text) { std::printf("\n-- %s --\n\n", text); }
+
+/// Opt-in per-figure tracing: when the UOI_TRACE_DIR environment variable
+/// is set, captures every span of the enclosing scope and writes
+/// `$UOI_TRACE_DIR/<figure>.trace.json` (Chrome trace event format, one
+/// pid per rank) on destruction. A no-op otherwise, so bench runs stay
+/// allocation-free on the trace path by default.
+class FigureTrace {
+ public:
+  explicit FigureTrace(const char* figure) : figure_(figure) {
+    const char* dir = std::getenv("UOI_TRACE_DIR");
+    if (dir == nullptr || dir[0] == '\0') return;
+    path_ = std::string(dir) + "/" + figure_ + ".trace.json";
+    auto& tracer = uoi::support::Tracer::instance();
+    tracer.clear();
+    tracer.set_capture_events(true);
+  }
+  FigureTrace(const FigureTrace&) = delete;
+  FigureTrace& operator=(const FigureTrace&) = delete;
+  ~FigureTrace() {
+    if (path_.empty()) return;
+    auto& tracer = uoi::support::Tracer::instance();
+    try {
+      tracer.write_chrome_trace(path_);
+      std::printf("trace: wrote %s (%zu events)\n", path_.c_str(),
+                  tracer.event_count());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace: %s\n", e.what());
+    }
+    tracer.set_capture_events(false);
+  }
+
+ private:
+  std::string figure_;
+  std::string path_;
+};
 
 }  // namespace uoi::bench

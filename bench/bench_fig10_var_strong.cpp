@@ -14,6 +14,7 @@
 #include "var/var_distributed.hpp"
 
 int main() {
+  uoi::bench::FigureTrace trace("fig10_var_strong");
   std::printf("== Fig. 10: UoI_VAR strong scaling (1 TB fixed) ==\n");
 
   uoi::bench::banner("modeled at paper scale");

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/metrics.hpp"
 #include "data/equity.hpp"
 #include "perfmodel/var_cost.hpp"
@@ -23,6 +24,7 @@
 using uoi::support::format_seconds;
 
 int main() {
+  uoi::bench::FigureTrace trace("fig11_applications");
   std::printf("== Fig. 11 / SVI: UoI_VAR applications ==\n\n");
 
   // ---- (a) the Granger network analysis ----

@@ -18,6 +18,7 @@
 #include "simcluster/cluster.hpp"
 
 int main() {
+  uoi::bench::FigureTrace trace("fig2_lasso_singlenode");
   std::printf("== Fig. 2: UoI_LASSO single-node runtime breakdown ==\n");
 
   uoi::bench::banner("modeled at paper scale (16 GB, 68 cores, B1=B2=5, q=8)");

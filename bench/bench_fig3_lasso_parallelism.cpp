@@ -21,6 +21,7 @@
 #include "simcluster/cluster.hpp"
 
 int main() {
+  uoi::bench::FigureTrace trace("fig3_lasso_parallelism");
   std::printf("== Fig. 3: P_B x P_lambda parallelism (B1=B2=q=48) ==\n");
 
   uoi::bench::banner("modeled at paper scale");

@@ -17,6 +17,7 @@
 #include "simcluster/cluster.hpp"
 
 int main() {
+  uoi::bench::FigureTrace trace("fig4_lasso_weak");
   std::printf("== Fig. 4: UoI_LASSO weak scaling ==\n");
 
   uoi::bench::banner("modeled at paper scale (bytes/core fixed)");

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "perfmodel/collectives.hpp"
 #include "perfmodel/lasso_cost.hpp"
 #include "simcluster/cluster.hpp"
@@ -18,6 +19,7 @@
 #include "support/table.hpp"
 
 int main() {
+  uoi::bench::FigureTrace trace("fig5_allreduce_minmax");
   std::printf("== Fig. 5: Allreduce T_min / T_max across weak scaling ==\n\n");
 
   const auto m = uoi::perf::knl_profile();

@@ -17,6 +17,7 @@
 #include "simcluster/cluster.hpp"
 
 int main() {
+  uoi::bench::FigureTrace trace("fig6_lasso_strong");
   std::printf("== Fig. 6: UoI_LASSO strong scaling (1 TB fixed) ==\n");
 
   uoi::bench::banner("modeled at paper scale");

@@ -14,6 +14,7 @@
 #include "var/var_distributed.hpp"
 
 int main() {
+  uoi::bench::FigureTrace trace("fig7_var_singlenode");
   std::printf("== Fig. 7: UoI_VAR single-node runtime breakdown ==\n");
 
   uoi::bench::banner(

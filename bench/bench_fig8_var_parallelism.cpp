@@ -15,6 +15,7 @@
 #include "var/var_distributed.hpp"
 
 int main() {
+  uoi::bench::FigureTrace trace("fig8_var_parallelism");
   std::printf("== Fig. 8: UoI_VAR P_B x P_lambda parallelism ==\n");
 
   uoi::bench::banner("modeled at paper scale (B1=B2=32, q=16)");

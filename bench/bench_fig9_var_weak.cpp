@@ -15,6 +15,7 @@
 #include "var/var_distributed.hpp"
 
 int main() {
+  uoi::bench::FigureTrace trace("fig9_var_weak");
   std::printf("== Fig. 9: UoI_VAR weak scaling (B1=30, B2=20, q=20) ==\n");
 
   uoi::bench::banner("modeled at paper scale");

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "bench_common.hpp"
 #include "data/synthetic_regression.hpp"
 #include "io/distribution.hpp"
 #include "io/h5lite.hpp"
@@ -21,6 +22,7 @@ using uoi::support::format_bytes;
 using uoi::support::format_seconds;
 
 int main() {
+  uoi::bench::FigureTrace trace("table2_distribution");
   std::printf("== Table II: data read + distribution time ==\n\n");
 
   // ---- (a) functional runs ----

@@ -12,6 +12,7 @@
 #include "solvers/distributed_admm.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace uoi::core {
 
@@ -115,8 +116,20 @@ UoiLassoDistributedResult uoi_lasso_distributed(
       UoiLasso(options).selection_fingerprint(n, p, model.lambdas);
 
   support::Stopwatch phase_watch;
-  const double comm_before = comm.stats().collective_seconds();
+  // Bucket attribution is tracer-based: spans are keyed by this rank's
+  // *global* rank, so collectives on split/dup/shrunk communicators — the
+  // pipelined convergence check's duplicate comm in particular, which
+  // comm.stats() never saw — are all accounted.
+  auto& tracer = support::Tracer::instance();
+  const int trace_rank = comm.global_rank();
+  const double phase_start_seconds = tracer.now_seconds();
+  const support::TraceTotals trace_before = tracer.totals(trace_rank);
+  support::IntervalTimer distribution_timer;
   std::uint64_t local_flops = 0;
+  std::uint64_t admm_iterations = 0;
+  std::uint64_t admm_rho_updates = 0;
+  std::uint64_t admm_allreduce_calls = 0;
+  std::uint64_t admm_allreduce_bytes = 0;
 
   // Selection state. `*_merged` is replicated and globally consistent;
   // `*_local` holds this rank's contributions not yet committed by a
@@ -216,15 +229,18 @@ UoiLassoDistributedResult uoi_lasso_distributed(
             }
           }
           if (!chain.empty()) {
-            support::Stopwatch distr_watch;
-            const auto idx = selection_bootstrap_indices(options, n, k);
             Matrix x_local;
             Vector y_local;
-            gather_local_block(x, y, idx,
-                               block_slice(idx.size(), tl.c_ranks,
-                                           tl.task_rank),
-                               x_local, y_local);
-            out.breakdown.distribution_seconds += distr_watch.seconds();
+            {
+              support::TraceScope distr_span(
+                  "selection-gather", support::TraceCategory::kDistribution,
+                  trace_rank, &distribution_timer);
+              const auto idx = selection_bootstrap_indices(options, n, k);
+              gather_local_block(x, y, idx,
+                                 block_slice(idx.size(), tl.c_ranks,
+                                             tl.task_rank),
+                                 x_local, y_local);
+            }
 
             const uoi::solvers::DistributedLassoAdmmSolver solver(
                 task_comm, x_local, y_local, options.admm);
@@ -239,6 +255,10 @@ UoiLassoDistributedResult uoi_lasso_distributed(
               auto fit = solver.solve(model.lambdas[chain[m]],
                                       have_previous ? &previous : nullptr);
               local_flops += fit.local_flops;
+              admm_iterations += fit.iterations;
+              admm_rho_updates += fit.rho_updates;
+              admm_allreduce_calls += fit.allreduce_calls;
+              admm_allreduce_bytes += fit.allreduce_bytes;
               if (tl.task_rank == 0) {
                 auto row = staged.row(m);
                 for (std::size_t i = 0; i < p; ++i) {
@@ -287,19 +307,22 @@ UoiLassoDistributedResult uoi_lasso_distributed(
       for (std::size_t k = 0; k < b2; ++k) {
         if (!tl.owns_bootstrap(k, pb)) continue;
 
-        support::Stopwatch distr_watch;
-        const auto split = estimation_split(options, n, k);
         Matrix x_train, x_eval;
         Vector y_train, y_eval;
-        gather_local_block(
-            x, y, split.train,
-            block_slice(split.train.size(), tl.c_ranks, tl.task_rank),
-            x_train, y_train);
-        gather_local_block(
-            x, y, split.eval,
-            block_slice(split.eval.size(), tl.c_ranks, tl.task_rank), x_eval,
-            y_eval);
-        out.breakdown.distribution_seconds += distr_watch.seconds();
+        {
+          support::TraceScope distr_span(
+              "estimation-gather", support::TraceCategory::kDistribution,
+              trace_rank, &distribution_timer);
+          const auto split = estimation_split(options, n, k);
+          gather_local_block(
+              x, y, split.train,
+              block_slice(split.train.size(), tl.c_ranks, tl.task_rank),
+              x_train, y_train);
+          gather_local_block(
+              x, y, split.eval,
+              block_slice(split.eval.size(), tl.c_ranks, tl.task_rank), x_eval,
+              y_eval);
+        }
 
         for (std::size_t j = 0; j < q; ++j) {
           if (!tl.owns_lambda(j, pl)) continue;
@@ -313,6 +336,10 @@ UoiLassoDistributedResult uoi_lasso_distributed(
             auto fit = uoi::solvers::distributed_lasso_admm(
                 task_comm, x_train_s, y_train, /*lambda=*/0.0, options.admm);
             local_flops += fit.local_flops;
+            admm_iterations += fit.iterations;
+            admm_rho_updates += fit.rho_updates;
+            admm_allreduce_calls += fit.allreduce_calls;
+            admm_allreduce_bytes += fit.allreduce_bytes;
             for (std::size_t i = 0; i < support.size(); ++i) {
               beta[support[i]] = fit.beta[i];
             }
@@ -450,11 +477,35 @@ UoiLassoDistributedResult uoi_lasso_distributed(
   comm.mutable_stats() += folded;
   comm.mutable_recovery_stats() += folded_rec;
 
+  // Tracer-derived bucket totals over the phase. Computation is the
+  // remainder (clamped at zero against scheduler jitter), so the four
+  // buckets sum to the phase wall time by construction.
+  support::TraceTotals delta = tracer.totals(trace_rank);
+  delta -= trace_before;
   out.breakdown.communication_seconds =
-      comm.stats().collective_seconds() - comm_before;
-  out.breakdown.computation_seconds = phase_watch.seconds() -
-                                      out.breakdown.communication_seconds -
-                                      out.breakdown.distribution_seconds;
+      delta.seconds(support::TraceCategory::kCommunication);
+  out.breakdown.distribution_seconds =
+      delta.seconds(support::TraceCategory::kDistribution);
+  out.breakdown.data_io_seconds =
+      delta.seconds(support::TraceCategory::kDataIo);
+  out.breakdown.computation_seconds =
+      std::max(0.0, phase_watch.seconds() -
+                        out.breakdown.communication_seconds -
+                        out.breakdown.distribution_seconds -
+                        out.breakdown.data_io_seconds);
+  tracer.record("uoi-lasso-computation", support::TraceCategory::kComputation,
+                trace_rank, phase_start_seconds,
+                out.breakdown.computation_seconds);
+
+  auto& metrics = support::MetricsRegistry::instance();
+  metrics.add(trace_rank, "admm.iterations",
+              static_cast<double>(admm_iterations));
+  metrics.add(trace_rank, "admm.rho_updates",
+              static_cast<double>(admm_rho_updates));
+  metrics.add(trace_rank, "admm.allreduce_calls",
+              static_cast<double>(admm_allreduce_calls));
+  metrics.add(trace_rank, "admm.allreduce_bytes",
+              static_cast<double>(admm_allreduce_bytes));
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace uoi::io {
 
@@ -111,6 +112,8 @@ CsvData parse_csv(const std::string& text) {
 }
 
 CsvData read_csv(const std::string& path) {
+  uoi::support::TraceScope span("csv-read",
+                                uoi::support::TraceCategory::kDataIo);
   std::ifstream f(path);
   if (!f) throw uoi::support::IoError("cannot open CSV file: " + path);
   std::ostringstream buffer;

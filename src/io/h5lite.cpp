@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace uoi::io {
 
@@ -47,6 +48,8 @@ std::string stripe_path(const std::string& base, std::uint64_t k) {
 
 void write_dataset(const std::string& base, uoi::linalg::ConstMatrixView data,
                    std::uint64_t chunk_rows, std::uint64_t n_stripes) {
+  uoi::support::TraceScope span("h5lite-write",
+                                uoi::support::TraceCategory::kDataIo);
   UOI_CHECK(chunk_rows >= 1, "chunk_rows must be >= 1");
   UOI_CHECK(n_stripes >= 1, "n_stripes must be >= 1");
   DatasetInfo info{data.rows(), data.cols(), chunk_rows, n_stripes};
@@ -80,6 +83,8 @@ void write_dataset(const std::string& base, uoi::linalg::ConstMatrixView data,
 }
 
 DatasetInfo read_info(const std::string& base) {
+  uoi::support::TraceScope span("h5lite-read-info",
+                                uoi::support::TraceCategory::kDataIo);
   std::ifstream f(stripe_path(base, 0), std::ios::binary);
   if (!f) {
     throw uoi::support::IoError("cannot open dataset: " + stripe_path(base, 0));
@@ -126,6 +131,8 @@ void DatasetReader::read_chunk_from(std::ifstream& file, std::uint64_t chunk,
 
 void DatasetReader::read_chunk(std::uint64_t chunk,
                                uoi::linalg::Matrix& out) const {
+  uoi::support::TraceScope span("h5lite-read-chunk",
+                                uoi::support::TraceCategory::kDataIo);
   std::ifstream f(stripe_path(base_, chunk % info_.n_stripes),
                   std::ios::binary);
   if (!f) throw uoi::support::IoError("cannot open stripe for " + base_);
@@ -142,6 +149,8 @@ void DatasetReader::read_chunk_reopening(std::uint64_t chunk,
 
 void DatasetReader::read_rows(std::uint64_t row_begin, std::uint64_t n_rows,
                               uoi::linalg::Matrix& out) const {
+  uoi::support::TraceScope span("h5lite-read-rows",
+                                uoi::support::TraceCategory::kDataIo);
   UOI_CHECK(row_begin + n_rows <= info_.rows, "hyperslab out of range");
   out.resize(n_rows, info_.cols);
   if (n_rows == 0) return;

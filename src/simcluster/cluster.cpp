@@ -3,12 +3,53 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "simcluster/context.hpp"
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace uoi::sim {
+
+namespace {
+
+/// Publishes one rank's CommStats / RecoveryStats into the process-wide
+/// MetricsRegistry so traces, benches and tests read one unified snapshot.
+void export_rank_metrics(const Comm& comm) {
+  auto& metrics = support::MetricsRegistry::instance();
+  const int rank = comm.global_rank();
+  for (int c = 0; c < static_cast<int>(CommCategory::kCategoryCount); ++c) {
+    const auto category = static_cast<CommCategory>(c);
+    const auto& entry = comm.stats().of(category);
+    if (entry.calls == 0) continue;
+    const std::string prefix = std::string("comm.") + to_string(category);
+    metrics.add(rank, prefix + ".calls", static_cast<double>(entry.calls));
+    metrics.add(rank, prefix + ".bytes", static_cast<double>(entry.bytes));
+    metrics.add(rank, prefix + ".seconds", entry.seconds);
+  }
+  const auto& recovery = comm.recovery_stats();
+  if (recovery.any()) {
+    metrics.add(rank, "recovery.transient_faults",
+                static_cast<double>(recovery.transient_faults));
+    metrics.add(rank, "recovery.retries",
+                static_cast<double>(recovery.retries));
+    metrics.add(rank, "recovery.giveups",
+                static_cast<double>(recovery.giveups));
+    metrics.add(rank, "recovery.backoff_seconds", recovery.backoff_seconds);
+    metrics.add(rank, "recovery.rank_failures_detected",
+                static_cast<double>(recovery.rank_failures_detected));
+    metrics.add(rank, "recovery.shrinks",
+                static_cast<double>(recovery.shrinks));
+    metrics.add(rank, "recovery.cells_recovered",
+                static_cast<double>(recovery.cells_recovered));
+    metrics.add(rank, "recovery.checkpoint_resumes",
+                static_cast<double>(recovery.checkpoint_resumes));
+    metrics.add(rank, "recovery.recovery_seconds", recovery.recovery_seconds);
+  }
+}
+
+}  // namespace
 
 std::vector<RankReport> Cluster::run_collect_reports(
     int n_ranks, const std::function<void(Comm&)>& spmd) {
@@ -21,6 +62,12 @@ std::vector<RankReport> Cluster::run_collect_reports(
 
   auto rank_main = [&](int rank) {
     Comm comm(context, rank);
+    // Bind the tracer's thread rank so spans recorded from library code
+    // that never sees the Comm (solvers, I/O) land on this rank's row.
+    // Restored afterwards: with n_ranks == 1 this runs on the caller's
+    // thread, which may go on to trace its own (rank-0) work.
+    const int previous_trace_rank = support::Tracer::thread_rank();
+    support::Tracer::set_thread_rank(comm.global_rank());
     try {
       spmd(comm);
     } catch (const RankKilledError&) {
@@ -32,6 +79,8 @@ std::vector<RankReport> Cluster::run_collect_reports(
     }
     reports[static_cast<std::size_t>(rank)] = {comm.stats(),
                                                comm.recovery_stats()};
+    export_rank_metrics(comm);
+    support::Tracer::set_thread_rank(previous_trace_rank);
     // Releases parked victims still waiting for this rank to certify
     // their death: a finished rank can never observe the failure.
     registry->mark_done(rank);

@@ -8,6 +8,7 @@
 #include "simcluster/context.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace uoi::sim {
 
@@ -40,6 +41,40 @@ template <typename T>
 std::span<const T> stage_view(const std::vector<std::uint8_t>& slot) {
   return {reinterpret_cast<const T*>(slot.data()), slot.size() / sizeof(T)};
 }
+
+/// Emits one communication span per top-level collective. The software
+/// allreduce algorithms (ring, recursive doubling) are built on send/recv,
+/// so a thread-local depth counter suppresses the nested spans — the trace
+/// shows "allreduce", not thirty point-to-point fragments, and bucket
+/// totals count each collective's wall time exactly once.
+class CommTraceScope {
+ public:
+  CommTraceScope(const Comm& comm, CommCategory category)
+      : active_(depth()++ == 0),
+        category_(category),
+        rank_(comm.global_rank()),
+        start_(support::Tracer::instance().now_seconds()) {}
+  CommTraceScope(const CommTraceScope&) = delete;
+  CommTraceScope& operator=(const CommTraceScope&) = delete;
+  ~CommTraceScope() {
+    --depth();
+    if (!active_) return;
+    auto& tracer = support::Tracer::instance();
+    const double duration = std::max(0.0, tracer.now_seconds() - start_);
+    tracer.record(to_string(category_), support::TraceCategory::kCommunication,
+                  rank_, start_, duration);
+  }
+
+ private:
+  static int& depth() {
+    thread_local int d = 0;
+    return d;
+  }
+  bool active_;
+  CommCategory category_;
+  int rank_;
+  double start_;
+};
 
 }  // namespace
 
@@ -111,6 +146,7 @@ int Comm::size() const noexcept { return context_->size(); }
 
 void Comm::barrier() {
   maybe_kill();
+  CommTraceScope span(*this, CommCategory::kBarrier);
   support::Stopwatch watch;
   sync();
   auto& entry = stats_.of(CommCategory::kBarrier);
@@ -123,6 +159,7 @@ template <typename T>
 void Comm::bcast_impl(std::span<T> data, int root) {
   UOI_CHECK(root >= 0 && root < size(), "bcast root out of range");
   maybe_kill();
+  CommTraceScope span(*this, CommCategory::kBcast);
   support::Stopwatch watch;
   if (rank_ == root) {
     stage_copy_in<T>(context_->staging(root), data);
@@ -152,6 +189,7 @@ void Comm::bcast(std::span<std::uint8_t> data, int root) {
 void Comm::reduce(std::span<double> data, ReduceOp op, int root) {
   UOI_CHECK(root >= 0 && root < size(), "reduce root out of range");
   maybe_kill();
+  CommTraceScope span(*this, CommCategory::kReduce);
   support::Stopwatch watch;
   stage_copy_in<double>(context_->staging(rank_), std::span<const double>(data));
   sync();
@@ -175,6 +213,7 @@ void Comm::reduce(std::span<double> data, ReduceOp op, int root) {
 template <typename T>
 void Comm::allreduce_impl(std::span<T> data, ReduceOp op) {
   maybe_kill();
+  CommTraceScope span(*this, CommCategory::kAllreduce);
   support::Stopwatch watch;
   stage_copy_in<T>(context_->staging(rank_), std::span<const T>(data));
   sync();
@@ -208,6 +247,7 @@ void Comm::send(int destination, std::span<const double> data, int tag) {
   if (context_->rank_is_failed(destination)) {
     raise_rank_failed("send to a failed rank");
   }
+  CommTraceScope span(*this, CommCategory::kPointToPoint);
   support::Stopwatch watch;
   std::vector<std::uint8_t> payload(data.size_bytes());
   if (!data.empty()) {
@@ -223,6 +263,7 @@ void Comm::send(int destination, std::span<const double> data, int tag) {
 
 void Comm::recv(int source, std::span<double> data, int tag) {
   UOI_CHECK(source >= 0 && source < size(), "recv source out of range");
+  CommTraceScope span(*this, CommCategory::kPointToPoint);
   support::Stopwatch watch;
   // Buffered messages win over an abort; an unmatched receive from a dead
   // rank (or on a revoked communicator) raises instead of hanging.
@@ -260,6 +301,7 @@ void Comm::allreduce_ring(std::span<double> data, ReduceOp op) {
     entry.bytes += data.size_bytes();
     return;
   }
+  CommTraceScope span(*this, CommCategory::kAllreduce);
   support::Stopwatch watch;
   const std::size_t n = data.size();
 
@@ -321,6 +363,7 @@ void Comm::allreduce_recursive_doubling(std::span<double> data,
     entry.bytes += data.size_bytes();
     return;
   }
+  CommTraceScope span(*this, CommCategory::kAllreduce);
   support::Stopwatch watch;
   // Largest power of two <= p.
   int pow2 = 1;
@@ -374,6 +417,7 @@ void Comm::gather(std::span<const double> send, std::span<double> recv,
                   int root) {
   UOI_CHECK(root >= 0 && root < size(), "gather root out of range");
   maybe_kill();
+  CommTraceScope span(*this, CommCategory::kGather);
   support::Stopwatch watch;
   stage_copy_in<double>(context_->staging(rank_), send);
   sync();
@@ -401,6 +445,7 @@ void Comm::allgather_impl(std::span<const T> send, std::span<T> recv) {
   UOI_CHECK_DIMS(recv.size() == send.size() * static_cast<std::size_t>(size()),
                  "allgather recv buffer has the wrong size");
   maybe_kill();
+  CommTraceScope span(*this, CommCategory::kAllgather);
   support::Stopwatch watch;
   stage_copy_in<T>(context_->staging(rank_), send);
   sync();
@@ -430,6 +475,7 @@ void Comm::allgather(std::span<const std::size_t> send,
 std::vector<double> Comm::allgather_variable(
     std::span<const double> send, std::vector<std::size_t>* counts) {
   maybe_kill();
+  CommTraceScope span(*this, CommCategory::kAllgather);
   support::Stopwatch watch;
   stage_copy_in<double>(context_->staging(rank_), send);
   sync();
@@ -454,6 +500,7 @@ void Comm::scatter(std::span<const double> send, std::span<double> recv,
                    int root) {
   UOI_CHECK(root >= 0 && root < size(), "scatter root out of range");
   maybe_kill();
+  CommTraceScope span(*this, CommCategory::kScatter);
   support::Stopwatch watch;
   if (rank_ == root) {
     UOI_CHECK_DIMS(send.size() == recv.size() * static_cast<std::size_t>(size()),
@@ -548,6 +595,8 @@ Comm Comm::dup() { return split(0, rank_); }
 
 Comm Comm::shrink() {
   auto registry = context_->registry();
+  support::TraceScope span("shrink", support::TraceCategory::kRecovery,
+                           global_rank());
   support::Stopwatch watch;
   // Revoke first (idempotent): any rank still blocked in — or about to
   // enter — a normal collective on this communicator raises
@@ -625,6 +674,8 @@ void Comm::sync() {
     // Revoked communicator or a failure observed mid-wait: account and
     // acknowledge exactly as a snapshot-detected failure.
     ++recovery_stats_.rank_failures_detected;
+    support::Tracer::instance().instant(
+        "rank-failure-detected", support::TraceCategory::kFault, global_rank());
     if (!progress_handle_) {
       auto& registry = *context_->registry();
       registry.acknowledge(global_rank(), registry.fail_seq());
@@ -644,6 +695,8 @@ void Comm::maybe_kill() {
   const std::uint64_t op = registry.next_collective_op(global);
   if (!fault_plan_->kills_at(global, op)) return;
   registry.mark_failed(global);
+  support::Tracer::instance().instant("rank-killed",
+                                      support::TraceCategory::kFault, global);
   // Park until every surviving rank has either acknowledged this death or
   // finished its SPMD function: survivors may still be inside a window
   // epoch reading buffers that live on this rank's stack, so the stack
@@ -656,6 +709,8 @@ void Comm::maybe_kill() {
 
 void Comm::raise_rank_failed(const char* what) {
   ++recovery_stats_.rank_failures_detected;
+  support::Tracer::instance().instant(
+      "rank-failure-detected", support::TraceCategory::kFault, global_rank());
   auto& registry = *context_->registry();
   if (!progress_handle_) {
     // Acknowledging certifies this rank will not touch pre-failure window
@@ -713,8 +768,12 @@ void Comm::account_onesided(std::uint64_t bytes, double seconds) {
   auto& entry = stats_.of(CommCategory::kOneSided);
   ++entry.calls;
   entry.bytes += bytes;
-  entry.seconds += seconds;
-  entry.seconds += inject_latency(CommCategory::kOneSided, bytes);
+  const double injected = inject_latency(CommCategory::kOneSided, bytes);
+  entry.seconds += seconds + injected;
+  // One-sided window traffic is the paper's Distribution bucket.
+  support::Tracer::instance().record_complete(
+      "one-sided", support::TraceCategory::kDistribution, global_rank(),
+      seconds + injected);
 }
 
 }  // namespace uoi::sim

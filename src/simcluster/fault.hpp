@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace uoi::sim {
 
@@ -153,7 +154,12 @@ auto retry_onesided(CommT& comm, const RetryOptions& options, Fn&& fn)
             std::to_string(attempt) + " attempts (" + error.what() + ")");
       }
       ++recovery.retries;
-      detail::busy_wait_seconds(backoff);
+      {
+        support::TraceScope backoff_span("retry-backoff",
+                                         support::TraceCategory::kRecovery,
+                                         comm.global_rank());
+        detail::busy_wait_seconds(backoff);
+      }
       recovery.backoff_seconds += backoff;
       total_backoff += backoff;
       backoff *= options.backoff_multiplier;

@@ -21,7 +21,8 @@ bool AllreduceRequest::test() {
          std::future_status::ready;
 }
 
-NonblockingContext::NonblockingContext(Comm& comm) : dup_(comm.dup()) {
+NonblockingContext::NonblockingContext(Comm& comm)
+    : parent_(&comm), dup_(comm.dup()) {
   // The dup is driven by internal progress threads: it must neither
   // acknowledge failures on the rank's behalf (only the main handle's
   // unwind certifies the rank left its pre-failure epoch) nor consume
@@ -29,6 +30,14 @@ NonblockingContext::NonblockingContext(Comm& comm) : dup_(comm.dup()) {
   // deterministic op counting of the rank's own collectives).
   dup_.set_progress_handle(true);
   dup_.set_fault_plan(nullptr);
+}
+
+NonblockingContext::~NonblockingContext() {
+  // Safe: the context is destroyed on the owning rank's thread and every
+  // AllreduceRequest joins its progress thread before this runs, so no
+  // collective is in flight on the dup.
+  parent_->mutable_stats() += dup_.stats();
+  parent_->mutable_recovery_stats() += dup_.recovery_stats();
 }
 
 AllreduceRequest NonblockingContext::iallreduce(std::span<double> data,

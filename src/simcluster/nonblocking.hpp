@@ -51,6 +51,16 @@ class NonblockingContext {
  public:
   explicit NonblockingContext(Comm& comm);
 
+  /// Folds the duplicate communicator's CommStats and RecoveryStats back
+  /// into the parent handle. Without this, time spent in background
+  /// collectives vanishes from the parent's accounting and the drivers'
+  /// communication bucket under-reports (while computation over-reports by
+  /// the same amount).
+  ~NonblockingContext();
+
+  NonblockingContext(const NonblockingContext&) = delete;
+  NonblockingContext& operator=(const NonblockingContext&) = delete;
+
   /// Starts an allreduce over the duplicate communicator. `data` must stay
   /// alive and untouched until wait() returns.
   [[nodiscard]] AllreduceRequest iallreduce(std::span<double> data,
@@ -61,6 +71,7 @@ class NonblockingContext {
   [[nodiscard]] double background_seconds() const;
 
  private:
+  Comm* parent_;
   Comm dup_;
 };
 

@@ -61,6 +61,7 @@ struct AdmmResult {
   double primal_residual = 0.0;
   double dual_residual = 0.0;
   std::uint64_t flops = 0;     ///< FLOPs spent (for perfmodel calibration)
+  std::size_t rho_updates = 0;  ///< §3.4.1 residual-balancing rescales applied
 };
 
 /// One-shot solve.

@@ -103,6 +103,7 @@ AdmmResult run_admm_loop(std::size_t p, double lambda,
       ++rho_updates;
     }
   }
+  result.rho_updates = rho_updates;
 
   if (!result.converged && options.throw_on_nonconvergence) {
     throw uoi::support::ConvergenceError(

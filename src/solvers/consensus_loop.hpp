@@ -177,6 +177,7 @@ DistributedAdmmResult run_consensus_admm_loop(
     throw uoi::support::ConvergenceError(
         "consensus LASSO-ADMM did not converge within the iteration budget");
   }
+  result.rho_updates = rho_updates;
   result.beta = std::move(z);
   return result;
 }

@@ -34,6 +34,7 @@ struct DistributedAdmmResult {
   std::uint64_t local_flops = 0;       ///< this rank's compute
   std::uint64_t allreduce_calls = 0;   ///< p-length reductions performed
   std::uint64_t allreduce_bytes = 0;   ///< bytes this rank contributed
+  std::size_t rho_updates = 0;         ///< residual-balancing rescales applied
 };
 
 /// Factorization-caching distributed solver; `local_a`/`local_b` are this

@@ -66,8 +66,11 @@ double Xoshiro256::uniform(double lo, double hi) noexcept {
   return lo + (hi - lo) * uniform();
 }
 
-std::uint64_t Xoshiro256::uniform_below(std::uint64_t n) noexcept {
-  if (n <= 1) return 0;
+std::uint64_t Xoshiro256::uniform_below(std::uint64_t n) {
+  // Lemire's method divides by n in the rejection threshold, so n == 0 is
+  // undefined (and there is no integer "below 0" to return anyway).
+  UOI_CHECK(n > 0, "uniform_below(0): empty range");
+  if (n == 1) return 0;
   // Lemire's multiply-shift rejection method: unbiased, usually one multiply.
   std::uint64_t x = (*this)();
   __uint128_t m = static_cast<__uint128_t>(x) * n;

@@ -44,7 +44,8 @@ class Xoshiro256 {
   [[nodiscard]] double uniform(double lo, double hi) noexcept;
 
   /// Uniform integer in [0, n). Uses Lemire's unbiased bounded method.
-  [[nodiscard]] std::uint64_t uniform_below(std::uint64_t n) noexcept;
+  /// Throws InvalidArgument when n == 0 (the range is empty).
+  [[nodiscard]] std::uint64_t uniform_below(std::uint64_t n);
 
   /// Standard normal via the polar Box-Muller method (cached spare).
   [[nodiscard]] double normal() noexcept;

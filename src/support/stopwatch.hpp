@@ -28,16 +28,48 @@ class Stopwatch {
 /// Accumulates time across multiple start/stop intervals; used to attribute
 /// runtime to the paper's four buckets (compute / communication /
 /// distribution / data I/O) in the functional benchmark paths.
+///
+/// Running-state guarded: stop() without a matching start() (or a second
+/// stop() in a row) is a no-op instead of double-counting the interval,
+/// and start() while already running restarts the current interval rather
+/// than leaking it. Prefer IntervalScope below for exception safety.
 class IntervalTimer {
  public:
-  void start() { watch_.reset(); }
-  void stop() { total_ += watch_.seconds(); }
+  void start() {
+    watch_.reset();
+    running_ = true;
+  }
+  void stop() {
+    if (!running_) return;
+    total_ += watch_.seconds();
+    running_ = false;
+  }
+  [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] double total_seconds() const { return total_; }
-  void clear() { total_ = 0.0; }
+  void clear() {
+    total_ = 0.0;
+    running_ = false;
+  }
 
  private:
   Stopwatch watch_;
   double total_ = 0.0;
+  bool running_ = false;
+};
+
+/// RAII interval: start() on construction, stop() on destruction, so a
+/// scope that unwinds with an exception still books its elapsed time.
+class IntervalScope {
+ public:
+  explicit IntervalScope(IntervalTimer& timer) : timer_(timer) {
+    timer_.start();
+  }
+  IntervalScope(const IntervalScope&) = delete;
+  IntervalScope& operator=(const IntervalScope&) = delete;
+  ~IntervalScope() { timer_.stop(); }
+
+ private:
+  IntervalTimer& timer_;
 };
 
 }  // namespace uoi::support

@@ -1,0 +1,304 @@
+#include "support/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace uoi::support {
+
+namespace {
+
+thread_local int t_thread_rank = 0;
+
+std::atomic<int> g_next_tid{0};
+
+/// Stable per-OS-thread id for the Chrome trace's tid field.
+int this_thread_tid() {
+  thread_local int tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+/// Minimal JSON string escaping (names are internal literals, but a
+/// malformed file must be impossible by construction).
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string format_double(double value) {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed << value;
+  return os.str();
+}
+
+}  // namespace
+
+const char* to_string(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kComputation:
+      return "computation";
+    case TraceCategory::kCommunication:
+      return "communication";
+    case TraceCategory::kDistribution:
+      return "distribution";
+    case TraceCategory::kDataIo:
+      return "data-io";
+    case TraceCategory::kFault:
+      return "fault";
+    case TraceCategory::kRecovery:
+      return "recovery";
+    default:
+      return "?";
+  }
+}
+
+TraceTotals& TraceTotals::operator+=(const TraceTotals& other) {
+  for (std::size_t c = 0; c < entries.size(); ++c) {
+    entries[c].calls += other.entries[c].calls;
+    entries[c].seconds += other.entries[c].seconds;
+  }
+  return *this;
+}
+
+TraceTotals& TraceTotals::operator-=(const TraceTotals& other) {
+  for (std::size_t c = 0; c < entries.size(); ++c) {
+    entries[c].calls -= other.entries[c].calls;
+    entries[c].seconds -= other.entries[c].seconds;
+  }
+  return *this;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_capture_events(bool value) {
+  capture_events_.store(value, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  totals_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void Tracer::set_thread_rank(int rank) { t_thread_rank = rank < 0 ? 0 : rank; }
+
+int Tracer::thread_rank() { return t_thread_rank; }
+
+double Tracer::now_seconds() const {
+  std::chrono::steady_clock::time_point epoch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    epoch = epoch_;
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+void Tracer::record(std::string name, TraceCategory category, int rank,
+                    double start_seconds, double duration_seconds) {
+  if (rank < 0) rank = thread_rank();
+  const bool capture = capture_events();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = totals_[rank].of(category);
+  ++entry.calls;
+  entry.seconds += duration_seconds;
+  if (capture) {
+    events_.push_back(TraceEvent{std::move(name), category, rank,
+                                 this_thread_tid(), start_seconds,
+                                 duration_seconds});
+  }
+}
+
+void Tracer::record_complete(std::string name, TraceCategory category,
+                             int rank, double duration_seconds) {
+  const double end = now_seconds();
+  record(std::move(name), category, rank,
+         std::max(0.0, end - duration_seconds), duration_seconds);
+}
+
+void Tracer::instant(std::string name, TraceCategory category, int rank) {
+  record(std::move(name), category, rank, now_seconds(), 0.0);
+}
+
+TraceTotals Tracer::totals(int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = totals_.find(rank);
+  return it == totals_.end() ? TraceTotals{} : it->second;
+}
+
+TraceTotals Tracer::totals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceTotals all;
+  for (const auto& [rank, totals] : totals_) all += totals;
+  return all;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = events_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.rank != b.rank) return a.rank < b.rank;
+                     if (a.start_seconds != b.start_seconds) {
+                       return a.start_seconds < b.start_seconds;
+                     }
+                     return a.name < b.name;
+                   });
+  return out;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  const auto sorted = events();
+  std::string buffer;
+  buffer.reserve(sorted.size() * 96 + 16);
+  buffer += "[\n";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const TraceEvent& e = sorted[i];
+    buffer += "{\"name\":\"";
+    append_json_escaped(buffer, e.name);
+    buffer += "\",\"cat\":\"";
+    append_json_escaped(buffer, to_string(e.category));
+    buffer += "\",\"ph\":\"X\",\"pid\":";
+    buffer += std::to_string(e.rank);
+    buffer += ",\"tid\":";
+    buffer += std::to_string(e.tid);
+    buffer += ",\"ts\":";
+    buffer += format_double(e.start_seconds * 1e6);
+    buffer += ",\"dur\":";
+    buffer += format_double(e.duration_seconds * 1e6);
+    buffer += "}";
+    if (i + 1 < sorted.size()) buffer += ",";
+    buffer += "\n";
+  }
+  buffer += "]\n";
+  out << buffer;
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    throw IoError("cannot open trace file for writing: " + path);
+  }
+  write_chrome_trace(static_cast<std::ostream&>(file));
+  file.flush();
+  if (!file) {
+    throw IoError("failed writing trace file: " + path);
+  }
+}
+
+TraceScope::TraceScope(const char* name, TraceCategory category, int rank,
+                       IntervalTimer* mirror)
+    : name_(name),
+      category_(category),
+      rank_(rank),
+      mirror_(mirror),
+      start_seconds_(Tracer::instance().now_seconds()) {
+  if (mirror_ != nullptr) mirror_->start();
+}
+
+TraceScope::~TraceScope() {
+  auto& tracer = Tracer::instance();
+  const double duration = tracer.now_seconds() - start_seconds_;
+  tracer.record(name_, category_, rank_, start_seconds_,
+                std::max(0.0, duration));
+  if (mirror_ != nullptr) mirror_->stop();
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::add(int rank, std::string_view name, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_[{rank, std::string(name)}] += delta;
+}
+
+void MetricsRegistry::set(int rank, std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_[{rank, std::string(name)}] = value;
+}
+
+double MetricsRegistry::value(int rank, std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = values_.find({rank, std::string(name)});
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) {
+    out.push_back(Entry{key.first, key.second, value});
+  }
+  return out;  // std::map iteration order == sorted by (rank, name)
+}
+
+std::string MetricsRegistry::to_json() const {
+  const auto entries = snapshot();
+  std::string out = "{\"metrics\":[\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out += "{\"rank\":";
+    out += std::to_string(entries[i].rank);
+    out += ",\"name\":\"";
+    append_json_escaped(out, entries[i].name);
+    out += "\",\"value\":";
+    out += format_double(entries[i].value);
+    out += "}";
+    if (i + 1 < entries.size()) out += ",";
+    out += "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.clear();
+}
+
+}  // namespace uoi::support

@@ -15,6 +15,7 @@
 #include "solvers/ridge_system.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 #include "var/lag_matrix.hpp"
 
 namespace uoi::var {
@@ -348,9 +349,19 @@ UoiVarDistributedResult uoi_var_distributed(
   const std::uint64_t fingerprint = fp.value();
 
   support::Stopwatch phase_watch;
-  const double comm_before = comm.stats().collective_seconds();
-  const double distr_before = comm.stats().onesided_seconds();
+  // Tracer-based bucket attribution, keyed by this rank's global rank so
+  // collectives on split/dup/shrunk communicators (including the pipelined
+  // convergence check's duplicate comm) are all accounted. One-sided
+  // window traffic lands in the Distribution bucket via the same route.
+  auto& tracer = support::Tracer::instance();
+  const int trace_rank = comm.global_rank();
+  const double phase_start_seconds = tracer.now_seconds();
+  const support::TraceTotals trace_before = tracer.totals(trace_rank);
   std::uint64_t local_flops = 0;
+  std::uint64_t admm_iterations = 0;
+  std::uint64_t admm_rho_updates = 0;
+  std::uint64_t admm_allreduce_calls = 0;
+  std::uint64_t admm_allreduce_bytes = 0;
 
   // Selection state: merged (replicated, globally consistent) versus this
   // rank's unmerged contributions. See uoi_lasso_distributed.cpp — the
@@ -469,6 +480,10 @@ UoiVarDistributedResult uoi_var_distributed(
               auto fit = solver.solve(model.lambdas[chain[m]],
                                       have_previous ? &previous : nullptr);
               local_flops += fit.local_flops;
+              admm_iterations += fit.iterations;
+              admm_rho_updates += fit.rho_updates;
+              admm_allreduce_calls += fit.allreduce_calls;
+              admm_allreduce_bytes += fit.allreduce_bytes;
               if (task_rank == 0) {
                 auto row = staged.row(m);
                 for (std::size_t i = 0; i < n_coeffs; ++i) {
@@ -700,13 +715,34 @@ UoiVarDistributedResult uoi_var_distributed(
   comm.mutable_stats() += folded;
   comm.mutable_recovery_stats() += folded_rec;
 
-  out.breakdown.distribution_seconds =
-      comm.stats().onesided_seconds() - distr_before;
+  // Tracer-derived bucket totals; computation is the wall-time remainder,
+  // clamped at zero against scheduler jitter.
+  support::TraceTotals delta = tracer.totals(trace_rank);
+  delta -= trace_before;
   out.breakdown.communication_seconds =
-      comm.stats().collective_seconds() - comm_before;
-  out.breakdown.computation_seconds = phase_watch.seconds() -
-                                      out.breakdown.communication_seconds -
-                                      out.breakdown.distribution_seconds;
+      delta.seconds(support::TraceCategory::kCommunication);
+  out.breakdown.distribution_seconds =
+      delta.seconds(support::TraceCategory::kDistribution);
+  out.breakdown.data_io_seconds =
+      delta.seconds(support::TraceCategory::kDataIo);
+  out.breakdown.computation_seconds =
+      std::max(0.0, phase_watch.seconds() -
+                        out.breakdown.communication_seconds -
+                        out.breakdown.distribution_seconds -
+                        out.breakdown.data_io_seconds);
+  tracer.record("uoi-var-computation", support::TraceCategory::kComputation,
+                trace_rank, phase_start_seconds,
+                out.breakdown.computation_seconds);
+
+  auto& metrics = support::MetricsRegistry::instance();
+  metrics.add(trace_rank, "admm.iterations",
+              static_cast<double>(admm_iterations));
+  metrics.add(trace_rank, "admm.rho_updates",
+              static_cast<double>(admm_rho_updates));
+  metrics.add(trace_rank, "admm.allreduce_calls",
+              static_cast<double>(admm_allreduce_calls));
+  metrics.add(trace_rank, "admm.allreduce_bytes",
+              static_cast<double>(admm_allreduce_bytes));
   return out;
 }
 

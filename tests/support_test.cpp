@@ -72,8 +72,11 @@ TEST(Rng, UniformBelowIsUnbiasedish) {
 
 TEST(Rng, UniformBelowEdgeCases) {
   Xoshiro256 rng(6);
-  EXPECT_EQ(rng.uniform_below(0), 0u);
+  // n == 0 is an empty range: Lemire's rejection threshold divides by n,
+  // so the old silent `return 0` masked real caller bugs.
+  EXPECT_THROW((void)rng.uniform_below(0), uoi::support::InvalidArgument);
   EXPECT_EQ(rng.uniform_below(1), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.uniform_below(6), 6u);
 }
 
 TEST(Rng, NormalMoments) {

@@ -1,25 +1,33 @@
 // uoi — command-line front end to the library.
 //
-//   uoi lasso  --csv data.csv [options]   sparse regression (last column
-//                                         of the CSV is the response)
-//   uoi var    --csv series.csv [options] Granger network from a series
-//                                         (columns = variables)
-//   uoi order  --csv series.csv [--max-order D]
-//                                         VAR order selection (AIC/BIC/HQ)
-//   uoi demo                              synthetic end-to-end showcase
-//   uoi faultdemo                         fault-injected distributed run:
-//                                         kill a rank mid-selection, watch
-//                                         the survivors shrink + recover
+//   uoi lasso    --csv data.csv [options]   sparse regression (last column
+//                                           of the CSV is the response)
+//   uoi logistic --csv data.csv [options]   sparse classification (last
+//                                           column holds 0/1 labels)
+//   uoi var      --csv series.csv [options] Granger network from a series
+//                                           (columns = variables)
+//   uoi granger  --csv series.csv [--order D]
+//                                           classical pairwise Granger
+//                                           F-tests (econometric baseline)
+//   uoi order    --csv series.csv [--max-order D]
+//                                           VAR order selection (AIC/BIC/HQ)
+//   uoi demo                                synthetic end-to-end showcase
+//   uoi faultdemo                           fault-injected distributed run:
+//                                           kill a rank mid-selection, watch
+//                                           the survivors shrink + recover
 //
 // Common options:
 //   --b1 N / --b2 N       selection / estimation bootstraps
 //   --lambdas Q           lambda grid size
 //   --seed S              master seed
 //   --checkpoint-path F   persist selection progress to F and resume from it
+//   --trace-json F        write a Chrome-trace-event JSON of the run to F
+//                         (open in Perfetto / chrome://tracing; pid = rank)
 // var-specific:
 //   --order D             VAR order (default 1)
 //   --tolerance T         edge magnitude threshold (default 0.01)
 //   --dot FILE            write the Graphviz network
+//   --json FILE           write the network as JSON
 //   --save-model FILE     write the fitted model (model_io format)
 //   --forecast H          print an H-step forecast
 // faultdemo-specific:
@@ -47,6 +55,7 @@
 #include "simcluster/cluster.hpp"
 #include "support/format.hpp"
 #include "support/table.hpp"
+#include "support/trace.hpp"
 #include "var/granger.hpp"
 #include "var/granger_test.hpp"
 #include "var/model_io.hpp"
@@ -70,6 +79,7 @@ struct Args {
   double tolerance = 0.01;
   std::uint64_t seed = 20200518;
   std::string checkpoint_path;
+  std::string trace_json_path;  ///< Chrome-trace output, empty = no trace
   std::string inject_fault;  ///< "rank@step", empty = no fault
   int max_retries = 4;
   int ranks = 4;
@@ -82,6 +92,7 @@ struct Args {
                "[--b2 N] [--lambdas Q] [--order D] [--max-order D] "
                "[--tolerance T] [--dot FILE] [--json FILE] [--save-model FILE] "
                "[--forecast H] [--seed S] [--checkpoint-path FILE] "
+               "[--trace-json FILE] "
                "[--ranks P] [--inject-fault RANK@STEP] [--max-retries N]\n",
                argv0);
   std::exit(2);
@@ -123,6 +134,8 @@ Args parse_args(int argc, char** argv) {
       args.seed = std::strtoull(value(), nullptr, 10);
     } else if (flag == "--checkpoint-path") {
       args.checkpoint_path = value();
+    } else if (flag == "--trace-json") {
+      args.trace_json_path = value();
     } else if (flag == "--inject-fault") {
       args.inject_fault = value();
     } else if (flag == "--max-retries") {
@@ -166,11 +179,14 @@ int run_lasso(const Args& args) {
   options.n_lambdas = args.n_lambdas;
   options.fit_intercept = true;
   options.seed = args.seed;
-  const auto fit =
-      args.checkpoint_path.empty()
-          ? uoi::core::UoiLasso(options).fit(x, y)
-          : uoi::core::UoiLasso(options).fit_with_checkpoint(
-                x, y, args.checkpoint_path);
+  const auto fit = [&] {
+    uoi::support::TraceScope span("uoi-lasso-fit",
+                                  uoi::support::TraceCategory::kComputation);
+    return args.checkpoint_path.empty()
+               ? uoi::core::UoiLasso(options).fit(x, y)
+               : uoi::core::UoiLasso(options).fit_with_checkpoint(
+                     x, y, args.checkpoint_path);
+  }();
 
   std::printf("UoI_LASSO fit: %zu samples x %zu features\n", x.rows(), p);
   std::printf("intercept: %.6g\nselected features (|beta| > %g):\n",
@@ -212,7 +228,11 @@ int run_logistic(const Args& args) {
   options.n_estimation_bootstraps = args.b2;
   options.n_lambdas = args.n_lambdas;
   options.seed = args.seed;
-  const auto fit = uoi::core::UoiLogistic(options).fit(x, y);
+  const auto fit = [&] {
+    uoi::support::TraceScope span("uoi-logistic-fit",
+                                  uoi::support::TraceCategory::kComputation);
+    return uoi::core::UoiLogistic(options).fit(x, y);
+  }();
 
   std::printf("UoI_Logistic fit: %zu samples x %zu features\n", x.rows(), p);
   std::printf("intercept: %.6g\ntraining accuracy: %.3f\n", fit.intercept,
@@ -241,7 +261,11 @@ int run_var(const Args& args) {
   options.n_estimation_bootstraps = args.b2;
   options.n_lambdas = args.n_lambdas;
   options.seed = args.seed;
-  const auto fit = uoi::var::UoiVar(options).fit(csv.values);
+  const auto fit = [&] {
+    uoi::support::TraceScope span("uoi-var-fit",
+                                  uoi::support::TraceCategory::kComputation);
+    return uoi::var::UoiVar(options).fit(csv.values);
+  }();
 
   const auto network =
       uoi::var::GrangerNetwork::from_model(fit.model, args.tolerance);
@@ -329,7 +353,11 @@ int run_demo(const Args& args) {
   options.n_estimation_bootstraps = args.b2;
   options.n_lambdas = args.n_lambdas;
   options.seed = args.seed;
-  const auto fit = uoi::var::UoiVar(options).fit(series);
+  const auto fit = [&] {
+    uoi::support::TraceScope span("uoi-var-fit",
+                                  uoi::support::TraceCategory::kComputation);
+    return uoi::var::UoiVar(options).fit(series);
+  }();
 
   const auto est = uoi::var::GrangerNetwork::from_model(fit.model, 0.02);
   const auto ref = uoi::var::GrangerNetwork::from_model(truth, 1e-9);
@@ -435,21 +463,41 @@ int run_faultdemo(const Args& args) {
   return 0;
 }
 
+int dispatch(const Args& args) {
+  if (args.command == "lasso") return run_lasso(args);
+  if (args.command == "logistic") return run_logistic(args);
+  if (args.command == "var") return run_var(args);
+  if (args.command == "granger") return run_granger(args);
+  if (args.command == "order") return run_order(args);
+  if (args.command == "demo") return run_demo(args);
+  if (args.command == "faultdemo") return run_faultdemo(args);
+  return -1;  // unknown command
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
+  const bool tracing = !args.trace_json_path.empty();
+  if (tracing) uoi::support::Tracer::instance().set_capture_events(true);
+  int status = -1;
   try {
-    if (args.command == "lasso") return run_lasso(args);
-    if (args.command == "logistic") return run_logistic(args);
-    if (args.command == "var") return run_var(args);
-    if (args.command == "granger") return run_granger(args);
-    if (args.command == "order") return run_order(args);
-    if (args.command == "demo") return run_demo(args);
-    if (args.command == "faultdemo") return run_faultdemo(args);
+    status = dispatch(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  usage(argv[0]);
+  if (status < 0) usage(argv[0]);
+  if (tracing) {
+    try {
+      auto& tracer = uoi::support::Tracer::instance();
+      tracer.write_chrome_trace(args.trace_json_path);
+      std::printf("wrote trace to %s (%zu events)\n",
+                  args.trace_json_path.c_str(), tracer.event_count());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  return status;
 }
