@@ -15,6 +15,13 @@
 
 int main() {
   uoi::bench::FigureTrace trace("fig10_var_strong");
+  uoi::bench::BenchReport telemetry("fig10_var_strong");
+  telemetry.config("rank_sweep", "2,4,8")
+      .config("n_nodes", 10)
+      .config("n_samples", 360)
+      .config("b1", 4)
+      .config("b2", 3)
+      .config("q", 5);
   std::printf("== Fig. 10: UoI_VAR strong scaling (1 TB fixed) ==\n");
 
   uoi::bench::banner("modeled at paper scale");

@@ -25,6 +25,12 @@ using uoi::support::format_seconds;
 
 int main() {
   uoi::bench::FigureTrace trace("fig11_applications");
+  uoi::bench::BenchReport telemetry("fig11_applications");
+  telemetry.config("n_companies", 50)
+      .config("n_weeks", 104)
+      .config("b1", 40)
+      .config("b2", 5)
+      .config("q", 16);
   std::printf("== Fig. 11 / SVI: UoI_VAR applications ==\n\n");
 
   // ---- (a) the Granger network analysis ----

@@ -19,6 +19,13 @@
 
 int main() {
   uoi::bench::FigureTrace trace("fig2_lasso_singlenode");
+  uoi::bench::BenchReport telemetry("fig2_lasso_singlenode");
+  telemetry.config("ranks", 8)
+      .config("n_samples", 1024)
+      .config("n_features", 64)
+      .config("b1", 5)
+      .config("b2", 5)
+      .config("q", 8);
   std::printf("== Fig. 2: UoI_LASSO single-node runtime breakdown ==\n");
 
   uoi::bench::banner("modeled at paper scale (16 GB, 68 cores, B1=B2=5, q=8)");

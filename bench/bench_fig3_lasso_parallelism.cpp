@@ -22,6 +22,14 @@
 
 int main() {
   uoi::bench::FigureTrace trace("fig3_lasso_parallelism");
+  uoi::bench::BenchReport telemetry("fig3_lasso_parallelism");
+  telemetry.config("ranks", 8)
+      .config("n_samples", 768)
+      .config("n_features", 48)
+      .config("b1", 8)
+      .config("b2", 8)
+      .config("q", 8)
+      .config("layouts", "4x2,2x4,2x2,1x1");
   std::printf("== Fig. 3: P_B x P_lambda parallelism (B1=B2=q=48) ==\n");
 
   uoi::bench::banner("modeled at paper scale");

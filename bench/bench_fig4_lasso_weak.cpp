@@ -18,6 +18,13 @@
 
 int main() {
   uoi::bench::FigureTrace trace("fig4_lasso_weak");
+  uoi::bench::BenchReport telemetry("fig4_lasso_weak");
+  telemetry.config("rank_sweep", "2,4,8,16")
+      .config("rows_per_rank", 96)
+      .config("n_features", 48)
+      .config("b1", 5)
+      .config("b2", 3)
+      .config("q", 6);
   std::printf("== Fig. 4: UoI_LASSO weak scaling ==\n");
 
   uoi::bench::banner("modeled at paper scale (bytes/core fixed)");

@@ -20,6 +20,10 @@
 
 int main() {
   uoi::bench::FigureTrace trace("fig5_allreduce_minmax");
+  uoi::bench::BenchReport telemetry("fig5_allreduce_minmax");
+  telemetry.config("rank_sweep", "2,4,8,16")
+      .config("payload_doubles", 20101)
+      .config("allreduces_per_config", 50);
   std::printf("== Fig. 5: Allreduce T_min / T_max across weak scaling ==\n\n");
 
   const auto m = uoi::perf::knl_profile();

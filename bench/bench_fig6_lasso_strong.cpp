@@ -18,6 +18,13 @@
 
 int main() {
   uoi::bench::FigureTrace trace("fig6_lasso_strong");
+  uoi::bench::BenchReport telemetry("fig6_lasso_strong");
+  telemetry.config("rank_sweep", "2,4,8,16")
+      .config("n_samples", 1536)
+      .config("n_features", 48)
+      .config("b1", 5)
+      .config("b2", 3)
+      .config("q", 6);
   std::printf("== Fig. 6: UoI_LASSO strong scaling (1 TB fixed) ==\n");
 
   uoi::bench::banner("modeled at paper scale");

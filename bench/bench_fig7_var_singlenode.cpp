@@ -15,6 +15,13 @@
 
 int main() {
   uoi::bench::FigureTrace trace("fig7_var_singlenode");
+  uoi::bench::BenchReport telemetry("fig7_var_singlenode");
+  telemetry.config("ranks", 8)
+      .config("n_nodes", 12)
+      .config("n_samples", 300)
+      .config("b1", 5)
+      .config("b2", 5)
+      .config("q", 8);
   std::printf("== Fig. 7: UoI_VAR single-node runtime breakdown ==\n");
 
   uoi::bench::banner(

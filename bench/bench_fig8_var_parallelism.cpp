@@ -16,6 +16,14 @@
 
 int main() {
   uoi::bench::FigureTrace trace("fig8_var_parallelism");
+  uoi::bench::BenchReport telemetry("fig8_var_parallelism");
+  telemetry.config("ranks", 8)
+      .config("n_nodes", 10)
+      .config("n_samples", 240)
+      .config("b1", 8)
+      .config("b2", 4)
+      .config("q", 8)
+      .config("layouts", "4x1,2x2,1x4,1x1");
   std::printf("== Fig. 8: UoI_VAR P_B x P_lambda parallelism ==\n");
 
   uoi::bench::banner("modeled at paper scale (B1=B2=32, q=16)");

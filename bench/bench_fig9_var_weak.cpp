@@ -16,6 +16,13 @@
 
 int main() {
   uoi::bench::FigureTrace trace("fig9_var_weak");
+  uoi::bench::BenchReport telemetry("fig9_var_weak");
+  telemetry.config("rank_sweep", "2,4,8")
+      .config("n_nodes", 10)
+      .config("samples_per_rank", 60)
+      .config("b1", 4)
+      .config("b2", 3)
+      .config("q", 5);
   std::printf("== Fig. 9: UoI_VAR weak scaling (B1=30, B2=20, q=20) ==\n");
 
   uoi::bench::banner("modeled at paper scale");

@@ -11,6 +11,7 @@
 #include "core/distributed_common.hpp"
 #include "solvers/distributed_admm.hpp"
 #include "support/error.hpp"
+#include "support/log.hpp"
 #include "support/stopwatch.hpp"
 #include "support/trace.hpp"
 
@@ -163,6 +164,8 @@ UoiLassoDistributedResult uoi_lasso_distributed(
           }
         }
         ++comm.mutable_recovery_stats().checkpoint_resumes;
+        UOI_LOG_INFO.field("path", recovery.checkpoint_path)
+            << "resumed selection progress from checkpoint";
       }
     }
   }
@@ -439,6 +442,9 @@ UoiLassoDistributedResult uoi_lasso_distributed(
       break;
     } catch (const uoi::sim::RankFailedError&) {
       if (attempts_left-- <= 0) throw;
+      UOI_LOG_WARN.field("attempts_left", attempts_left)
+              .field("phase", selection_complete ? "estimation" : "selection")
+          << "rank failure in distributed UoI_LASSO; shrinking and resuming";
       // Survivors converge here (any rank still blocked in a collective of
       // the revoked communicator raises and follows); the shrink is
       // collective over the alive ranks only.

@@ -1,0 +1,130 @@
+#pragma once
+// Run-report analytics: turns raw observability signal (Tracer totals +
+// histograms + optional span events, MetricsRegistry counters) into the
+// decisions the paper's scaling analysis is built on:
+//
+//   - per-rank load imbalance of compute time (max/mean, coefficient of
+//     variation) across the bootstrap x lambda task groups;
+//   - Allreduce wait-time skew across ranks (the follow-up optimization
+//     work, arXiv:1808.06992, traces most scaling loss to exactly this);
+//   - straggler-rank identification;
+//   - a critical-path lower bound over the span DAG: no schedule can beat
+//     max_r(work_r) + sum_k min_r(k-th collective span on r), so
+//     wall / critical_path measures the slack recoverable by balancing;
+//   - span-latency percentiles per category (from the tracer's streaming
+//     histograms — no event capture required).
+//
+// The report serializes to run_report.json (--report-json on every CLI
+// command, or `uoi analyze TRACE.json` for a post-hoc trace file) and to a
+// support/table text summary. Bench binaries embed the same structure in
+// their BENCH_<figure>.json telemetry.
+
+#include <array>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/histogram.hpp"
+#include "support/trace.hpp"
+
+namespace uoi::report {
+
+/// Everything a report is computed from. Decoupled from the Tracer /
+/// MetricsRegistry singletons so tests and the trace-file analyzer can
+/// feed synthetic inputs.
+struct ReportInputs {
+  double wall_seconds = 0.0;  ///< phase wall time (max rank timeline)
+  std::map<int, support::TraceTotals> totals;          ///< per rank
+  std::map<int, support::CategoryHistograms> histograms;  ///< per rank
+  std::vector<support::TraceEvent> events;  ///< optional (capture on)
+  std::vector<support::MetricsRegistry::Entry> metrics;  ///< optional
+};
+
+/// Snapshots the live Tracer + MetricsRegistry. `wall_seconds` is the
+/// caller-measured phase wall time (e.g. around the CLI command).
+[[nodiscard]] ReportInputs collect_inputs(double wall_seconds);
+
+/// Derives totals, histograms, and the wall time from a span-event list
+/// (the `uoi analyze TRACE.json` path).
+[[nodiscard]] ReportInputs inputs_from_events(
+    std::vector<support::TraceEvent> events);
+
+/// Per-rank traced bucket seconds.
+struct RankBuckets {
+  int rank = 0;
+  double computation = 0.0;
+  double communication = 0.0;
+  double distribution = 0.0;
+  double data_io = 0.0;
+  double fault = 0.0;
+  double recovery = 0.0;
+};
+
+/// Latency summary of one span category, merged across ranks.
+struct CategoryLatency {
+  support::TraceCategory category = support::TraceCategory::kComputation;
+  std::uint64_t count = 0;
+  double mean_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+struct RunReport {
+  double wall_seconds = 0.0;
+  int n_ranks = 0;
+
+  /// Headline buckets: communication / distribution / data-I/O are the
+  /// per-rank means of the traced totals; computation is the wall-time
+  /// remainder (clamped at zero), so the four buckets sum to the phase
+  /// wall time by construction — the same convention the distributed
+  /// drivers use.
+  double computation_seconds = 0.0;
+  double communication_seconds = 0.0;
+  double distribution_seconds = 0.0;
+  double data_io_seconds = 0.0;
+  [[nodiscard]] double buckets_sum() const {
+    return computation_seconds + communication_seconds +
+           distribution_seconds + data_io_seconds;
+  }
+
+  std::vector<RankBuckets> per_rank;
+
+  // ---- Load imbalance (traced compute seconds across ranks) ----
+  double compute_max_over_mean = 0.0;  ///< 1.0 == perfectly balanced
+  double compute_cv = 0.0;             ///< coefficient of variation
+  int straggler_rank = -1;             ///< argmax compute (-1: < 2 ranks)
+  double straggler_excess_seconds = 0.0;  ///< max - mean compute
+  bool straggler_flagged = false;  ///< max/mean > 1.25 and excess > 1 ms
+
+  // ---- Allreduce / communication wait skew across ranks ----
+  double allreduce_skew_seconds = 0.0;   ///< max - min across ranks
+  double allreduce_max_over_mean = 0.0;  ///< 1.0 == no skew
+
+  // ---- Critical-path lower bound ----
+  double critical_path_seconds = 0.0;
+  double critical_path_fraction = 0.0;  ///< of wall; low == slack/imbalance
+  std::size_t sync_points = 0;  ///< aligned collective spans used
+  std::string critical_path_method;  ///< "events" or "totals"
+
+  std::vector<CategoryLatency> latency;  ///< categories with any spans
+
+  std::vector<support::MetricsRegistry::Entry> metrics;
+
+  /// {"schema":"uoi-run-report-v1", ...}
+  [[nodiscard]] std::string to_json() const;
+  /// Human summary: per-rank bucket table, imbalance and critical-path
+  /// lines, latency-percentile table.
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Computes the full report from `inputs`.
+[[nodiscard]] RunReport build_run_report(const ReportInputs& inputs);
+
+/// Writes report.to_json() to `path`; throws uoi::support::IoError on
+/// failure.
+void write_run_report(const RunReport& report, const std::string& path);
+
+}  // namespace uoi::report

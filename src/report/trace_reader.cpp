@@ -1,0 +1,339 @@
+#include "report/trace_reader.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace uoi::report {
+
+using support::TraceCategory;
+using support::TraceEvent;
+
+namespace {
+
+/// Minimal recursive-descent JSON parser, specialized to what a trace
+/// document needs: it materializes event objects as flat key -> scalar
+/// maps and skips everything else (nested containers in unknown keys are
+/// consumed structurally). Errors carry the byte offset.
+class TraceJsonParser {
+ public:
+  explicit TraceJsonParser(std::string text) : text_(std::move(text)) {}
+
+  std::vector<TraceEvent> parse() {
+    skip_ws();
+    std::vector<TraceEvent> events;
+    if (peek() == '{') {
+      // {"traceEvents": [...], ...}: scan top-level keys.
+      expect('{');
+      if (skip_ws(); peek() == '}') {
+        ++pos_;
+        return events;
+      }
+      for (;;) {
+        const std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        skip_ws();
+        if (key == "traceEvents") {
+          parse_event_array(events);
+        } else {
+          skip_value();
+        }
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          skip_ws();
+          continue;
+        }
+        expect('}');
+        break;
+      }
+    } else {
+      parse_event_array(events);
+    }
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return events;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw support::IoError("malformed trace JSON at byte " +
+                           std::to_string(pos_) + ": " + what);
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape digit");
+            }
+          }
+          // The writer only \u-escapes control characters; decode the
+          // Latin-1 range directly and UTF-8-encode the rest.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("invalid number: " + token);
+    return value;
+  }
+
+  void skip_literal(const char* literal) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("invalid literal");
+      ++pos_;
+    }
+  }
+
+  /// Consumes any JSON value without materializing it.
+  void skip_value() {
+    skip_ws();
+    switch (peek()) {
+      case '"':
+        (void)parse_string();
+        return;
+      case '{': {
+        ++pos_;
+        skip_ws();
+        if (peek() == '}') {
+          ++pos_;
+          return;
+        }
+        for (;;) {
+          (void)parse_string();
+          skip_ws();
+          expect(':');
+          skip_value();
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            skip_ws();
+            continue;
+          }
+          expect('}');
+          return;
+        }
+      }
+      case '[': {
+        ++pos_;
+        skip_ws();
+        if (peek() == ']') {
+          ++pos_;
+          return;
+        }
+        for (;;) {
+          skip_value();
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            skip_ws();
+            continue;
+          }
+          expect(']');
+          return;
+        }
+      }
+      case 't':
+        skip_literal("true");
+        return;
+      case 'f':
+        skip_literal("false");
+        return;
+      case 'n':
+        skip_literal("null");
+        return;
+      default:
+        (void)parse_number();
+        return;
+    }
+  }
+
+  void parse_event_array(std::vector<TraceEvent>& events) {
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      parse_event(events);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        skip_ws();
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+
+  void parse_event(std::vector<TraceEvent>& events) {
+    expect('{');
+    TraceEvent event;
+    std::string phase = "X";
+    bool has_category = false;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;  // empty object: tolerated (some writers emit a trailing {})
+    }
+    for (;;) {
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (key == "name") {
+        event.name = parse_string();
+      } else if (key == "cat") {
+        has_category =
+            support::trace_category_from_string(parse_string(), event.category);
+      } else if (key == "ph") {
+        phase = parse_string();
+      } else if (key == "pid") {
+        event.rank = static_cast<int>(parse_number());
+      } else if (key == "tid") {
+        event.tid = static_cast<int>(parse_number());
+      } else if (key == "ts") {
+        event.start_seconds = parse_number() * 1e-6;
+      } else if (key == "dur") {
+        event.duration_seconds = parse_number() * 1e-6;
+      } else {
+        skip_value();
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        skip_ws();
+        continue;
+      }
+      expect('}');
+      break;
+    }
+    if (!has_category) event.category = TraceCategory::kComputation;
+    if (phase == "X" || phase == "i" || phase == "I") {
+      if (phase != "X") event.duration_seconds = 0.0;
+      events.push_back(std::move(event));
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<TraceEvent> read_chrome_trace(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return TraceJsonParser(buffer.str()).parse();
+}
+
+std::vector<TraceEvent> read_chrome_trace_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw support::IoError("cannot open trace file for reading: " + path);
+  }
+  return read_chrome_trace(file);
+}
+
+}  // namespace uoi::report

@@ -1,0 +1,29 @@
+#pragma once
+// Chrome-trace-event JSON reader for `uoi analyze TRACE.json`.
+//
+// Accepts both container forms Perfetto/chrome://tracing emit and consume:
+// a bare JSON array of event objects, or {"traceEvents":[...], ...}. Only
+// complete ("ph":"X") and instant ("ph":"i"/"I") events are kept — the
+// two forms Tracer::write_chrome_trace produces; other phases are
+// skipped. ts/dur are microseconds in the file and come back as seconds;
+// pid maps to rank, "cat" to TraceCategory (unknown categories land in
+// computation so no time is dropped).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/trace.hpp"
+
+namespace uoi::report {
+
+/// Parses a Chrome-trace-event document. Throws uoi::support::IoError on
+/// malformed JSON (with the byte offset of the error).
+[[nodiscard]] std::vector<support::TraceEvent> read_chrome_trace(
+    std::istream& in);
+
+/// As above, from a file path.
+[[nodiscard]] std::vector<support::TraceEvent> read_chrome_trace_file(
+    const std::string& path);
+
+}  // namespace uoi::report

@@ -7,6 +7,7 @@
 
 #include "simcluster/context.hpp"
 #include "support/error.hpp"
+#include "support/log.hpp"
 #include "support/stopwatch.hpp"
 #include "support/trace.hpp"
 
@@ -644,6 +645,10 @@ Comm Comm::shrink() {
   child.acknowledged_fail_seq_ = registry->fail_seq();
   ++recovery_stats_.shrinks;
   recovery_stats_.recovery_seconds += watch.seconds();
+  UOI_LOG_INFO.field("survivors", alive.size())
+          .field("new_rank", new_rank)
+          .field("seconds", watch.seconds())
+      << "communicator shrunk after rank failure";
   return child;
 }
 
@@ -697,6 +702,8 @@ void Comm::maybe_kill() {
   registry.mark_failed(global);
   support::Tracer::instance().instant("rank-killed",
                                       support::TraceCategory::kFault, global);
+  UOI_LOG_WARN.field("rank", global).field("collective_op", op)
+      << "fault plan killed rank";
   // Park until every surviving rank has either acknowledged this death or
   // finished its SPMD function: survivors may still be inside a window
   // epoch reading buffers that live on this rank's stack, so the stack
@@ -711,6 +718,7 @@ void Comm::raise_rank_failed(const char* what) {
   ++recovery_stats_.rank_failures_detected;
   support::Tracer::instance().instant(
       "rank-failure-detected", support::TraceCategory::kFault, global_rank());
+  UOI_LOG_DEBUG.field("rank", global_rank()) << what;
   auto& registry = *context_->registry();
   if (!progress_handle_) {
     // Acknowledging certifies this rank will not touch pre-failure window

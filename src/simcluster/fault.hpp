@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/log.hpp"
 #include "support/trace.hpp"
 
 namespace uoi::sim {
@@ -154,6 +155,9 @@ auto retry_onesided(CommT& comm, const RetryOptions& options, Fn&& fn)
             std::to_string(attempt) + " attempts (" + error.what() + ")");
       }
       ++recovery.retries;
+      UOI_LOG_DEBUG.field("attempt", attempt)
+              .field("backoff_seconds", backoff)
+          << "transient one-sided fault; retrying";
       {
         support::TraceScope backoff_span("retry-backoff",
                                          support::TraceCategory::kRecovery,

@@ -1,0 +1,91 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uoi::support {
+
+namespace {
+
+// log(kMaxValue / kMinValue) precomputed; bucket i covers
+// [kMin * ratio^i, kMin * ratio^(i+1)) with ratio^kBucketCount = kMax/kMin.
+const double kLogSpan =
+    std::log(LogHistogram::kMaxValue / LogHistogram::kMinValue);
+
+}  // namespace
+
+std::size_t LogHistogram::bucket_index(double value) {
+  if (!(value > kMinValue)) return 0;
+  if (value >= kMaxValue) return kBucketCount - 1;
+  const double position =
+      std::log(value / kMinValue) / kLogSpan * static_cast<double>(kBucketCount);
+  const auto index = static_cast<std::size_t>(position);
+  return std::min(index, kBucketCount - 1);
+}
+
+double LogHistogram::bucket_lower_bound(std::size_t i) {
+  if (i == 0) return 0.0;
+  return kMinValue *
+         std::exp(kLogSpan * static_cast<double>(i) /
+                  static_cast<double>(kBucketCount));
+}
+
+void LogHistogram::add(double value) {
+  if (value < 0.0 || std::isnan(value)) value = 0.0;
+  ++buckets_[bucket_index(value)];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based; q = 0 -> first, q = 1 -> last.
+  const double target = q * static_cast<double>(count_ - 1) + 1.0;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) continue;
+    const auto below = static_cast<double>(seen);
+    seen += buckets_[i];
+    if (static_cast<double>(seen) < target) continue;
+    // Interpolate geometrically inside the bucket (log-spaced buckets make
+    // the geometric midpoint the unbiased choice).
+    const double lo = std::max(bucket_lower_bound(i), kMinValue * 0.5);
+    const double hi = bucket_lower_bound(i + 1);
+    const double within =
+        (target - below) / static_cast<double>(buckets_[i]);
+    const double estimate = lo * std::pow(hi / lo, std::clamp(within, 0.0, 1.0));
+    return std::clamp(estimate, min_, max_);
+  }
+  return max_;
+}
+
+void LogHistogram::clear() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace uoi::support

@@ -1,0 +1,68 @@
+#pragma once
+// Fixed-memory streaming latency histogram.
+//
+// The Tracer maintains one of these per (rank, category) alongside its
+// running totals, so every run — even with event capture off — can report
+// span-latency percentiles (p50/p95/p99) at O(1) memory. Buckets are
+// log-spaced: 96 geometric buckets spanning [1 ns, ~4000 s) with a ratio
+// of ~1.34 per bucket, giving a worst-case quantile error of ~15% of the
+// value — plenty for the "is the tail 10x the median?" questions the
+// run-report analysis asks. Values outside the range clamp into the first
+// or last bucket; exact min/max/sum are tracked separately so range
+// clamping never distorts the summary statistics.
+//
+// Not internally synchronized: the Tracer updates its histograms under its
+// own mutex; standalone users must provide their own locking.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace uoi::support {
+
+class LogHistogram {
+ public:
+  static constexpr std::size_t kBucketCount = 96;
+  static constexpr double kMinValue = 1e-9;   ///< 1 ns
+  static constexpr double kMaxValue = 4096.0; ///< ~68 min
+
+  /// Records one observation (seconds). Negative values clamp to zero.
+  void add(double value);
+
+  /// Folds `other` into this histogram.
+  void merge(const LogHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  /// Smallest / largest observed value (0 when empty).
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Quantile estimate for q in [0, 1]: locates the bucket containing the
+  /// q-th observation and interpolates geometrically within it, clamped to
+  /// the observed [min, max]. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  void clear();
+
+  /// Bucket index for a value (exposed for tests).
+  [[nodiscard]] static std::size_t bucket_index(double value);
+  /// Lower bound of bucket `i` in seconds (exposed for tests).
+  [[nodiscard]] static double bucket_lower_bound(std::size_t i);
+
+ private:
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace uoi::support

@@ -1,0 +1,25 @@
+#pragma once
+// Tiny shared JSON-writing helpers. Every JSON emitter in the tree
+// (Chrome traces, MetricsRegistry, run reports, bench telemetry, the
+// JSON-lines log sink) routes string output through json_escape so a
+// malformed document is impossible by construction: quotes, backslashes,
+// and every control character are escaped per RFC 8259.
+
+#include <string>
+#include <string_view>
+
+namespace uoi::support {
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// \b \f \n \r \t shorthands, \u00XX for the remaining control chars).
+void json_escape(std::string& out, std::string_view s);
+
+/// Returns `s` escaped and wrapped in double quotes.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Formats a double as a JSON number: shortest round-trippable form via
+/// %.17g capped to %.9g for readability, with non-finite values mapped to
+/// 0 (JSON has no NaN/Inf).
+[[nodiscard]] std::string json_number(double value);
+
+}  // namespace uoi::support

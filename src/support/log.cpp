@@ -1,0 +1,193 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/trace.hpp"
+
+namespace uoi::support {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<LogFormat> g_format{LogFormat::kText};
+std::mutex g_log_mutex;
+std::FILE* g_sink = nullptr;  ///< nullptr == stderr; guarded by g_log_mutex
+std::once_flag g_env_once;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    default:
+      return "?";
+  }
+}
+
+/// UOI_LOG_LEVEL / UOI_LOG_FORMAT are read exactly once, before the first
+/// line (or explicit setter) takes effect, so programmatic settings always
+/// win over the environment.
+void init_from_env() {
+  if (const char* env = std::getenv("UOI_LOG_LEVEL");
+      env != nullptr && env[0] != '\0') {
+    LogLevel level;
+    if (log_level_from_string(env, level)) {
+      g_level.store(level);
+    } else {
+      std::fprintf(stderr, "[warn] UOI_LOG_LEVEL: unknown level \"%s\"\n", env);
+    }
+  }
+  if (const char* env = std::getenv("UOI_LOG_FORMAT");
+      env != nullptr && env[0] != '\0') {
+    const std::string_view value(env);
+    if (value == "json") {
+      g_format.store(LogFormat::kJson);
+    } else if (value == "text") {
+      g_format.store(LogFormat::kText);
+    } else {
+      std::fprintf(stderr, "[warn] UOI_LOG_FORMAT: unknown format \"%s\"\n",
+                   env);
+    }
+  }
+}
+
+void ensure_env_init() { std::call_once(g_env_once, init_from_env); }
+
+std::string render_text(const LogRecord& record) {
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[%12.6f] [%-5s] [rank %d] ",
+                record.timestamp_seconds, level_name(record.level),
+                record.rank);
+  std::string line = prefix;
+  line += record.message;
+  for (const auto& [name, value] : record.fields) {
+    line += ' ';
+    line += name;
+    line += '=';
+    line += value;
+  }
+  line += '\n';
+  return line;
+}
+
+std::string render_json(const LogRecord& record) {
+  std::string line = "{\"ts\":";
+  line += json_number(record.timestamp_seconds);
+  line += ",\"level\":";
+  line += json_quote(level_name(record.level));
+  line += ",\"rank\":";
+  line += std::to_string(record.rank);
+  line += ",\"msg\":";
+  line += json_quote(record.message);
+  for (const auto& [name, value] : record.fields) {
+    line += ',';
+    line += json_quote(name);
+    line += ':';
+    line += json_quote(value);
+  }
+  line += "}\n";
+  return line;
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  ensure_env_init();
+  g_level.store(level);
+}
+
+LogLevel log_level() {
+  ensure_env_init();
+  return g_level.load();
+}
+
+void set_log_format(LogFormat format) {
+  ensure_env_init();
+  g_format.store(format);
+}
+
+LogFormat log_format() {
+  ensure_env_init();
+  return g_format.load();
+}
+
+void set_log_file(const std::string& path) {
+  std::FILE* next = nullptr;
+  if (!path.empty()) {
+    next = std::fopen(path.c_str(), "a");
+    if (next == nullptr) {
+      throw IoError("cannot open log file for appending: " + path);
+    }
+  }
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  if (g_sink != nullptr) std::fclose(g_sink);
+  g_sink = next;
+}
+
+bool log_level_from_string(std::string_view name, LogLevel& out) {
+  if (name == "debug") {
+    out = LogLevel::kDebug;
+  } else if (name == "info") {
+    out = LogLevel::kInfo;
+  } else if (name == "warn" || name == "warning") {
+    out = LogLevel::kWarn;
+  } else if (name == "error") {
+    out = LogLevel::kError;
+  } else if (name == "off" || name == "none" || name == "quiet") {
+    out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void log_record(const LogRecord& record) {
+  ensure_env_init();
+  if (static_cast<int>(record.level) < static_cast<int>(g_level.load())) {
+    return;
+  }
+  const std::string line = g_format.load() == LogFormat::kJson
+                               ? render_json(record)
+                               : render_text(record);
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::FILE* sink = g_sink != nullptr ? g_sink : stderr;
+  std::fwrite(line.data(), 1, line.size(), sink);
+  std::fflush(sink);
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  LogRecord record;
+  record.level = level;
+  record.rank = Tracer::thread_rank();
+  record.timestamp_seconds = Tracer::instance().now_seconds();
+  record.message = message;
+  log_record(record);
+}
+
+namespace detail {
+
+LogStream::~LogStream() {
+  // Cheap early-out: skip the Tracer clock read for dropped lines.
+  if (static_cast<int>(level_) < static_cast<int>(log_level())) return;
+  LogRecord record;
+  record.level = level_;
+  record.rank = Tracer::thread_rank();
+  record.timestamp_seconds = Tracer::instance().now_seconds();
+  record.message = stream_.str();
+  record.fields = std::move(fields_);
+  log_record(record);
+}
+
+}  // namespace detail
+
+}  // namespace uoi::support

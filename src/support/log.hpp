@@ -1,0 +1,107 @@
+#pragma once
+// Rank-aware leveled structured logging.
+//
+// Replaces the older minimal logger (support/logging.hpp) and the ad-hoc
+// fprintf diagnostics that used to live in the drivers, the simcluster
+// recovery paths, and the CLI. Every line carries a timestamp on the
+// Tracer's epoch (so log lines line up with trace spans), the calling
+// thread's bound rank, a level, a message, and optional structured
+// key=value fields:
+//
+//   UOI_LOG_WARN.field("rank", comm.rank()).field("attempts", n)
+//       << "rank failure detected; shrinking communicator";
+//
+// Two sinks:
+//   - text (default): "[  12.345678] [warn ] [rank 2] message key=value"
+//   - JSON lines:     {"ts":12.345678,"level":"warn","rank":2,
+//                      "msg":"message","key":"value"}
+//
+// Destination is stderr by default; set_log_file redirects to a file.
+// Environment (read once, before the first line is emitted):
+//   UOI_LOG_LEVEL  = debug | info | warn | error | off   (default warn)
+//   UOI_LOG_FORMAT = text | json                         (default text)
+//
+// Thread-safe: each line is assembled into one string and written under a
+// single lock, so concurrent ranks never interleave within a line.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace uoi::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+enum class LogFormat { kText = 0, kJson = 1 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Output format for all subsequent lines.
+void set_log_format(LogFormat format);
+[[nodiscard]] LogFormat log_format();
+
+/// Redirects log output to `path` (append). Throws IoError when the file
+/// cannot be opened. An empty path restores stderr.
+void set_log_file(const std::string& path);
+
+/// Parses a level name ("debug", "info", "warn"/"warning", "error",
+/// "off"/"none"/"quiet"); returns false on unknown names.
+[[nodiscard]] bool log_level_from_string(std::string_view name, LogLevel& out);
+
+/// One structured log line, already split into message + fields.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  int rank = 0;                ///< calling thread's bound Tracer rank
+  double timestamp_seconds = 0.0;  ///< on the Tracer epoch
+  std::string message;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/// Formats and writes one record if its level passes the threshold.
+void log_record(const LogRecord& record);
+
+/// Convenience wrapper around log_record for a plain message.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Temporary created by the UOI_LOG_* macros: collects the streamed
+/// message and any .field() pairs, emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream();
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  template <typename T>
+  LogStream& field(std::string_view name, const T& value) {
+    std::ostringstream os;
+    os << value;
+    fields_.emplace_back(std::string(name), os.str());
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace detail
+
+}  // namespace uoi::support
+
+#define UOI_LOG_DEBUG ::uoi::support::detail::LogStream(::uoi::support::LogLevel::kDebug)
+#define UOI_LOG_INFO ::uoi::support::detail::LogStream(::uoi::support::LogLevel::kInfo)
+#define UOI_LOG_WARN ::uoi::support::detail::LogStream(::uoi::support::LogLevel::kWarn)
+#define UOI_LOG_ERROR ::uoi::support::detail::LogStream(::uoi::support::LogLevel::kError)

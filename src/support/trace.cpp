@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "support/error.hpp"
+#include "support/json.hpp"
 
 namespace uoi::support {
 
@@ -23,33 +24,10 @@ int this_thread_tid() {
   return tid;
 }
 
-/// Minimal JSON string escaping (names are internal literals, but a
-/// malformed file must be impossible by construction).
+/// All JSON emitters share one escaper (support/json.hpp) so a name with
+/// quotes, backslashes, or control characters can never corrupt a file.
 void append_json_escaped(std::string& out, std::string_view s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
+  json_escape(out, s);
 }
 
 std::string format_double(double value) {
@@ -78,6 +56,17 @@ const char* to_string(TraceCategory category) {
     default:
       return "?";
   }
+}
+
+bool trace_category_from_string(std::string_view name, TraceCategory& out) {
+  for (int c = 0; c < static_cast<int>(TraceCategory::kCategoryCount); ++c) {
+    const auto category = static_cast<TraceCategory>(c);
+    if (name == to_string(category)) {
+      out = category;
+      return true;
+    }
+  }
+  return false;
 }
 
 TraceTotals& TraceTotals::operator+=(const TraceTotals& other) {
@@ -111,6 +100,7 @@ void Tracer::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
   totals_.clear();
+  histograms_.clear();
   epoch_ = std::chrono::steady_clock::now();
 }
 
@@ -137,6 +127,7 @@ void Tracer::record(std::string name, TraceCategory category, int rank,
   auto& entry = totals_[rank].of(category);
   ++entry.calls;
   entry.seconds += duration_seconds;
+  histograms_[rank][static_cast<std::size_t>(category)].add(duration_seconds);
   if (capture) {
     events_.push_back(TraceEvent{std::move(name), category, rank,
                                  this_thread_tid(), start_seconds,
@@ -166,6 +157,41 @@ TraceTotals Tracer::totals() const {
   TraceTotals all;
   for (const auto& [rank, totals] : totals_) all += totals;
   return all;
+}
+
+std::vector<int> Tracer::ranks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> out;
+  out.reserve(totals_.size());
+  for (const auto& [rank, totals] : totals_) out.push_back(rank);
+  return out;  // std::map iteration order == ascending
+}
+
+std::map<int, TraceTotals> Tracer::all_totals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totals_;
+}
+
+LogHistogram Tracer::histogram(int rank, TraceCategory category) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(rank);
+  return it == histograms_.end()
+             ? LogHistogram{}
+             : it->second[static_cast<std::size_t>(category)];
+}
+
+LogHistogram Tracer::histogram(TraceCategory category) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LogHistogram merged;
+  for (const auto& [rank, histograms] : histograms_) {
+    merged.merge(histograms[static_cast<std::size_t>(category)]);
+  }
+  return merged;
+}
+
+std::map<int, CategoryHistograms> Tracer::all_histograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_;
 }
 
 std::vector<TraceEvent> Tracer::events() const {

@@ -10,10 +10,11 @@
 //
 //   - TraceCategory: the paper's four buckets plus fault/recovery.
 //   - Tracer: a process-wide, thread-safe span recorder. Per-(rank,
-//     category) call counts and seconds are always accumulated (cheap);
-//     full span events are buffered only when capture is enabled, and can
-//     be exported as a Chrome-trace-event JSON file (open in Perfetto or
-//     chrome://tracing; pid = rank, tid = recording thread).
+//     category) call counts, seconds, and span-latency histograms
+//     (support/histogram) are always accumulated (cheap); full span events
+//     are buffered only when capture is enabled, and can be exported as a
+//     Chrome-trace-event JSON file (open in Perfetto or chrome://tracing;
+//     pid = rank, tid = recording thread).
 //   - TraceScope: RAII span. Safe under exceptions — a collective that
 //     unwinds with RankFailedError still gets its time attributed.
 //   - MetricsRegistry: one named-counter store unifying CommStats,
@@ -36,6 +37,7 @@
 #include <string_view>
 #include <vector>
 
+#include "support/histogram.hpp"
 #include "support/stopwatch.hpp"
 
 namespace uoi::support {
@@ -53,6 +55,16 @@ enum class TraceCategory : int {
 };
 
 [[nodiscard]] const char* to_string(TraceCategory category);
+
+/// Inverse of to_string: parses a category name ("computation",
+/// "communication", ...). Returns false when `name` is not a category.
+[[nodiscard]] bool trace_category_from_string(std::string_view name,
+                                              TraceCategory& out);
+
+/// Per-(rank, category) span-latency histograms; always maintained by the
+/// Tracer like TraceTotals, so percentiles cost no event capture.
+using CategoryHistograms =
+    std::array<LogHistogram, static_cast<int>(TraceCategory::kCategoryCount)>;
 
 /// One completed span on a rank's timeline. Timestamps are seconds since
 /// the tracer's epoch (construction or last clear()).
@@ -123,6 +135,17 @@ class Tracer {
   [[nodiscard]] TraceTotals totals(int rank) const;
   [[nodiscard]] TraceTotals totals() const;
 
+  /// Ranks that have recorded at least one span, ascending.
+  [[nodiscard]] std::vector<int> ranks() const;
+  /// Consistent snapshot of every rank's totals (key = rank).
+  [[nodiscard]] std::map<int, TraceTotals> all_totals() const;
+
+  /// Span-latency histogram for one (rank, category) / merged across ranks.
+  [[nodiscard]] LogHistogram histogram(int rank, TraceCategory category) const;
+  [[nodiscard]] LogHistogram histogram(TraceCategory category) const;
+  /// Consistent snapshot of every rank's histograms (key = rank).
+  [[nodiscard]] std::map<int, CategoryHistograms> all_histograms() const;
+
   /// Buffered events, sorted by (rank, start, name) — per-rank order is
   /// temporal, so SPMD runs with a fixed seed yield a deterministic
   /// per-rank sequence of (name, category).
@@ -143,6 +166,7 @@ class Tracer {
   std::chrono::steady_clock::time_point epoch_;
   std::vector<TraceEvent> events_;
   std::map<int, TraceTotals> totals_;
+  std::map<int, CategoryHistograms> histograms_;
 };
 
 /// RAII span: attributes the enclosed scope's wall time to (rank,

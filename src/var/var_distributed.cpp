@@ -14,6 +14,7 @@
 #include "solvers/ols.hpp"
 #include "solvers/ridge_system.hpp"
 #include "support/error.hpp"
+#include "support/log.hpp"
 #include "support/stopwatch.hpp"
 #include "support/trace.hpp"
 #include "var/lag_matrix.hpp"
@@ -391,6 +392,7 @@ UoiVarDistributedResult uoi_var_distributed(
           }
         }
         ++comm.mutable_recovery_stats().checkpoint_resumes;
+        UOI_LOG_INFO << "resumed VAR selection progress from checkpoint";
       }
     }
   }
@@ -685,6 +687,8 @@ UoiVarDistributedResult uoi_var_distributed(
       break;
     } catch (const uoi::sim::RankFailedError&) {
       if (attempts_left-- <= 0) throw;
+      UOI_LOG_WARN.field("attempts_left", attempts_left)
+          << "rank failure in distributed UoI_VAR; shrinking and resuming";
       Comm next = active->shrink();
       if (owned.has_value()) {
         folded += owned->stats();

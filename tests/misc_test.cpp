@@ -20,7 +20,7 @@
 #include "simcluster/window.hpp"
 #include "support/format.hpp"
 #include "support/rng.hpp"
-#include "support/logging.hpp"
+#include "support/log.hpp"
 #include "support/table.hpp"
 
 namespace {

@@ -13,6 +13,7 @@
 #include <cmath>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -302,6 +303,94 @@ TEST(Metrics, RegistryBasics) {
   EXPECT_NE(json.find("\"value\":5.000000"), std::string::npos);
   metrics.clear();
   EXPECT_TRUE(metrics.snapshot().empty());
+}
+
+// Regression (JSON escaping): counter names and span names containing
+// quotes, backslashes, or control characters used to produce malformed
+// JSON documents. Everything now routes through support/json's escaper.
+TEST(TraceRegression, MetricsToJsonEscapesSpecialCharacters) {
+  auto& metrics = MetricsRegistry::instance();
+  metrics.clear();
+  metrics.set(0, "weird \"name\" with \\backslash\\ and \x01 ctrl", 1.0);
+  const std::string json = metrics.to_json();
+  metrics.clear();
+  EXPECT_NE(
+      json.find("weird \\\"name\\\" with \\\\backslash\\\\ and \\u0001 ctrl"),
+      std::string::npos);
+  // No raw control byte or unescaped quote-in-name survives.
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
+TEST(TraceRegression, ChromeTraceEscapesControlCharacters) {
+  auto& tracer = Tracer::instance();
+  tracer.clear();
+  tracer.set_capture_events(true);
+  tracer.record("tab\there\x7f high \xc3\xa9",
+                TraceCategory::kComputation, 0, 0.0, 1e-3);
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  tracer.set_capture_events(false);
+  tracer.clear();
+  const std::string json = out.str();
+  EXPECT_NE(json.find("tab\\there"), std::string::npos);
+  // 0x7f is not a JSON control character and passes through; the UTF-8
+  // bytes (negative as signed char) must not turn into spurious \uffffffXX escapes.
+  EXPECT_NE(json.find("\x7f high \xc3\xa9"), std::string::npos);
+  EXPECT_EQ(json.find("ffffff"), std::string::npos);
+}
+
+// Stress: spans recorded from many threads (with rank rebinding mid-flight)
+// while another thread snapshots totals/events/histograms. Run under
+// ASan/TSan in CI; the assertion here is that nothing tears and the final
+// accounting matches exactly.
+TEST(TraceStress, ConcurrentSpansRebindsAndSnapshots) {
+  auto& tracer = Tracer::instance();
+  tracer.clear();
+  tracer.set_capture_events(true);
+
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load()) {
+      (void)tracer.totals();
+      (void)tracer.events();
+      (void)tracer.all_histograms();
+      (void)tracer.ranks();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tracer, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        // Rebind the thread across two ranks mid-run, as Cluster::run does
+        // when a thread is reused for another rank after a shrink.
+        Tracer::set_thread_rank(2 * t + (i % 2));
+        TraceScope span("stress", TraceCategory::kComputation);
+        (void)span;
+      }
+      Tracer::set_thread_rank(0);
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true);
+  snapshotter.join();
+
+  constexpr auto kTotal =
+      static_cast<std::uint64_t>(kThreads) * kSpansPerThread;
+  EXPECT_EQ(tracer.totals().of(TraceCategory::kComputation).calls, kTotal);
+  EXPECT_EQ(tracer.event_count(), kTotal);
+  EXPECT_EQ(tracer.histogram(TraceCategory::kComputation).count(), kTotal);
+  // Each thread split its spans evenly across its two ranks.
+  for (int r = 0; r < 2 * kThreads; ++r) {
+    EXPECT_EQ(tracer.totals(r).of(TraceCategory::kComputation).calls,
+              kSpansPerThread / 2)
+        << "rank " << r;
+  }
+  tracer.set_capture_events(false);
+  tracer.clear();
 }
 
 TEST(Metrics, ClusterRunExportsCommAndSolverCounters) {

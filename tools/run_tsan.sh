@@ -6,21 +6,30 @@
 #
 #   tools/run_tsan.sh [build-dir] [ctest -R regex]
 #
-# Defaults: build-tsan/ next to the source tree; runs the simcluster,
-# robustness, p2p, and nonblocking suites (the ones with real cross-thread
-# traffic). Pass a regex of '.' to run everything (slow under TSan).
+# Defaults: build-tsan/ next to the source tree; runs every test carrying
+# the `tsan` ctest label (the suites with real cross-thread traffic —
+# declared in tests/CMakeLists.txt, no name regex to keep in sync). Pass a
+# second argument to select by -R regex instead ('.' = everything, slow
+# under TSan).
 set -eu
 
 src_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"${src_dir}/build-tsan"}
-regex=${2:-"simcluster|robustness|p2p|nonblocking"}
+regex=${2:-}
 
 cmake -S "${src_dir}" -B "${build_dir}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DUOI_SANITIZE=thread
 cmake --build "${build_dir}" -j "$(nproc 2>/dev/null || echo 4)"
 
+if [ -n "${regex}" ]; then
+  selector="-R ${regex}"
+else
+  selector="-L tsan"
+fi
+
 # halt_on_error=0: collect every report in one pass instead of dying at the
 # first; second_deadlock_stack aids the barrier-vs-window lock ordering.
+# shellcheck disable=SC2086  # selector is intentionally two words
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=0 second_deadlock_stack=1}" \
-  ctest --test-dir "${build_dir}" -R "${regex}" --output-on-failure
+  ctest --test-dir "${build_dir}" ${selector} --output-on-failure

@@ -15,6 +15,10 @@
 //   uoi faultdemo                           fault-injected distributed run:
 //                                           kill a rank mid-selection, watch
 //                                           the survivors shrink + recover
+//   uoi analyze TRACE.json                  post-hoc run-report analytics
+//                                           (load imbalance, critical path,
+//                                           latency percentiles) from a
+//                                           Chrome-trace file
 //
 // Common options:
 //   --b1 N / --b2 N       selection / estimation bootstraps
@@ -23,6 +27,8 @@
 //   --checkpoint-path F   persist selection progress to F and resume from it
 //   --trace-json F        write a Chrome-trace-event JSON of the run to F
 //                         (open in Perfetto / chrome://tracing; pid = rank)
+//   --report-json F       write run-report analytics (run_report.json
+//                         schema) and print the text summary
 // var-specific:
 //   --order D             VAR order (default 1)
 //   --tolerance T         edge magnitude threshold (default 0.01)
@@ -52,8 +58,12 @@
 #include "data/synthetic_regression.hpp"
 #include "data/synthetic_var.hpp"
 #include "io/csv.hpp"
+#include "report/run_report.hpp"
+#include "report/trace_reader.hpp"
 #include "simcluster/cluster.hpp"
 #include "support/format.hpp"
+#include "support/log.hpp"
+#include "support/stopwatch.hpp"
 #include "support/table.hpp"
 #include "support/trace.hpp"
 #include "var/granger.hpp"
@@ -80,6 +90,8 @@ struct Args {
   std::uint64_t seed = 20200518;
   std::string checkpoint_path;
   std::string trace_json_path;  ///< Chrome-trace output, empty = no trace
+  std::string report_json_path;  ///< run-report output, empty = no report
+  std::string analyze_input;  ///< trace file for `uoi analyze`
   std::string inject_fault;  ///< "rank@step", empty = no fault
   int max_retries = 4;
   int ranks = 4;
@@ -92,9 +104,10 @@ struct Args {
                "[--b2 N] [--lambdas Q] [--order D] [--max-order D] "
                "[--tolerance T] [--dot FILE] [--json FILE] [--save-model FILE] "
                "[--forecast H] [--seed S] [--checkpoint-path FILE] "
-               "[--trace-json FILE] "
-               "[--ranks P] [--inject-fault RANK@STEP] [--max-retries N]\n",
-               argv0);
+               "[--trace-json FILE] [--report-json FILE] "
+               "[--ranks P] [--inject-fault RANK@STEP] [--max-retries N]\n"
+               "       %s analyze TRACE.json [--report-json FILE]\n",
+               argv0, argv0);
   std::exit(2);
 }
 
@@ -136,6 +149,11 @@ Args parse_args(int argc, char** argv) {
       args.checkpoint_path = value();
     } else if (flag == "--trace-json") {
       args.trace_json_path = value();
+    } else if (flag == "--report-json") {
+      args.report_json_path = value();
+    } else if (flag.rfind("--", 0) != 0 && args.command == "analyze" &&
+               args.analyze_input.empty()) {
+      args.analyze_input = flag;
     } else if (flag == "--inject-fault") {
       args.inject_fault = value();
     } else if (flag == "--max-retries") {
@@ -463,6 +481,29 @@ int run_faultdemo(const Args& args) {
   return 0;
 }
 
+int run_analyze(const Args& args) {
+  // Post-hoc analytics over a previously captured Chrome-trace file.
+  if (args.analyze_input.empty()) {
+    std::fprintf(stderr, "analyze needs a TRACE.json argument\n");
+    return 2;
+  }
+  const auto events = uoi::report::read_chrome_trace_file(args.analyze_input);
+  if (events.empty()) {
+    std::fprintf(stderr, "no span events in %s\n", args.analyze_input.c_str());
+    return 2;
+  }
+  const auto report =
+      uoi::report::build_run_report(uoi::report::inputs_from_events(events));
+  std::printf("run report for %s (%zu events)\n%s",
+              args.analyze_input.c_str(), events.size(),
+              report.to_text().c_str());
+  if (!args.report_json_path.empty()) {
+    uoi::report::write_run_report(report, args.report_json_path);
+    std::printf("wrote %s\n", args.report_json_path.c_str());
+  }
+  return 0;
+}
+
 int dispatch(const Args& args) {
   if (args.command == "lasso") return run_lasso(args);
   if (args.command == "logistic") return run_logistic(args);
@@ -471,6 +512,7 @@ int dispatch(const Args& args) {
   if (args.command == "order") return run_order(args);
   if (args.command == "demo") return run_demo(args);
   if (args.command == "faultdemo") return run_faultdemo(args);
+  if (args.command == "analyze") return run_analyze(args);
   return -1;  // unknown command
 }
 
@@ -479,14 +521,22 @@ int dispatch(const Args& args) {
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   const bool tracing = !args.trace_json_path.empty();
-  if (tracing) uoi::support::Tracer::instance().set_capture_events(true);
+  const bool reporting =
+      !args.report_json_path.empty() && args.command != "analyze";
+  // Reporting also captures span events so the critical-path bound can use
+  // the aligned-collective method instead of the coarser totals fallback.
+  if (tracing || reporting) {
+    uoi::support::Tracer::instance().set_capture_events(true);
+  }
+  uoi::support::Stopwatch wall;
   int status = -1;
   try {
     status = dispatch(args);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    UOI_LOG_ERROR.field("command", args.command) << e.what();
     return 1;
   }
+  const double wall_seconds = wall.seconds();
   if (status < 0) usage(argv[0]);
   if (tracing) {
     try {
@@ -495,7 +545,19 @@ int main(int argc, char** argv) {
       std::printf("wrote trace to %s (%zu events)\n",
                   args.trace_json_path.c_str(), tracer.event_count());
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
+      UOI_LOG_ERROR.field("path", args.trace_json_path) << e.what();
+      return 1;
+    }
+  }
+  if (reporting) {
+    try {
+      const auto report = uoi::report::build_run_report(
+          uoi::report::collect_inputs(wall_seconds));
+      std::printf("%s", report.to_text().c_str());
+      uoi::report::write_run_report(report, args.report_json_path);
+      std::printf("wrote %s\n", args.report_json_path.c_str());
+    } catch (const std::exception& e) {
+      UOI_LOG_ERROR.field("path", args.report_json_path) << e.what();
       return 1;
     }
   }
