@@ -40,7 +40,8 @@ inline void gather_local_block(uoi::linalg::ConstMatrixView x,
 
 /// The three-level layout derived from a communicator rank.
 struct TaskLayout {
-  int c_ranks;     ///< ADMM cores per task group
+  int n_groups;    ///< total task groups (P_B * P_lambda)
+  int c_ranks;     ///< ADMM cores in THIS rank's group
   int task_group;  ///< this rank's group id
   int task_rank;   ///< rank within the group
   int b_group;     ///< bootstrap-group index (owns k with k % P_B == b)
@@ -54,11 +55,26 @@ struct TaskLayout {
   }
 };
 
+/// Remainder-tolerant group split: G = pb * pl contiguous groups; the first
+/// `comm_size % G` groups get one extra rank. When G divides comm_size this
+/// reproduces the historical even split exactly. Requires comm_size >= G so
+/// every group has at least one rank (prime sizes no longer degenerate to a
+/// single group — they yield G groups of uneven width).
 inline TaskLayout make_task_layout(int rank, int comm_size, int pb, int pl) {
   TaskLayout out{};
-  out.c_ranks = comm_size / (pb * pl);
-  out.task_group = rank / out.c_ranks;
-  out.task_rank = rank % out.c_ranks;
+  out.n_groups = pb * pl;
+  const int base = comm_size / out.n_groups;
+  const int extra = comm_size % out.n_groups;
+  const int wide_span = extra * (base + 1);  // ranks covered by wide groups
+  if (rank < wide_span) {
+    out.c_ranks = base + 1;
+    out.task_group = rank / (base + 1);
+    out.task_rank = rank % (base + 1);
+  } else {
+    out.c_ranks = base;
+    out.task_group = extra + (rank - wide_span) / base;
+    out.task_rank = (rank - wide_span) % base;
+  }
   out.b_group = out.task_group / pl;
   out.l_group = out.task_group % pl;
   return out;

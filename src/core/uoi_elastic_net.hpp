@@ -28,6 +28,8 @@ struct UoiElasticNetOptions {
   EstimationCriterion criterion = EstimationCriterion::kMse;
   std::uint64_t seed = 20200518;
   uoi::solvers::AdmmOptions admm;
+  /// Distributed-driver task placement (see UoiLassoOptions::schedule).
+  uoi::sched::SchedulePolicy schedule = uoi::sched::SchedulePolicy::kAuto;
 };
 
 struct UoiElasticNetResult {

@@ -3,13 +3,18 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "core/distributed_common.hpp"
+#include "sched/cost_model.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/task_grid.hpp"
 #include "solvers/distributed_admm.hpp"
 #include "solvers/lambda_grid.hpp"
 #include "solvers/ols.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace uoi::core {
 
@@ -42,11 +47,15 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
   const int pb = layout.bootstrap_groups;
   const int pl = layout.lambda_groups;
   UOI_CHECK(pb >= 1 && pl >= 1, "layout group counts must be >= 1");
-  UOI_CHECK(comm.size() % (pb * pl) == 0,
-            "communicator size must be divisible by P_B * P_lambda");
+  const int n_groups = pb * pl;
+  UOI_CHECK(comm.size() >= n_groups,
+            "communicator smaller than P_B * P_lambda task groups");
   const auto task =
       detail::make_task_layout(comm.rank(), comm.size(), pb, pl);
   Comm task_comm = comm.split(task.task_group, comm.rank());
+  const sched::GroupInfo group_info{n_groups, task.task_group, task.task_rank,
+                                    pb, pl};
+  const int trace_rank = comm.global_rank();
 
   const std::size_t n = x.rows();
   const std::size_t p = x.cols();
@@ -61,6 +70,30 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
   const std::size_t q = model.lambdas.size();
   const std::size_t n_ratios = model.l1_ratios.size();
   const std::size_t n_cells = q * n_ratios;
+  const std::size_t b1 = options.n_selection_bootstraps;
+  const std::size_t b2 = options.n_estimation_bootstraps;
+
+  // ---- Scheduler state over the flattened (ratio, lambda) grid ----
+  // A chain owns {cell : cell % n_chains == chain}; the per-cell penalty
+  // weight is keyed by the cell's lambda so LPT sees the real skew.
+  const sched::SchedulePolicy policy = sched::resolve_policy(options.schedule);
+  const std::size_t n_chains = std::max<std::size_t>(
+      1, std::min(static_cast<std::size_t>(pl), n_cells));
+  const sched::TaskGrid selection_grid(b1, n_cells, n_chains, options.seed);
+  const sched::TaskGrid estimation_grid(b2, n_cells, n_chains,
+                                        options.seed + 1);
+  std::vector<double> cell_lambdas(n_cells, 0.0);
+  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    cell_lambdas[cell] = model.lambdas[cell % q];
+  }
+  const double pass_seconds_seed = sched::lasso_pass_seconds_estimate(
+      n, p, b1, b2, n_cells, options.admm.max_iterations, comm.size());
+  const std::vector<double> selection_costs =
+      sched::seeded_costs(selection_grid, cell_lambdas, pass_seconds_seed);
+  std::vector<double> estimation_costs =
+      sched::seeded_costs(estimation_grid, cell_lambdas, pass_seconds_seed);
+  const auto widths = sched::group_widths(comm.size(), n_groups);
+  const uoi::sim::RetryOptions retry;
 
   support::Stopwatch phase_watch;
   const auto comm_seconds = [&] {
@@ -69,34 +102,53 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
   };
   const double comm_before = comm_seconds();
 
-  // ---- selection over the flattened (ratio, lambda) grid ----
+  // ---- selection ----
   Matrix counts(n_cells, p, 0.0);
-  for (std::size_t k = 0; k < options.n_selection_bootstraps; ++k) {
-    if (!task.owns_bootstrap(k, pb)) continue;
-    support::Stopwatch distr_watch;
-    const auto idx = selection_bootstrap_indices(resampling, n, k);
+  sched::PassStats selection_stats;
+  {
+    // Per-bootstrap gather + factorization cache: consecutive cells of the
+    // same bootstrap reuse them, and cost_lpt queues are sorted by cell id
+    // precisely to keep those runs adjacent.
+    std::size_t cached_k = b1;  // invalid sentinel
     Matrix x_local;
     Vector y_local;
-    gather_local_block(x, y, idx,
-                       block_slice(idx.size(), task.c_ranks, task.task_rank),
-                       x_local, y_local);
-    out.breakdown.distribution_seconds += distr_watch.seconds();
-
-    const uoi::solvers::DistributedLassoAdmmSolver solver(
-        task_comm, x_local, y_local, options.admm);
-    for (std::size_t cell = 0; cell < n_cells; ++cell) {
-      if (!task.owns_lambda(cell, pl)) continue;
-      const double lambda = model.lambdas[cell % q];
-      const double ratio = model.l1_ratios[cell / q];
-      const auto fit =
-          solver.solve_elastic_net(lambda * ratio, lambda * (1.0 - ratio));
-      if (task.task_rank == 0) {
-        auto row = counts.row(cell);
-        for (std::size_t i = 0; i < p; ++i) {
-          if (std::abs(fit.beta[i]) > options.support_tolerance) row[i] += 1.0;
+    std::optional<uoi::solvers::DistributedLassoAdmmSolver> solver;
+    const auto execute = [&](const sched::TaskCell& cell) {
+      const std::size_t k = cell.bootstrap;
+      if (cached_k != k) {
+        support::Stopwatch distr_watch;
+        const auto idx = selection_bootstrap_indices(resampling, n, k);
+        gather_local_block(
+            x, y, idx, block_slice(idx.size(), task.c_ranks, task.task_rank),
+            x_local, y_local);
+        out.breakdown.distribution_seconds += distr_watch.seconds();
+        solver.emplace(task_comm, x_local, y_local, options.admm);
+        cached_k = k;
+      }
+      for (std::size_t c : selection_grid.chain_lambdas(cell.chain)) {
+        const double lambda = model.lambdas[c % q];
+        const double ratio = model.l1_ratios[c / q];
+        const auto fit =
+            solver->solve_elastic_net(lambda * ratio, lambda * (1.0 - ratio));
+        if (task.task_rank == 0) {
+          auto row = counts.row(c);
+          for (std::size_t i = 0; i < p; ++i) {
+            if (std::abs(fit.beta[i]) > options.support_tolerance) {
+              row[i] += 1.0;
+            }
+          }
         }
       }
-    }
+    };
+    std::vector<std::size_t> cells(selection_grid.n_cells());
+    for (std::size_t i = 0; i < cells.size(); ++i) cells[i] = i;
+    const auto placement = sched::plan_placement(
+        policy, selection_grid, cells, selection_costs, group_info, widths);
+    selection_stats =
+        sched::run_pass(comm, task_comm, group_info, policy, selection_grid,
+                        placement, selection_costs, retry, execute);
+    sched::export_pass_metrics(trace_rank, group_info, policy,
+                               selection_stats);
   }
   comm.allreduce(std::span<double>(counts.data(), counts.size()),
                  ReduceOp::kSum);
@@ -115,50 +167,79 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
   }
 
   // ---- estimation (distributed OLS, as in the LASSO driver) ----
-  const std::size_t b2 = options.n_estimation_bootstraps;
   Matrix losses(b2, n_cells, std::numeric_limits<double>::infinity());
   std::vector<Vector> computed(b2 * n_cells);
-  for (std::size_t k = 0; k < b2; ++k) {
-    if (!task.owns_bootstrap(k, pb)) continue;
-    const auto split = estimation_split(resampling, n, k);
+  {
+    // Refine placement from the measured selection pass (replicated so
+    // every rank plans the same queues).
+    if (policy != sched::SchedulePolicy::kStatic &&
+        selection_stats.cell_seconds.size() == selection_grid.n_cells()) {
+      comm.allreduce(std::span<double>(selection_stats.cell_seconds.data(),
+                                       selection_stats.cell_seconds.size()),
+                     ReduceOp::kMax);
+      const auto calibration = sched::calibrate(
+          selection_grid, selection_costs, selection_stats.cell_seconds);
+      sched::apply_calibration(estimation_grid, calibration,
+                               estimation_costs);
+      if (task.task_rank == 0) {
+        support::MetricsRegistry::instance().set(
+            trace_rank, "sched.placement_error",
+            calibration.mean_abs_rel_error);
+      }
+    }
+
+    std::size_t cached_k = b2;  // invalid sentinel
     Matrix x_train, x_eval;
     Vector y_train, y_eval;
-    gather_local_block(
-        x, y, split.train,
-        block_slice(split.train.size(), task.c_ranks, task.task_rank),
-        x_train, y_train);
-    gather_local_block(
-        x, y, split.eval,
-        block_slice(split.eval.size(), task.c_ranks, task.task_rank), x_eval,
-        y_eval);
-
-    for (std::size_t cell = 0; cell < n_cells; ++cell) {
-      if (!task.owns_lambda(cell, pl)) continue;
-      const auto& support = model.candidate_supports[cell].indices();
-      Vector beta(p, 0.0);
-      if (!support.empty()) {
-        const Matrix x_train_s = x_train.gather_cols(support);
-        const auto fit = uoi::solvers::distributed_lasso_admm(
-            task_comm, x_train_s, y_train, /*lambda=*/0.0, options.admm);
-        for (std::size_t i = 0; i < support.size(); ++i) {
-          beta[support[i]] = fit.beta[i];
+    const auto execute = [&](const sched::TaskCell& cell) {
+      const std::size_t k = cell.bootstrap;
+      if (cached_k != k) {
+        const auto split = estimation_split(resampling, n, k);
+        gather_local_block(
+            x, y, split.train,
+            block_slice(split.train.size(), task.c_ranks, task.task_rank),
+            x_train, y_train);
+        gather_local_block(
+            x, y, split.eval,
+            block_slice(split.eval.size(), task.c_ranks, task.task_rank),
+            x_eval, y_eval);
+        cached_k = k;
+      }
+      for (std::size_t c : estimation_grid.chain_lambdas(cell.chain)) {
+        const auto& support = model.candidate_supports[c].indices();
+        Vector beta(p, 0.0);
+        if (!support.empty()) {
+          const Matrix x_train_s = x_train.gather_cols(support);
+          const auto fit = uoi::solvers::distributed_lasso_admm(
+              task_comm, x_train_s, y_train, /*lambda=*/0.0, options.admm);
+          for (std::size_t i = 0; i < support.size(); ++i) {
+            beta[support[i]] = fit.beta[i];
+          }
         }
+        // Distributed MSE over the group, then the chosen criterion.
+        double acc[2] = {0.0, static_cast<double>(x_eval.rows())};
+        for (std::size_t r = 0; r < x_eval.rows(); ++r) {
+          double pred = 0.0;
+          const auto row = x_eval.row(r);
+          for (std::size_t i = 0; i < p; ++i) pred += row[i] * beta[i];
+          const double err = pred - y_eval[r];
+          acc[0] += err * err;
+        }
+        task_comm.allreduce(std::span<double>(acc, 2), ReduceOp::kSum);
+        const double mse = acc[1] > 0.0 ? acc[0] / acc[1] : 0.0;
+        losses(k, c) = estimation_score(options.criterion, mse, acc[1],
+                                        support.size());
+        computed[k * n_cells + c] = std::move(beta);
       }
-      // Distributed MSE over the group, then the chosen criterion.
-      double acc[2] = {0.0, static_cast<double>(x_eval.rows())};
-      for (std::size_t r = 0; r < x_eval.rows(); ++r) {
-        double pred = 0.0;
-        const auto row = x_eval.row(r);
-        for (std::size_t c = 0; c < p; ++c) pred += row[c] * beta[c];
-        const double err = pred - y_eval[r];
-        acc[0] += err * err;
-      }
-      task_comm.allreduce(std::span<double>(acc, 2), ReduceOp::kSum);
-      const double mse = acc[1] > 0.0 ? acc[0] / acc[1] : 0.0;
-      losses(k, cell) = estimation_score(options.criterion, mse, acc[1],
-                                         support.size());
-      computed[k * n_cells + cell] = std::move(beta);
-    }
+    };
+    std::vector<std::size_t> cells(estimation_grid.n_cells());
+    for (std::size_t i = 0; i < cells.size(); ++i) cells[i] = i;
+    const auto placement = sched::plan_placement(
+        policy, estimation_grid, cells, estimation_costs, group_info, widths);
+    const auto pass =
+        sched::run_pass(comm, task_comm, group_info, policy, estimation_grid,
+                        placement, estimation_costs, retry, execute);
+    sched::export_pass_metrics(trace_rank, group_info, policy, pass);
   }
   comm.allreduce(std::span<double>(losses.data(), losses.size()),
                  ReduceOp::kMin);

@@ -19,6 +19,7 @@
 
 #include "core/support_set.hpp"
 #include "linalg/matrix.hpp"
+#include "sched/schedule_policy.hpp"
 #include "simcluster/fault.hpp"
 #include "solvers/admm_lasso.hpp"
 
@@ -105,6 +106,10 @@ struct UoiLassoOptions {
   /// Fault tolerance (used by the distributed drivers; the serial driver
   /// honors only `checkpoint_path` semantics via fit_with_checkpoint).
   UoiRecoveryOptions recovery;
+  /// Task placement for the distributed driver's (bootstrap x lambda-chain)
+  /// grid. kAuto resolves $UOI_SCHED_POLICY and defaults to cost_lpt; every
+  /// policy produces bit-identical models on identical seeds.
+  uoi::sched::SchedulePolicy schedule = uoi::sched::SchedulePolicy::kAuto;
 };
 
 struct UoiLassoResult {

@@ -9,6 +9,9 @@
 
 #include "core/checkpoint.hpp"
 #include "core/distributed_common.hpp"
+#include "sched/cost_model.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/task_grid.hpp"
 #include "solvers/distributed_admm.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
@@ -55,16 +58,6 @@ DistributedEvaluation distributed_mse(Comm& task_comm,
   return {acc[1] > 0.0 ? acc[0] / acc[1] : 0.0, acc[1]};
 }
 
-/// Largest divisor of `size` not exceeding `cap` (at least 1): the
-/// bootstrap-group fallback after a shrink leaves a size that the original
-/// layout no longer divides.
-int largest_divisor_at_most(int size, int cap) {
-  for (int d = std::min(cap, size); d > 1; --d) {
-    if (size % d == 0) return d;
-  }
-  return 1;
-}
-
 }  // namespace
 
 UoiLassoDistributedResult uoi_lasso_distributed(
@@ -74,9 +67,8 @@ UoiLassoDistributedResult uoi_lasso_distributed(
                  "UoI_LASSO: X rows != y size");
   UOI_CHECK(layout.bootstrap_groups >= 1 && layout.lambda_groups >= 1,
             "layout group counts must be >= 1");
-  UOI_CHECK(comm.size() % (layout.bootstrap_groups * layout.lambda_groups) ==
-                0,
-            "communicator size must be divisible by P_B * P_lambda");
+  UOI_CHECK(comm.size() >= layout.bootstrap_groups * layout.lambda_groups,
+            "communicator smaller than P_B * P_lambda task groups");
 
   const std::size_t n = x_view.rows();
   const std::size_t p = x_view.cols();
@@ -170,10 +162,30 @@ UoiLassoDistributedResult uoi_lasso_distributed(
     }
   }
 
-  // The layout is mutable: a shrink falls back to the largest bootstrap
-  // grouping the surviving rank count supports, with a single lambda group.
-  int pb = layout.bootstrap_groups;
-  int pl = layout.lambda_groups;
+  // ---- Scheduler state ----
+  // Chains are fixed at entry (n_chains = the entry layout's P_lambda,
+  // chain c owns {j : j % n_chains == c}) and survive every shrink, so a
+  // replayed cell rebuilds the exact warm-start trajectory of a fault-free
+  // run. The group count is what shrinks: survivors regroup into
+  // min(P_B * P_lambda, alive) groups of near-even width instead of the old
+  // largest-divisor fallback that collapsed prime sizes to one group.
+  const int pb = layout.bootstrap_groups;
+  const int pl = layout.lambda_groups;
+  int n_groups = pb * pl;
+  const sched::SchedulePolicy policy =
+      sched::resolve_policy(options.schedule);
+  const std::size_t n_chains = std::max<std::size_t>(
+      1, std::min(static_cast<std::size_t>(pl), q));
+  const sched::TaskGrid selection_grid(b1, q, n_chains, options.seed);
+  const sched::TaskGrid estimation_grid(b2, q, n_chains, options.seed + 1);
+  const double pass_seconds_seed = sched::lasso_pass_seconds_estimate(
+      n, p, b1, b2, q, options.admm.max_iterations, comm.size());
+  const std::vector<double> selection_costs =
+      sched::seeded_costs(selection_grid, model.lambdas, pass_seconds_seed);
+  std::vector<double> estimation_costs =
+      sched::seeded_costs(estimation_grid, model.lambdas, pass_seconds_seed);
+  sched::PassStats selection_stats;
+  bool estimation_costs_calibrated = false;
 
   CommStats folded;
   RecoveryStats folded_rec;
@@ -216,80 +228,124 @@ UoiLassoDistributedResult uoi_lasso_distributed(
   };
 
   const auto run_selection = [&](Comm& c) {
-    const TaskLayout tl = make_task_layout(c.rank(), c.size(), pb, pl);
+    const TaskLayout tl = make_task_layout(c.rank(), c.size(), n_groups, 1);
     Comm task_comm = c.split(tl.task_group, c.rank());
+    const sched::GroupInfo group_info{n_groups, tl.task_group, tl.task_rank,
+                                      pb, pl};
     try {
-      const std::size_t interval =
-          std::max<std::size_t>(1, recovery.checkpoint_interval);
-      for (std::size_t k = 0; k < b1; ++k) {
-        if (tl.owns_bootstrap(k, pb)) {
-          // This group's warm-start chain for bootstrap k: its lambda
-          // indices still missing from the merged state, in grid order.
-          std::vector<std::size_t> chain;
-          for (std::size_t j = 0; j < q; ++j) {
-            if (tl.owns_lambda(j, pl) && done_merged(k, j) == 0.0) {
-              chain.push_back(j);
+      // One cell = (bootstrap k, lambda chain): the group fits the chain's
+      // still-missing lambdas warm-started in grid order, exactly as the
+      // historical per-group loop did.
+      const auto execute = [&](const sched::TaskCell& task) {
+        const std::size_t k = task.bootstrap;
+        std::vector<std::size_t> chain;
+        for (std::size_t j : selection_grid.chain_lambdas(task.chain)) {
+          if (done_merged(k, j) == 0.0) chain.push_back(j);
+        }
+        if (chain.empty()) return;
+        Matrix x_local;
+        Vector y_local;
+        {
+          support::TraceScope distr_span(
+              "selection-gather", support::TraceCategory::kDistribution,
+              trace_rank, &distribution_timer);
+          const auto idx = selection_bootstrap_indices(options, n, k);
+          gather_local_block(x, y, idx,
+                             block_slice(idx.size(), tl.c_ranks,
+                                         tl.task_rank),
+                             x_local, y_local);
+        }
+
+        const uoi::solvers::DistributedLassoAdmmSolver solver(
+            task_comm, x_local, y_local, options.admm);
+        uoi::solvers::DistributedAdmmResult previous;
+        bool have_previous = false;
+        // Indicators are staged and committed only once the whole
+        // chain finished: a failure mid-chain must leave no partial
+        // contribution, so the chain reruns cold — replaying exactly
+        // the warm-start trajectory a fault-free run produces.
+        Matrix staged(chain.size(), p, 0.0);
+        for (std::size_t m = 0; m < chain.size(); ++m) {
+          auto fit = solver.solve(model.lambdas[chain[m]],
+                                  have_previous ? &previous : nullptr);
+          local_flops += fit.local_flops;
+          admm_iterations += fit.iterations;
+          admm_rho_updates += fit.rho_updates;
+          admm_allreduce_calls += fit.allreduce_calls;
+          admm_allreduce_bytes += fit.allreduce_bytes;
+          if (tl.task_rank == 0) {
+            auto row = staged.row(m);
+            for (std::size_t i = 0; i < p; ++i) {
+              if (std::abs(fit.beta[i]) > options.support_tolerance) {
+                row[i] = 1.0;
+              }
             }
           }
-          if (!chain.empty()) {
-            Matrix x_local;
-            Vector y_local;
-            {
-              support::TraceScope distr_span(
-                  "selection-gather", support::TraceCategory::kDistribution,
-                  trace_rank, &distribution_timer);
-              const auto idx = selection_bootstrap_indices(options, n, k);
-              gather_local_block(x, y, idx,
-                                 block_slice(idx.size(), tl.c_ranks,
-                                             tl.task_rank),
-                                 x_local, y_local);
-            }
-
-            const uoi::solvers::DistributedLassoAdmmSolver solver(
-                task_comm, x_local, y_local, options.admm);
-            uoi::solvers::DistributedAdmmResult previous;
-            bool have_previous = false;
-            // Indicators are staged and committed only once the whole
-            // chain finished: a failure mid-chain must leave no partial
-            // contribution, so the chain reruns cold — replaying exactly
-            // the warm-start trajectory a fault-free run produces.
-            Matrix staged(chain.size(), p, 0.0);
-            for (std::size_t m = 0; m < chain.size(); ++m) {
-              auto fit = solver.solve(model.lambdas[chain[m]],
-                                      have_previous ? &previous : nullptr);
-              local_flops += fit.local_flops;
-              admm_iterations += fit.iterations;
-              admm_rho_updates += fit.rho_updates;
-              admm_allreduce_calls += fit.allreduce_calls;
-              admm_allreduce_bytes += fit.allreduce_bytes;
-              if (tl.task_rank == 0) {
-                auto row = staged.row(m);
-                for (std::size_t i = 0; i < p; ++i) {
-                  if (std::abs(fit.beta[i]) > options.support_tolerance) {
-                    row[i] = 1.0;
-                  }
-                }
-              }
-              previous = std::move(fit);
-              have_previous = true;
-            }
-            if (tl.task_rank == 0) {
-              for (std::size_t m = 0; m < chain.size(); ++m) {
-                auto dest = counts_local.row(chain[m]);
-                const auto src = staged.row(m);
-                for (std::size_t i = 0; i < p; ++i) dest[i] += src[i];
-                done_local(k, chain[m]) = 1.0;
-              }
-            }
+          previous = std::move(fit);
+          have_previous = true;
+        }
+        if (tl.task_rank == 0) {
+          for (std::size_t m = 0; m < chain.size(); ++m) {
+            auto dest = counts_local.row(chain[m]);
+            const auto src = staged.row(m);
+            for (std::size_t i = 0; i < p; ++i) dest[i] += src[i];
+            done_local(k, chain[m]) = 1.0;
           }
         }
-        if (checkpointing && (k + 1) % interval == 0) {
+      };
+
+      // Checkpoint epochs: `interval` bootstraps per scheduled pass, with a
+      // merge + save between epochs (single epoch when not checkpointing).
+      // Placement is planned once over every pending cell of the pass and
+      // filtered per epoch: planning tiny epochs individually would let the
+      // LPT greedy put each one onto group 0 and starve the rest.
+      const std::size_t interval =
+          checkpointing
+              ? std::max<std::size_t>(1, recovery.checkpoint_interval)
+              : b1;
+      std::vector<std::size_t> pass_cells;
+      for (std::size_t k = 0; k < b1; ++k) {
+        for (std::size_t chain = 0; chain < n_chains; ++chain) {
+          bool pending = false;
+          for (std::size_t j : selection_grid.chain_lambdas(chain)) {
+            if (done_merged(k, j) == 0.0) {
+              pending = true;
+              break;
+            }
+          }
+          if (pending) pass_cells.push_back(selection_grid.cell_id(k, chain));
+        }
+      }
+      const auto placement = sched::plan_placement(
+          policy, selection_grid, pass_cells, selection_costs, group_info,
+          sched::group_widths(c.size(), n_groups));
+      sched::PassStats call_stats;
+      for (std::size_t k0 = 0; k0 < b1; k0 += interval) {
+        const std::size_t k1 = std::min(b1, k0 + interval);
+        auto epoch = placement;
+        std::size_t epoch_cells = 0;
+        for (auto& queue : epoch) {
+          std::erase_if(queue, [&](std::size_t id) {
+            const std::size_t k = selection_grid.cell(id).bootstrap;
+            return k < k0 || k >= k1;
+          });
+          epoch_cells += queue.size();
+        }
+        if (epoch_cells > 0) {
+          const auto pass = sched::run_pass(
+              c, task_comm, group_info, policy, selection_grid, epoch,
+              selection_costs, recovery.retry_options(), execute);
+          sched::accumulate_stats(call_stats, pass);
+        }
+        if (checkpointing && k1 < b1) {
           merge(c);
           save(c);
         }
       }
       merge(c);  // the final commit doubles as eq. 3's Reduce
       save(c);
+      sched::accumulate_stats(selection_stats, call_stats);
+      sched::export_pass_metrics(trace_rank, group_info, policy, call_stats);
       folded += task_comm.stats();
       folded_rec += task_comm.recovery_stats();
     } catch (const uoi::sim::RankFailedError&) {
@@ -300,19 +356,45 @@ UoiLassoDistributedResult uoi_lasso_distributed(
   };
 
   const auto run_estimation = [&](Comm& c) {
-    const TaskLayout tl = make_task_layout(c.rank(), c.size(), pb, pl);
+    const TaskLayout tl = make_task_layout(c.rank(), c.size(), n_groups, 1);
     Comm task_comm = c.split(tl.task_group, c.rank());
+    const sched::GroupInfo group_info{n_groups, tl.task_group, tl.task_rank,
+                                      pb, pl};
     try {
+      // Refine the estimation placement once from the measured selection
+      // pass: the Allreduce-max replicates every group's per-cell seconds,
+      // so all ranks derive the identical calibrated plan.
+      if (policy != sched::SchedulePolicy::kStatic &&
+          !estimation_costs_calibrated) {
+        if (selection_stats.cell_seconds.size() != selection_grid.n_cells()) {
+          selection_stats.cell_seconds.assign(selection_grid.n_cells(), 0.0);
+        }
+        c.allreduce(std::span<double>(selection_stats.cell_seconds),
+                    ReduceOp::kMax);
+        const auto calibration = sched::calibrate(
+            selection_grid, selection_costs, selection_stats.cell_seconds);
+        sched::apply_calibration(estimation_grid, calibration,
+                                 std::span<double>(estimation_costs));
+        if (tl.task_rank == 0) {
+          support::MetricsRegistry::instance().set(
+              trace_rank, "sched.placement_error",
+              calibration.mean_abs_rel_error);
+        }
+        estimation_costs_calibrated = true;
+      }
+
       Matrix losses(b2, q, std::numeric_limits<double>::infinity());
       // betas_by_task[k * q + j] exists only for tasks this group computed.
       std::vector<Vector> computed_betas(b2 * q);
 
-      for (std::size_t k = 0; k < b2; ++k) {
-        if (!tl.owns_bootstrap(k, pb)) continue;
-
-        Matrix x_train, x_eval;
-        Vector y_train, y_eval;
-        {
+      // The gather is per bootstrap; cache it so a group running several
+      // chains of the same resample gathers once.
+      std::size_t cached_bootstrap = std::numeric_limits<std::size_t>::max();
+      Matrix x_train, x_eval;
+      Vector y_train, y_eval;
+      const auto execute = [&](const sched::TaskCell& task) {
+        const std::size_t k = task.bootstrap;
+        if (k != cached_bootstrap) {
           support::TraceScope distr_span(
               "estimation-gather", support::TraceCategory::kDistribution,
               trace_rank, &distribution_timer);
@@ -325,10 +407,10 @@ UoiLassoDistributedResult uoi_lasso_distributed(
               x, y, split.eval,
               block_slice(split.eval.size(), tl.c_ranks, tl.task_rank), x_eval,
               y_eval);
+          cached_bootstrap = k;
         }
 
-        for (std::size_t j = 0; j < q; ++j) {
-          if (!tl.owns_lambda(j, pl)) continue;
+        for (std::size_t j : estimation_grid.chain_lambdas(task.chain)) {
           const auto& support = model.candidate_supports[j].indices();
           Vector beta(p, 0.0);
           if (!support.empty()) {
@@ -352,7 +434,17 @@ UoiLassoDistributedResult uoi_lasso_distributed(
                                           eval.n_eval, support.size());
           computed_betas[k * q + j] = std::move(beta);
         }
-      }
+      };
+
+      std::vector<std::size_t> cells(estimation_grid.n_cells());
+      for (std::size_t i = 0; i < cells.size(); ++i) cells[i] = i;
+      const auto placement = sched::plan_placement(
+          policy, estimation_grid, cells, estimation_costs, group_info,
+          sched::group_widths(c.size(), n_groups));
+      const auto pass = sched::run_pass(
+          c, task_comm, group_info, policy, estimation_grid, placement,
+          estimation_costs, recovery.retry_options(), execute);
+      sched::export_pass_metrics(trace_rank, group_info, policy, pass);
 
       // Share all losses; every rank then knows each bootstrap's winner.
       c.allreduce(std::span<double>(losses.data(), losses.size()),
@@ -441,7 +533,13 @@ UoiLassoDistributedResult uoi_lasso_distributed(
       run_estimation(*active);
       break;
     } catch (const uoi::sim::RankFailedError&) {
-      if (attempts_left-- <= 0) throw;
+      if (attempts_left-- <= 0) {
+        // Give up symmetrically: uneven groups detect a death at different
+        // collectives, so a rank that exits here could leave a peer blocked
+        // in a comm-wide barrier forever. Revoking wakes it to follow.
+        active->revoke();
+        throw;
+      }
       UOI_LOG_WARN.field("attempts_left", attempts_left)
               .field("phase", selection_complete ? "estimation" : "selection")
           << "rank failure in distributed UoI_LASSO; shrinking and resuming";
@@ -455,8 +553,11 @@ UoiLassoDistributedResult uoi_lasso_distributed(
       }
       owned = std::move(next);
       active = &*owned;
-      pl = 1;
-      pb = largest_divisor_at_most(active->size(), layout.bootstrap_groups);
+      // Regroup the survivors: as many groups as the entry layout had, as
+      // long as each keeps at least one rank. Uneven widths are fine — the
+      // remainder-tolerant split spreads the extra ranks — and the chain
+      // structure is untouched, so replays stay bit-identical.
+      n_groups = std::min(n_groups, active->size());
       // Commit what every survivor already finished, then account the
       // cells that died with the failed rank and must be redistributed.
       merge(*active);

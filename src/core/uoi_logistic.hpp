@@ -21,6 +21,8 @@ struct UoiLogisticOptions {
   EstimationAggregation aggregation = EstimationAggregation::kMean;
   std::uint64_t seed = 20200518;
   uoi::solvers::LogisticOptions solver;
+  /// Distributed-driver task placement (see UoiLassoOptions::schedule).
+  uoi::sched::SchedulePolicy schedule = uoi::sched::SchedulePolicy::kAuto;
 };
 
 struct UoiLogisticResult {

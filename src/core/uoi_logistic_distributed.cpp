@@ -4,12 +4,16 @@
 #include <cmath>
 #include <limits>
 
+#include "core/distributed_common.hpp"
+#include "sched/cost_model.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/task_grid.hpp"
 #include "solvers/distributed_logistic.hpp"
 #include "solvers/lambda_grid.hpp"
 #include "solvers/logistic.hpp"
 #include "support/error.hpp"
-#include "core/distributed_common.hpp"
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace uoi::core {
 
@@ -43,14 +47,15 @@ UoiLogisticDistributedResult uoi_logistic_distributed(
   const int pb = layout.bootstrap_groups;
   const int pl = layout.lambda_groups;
   UOI_CHECK(pb >= 1 && pl >= 1, "layout group counts must be >= 1");
-  UOI_CHECK(comm.size() % (pb * pl) == 0,
-            "communicator size must be divisible by P_B * P_lambda");
-  const int c_ranks = comm.size() / (pb * pl);
-  const int task_group = comm.rank() / c_ranks;
-  const int task_rank = comm.rank() % c_ranks;
-  const int b_group = task_group / pl;
-  const int l_group = task_group % pl;
-  Comm task_comm = comm.split(task_group, comm.rank());
+  const int n_groups = pb * pl;
+  UOI_CHECK(comm.size() >= n_groups,
+            "communicator smaller than P_B * P_lambda task groups");
+  const auto task =
+      detail::make_task_layout(comm.rank(), comm.size(), pb, pl);
+  Comm task_comm = comm.split(task.task_group, comm.rank());
+  const sched::GroupInfo group_info{n_groups, task.task_group, task.task_rank,
+                                    pb, pl};
+  const int trace_rank = comm.global_rank();
 
   const std::size_t n = x.rows();
   const std::size_t p = x.cols();
@@ -64,6 +69,23 @@ UoiLogisticDistributedResult uoi_logistic_distributed(
   model.lambdas = uoi::solvers::log_spaced_lambdas(
       hi, options.lambda_min_ratio, options.n_lambdas);
   const std::size_t q = model.lambdas.size();
+  const std::size_t b1 = options.n_selection_bootstraps;
+  const std::size_t b2 = options.n_estimation_bootstraps;
+
+  // ---- Scheduler state (see the LASSO driver for the full contract) ----
+  const sched::SchedulePolicy policy = sched::resolve_policy(options.schedule);
+  const std::size_t n_chains =
+      std::max<std::size_t>(1, std::min(static_cast<std::size_t>(pl), q));
+  const sched::TaskGrid selection_grid(b1, q, n_chains, options.seed);
+  const sched::TaskGrid estimation_grid(b2, q, n_chains, options.seed + 1);
+  const double pass_seconds_seed = sched::lasso_pass_seconds_estimate(
+      n, p, b1, b2, q, /*admm_iterations=*/2000, comm.size());
+  const std::vector<double> selection_costs =
+      sched::seeded_costs(selection_grid, model.lambdas, pass_seconds_seed);
+  std::vector<double> estimation_costs =
+      sched::seeded_costs(estimation_grid, model.lambdas, pass_seconds_seed);
+  const auto widths = sched::group_widths(comm.size(), n_groups);
+  const uoi::sim::RetryOptions retry;
 
   support::Stopwatch phase_watch;
   const auto comm_seconds = [&] {
@@ -79,28 +101,44 @@ UoiLogisticDistributedResult uoi_logistic_distributed(
 
   // ---- selection ----
   Matrix counts(q, p, 0.0);
-  for (std::size_t k = 0; k < options.n_selection_bootstraps; ++k) {
-    if (static_cast<int>(k % static_cast<std::size_t>(pb)) != b_group) continue;
-    support::Stopwatch distr_watch;
-    const auto idx = selection_bootstrap_indices(resampling, n, k);
+  sched::PassStats selection_stats;
+  {
+    std::size_t cached_k = b1;  // invalid sentinel
     Matrix x_local;
     Vector y_local;
-    gather_local_block(x, y, idx, block_slice(idx.size(), c_ranks, task_rank),
-                       x_local, y_local);
-    out.breakdown.distribution_seconds += distr_watch.seconds();
-
-    for (std::size_t j = 0; j < q; ++j) {
-      if (static_cast<int>(j % static_cast<std::size_t>(pl)) != l_group)
-        continue;
-      const auto fit = uoi::solvers::distributed_logistic_lasso(
-          task_comm, x_local, y_local, model.lambdas[j], admm);
-      if (task_rank == 0) {
-        auto row = counts.row(j);
-        for (std::size_t i = 0; i < p; ++i) {
-          if (std::abs(fit.beta[i]) > options.support_tolerance) row[i] += 1.0;
+    const auto execute = [&](const sched::TaskCell& cell) {
+      const std::size_t k = cell.bootstrap;
+      if (cached_k != k) {
+        support::Stopwatch distr_watch;
+        const auto idx = selection_bootstrap_indices(resampling, n, k);
+        gather_local_block(
+            x, y, idx, block_slice(idx.size(), task.c_ranks, task.task_rank),
+            x_local, y_local);
+        out.breakdown.distribution_seconds += distr_watch.seconds();
+        cached_k = k;
+      }
+      for (std::size_t j : selection_grid.chain_lambdas(cell.chain)) {
+        const auto fit = uoi::solvers::distributed_logistic_lasso(
+            task_comm, x_local, y_local, model.lambdas[j], admm);
+        if (task.task_rank == 0) {
+          auto row = counts.row(j);
+          for (std::size_t i = 0; i < p; ++i) {
+            if (std::abs(fit.beta[i]) > options.support_tolerance) {
+              row[i] += 1.0;
+            }
+          }
         }
       }
-    }
+    };
+    std::vector<std::size_t> cells(selection_grid.n_cells());
+    for (std::size_t i = 0; i < cells.size(); ++i) cells[i] = i;
+    const auto placement = sched::plan_placement(
+        policy, selection_grid, cells, selection_costs, group_info, widths);
+    selection_stats =
+        sched::run_pass(comm, task_comm, group_info, policy, selection_grid,
+                        placement, selection_costs, retry, execute);
+    sched::export_pass_metrics(trace_rank, group_info, policy,
+                               selection_stats);
   }
   comm.allreduce(std::span<double>(counts.data(), counts.size()),
                  ReduceOp::kSum);
@@ -121,45 +159,74 @@ UoiLogisticDistributedResult uoi_logistic_distributed(
   // ---- estimation ----
   // Each task group scores its (bootstrap, support) pairs with held-out
   // log loss; losses and winners reduce globally as in the LASSO driver.
-  const std::size_t b2 = options.n_estimation_bootstraps;
   Matrix losses(b2, q, std::numeric_limits<double>::infinity());
   std::vector<Vector> computed(b2 * q);       // beta + intercept appended
-  for (std::size_t k = 0; k < b2; ++k) {
-    if (static_cast<int>(k % static_cast<std::size_t>(pb)) != b_group) continue;
-    const auto split = estimation_split(resampling, n, k);
-    // IRLS refits run on the full training split (they are cheap: support
-    // columns only); evaluation rows are partitioned for the loss.
-    const Matrix x_train = x_owned.gather_rows(split.train);
-    Vector y_train(split.train.size());
-    for (std::size_t i = 0; i < split.train.size(); ++i) {
-      y_train[i] = y[split.train[i]];
-    }
-    Matrix x_eval_local;
-    Vector y_eval_local;
-    gather_local_block(x, y, split.eval,
-                       block_slice(split.eval.size(), c_ranks, task_rank),
-                       x_eval_local, y_eval_local);
-
-    for (std::size_t j = 0; j < q; ++j) {
-      if (static_cast<int>(j % static_cast<std::size_t>(pl)) != l_group)
-        continue;
-      const auto& support = model.candidate_supports[j].indices();
-      const auto fit = uoi::solvers::logistic_irls_on_support(
-          x_train, y_train, support, options.solver);
-      // Distributed held-out log loss: local sums reduced over the group.
-      double acc[2] = {0.0, static_cast<double>(x_eval_local.rows())};
-      if (x_eval_local.rows() > 0) {
-        acc[0] = uoi::solvers::logistic_log_loss(x_eval_local, y_eval_local,
-                                                 fit.beta, fit.intercept) *
-                 static_cast<double>(x_eval_local.rows());
+  {
+    if (policy != sched::SchedulePolicy::kStatic &&
+        selection_stats.cell_seconds.size() == selection_grid.n_cells()) {
+      comm.allreduce(std::span<double>(selection_stats.cell_seconds.data(),
+                                       selection_stats.cell_seconds.size()),
+                     ReduceOp::kMax);
+      const auto calibration = sched::calibrate(
+          selection_grid, selection_costs, selection_stats.cell_seconds);
+      sched::apply_calibration(estimation_grid, calibration,
+                               estimation_costs);
+      if (task.task_rank == 0) {
+        support::MetricsRegistry::instance().set(
+            trace_rank, "sched.placement_error",
+            calibration.mean_abs_rel_error);
       }
-      task_comm.allreduce(std::span<double>(acc, 2), ReduceOp::kSum);
-      losses(k, j) = acc[1] > 0.0 ? acc[0] / acc[1] : 0.0;
-      Vector packed(p + 1);
-      std::copy(fit.beta.begin(), fit.beta.end(), packed.begin());
-      packed[p] = fit.intercept;
-      computed[k * q + j] = std::move(packed);
     }
+
+    std::size_t cached_k = b2;  // invalid sentinel
+    Matrix x_train, x_eval_local;
+    Vector y_train, y_eval_local;
+    const auto execute = [&](const sched::TaskCell& cell) {
+      const std::size_t k = cell.bootstrap;
+      if (cached_k != k) {
+        const auto split = estimation_split(resampling, n, k);
+        // IRLS refits run on the full training split (they are cheap:
+        // support columns only); evaluation rows are partitioned for the
+        // loss.
+        x_train = x_owned.gather_rows(split.train);
+        y_train = Vector(split.train.size());
+        for (std::size_t i = 0; i < split.train.size(); ++i) {
+          y_train[i] = y[split.train[i]];
+        }
+        gather_local_block(
+            x, y, split.eval,
+            block_slice(split.eval.size(), task.c_ranks, task.task_rank),
+            x_eval_local, y_eval_local);
+        cached_k = k;
+      }
+      for (std::size_t j : estimation_grid.chain_lambdas(cell.chain)) {
+        const auto& support = model.candidate_supports[j].indices();
+        const auto fit = uoi::solvers::logistic_irls_on_support(
+            x_train, y_train, support, options.solver);
+        // Distributed held-out log loss: local sums reduced over the group.
+        double acc[2] = {0.0, static_cast<double>(x_eval_local.rows())};
+        if (x_eval_local.rows() > 0) {
+          acc[0] = uoi::solvers::logistic_log_loss(x_eval_local,
+                                                   y_eval_local, fit.beta,
+                                                   fit.intercept) *
+                   static_cast<double>(x_eval_local.rows());
+        }
+        task_comm.allreduce(std::span<double>(acc, 2), ReduceOp::kSum);
+        losses(k, j) = acc[1] > 0.0 ? acc[0] / acc[1] : 0.0;
+        Vector packed(p + 1);
+        std::copy(fit.beta.begin(), fit.beta.end(), packed.begin());
+        packed[p] = fit.intercept;
+        computed[k * q + j] = std::move(packed);
+      }
+    };
+    std::vector<std::size_t> cells(estimation_grid.n_cells());
+    for (std::size_t i = 0; i < cells.size(); ++i) cells[i] = i;
+    const auto placement = sched::plan_placement(
+        policy, estimation_grid, cells, estimation_costs, group_info, widths);
+    const auto pass =
+        sched::run_pass(comm, task_comm, group_info, policy, estimation_grid,
+                        placement, estimation_costs, retry, execute);
+    sched::export_pass_metrics(trace_rank, group_info, policy, pass);
   }
   comm.allreduce(std::span<double>(losses.data(), losses.size()),
                  ReduceOp::kMin);
@@ -178,7 +245,7 @@ UoiLogisticDistributedResult uoi_logistic_distributed(
     }
     model.chosen_support_per_bootstrap[k] = best_j;
     model.best_loss_per_bootstrap[k] = best_loss;
-    if (!computed[k * q + best_j].empty() && task_rank == 0) {
+    if (!computed[k * q + best_j].empty() && task.task_rank == 0) {
       const auto& packed = computed[k * q + best_j];
       std::copy(packed.begin(), packed.end(), winners.row(k).begin());
     }

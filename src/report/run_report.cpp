@@ -6,6 +6,7 @@
 #include <limits>
 #include <string_view>
 
+#include "sched/schedule_policy.hpp"
 #include "support/error.hpp"
 #include "support/format.hpp"
 #include "support/json.hpp"
@@ -110,6 +111,58 @@ CriticalPath critical_path_from_totals(
   if (std::isfinite(min_comm)) out.seconds += min_comm;
   if (wall_seconds > 0.0) out.seconds = std::min(out.seconds, wall_seconds);
   return out;
+}
+
+/// Folds the per-agent sched.* counters into one summary. Sums are over
+/// agent ranks (the scheduler records counters on agents only, so they do
+/// not multiply by group width); queue depth and placement error take the
+/// worst rank.
+SchedulerSummary summarize_scheduler(
+    const std::vector<MetricsRegistry::Entry>& metrics) {
+  SchedulerSummary s;
+  std::vector<double> tasks_per_agent;
+  double policy_value = -1.0;
+  for (const auto& entry : metrics) {
+    if (entry.name.rfind("sched.", 0) != 0) continue;
+    s.present = true;
+    if (entry.name == "sched.policy") {
+      policy_value = entry.value;
+    } else if (entry.name == "sched.tasks_executed") {
+      s.tasks_executed += entry.value;
+      tasks_per_agent.push_back(entry.value);
+    } else if (entry.name == "sched.steals_attempted") {
+      s.steals_attempted += entry.value;
+    } else if (entry.name == "sched.steals_succeeded") {
+      s.steals_succeeded += entry.value;
+    } else if (entry.name == "sched.queue_depth_max") {
+      s.queue_depth_max = std::max(s.queue_depth_max, entry.value);
+    } else if (entry.name == "sched.placement_error") {
+      s.placement_error = std::max(s.placement_error, entry.value);
+    }
+  }
+  if (!s.present) return s;
+  s.agent_ranks = static_cast<int>(tasks_per_agent.size());
+  switch (static_cast<int>(policy_value)) {
+    case static_cast<int>(uoi::sched::SchedulePolicy::kStatic):
+      s.policy = "static";
+      break;
+    case static_cast<int>(uoi::sched::SchedulePolicy::kCostLpt):
+      s.policy = "cost_lpt";
+      break;
+    case static_cast<int>(uoi::sched::SchedulePolicy::kWorkSteal):
+      s.policy = "work_steal";
+      break;
+    default:
+      s.policy = "unknown";
+      break;
+  }
+  const double mean = mean_of(tasks_per_agent);
+  if (mean > 0.0) {
+    s.tasks_max_over_mean =
+        *std::max_element(tasks_per_agent.begin(), tasks_per_agent.end()) /
+        mean;
+  }
+  return s;
 }
 
 void append_bucket_fields(std::string& out, const RankBuckets& b) {
@@ -240,6 +293,8 @@ RunReport build_run_report(const ReportInputs& inputs) {
     if (mean > 0.0) report.allreduce_max_over_mean = *max_it / mean;
   }
 
+  report.scheduler = summarize_scheduler(inputs.metrics);
+
   // Critical path.
   const CriticalPath cp =
       inputs.events.empty()
@@ -276,7 +331,7 @@ RunReport build_run_report(const ReportInputs& inputs) {
 std::string RunReport::to_json() const {
   using support::json_number;
   using support::json_quote;
-  std::string out = "{\"schema\":\"uoi-run-report-v1\"";
+  std::string out = "{\"schema\":\"uoi-run-report-v2\"";
   out += ",\"wall_seconds\":" + json_number(wall_seconds);
   out += ",\"n_ranks\":" + std::to_string(n_ranks);
   out += ",\"buckets\":{\"computation\":" + json_number(computation_seconds);
@@ -322,6 +377,20 @@ std::string RunReport::to_json() const {
     out += ",\"p99\":" + json_number(l.p99_seconds);
     out += ",\"max\":" + json_number(l.max_seconds);
     out += "}";
+  }
+  out += "}";
+  out += ",\"scheduler\":{";
+  out += std::string("\"present\":") + (scheduler.present ? "true" : "false");
+  if (scheduler.present) {
+    out += ",\"policy\":" + json_quote(scheduler.policy);
+    out += ",\"agent_ranks\":" + std::to_string(scheduler.agent_ranks);
+    out += ",\"tasks_executed\":" + json_number(scheduler.tasks_executed);
+    out += ",\"steals_attempted\":" + json_number(scheduler.steals_attempted);
+    out += ",\"steals_succeeded\":" + json_number(scheduler.steals_succeeded);
+    out += ",\"queue_depth_max\":" + json_number(scheduler.queue_depth_max);
+    out += ",\"tasks_max_over_mean\":" +
+           json_number(scheduler.tasks_max_over_mean);
+    out += ",\"placement_error\":" + json_number(scheduler.placement_error);
   }
   out += "}";
   out += ",\"metrics\":[";
@@ -374,6 +443,20 @@ std::string RunReport::to_text() const {
          format_fixed(100.0 * critical_path_fraction, 1) + "% of wall, " +
          critical_path_method + " method, " + std::to_string(sync_points) +
          " sync points)\n";
+
+  if (scheduler.present) {
+    support::Table table({"policy", "agents", "tasks", "steals ok/try",
+                          "queue max", "task max/mean", "cost err"});
+    table.add_row(
+        {scheduler.policy, std::to_string(scheduler.agent_ranks),
+         format_fixed(scheduler.tasks_executed, 0),
+         format_fixed(scheduler.steals_succeeded, 0) + "/" +
+             format_fixed(scheduler.steals_attempted, 0),
+         format_fixed(scheduler.queue_depth_max, 0),
+         format_fixed(scheduler.tasks_max_over_mean, 3),
+         format_fixed(scheduler.placement_error, 3)});
+    out += "scheduler:\n" + table.to_text();
+  }
 
   if (!latency.empty()) {
     support::Table table({"category", "spans", "mean", "p50", "p95", "p99",

@@ -72,6 +72,22 @@ struct CategoryLatency {
   double max_seconds = 0.0;
 };
 
+/// Scheduler counters aggregated from the sched.* metrics the task
+/// scheduler exports on agent ranks. `present` is false (and the JSON
+/// section says so) when the run had no scheduled pass — e.g. a v1-era
+/// trace replayed through `uoi analyze`.
+struct SchedulerSummary {
+  bool present = false;
+  std::string policy;                ///< "static" / "cost_lpt" / "work_steal"
+  int agent_ranks = 0;               ///< agent ranks reporting counters
+  double tasks_executed = 0.0;       ///< sum over agents
+  double steals_attempted = 0.0;     ///< sum over agents
+  double steals_succeeded = 0.0;     ///< sum over agents
+  double queue_depth_max = 0.0;      ///< max over agents
+  double tasks_max_over_mean = 0.0;  ///< placement imbalance across agents
+  double placement_error = 0.0;      ///< calibration mean |rel error| (max)
+};
+
 struct RunReport {
   double wall_seconds = 0.0;
   int n_ranks = 0;
@@ -111,9 +127,13 @@ struct RunReport {
 
   std::vector<CategoryLatency> latency;  ///< categories with any spans
 
+  SchedulerSummary scheduler;
+
   std::vector<support::MetricsRegistry::Entry> metrics;
 
-  /// {"schema":"uoi-run-report-v1", ...}
+  /// {"schema":"uoi-run-report-v2", ...}. v2 adds the "scheduler" section;
+  /// every v1 key is preserved unchanged, so v1 consumers keep working by
+  /// ignoring the new section.
   [[nodiscard]] std::string to_json() const;
   /// Human summary: per-rank bucket table, imbalance and critical-path
   /// lines, latency-percentile table.

@@ -1,0 +1,51 @@
+#include "sched/schedule_policy.hpp"
+
+#include <cstdlib>
+
+#include "support/log.hpp"
+
+namespace uoi::sched {
+
+SchedulePolicy resolve_policy(SchedulePolicy requested) {
+  if (requested != SchedulePolicy::kAuto) return requested;
+  const char* env = std::getenv("UOI_SCHED_POLICY");
+  if (env == nullptr || *env == '\0') return SchedulePolicy::kCostLpt;
+  SchedulePolicy out;
+  if (policy_from_string(env, out) && out != SchedulePolicy::kAuto) {
+    return out;
+  }
+  UOI_LOG_WARN.field("UOI_SCHED_POLICY", env)
+      << "unknown schedule policy; falling back to cost_lpt";
+  return SchedulePolicy::kCostLpt;
+}
+
+const char* to_string(SchedulePolicy policy) {
+  switch (policy) {
+    case SchedulePolicy::kAuto:
+      return "auto";
+    case SchedulePolicy::kStatic:
+      return "static";
+    case SchedulePolicy::kCostLpt:
+      return "cost_lpt";
+    case SchedulePolicy::kWorkSteal:
+      return "work_steal";
+  }
+  return "unknown";
+}
+
+bool policy_from_string(std::string_view name, SchedulePolicy& out) {
+  if (name == "auto") {
+    out = SchedulePolicy::kAuto;
+  } else if (name == "static") {
+    out = SchedulePolicy::kStatic;
+  } else if (name == "cost_lpt" || name == "lpt") {
+    out = SchedulePolicy::kCostLpt;
+  } else if (name == "work_steal" || name == "steal") {
+    out = SchedulePolicy::kWorkSteal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace uoi::sched

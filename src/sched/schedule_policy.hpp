@@ -1,0 +1,38 @@
+#pragma once
+// Schedule policy selection for the (bootstrap x lambda-chain) task grid.
+//
+// Three policies, all producing bit-identical models on identical seeds
+// (placement never enters the numerics — see docs/ARCHITECTURE.md §8):
+//   static     — the historical fixed (b_group, l_group) ownership map;
+//                kept for A/B comparison and as the zero-overhead baseline.
+//   cost_lpt   — deterministic longest-processing-time greedy placement
+//                driven by the perfmodel-seeded (and, between passes,
+//                calibrated) per-cell cost estimates. The default.
+//   work_steal — cost_lpt initial placement plus intra-pass rebalancing
+//                through a one-sided ticket queue with victim selection.
+
+#include <string_view>
+
+namespace uoi::sched {
+
+enum class SchedulePolicy {
+  kAuto = 0,   ///< resolve from $UOI_SCHED_POLICY, falling back to cost_lpt
+  kStatic,
+  kCostLpt,
+  kWorkSteal,
+};
+
+/// Resolves kAuto against the UOI_SCHED_POLICY environment variable
+/// ("static", "cost_lpt", "work_steal"); unknown values log a warning and
+/// fall back to cost_lpt. Non-auto requests pass through unchanged.
+[[nodiscard]] SchedulePolicy resolve_policy(SchedulePolicy requested);
+
+/// "static" / "cost_lpt" / "work_steal" / "auto".
+[[nodiscard]] const char* to_string(SchedulePolicy policy);
+
+/// Inverse of to_string (also accepts "auto"); returns false and leaves
+/// `out` untouched on unknown names.
+[[nodiscard]] bool policy_from_string(std::string_view name,
+                                      SchedulePolicy& out);
+
+}  // namespace uoi::sched

@@ -1,0 +1,264 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/work_queue.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+#include "support/trace.hpp"
+
+namespace uoi::sched {
+
+int group_width(int comm_size, int n_groups, int group) {
+  UOI_CHECK(n_groups >= 1 && group >= 0 && group < n_groups,
+            "group index out of range");
+  const int base = comm_size / n_groups;
+  const int extra = comm_size % n_groups;
+  return base + (group < extra ? 1 : 0);
+}
+
+std::vector<int> group_widths(int comm_size, int n_groups) {
+  std::vector<int> widths(static_cast<std::size_t>(n_groups), 0);
+  for (int g = 0; g < n_groups; ++g) {
+    widths[static_cast<std::size_t>(g)] = group_width(comm_size, n_groups, g);
+  }
+  return widths;
+}
+
+std::vector<std::vector<std::size_t>> plan_placement(
+    SchedulePolicy policy, const TaskGrid& grid,
+    std::span<const std::size_t> cells, std::span<const double> costs,
+    const GroupInfo& info, std::span<const int> group_widths) {
+  UOI_CHECK(policy != SchedulePolicy::kAuto,
+            "resolve the schedule policy before planning placement");
+  UOI_CHECK_DIMS(costs.size() == grid.n_cells(),
+                 "cost vector must cover the whole grid");
+  UOI_CHECK_DIMS(group_widths.size() ==
+                     static_cast<std::size_t>(info.n_groups),
+                 "one width per group required");
+  std::vector<std::vector<std::size_t>> placement(
+      static_cast<std::size_t>(info.n_groups));
+
+  if (policy == SchedulePolicy::kStatic) {
+    const bool entry_layout = info.n_groups == info.pb * info.pl;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const TaskCell cell = grid.cell(cells[i]);
+      std::size_t group;
+      if (entry_layout) {
+        group = (cell.bootstrap % static_cast<std::size_t>(info.pb)) *
+                    static_cast<std::size_t>(info.pl) +
+                cell.chain % static_cast<std::size_t>(info.pl);
+      } else {
+        group = i % static_cast<std::size_t>(info.n_groups);
+      }
+      placement[group].push_back(cells[i]);
+    }
+    return placement;
+  }
+
+  // LPT greedy: heaviest cell first onto the group with the least load per
+  // rank; ties break toward the lower cell id / group id so every rank
+  // derives the identical plan.
+  std::vector<std::size_t> order(cells.begin(), cells.end());
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (costs[a] != costs[b]) return costs[a] > costs[b];
+              return a < b;
+            });
+  std::vector<double> load(static_cast<std::size_t>(info.n_groups), 0.0);
+  for (std::size_t id : order) {
+    int best = 0;
+    double best_load = std::numeric_limits<double>::infinity();
+    for (int g = 0; g < info.n_groups; ++g) {
+      const double width = std::max(1, group_widths[static_cast<std::size_t>(g)]);
+      const double projected =
+          (load[static_cast<std::size_t>(g)] + costs[id]) / width;
+      if (projected < best_load) {
+        best_load = projected;
+        best = g;
+      }
+    }
+    load[static_cast<std::size_t>(best)] += costs[id];
+    placement[static_cast<std::size_t>(best)].push_back(id);
+  }
+  if (policy == SchedulePolicy::kCostLpt) {
+    // Ascending cell order keeps per-bootstrap gathers adjacent; execution
+    // order within a group never affects results.
+    for (auto& queue : placement) std::sort(queue.begin(), queue.end());
+  }
+  // work_steal keeps the LPT (heaviest-first) queue order so the expensive
+  // cells start early and the tail is cheap to steal.
+  return placement;
+}
+
+namespace {
+
+enum RoundAction : std::size_t {
+  kRun = 0,
+  kDone = 1,
+  kAbortFailed = 2,
+  kAbortTransient = 3,
+};
+
+PassStats run_work_steal(sim::Comm& c, sim::Comm& task_comm,
+                         const GroupInfo& info, const TaskGrid& grid,
+                         const std::vector<std::vector<std::size_t>>& placement,
+                         std::span<const double> costs,
+                         const sim::RetryOptions& retry,
+                         const std::function<void(const TaskCell&)>& execute) {
+  PassStats stats;
+  stats.cell_seconds.assign(grid.n_cells(), 0.0);
+  const auto group = static_cast<std::size_t>(info.group);
+  stats.queue_depth_max = placement[group].size();
+
+  // Remaining-cost suffix sums per group queue: suffix[g][t] is the cost
+  // still unclaimed once t tickets are gone — the victim-selection key.
+  std::vector<std::vector<double>> suffix(placement.size());
+  for (std::size_t g = 0; g < placement.size(); ++g) {
+    const auto& queue = placement[g];
+    suffix[g].assign(queue.size() + 1, 0.0);
+    for (std::size_t t = queue.size(); t-- > 0;) {
+      suffix[g][t] = suffix[g][t + 1] + costs[queue[t]];
+    }
+  }
+
+  TicketBoard board(c, info.n_groups, retry);
+  bool own_drained = false;
+  for (;;) {
+    std::size_t round[2] = {kDone, 0};
+    if (info.group_rank == 0) {
+      try {
+        for (;;) {
+          if (!own_drained) {
+            const std::size_t ticket =
+                board.take_ticket(info.group);
+            if (ticket < placement[group].size()) {
+              round[0] = kRun;
+              round[1] = placement[group][ticket];
+              break;
+            }
+            own_drained = true;
+          }
+          int victim = -1;
+          double best_remaining = 0.0;
+          for (int g = 0; g < info.n_groups; ++g) {
+            if (g == info.group) continue;
+            const auto gu = static_cast<std::size_t>(g);
+            const std::size_t claimed =
+                std::min(board.peek(g), placement[gu].size());
+            const double remaining = suffix[gu][claimed];
+            if (remaining > best_remaining) {
+              best_remaining = remaining;
+              victim = g;
+            }
+          }
+          if (victim < 0) {
+            round[0] = kDone;
+            break;
+          }
+          ++stats.steals_attempted;
+          const std::size_t ticket = board.take_ticket(victim);
+          const auto vu = static_cast<std::size_t>(victim);
+          if (ticket < placement[vu].size()) {
+            ++stats.steals_succeeded;
+            round[0] = kRun;
+            round[1] = placement[vu][ticket];
+            break;
+          }
+          // Lost the race for the victim's tail; re-select. Counters only
+          // grow, so this terminates once every queue is drained.
+        }
+      } catch (const sim::RankFailedError&) {
+        round[0] = kAbortFailed;
+      } catch (const sim::TransientCommError&) {
+        round[0] = kAbortTransient;
+      }
+    }
+    task_comm.bcast(std::span<std::size_t>(round, 2), 0);
+    if (round[0] == kRun) {
+      support::Stopwatch watch;
+      execute(grid.cell(round[1]));
+      stats.cell_seconds[round[1]] = watch.seconds();
+      ++stats.tasks_executed;
+    } else if (round[0] == kDone) {
+      break;
+    } else if (round[0] == kAbortFailed) {
+      // A peer death normally raises inside the round bcast itself (the
+      // snapshot check) on every group member; probing is the backstop so
+      // the group can never keep scheduling against a dead rank.
+      task_comm.probe_failures();
+      throw sim::RankFailedError("scheduler abort after a peer failure");
+    } else {
+      throw sim::TransientCommError(
+          "work-queue retry budget exhausted; aborting the pass group-wide");
+    }
+  }
+  // Keep every rank's board (and comm state) alive until all groups have
+  // drained; the following driver-side merge collective needs everyone
+  // anyway, so this barrier never adds a serialization point.
+  board.fence();
+  return stats;
+}
+
+}  // namespace
+
+PassStats run_pass(sim::Comm& c, sim::Comm& task_comm, const GroupInfo& info,
+                   SchedulePolicy policy, const TaskGrid& grid,
+                   const std::vector<std::vector<std::size_t>>& placement,
+                   std::span<const double> costs,
+                   const sim::RetryOptions& retry,
+                   const std::function<void(const TaskCell&)>& execute) {
+  UOI_CHECK_DIMS(placement.size() == static_cast<std::size_t>(info.n_groups),
+                 "placement must have one queue per group");
+  if (policy == SchedulePolicy::kWorkSteal) {
+    return run_work_steal(c, task_comm, info, grid, placement, costs, retry,
+                          execute);
+  }
+
+  PassStats stats;
+  stats.cell_seconds.assign(grid.n_cells(), 0.0);
+  const auto& queue = placement[static_cast<std::size_t>(info.group)];
+  stats.queue_depth_max = queue.size();
+  for (std::size_t id : queue) {
+    support::Stopwatch watch;
+    execute(grid.cell(id));
+    stats.cell_seconds[id] = watch.seconds();
+    ++stats.tasks_executed;
+  }
+  return stats;
+}
+
+void accumulate_stats(PassStats& total, const PassStats& pass) {
+  total.tasks_executed += pass.tasks_executed;
+  total.steals_attempted += pass.steals_attempted;
+  total.steals_succeeded += pass.steals_succeeded;
+  total.queue_depth_max =
+      std::max(total.queue_depth_max, pass.queue_depth_max);
+  if (total.cell_seconds.size() < pass.cell_seconds.size()) {
+    total.cell_seconds.resize(pass.cell_seconds.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < pass.cell_seconds.size(); ++i) {
+    total.cell_seconds[i] += pass.cell_seconds[i];
+  }
+}
+
+void export_pass_metrics(int trace_rank, const GroupInfo& info,
+                         SchedulePolicy policy, const PassStats& stats) {
+  if (info.group_rank != 0) return;
+  auto& metrics = support::MetricsRegistry::instance();
+  metrics.set(trace_rank, "sched.policy",
+              static_cast<double>(static_cast<int>(policy)));
+  metrics.add(trace_rank, "sched.tasks_executed",
+              static_cast<double>(stats.tasks_executed));
+  metrics.add(trace_rank, "sched.steals_attempted",
+              static_cast<double>(stats.steals_attempted));
+  metrics.add(trace_rank, "sched.steals_succeeded",
+              static_cast<double>(stats.steals_succeeded));
+  const auto depth = static_cast<double>(stats.queue_depth_max);
+  if (depth > metrics.value(trace_rank, "sched.queue_depth_max")) {
+    metrics.set(trace_rank, "sched.queue_depth_max", depth);
+  }
+}
+
+}  // namespace uoi::sched

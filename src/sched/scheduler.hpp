@@ -1,0 +1,94 @@
+#pragma once
+// Pass-level orchestration: deterministic placement of grid cells onto task
+// groups plus the execution loop for each SchedulePolicy.
+//
+// Determinism contract (docs/ARCHITECTURE.md §8): the `execute` callback
+// does the same work for a cell no matter which group runs it, so placement
+// and steal interleavings are pure performance decisions. run_pass only
+// decides *where* and *when* a cell runs — never *what* it computes.
+//
+// Group protocol under work_steal: the group's agent (group_rank 0) talks
+// to the ticket board and broadcasts one {action, cell} decision per round
+// over the group communicator, keeping the whole group in lockstep. Fault
+// detection therefore stays collective: a peer death surfaces at the round
+// broadcast (snapshot check) on every group member simultaneously, and the
+// recovery path in the drivers unwinds exactly as it does for the static
+// schedule.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sched/schedule_policy.hpp"
+#include "sched/task_grid.hpp"
+#include "simcluster/comm.hpp"
+#include "simcluster/fault.hpp"
+
+namespace uoi::sched {
+
+/// Rank count of group `group` under the contiguous remainder-tolerant
+/// split of `comm_size` ranks into `n_groups` groups (the first
+/// comm_size % n_groups groups are one rank wider).
+[[nodiscard]] int group_width(int comm_size, int n_groups, int group);
+
+/// All group widths at once, for plan_placement.
+[[nodiscard]] std::vector<int> group_widths(int comm_size, int n_groups);
+
+/// This rank's position in the group structure, plus the entry-layout
+/// (P_B, P_lambda) factors the static map is defined against.
+struct GroupInfo {
+  int n_groups = 1;
+  int group = 0;       ///< this rank's group id
+  int group_rank = 0;  ///< rank within the group; 0 is the agent
+  int pb = 1;          ///< entry-layout bootstrap groups
+  int pl = 1;          ///< entry-layout lambda groups
+};
+
+struct PassStats {
+  std::size_t tasks_executed = 0;    ///< cells this rank's group ran
+  std::size_t steals_attempted = 0;  ///< agent only; victim tickets taken
+  std::size_t steals_succeeded = 0;  ///< agent only; tickets that held work
+  std::size_t queue_depth_max = 0;   ///< this group's initial queue depth
+  /// Per-cell wall seconds measured on this rank (full grid size; > 0 only
+  /// for cells this group executed). Feed through Allreduce-max and
+  /// cost_model::calibrate to refine the next pass's placement.
+  std::vector<double> cell_seconds;
+};
+
+/// Deterministic placement of `cells` (cell ids, ascending) onto groups.
+/// static: the historical (k % P_B, c % P_lambda) ownership map when
+/// n_groups still equals P_B * P_lambda, round-robin otherwise (post-shrink
+/// layouts); cost_lpt / work_steal: longest-processing-time greedy onto the
+/// group with the least load per rank (`group_widths` weights uneven
+/// groups). Every rank computes the identical placement from replicated
+/// inputs — no communication.
+[[nodiscard]] std::vector<std::vector<std::size_t>> plan_placement(
+    SchedulePolicy policy, const TaskGrid& grid,
+    std::span<const std::size_t> cells, std::span<const double> costs,
+    const GroupInfo& info, std::span<const int> group_widths);
+
+/// Executes one pass (or one checkpoint epoch) of a precomputed placement
+/// across all groups. Plan the placement ONCE over every pending cell of
+/// the pass and filter it per epoch — planning each epoch separately would
+/// let LPT collapse small epochs onto group 0. Collective over `c`;
+/// `execute` may run collectives on `task_comm`. `policy` must already be
+/// resolved (not kAuto).
+PassStats run_pass(sim::Comm& c, sim::Comm& task_comm, const GroupInfo& info,
+                   SchedulePolicy policy, const TaskGrid& grid,
+                   const std::vector<std::vector<std::size_t>>& placement,
+                   std::span<const double> costs,
+                   const sim::RetryOptions& retry,
+                   const std::function<void(const TaskCell&)>& execute);
+
+/// Folds a pass's counters into `total` (cell_seconds merged element-wise).
+void accumulate_stats(PassStats& total, const PassStats& pass);
+
+/// Publishes the scheduler counters for this rank into MetricsRegistry
+/// (sched.policy, sched.tasks_executed, sched.steals_attempted,
+/// sched.steals_succeeded, sched.queue_depth_max). Counters are recorded on
+/// agent ranks only so job-wide sums do not multiply by group width.
+void export_pass_metrics(int trace_rank, const GroupInfo& info,
+                         SchedulePolicy policy, const PassStats& stats);
+
+}  // namespace uoi::sched

@@ -1,0 +1,38 @@
+#include "sched/task_grid.hpp"
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace uoi::sched {
+
+TaskGrid::TaskGrid(std::size_t n_bootstraps, std::size_t n_lambdas,
+                   std::size_t n_chains, std::uint64_t master_seed)
+    : n_bootstraps_(n_bootstraps),
+      n_lambdas_(n_lambdas),
+      n_chains_(n_chains),
+      master_seed_(master_seed) {
+  UOI_CHECK(n_chains_ >= 1, "task grid needs at least one lambda chain");
+  UOI_CHECK(n_chains_ <= n_lambdas_ || n_lambdas_ == 0,
+            "more lambda chains than lambdas");
+}
+
+std::vector<std::size_t> TaskGrid::chain_lambdas(std::size_t chain) const {
+  UOI_CHECK(chain < n_chains_, "chain index out of range");
+  std::vector<std::size_t> out;
+  out.reserve(n_lambdas_ / n_chains_ + 1);
+  for (std::size_t j = chain; j < n_lambdas_; j += n_chains_) {
+    out.push_back(j);
+  }
+  return out;
+}
+
+std::uint64_t TaskGrid::cell_seed(std::size_t id) const {
+  // Two SplitMix64 steps decorrelate (seed, id) pairs; the golden-ratio
+  // stride keeps adjacent ids far apart in state space.
+  std::uint64_t state =
+      master_seed_ + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(id) + 1);
+  (void)support::splitmix64(state);
+  return support::splitmix64(state);
+}
+
+}  // namespace uoi::sched

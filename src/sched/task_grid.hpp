@@ -1,0 +1,63 @@
+#pragma once
+// The (bootstrap x lambda-chain) task grid shared by every distributed UoI
+// driver. A *cell* is one schedulable unit: bootstrap k paired with chain c,
+// where chain c owns the lambda indices {j : j % n_chains == c} in grid
+// order. Warm starts flow along a chain (cold at its head), so a cell is
+// internally sequential but independent of every other cell — which is what
+// makes placement a pure performance decision.
+//
+// Determinism contract: the chain structure is fixed once per driver entry
+// (n_chains = the entry layout's P_lambda) and NEVER changes afterwards,
+// even across fault recovery shrinks. Cell seeds are derived from the
+// master seed and the cell id alone — never from the executing rank or
+// group — so any placement, steal order, or replay executes bit-identical
+// work (see DESIGN.md on cell-id-keyed seeds).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace uoi::sched {
+
+struct TaskCell {
+  std::size_t bootstrap = 0;  ///< resample index k
+  std::size_t chain = 0;      ///< lambda-chain index c
+};
+
+class TaskGrid {
+ public:
+  TaskGrid(std::size_t n_bootstraps, std::size_t n_lambdas,
+           std::size_t n_chains, std::uint64_t master_seed);
+
+  [[nodiscard]] std::size_t n_bootstraps() const { return n_bootstraps_; }
+  [[nodiscard]] std::size_t n_lambdas() const { return n_lambdas_; }
+  [[nodiscard]] std::size_t n_chains() const { return n_chains_; }
+  [[nodiscard]] std::size_t n_cells() const {
+    return n_bootstraps_ * n_chains_;
+  }
+
+  [[nodiscard]] std::size_t cell_id(std::size_t bootstrap,
+                                    std::size_t chain) const {
+    return bootstrap * n_chains_ + chain;
+  }
+  [[nodiscard]] TaskCell cell(std::size_t id) const {
+    return {id / n_chains_, id % n_chains_};
+  }
+
+  /// Lambda indices owned by chain c, ascending: {j : j % n_chains == c}.
+  [[nodiscard]] std::vector<std::size_t> chain_lambdas(
+      std::size_t chain) const;
+
+  /// Deterministic per-cell seed: SplitMix64 over (master_seed, cell id).
+  /// Keyed by cell id — not rank, not group — so any scheduler-internal
+  /// randomness stays bit-identical under every placement.
+  [[nodiscard]] std::uint64_t cell_seed(std::size_t id) const;
+
+ private:
+  std::size_t n_bootstraps_;
+  std::size_t n_lambdas_;
+  std::size_t n_chains_;
+  std::uint64_t master_seed_;
+};
+
+}  // namespace uoi::sched

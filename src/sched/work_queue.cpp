@@ -1,0 +1,49 @@
+#include "sched/work_queue.hpp"
+
+#include "support/error.hpp"
+
+namespace uoi::sched {
+
+TicketBoard::TicketBoard(sim::Comm& comm, int n_groups,
+                         sim::RetryOptions retry)
+    : comm_(&comm), retry_(retry), n_groups_(n_groups) {
+  UOI_CHECK(n_groups_ >= 1, "ticket board needs at least one group");
+  auto holder = std::make_shared<std::vector<double>>();
+  if (comm.rank() == 0) {
+    holder->assign(static_cast<std::size_t>(n_groups_), 0.0);
+  }
+  // Publish rank 0's allocation the same way Window shares its state: the
+  // encoded pointer travels by bcast and the closing barrier keeps the
+  // source alive until every rank copied the shared_ptr.
+  std::size_t encoded = reinterpret_cast<std::size_t>(&holder);
+  comm.bcast(std::span<std::size_t>(&encoded, 1), 0);
+  const auto* source =
+      reinterpret_cast<const std::shared_ptr<std::vector<double>>*>(encoded);
+  counters_ = *source;
+  comm.barrier();
+  window_.emplace(comm, comm.rank() == 0
+                            ? std::span<double>(*counters_)
+                            : std::span<double>());
+}
+
+std::size_t TicketBoard::take_ticket(int group) {
+  UOI_CHECK(group >= 0 && group < n_groups_, "ticket group out of range");
+  double previous = 0.0;
+  sim::retry_onesided(*comm_, retry_, [&] {
+    previous = window_->fetch_add(0, static_cast<std::size_t>(group), 1.0);
+  });
+  return static_cast<std::size_t>(previous);
+}
+
+std::size_t TicketBoard::peek(int group) {
+  UOI_CHECK(group >= 0 && group < n_groups_, "ticket group out of range");
+  double value = 0.0;
+  sim::retry_onesided(*comm_, retry_, [&] {
+    value = window_->fetch_add(0, static_cast<std::size_t>(group), 0.0);
+  });
+  return static_cast<std::size_t>(value);
+}
+
+void TicketBoard::fence() { window_->fence(); }
+
+}  // namespace uoi::sched

@@ -1,0 +1,57 @@
+#pragma once
+// Distributed work queue over simcluster one-sided windows: one monotonic
+// ticket counter per task group, hosted on rank 0 of the enclosing
+// communicator. A group's agent pops its own queue — and steals from
+// victims — through the same fetch-and-add counter, so every ticket is
+// claimed exactly once no matter how pops and steals interleave.
+//
+// All accesses (take_ticket and peek) go through Window::fetch_add, which
+// serializes on the target's per-rank lock: the board is data-race free
+// (covered by the TSan-labeled queue suite). The counter storage is shared
+// between every rank's board instance, so a rank unwinding through fault
+// recovery cannot free memory a surviving thief is still decrementing.
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "simcluster/comm.hpp"
+#include "simcluster/fault.hpp"
+#include "simcluster/window.hpp"
+
+namespace uoi::sched {
+
+class TicketBoard {
+ public:
+  /// Collective over `comm`: rank 0 hosts one zero-initialized counter per
+  /// group. Transient one-sided faults are retried under `retry`.
+  TicketBoard(sim::Comm& comm, int n_groups, sim::RetryOptions retry);
+
+  [[nodiscard]] int n_groups() const { return n_groups_; }
+
+  /// Atomically claims the next ticket from `group`'s counter and returns
+  /// its index (monotonic from 0). The caller compares the index against
+  /// the group's queue length; an index past the end means the queue is
+  /// drained (the counter keeps counting — that is harmless).
+  std::size_t take_ticket(int group);
+
+  /// Current counter value without claiming (a zero-delta fetch_add, so the
+  /// read takes the same lock as concurrent claims).
+  std::size_t peek(int group);
+
+  /// Barrier over the enclosing communicator. Call once per pass after the
+  /// drain loop so no rank tears down comm-level state while a peer is
+  /// still polling.
+  void fence();
+
+ private:
+  sim::Comm* comm_;
+  sim::RetryOptions retry_;
+  int n_groups_;
+  /// Host allocation, shared by every rank's board (see header comment).
+  std::shared_ptr<std::vector<double>> counters_;
+  std::optional<sim::Window> window_;
+};
+
+}  // namespace uoi::sched

@@ -594,6 +594,8 @@ Comm Comm::split(int color, int key) {
 
 Comm Comm::dup() { return split(0, rank_); }
 
+void Comm::revoke() { context_->revoke(); }
+
 Comm Comm::shrink() {
   auto registry = context_->registry();
   support::TraceScope span("shrink", support::TraceCategory::kRecovery,
@@ -669,6 +671,17 @@ int Comm::alive_size() const {
 
 void Comm::set_fault_plan(std::shared_ptr<const FaultPlan> plan) {
   fault_plan_ = std::move(plan);
+}
+
+void Comm::probe_failures() {
+  if (context_->revoked()) {
+    raise_rank_failed("probe on a revoked communicator");
+  }
+  const std::uint64_t seq = context_->registry()->fail_seq();
+  if (seq > acknowledged_fail_seq_) {
+    acknowledged_fail_seq_ = seq;
+    raise_rank_failed("peer rank failure detected by a failure probe");
+  }
 }
 
 void Comm::sync() {

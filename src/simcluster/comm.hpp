@@ -188,6 +188,14 @@ class Comm {
   /// and starts with all past failures acknowledged.
   [[nodiscard]] Comm shrink();
 
+  /// Marks the communicator unusable (MPI_Comm_revoke): every rank blocked
+  /// in — or later entering — one of its collectives raises RankFailedError
+  /// instead of waiting. Local, idempotent, no communication. Drivers call
+  /// this when they give up on recovery, so peers still blocked in a
+  /// collective follow the abort instead of waiting forever for a rank
+  /// that already unwound.
+  void revoke();
+
   /// This rank's job-wide (root communicator) rank.
   [[nodiscard]] int global_rank() const;
 
@@ -195,6 +203,16 @@ class Comm {
   [[nodiscard]] bool is_alive(int rank) const;
   [[nodiscard]] std::vector<int> alive_ranks() const;
   [[nodiscard]] int alive_size() const;
+
+  /// Non-collective failure probe: raises RankFailedError if the job-wide
+  /// failure sequence has advanced past what this communicator already
+  /// acknowledged (the same snapshot check every collective performs at its
+  /// barrier). Callers polling one-sided state (e.g. the scheduler's work
+  /// queue) use this so a peer death cannot go unnoticed between
+  /// collectives. Raising is local to this rank — call it from code that is
+  /// prepared to unwind symmetrically (or whose group mates will observe the
+  /// same failure at their next collective).
+  void probe_failures();
 
   /// Installs a shared fault plan (nullptr clears). Inherited across
   /// split()/dup()/shrink() like the latency injector.

@@ -130,6 +130,29 @@ void Window::accumulate_add(int target, std::size_t offset,
   comm_->account_onesided(in.size_bytes(), watch.seconds());
 }
 
+double Window::fetch_add(int target, std::size_t offset, double delta) {
+  UOI_CHECK(target >= 0 && target < comm_->size(),
+            "fetch_add target out of range");
+  if (!comm_->is_alive(target)) {
+    comm_->raise_rank_failed("one-sided fetch_add to a failed rank");
+  }
+  const auto action = comm_->onesided_fault_point();
+  const auto t = static_cast<std::size_t>(target);
+  UOI_CHECK_DIMS(offset + 1 <= state_->sizes[t],
+                 "one-sided fetch_add out of the target buffer's range");
+  support::Stopwatch watch;
+  detail::busy_wait_seconds(action.delay_seconds);
+  double previous;
+  {
+    std::lock_guard<std::mutex> lock(state_->locks[t]);
+    double* cell = state_->bases[t] + offset;
+    previous = *cell;
+    *cell += delta;
+  }
+  comm_->account_onesided(sizeof(double), watch.seconds());
+  return previous;
+}
+
 void Window::fence() { comm_->barrier(); }
 
 }  // namespace uoi::sim

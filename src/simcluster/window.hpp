@@ -52,6 +52,13 @@ class Window {
   void accumulate_add(int target, std::size_t offset,
                       std::span<const double> in);
 
+  /// Atomically adds `delta` to the single double at `offset` in `target`'s
+  /// buffer and returns the value it held before the add (MPI_Fetch_and_op
+  /// with MPI_SUM). Injected transient faults fire before the mutation, so
+  /// wrapping this call in retry_onesided never double-applies the delta.
+  /// Corruption injection is ignored: ticket counters must stay exact.
+  double fetch_add(int target, std::size_t offset, double delta);
+
   /// Epoch boundary: a barrier that makes all prior one-sided operations
   /// visible to every rank.
   void fence();

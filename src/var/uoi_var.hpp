@@ -58,6 +58,8 @@ struct UoiVarOptions {
   /// failure, retry budget for transient one-sided faults, and optional
   /// selection checkpointing (see core::UoiRecoveryOptions).
   uoi::core::UoiRecoveryOptions recovery;
+  /// Distributed-driver task placement (see core::UoiLassoOptions::schedule).
+  uoi::sched::SchedulePolicy schedule = uoi::sched::SchedulePolicy::kAuto;
 };
 
 struct UoiVarResult {

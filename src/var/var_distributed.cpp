@@ -8,8 +8,12 @@
 #include <vector>
 
 #include "core/checkpoint.hpp"
+#include "core/distributed_common.hpp"
 #include "io/h5lite.hpp"
 #include "linalg/blas.hpp"
+#include "sched/cost_model.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/task_grid.hpp"
 #include "solvers/consensus_loop.hpp"
 #include "solvers/ols.hpp"
 #include "solvers/ridge_system.hpp"
@@ -271,15 +275,6 @@ bool owns_equation(std::size_t e, int c_ranks, int c_rank) {
   return static_cast<int>(e % static_cast<std::size_t>(c_ranks)) == c_rank;
 }
 
-/// Largest divisor of `size` not exceeding `cap` (at least 1): the
-/// bootstrap-group fallback after a shrink.
-int largest_divisor_at_most(int size, int cap) {
-  for (int d = std::min(cap, size); d > 1; --d) {
-    if (size % d == 0) return d;
-  }
-  return 1;
-}
-
 }  // namespace
 
 UoiVarDistributedResult uoi_var_distributed(
@@ -287,9 +282,8 @@ UoiVarDistributedResult uoi_var_distributed(
     const uoi::core::UoiParallelLayout& layout, int n_readers) {
   UOI_CHECK(layout.bootstrap_groups >= 1 && layout.lambda_groups >= 1,
             "layout group counts must be >= 1");
-  UOI_CHECK(comm.size() % (layout.bootstrap_groups * layout.lambda_groups) ==
-                0,
-            "communicator size must be divisible by P_B * P_lambda");
+  UOI_CHECK(comm.size() >= layout.bootstrap_groups * layout.lambda_groups,
+            "communicator smaller than P_B * P_lambda task groups");
 
   const std::size_t p = series_view.cols();
   const std::size_t d = options.order;
@@ -397,8 +391,27 @@ UoiVarDistributedResult uoi_var_distributed(
     }
   }
 
-  int pb = layout.bootstrap_groups;
-  int pl = layout.lambda_groups;
+  // ---- Scheduler state (same contract as uoi_lasso_distributed.cpp):
+  // chains are fixed at entry and survive shrinks; only the group count
+  // changes, into min(P_B * P_lambda, alive) near-even groups.
+  const int pb = layout.bootstrap_groups;
+  const int pl = layout.lambda_groups;
+  int n_groups = pb * pl;
+  const sched::SchedulePolicy policy =
+      sched::resolve_policy(options.schedule);
+  const std::size_t n_chains = std::max<std::size_t>(
+      1, std::min(static_cast<std::size_t>(pl), q));
+  const sched::TaskGrid selection_grid(b1, q, n_chains, options.seed);
+  const sched::TaskGrid estimation_grid(b2, q, n_chains, options.seed + 1);
+  const double pass_seconds_seed = sched::var_pass_seconds_estimate(
+      p, series.rows(), d, b1, b2, q, options.admm.max_iterations,
+      comm.size());
+  const std::vector<double> selection_costs =
+      sched::seeded_costs(selection_grid, model.lambdas, pass_seconds_seed);
+  std::vector<double> estimation_costs =
+      sched::seeded_costs(estimation_grid, model.lambdas, pass_seconds_seed);
+  sched::PassStats selection_stats;
+  bool estimation_costs_calibrated = false;
 
   uoi::sim::CommStats folded;
   uoi::sim::RecoveryStats folded_rec;
@@ -437,83 +450,125 @@ UoiVarDistributedResult uoi_var_distributed(
   };
 
   const auto run_selection = [&](Comm& c) {
-    const int c_ranks = c.size() / (pb * pl);
-    const int task_group = c.rank() / c_ranks;
-    const int task_rank = c.rank() % c_ranks;
-    const int b_group = task_group / pl;
-    const int l_group = task_group % pl;
-    Comm task_comm = c.split(task_group, c.rank());
-    const int group_readers = std::min(n_readers, c_ranks);
+    const auto tl =
+        uoi::core::detail::make_task_layout(c.rank(), c.size(), n_groups, 1);
+    Comm task_comm = c.split(tl.task_group, c.rank());
+    const sched::GroupInfo group_info{n_groups, tl.task_group, tl.task_rank,
+                                      pb, pl};
+    const int group_readers = std::min(n_readers, tl.c_ranks);
     try {
-      const std::size_t interval =
-          std::max<std::size_t>(1, recovery.checkpoint_interval);
-      for (std::size_t k = 0; k < b1; ++k) {
-        if (static_cast<int>(k % static_cast<std::size_t>(pb)) == b_group) {
-          std::vector<std::size_t> chain;
-          for (std::size_t j = 0; j < q; ++j) {
-            if (static_cast<int>(j % static_cast<std::size_t>(pl)) ==
-                    l_group &&
-                done_merged(k, j) == 0.0) {
-              chain.push_back(j);
+      // One cell = (bootstrap k, lambda chain). Readers construct the
+      // bootstrap sample's lag regression; compute ranks assemble their
+      // vectorized row blocks through the windows. The block and its
+      // factorizations are cached per bootstrap so consecutive chains of
+      // the same k reuse them.
+      std::size_t cached_k = b1;  // invalid sentinel
+      std::optional<VarLocalBlock> block;
+      std::optional<DistributedVarAdmmSolver> solver;
+      const auto execute = [&](const sched::TaskCell& task) {
+        const std::size_t k = task.bootstrap;
+        std::vector<std::size_t> chain;
+        for (std::size_t j : selection_grid.chain_lambdas(task.chain)) {
+          if (done_merged(k, j) == 0.0) chain.push_back(j);
+        }
+        if (chain.empty()) return;
+        if (cached_k != k) {
+          solver.reset();
+          LagRegression lag;
+          if (tl.task_rank < group_readers) {
+            const Matrix sample = block_bootstrap_sample(
+                series, var_bootstrap_options(options, /*stage=*/0, k));
+            lag = build_lag_regression(sample, d);
+          }
+          block = distributed_kron_vectorize(task_comm, lag, group_readers,
+                                             retry);
+          solver.emplace(task_comm, *block, options.admm);
+          cached_k = k;
+        }
+        uoi::solvers::DistributedAdmmResult previous;
+        bool have_previous = false;
+        // Committed atomically once the warm-start chain finished, so
+        // an interrupted chain reruns cold — replaying exactly the
+        // trajectory of a fault-free run.
+        Matrix staged(chain.size(), n_coeffs, 0.0);
+        for (std::size_t m = 0; m < chain.size(); ++m) {
+          auto fit = solver->solve(model.lambdas[chain[m]],
+                                   have_previous ? &previous : nullptr);
+          local_flops += fit.local_flops;
+          admm_iterations += fit.iterations;
+          admm_rho_updates += fit.rho_updates;
+          admm_allreduce_calls += fit.allreduce_calls;
+          admm_allreduce_bytes += fit.allreduce_bytes;
+          if (tl.task_rank == 0) {
+            auto row = staged.row(m);
+            for (std::size_t i = 0; i < n_coeffs; ++i) {
+              if (std::abs(fit.beta[i]) > options.support_tolerance) {
+                row[i] = 1.0;
+              }
             }
           }
-          if (!chain.empty()) {
-            // Readers construct the bootstrap sample's lag regression;
-            // compute ranks assemble their vectorized row blocks through
-            // the windows.
-            LagRegression lag;
-            if (task_rank < group_readers) {
-              const Matrix sample = block_bootstrap_sample(
-                  series, var_bootstrap_options(options, /*stage=*/0, k));
-              lag = build_lag_regression(sample, d);
-            }
-            const VarLocalBlock block = distributed_kron_vectorize(
-                task_comm, lag, group_readers, retry);
-
-            const DistributedVarAdmmSolver solver(task_comm, block,
-                                                  options.admm);
-            uoi::solvers::DistributedAdmmResult previous;
-            bool have_previous = false;
-            // Committed atomically once the warm-start chain finished, so
-            // an interrupted chain reruns cold — replaying exactly the
-            // trajectory of a fault-free run.
-            Matrix staged(chain.size(), n_coeffs, 0.0);
-            for (std::size_t m = 0; m < chain.size(); ++m) {
-              auto fit = solver.solve(model.lambdas[chain[m]],
-                                      have_previous ? &previous : nullptr);
-              local_flops += fit.local_flops;
-              admm_iterations += fit.iterations;
-              admm_rho_updates += fit.rho_updates;
-              admm_allreduce_calls += fit.allreduce_calls;
-              admm_allreduce_bytes += fit.allreduce_bytes;
-              if (task_rank == 0) {
-                auto row = staged.row(m);
-                for (std::size_t i = 0; i < n_coeffs; ++i) {
-                  if (std::abs(fit.beta[i]) > options.support_tolerance) {
-                    row[i] = 1.0;
-                  }
-                }
-              }
-              previous = std::move(fit);
-              have_previous = true;
-            }
-            if (task_rank == 0) {
-              for (std::size_t m = 0; m < chain.size(); ++m) {
-                auto dest = counts_local.row(chain[m]);
-                const auto src = staged.row(m);
-                for (std::size_t i = 0; i < n_coeffs; ++i) dest[i] += src[i];
-                done_local(k, chain[m]) = 1.0;
-              }
-            }
+          previous = std::move(fit);
+          have_previous = true;
+        }
+        if (tl.task_rank == 0) {
+          for (std::size_t m = 0; m < chain.size(); ++m) {
+            auto dest = counts_local.row(chain[m]);
+            const auto src = staged.row(m);
+            for (std::size_t i = 0; i < n_coeffs; ++i) dest[i] += src[i];
+            done_local(k, chain[m]) = 1.0;
           }
         }
-        if (checkpointing && (k + 1) % interval == 0) {
+      };
+
+      // Checkpoint epochs, placement planned once over the full pending
+      // pass (see uoi_lasso_distributed.cpp).
+      const std::size_t interval =
+          checkpointing
+              ? std::max<std::size_t>(1, recovery.checkpoint_interval)
+              : b1;
+      std::vector<std::size_t> pass_cells;
+      for (std::size_t k = 0; k < b1; ++k) {
+        for (std::size_t chain = 0; chain < n_chains; ++chain) {
+          bool pending = false;
+          for (std::size_t j : selection_grid.chain_lambdas(chain)) {
+            if (done_merged(k, j) == 0.0) {
+              pending = true;
+              break;
+            }
+          }
+          if (pending) pass_cells.push_back(selection_grid.cell_id(k, chain));
+        }
+      }
+      const auto placement = sched::plan_placement(
+          policy, selection_grid, pass_cells, selection_costs, group_info,
+          sched::group_widths(c.size(), n_groups));
+      sched::PassStats call_stats;
+      for (std::size_t k0 = 0; k0 < b1; k0 += interval) {
+        const std::size_t k1 = std::min(b1, k0 + interval);
+        auto epoch = placement;
+        std::size_t epoch_cells = 0;
+        for (auto& queue : epoch) {
+          std::erase_if(queue, [&](std::size_t id) {
+            const std::size_t k = selection_grid.cell(id).bootstrap;
+            return k < k0 || k >= k1;
+          });
+          epoch_cells += queue.size();
+        }
+        if (epoch_cells > 0) {
+          const auto pass = sched::run_pass(
+              c, task_comm, group_info, policy, selection_grid, epoch,
+              selection_costs, retry, execute);
+          sched::accumulate_stats(call_stats, pass);
+        }
+        if (checkpointing && k1 < b1) {
           merge(c);
           save(c);
         }
       }
       merge(c);  // the final commit doubles as the intersection's Reduce
       save(c);
+      sched::accumulate_stats(selection_stats, call_stats);
+      sched::export_pass_metrics(trace_rank, group_info, policy, call_stats);
       folded += task_comm.stats();
       folded_rec += task_comm.recovery_stats();
     } catch (const uoi::sim::RankFailedError&) {
@@ -524,40 +579,61 @@ UoiVarDistributedResult uoi_var_distributed(
   };
 
   const auto run_estimation = [&](Comm& c) {
-    const int c_ranks = c.size() / (pb * pl);
-    const int task_group = c.rank() / c_ranks;
-    const int task_rank = c.rank() % c_ranks;
-    const int b_group = task_group / pl;
-    const int l_group = task_group % pl;
-    Comm task_comm = c.split(task_group, c.rank());
+    const auto tl =
+        uoi::core::detail::make_task_layout(c.rank(), c.size(), n_groups, 1);
+    Comm task_comm = c.split(tl.task_group, c.rank());
+    const sched::GroupInfo group_info{n_groups, tl.task_group, tl.task_rank,
+                                      pb, pl};
     try {
-      // Parallelism: bootstraps over P_B, candidate supports over
-      // P_lambda, equations over the C ranks of each task group (the
-      // vectorized OLS decomposes exactly per equation).
+      // Refine the estimation placement once from the measured selection
+      // pass; the measurements are replicated (Allreduce-max) so every
+      // rank derives the identical calibrated plan.
+      if (!estimation_costs_calibrated &&
+          policy != sched::SchedulePolicy::kStatic) {
+        estimation_costs_calibrated = true;
+        if (selection_stats.cell_seconds.size() !=
+            selection_grid.n_cells()) {
+          selection_stats.cell_seconds.assign(selection_grid.n_cells(), 0.0);
+        }
+        c.allreduce(std::span<double>(selection_stats.cell_seconds.data(),
+                                      selection_stats.cell_seconds.size()),
+                    ReduceOp::kMax);
+        const auto calibration = sched::calibrate(
+            selection_grid, selection_costs, selection_stats.cell_seconds);
+        sched::apply_calibration(estimation_grid, calibration,
+                                 estimation_costs);
+        if (tl.task_rank == 0) {
+          support::MetricsRegistry::instance().set(
+              trace_rank, "sched.placement_error",
+              calibration.mean_abs_rel_error);
+        }
+      }
+
+      // Parallelism: (bootstrap, chain) cells over the task groups,
+      // equations over the C ranks of each group (the vectorized OLS
+      // decomposes exactly per equation).
       Matrix losses(b2, q, std::numeric_limits<double>::infinity());
       std::vector<Vector> computed_betas(b2 * q);  // this rank's equations
 
-      for (std::size_t k = 0; k < b2; ++k) {
-        if (static_cast<int>(k % static_cast<std::size_t>(pb)) != b_group) {
-          continue;
+      std::size_t cached_k = b2;  // invalid sentinel
+      LagRegression train, eval;
+      const auto execute = [&](const sched::TaskCell& cell) {
+        const std::size_t k = cell.bootstrap;
+        if (cached_k != k) {
+          const Matrix train_sample = block_bootstrap_sample(
+              series, var_bootstrap_options(options, /*stage=*/1, k));
+          const Matrix eval_sample = block_bootstrap_sample(
+              series, var_bootstrap_options(options, /*stage=*/2, k));
+          train = build_lag_regression(train_sample, d);
+          eval = build_lag_regression(eval_sample, d);
+          cached_k = k;
         }
-
-        const Matrix train_sample = block_bootstrap_sample(
-            series, var_bootstrap_options(options, /*stage=*/1, k));
-        const Matrix eval_sample = block_bootstrap_sample(
-            series, var_bootstrap_options(options, /*stage=*/2, k));
-        const LagRegression train = build_lag_regression(train_sample, d);
-        const LagRegression eval = build_lag_regression(eval_sample, d);
-
         std::vector<std::size_t> eq_support;
-        for (std::size_t j = 0; j < q; ++j) {
-          if (static_cast<int>(j % static_cast<std::size_t>(pl)) != l_group) {
-            continue;
-          }
+        for (std::size_t j : estimation_grid.chain_lambdas(cell.chain)) {
           Vector beta_local(n_coeffs, 0.0);
           double sse[2] = {0.0, 0.0};  // (sum of squared errors, row count)
           for (std::size_t e = 0; e < p; ++e) {
-            if (!owns_equation(e, c_ranks, task_rank)) continue;
+            if (!owns_equation(e, tl.c_ranks, tl.task_rank)) continue;
             eq_support.clear();
             for (const std::size_t cc :
                  model.candidate_supports[j].indices()) {
@@ -588,15 +664,29 @@ UoiVarDistributedResult uoi_var_distributed(
               model.candidate_supports[j].size());
           computed_betas[k * q + j] = std::move(beta_local);
         }
-      }
+      };
+
+      std::vector<std::size_t> cells(estimation_grid.n_cells());
+      for (std::size_t i = 0; i < cells.size(); ++i) cells[i] = i;
+      const auto placement = sched::plan_placement(
+          policy, estimation_grid, cells, estimation_costs, group_info,
+          sched::group_widths(c.size(), n_groups));
+      const auto pass = sched::run_pass(
+          c, task_comm, group_info, policy, estimation_grid, placement,
+          estimation_costs, retry, execute);
+      sched::export_pass_metrics(trace_rank, group_info, policy, pass);
 
       c.allreduce(std::span<double>(losses.data(), losses.size()),
                   ReduceOp::kMin);
 
       model.chosen_support_per_bootstrap.assign(b2, 0);
       model.best_loss_per_bootstrap.assign(b2, 0.0);
-      Vector beta_sum(n_coeffs, 0.0);
-      Vector freq_sum(n_coeffs, 0.0);
+      // winners(k, :) is assembled globally: each rank of the owning task
+      // group deposits its disjoint equations of the winner, and one
+      // sum-reduction replicates the matrix — every element has exactly
+      // one nonzero contributor, so the sum is exact and the later
+      // aggregation is placement-independent (fixed bootstrap order).
+      Matrix winners(b2, n_coeffs, 0.0);
       for (std::size_t k = 0; k < b2; ++k) {
         std::size_t best_j = 0;
         double best_loss = losses(k, 0);
@@ -608,21 +698,26 @@ UoiVarDistributedResult uoi_var_distributed(
         }
         model.chosen_support_per_bootstrap[k] = best_j;
         model.best_loss_per_bootstrap[k] = best_loss;
-        // Each rank of the owning task group holds disjoint equations of
-        // the winner, so summing every rank's copy assembles the full
-        // estimate.
         if (!computed_betas[k * q + best_j].empty()) {
           const auto& beta = computed_betas[k * q + best_j];
-          for (std::size_t i = 0; i < n_coeffs; ++i) {
-            beta_sum[i] += beta[i];
-            if (std::abs(beta[i]) > options.support_tolerance) {
-              freq_sum[i] += 1.0;
-            }
+          auto row = winners.row(k);
+          for (std::size_t i = 0; i < n_coeffs; ++i) row[i] = beta[i];
+        }
+      }
+      c.allreduce(std::span<double>(winners.data(), winners.size()),
+                  ReduceOp::kSum);
+
+      Vector beta_sum(n_coeffs, 0.0);
+      Vector freq_sum(n_coeffs, 0.0);
+      for (std::size_t k = 0; k < b2; ++k) {
+        const auto row = winners.row(k);
+        for (std::size_t i = 0; i < n_coeffs; ++i) {
+          beta_sum[i] += row[i];
+          if (std::abs(row[i]) > options.support_tolerance) {
+            freq_sum[i] += 1.0;
           }
         }
       }
-      c.allreduce(beta_sum, ReduceOp::kSum);
-      c.allreduce(freq_sum, ReduceOp::kSum);
       model.selection_frequency.assign(n_coeffs, 0.0);
       for (std::size_t i = 0; i < n_coeffs; ++i) {
         model.selection_frequency[i] = freq_sum[i] / static_cast<double>(b2);
@@ -686,7 +781,13 @@ UoiVarDistributedResult uoi_var_distributed(
       run_estimation(*active);
       break;
     } catch (const uoi::sim::RankFailedError&) {
-      if (attempts_left-- <= 0) throw;
+      if (attempts_left-- <= 0) {
+        // Give up symmetrically: uneven groups detect a death at different
+        // collectives, so a rank that exits here could leave a peer blocked
+        // in a comm-wide barrier forever. Revoking wakes it to follow.
+        active->revoke();
+        throw;
+      }
       UOI_LOG_WARN.field("attempts_left", attempts_left)
           << "rank failure in distributed UoI_VAR; shrinking and resuming";
       Comm next = active->shrink();
@@ -696,8 +797,7 @@ UoiVarDistributedResult uoi_var_distributed(
       }
       owned = std::move(next);
       active = &*owned;
-      pl = 1;
-      pb = largest_divisor_at_most(active->size(), layout.bootstrap_groups);
+      n_groups = std::min(n_groups, active->size());
       merge(*active);
       if (!selection_complete) {
         std::uint64_t missing = 0;

@@ -291,12 +291,25 @@ INSTANTIATE_TEST_SUITE_P(
                       LayoutCase{8, 2, 2}, LayoutCase{8, 4, 1},
                       LayoutCase{6, 3, 2}));
 
-TEST(DistributedUoi, RejectsIndivisibleLayout) {
+TEST(DistributedUoi, RejectsLayoutLargerThanCommunicator) {
   const auto data = uoi::data::make_regression({});
   uoi::sim::Cluster::run(4, [&](uoi::sim::Comm& comm) {
     EXPECT_THROW((void)uoi::core::uoi_lasso_distributed(
-                     comm, data.x, data.y, fast_options(), {3, 1}),
+                     comm, data.x, data.y, fast_options(), {5, 1}),
                  uoi::support::InvalidArgument);
+  });
+}
+
+// Indivisible layouts are legal since the remainder-tolerant group split:
+// 4 ranks under {3, 1} run as three groups of widths {2, 1, 1} and must
+// agree with the serial reference exactly like any even layout.
+TEST(DistributedUoi, AcceptsIndivisibleLayout) {
+  const auto data = uoi::data::make_regression({});
+  const auto serial = uoi::core::UoiLasso(fast_options()).fit(data.x, data.y);
+  uoi::sim::Cluster::run(4, [&](uoi::sim::Comm& comm) {
+    const auto result = uoi::core::uoi_lasso_distributed(
+        comm, data.x, data.y, fast_options(), {3, 1});
+    EXPECT_EQ(result.model.support.indices(), serial.support.indices());
   });
 }
 

@@ -188,9 +188,13 @@ TEST(RunReport, SyntheticImbalanceAndCriticalPath) {
 
   // Serialized forms carry the schema marker and the headline numbers.
   const std::string json = report.to_json();
-  EXPECT_NE(json.find("\"schema\":\"uoi-run-report-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"uoi-run-report-v2\""), std::string::npos);
   EXPECT_NE(json.find("\"straggler_rank\":0"), std::string::npos);
   EXPECT_NE(json.find("\"method\":\"events\""), std::string::npos);
+  // No sched.* metrics fed in -> v1-compatible document: the scheduler
+  // section is present but flagged absent, every v1 key unchanged.
+  EXPECT_NE(json.find("\"scheduler\":{\"present\":false}"),
+            std::string::npos);
   const std::string text = report.to_text();
   EXPECT_NE(text.find("load imbalance"), std::string::npos);
   EXPECT_NE(text.find("critical path"), std::string::npos);
@@ -216,7 +220,45 @@ TEST(RunReport, EmptyInputsProduceEmptyReport) {
   EXPECT_EQ(report.n_ranks, 0);
   EXPECT_EQ(report.straggler_rank, -1);
   EXPECT_TRUE(report.latency.empty());
-  EXPECT_NE(report.to_json().find("uoi-run-report-v1"), std::string::npos);
+  EXPECT_NE(report.to_json().find("uoi-run-report-v2"), std::string::npos);
+}
+
+TEST(RunReport, SchedulerSectionAggregatesAgentCounters) {
+  ReportInputs inputs;
+  inputs.wall_seconds = 1.0;
+  // Two agent ranks (0 and 2) exporting sched counters; rank 2 is the
+  // busier agent and also carries the calibration error metric.
+  using Entry = uoi::support::MetricsRegistry::Entry;
+  inputs.metrics = std::vector<Entry>{
+      {0, "sched.policy", 3.0},  // kWorkSteal
+      {0, "sched.tasks_executed", 4.0},
+      {0, "sched.steals_attempted", 2.0},
+      {0, "sched.steals_succeeded", 1.0},
+      {0, "sched.queue_depth_max", 5.0},
+      {2, "sched.policy", 3.0},
+      {2, "sched.tasks_executed", 8.0},
+      {2, "sched.steals_attempted", 1.0},
+      {2, "sched.steals_succeeded", 1.0},
+      {2, "sched.queue_depth_max", 7.0},
+      {2, "sched.placement_error", 0.25},
+  };
+  const RunReport report = build_run_report(inputs);
+  EXPECT_TRUE(report.scheduler.present);
+  EXPECT_EQ(report.scheduler.policy, "work_steal");
+  EXPECT_EQ(report.scheduler.agent_ranks, 2);
+  EXPECT_DOUBLE_EQ(report.scheduler.tasks_executed, 12.0);
+  EXPECT_DOUBLE_EQ(report.scheduler.steals_attempted, 3.0);
+  EXPECT_DOUBLE_EQ(report.scheduler.steals_succeeded, 2.0);
+  EXPECT_DOUBLE_EQ(report.scheduler.queue_depth_max, 7.0);
+  EXPECT_NEAR(report.scheduler.tasks_max_over_mean, 8.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(report.scheduler.placement_error, 0.25);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"scheduler\":{\"present\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"policy\":\"work_steal\""), std::string::npos);
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("scheduler:"), std::string::npos);
+  EXPECT_NE(text.find("work_steal"), std::string::npos);
 }
 
 TEST(RunReport, WriteRunReportFailsWithIoError) {

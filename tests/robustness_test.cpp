@@ -523,6 +523,12 @@ std::uint64_t collective_calls(const uoi::sim::CommStats& stats) {
 
 uoi::core::UoiLassoOptions lasso_options() {
   uoi::core::UoiLassoOptions options;
+  // Every FaultRecovery test below positions its kill by counting a clean
+  // run's collective calls, which is only reproducible under a
+  // deterministic schedule — work stealing makes the collective sequence
+  // timing-dependent. Pin the policy so the suite is independent of
+  // UOI_SCHED_POLICY.
+  options.schedule = uoi::sched::SchedulePolicy::kCostLpt;
   options.n_selection_bootstraps = 5;
   options.n_estimation_bootstraps = 3;
   options.n_lambdas = 5;
@@ -729,6 +735,9 @@ TEST(FaultRecovery, VarRankKilledMidSelectionMatchesFaultFree) {
   const Matrix series = uoi::var::simulate(truth, sim);
 
   uoi::var::UoiVarOptions options;
+  // Deterministic schedule for the same reason as lasso_options(): the
+  // kill point below counts a clean run's collectives.
+  options.schedule = uoi::sched::SchedulePolicy::kCostLpt;
   options.n_selection_bootstraps = 4;
   options.n_estimation_bootstraps = 2;
   options.n_lambdas = 4;

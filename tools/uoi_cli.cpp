@@ -60,6 +60,7 @@
 #include "io/csv.hpp"
 #include "report/run_report.hpp"
 #include "report/trace_reader.hpp"
+#include "sched/schedule_policy.hpp"
 #include "simcluster/cluster.hpp"
 #include "support/format.hpp"
 #include "support/log.hpp"
@@ -95,6 +96,8 @@ struct Args {
   std::string inject_fault;  ///< "rank@step", empty = no fault
   int max_retries = 4;
   int ranks = 4;
+  /// kAuto defers to $UOI_SCHED_POLICY (default cost_lpt).
+  uoi::sched::SchedulePolicy sched_policy = uoi::sched::SchedulePolicy::kAuto;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -105,7 +108,8 @@ struct Args {
                "[--tolerance T] [--dot FILE] [--json FILE] [--save-model FILE] "
                "[--forecast H] [--seed S] [--checkpoint-path FILE] "
                "[--trace-json FILE] [--report-json FILE] "
-               "[--ranks P] [--inject-fault RANK@STEP] [--max-retries N]\n"
+               "[--ranks P] [--inject-fault RANK@STEP] [--max-retries N] "
+               "[--sched-policy static|cost_lpt|work_steal]\n"
                "       %s analyze TRACE.json [--report-json FILE]\n",
                argv0, argv0);
   std::exit(2);
@@ -160,6 +164,12 @@ Args parse_args(int argc, char** argv) {
       args.max_retries = static_cast<int>(std::strtol(value(), nullptr, 10));
     } else if (flag == "--ranks") {
       args.ranks = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (flag == "--sched-policy") {
+      const char* name = value();
+      if (!uoi::sched::policy_from_string(name, args.sched_policy)) {
+        std::fprintf(stderr, "unknown --sched-policy: %s\n", name);
+        usage(argv[0]);
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       usage(argv[0]);
@@ -197,6 +207,7 @@ int run_lasso(const Args& args) {
   options.n_lambdas = args.n_lambdas;
   options.fit_intercept = true;
   options.seed = args.seed;
+  options.schedule = args.sched_policy;
   const auto fit = [&] {
     uoi::support::TraceScope span("uoi-lasso-fit",
                                   uoi::support::TraceCategory::kComputation);
@@ -246,6 +257,7 @@ int run_logistic(const Args& args) {
   options.n_estimation_bootstraps = args.b2;
   options.n_lambdas = args.n_lambdas;
   options.seed = args.seed;
+  options.schedule = args.sched_policy;
   const auto fit = [&] {
     uoi::support::TraceScope span("uoi-logistic-fit",
                                   uoi::support::TraceCategory::kComputation);
@@ -279,6 +291,7 @@ int run_var(const Args& args) {
   options.n_estimation_bootstraps = args.b2;
   options.n_lambdas = args.n_lambdas;
   options.seed = args.seed;
+  options.schedule = args.sched_policy;
   const auto fit = [&] {
     uoi::support::TraceScope span("uoi-var-fit",
                                   uoi::support::TraceCategory::kComputation);
@@ -371,6 +384,7 @@ int run_demo(const Args& args) {
   options.n_estimation_bootstraps = args.b2;
   options.n_lambdas = args.n_lambdas;
   options.seed = args.seed;
+  options.schedule = args.sched_policy;
   const auto fit = [&] {
     uoi::support::TraceScope span("uoi-var-fit",
                                   uoi::support::TraceCategory::kComputation);
@@ -410,6 +424,7 @@ int run_faultdemo(const Args& args) {
   options.n_estimation_bootstraps = args.b2;
   options.n_lambdas = args.n_lambdas;
   options.seed = args.seed;
+  options.schedule = args.sched_policy;
   options.recovery.checkpoint_path = args.checkpoint_path;
   options.recovery.checkpoint_interval = 1;
   options.recovery.onesided_max_attempts = args.max_retries;
