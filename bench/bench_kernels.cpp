@@ -64,6 +64,53 @@ void BM_Gemv(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemv)->Arg(256)->Arg(1024);
 
+void BM_SyrkAtA(benchmark::State& state) {
+  // The Gram build A'A — the dominant setup cost the factorization cache
+  // amortizes across lambda chains (blocked, packed, 2x4 micro-kernel).
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(4 * p, p, 15);
+  Matrix gram(p, p);
+  for (auto _ : state) {
+    uoi::linalg::syrk_at_a(1.0, a, 0.0, gram);
+    benchmark::DoNotOptimize(gram.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(uoi::linalg::gemm_flops(p, 4 * p, p)) / 2.0 * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SyrkAtA)->Arg(64)->Arg(160)->Arg(256);
+
+void BM_CholeskyFactorOnly(benchmark::State& state) {
+  // The rho-refactorization cost: with the Gram cached, an adaptive-rho
+  // step pays exactly this (shift constructor), never the syrk above.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n + 8, n, 16);
+  Matrix spd(n, n);
+  uoi::linalg::syrk_at_a(1.0, a, 0.0, spd);
+  for (auto _ : state) {
+    const uoi::linalg::CholeskyFactor factor(spd, 1.0);
+    benchmark::DoNotOptimize(factor.lower().data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(uoi::linalg::cholesky_flops(n)) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_CholeskyFactorOnly)->Arg(64)->Arg(160)->Arg(256);
+
+void BM_Dist2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Vector a = random_vector(n, 17);
+  const Vector b = random_vector(n, 18);
+  for (auto _ : state) {
+    double d = uoi::linalg::dist2(a, b);
+    benchmark::DoNotOptimize(d);
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      3.0 * static_cast<double>(n) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Dist2)->Arg(1024)->Arg(16384);
+
 void BM_CholeskyFactorAndSolve(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Matrix a = random_matrix(n + 8, n, 5);

@@ -12,6 +12,7 @@
 #include "solvers/distributed_admm.hpp"
 #include "solvers/lambda_grid.hpp"
 #include "solvers/ols.hpp"
+#include "solvers/solver_cache.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
 #include "support/trace.hpp"
@@ -37,6 +38,25 @@ UoiLassoOptions resample_options(const UoiElasticNetOptions& options) {
   out.seed = options.seed;
   return out;
 }
+
+// Cached per-bootstrap state (see uoi_lasso_distributed.cpp): `bytes()`
+// must depend on the GLOBAL problem shape only, because a miss runs the
+// collective solver constructor and divergent hit/miss decisions across a
+// task group would deadlock it.
+struct EnetSelectionEntry {
+  Matrix x_local;
+  Vector y_local;
+  std::optional<uoi::solvers::DistributedLassoAdmmSolver> solver;
+  std::size_t bytes_estimate = 0;
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_estimate; }
+};
+
+struct EnetEstimationEntry {
+  Matrix x_train, x_eval;
+  Vector y_train, y_eval;
+  std::size_t bytes_estimate = 0;
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_estimate; }
+};
 
 }  // namespace
 
@@ -94,6 +114,13 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
       sched::seeded_costs(estimation_grid, cell_lambdas, pass_seconds_seed);
   const auto widths = sched::group_widths(comm.size(), n_groups);
   const uoi::sim::RetryOptions retry;
+  const std::size_t cache_budget =
+      uoi::solvers::resolve_solver_cache_bytes(options.solver_cache_mb);
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t setup_flops_charged = 0;
+  std::uint64_t setup_flops_amortized = 0;
 
   support::Stopwatch phase_watch;
   const auto comm_seconds = [&] {
@@ -106,30 +133,47 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
   Matrix counts(n_cells, p, 0.0);
   sched::PassStats selection_stats;
   {
-    // Per-bootstrap gather + factorization cache: consecutive cells of the
-    // same bootstrap reuse them, and cost_lpt queues are sorted by cell id
-    // precisely to keep those runs adjacent.
-    std::size_t cached_k = b1;  // invalid sentinel
-    Matrix x_local;
-    Vector y_local;
-    std::optional<uoi::solvers::DistributedLassoAdmmSolver> solver;
+    // Per-bootstrap gather + factorization cache: every cell of the same
+    // bootstrap reuses them — adjacent cells as before, but now also
+    // revisits after interleaved work-stolen cells of other bootstraps,
+    // which the old single-slot sentinel threw away.
+    uoi::solvers::BootstrapCache cache(cache_budget);
     const auto execute = [&](const sched::TaskCell& cell) {
       const std::size_t k = cell.bootstrap;
-      if (cached_k != k) {
-        support::Stopwatch distr_watch;
-        const auto idx = selection_bootstrap_indices(resampling, n, k);
-        gather_local_block(
-            x, y, idx, block_slice(idx.size(), task.c_ranks, task.task_rank),
-            x_local, y_local);
-        out.breakdown.distribution_seconds += distr_watch.seconds();
-        solver.emplace(task_comm, x_local, y_local, options.admm);
-        cached_k = k;
+      const std::uint64_t hits_before = cache.stats().hits;
+      const auto entry = cache.get_or_build<EnetSelectionEntry>(
+          uoi::solvers::kSelectionPass, k, [&] {
+            auto fresh = std::make_shared<EnetSelectionEntry>();
+            support::Stopwatch distr_watch;
+            const auto idx = selection_bootstrap_indices(resampling, n, k);
+            gather_local_block(
+                x, y, idx,
+                block_slice(idx.size(), task.c_ranks, task.task_rank),
+                fresh->x_local, fresh->y_local);
+            out.breakdown.distribution_seconds += distr_watch.seconds();
+            {
+              support::TraceScope gram_span("selection-gram",
+                                            support::TraceCategory::kGram,
+                                            trace_rank);
+              support::Stopwatch gram_watch;
+              fresh->solver.emplace(task_comm, fresh->x_local, fresh->y_local,
+                                    options.admm);
+              out.breakdown.gram_seconds += gram_watch.seconds();
+            }
+            fresh->bytes_estimate = (n * (p + 1) + p * p) * sizeof(double);
+            return fresh;
+          });
+      const uoi::solvers::DistributedLassoAdmmSolver& solver = *entry->solver;
+      if (cache.stats().hits > hits_before) {
+        setup_flops_amortized += solver.setup_flops();
+      } else {
+        setup_flops_charged += solver.setup_flops();
       }
       for (std::size_t c : selection_grid.chain_lambdas(cell.chain)) {
         const double lambda = model.lambdas[c % q];
         const double ratio = model.l1_ratios[c / q];
         const auto fit =
-            solver->solve_elastic_net(lambda * ratio, lambda * (1.0 - ratio));
+            solver.solve_elastic_net(lambda * ratio, lambda * (1.0 - ratio));
         if (task.task_rank == 0) {
           auto row = counts.row(c);
           for (std::size_t i = 0; i < p; ++i) {
@@ -149,6 +193,9 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
                         placement, selection_costs, retry, execute);
     sched::export_pass_metrics(trace_rank, group_info, policy,
                                selection_stats);
+    cache_hits += cache.stats().hits;
+    cache_misses += cache.stats().misses;
+    cache_evictions += cache.stats().evictions;
   }
   comm.allreduce(std::span<double>(counts.data(), counts.size()),
                  ReduceOp::kSum);
@@ -188,23 +235,32 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
       }
     }
 
-    std::size_t cached_k = b2;  // invalid sentinel
-    Matrix x_train, x_eval;
-    Vector y_train, y_eval;
+    uoi::solvers::BootstrapCache cache(cache_budget);
     const auto execute = [&](const sched::TaskCell& cell) {
       const std::size_t k = cell.bootstrap;
-      if (cached_k != k) {
-        const auto split = estimation_split(resampling, n, k);
-        gather_local_block(
-            x, y, split.train,
-            block_slice(split.train.size(), task.c_ranks, task.task_rank),
-            x_train, y_train);
-        gather_local_block(
-            x, y, split.eval,
-            block_slice(split.eval.size(), task.c_ranks, task.task_rank),
-            x_eval, y_eval);
-        cached_k = k;
-      }
+      const auto entry = cache.get_or_build<EnetEstimationEntry>(
+          uoi::solvers::kEstimationPass, k, [&] {
+            auto fresh = std::make_shared<EnetEstimationEntry>();
+            support::Stopwatch distr_watch;
+            const auto split = estimation_split(resampling, n, k);
+            gather_local_block(
+                x, y, split.train,
+                block_slice(split.train.size(), task.c_ranks, task.task_rank),
+                fresh->x_train, fresh->y_train);
+            gather_local_block(
+                x, y, split.eval,
+                block_slice(split.eval.size(), task.c_ranks, task.task_rank),
+                fresh->x_eval, fresh->y_eval);
+            out.breakdown.distribution_seconds += distr_watch.seconds();
+            fresh->bytes_estimate =
+                (split.train.size() + split.eval.size()) * (p + 1) *
+                sizeof(double);
+            return fresh;
+          });
+      const Matrix& x_train = entry->x_train;
+      const Matrix& x_eval = entry->x_eval;
+      const Vector& y_train = entry->y_train;
+      const Vector& y_eval = entry->y_eval;
       for (std::size_t c : estimation_grid.chain_lambdas(cell.chain)) {
         const auto& support = model.candidate_supports[c].indices();
         Vector beta(p, 0.0);
@@ -240,6 +296,9 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
         sched::run_pass(comm, task_comm, group_info, policy, estimation_grid,
                         placement, estimation_costs, retry, execute);
     sched::export_pass_metrics(trace_rank, group_info, policy, pass);
+    cache_hits += cache.stats().hits;
+    cache_misses += cache.stats().misses;
+    cache_evictions += cache.stats().evictions;
   }
   comm.allreduce(std::span<double>(losses.data(), losses.size()),
                  ReduceOp::kMin);
@@ -277,10 +336,23 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
       SupportSet::from_beta(model.beta, options.support_tolerance);
 
   out.breakdown.communication_seconds = comm_seconds() - comm_before;
-  out.breakdown.computation_seconds = phase_watch.seconds() -
-                                      out.breakdown.communication_seconds -
-                                      out.breakdown.distribution_seconds;
+  out.breakdown.computation_seconds = std::max(
+      0.0, phase_watch.seconds() - out.breakdown.communication_seconds -
+               out.breakdown.distribution_seconds -
+               out.breakdown.gram_seconds);
   comm.mutable_stats() += task_comm.stats();
+
+  auto& metrics = support::MetricsRegistry::instance();
+  metrics.add(trace_rank, "solver_cache.hits",
+              static_cast<double>(cache_hits));
+  metrics.add(trace_rank, "solver_cache.misses",
+              static_cast<double>(cache_misses));
+  metrics.add(trace_rank, "solver_cache.evictions",
+              static_cast<double>(cache_evictions));
+  metrics.add(trace_rank, "solver.setup_flops_charged",
+              static_cast<double>(setup_flops_charged));
+  metrics.add(trace_rank, "solver.setup_flops_amortized",
+              static_cast<double>(setup_flops_amortized));
   return out;
 }
 

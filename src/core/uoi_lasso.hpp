@@ -110,6 +110,9 @@ struct UoiLassoOptions {
   /// grid. kAuto resolves $UOI_SCHED_POLICY and defaults to cost_lpt; every
   /// policy produces bit-identical models on identical seeds.
   uoi::sched::SchedulePolicy schedule = uoi::sched::SchedulePolicy::kAuto;
+  /// Per-rank solver/gather cache budget in MB for the distributed driver.
+  /// < 0 defers to UOI_SOLVER_CACHE_MB (default 256); 0 disables.
+  long solver_cache_mb = -1;
 };
 
 struct UoiLassoResult {

@@ -13,6 +13,7 @@
 #include "sched/scheduler.hpp"
 #include "sched/task_grid.hpp"
 #include "solvers/distributed_admm.hpp"
+#include "solvers/solver_cache.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 #include "support/stopwatch.hpp"
@@ -57,6 +58,26 @@ DistributedEvaluation distributed_mse(Comm& task_comm,
   task_comm.allreduce(std::span<double>(acc, 2), ReduceOp::kSum);
   return {acc[1] > 0.0 ? acc[0] / acc[1] : 0.0, acc[1]};
 }
+
+// Cached per-bootstrap state. `bytes()` must be a deterministic function of
+// the GLOBAL problem shape (never this rank's local row count): cache
+// misses run collective code (the solver constructor Allreduces A'b), so a
+// hit/miss or eviction decision that diverged across a task group's ranks
+// would deadlock the group.
+struct LassoSelectionEntry {
+  Matrix x_local;
+  Vector y_local;
+  std::optional<uoi::solvers::DistributedLassoAdmmSolver> solver;
+  std::size_t bytes_estimate = 0;
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_estimate; }
+};
+
+struct LassoEstimationEntry {
+  Matrix x_train, x_eval;
+  Vector y_train, y_eval;
+  std::size_t bytes_estimate = 0;
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_estimate; }
+};
 
 }  // namespace
 
@@ -123,6 +144,13 @@ UoiLassoDistributedResult uoi_lasso_distributed(
   std::uint64_t admm_rho_updates = 0;
   std::uint64_t admm_allreduce_calls = 0;
   std::uint64_t admm_allreduce_bytes = 0;
+  const std::size_t cache_budget =
+      uoi::solvers::resolve_solver_cache_bytes(options.solver_cache_mb);
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t setup_flops_charged = 0;
+  std::uint64_t setup_flops_amortized = 0;
 
   // Selection state. `*_merged` is replicated and globally consistent;
   // `*_local` holds this rank's contributions not yet committed by a
@@ -232,6 +260,15 @@ UoiLassoDistributedResult uoi_lasso_distributed(
     Comm task_comm = c.split(tl.task_group, c.rank());
     const sched::GroupInfo group_info{n_groups, tl.task_group, tl.task_rank,
                                       pb, pl};
+    // One cache per pass attempt: entries hold views of this attempt's
+    // task_comm, so they must not outlive it. Declared (with the stats
+    // fold) before the try so the catch path accounts hits too.
+    uoi::solvers::BootstrapCache cache(cache_budget);
+    const auto fold_cache_stats = [&] {
+      cache_hits += cache.stats().hits;
+      cache_misses += cache.stats().misses;
+      cache_evictions += cache.stats().evictions;
+    };
     try {
       // One cell = (bootstrap k, lambda chain): the group fits the chain's
       // still-missing lambdas warm-started in grid order, exactly as the
@@ -243,21 +280,40 @@ UoiLassoDistributedResult uoi_lasso_distributed(
           if (done_merged(k, j) == 0.0) chain.push_back(j);
         }
         if (chain.empty()) return;
-        Matrix x_local;
-        Vector y_local;
-        {
-          support::TraceScope distr_span(
-              "selection-gather", support::TraceCategory::kDistribution,
-              trace_rank, &distribution_timer);
-          const auto idx = selection_bootstrap_indices(options, n, k);
-          gather_local_block(x, y, idx,
-                             block_slice(idx.size(), tl.c_ranks,
-                                         tl.task_rank),
-                             x_local, y_local);
+        // All chains of bootstrap k share one gather + one Gram/Cholesky
+        // setup: the factorization depends on (X_k, rho) only, not lambda.
+        const std::uint64_t hits_before = cache.stats().hits;
+        const auto entry = cache.get_or_build<LassoSelectionEntry>(
+            uoi::solvers::kSelectionPass, k, [&] {
+              auto fresh = std::make_shared<LassoSelectionEntry>();
+              {
+                support::TraceScope distr_span(
+                    "selection-gather", support::TraceCategory::kDistribution,
+                    trace_rank, &distribution_timer);
+                const auto idx = selection_bootstrap_indices(options, n, k);
+                gather_local_block(x, y, idx,
+                                   block_slice(idx.size(), tl.c_ranks,
+                                               tl.task_rank),
+                                   fresh->x_local, fresh->y_local);
+              }
+              {
+                support::TraceScope gram_span(
+                    "selection-gram", support::TraceCategory::kGram,
+                    trace_rank);
+                fresh->solver.emplace(task_comm, fresh->x_local,
+                                      fresh->y_local, options.admm);
+              }
+              fresh->bytes_estimate =
+                  (n * (p + 1) + p * p) * sizeof(double);
+              return fresh;
+            });
+        const uoi::solvers::DistributedLassoAdmmSolver& solver =
+            *entry->solver;
+        if (cache.stats().hits > hits_before) {
+          setup_flops_amortized += solver.setup_flops();
+        } else {
+          setup_flops_charged += solver.setup_flops();
         }
-
-        const uoi::solvers::DistributedLassoAdmmSolver solver(
-            task_comm, x_local, y_local, options.admm);
         uoi::solvers::DistributedAdmmResult previous;
         bool have_previous = false;
         // Indicators are staged and committed only once the whole
@@ -346,9 +402,11 @@ UoiLassoDistributedResult uoi_lasso_distributed(
       save(c);
       sched::accumulate_stats(selection_stats, call_stats);
       sched::export_pass_metrics(trace_rank, group_info, policy, call_stats);
+      fold_cache_stats();
       folded += task_comm.stats();
       folded_rec += task_comm.recovery_stats();
     } catch (const uoi::sim::RankFailedError&) {
+      fold_cache_stats();
       folded += task_comm.stats();
       folded_rec += task_comm.recovery_stats();
       throw;
@@ -360,6 +418,12 @@ UoiLassoDistributedResult uoi_lasso_distributed(
     Comm task_comm = c.split(tl.task_group, c.rank());
     const sched::GroupInfo group_info{n_groups, tl.task_group, tl.task_rank,
                                       pb, pl};
+    uoi::solvers::BootstrapCache cache(cache_budget);
+    const auto fold_cache_stats = [&] {
+      cache_hits += cache.stats().hits;
+      cache_misses += cache.stats().misses;
+      cache_evictions += cache.stats().evictions;
+    };
     try {
       // Refine the estimation placement once from the measured selection
       // pass: the Allreduce-max replicates every group's per-cell seconds,
@@ -387,28 +451,35 @@ UoiLassoDistributedResult uoi_lasso_distributed(
       // betas_by_task[k * q + j] exists only for tasks this group computed.
       std::vector<Vector> computed_betas(b2 * q);
 
-      // The gather is per bootstrap; cache it so a group running several
-      // chains of the same resample gathers once.
-      std::size_t cached_bootstrap = std::numeric_limits<std::size_t>::max();
-      Matrix x_train, x_eval;
-      Vector y_train, y_eval;
+      // The gather is per bootstrap; the cache generalizes the old
+      // last-bootstrap sentinel so a group revisiting a resample — several
+      // chains, or interleaved work-stolen cells — still gathers once.
       const auto execute = [&](const sched::TaskCell& task) {
         const std::size_t k = task.bootstrap;
-        if (k != cached_bootstrap) {
-          support::TraceScope distr_span(
-              "estimation-gather", support::TraceCategory::kDistribution,
-              trace_rank, &distribution_timer);
-          const auto split = estimation_split(options, n, k);
-          gather_local_block(
-              x, y, split.train,
-              block_slice(split.train.size(), tl.c_ranks, tl.task_rank),
-              x_train, y_train);
-          gather_local_block(
-              x, y, split.eval,
-              block_slice(split.eval.size(), tl.c_ranks, tl.task_rank), x_eval,
-              y_eval);
-          cached_bootstrap = k;
-        }
+        const auto entry = cache.get_or_build<LassoEstimationEntry>(
+            uoi::solvers::kEstimationPass, k, [&] {
+              auto fresh = std::make_shared<LassoEstimationEntry>();
+              support::TraceScope distr_span(
+                  "estimation-gather", support::TraceCategory::kDistribution,
+                  trace_rank, &distribution_timer);
+              const auto split = estimation_split(options, n, k);
+              gather_local_block(
+                  x, y, split.train,
+                  block_slice(split.train.size(), tl.c_ranks, tl.task_rank),
+                  fresh->x_train, fresh->y_train);
+              gather_local_block(
+                  x, y, split.eval,
+                  block_slice(split.eval.size(), tl.c_ranks, tl.task_rank),
+                  fresh->x_eval, fresh->y_eval);
+              fresh->bytes_estimate =
+                  (split.train.size() + split.eval.size()) * (p + 1) *
+                  sizeof(double);
+              return fresh;
+            });
+        const Matrix& x_train = entry->x_train;
+        const Matrix& x_eval = entry->x_eval;
+        const Vector& y_train = entry->y_train;
+        const Vector& y_eval = entry->y_eval;
 
         for (std::size_t j : estimation_grid.chain_lambdas(task.chain)) {
           const auto& support = model.candidate_supports[j].indices();
@@ -494,9 +565,11 @@ UoiLassoDistributedResult uoi_lasso_distributed(
       c.allreduce(std::span<std::uint64_t>(&flops, 1), ReduceOp::kSum);
       model.total_flops = flops;
 
+      fold_cache_stats();
       folded += task_comm.stats();
       folded_rec += task_comm.recovery_stats();
     } catch (const uoi::sim::RankFailedError&) {
+      fold_cache_stats();
       folded += task_comm.stats();
       folded_rec += task_comm.recovery_stats();
       throw;
@@ -585,7 +658,7 @@ UoiLassoDistributedResult uoi_lasso_distributed(
   comm.mutable_recovery_stats() += folded_rec;
 
   // Tracer-derived bucket totals over the phase. Computation is the
-  // remainder (clamped at zero against scheduler jitter), so the four
+  // remainder (clamped at zero against scheduler jitter), so the
   // buckets sum to the phase wall time by construction.
   support::TraceTotals delta = tracer.totals(trace_rank);
   delta -= trace_before;
@@ -595,11 +668,13 @@ UoiLassoDistributedResult uoi_lasso_distributed(
       delta.seconds(support::TraceCategory::kDistribution);
   out.breakdown.data_io_seconds =
       delta.seconds(support::TraceCategory::kDataIo);
+  out.breakdown.gram_seconds = delta.seconds(support::TraceCategory::kGram);
   out.breakdown.computation_seconds =
       std::max(0.0, phase_watch.seconds() -
                         out.breakdown.communication_seconds -
                         out.breakdown.distribution_seconds -
-                        out.breakdown.data_io_seconds);
+                        out.breakdown.data_io_seconds -
+                        out.breakdown.gram_seconds);
   tracer.record("uoi-lasso-computation", support::TraceCategory::kComputation,
                 trace_rank, phase_start_seconds,
                 out.breakdown.computation_seconds);
@@ -613,6 +688,16 @@ UoiLassoDistributedResult uoi_lasso_distributed(
               static_cast<double>(admm_allreduce_calls));
   metrics.add(trace_rank, "admm.allreduce_bytes",
               static_cast<double>(admm_allreduce_bytes));
+  metrics.add(trace_rank, "solver_cache.hits",
+              static_cast<double>(cache_hits));
+  metrics.add(trace_rank, "solver_cache.misses",
+              static_cast<double>(cache_misses));
+  metrics.add(trace_rank, "solver_cache.evictions",
+              static_cast<double>(cache_evictions));
+  metrics.add(trace_rank, "solver.setup_flops_charged",
+              static_cast<double>(setup_flops_charged));
+  metrics.add(trace_rank, "solver.setup_flops_amortized",
+              static_cast<double>(setup_flops_amortized));
   return out;
 }
 

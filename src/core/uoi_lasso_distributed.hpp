@@ -36,14 +36,15 @@ struct UoiParallelLayout {
 
 /// Per-rank timing breakdown, mirroring the paper's runtime buckets.
 /// Derived from the process-wide Tracer: communication / distribution /
-/// data-I/O are the rank's span totals over the phase, computation is the
-/// wall-time remainder (clamped at zero), so the four buckets sum to the
-/// phase wall time.
+/// data-I/O / Gram-setup are the rank's span totals over the phase,
+/// computation is the wall-time remainder (clamped at zero), so the
+/// buckets sum to the phase wall time.
 struct UoiDistributedBreakdown {
   double computation_seconds = 0.0;
   double communication_seconds = 0.0;  ///< collectives (Allreduce-dominated)
   double distribution_seconds = 0.0;   ///< data movement into task groups
   double data_io_seconds = 0.0;        ///< dataset reads/writes (uoi::io)
+  double gram_seconds = 0.0;  ///< Gram + Cholesky setup (solver-cache misses)
 };
 
 struct UoiLassoDistributedResult {

@@ -23,6 +23,9 @@ struct UoiLogisticOptions {
   uoi::solvers::LogisticOptions solver;
   /// Distributed-driver task placement (see UoiLassoOptions::schedule).
   uoi::sched::SchedulePolicy schedule = uoi::sched::SchedulePolicy::kAuto;
+  /// Per-rank gather cache budget in MB for the distributed driver.
+  /// < 0 defers to UOI_SOLVER_CACHE_MB (default 256); 0 disables.
+  long solver_cache_mb = -1;
 };
 
 struct UoiLogisticResult {

@@ -11,6 +11,7 @@
 #include "solvers/distributed_logistic.hpp"
 #include "solvers/lambda_grid.hpp"
 #include "solvers/logistic.hpp"
+#include "solvers/solver_cache.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
 #include "support/trace.hpp"
@@ -37,6 +38,23 @@ UoiLassoOptions resample_options(const UoiLogisticOptions& options) {
   out.seed = options.seed;
   return out;
 }
+
+// Gather-only cache entries (IRLS has no reusable factorization). As in
+// the other drivers, `bytes()` depends only on the global shape so every
+// group rank makes the same hit/miss/evict decisions.
+struct LogisticSelectionEntry {
+  Matrix x_local;
+  Vector y_local;
+  std::size_t bytes_estimate = 0;
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_estimate; }
+};
+
+struct LogisticEstimationEntry {
+  Matrix x_train, x_eval_local;
+  Vector y_train, y_eval_local;
+  std::size_t bytes_estimate = 0;
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_estimate; }
+};
 
 }  // namespace
 
@@ -86,6 +104,11 @@ UoiLogisticDistributedResult uoi_logistic_distributed(
       sched::seeded_costs(estimation_grid, model.lambdas, pass_seconds_seed);
   const auto widths = sched::group_widths(comm.size(), n_groups);
   const uoi::sim::RetryOptions retry;
+  const std::size_t cache_budget =
+      uoi::solvers::resolve_solver_cache_bytes(options.solver_cache_mb);
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
 
   support::Stopwatch phase_watch;
   const auto comm_seconds = [&] {
@@ -103,23 +126,25 @@ UoiLogisticDistributedResult uoi_logistic_distributed(
   Matrix counts(q, p, 0.0);
   sched::PassStats selection_stats;
   {
-    std::size_t cached_k = b1;  // invalid sentinel
-    Matrix x_local;
-    Vector y_local;
+    uoi::solvers::BootstrapCache cache(cache_budget);
     const auto execute = [&](const sched::TaskCell& cell) {
       const std::size_t k = cell.bootstrap;
-      if (cached_k != k) {
-        support::Stopwatch distr_watch;
-        const auto idx = selection_bootstrap_indices(resampling, n, k);
-        gather_local_block(
-            x, y, idx, block_slice(idx.size(), task.c_ranks, task.task_rank),
-            x_local, y_local);
-        out.breakdown.distribution_seconds += distr_watch.seconds();
-        cached_k = k;
-      }
+      const auto entry = cache.get_or_build<LogisticSelectionEntry>(
+          uoi::solvers::kSelectionPass, k, [&] {
+            auto fresh = std::make_shared<LogisticSelectionEntry>();
+            support::Stopwatch distr_watch;
+            const auto idx = selection_bootstrap_indices(resampling, n, k);
+            gather_local_block(
+                x, y, idx,
+                block_slice(idx.size(), task.c_ranks, task.task_rank),
+                fresh->x_local, fresh->y_local);
+            out.breakdown.distribution_seconds += distr_watch.seconds();
+            fresh->bytes_estimate = n * (p + 1) * sizeof(double);
+            return fresh;
+          });
       for (std::size_t j : selection_grid.chain_lambdas(cell.chain)) {
         const auto fit = uoi::solvers::distributed_logistic_lasso(
-            task_comm, x_local, y_local, model.lambdas[j], admm);
+            task_comm, entry->x_local, entry->y_local, model.lambdas[j], admm);
         if (task.task_rank == 0) {
           auto row = counts.row(j);
           for (std::size_t i = 0; i < p; ++i) {
@@ -139,6 +164,9 @@ UoiLogisticDistributedResult uoi_logistic_distributed(
                         placement, selection_costs, retry, execute);
     sched::export_pass_metrics(trace_rank, group_info, policy,
                                selection_stats);
+    cache_hits += cache.stats().hits;
+    cache_misses += cache.stats().misses;
+    cache_evictions += cache.stats().evictions;
   }
   comm.allreduce(std::span<double>(counts.data(), counts.size()),
                  ReduceOp::kSum);
@@ -178,27 +206,36 @@ UoiLogisticDistributedResult uoi_logistic_distributed(
       }
     }
 
-    std::size_t cached_k = b2;  // invalid sentinel
-    Matrix x_train, x_eval_local;
-    Vector y_train, y_eval_local;
+    uoi::solvers::BootstrapCache cache(cache_budget);
     const auto execute = [&](const sched::TaskCell& cell) {
       const std::size_t k = cell.bootstrap;
-      if (cached_k != k) {
-        const auto split = estimation_split(resampling, n, k);
-        // IRLS refits run on the full training split (they are cheap:
-        // support columns only); evaluation rows are partitioned for the
-        // loss.
-        x_train = x_owned.gather_rows(split.train);
-        y_train = Vector(split.train.size());
-        for (std::size_t i = 0; i < split.train.size(); ++i) {
-          y_train[i] = y[split.train[i]];
-        }
-        gather_local_block(
-            x, y, split.eval,
-            block_slice(split.eval.size(), task.c_ranks, task.task_rank),
-            x_eval_local, y_eval_local);
-        cached_k = k;
-      }
+      const auto entry = cache.get_or_build<LogisticEstimationEntry>(
+          uoi::solvers::kEstimationPass, k, [&] {
+            auto fresh = std::make_shared<LogisticEstimationEntry>();
+            support::Stopwatch distr_watch;
+            const auto split = estimation_split(resampling, n, k);
+            // IRLS refits run on the full training split (they are cheap:
+            // support columns only); evaluation rows are partitioned for
+            // the loss.
+            fresh->x_train = x_owned.gather_rows(split.train);
+            fresh->y_train = Vector(split.train.size());
+            for (std::size_t i = 0; i < split.train.size(); ++i) {
+              fresh->y_train[i] = y[split.train[i]];
+            }
+            gather_local_block(
+                x, y, split.eval,
+                block_slice(split.eval.size(), task.c_ranks, task.task_rank),
+                fresh->x_eval_local, fresh->y_eval_local);
+            out.breakdown.distribution_seconds += distr_watch.seconds();
+            fresh->bytes_estimate =
+                (split.train.size() + split.eval.size()) * (p + 1) *
+                sizeof(double);
+            return fresh;
+          });
+      const Matrix& x_train = entry->x_train;
+      const Matrix& x_eval_local = entry->x_eval_local;
+      const Vector& y_train = entry->y_train;
+      const Vector& y_eval_local = entry->y_eval_local;
       for (std::size_t j : estimation_grid.chain_lambdas(cell.chain)) {
         const auto& support = model.candidate_supports[j].indices();
         const auto fit = uoi::solvers::logistic_irls_on_support(
@@ -227,6 +264,9 @@ UoiLogisticDistributedResult uoi_logistic_distributed(
         sched::run_pass(comm, task_comm, group_info, policy, estimation_grid,
                         placement, estimation_costs, retry, execute);
     sched::export_pass_metrics(trace_rank, group_info, policy, pass);
+    cache_hits += cache.stats().hits;
+    cache_misses += cache.stats().misses;
+    cache_evictions += cache.stats().evictions;
   }
   comm.allreduce(std::span<double>(losses.data(), losses.size()),
                  ReduceOp::kMin);
@@ -267,10 +307,18 @@ UoiLogisticDistributedResult uoi_logistic_distributed(
       SupportSet::from_beta(model.beta, options.support_tolerance);
 
   out.breakdown.communication_seconds = comm_seconds() - comm_before;
-  out.breakdown.computation_seconds = phase_watch.seconds() -
-                                      out.breakdown.communication_seconds -
-                                      out.breakdown.distribution_seconds;
+  out.breakdown.computation_seconds = std::max(
+      0.0, phase_watch.seconds() - out.breakdown.communication_seconds -
+               out.breakdown.distribution_seconds);
   comm.mutable_stats() += task_comm.stats();
+
+  auto& metrics = support::MetricsRegistry::instance();
+  metrics.add(trace_rank, "solver_cache.hits",
+              static_cast<double>(cache_hits));
+  metrics.add(trace_rank, "solver_cache.misses",
+              static_cast<double>(cache_misses));
+  metrics.add(trace_rank, "solver_cache.evictions",
+              static_cast<double>(cache_evictions));
   return out;
 }
 

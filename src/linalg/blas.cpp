@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace uoi::linalg {
 
@@ -23,7 +24,17 @@ double dot(std::span<const double> x, std::span<const double> y) {
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   UOI_CHECK_DIMS(x.size() == y.size(), "axpy length mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  // Same four-wide unroll as dot: no loop-carried dependency, so this is
+  // purely about giving the autovectorizer a clean stride-1 body.
+  std::size_t i = 0;
+  const std::size_t n4 = x.size() & ~std::size_t{3};
+  for (; i < n4; i += 4) {
+    y[i] += alpha * x[i];
+    y[i + 1] += alpha * x[i + 1];
+    y[i + 2] += alpha * x[i + 2];
+    y[i + 3] += alpha * x[i + 3];
+  }
+  for (; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
 void scal(double alpha, std::span<double> x) {
@@ -36,18 +47,40 @@ double nrm2_squared(std::span<const double> x) { return dot(x, x); }
 
 double dist2(std::span<const double> x, std::span<const double> y) {
   UOI_CHECK_DIMS(x.size() == y.size(), "dist2 length mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double d = x[i] - y[i];
-    acc += d * d;
+  // Four accumulators break the dependency chain (this sits on the ADMM
+  // convergence check every iteration).
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  const std::size_t n4 = x.size() & ~std::size_t{3};
+  for (; i < n4; i += 4) {
+    const double d0 = x[i] - y[i];
+    const double d1 = x[i + 1] - y[i + 1];
+    const double d2 = x[i + 2] - y[i + 2];
+    const double d3 = x[i + 3] - y[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
   }
-  return std::sqrt(acc);
+  for (; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    s0 += d * d;
+  }
+  return std::sqrt((s0 + s1) + (s2 + s3));
 }
 
 double nrm1(std::span<const double> x) {
-  double acc = 0.0;
-  for (double v : x) acc += std::abs(v);
-  return acc;
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  const std::size_t n4 = x.size() & ~std::size_t{3};
+  for (; i < n4; i += 4) {
+    s0 += std::abs(x[i]);
+    s1 += std::abs(x[i + 1]);
+    s2 += std::abs(x[i + 2]);
+    s3 += std::abs(x[i + 3]);
+  }
+  for (; i < x.size(); ++i) s0 += std::abs(x[i]);
+  return (s0 + s1) + (s2 + s3);
 }
 
 void gemv(double alpha, ConstMatrixView a, std::span<const double> x,
@@ -135,6 +168,105 @@ void gemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
   }
 }
 
+namespace {
+
+// Column-block width and k-panel depth for the packed syrk. A packed panel
+// is kSyrkIb x kSyrkKb doubles (128 KB), two of which fit in L2; the
+// micro-kernel streams both panels contiguously.
+constexpr std::size_t kSyrkIb = 64;
+constexpr std::size_t kSyrkKb = 256;
+
+/// Packs the transpose of A[k0:k1, i0:i1] into `panel` (row-major,
+/// (i1-i0) x (k1-k0)): packed row t is the contiguous k-slice of column
+/// i0 + t. This turns the strided column walks of A' A into unit-stride
+/// dot products.
+void syrk_pack_panel(ConstMatrixView a, std::size_t k0, std::size_t k1,
+                     std::size_t i0, std::size_t i1, double* panel) {
+  const std::size_t kk = k1 - k0;
+  for (std::size_t k = k0; k < k1; ++k) {
+    const auto row = a.row(k);
+    double* col = panel + (k - k0);
+    for (std::size_t i = i0; i < i1; ++i) {
+      col[(i - i0) * kk] = row[i];
+    }
+  }
+}
+
+/// C[i0:i1, j0:j1] += alpha * Pi Pj' for packed panels Pi ((i1-i0) x kk)
+/// and Pj ((j1-j0) x kk). 2x4 micro-kernel: eight independent accumulators
+/// per tile, six panel-row streams, all unit stride.
+void syrk_block(double alpha, const double* pi, std::size_t ilen,
+                const double* pj, std::size_t jlen, std::size_t kk,
+                double* c, std::size_t ldc, std::size_t ci0,
+                std::size_t cj0) {
+  std::size_t i = 0;
+  for (; i + 1 < ilen; i += 2) {
+    const double* a0 = pi + i * kk;
+    const double* a1 = a0 + kk;
+    double* c0 = c + (ci0 + i) * ldc + cj0;
+    double* c1 = c0 + ldc;
+    std::size_t j = 0;
+    for (; j + 3 < jlen; j += 4) {
+      const double* b0 = pj + j * kk;
+      const double* b1 = b0 + kk;
+      const double* b2 = b1 + kk;
+      const double* b3 = b2 + kk;
+      double s00 = 0.0, s01 = 0.0, s02 = 0.0, s03 = 0.0;
+      double s10 = 0.0, s11 = 0.0, s12 = 0.0, s13 = 0.0;
+      for (std::size_t k = 0; k < kk; ++k) {
+        const double a0k = a0[k];
+        const double a1k = a1[k];
+        s00 += a0k * b0[k];
+        s01 += a0k * b1[k];
+        s02 += a0k * b2[k];
+        s03 += a0k * b3[k];
+        s10 += a1k * b0[k];
+        s11 += a1k * b1[k];
+        s12 += a1k * b2[k];
+        s13 += a1k * b3[k];
+      }
+      c0[j] += alpha * s00;
+      c0[j + 1] += alpha * s01;
+      c0[j + 2] += alpha * s02;
+      c0[j + 3] += alpha * s03;
+      c1[j] += alpha * s10;
+      c1[j + 1] += alpha * s11;
+      c1[j + 2] += alpha * s12;
+      c1[j + 3] += alpha * s13;
+    }
+    for (; j < jlen; ++j) {
+      const double* b = pj + j * kk;
+      c0[j] += alpha * dot({a0, kk}, {b, kk});
+      c1[j] += alpha * dot({a1, kk}, {b, kk});
+    }
+  }
+  for (; i < ilen; ++i) {
+    const double* ai = pi + i * kk;
+    double* ci = c + (ci0 + i) * ldc + cj0;
+    for (std::size_t j = 0; j < jlen; ++j) {
+      const double* b = pj + j * kk;
+      ci[j] += alpha * dot({ai, kk}, {b, kk});
+    }
+  }
+}
+
+/// Diagonal block of the syrk: only j >= i contributes; the strict lower
+/// part of the block is filled by the final mirror pass.
+void syrk_diag_block(double alpha, const double* p, std::size_t ilen,
+                     std::size_t kk, double* c, std::size_t ldc,
+                     std::size_t c0) {
+  for (std::size_t i = 0; i < ilen; ++i) {
+    const double* ai = p + i * kk;
+    double* ci = c + (c0 + i) * ldc + c0;
+    for (std::size_t j = i; j < ilen; ++j) {
+      const double* b = p + j * kk;
+      ci[j] += alpha * dot({ai, kk}, {b, kk});
+    }
+  }
+}
+
+}  // namespace
+
 void syrk_at_a(double alpha, ConstMatrixView a, double beta, Matrix& c) {
   const std::size_t n = a.cols();
   UOI_CHECK_DIMS(c.rows() == n && c.cols() == n, "syrk: C has the wrong shape");
@@ -143,15 +275,26 @@ void syrk_at_a(double alpha, ConstMatrixView a, double beta, Matrix& c) {
   } else if (beta != 1.0) {
     scal(beta, {c.data(), c.size()});
   }
-  // Accumulate rank-1 updates row by row of A; fill the upper triangle then
-  // mirror. Contiguous in A and C.
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    const auto row = a.row(r);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double air = alpha * row[i];
-      if (air == 0.0) continue;
-      double* ci = &c(i, 0);
-      for (std::size_t j = i; j < n; ++j) ci[j] += air * row[j];
+  // Cache-blocked packed Gram: for each k-panel of rows of A, pack the
+  // transposed column blocks so the micro-kernel runs on unit-stride data
+  // (the old rank-1 row sweep walked all n^2/2 entries of C per row of A
+  // and thrashed for large n). Upper block triangle only, mirrored below.
+  std::vector<double> pack_i(kSyrkIb * kSyrkKb);
+  std::vector<double> pack_j(kSyrkIb * kSyrkKb);
+  const std::size_t ldc = c.cols();
+  for (std::size_t k0 = 0; k0 < a.rows(); k0 += kSyrkKb) {
+    const std::size_t k1 = std::min(a.rows(), k0 + kSyrkKb);
+    const std::size_t kk = k1 - k0;
+    for (std::size_t i0 = 0; i0 < n; i0 += kSyrkIb) {
+      const std::size_t i1 = std::min(n, i0 + kSyrkIb);
+      syrk_pack_panel(a, k0, k1, i0, i1, pack_i.data());
+      syrk_diag_block(alpha, pack_i.data(), i1 - i0, kk, c.data(), ldc, i0);
+      for (std::size_t j0 = i1; j0 < n; j0 += kSyrkIb) {
+        const std::size_t j1 = std::min(n, j0 + kSyrkIb);
+        syrk_pack_panel(a, k0, k1, j0, j1, pack_j.data());
+        syrk_block(alpha, pack_i.data(), i1 - i0, pack_j.data(), j1 - j0, kk,
+                   c.data(), ldc, i0, j0);
+      }
     }
   }
   for (std::size_t i = 0; i < n; ++i) {

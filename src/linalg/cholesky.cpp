@@ -1,5 +1,6 @@
 #include "linalg/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -7,22 +8,154 @@
 
 namespace uoi::linalg {
 
-CholeskyFactor::CholeskyFactor(const Matrix& a) : l_(a.rows(), a.cols()) {
-  UOI_CHECK_DIMS(a.rows() == a.cols(), "Cholesky of a non-square matrix");
-  const std::size_t n = a.rows();
-  // Cholesky-Crout: column j at a time, contiguous row accesses into l_.
-  for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j) - dot(l_.row(j).subspan(0, j), l_.row(j).subspan(0, j));
-    UOI_CHECK(diag > 0.0, "matrix is not positive definite");
-    diag = std::sqrt(diag);
-    l_(j, j) = diag;
-    const double inv_diag = 1.0 / diag;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      const double off =
-          a(i, j) - dot(l_.row(i).subspan(0, j), l_.row(j).subspan(0, j));
-      l_(i, j) = off * inv_diag;
+namespace {
+
+// Panel width of the blocked right-looking factorization and the tile edge
+// of its trailing update. Panel rows are contiguous row slices of the
+// factor itself (row-major storage), so the 2x4 micro-kernel streams six
+// unit-stride lanes with no packing step — the same tile shape as
+// gemm_block / syrk_at_a.
+constexpr std::size_t kCholPanel = 64;
+constexpr std::size_t kCholTile = 64;
+
+/// L[i0:i1, k0:k1] -= P_i P_k' where P_r = l.row(r)[p0:p1]. Full-rectangle
+/// tile strictly left of the diagonal: writes land in columns >= p1 while
+/// reads come from columns [p0, p1), so there is no aliasing.
+void chol_tile_update(Matrix& l, std::size_t p0, std::size_t p1,
+                      std::size_t i0, std::size_t i1, std::size_t k0,
+                      std::size_t k1) {
+  const std::size_t kk = p1 - p0;
+  std::size_t i = i0;
+  for (; i + 1 < i1; i += 2) {
+    const double* a0 = &l(i, p0);
+    const double* a1 = &l(i + 1, p0);
+    double* c0 = &l(i, 0);
+    double* c1 = &l(i + 1, 0);
+    std::size_t k = k0;
+    for (; k + 3 < k1; k += 4) {
+      const double* b0 = &l(k, p0);
+      const double* b1 = &l(k + 1, p0);
+      const double* b2 = &l(k + 2, p0);
+      const double* b3 = &l(k + 3, p0);
+      double s00 = 0.0, s01 = 0.0, s02 = 0.0, s03 = 0.0;
+      double s10 = 0.0, s11 = 0.0, s12 = 0.0, s13 = 0.0;
+      for (std::size_t t = 0; t < kk; ++t) {
+        const double a0t = a0[t];
+        const double a1t = a1[t];
+        s00 += a0t * b0[t];
+        s01 += a0t * b1[t];
+        s02 += a0t * b2[t];
+        s03 += a0t * b3[t];
+        s10 += a1t * b0[t];
+        s11 += a1t * b1[t];
+        s12 += a1t * b2[t];
+        s13 += a1t * b3[t];
+      }
+      c0[k] -= s00;
+      c0[k + 1] -= s01;
+      c0[k + 2] -= s02;
+      c0[k + 3] -= s03;
+      c1[k] -= s10;
+      c1[k + 1] -= s11;
+      c1[k + 2] -= s12;
+      c1[k + 3] -= s13;
+    }
+    for (; k < k1; ++k) {
+      const double* b = &l(k, p0);
+      c0[k] -= dot({a0, kk}, {b, kk});
+      c1[k] -= dot({a1, kk}, {b, kk});
     }
   }
+  for (; i < i1; ++i) {
+    const double* ai = &l(i, p0);
+    double* ci = &l(i, 0);
+    for (std::size_t k = k0; k < k1; ++k) {
+      const double* b = &l(k, p0);
+      ci[k] -= dot({ai, kk}, {b, kk});
+    }
+  }
+}
+
+/// Diagonal tile of the trailing update: only k <= i is live.
+void chol_diag_tile_update(Matrix& l, std::size_t p0, std::size_t p1,
+                           std::size_t t0, std::size_t t1) {
+  const std::size_t kk = p1 - p0;
+  for (std::size_t i = t0; i < t1; ++i) {
+    const double* ai = &l(i, p0);
+    double* ci = &l(i, 0);
+    for (std::size_t k = t0; k <= i; ++k) {
+      const double* b = &l(k, p0);
+      ci[k] -= dot({ai, kk}, {b, kk});
+    }
+  }
+}
+
+/// Blocked right-looking Cholesky, in place on the lower triangle of `l`
+/// (entries above the diagonal must already be zero). Per panel: unblocked
+/// Crout on the diagonal block, a row-wise triangular solve for the panel
+/// below it, then a tiled syrk-style subtraction from the trailing
+/// submatrix. All dots run over contiguous row slices.
+void factor_lower_in_place(Matrix& l) {
+  const std::size_t n = l.rows();
+  for (std::size_t j0 = 0; j0 < n; j0 += kCholPanel) {
+    const std::size_t j1 = std::min(n, j0 + kCholPanel);
+    for (std::size_t j = j0; j < j1; ++j) {
+      const auto lrowj = l.row(j);
+      double diag =
+          l(j, j) - dot(lrowj.subspan(j0, j - j0), lrowj.subspan(j0, j - j0));
+      UOI_CHECK(diag > 0.0, "matrix is not positive definite");
+      diag = std::sqrt(diag);
+      l(j, j) = diag;
+      const double inv_diag = 1.0 / diag;
+      for (std::size_t i = j + 1; i < j1; ++i) {
+        const double off =
+            l(i, j) - dot(l.row(i).subspan(j0, j - j0),
+                          l.row(j).subspan(j0, j - j0));
+        l(i, j) = off * inv_diag;
+      }
+    }
+    if (j1 == n) break;
+    for (std::size_t i = j1; i < n; ++i) {
+      const auto rowi = l.row(i);
+      for (std::size_t j = j0; j < j1; ++j) {
+        const double off = l(i, j) - dot(rowi.subspan(j0, j - j0),
+                                         l.row(j).subspan(j0, j - j0));
+        l(i, j) = off / l(j, j);
+      }
+    }
+    for (std::size_t i0 = j1; i0 < n; i0 += kCholTile) {
+      const std::size_t i1 = std::min(n, i0 + kCholTile);
+      for (std::size_t k0 = j1; k0 <= i0; k0 += kCholTile) {
+        if (k0 == i0) {
+          chol_diag_tile_update(l, j0, j1, i0, i1);
+        } else {
+          chol_tile_update(l, j0, j1, i0, i1, k0,
+                           std::min(n, k0 + kCholTile));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CholeskyFactor::CholeskyFactor(const Matrix& a) : CholeskyFactor(a, 0.0) {}
+
+CholeskyFactor::CholeskyFactor(const Matrix& a, double diagonal_shift)
+    : l_(a.rows(), a.cols()) {
+  UOI_CHECK_DIMS(a.rows() == a.cols(), "Cholesky of a non-square matrix");
+  const std::size_t n = a.rows();
+  // Copy only the lower triangle (the fresh l_ is zero above the diagonal)
+  // and fold the shift into the diagonal during the copy, so refactoring a
+  // cached rho-free Gram never mutates the shared source matrix.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = a.row(i);
+    const auto dst = l_.row(i);
+    std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+              dst.begin());
+    dst[i] += diagonal_shift;
+  }
+  factor_lower_in_place(l_);
 }
 
 void CholeskyFactor::solve_lower(std::span<const double> b,
@@ -52,9 +185,9 @@ void CholeskyFactor::solve_upper(std::span<const double> y,
 
 void CholeskyFactor::solve(std::span<const double> b,
                            std::span<double> x) const {
-  std::vector<double> y(dim());
-  solve_lower(b, y);
-  solve_upper(y, x);
+  if (solve_scratch_.size() != dim()) solve_scratch_.resize(dim());
+  solve_lower(b, solve_scratch_);
+  solve_upper(solve_scratch_, x);
 }
 
 void CholeskyFactor::solve_matrix(const Matrix& b, Matrix& x) const {

@@ -69,6 +69,13 @@ RuntimeBreakdown UoiLassoCostModel::run(const UoiLassoWorkload& w,
       sel_setup_only;
   out.computation += static_cast<double>(sel_bootstraps) * sel_setup_only +
                      static_cast<double>(sel_tasks) * sel_iters_only;
+  // Adaptive-rho refactorizations re-run the Cholesky on the cached Gram;
+  // the Gram itself is never recomputed (factorization-reuse path).
+  if (w.rho_updates > 0) {
+    const std::uint64_t factor_dim = rows_local < p ? rows_local : p;
+    out.computation += static_cast<double>(sel_tasks * w.rho_updates) *
+                       cholesky_time(m_, factor_dim);
+  }
   // Estimation: OLS (lambda = 0) restricted to ~avg_support columns.
   out.computation += static_cast<double>(est_tasks) *
                      admm_task_compute(m_, rows_local, w.avg_support,

@@ -65,6 +65,7 @@ CriticalPath critical_path_from_events(const std::vector<TraceEvent>& events,
       case TraceCategory::kComputation:
       case TraceCategory::kDistribution:
       case TraceCategory::kDataIo:
+      case TraceCategory::kGram:
         work[e.rank] += e.duration_seconds;
         break;
       default:
@@ -104,7 +105,8 @@ CriticalPath critical_path_from_totals(
   for (const auto& [rank, t] : totals) {
     const double work = t.seconds(TraceCategory::kComputation) +
                         t.seconds(TraceCategory::kDistribution) +
-                        t.seconds(TraceCategory::kDataIo);
+                        t.seconds(TraceCategory::kDataIo) +
+                        t.seconds(TraceCategory::kGram);
     out.seconds = std::max(out.seconds, work);
     min_comm = std::min(min_comm, t.seconds(TraceCategory::kCommunication));
   }
@@ -174,6 +176,7 @@ void append_bucket_fields(std::string& out, const RankBuckets& b) {
   out += ",\"data_io\":" + json_number(b.data_io);
   out += ",\"fault\":" + json_number(b.fault);
   out += ",\"recovery\":" + json_number(b.recovery);
+  out += ",\"gram\":" + json_number(b.gram);
 }
 
 }  // namespace
@@ -225,7 +228,7 @@ RunReport build_run_report(const ReportInputs& inputs) {
   report.n_ranks = static_cast<int>(inputs.totals.size());
   report.metrics = inputs.metrics;
 
-  std::vector<double> compute, comm, dist, io;
+  std::vector<double> compute, comm, dist, io, gram;
   for (const auto& [rank, totals] : inputs.totals) {
     RankBuckets buckets;
     buckets.rank = rank;
@@ -237,21 +240,25 @@ RunReport build_run_report(const ReportInputs& inputs) {
     buckets.data_io = category_seconds(totals, TraceCategory::kDataIo);
     buckets.fault = category_seconds(totals, TraceCategory::kFault);
     buckets.recovery = category_seconds(totals, TraceCategory::kRecovery);
+    buckets.gram = category_seconds(totals, TraceCategory::kGram);
     report.per_rank.push_back(buckets);
     compute.push_back(buckets.computation);
     comm.push_back(buckets.communication);
     dist.push_back(buckets.distribution);
     io.push_back(buckets.data_io);
+    gram.push_back(buckets.gram);
   }
 
   // Headline buckets: per-rank means for the traced categories,
-  // computation as the wall remainder so the four sum to the wall.
+  // computation as the wall remainder so the buckets sum to the wall.
   report.communication_seconds = mean_of(comm);
   report.distribution_seconds = mean_of(dist);
   report.data_io_seconds = mean_of(io);
+  report.gram_seconds = mean_of(gram);
   report.computation_seconds =
       std::max(0.0, report.wall_seconds - report.communication_seconds -
-                        report.distribution_seconds - report.data_io_seconds);
+                        report.distribution_seconds -
+                        report.data_io_seconds - report.gram_seconds);
 
   // Load imbalance over traced compute seconds.
   if (!compute.empty()) {
@@ -337,7 +344,8 @@ std::string RunReport::to_json() const {
   out += ",\"buckets\":{\"computation\":" + json_number(computation_seconds);
   out += ",\"communication\":" + json_number(communication_seconds);
   out += ",\"distribution\":" + json_number(distribution_seconds);
-  out += ",\"data_io\":" + json_number(data_io_seconds) + "}";
+  out += ",\"data_io\":" + json_number(data_io_seconds);
+  out += ",\"gram\":" + json_number(gram_seconds) + "}";
   out += ",\"buckets_sum_seconds\":" + json_number(buckets_sum());
   out += ",\"per_rank\":[";
   for (std::size_t i = 0; i < per_rank.size(); ++i) {
@@ -414,16 +422,18 @@ std::string RunReport::to_text() const {
          format_seconds(computation_seconds) + ", communication " +
          format_seconds(communication_seconds) + ", distribution " +
          format_seconds(distribution_seconds) + ", data I/O " +
-         format_seconds(data_io_seconds) + "\n";
+         format_seconds(data_io_seconds) + ", gram " +
+         format_seconds(gram_seconds) + "\n";
 
   if (!per_rank.empty()) {
     support::Table table({"rank", "computation", "communication",
-                          "distribution", "data I/O", "recovery"});
+                          "distribution", "data I/O", "gram", "recovery"});
     for (const RankBuckets& b : per_rank) {
       table.add_row({std::to_string(b.rank), format_seconds(b.computation),
                      format_seconds(b.communication),
                      format_seconds(b.distribution),
-                     format_seconds(b.data_io), format_seconds(b.recovery)});
+                     format_seconds(b.data_io), format_seconds(b.gram),
+                     format_seconds(b.recovery)});
     }
     out += table.to_text();
   }

@@ -59,6 +59,7 @@ struct RankBuckets {
   double data_io = 0.0;
   double fault = 0.0;
   double recovery = 0.0;
+  double gram = 0.0;  ///< Gram + Cholesky setup (solver-cache misses)
 };
 
 /// Latency summary of one span category, merged across ranks.
@@ -92,18 +93,19 @@ struct RunReport {
   double wall_seconds = 0.0;
   int n_ranks = 0;
 
-  /// Headline buckets: communication / distribution / data-I/O are the
-  /// per-rank means of the traced totals; computation is the wall-time
-  /// remainder (clamped at zero), so the four buckets sum to the phase
-  /// wall time by construction — the same convention the distributed
+  /// Headline buckets: communication / distribution / data-I/O / Gram
+  /// setup are the per-rank means of the traced totals; computation is the
+  /// wall-time remainder (clamped at zero), so the buckets sum to the
+  /// phase wall time by construction — the same convention the distributed
   /// drivers use.
   double computation_seconds = 0.0;
   double communication_seconds = 0.0;
   double distribution_seconds = 0.0;
   double data_io_seconds = 0.0;
+  double gram_seconds = 0.0;
   [[nodiscard]] double buckets_sum() const {
     return computation_seconds + communication_seconds +
-           distribution_seconds + data_io_seconds;
+           distribution_seconds + data_io_seconds + gram_seconds;
   }
 
   std::vector<RankBuckets> per_rank;

@@ -20,6 +20,7 @@ LassoAdmmSolver::LassoAdmmSolver(ConstMatrixView a, std::span<const double> b,
   system_ = std::make_unique<RidgeSystemSolver>(a, options_.rho);
   setup_flops_ = uoi::linalg::gemv_flops(a.rows(), a.cols()) +
                  system_->setup_flops();
+  pending_setup_flops_ = setup_flops_;
 }
 
 LassoAdmmSolver::~LassoAdmmSolver() = default;
@@ -32,19 +33,27 @@ AdmmResult LassoAdmmSolver::solve(double lambda,
 AdmmResult LassoAdmmSolver::solve_elastic_net(
     double lambda1, double lambda2, const AdmmResult* warm_start) const {
   // The constructor-built factorization serves the initial rho; adaptive
-  // rho changes trigger a (per-solve, local) rebuild.
+  // rho changes refactor the cached rho-free Gram with a diagonal shift
+  // (O(p^3/3)) instead of recomputing it from the data.
   std::unique_ptr<RidgeSystemSolver> rebuilt;
   double current_rho = options_.rho;
-  return detail::run_admm_loop(
+  std::uint64_t refactor_flops = 0;
+  const std::uint64_t charged_setup = pending_setup_flops_;
+  pending_setup_flops_ = 0;
+  auto result = detail::run_admm_loop(
       a_.cols(), lambda1, options_, atb_,
       [&](std::span<const double> q, std::span<double> x, double rho) {
         if (rho != current_rho) {
-          rebuilt = std::make_unique<RidgeSystemSolver>(a_, rho);
+          rebuilt =
+              std::make_unique<RidgeSystemSolver>(a_, rho, system_->gram());
+          refactor_flops += rebuilt->setup_flops();
           current_rho = rho;
         }
         (rebuilt ? *rebuilt : *system_).solve(q, x);
       },
-      setup_flops_, system_->solve_flops(), warm_start, lambda2);
+      charged_setup, system_->solve_flops(), warm_start, lambda2);
+  result.flops += refactor_flops;
+  return result;
 }
 
 AdmmResult lasso_admm(ConstMatrixView a, std::span<const double> b,

@@ -101,6 +101,10 @@ class LassoAdmmSolver {
   uoi::linalg::Vector atb_;  // A'b
   std::unique_ptr<class RidgeSystemSolver> system_;
   std::uint64_t setup_flops_ = 0;
+  // Setup flops not yet charged to a result: the first solve() on this
+  // instance consumes them, so a lambda path charges its one-time setup
+  // exactly once instead of once per lambda.
+  mutable std::uint64_t pending_setup_flops_ = 0;
 };
 
 }  // namespace uoi::solvers

@@ -9,60 +9,78 @@ using uoi::linalg::CholeskyFactor;
 using uoi::linalg::Matrix;
 using uoi::linalg::Vector;
 
-RidgeSystemSolver::RidgeSystemSolver(uoi::linalg::ConstMatrixView a,
-                                     double rho)
-    : a_(a), rho_(rho), use_woodbury_(a.rows() < a.cols()) {
-  UOI_CHECK(rho > 0.0, "rho must be positive");
+RidgeGram::RidgeGram(uoi::linalg::ConstMatrixView a)
+    : woodbury_(a.rows() < a.cols()) {
   UOI_CHECK(a.rows() > 0 && a.cols() > 0, "empty system");
   const std::size_t n = a.rows();
   const std::size_t p = a.cols();
-  if (use_woodbury_) {
-    Matrix gram(n, n);
+  if (woodbury_) {
+    // A A' (n x n): rows of A are contiguous, so symmetric dots suffice.
+    gram_.resize(n, n);
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i; j < n; ++j) {
         const double v = uoi::linalg::dot(a.row(i), a.row(j));
-        gram(i, j) = v;
-        gram(j, i) = v;
+        gram_(i, j) = v;
+        gram_(j, i) = v;
       }
     }
-    setup_flops_ += uoi::linalg::gemm_flops(n, p, n) / 2;
-    for (std::size_t i = 0; i < n; ++i) gram(i, i) += rho_;
-    factor_ = std::make_unique<CholeskyFactor>(gram);
-    setup_flops_ += uoi::linalg::cholesky_flops(n);
+    gram_flops_ = uoi::linalg::gemm_flops(n, p, n) / 2;
   } else {
-    Matrix gram(p, p);
-    uoi::linalg::syrk_at_a(1.0, a, 0.0, gram);
-    setup_flops_ += uoi::linalg::gemm_flops(p, n, p) / 2;
-    for (std::size_t i = 0; i < p; ++i) gram(i, i) += rho_;
-    factor_ = std::make_unique<CholeskyFactor>(gram);
-    setup_flops_ += uoi::linalg::cholesky_flops(p);
+    gram_.resize(p, p);
+    uoi::linalg::syrk_at_a(1.0, a, 0.0, gram_);
+    gram_flops_ = uoi::linalg::gemm_flops(p, n, p) / 2;
+  }
+}
+
+RidgeSystemSolver::RidgeSystemSolver(uoi::linalg::ConstMatrixView a,
+                                     double rho)
+    : RidgeSystemSolver(a, rho, std::make_shared<const RidgeGram>(a)) {
+  // A cold start built its own Gram, so the Gram flops are charged, not
+  // amortized.
+  setup_flops_ += amortized_setup_flops_;
+  amortized_setup_flops_ = 0;
+}
+
+RidgeSystemSolver::RidgeSystemSolver(uoi::linalg::ConstMatrixView a,
+                                     double rho,
+                                     std::shared_ptr<const RidgeGram> gram)
+    : a_(a), rho_(rho), gram_(std::move(gram)) {
+  UOI_CHECK(rho > 0.0, "rho must be positive");
+  UOI_CHECK(a.rows() > 0 && a.cols() > 0, "empty system");
+  UOI_CHECK(gram_ != nullptr, "null RidgeGram");
+  const std::size_t dim = gram_->gram().rows();
+  UOI_CHECK_DIMS(dim == (gram_->woodbury() ? a.rows() : a.cols()),
+                 "RidgeGram does not match the data matrix");
+  factor_ = std::make_unique<CholeskyFactor>(gram_->gram(), rho_);
+  setup_flops_ = uoi::linalg::cholesky_flops(dim);
+  amortized_setup_flops_ = gram_->gram_flops();
+  if (gram_->woodbury()) {
+    aq_.assign(a.rows(), 0.0);
+    t_.assign(a.rows(), 0.0);
+    att_.assign(a.cols(), 0.0);
   }
 }
 
 void RidgeSystemSolver::solve(std::span<const double> q,
                               std::span<double> x) const {
-  const std::size_t n = a_.rows();
   const std::size_t p = a_.cols();
   UOI_CHECK_DIMS(q.size() == p && x.size() == p, "ridge system size mismatch");
-  if (!use_woodbury_) {
+  if (!gram_->woodbury()) {
     factor_->solve(q, x);
     return;
   }
   // x = (q - A'((AA' + rho I)^{-1} (A q))) / rho
-  Vector aq(n, 0.0);
-  uoi::linalg::gemv(1.0, a_, q, 0.0, aq);
-  Vector t(n, 0.0);
-  factor_->solve(aq, t);
-  Vector att(p, 0.0);
-  uoi::linalg::gemv_transposed(1.0, a_, t, 0.0, att);
+  uoi::linalg::gemv(1.0, a_, q, 0.0, aq_);
+  factor_->solve(aq_, t_);
+  uoi::linalg::gemv_transposed(1.0, a_, t_, 0.0, att_);
   const double inv_rho = 1.0 / rho_;
-  for (std::size_t i = 0; i < p; ++i) x[i] = (q[i] - att[i]) * inv_rho;
+  for (std::size_t i = 0; i < p; ++i) x[i] = (q[i] - att_[i]) * inv_rho;
 }
 
 std::uint64_t RidgeSystemSolver::solve_flops() const noexcept {
   const std::size_t n = a_.rows();
   const std::size_t p = a_.cols();
-  return use_woodbury_
+  return gram_->woodbury()
              ? 2 * uoi::linalg::trsv_flops(n) + 2 * uoi::linalg::gemv_flops(n, p)
              : 2 * uoi::linalg::trsv_flops(p);
 }

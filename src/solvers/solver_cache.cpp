@@ -1,0 +1,29 @@
+#include "solvers/solver_cache.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/log.hpp"
+
+namespace uoi::solvers {
+
+namespace {
+constexpr std::size_t kDefaultCacheMb = 256;
+constexpr std::size_t kBytesPerMb = std::size_t{1} << 20;
+}  // namespace
+
+std::size_t resolve_solver_cache_bytes(long option_mb) {
+  if (option_mb >= 0) return static_cast<std::size_t>(option_mb) * kBytesPerMb;
+  const char* env = std::getenv("UOI_SOLVER_CACHE_MB");
+  if (env == nullptr || *env == '\0') return kDefaultCacheMb * kBytesPerMb;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || parsed < 0) {
+    UOI_LOG_WARN.field("UOI_SOLVER_CACHE_MB", env)
+        << "invalid solver cache budget; using the default";
+    return kDefaultCacheMb * kBytesPerMb;
+  }
+  return static_cast<std::size_t>(parsed) * kBytesPerMb;
+}
+
+}  // namespace uoi::solvers

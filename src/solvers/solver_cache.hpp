@@ -1,0 +1,114 @@
+#pragma once
+// Driver-level LRU cache for per-bootstrap solver state.
+//
+// The selection pass runs several lambda chains of the same bootstrap
+// resample through one task group (multiple chains per bootstrap whenever
+// q > P_lambda, plus stolen cells under work_steal). The gather and the
+// Gram/Cholesky setup depend only on (pass, bootstrap id) — never on the
+// chain, the placement, or the executing rank — so a group can gather and
+// factorize once per resample and reuse the result for every chain it
+// runs. Keys carry no placement information by construction, which is what
+// keeps work-steal placement and fault replay bit-identical.
+//
+// Lifetime discipline: one BootstrapCache per rank per pass attempt. The
+// cached distributed solvers hold raw pointers to the pass's task_comm and
+// views into the cached gathers, so a cache must never outlive the pass
+// (and is rebuilt from scratch after a shrink/recovery, so replayed cells
+// cannot observe stale entries).
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+namespace uoi::solvers {
+
+class BootstrapCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// `budget_bytes` == 0 disables caching: get_or_build always builds and
+  /// never stores.
+  explicit BootstrapCache(std::size_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+  BootstrapCache(const BootstrapCache&) = delete;
+  BootstrapCache& operator=(const BootstrapCache&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return budget_bytes_ > 0; }
+  [[nodiscard]] std::size_t budget_bytes() const noexcept {
+    return budget_bytes_;
+  }
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept { return bytes_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Returns the entry for (pass, key), building it with `build` on a
+  /// miss. T must expose `std::size_t bytes() const`; entries larger than
+  /// the whole budget are returned but not stored.
+  template <class T, class Build>
+  std::shared_ptr<T> get_or_build(int pass, std::size_t key, Build&& build) {
+    const MapKey map_key{pass, key};
+    if (const auto it = index_.find(map_key); it != index_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return std::static_pointer_cast<T>(it->second->value);
+    }
+    ++stats_.misses;
+    std::shared_ptr<T> built = build();
+    const std::size_t entry_bytes = built->bytes();
+    if (entry_bytes == 0 || entry_bytes > budget_bytes_) return built;
+    lru_.push_front(Entry{map_key, built, entry_bytes});
+    index_[map_key] = lru_.begin();
+    bytes_ += entry_bytes;
+    while (bytes_ > budget_bytes_ && lru_.size() > 1) {
+      const Entry& victim = lru_.back();
+      bytes_ -= victim.bytes;
+      index_.erase(victim.key);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+    return built;
+  }
+
+ private:
+  struct MapKey {
+    int pass;
+    std::size_t key;
+    bool operator==(const MapKey&) const = default;
+  };
+  struct MapKeyHash {
+    std::size_t operator()(const MapKey& k) const noexcept {
+      // Pass ids are tiny; fold them into the high bits.
+      return std::hash<std::size_t>{}(
+          k.key ^ (static_cast<std::size_t>(k.pass) << 56));
+    }
+  };
+  struct Entry {
+    MapKey key;
+    std::shared_ptr<void> value;
+    std::size_t bytes;
+  };
+
+  std::size_t budget_bytes_;
+  std::size_t bytes_ = 0;
+  Stats stats_;
+  std::list<Entry> lru_;
+  std::unordered_map<MapKey, std::list<Entry>::iterator, MapKeyHash> index_;
+};
+
+/// Pass ids used as the cache-key namespace by the distributed drivers.
+inline constexpr int kSelectionPass = 0;
+inline constexpr int kEstimationPass = 1;
+
+/// Resolves the solver-cache byte budget. Precedence: a non-negative
+/// `option_mb` (CLI / options struct) wins; otherwise the
+/// UOI_SOLVER_CACHE_MB environment variable; otherwise 256 MB. Zero
+/// disables the cache.
+[[nodiscard]] std::size_t resolve_solver_cache_bytes(long option_mb);
+
+}  // namespace uoi::solvers

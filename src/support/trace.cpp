@@ -53,6 +53,8 @@ const char* to_string(TraceCategory category) {
       return "fault";
     case TraceCategory::kRecovery:
       return "recovery";
+    case TraceCategory::kGram:
+      return "gram";
     default:
       return "?";
   }

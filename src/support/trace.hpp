@@ -43,7 +43,9 @@
 namespace uoi::support {
 
 /// Span categories: the paper's four runtime buckets plus the
-/// fault-tolerance pair added in the robustness work.
+/// fault-tolerance pair added in the robustness work and the Gram/factor
+/// setup bucket added with the factorization-reuse layer. (kGram sits at
+/// the end so existing category ids stay stable.)
 enum class TraceCategory : int {
   kComputation = 0,
   kCommunication,  ///< collectives (Allreduce-dominated in UoI)
@@ -51,6 +53,7 @@ enum class TraceCategory : int {
   kDataIo,         ///< file reads/writes (H5-lite, CSV, checkpoints)
   kFault,          ///< injected faults and failure detections
   kRecovery,       ///< shrink/agree/backoff time
+  kGram,           ///< per-bootstrap Gram + Cholesky setup (cache misses)
   kCategoryCount
 };
 

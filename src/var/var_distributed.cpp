@@ -17,6 +17,7 @@
 #include "solvers/consensus_loop.hpp"
 #include "solvers/ols.hpp"
 #include "solvers/ridge_system.hpp"
+#include "solvers/solver_cache.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 #include "support/stopwatch.hpp"
@@ -221,6 +222,7 @@ DistributedVarAdmmSolver::DistributedVarAdmmSolver(
     systems_.push_back({e, begin, end, std::move(solver)});
     begin = end;
   }
+  pending_setup_flops_ = setup_flops_;
 }
 
 DistributedVarAdmmSolver::~DistributedVarAdmmSolver() = default;
@@ -237,18 +239,24 @@ uoi::solvers::DistributedAdmmResult DistributedVarAdmmSolver::solve(
   Vector q(dp);
   std::vector<std::unique_ptr<uoi::solvers::RidgeSystemSolver>> rebuilt;
   double current_rho = options_.rho;
-  return uoi::solvers::detail::run_consensus_admm_loop(
+  std::uint64_t refactor_flops = 0;
+  const std::uint64_t charged_setup = pending_setup_flops_;
+  pending_setup_flops_ = 0;
+  auto result = uoi::solvers::detail::run_consensus_admm_loop(
       *comm_, n_coeffs, lambda, options_,
       [&](const Vector& z, const Vector& u, Vector& x, double rho) {
         if (rho != current_rho) {
-          // Adaptive rho: refactor every equation's local system.
+          // Adaptive rho: refactor every equation's local system from its
+          // cached rho-free Gram (diagonal-shift Cholesky only — the
+          // O(rows * dp^2) Gram builds are not repeated).
           rebuilt.clear();
           rebuilt.reserve(systems_.size());
           for (const auto& sys : systems_) {
             rebuilt.push_back(std::make_unique<uoi::solvers::RidgeSystemSolver>(
                 block_->x_rows.row_block(sys.row_begin,
                                          sys.row_end - sys.row_begin),
-                rho));
+                rho, sys.solver->gram()));
+            refactor_flops += rebuilt.back()->setup_flops();
           }
           current_rho = rho;
         }
@@ -265,7 +273,9 @@ uoi::solvers::DistributedAdmmResult DistributedVarAdmmSolver::solve(
           solver.solve(q, std::span<double>(x).subspan(off, dp));
         }
       },
-      setup_flops_, per_iter_flops, warm_start);
+      charged_setup, per_iter_flops, warm_start);
+  result.local_flops += refactor_flops;
+  return result;
 }
 
 namespace {
@@ -274,6 +284,25 @@ namespace {
 bool owns_equation(std::size_t e, int c_ranks, int c_rank) {
   return static_cast<int>(e % static_cast<std::size_t>(c_ranks)) == c_rank;
 }
+
+// Per-bootstrap cache entries. bytes() returns an estimate computed from
+// the *global* problem shape, not the local row counts: the selection
+// build is collective over the task group, so every rank must make the
+// identical LRU keep/evict decision or a hit/miss divergence would leave
+// part of the group waiting in a collective forever.
+struct VarSelectionEntry {
+  VarLocalBlock block;
+  std::optional<DistributedVarAdmmSolver> solver;
+  std::size_t bytes_estimate = 0;
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_estimate; }
+};
+
+struct VarEstimationEntry {
+  LagRegression train;
+  LagRegression eval;
+  std::size_t bytes_estimate = 0;
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_estimate; }
+};
 
 }  // namespace
 
@@ -357,6 +386,17 @@ UoiVarDistributedResult uoi_var_distributed(
   std::uint64_t admm_rho_updates = 0;
   std::uint64_t admm_allreduce_calls = 0;
   std::uint64_t admm_allreduce_bytes = 0;
+
+  // Solver/gather cache accounting (accumulated across passes/attempts;
+  // each pass attempt owns a fresh BootstrapCache so replayed cells can
+  // never observe pre-shrink entries).
+  const std::size_t cache_budget =
+      uoi::solvers::resolve_solver_cache_bytes(options.solver_cache_mb);
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t setup_flops_charged = 0;
+  std::uint64_t setup_flops_amortized = 0;
 
   // Selection state: merged (replicated, globally consistent) versus this
   // rank's unmerged contributions. See uoi_lasso_distributed.cpp — the
@@ -456,15 +496,22 @@ UoiVarDistributedResult uoi_var_distributed(
     const sched::GroupInfo group_info{n_groups, tl.task_group, tl.task_rank,
                                       pb, pl};
     const int group_readers = std::min(n_readers, tl.c_ranks);
+    // One cell = (bootstrap k, lambda chain). Readers construct the
+    // bootstrap sample's lag regression; compute ranks assemble their
+    // vectorized row blocks through the windows. The block and its
+    // factorizations are cached per bootstrap (LRU byte budget), so any
+    // chain of the same k — adjacent, interleaved, or stolen — reuses
+    // them. Keys depend only on (pass, bootstrap id), never on placement,
+    // which keeps every schedule policy bit-identical. The cache lives for
+    // exactly one pass attempt: a shrink tears it down with the attempt.
+    uoi::solvers::BootstrapCache cache(cache_budget);
+    const auto fold_cache_stats = [&] {
+      cache_hits += cache.stats().hits;
+      cache_misses += cache.stats().misses;
+      cache_evictions += cache.stats().evictions;
+    };
     try {
-      // One cell = (bootstrap k, lambda chain). Readers construct the
-      // bootstrap sample's lag regression; compute ranks assemble their
-      // vectorized row blocks through the windows. The block and its
-      // factorizations are cached per bootstrap so consecutive chains of
-      // the same k reuse them.
-      std::size_t cached_k = b1;  // invalid sentinel
-      std::optional<VarLocalBlock> block;
-      std::optional<DistributedVarAdmmSolver> solver;
+      const std::size_t vec_rows = (series.rows() - d) * p;
       const auto execute = [&](const sched::TaskCell& task) {
         const std::size_t k = task.bootstrap;
         std::vector<std::size_t> chain;
@@ -472,18 +519,33 @@ UoiVarDistributedResult uoi_var_distributed(
           if (done_merged(k, j) == 0.0) chain.push_back(j);
         }
         if (chain.empty()) return;
-        if (cached_k != k) {
-          solver.reset();
-          LagRegression lag;
-          if (tl.task_rank < group_readers) {
-            const Matrix sample = block_bootstrap_sample(
-                series, var_bootstrap_options(options, /*stage=*/0, k));
-            lag = build_lag_regression(sample, d);
-          }
-          block = distributed_kron_vectorize(task_comm, lag, group_readers,
-                                             retry);
-          solver.emplace(task_comm, *block, options.admm);
-          cached_k = k;
+        const std::uint64_t hits_before = cache.stats().hits;
+        const auto entry = cache.get_or_build<VarSelectionEntry>(
+            uoi::solvers::kSelectionPass, k, [&] {
+              auto fresh = std::make_shared<VarSelectionEntry>();
+              LagRegression lag;
+              if (tl.task_rank < group_readers) {
+                const Matrix sample = block_bootstrap_sample(
+                    series, var_bootstrap_options(options, /*stage=*/0, k));
+                lag = build_lag_regression(sample, d);
+              }
+              fresh->block = distributed_kron_vectorize(
+                  task_comm, lag, group_readers, retry);
+              {
+                support::TraceScope gram_span(
+                    "var-selection-gram", support::TraceCategory::kGram,
+                    trace_rank);
+                fresh->solver.emplace(task_comm, fresh->block, options.admm);
+              }
+              fresh->bytes_estimate =
+                  (vec_rows * (dp + 1) + dp * dp) * sizeof(double);
+              return fresh;
+            });
+        DistributedVarAdmmSolver& solver = *entry->solver;
+        if (cache.stats().hits != hits_before) {
+          setup_flops_amortized += solver.setup_flops();
+        } else {
+          setup_flops_charged += solver.setup_flops();
         }
         uoi::solvers::DistributedAdmmResult previous;
         bool have_previous = false;
@@ -492,8 +554,8 @@ UoiVarDistributedResult uoi_var_distributed(
         // trajectory of a fault-free run.
         Matrix staged(chain.size(), n_coeffs, 0.0);
         for (std::size_t m = 0; m < chain.size(); ++m) {
-          auto fit = solver->solve(model.lambdas[chain[m]],
-                                   have_previous ? &previous : nullptr);
+          auto fit = solver.solve(model.lambdas[chain[m]],
+                                  have_previous ? &previous : nullptr);
           local_flops += fit.local_flops;
           admm_iterations += fit.iterations;
           admm_rho_updates += fit.rho_updates;
@@ -569,9 +631,11 @@ UoiVarDistributedResult uoi_var_distributed(
       save(c);
       sched::accumulate_stats(selection_stats, call_stats);
       sched::export_pass_metrics(trace_rank, group_info, policy, call_stats);
+      fold_cache_stats();
       folded += task_comm.stats();
       folded_rec += task_comm.recovery_stats();
     } catch (const uoi::sim::RankFailedError&) {
+      fold_cache_stats();
       folded += task_comm.stats();
       folded_rec += task_comm.recovery_stats();
       throw;
@@ -584,6 +648,12 @@ UoiVarDistributedResult uoi_var_distributed(
     Comm task_comm = c.split(tl.task_group, c.rank());
     const sched::GroupInfo group_info{n_groups, tl.task_group, tl.task_rank,
                                       pb, pl};
+    uoi::solvers::BootstrapCache cache(cache_budget);
+    const auto fold_cache_stats = [&] {
+      cache_hits += cache.stats().hits;
+      cache_misses += cache.stats().misses;
+      cache_evictions += cache.stats().evictions;
+    };
     try {
       // Refine the estimation placement once from the measured selection
       // pass; the measurements are replicated (Allreduce-max) so every
@@ -615,19 +685,23 @@ UoiVarDistributedResult uoi_var_distributed(
       Matrix losses(b2, q, std::numeric_limits<double>::infinity());
       std::vector<Vector> computed_betas(b2 * q);  // this rank's equations
 
-      std::size_t cached_k = b2;  // invalid sentinel
-      LagRegression train, eval;
       const auto execute = [&](const sched::TaskCell& cell) {
         const std::size_t k = cell.bootstrap;
-        if (cached_k != k) {
-          const Matrix train_sample = block_bootstrap_sample(
-              series, var_bootstrap_options(options, /*stage=*/1, k));
-          const Matrix eval_sample = block_bootstrap_sample(
-              series, var_bootstrap_options(options, /*stage=*/2, k));
-          train = build_lag_regression(train_sample, d);
-          eval = build_lag_regression(eval_sample, d);
-          cached_k = k;
-        }
+        const auto entry = cache.get_or_build<VarEstimationEntry>(
+            uoi::solvers::kEstimationPass, k, [&] {
+              auto fresh = std::make_shared<VarEstimationEntry>();
+              const Matrix train_sample = block_bootstrap_sample(
+                  series, var_bootstrap_options(options, /*stage=*/1, k));
+              const Matrix eval_sample = block_bootstrap_sample(
+                  series, var_bootstrap_options(options, /*stage=*/2, k));
+              fresh->train = build_lag_regression(train_sample, d);
+              fresh->eval = build_lag_regression(eval_sample, d);
+              fresh->bytes_estimate =
+                  2 * (series.rows() - d) * (dp + p) * sizeof(double);
+              return fresh;
+            });
+        const LagRegression& train = entry->train;
+        const LagRegression& eval = entry->eval;
         std::vector<std::size_t> eq_support;
         for (std::size_t j : estimation_grid.chain_lambdas(cell.chain)) {
           Vector beta_local(n_coeffs, 0.0);
@@ -746,9 +820,11 @@ UoiVarDistributedResult uoi_var_distributed(
       c.allreduce(std::span<std::uint64_t>(&flops, 1), ReduceOp::kSum);
       model.total_flops = flops;
 
+      fold_cache_stats();
       folded += task_comm.stats();
       folded_rec += task_comm.recovery_stats();
     } catch (const uoi::sim::RankFailedError&) {
+      fold_cache_stats();
       folded += task_comm.stats();
       folded_rec += task_comm.recovery_stats();
       throw;
@@ -829,11 +905,13 @@ UoiVarDistributedResult uoi_var_distributed(
       delta.seconds(support::TraceCategory::kDistribution);
   out.breakdown.data_io_seconds =
       delta.seconds(support::TraceCategory::kDataIo);
+  out.breakdown.gram_seconds = delta.seconds(support::TraceCategory::kGram);
   out.breakdown.computation_seconds =
       std::max(0.0, phase_watch.seconds() -
                         out.breakdown.communication_seconds -
                         out.breakdown.distribution_seconds -
-                        out.breakdown.data_io_seconds);
+                        out.breakdown.data_io_seconds -
+                        out.breakdown.gram_seconds);
   tracer.record("uoi-var-computation", support::TraceCategory::kComputation,
                 trace_rank, phase_start_seconds,
                 out.breakdown.computation_seconds);
@@ -847,6 +925,16 @@ UoiVarDistributedResult uoi_var_distributed(
               static_cast<double>(admm_allreduce_calls));
   metrics.add(trace_rank, "admm.allreduce_bytes",
               static_cast<double>(admm_allreduce_bytes));
+  metrics.add(trace_rank, "solver_cache.hits",
+              static_cast<double>(cache_hits));
+  metrics.add(trace_rank, "solver_cache.misses",
+              static_cast<double>(cache_misses));
+  metrics.add(trace_rank, "solver_cache.evictions",
+              static_cast<double>(cache_evictions));
+  metrics.add(trace_rank, "solver.setup_flops_charged",
+              static_cast<double>(setup_flops_charged));
+  metrics.add(trace_rank, "solver.setup_flops_amortized",
+              static_cast<double>(setup_flops_amortized));
   return out;
 }
 

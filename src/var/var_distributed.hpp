@@ -74,6 +74,11 @@ class DistributedVarAdmmSolver {
       double lambda,
       const uoi::solvers::DistributedAdmmResult* warm_start = nullptr) const;
 
+  /// FLOPs this rank spent building its per-equation Gram factorizations.
+  [[nodiscard]] std::uint64_t setup_flops() const noexcept {
+    return setup_flops_;
+  }
+
  private:
   struct EquationSystem;
   uoi::sim::Comm* comm_;
@@ -82,6 +87,9 @@ class DistributedVarAdmmSolver {
   uoi::linalg::Vector atb_;  // full-length A'b restricted to local coords
   std::vector<EquationSystem> systems_;
   std::uint64_t setup_flops_ = 0;
+  // Charged to the first solve() only, so a chain of lambdas (or a cached
+  // solver reused across chains) pays setup once.
+  mutable std::uint64_t pending_setup_flops_ = 0;
 };
 
 struct UoiVarDistributedResult {

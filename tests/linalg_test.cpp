@@ -96,6 +96,48 @@ TEST(Blas, DotAxpyNrm) {
   EXPECT_NEAR(uoi::linalg::nrm2(x), std::sqrt(14.0), 1e-15);
 }
 
+TEST(Blas, Dist2Nrm1AxpyVectorizedPathsMatchNaive) {
+  // Lengths straddling the four-accumulator unroll (remainders 0..3).
+  for (const std::size_t n : {1u, 5u, 127u, 128u, 130u, 1000u}) {
+    const Vector x = random_vector(n, 40 + n);
+    const Vector y = random_vector(n, 41 + n);
+    double d2 = 0.0, l1 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      d2 += (x[i] - y[i]) * (x[i] - y[i]);
+      l1 += std::abs(x[i]);
+    }
+    EXPECT_NEAR(uoi::linalg::dist2(x, y), std::sqrt(d2), 1e-12 * (1.0 + d2));
+    EXPECT_NEAR(uoi::linalg::nrm1(x), l1, 1e-12 * (1.0 + l1));
+    Vector z = y;
+    uoi::linalg::axpy(2.5, x, z);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(z[i], y[i] + 2.5 * x[i]);
+    }
+  }
+}
+
+TEST(Blas, SyrkBlockedCrossesTileBoundaries) {
+  // Sizes around the 64-wide panel / 256-deep k blocking of syrk_at_a,
+  // including remainders in both dimensions.
+  for (const auto [rows, cols] :
+       {std::array<std::size_t, 2>{300, 150}, {256, 64}, {257, 65},
+        {64, 130}}) {
+    const Matrix a = random_matrix(rows, cols, 50 + rows);
+    Matrix g(cols, cols);
+    uoi::linalg::syrk_at_a(1.0, a, 0.0, g);
+    const Matrix expect = naive_gemm(a.transposed(), a);
+    EXPECT_LT(uoi::linalg::max_abs_diff(g, expect),
+              1e-10 * static_cast<double>(rows))
+        << rows << "x" << cols;
+    // Symmetry must hold exactly: the lower triangle is mirrored.
+    for (std::size_t i = 0; i < cols; ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        EXPECT_EQ(g(i, j), g(j, i));
+      }
+    }
+  }
+}
+
 TEST(Blas, GemvMatchesNaive) {
   const Matrix a = random_matrix(7, 5, 3);
   const Vector x = random_vector(5, 4);
@@ -196,7 +238,7 @@ TEST_P(CholeskyParam, FactorReconstructsAndSolves) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyParam,
-                         ::testing::Values(1, 2, 5, 17, 40, 100));
+                         ::testing::Values(1, 2, 5, 17, 40, 100, 150));
 
 TEST(Cholesky, RejectsNonSpd) {
   Matrix not_spd{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1

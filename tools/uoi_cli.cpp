@@ -98,6 +98,8 @@ struct Args {
   int ranks = 4;
   /// kAuto defers to $UOI_SCHED_POLICY (default cost_lpt).
   uoi::sched::SchedulePolicy sched_policy = uoi::sched::SchedulePolicy::kAuto;
+  /// < 0 defers to $UOI_SOLVER_CACHE_MB (default 256); 0 disables.
+  long solver_cache_mb = -1;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -109,7 +111,8 @@ struct Args {
                "[--forecast H] [--seed S] [--checkpoint-path FILE] "
                "[--trace-json FILE] [--report-json FILE] "
                "[--ranks P] [--inject-fault RANK@STEP] [--max-retries N] "
-               "[--sched-policy static|cost_lpt|work_steal]\n"
+               "[--sched-policy static|cost_lpt|work_steal] "
+               "[--solver-cache-mb MB]\n"
                "       %s analyze TRACE.json [--report-json FILE]\n",
                argv0, argv0);
   std::exit(2);
@@ -170,6 +173,12 @@ Args parse_args(int argc, char** argv) {
         std::fprintf(stderr, "unknown --sched-policy: %s\n", name);
         usage(argv[0]);
       }
+    } else if (flag == "--solver-cache-mb") {
+      args.solver_cache_mb = std::strtol(value(), nullptr, 10);
+      if (args.solver_cache_mb < 0) {
+        std::fprintf(stderr, "--solver-cache-mb must be >= 0\n");
+        usage(argv[0]);
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       usage(argv[0]);
@@ -208,6 +217,7 @@ int run_lasso(const Args& args) {
   options.fit_intercept = true;
   options.seed = args.seed;
   options.schedule = args.sched_policy;
+  options.solver_cache_mb = args.solver_cache_mb;
   const auto fit = [&] {
     uoi::support::TraceScope span("uoi-lasso-fit",
                                   uoi::support::TraceCategory::kComputation);
@@ -258,6 +268,7 @@ int run_logistic(const Args& args) {
   options.n_lambdas = args.n_lambdas;
   options.seed = args.seed;
   options.schedule = args.sched_policy;
+  options.solver_cache_mb = args.solver_cache_mb;
   const auto fit = [&] {
     uoi::support::TraceScope span("uoi-logistic-fit",
                                   uoi::support::TraceCategory::kComputation);
@@ -292,6 +303,7 @@ int run_var(const Args& args) {
   options.n_lambdas = args.n_lambdas;
   options.seed = args.seed;
   options.schedule = args.sched_policy;
+  options.solver_cache_mb = args.solver_cache_mb;
   const auto fit = [&] {
     uoi::support::TraceScope span("uoi-var-fit",
                                   uoi::support::TraceCategory::kComputation);
@@ -385,6 +397,7 @@ int run_demo(const Args& args) {
   options.n_lambdas = args.n_lambdas;
   options.seed = args.seed;
   options.schedule = args.sched_policy;
+  options.solver_cache_mb = args.solver_cache_mb;
   const auto fit = [&] {
     uoi::support::TraceScope span("uoi-var-fit",
                                   uoi::support::TraceCategory::kComputation);
@@ -425,6 +438,7 @@ int run_faultdemo(const Args& args) {
   options.n_lambdas = args.n_lambdas;
   options.seed = args.seed;
   options.schedule = args.sched_policy;
+  options.solver_cache_mb = args.solver_cache_mb;
   options.recovery.checkpoint_path = args.checkpoint_path;
   options.recovery.checkpoint_interval = 1;
   options.recovery.onesided_max_attempts = args.max_retries;
