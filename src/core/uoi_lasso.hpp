@@ -60,11 +60,23 @@ struct UoiRecoveryOptions {
   double onesided_base_backoff_seconds = 50e-6;
   double onesided_backoff_multiplier = 2.0;
   double onesided_backoff_budget_seconds = 0.25;
+  /// Decorrelated jitter on the one-sided retry backoff (seeded,
+  /// deterministic; off by default so the backoff schedule is unchanged).
+  bool onesided_jitter = false;
+  std::uint64_t onesided_jitter_seed = 0x6a177e5ULL;
   /// When non-empty, selection progress is persisted here (atomic, fsync'd
   /// rewrite) every `checkpoint_interval` bootstraps and on recovery, and a
   /// compatible checkpoint is resumed from at startup.
   std::string checkpoint_path;
   std::size_t checkpoint_interval = 1;
+  /// Quorum-degraded completion: once the recovery-attempt budget is
+  /// exhausted during *selection*, the drivers may finish anyway if at
+  /// least this fraction of the B1 selection bootstraps completed at every
+  /// lambda. Selection-count thresholds are renormalized per lambda to the
+  /// achieved denominator, and the result carries a `degraded` record.
+  /// 1.0 (the default) disables degraded completion: any unrecoverable
+  /// failure rethrows RankFailedError, the seed behavior.
+  double min_bootstrap_quorum = 1.0;
 
   [[nodiscard]] uoi::sim::RetryOptions retry_options() const {
     uoi::sim::RetryOptions retry;
@@ -72,6 +84,8 @@ struct UoiRecoveryOptions {
     retry.base_backoff_seconds = onesided_base_backoff_seconds;
     retry.backoff_multiplier = onesided_backoff_multiplier;
     retry.backoff_budget_seconds = onesided_backoff_budget_seconds;
+    retry.jitter = onesided_jitter;
+    retry.jitter_seed = onesided_jitter_seed;
     return retry;
   }
 };

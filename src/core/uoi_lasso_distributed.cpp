@@ -222,6 +222,10 @@ UoiLassoDistributedResult uoi_lasso_distributed(
 
   const auto save = [&](Comm& c) {
     if (!checkpointing || c.rank() != 0) return;
+    // A degraded run marks its lost cells done so the scheduler skips
+    // them; persisting that state would poison a later full-quorum resume
+    // into silently inheriting the losses.
+    if (out.degraded) return;
     SelectionCheckpoint checkpoint;
     checkpoint.fingerprint = fingerprint;
     checkpoint.lambdas = model.lambdas;
@@ -583,17 +587,28 @@ UoiLassoDistributedResult uoi_lasso_distributed(
   // are cold, so a redo is deterministic), selection resumes cell-wise.
   bool selection_complete = false;
   int attempts_left = recovery.max_recovery_attempts;
+  // Per-lambda completed-bootstrap counts of a quorum-degraded run; the
+  // intersection thresholds renormalize to these instead of B1.
+  std::vector<double> degraded_achieved;
   for (;;) {
     try {
       if (!selection_complete) {
         run_selection(*active);
         // Build the (possibly soft) intersection from the merged counts
-        // (eq. 3); identical on every rank.
-        const auto threshold =
+        // (eq. 3); identical on every rank. A degraded run thresholds each
+        // lambda against its achieved bootstrap count so a feature's bar
+        // is not inflated by bootstraps that were never computed.
+        const auto base_threshold =
             static_cast<double>(intersection_count_threshold(options));
         model.candidate_supports.clear();
         model.candidate_supports.reserve(q);
         for (std::size_t j = 0; j < q; ++j) {
+          const double threshold =
+              out.degraded
+                  ? std::max(1.0, std::ceil(options.intersection_fraction *
+                                                degraded_achieved[j] -
+                                            1e-12))
+                  : base_threshold;
           std::vector<std::size_t> selected;
           const auto row = counts_merged.row(j);
           for (std::size_t i = 0; i < p; ++i) {
@@ -606,7 +621,13 @@ UoiLassoDistributedResult uoi_lasso_distributed(
       run_estimation(*active);
       break;
     } catch (const uoi::sim::RankFailedError&) {
-      if (attempts_left-- <= 0) {
+      const bool out_of_attempts = attempts_left-- <= 0;
+      // Quorum-degraded completion is a selection-phase escape hatch only:
+      // estimation fits are cold recomputes, so exhausting the budget
+      // there still rethrows.
+      const bool try_degraded = out_of_attempts && !selection_complete &&
+                                recovery.min_bootstrap_quorum < 1.0;
+      if (out_of_attempts && !try_degraded) {
         // Give up symmetrically: uneven groups detect a death at different
         // collectives, so a rank that exits here could leave a peer blocked
         // in a comm-wide barrier forever. Revoking wakes it to follow.
@@ -634,14 +655,54 @@ UoiLassoDistributedResult uoi_lasso_distributed(
       // Commit what every survivor already finished, then account the
       // cells that died with the failed rank and must be redistributed.
       merge(*active);
-      if (!selection_complete) {
-        std::uint64_t missing = 0;
-        for (std::size_t i = 0; i < done_merged.size(); ++i) {
-          if (done_merged.data()[i] == 0.0) ++missing;
+      if (try_degraded) {
+        // Decide from the replicated done matrix, so every survivor takes
+        // the same branch. The achieved counts are captured BEFORE the
+        // lost cells are marked done below.
+        degraded_achieved.assign(q, 0.0);
+        for (std::size_t k = 0; k < b1; ++k) {
+          for (std::size_t j = 0; j < q; ++j) {
+            degraded_achieved[j] += done_merged(k, j);
+          }
         }
-        folded_rec.cells_recovered += missing;
+        double min_fraction = 1.0;
+        for (std::size_t j = 0; j < q; ++j) {
+          min_fraction = std::min(
+              min_fraction, degraded_achieved[j] / static_cast<double>(b1));
+        }
+        if (min_fraction < recovery.min_bootstrap_quorum) {
+          active->revoke();
+          throw;
+        }
+        // Abandon the missing cells: record them, then mark them done so
+        // the resumed selection pass schedules nothing for them. The
+        // checkpoint save is skipped (see `save`), so the abandonment
+        // never leaks into a later full-quorum run.
+        for (std::size_t k = 0; k < b1; ++k) {
+          for (std::size_t j = 0; j < q; ++j) {
+            if (done_merged(k, j) == 0.0) {
+              out.lost_cells.emplace_back(k, j);
+              done_merged(k, j) = 1.0;
+            }
+          }
+        }
+        out.degraded = true;
+        out.achieved_quorum = min_fraction;
+        UOI_LOG_WARN.field("achieved_quorum", min_fraction)
+                .field("cells_lost",
+                       static_cast<std::uint64_t>(out.lost_cells.size()))
+            << "recovery budget exhausted; completing selection degraded "
+               "under bootstrap quorum";
+      } else {
+        if (!selection_complete) {
+          std::uint64_t missing = 0;
+          for (std::size_t i = 0; i < done_merged.size(); ++i) {
+            if (done_merged.data()[i] == 0.0) ++missing;
+          }
+          folded_rec.cells_recovered += missing;
+        }
+        save(*active);
       }
-      save(*active);
     }
   }
 
@@ -698,6 +759,12 @@ UoiLassoDistributedResult uoi_lasso_distributed(
               static_cast<double>(setup_flops_charged));
   metrics.add(trace_rank, "solver.setup_flops_amortized",
               static_cast<double>(setup_flops_amortized));
+  if (out.degraded) {
+    metrics.add(trace_rank, "recovery.degraded", 1.0);
+    metrics.add(trace_rank, "recovery.achieved_quorum", out.achieved_quorum);
+    metrics.add(trace_rank, "recovery.cells_lost",
+                static_cast<double>(out.lost_cells.size()));
+  }
   return out;
 }
 

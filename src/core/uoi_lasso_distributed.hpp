@@ -22,6 +22,9 @@
 // Given the same options/seed, the result matches the serial UoiLasso up to
 // solver tolerance (identical resamples by construction).
 
+#include <utility>
+#include <vector>
+
 #include "core/uoi_lasso.hpp"
 #include "simcluster/comm.hpp"
 
@@ -54,6 +57,17 @@ struct UoiLassoDistributedResult {
   /// feature i at lambda_j). Replicated; exposed so fault-injection tests
   /// can assert bit-identical counts against a fault-free run.
   uoi::linalg::Matrix selection_counts;
+  /// Quorum-degraded completion record (see UoiRecoveryOptions::
+  /// min_bootstrap_quorum). When `degraded` is set, the run exhausted its
+  /// recovery budget during selection and finished on a partial bootstrap
+  /// set: `achieved_quorum` is the smallest per-lambda completed fraction,
+  /// and `lost_cells` lists the abandoned (bootstrap, lambda) pairs whose
+  /// selection counts are missing from `selection_counts`. Candidate
+  /// supports were thresholded against the achieved per-lambda denominator
+  /// instead of B1.
+  bool degraded = false;
+  double achieved_quorum = 1.0;
+  std::vector<std::pair<std::size_t, std::size_t>> lost_cells;
 };
 
 /// Runs distributed UoI_LASSO. Collective: every rank of `comm` must call it

@@ -167,6 +167,51 @@ SchedulerSummary summarize_scheduler(
   return s;
 }
 
+/// Folds the per-rank recovery.* counters into one health summary. Rank
+/// counters that are genuinely per-rank (retries, detections) sum; counters
+/// that every survivor replicates (shrinks, cells) take the max so they do
+/// not multiply by the rank count; the achieved quorum takes the min (the
+/// binding constraint).
+HealthSummary summarize_health(
+    const std::vector<MetricsRegistry::Entry>& metrics) {
+  HealthSummary h;
+  for (const auto& entry : metrics) {
+    if (entry.name.rfind("recovery.", 0) != 0) continue;
+    h.present = true;
+    if (entry.name == "recovery.transient_faults") {
+      h.transient_faults += entry.value;
+    } else if (entry.name == "recovery.retries") {
+      h.retries += entry.value;
+    } else if (entry.name == "recovery.giveups") {
+      h.giveups += entry.value;
+    } else if (entry.name == "recovery.rank_failures_detected") {
+      h.rank_failures_detected += entry.value;
+    } else if (entry.name == "recovery.shrinks") {
+      h.shrinks = std::max(h.shrinks, entry.value);
+    } else if (entry.name == "recovery.cells_recovered") {
+      h.cells_recovered = std::max(h.cells_recovered, entry.value);
+    } else if (entry.name == "recovery.hangs_detected") {
+      h.hangs_detected += entry.value;
+    } else if (entry.name == "recovery.suspects_cleared") {
+      h.suspects_cleared += entry.value;
+    } else if (entry.name == "recovery.hang_detect_seconds") {
+      h.hang_detect_seconds_max =
+          std::max(h.hang_detect_seconds_max, entry.value);
+    } else if (entry.name == "recovery.crc_detected") {
+      h.crc_detected += entry.value;
+    } else if (entry.name == "recovery.retries_after_jitter") {
+      h.retries_after_jitter += entry.value;
+    } else if (entry.name == "recovery.degraded") {
+      h.degraded = h.degraded || entry.value != 0.0;
+    } else if (entry.name == "recovery.achieved_quorum") {
+      h.achieved_quorum = std::min(h.achieved_quorum, entry.value);
+    } else if (entry.name == "recovery.cells_lost") {
+      h.cells_lost = std::max(h.cells_lost, entry.value);
+    }
+  }
+  return h;
+}
+
 void append_bucket_fields(std::string& out, const RankBuckets& b) {
   using support::json_number;
   out += "\"rank\":" + std::to_string(b.rank);
@@ -301,6 +346,7 @@ RunReport build_run_report(const ReportInputs& inputs) {
   }
 
   report.scheduler = summarize_scheduler(inputs.metrics);
+  report.health = summarize_health(inputs.metrics);
 
   // Critical path.
   const CriticalPath cp =
@@ -401,6 +447,28 @@ std::string RunReport::to_json() const {
     out += ",\"placement_error\":" + json_number(scheduler.placement_error);
   }
   out += "}";
+  out += ",\"health\":{";
+  out += std::string("\"present\":") + (health.present ? "true" : "false");
+  if (health.present) {
+    out += ",\"transient_faults\":" + json_number(health.transient_faults);
+    out += ",\"retries\":" + json_number(health.retries);
+    out += ",\"giveups\":" + json_number(health.giveups);
+    out += ",\"rank_failures_detected\":" +
+           json_number(health.rank_failures_detected);
+    out += ",\"shrinks\":" + json_number(health.shrinks);
+    out += ",\"cells_recovered\":" + json_number(health.cells_recovered);
+    out += ",\"hangs_detected\":" + json_number(health.hangs_detected);
+    out += ",\"suspects_cleared\":" + json_number(health.suspects_cleared);
+    out += ",\"hang_detect_seconds_max\":" +
+           json_number(health.hang_detect_seconds_max);
+    out += ",\"crc_detected\":" + json_number(health.crc_detected);
+    out += ",\"retries_after_jitter\":" +
+           json_number(health.retries_after_jitter);
+    out += std::string(",\"degraded\":") + (health.degraded ? "true" : "false");
+    out += ",\"achieved_quorum\":" + json_number(health.achieved_quorum);
+    out += ",\"cells_lost\":" + json_number(health.cells_lost);
+  }
+  out += "}";
   out += ",\"metrics\":[";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     if (i != 0) out += ',';
@@ -466,6 +534,23 @@ std::string RunReport::to_text() const {
          format_fixed(scheduler.tasks_max_over_mean, 3),
          format_fixed(scheduler.placement_error, 3)});
     out += "scheduler:\n" + table.to_text();
+  }
+
+  if (health.present) {
+    support::Table table({"hangs", "cleared", "detect max", "crc",
+                          "transients", "retries", "shrinks", "degraded"});
+    table.add_row(
+        {format_fixed(health.hangs_detected, 0),
+         format_fixed(health.suspects_cleared, 0),
+         format_seconds(health.hang_detect_seconds_max),
+         format_fixed(health.crc_detected, 0),
+         format_fixed(health.transient_faults, 0),
+         format_fixed(health.retries, 0), format_fixed(health.shrinks, 0),
+         health.degraded
+             ? "quorum " + format_fixed(health.achieved_quorum, 3) + " (" +
+                   format_fixed(health.cells_lost, 0) + " cells lost)"
+             : "no"});
+    out += "health:\n" + table.to_text();
   }
 
   if (!latency.empty()) {

@@ -89,6 +89,30 @@ struct SchedulerSummary {
   double placement_error = 0.0;      ///< calibration mean |rel error| (max)
 };
 
+/// Fault/recovery health aggregated from the recovery.* metrics the
+/// cluster exports per rank: transient-fault retries, hang detections by
+/// the progress watchdog, CRC payload rejections, shrink-and-resume
+/// activity, and quorum-degraded completion. `present` is false (and the
+/// JSON section says so) when the run recorded no recovery activity — the
+/// common fault-free case.
+struct HealthSummary {
+  bool present = false;
+  double transient_faults = 0.0;       ///< sum over ranks
+  double retries = 0.0;                ///< sum over ranks
+  double giveups = 0.0;                ///< sum over ranks
+  double rank_failures_detected = 0.0; ///< sum over ranks
+  double shrinks = 0.0;                ///< max over ranks (replicated count)
+  double cells_recovered = 0.0;        ///< max over ranks (replicated count)
+  double hangs_detected = 0.0;         ///< sum: watchdog-confirmed hangs
+  double suspects_cleared = 0.0;       ///< sum: slow-but-alive exonerations
+  double hang_detect_seconds_max = 0.0;  ///< worst time-to-detect
+  double crc_detected = 0.0;           ///< sum: one-sided CRC rejections
+  double retries_after_jitter = 0.0;   ///< sum: jittered backoff retries
+  bool degraded = false;               ///< any rank completed under quorum
+  double achieved_quorum = 1.0;        ///< min over ranks reporting
+  double cells_lost = 0.0;             ///< max over ranks (replicated)
+};
+
 struct RunReport {
   double wall_seconds = 0.0;
   int n_ranks = 0;
@@ -131,11 +155,13 @@ struct RunReport {
 
   SchedulerSummary scheduler;
 
+  HealthSummary health;
+
   std::vector<support::MetricsRegistry::Entry> metrics;
 
-  /// {"schema":"uoi-run-report-v2", ...}. v2 adds the "scheduler" section;
-  /// every v1 key is preserved unchanged, so v1 consumers keep working by
-  /// ignoring the new section.
+  /// {"schema":"uoi-run-report-v2", ...}. v2 adds the "scheduler" and
+  /// "health" sections; every v1 key is preserved unchanged, so v1
+  /// consumers keep working by ignoring the new sections.
   [[nodiscard]] std::string to_json() const;
   /// Human summary: per-rank bucket table, imbalance and critical-path
   /// lines, latency-percentile table.

@@ -46,6 +46,16 @@ void export_rank_metrics(const Comm& comm) {
     metrics.add(rank, "recovery.checkpoint_resumes",
                 static_cast<double>(recovery.checkpoint_resumes));
     metrics.add(rank, "recovery.recovery_seconds", recovery.recovery_seconds);
+    metrics.add(rank, "recovery.hangs_detected",
+                static_cast<double>(recovery.hangs_detected));
+    metrics.add(rank, "recovery.suspects_cleared",
+                static_cast<double>(recovery.suspects_cleared));
+    metrics.add(rank, "recovery.hang_detect_seconds",
+                recovery.detect_seconds);
+    metrics.add(rank, "recovery.crc_detected",
+                static_cast<double>(recovery.crc_detected));
+    metrics.add(rank, "recovery.retries_after_jitter",
+                static_cast<double>(recovery.retries_after_jitter));
   }
 }
 

@@ -248,6 +248,7 @@ void Comm::send(int destination, std::span<const double> data, int tag) {
   if (context_->rank_is_failed(destination)) {
     raise_rank_failed("send to a failed rank");
   }
+  context_->registry()->bump_progress(global_rank());
   CommTraceScope span(*this, CommCategory::kPointToPoint);
   support::Stopwatch watch;
   std::vector<std::uint8_t> payload(data.size_bytes());
@@ -264,13 +265,49 @@ void Comm::send(int destination, std::span<const double> data, int tag) {
 
 void Comm::recv(int source, std::span<double> data, int tag) {
   UOI_CHECK(source >= 0 && source < size(), "recv source out of range");
+  context_->registry()->bump_progress(global_rank());
   CommTraceScope span(*this, CommCategory::kPointToPoint);
   support::Stopwatch watch;
   // Buffered messages win over an abort; an unmatched receive from a dead
-  // rank (or on a revoked communicator) raises instead of hanging.
+  // rank (or on a revoked communicator) raises instead of hanging. With
+  // the watchdog armed the wait is additionally deadline-bounded: the
+  // source is suspected at half the timeout and declared failed at the
+  // full timeout unless its progress epoch advanced (same two-phase cycle
+  // as the barrier watchdog).
+  const int source_global = context_->global_rank(source);
+  support::Stopwatch deadline_watch;
+  bool suspected = false;
   auto payload = context_->mailbox(source, rank_).collect(tag, [&] {
-    return context_->revoked() || context_->rank_is_failed(source) ||
-           context_->rank_is_failed(rank_);
+    if (context_->revoked() || context_->rank_is_failed(source) ||
+        context_->rank_is_failed(rank_)) {
+      return true;
+    }
+    if (!watchdog_.armed()) return false;
+    auto& registry = *context_->registry();
+    // Polling is progress: keep this rank's own epoch moving so a waiter
+    // elsewhere cannot mistake a blocked-but-alive receiver for a hang.
+    registry.bump_progress(global_rank());
+    const double elapsed = deadline_watch.seconds();
+    const double timeout = watchdog_.timeout_seconds();
+    if (!suspected && elapsed * 2.0 >= timeout) {
+      registry.suspect(source_global);
+      suspected = true;
+    } else if (suspected && elapsed >= timeout) {
+      switch (registry.confirm_or_clear_suspect(source_global)) {
+        case detail::FailureRegistry::SuspectVerdict::kConfirmed:
+          ++recovery_stats_.hangs_detected;
+          recovery_stats_.detect_seconds += elapsed;
+          return true;  // the source is now failed
+        case detail::FailureRegistry::SuspectVerdict::kCleared:
+          ++recovery_stats_.suspects_cleared;
+          break;
+        case detail::FailureRegistry::SuspectVerdict::kNone:
+          break;
+      }
+      deadline_watch.reset();
+      suspected = false;
+    }
+    return false;
   });
   if (!payload.has_value()) {
     raise_rank_failed("receive aborted: source rank failed");
@@ -588,6 +625,7 @@ Comm Comm::split(int color, int key) {
   // acknowledged must not re-raise through the child.
   child.latency_injector_ = latency_injector_;
   child.fault_plan_ = fault_plan_;
+  child.watchdog_ = watchdog_;
   child.acknowledged_fail_seq_ = acknowledged_fail_seq_;
   return child;
 }
@@ -642,6 +680,7 @@ Comm Comm::shrink() {
   Comm child(std::move(fresh), new_rank);
   child.latency_injector_ = latency_injector_;
   child.fault_plan_ = fault_plan_;
+  child.watchdog_ = watchdog_;
   // Every failure up to now is part of the epoch this shrink recovers
   // from; only *new* deaths raise through the shrunk communicator.
   child.acknowledged_fail_seq_ = registry->fail_seq();
@@ -673,6 +712,8 @@ void Comm::set_fault_plan(std::shared_ptr<const FaultPlan> plan) {
   fault_plan_ = std::move(plan);
 }
 
+void Comm::heartbeat() { context_->registry()->bump_progress(global_rank()); }
+
 void Comm::probe_failures() {
   if (context_->revoked()) {
     raise_rank_failed("probe on a revoked communicator");
@@ -687,7 +728,8 @@ void Comm::probe_failures() {
 void Comm::sync() {
   std::uint64_t snapshot = 0;
   try {
-    snapshot = context_->barrier_wait(rank_);
+    snapshot = context_->barrier_wait(
+        rank_, watchdog_.armed() ? &watchdog_ : nullptr, &recovery_stats_);
   } catch (const RankFailedError&) {
     // Revoked communicator or a failure observed mid-wait: account and
     // acknowledge exactly as a snapshot-detected failure.
@@ -707,24 +749,57 @@ void Comm::sync() {
 }
 
 void Comm::maybe_kill() {
-  if (fault_plan_ == nullptr) return;
   auto& registry = *context_->registry();
   const int global = global_rank();
+  // Collective entry is an implicit progress heartbeat, watchdog or not.
+  registry.bump_progress(global);
+  if (fault_plan_ == nullptr) return;
   const std::uint64_t op = registry.next_collective_op(global);
-  if (!fault_plan_->kills_at(global, op)) return;
-  registry.mark_failed(global);
-  support::Tracer::instance().instant("rank-killed",
-                                      support::TraceCategory::kFault, global);
-  UOI_LOG_WARN.field("rank", global).field("collective_op", op)
-      << "fault plan killed rank";
-  // Park until every surviving rank has either acknowledged this death or
-  // finished its SPMD function: survivors may still be inside a window
-  // epoch reading buffers that live on this rank's stack, so the stack
-  // must not unwind from under them.
-  registry.park_until_safe_to_unwind(global);
-  throw RankKilledError("rank " + std::to_string(global) +
-                        " killed by fault plan at its collective #" +
-                        std::to_string(op));
+  if (fault_plan_->kills_at(global, op)) {
+    registry.mark_failed(global);
+    support::Tracer::instance().instant("rank-killed",
+                                        support::TraceCategory::kFault, global);
+    UOI_LOG_WARN.field("rank", global).field("collective_op", op)
+        << "fault plan killed rank";
+    // Park until every surviving rank has either acknowledged this death or
+    // finished its SPMD function: survivors may still be inside a window
+    // epoch reading buffers that live on this rank's stack, so the stack
+    // must not unwind from under them.
+    registry.park_until_safe_to_unwind(global);
+    throw RankKilledError("rank " + std::to_string(global) +
+                          " killed by fault plan at its collective #" +
+                          std::to_string(op));
+  }
+  if (fault_plan_->hangs_at(global, op)) {
+    // The stall failure mode: stop participating without throwing. The
+    // rank's progress epoch freezes here; it unwinds only once a
+    // survivor's watchdog declares it dead. Without an armed watchdog in
+    // the job this deadlocks by design (ctest timeouts guard the tests).
+    support::Tracer::instance().instant("rank-hung",
+                                        support::TraceCategory::kFault, global);
+    UOI_LOG_WARN.field("rank", global).field("collective_op", op)
+        << "fault plan hung rank; waiting for the watchdog";
+    registry.wait_until_failed(global);
+    registry.park_until_safe_to_unwind(global);
+    throw RankKilledError("rank " + std::to_string(global) +
+                          " hung at its collective #" + std::to_string(op) +
+                          " and was declared failed by the watchdog");
+  }
+  if (const auto* slow = fault_plan_->slow_at(global, op)) {
+    // Stall without heartbeating, then continue — unless the watchdog
+    // (correctly, for stalls beyond the timeout) declared this rank dead
+    // mid-stall, in which case it unwinds like a planned kill.
+    support::Tracer::instance().instant("rank-stalled",
+                                        support::TraceCategory::kFault, global);
+    detail::busy_wait_seconds(slow->stall_seconds);
+    if (registry.is_failed(global)) {
+      registry.park_until_safe_to_unwind(global);
+      throw RankKilledError("rank " + std::to_string(global) +
+                            " stalled past the watchdog timeout at its "
+                            "collective #" + std::to_string(op));
+    }
+    registry.bump_progress(global);
+  }
 }
 
 void Comm::raise_rank_failed(const char* what) {
@@ -749,9 +824,10 @@ void Comm::raise_rank_failed(const char* what) {
 
 Comm::OneSidedAction Comm::onesided_fault_point() {
   OneSidedAction action;
-  if (fault_plan_ == nullptr) return action;
   auto& registry = *context_->registry();
   const int global = global_rank();
+  registry.bump_progress(global);
+  if (fault_plan_ == nullptr) return action;
   const std::uint64_t op = registry.next_onesided_op(global);
   const auto* fault = fault_plan_->onesided_at(global, op);
   if (fault == nullptr) return action;

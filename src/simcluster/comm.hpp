@@ -221,6 +221,20 @@ class Comm {
     return fault_plan_;
   }
 
+  /// Hang/stall watchdog for this handle's blocking waits. New handles
+  /// start from $UOI_COMM_TIMEOUT_MS (disarmed when unset); the setting is
+  /// inherited across split()/dup()/shrink() like the latency injector.
+  void set_watchdog(WatchdogConfig config) { watchdog_ = config; }
+  [[nodiscard]] const WatchdogConfig& watchdog() const noexcept {
+    return watchdog_;
+  }
+
+  /// Publishes a progress heartbeat for this rank. Every collective entry,
+  /// point-to-point op, and one-sided op heartbeats implicitly; drivers
+  /// call this inside long solver loops so a compute phase longer than the
+  /// watchdog timeout is not mistaken for a stall.
+  void heartbeat();
+
   /// Per-rank fault-tolerance accounting alongside stats().
   [[nodiscard]] const RecoveryStats& recovery_stats() const noexcept {
     return recovery_stats_;
@@ -282,6 +296,7 @@ class Comm {
   RecoveryStats recovery_stats_;
   LatencyInjector latency_injector_;
   std::shared_ptr<const FaultPlan> fault_plan_;
+  WatchdogConfig watchdog_ = WatchdogConfig::from_env();
   /// Failures with sequence <= this are already handled by this handle.
   std::uint64_t acknowledged_fail_seq_ = 0;
   bool progress_handle_ = false;

@@ -51,6 +51,10 @@ class FailureRegistry {
             static_cast<std::size_t>(job_size))),
         onesided_ops_(std::make_unique<std::atomic<std::uint64_t>[]>(
             static_cast<std::size_t>(job_size))),
+        progress_epochs_(std::make_unique<std::atomic<std::uint64_t>[]>(
+            static_cast<std::size_t>(job_size))),
+        suspected_epochs_(std::make_unique<std::atomic<std::uint64_t>[]>(
+            static_cast<std::size_t>(job_size))),
         death_seq_(static_cast<std::size_t>(job_size), 0),
         acked_seq_(static_cast<std::size_t>(job_size), 0),
         done_(static_cast<std::size_t>(job_size), false) {
@@ -58,6 +62,8 @@ class FailureRegistry {
       failed_[static_cast<std::size_t>(r)].store(false);
       collective_ops_[static_cast<std::size_t>(r)].store(0);
       onesided_ops_[static_cast<std::size_t>(r)].store(0);
+      progress_epochs_[static_cast<std::size_t>(r)].store(0);
+      suspected_epochs_[static_cast<std::size_t>(r)].store(kNotSuspected);
     }
   }
 
@@ -134,6 +140,82 @@ class FailureRegistry {
     return onesided_ops_[static_cast<std::size_t>(global_rank)]++;
   }
 
+  // --- Progress heartbeats and the hang-detection suspect table ----------
+  //
+  // Every rank bumps its progress epoch on each collective entry, each
+  // one-sided op, each point-to-point op, and each explicit
+  // Comm::heartbeat(). A watchdog-armed waiter that has been blocked for
+  // half its timeout *suspects* every straggler, recording the straggler's
+  // epoch; at the full timeout it revisits each suspect and either clears
+  // the suspicion (the epoch advanced: slow but alive) or claims it and
+  // promotes the suspect to failed via mark_failed. The epoch comparison
+  // is the agreement mechanism: every timed-out waiter evaluates the same
+  // shared epochs, the claim CAS picks exactly one detector, and
+  // mark_failed's release-snapshot machinery makes every survivor observe
+  // the death at the same logical collective (DESIGN.md §10).
+
+  /// Heartbeat: this rank is alive and making progress. Also withdraws any
+  /// pending (unclaimed) suspicion against it.
+  void bump_progress(int global_rank) {
+    const auto r = static_cast<std::size_t>(global_rank);
+    progress_epochs_[r].fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t suspected = suspected_epochs_[r].load(std::memory_order_relaxed);
+    if (suspected != kNotSuspected) {
+      suspected_epochs_[r].compare_exchange_strong(suspected, kNotSuspected);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t progress_epoch(int global_rank) const {
+    return progress_epochs_[static_cast<std::size_t>(global_rank)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Records a suspicion against `global_rank` at its current epoch; a
+  /// no-op if it is already suspected, already claimed, or already dead.
+  /// Suspicion alone is harmless — it only matures into a failure if the
+  /// epoch is still unchanged when a waiter's full timeout expires.
+  void suspect(int global_rank) {
+    const auto r = static_cast<std::size_t>(global_rank);
+    if (is_failed(global_rank)) return;
+    std::uint64_t expected = kNotSuspected;
+    suspected_epochs_[r].compare_exchange_strong(
+        expected, progress_epochs_[r].load(std::memory_order_relaxed));
+  }
+
+  enum class SuspectVerdict {
+    kNone,      ///< not suspected / already claimed / already dead
+    kCleared,   ///< epoch advanced since suspicion: alive, suspicion dropped
+    kConfirmed  ///< this caller claimed the suspect and marked it failed
+  };
+
+  /// Revisits a suspicion recorded by suspect(). The claim CAS guarantees
+  /// exactly one caller per death sees kConfirmed (and charges the
+  /// detection), no matter how many timed-out waiters race here.
+  SuspectVerdict confirm_or_clear_suspect(int global_rank) {
+    const auto r = static_cast<std::size_t>(global_rank);
+    std::uint64_t at = suspected_epochs_[r].load();
+    if (at == kNotSuspected || at == kClaimed || is_failed(global_rank)) {
+      return SuspectVerdict::kNone;
+    }
+    if (progress_epochs_[r].load(std::memory_order_relaxed) != at) {
+      suspected_epochs_[r].compare_exchange_strong(at, kNotSuspected);
+      return SuspectVerdict::kCleared;
+    }
+    if (!suspected_epochs_[r].compare_exchange_strong(at, kClaimed)) {
+      return SuspectVerdict::kNone;
+    }
+    mark_failed(global_rank);
+    return SuspectVerdict::kConfirmed;
+  }
+
+  /// Blocks until `global_rank` has been marked failed (by a watchdog or a
+  /// fault plan). Used by FaultPlan::HangRank victims: the hung rank stops
+  /// participating here and only unwinds once a survivor declared it dead.
+  void wait_until_failed(int global_rank) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return is_failed(global_rank); });
+  }
+
   void register_context(Context* context) {
     std::lock_guard<std::mutex> lock(mutex_);
     contexts_.push_back(context);
@@ -145,6 +227,10 @@ class FailureRegistry {
   }
 
  private:
+  /// Suspect-table sentinels (progress epochs are far below either).
+  static constexpr std::uint64_t kNotSuspected = ~std::uint64_t{0};
+  static constexpr std::uint64_t kClaimed = ~std::uint64_t{0} - 1;
+
   [[nodiscard]] std::uint64_t death_seq_in_lock_free(int global_rank) {
     std::lock_guard<std::mutex> lock(mutex_);
     return death_seq_[static_cast<std::size_t>(global_rank)];
@@ -158,6 +244,8 @@ class FailureRegistry {
   std::atomic<std::uint64_t> fail_seq_{0};
   std::unique_ptr<std::atomic<std::uint64_t>[]> collective_ops_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> onesided_ops_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> progress_epochs_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> suspected_epochs_;
   std::vector<std::uint64_t> death_seq_;  // guarded by mutex_
   std::vector<std::uint64_t> acked_seq_;  // guarded by mutex_
   std::vector<bool> done_;                // guarded by mutex_
@@ -267,7 +355,15 @@ class Context {
   /// survivor detects a failure at the same logical collective. Throws
   /// RankFailedError when the context is revoked or the caller itself is
   /// marked dead (a dying rank's pending background work must not hang).
-  std::uint64_t barrier_wait(int rank) {
+  ///
+  /// With a null/disarmed `watchdog` the wait is a plain (untimed)
+  /// condition wait — the seed behavior, bitwise unchanged. Armed, the
+  /// wait is deadline-bounded: stragglers are suspected at half the
+  /// timeout and, if their progress epoch has not advanced by the full
+  /// timeout, declared failed (watchdog detections and cleared suspicions
+  /// are charged to `recovery` when non-null).
+  std::uint64_t barrier_wait(int rank, const WatchdogConfig* watchdog = nullptr,
+                             RecoveryStats* recovery = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
     throw_if_unusable(rank);
     arrived_[static_cast<std::size_t>(rank)] = 1;
@@ -276,10 +372,14 @@ class Context {
       release_barrier_locked();
       return release_snapshot_;
     }
-    cv_.wait(lock, [&] {
-      return generation_ != my_generation || revoked_.load() ||
-             rank_is_failed(rank);
-    });
+    if (watchdog == nullptr || !watchdog->armed()) {
+      cv_.wait(lock, [&] {
+        return generation_ != my_generation || revoked_.load() ||
+               rank_is_failed(rank);
+      });
+    } else {
+      watchdog_wait_locked(lock, rank, my_generation, *watchdog, recovery);
+    }
     if (generation_ != my_generation) return release_snapshot_;
     // Woken without a release: revoked, or this rank was marked dead while
     // waiting. Withdraw the arrival so the flag cannot leak into a later
@@ -376,6 +476,80 @@ class Context {
     }
     if (rank_is_failed(rank)) {
       throw RankFailedError("collective entered by a failed rank");
+    }
+  }
+
+  /// Global ranks that are alive but have not arrived at the current
+  /// barrier generation. Caller holds mutex_.
+  [[nodiscard]] std::vector<int> straggler_globals_locked() const {
+    std::vector<int> out;
+    for (int r = 0; r < size_; ++r) {
+      if (!rank_is_failed(r) && arrived_[static_cast<std::size_t>(r)] == 0) {
+        out.push_back(global_rank(r));
+      }
+    }
+    return out;
+  }
+
+  /// Deadline-bounded barrier wait (watchdog armed). Two-phase cycle:
+  /// suspect every straggler at timeout/2, then at the full timeout either
+  /// clear the suspicion (its progress epoch advanced — slow but alive) or
+  /// claim it and promote it to failed. The cycle restarts after each
+  /// confirmation round so a rank that wedges later is still caught.
+  /// Registry calls run with mutex_ released (lock order: registry before
+  /// context; mark_failed sweeps back into on_failure_update).
+  void watchdog_wait_locked(std::unique_lock<std::mutex>& lock, int rank,
+                            std::uint64_t my_generation,
+                            const WatchdogConfig& watchdog,
+                            RecoveryStats* recovery) {
+    const auto released = [&] {
+      return generation_ != my_generation || revoked_.load() ||
+             rank_is_failed(rank);
+    };
+    const auto timeout = std::chrono::milliseconds(watchdog.timeout_ms);
+    const auto poll = std::chrono::milliseconds(
+        std::max<long>(1, std::min<long>(watchdog.timeout_ms / 8, 50)));
+    auto cycle_start = std::chrono::steady_clock::now();
+    bool suspects_recorded = false;
+    while (!released()) {
+      cv_.wait_for(lock, poll);
+      if (released()) return;
+      // Polling is progress: this rank may itself be a straggler of some
+      // *other* communicator's collective (a group member waiting on a hung
+      // peer stalls transitively), and only the rank whose poll loop has
+      // genuinely frozen should ever be confirmed. bump_progress is pure
+      // atomics, so it is safe under mutex_.
+      registry_->bump_progress(global_rank(rank));
+      const auto elapsed = std::chrono::steady_clock::now() - cycle_start;
+      if (!suspects_recorded && elapsed * 2 >= timeout) {
+        const auto stragglers = straggler_globals_locked();
+        lock.unlock();
+        for (const int g : stragglers) registry_->suspect(g);
+        lock.lock();
+        suspects_recorded = true;
+      } else if (suspects_recorded && elapsed >= timeout) {
+        const auto stragglers = straggler_globals_locked();
+        lock.unlock();
+        for (const int g : stragglers) {
+          switch (registry_->confirm_or_clear_suspect(g)) {
+            case FailureRegistry::SuspectVerdict::kConfirmed:
+              if (recovery != nullptr) {
+                ++recovery->hangs_detected;
+                recovery->detect_seconds +=
+                    std::chrono::duration<double>(elapsed).count();
+              }
+              break;
+            case FailureRegistry::SuspectVerdict::kCleared:
+              if (recovery != nullptr) ++recovery->suspects_cleared;
+              break;
+            case FailureRegistry::SuspectVerdict::kNone:
+              break;
+          }
+        }
+        lock.lock();
+        cycle_start = std::chrono::steady_clock::now();
+        suspects_recorded = false;
+      }
     }
   }
 

@@ -1,5 +1,7 @@
 #include "simcluster/fault.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <thread>
 
 #include "support/rng.hpp"
@@ -12,6 +14,32 @@ bool FaultPlan::kills_at(int rank, std::uint64_t op) const {
     if (kill.rank == rank && kill.at_collective == op) return true;
   }
   return false;
+}
+
+bool FaultPlan::hangs_at(int rank, std::uint64_t op) const {
+  for (const auto& hang : hangs) {
+    if (hang.rank == rank && hang.at_collective == op) return true;
+  }
+  return false;
+}
+
+const FaultPlan::SlowRank* FaultPlan::slow_at(int rank,
+                                              std::uint64_t op) const {
+  for (const auto& slow : slows) {
+    if (slow.rank == rank && slow.at_collective == op) return &slow;
+  }
+  return nullptr;
+}
+
+WatchdogConfig WatchdogConfig::from_env() {
+  static const WatchdogConfig cached = [] {
+    WatchdogConfig config;
+    if (const char* raw = std::getenv("UOI_COMM_TIMEOUT_MS")) {
+      config.timeout_ms = std::strtol(raw, nullptr, 10);
+    }
+    return config;
+  }();
+  return cached;
 }
 
 const FaultPlan::OneSidedFault* FaultPlan::onesided_at(
@@ -53,13 +81,20 @@ RecoveryStats& RecoveryStats::operator+=(const RecoveryStats& other) {
   cells_recovered += other.cells_recovered;
   checkpoint_resumes += other.checkpoint_resumes;
   recovery_seconds += other.recovery_seconds;
+  hangs_detected += other.hangs_detected;
+  suspects_cleared += other.suspects_cleared;
+  detect_seconds += other.detect_seconds;
+  crc_detected += other.crc_detected;
+  retries_after_jitter += other.retries_after_jitter;
   return *this;
 }
 
 bool RecoveryStats::any() const {
   return transient_faults != 0 || retries != 0 || giveups != 0 ||
          rank_failures_detected != 0 || shrinks != 0 ||
-         cells_recovered != 0 || checkpoint_resumes != 0;
+         cells_recovered != 0 || checkpoint_resumes != 0 ||
+         hangs_detected != 0 || suspects_cleared != 0 || crc_detected != 0 ||
+         retries_after_jitter != 0;
 }
 
 namespace detail {
@@ -68,6 +103,21 @@ void busy_wait_seconds(double seconds) {
   if (seconds <= 0.0) return;
   support::Stopwatch watch;
   while (watch.seconds() < seconds) std::this_thread::yield();
+}
+
+double decorrelated_jitter(double base, double previous,
+                           std::uint64_t& state) {
+  // splitmix64 step: cheap, seedable, and good enough to decorrelate
+  // backoff schedules across ranks.
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double unit =
+      static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);  // [0, 1)
+  const double upper = std::max(base, 3.0 * previous);
+  return base + unit * (upper - base);
 }
 
 }  // namespace detail

@@ -65,6 +65,29 @@ struct FaultPlan {
     std::uint64_t at_collective = 0;
   };
 
+  /// Hang `rank` at its `at_collective`-th collective: the rank stops
+  /// participating (no barrier arrival, no heartbeat) without throwing —
+  /// the stall failure mode the watchdog exists to detect. The victim
+  /// blocks until a survivor's watchdog marks it failed, then unwinds
+  /// with RankKilledError like a planned kill. Requires an armed
+  /// watchdog somewhere in the job, or the test deadlocks (guarded by
+  /// ctest timeouts).
+  struct HangRank {
+    int rank = -1;
+    std::uint64_t at_collective = 0;
+  };
+
+  /// Stall `rank` for `stall_seconds` at its `at_collective`-th collective
+  /// entry, then continue normally — unless the watchdog declared it dead
+  /// mid-stall, in which case it unwinds with RankKilledError. Used to
+  /// exercise the false-positive boundary: a stall below the timeout must
+  /// complete with zero detections; one well above it must be detected.
+  struct SlowRank {
+    int rank = -1;
+    std::uint64_t at_collective = 0;
+    double stall_seconds = 0.0;
+  };
+
   enum class OneSidedKind {
     kTransient,  ///< the operation throws TransientCommError
     kDelay,      ///< the operation busy-waits delay_seconds, then succeeds
@@ -83,9 +106,14 @@ struct FaultPlan {
   };
 
   std::vector<KillRank> kills;
+  std::vector<HangRank> hangs;
+  std::vector<SlowRank> slows;
   std::vector<OneSidedFault> onesided;
 
   [[nodiscard]] bool kills_at(int rank, std::uint64_t op) const;
+  [[nodiscard]] bool hangs_at(int rank, std::uint64_t op) const;
+  /// The stall covering this (rank, op), or nullptr. First match wins.
+  [[nodiscard]] const SlowRank* slow_at(int rank, std::uint64_t op) const;
   /// The fault covering this (rank, op), or nullptr. First match wins.
   [[nodiscard]] const OneSidedFault* onesided_at(int rank,
                                                  std::uint64_t op) const;
@@ -98,12 +126,36 @@ struct FaultPlan {
                                                    std::size_t n_faults);
 };
 
+/// Hang/stall detection policy for one communicator handle. Disarmed by
+/// default so the runtime's blocking waits stay plain condition-variable
+/// waits and seed behavior is bitwise unchanged; armed (timeout_ms > 0)
+/// they become deadline-bounded polls that suspect progress-stalled peers
+/// at half the timeout and declare them failed at the full timeout.
+struct WatchdogConfig {
+  long timeout_ms = 0;  ///< <= 0 disarms the watchdog entirely
+
+  [[nodiscard]] bool armed() const noexcept { return timeout_ms > 0; }
+  [[nodiscard]] double timeout_seconds() const noexcept {
+    return static_cast<double>(timeout_ms) / 1000.0;
+  }
+
+  /// Reads $UOI_COMM_TIMEOUT_MS once per process (unset/invalid/<=0 keeps
+  /// the watchdog disarmed). New Comm handles start from this.
+  [[nodiscard]] static WatchdogConfig from_env();
+};
+
 /// Bounded retry policy for one-sided operations.
 struct RetryOptions {
   int max_attempts = 4;                     ///< total tries, including the first
   double base_backoff_seconds = 50e-6;      ///< wait before the 2nd attempt
   double backoff_multiplier = 2.0;          ///< exponential growth per retry
   double backoff_budget_seconds = 0.25;     ///< give up once total wait exceeds
+  /// Decorrelated jitter ("full jitter" variant of exponential backoff):
+  /// each wait is drawn uniformly from [base, 3 * previous wait), capped by
+  /// the budget, which de-synchronizes retry storms when many ranks hit the
+  /// same congested window. Off by default (deterministic backoff).
+  bool jitter = false;
+  std::uint64_t jitter_seed = 0x6a177e5ULL;  ///< per-call stream seed
 };
 
 /// Per-rank fault-tolerance accounting, the recovery-side companion of
@@ -118,6 +170,11 @@ struct RecoveryStats {
   std::uint64_t cells_recovered = 0;         ///< (bootstrap, lambda) redone
   std::uint64_t checkpoint_resumes = 0;      ///< selection resumed from disk
   double recovery_seconds = 0.0;             ///< detection -> shrunk comm ready
+  std::uint64_t hangs_detected = 0;      ///< stalled peers this rank declared dead
+  std::uint64_t suspects_cleared = 0;    ///< suspicions withdrawn (peer progressed)
+  double detect_seconds = 0.0;           ///< blocked-wait start -> hang declared
+  std::uint64_t crc_detected = 0;        ///< one-sided payloads failing the CRC
+  std::uint64_t retries_after_jitter = 0;  ///< retries whose backoff was jittered
 
   RecoveryStats& operator+=(const RecoveryStats& other);
   void clear() { *this = RecoveryStats{}; }
@@ -129,6 +186,11 @@ namespace detail {
 /// Busy-waits (with yields) so injected delays consume wall time the same
 /// way the latency injector does.
 void busy_wait_seconds(double seconds);
+
+/// One decorrelated-jitter draw: uniform in [base, max(base, 3 * previous)),
+/// advancing `state` (splitmix-style, deterministic for a given seed).
+[[nodiscard]] double decorrelated_jitter(double base, double previous,
+                                         std::uint64_t& state);
 }  // namespace detail
 
 /// Runs `fn` with bounded exponential-backoff retry around transient
@@ -142,6 +204,7 @@ auto retry_onesided(CommT& comm, const RetryOptions& options, Fn&& fn)
     -> decltype(fn()) {
   double backoff = options.base_backoff_seconds;
   double total_backoff = 0.0;
+  std::uint64_t jitter_state = options.jitter_seed | 1ULL;
   for (int attempt = 1;; ++attempt) {
     try {
       return fn();
@@ -155,6 +218,11 @@ auto retry_onesided(CommT& comm, const RetryOptions& options, Fn&& fn)
             std::to_string(attempt) + " attempts (" + error.what() + ")");
       }
       ++recovery.retries;
+      if (options.jitter) {
+        backoff = detail::decorrelated_jitter(options.base_backoff_seconds,
+                                              backoff, jitter_state);
+        ++recovery.retries_after_jitter;
+      }
       UOI_LOG_DEBUG.field("attempt", attempt)
               .field("backoff_seconds", backoff)
           << "transient one-sided fault; retrying";
@@ -166,7 +234,7 @@ auto retry_onesided(CommT& comm, const RetryOptions& options, Fn&& fn)
       }
       recovery.backoff_seconds += backoff;
       total_backoff += backoff;
-      backoff *= options.backoff_multiplier;
+      if (!options.jitter) backoff *= options.backoff_multiplier;
     }
   }
 }

@@ -1,11 +1,13 @@
 #include "simcluster/window.hpp"
 
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "simcluster/context.hpp"
+#include "support/crc32.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
 
@@ -34,6 +36,20 @@ void corrupt_first(std::span<double> data) {
   std::memcpy(&bits, &data[0], sizeof(bits));
   bits ^= 0x0008000000000000ULL;
   std::memcpy(&data[0], &bits, sizeof(bits));
+}
+
+/// $UOI_ONESIDED_CRC (set, non-empty, not "0") arms the payload integrity
+/// guard: put/get checksum the source before the copy and verify the
+/// destination afterwards, turning corruption into a retryable
+/// TransientCommError. Off by default — the checksum costs a second pass
+/// over every transferred payload.
+bool onesided_crc_enabled() {
+  static const bool enabled = [] {
+    const char* raw = std::getenv("UOI_ONESIDED_CRC");
+    return raw != nullptr && raw[0] != '\0' &&
+           !(raw[0] == '0' && raw[1] == '\0');
+  }();
+  return enabled;
 }
 
 }  // namespace
@@ -82,11 +98,24 @@ void Window::get(int target, std::size_t offset, std::span<double> out) {
                  "one-sided get out of the target buffer's range");
   support::Stopwatch watch;
   detail::busy_wait_seconds(action.delay_seconds);
+  const bool check_crc = onesided_crc_enabled() && !out.empty();
+  std::uint32_t source_crc = 0;
   if (!out.empty()) {
+    if (check_crc) {
+      source_crc =
+          support::crc32(state_->bases[t] + offset, out.size_bytes());
+    }
     std::memcpy(out.data(), state_->bases[t] + offset, out.size_bytes());
   }
   if (action.corrupt) corrupt_first(out);
   comm_->account_onesided(out.size_bytes(), watch.seconds());
+  if (check_crc &&
+      support::crc32(out.data(), out.size_bytes()) != source_crc) {
+    auto& recovery = comm_->mutable_recovery_stats();
+    ++recovery.crc_detected;
+    ++recovery.transient_faults;
+    throw TransientCommError("one-sided get payload failed the CRC check");
+  }
 }
 
 void Window::put(int target, std::size_t offset, std::span<const double> in) {
@@ -100,14 +129,30 @@ void Window::put(int target, std::size_t offset, std::span<const double> in) {
                  "one-sided put out of the target buffer's range");
   support::Stopwatch watch;
   detail::busy_wait_seconds(action.delay_seconds);
+  const bool check_crc = onesided_crc_enabled() && !in.empty();
+  bool crc_mismatch = false;
   if (!in.empty()) {
+    const std::uint32_t source_crc =
+        check_crc ? support::crc32(in.data(), in.size_bytes()) : 0;
     std::lock_guard<std::mutex> lock(state_->locks[t]);
     std::memcpy(state_->bases[t] + offset, in.data(), in.size_bytes());
     if (action.corrupt) {
       corrupt_first({state_->bases[t] + offset, in.size()});
     }
+    // Verify the landed bytes under the target lock so a concurrent put to
+    // an overlapping range cannot masquerade as corruption.
+    crc_mismatch =
+        check_crc &&
+        support::crc32(state_->bases[t] + offset, in.size_bytes()) !=
+            source_crc;
   }
   comm_->account_onesided(in.size_bytes(), watch.seconds());
+  if (crc_mismatch) {
+    auto& recovery = comm_->mutable_recovery_stats();
+    ++recovery.crc_detected;
+    ++recovery.transient_faults;
+    throw TransientCommError("one-sided put payload failed the CRC check");
+  }
 }
 
 void Window::accumulate_add(int target, std::size_t offset,

@@ -1,0 +1,19 @@
+#pragma once
+// CRC-32 (IEEE 802.3 polynomial, reflected) over raw bytes. Used as the
+// one-sided payload integrity guard: with $UOI_ONESIDED_CRC enabled, Window
+// put/get checksum the source payload before the copy and verify the
+// destination afterwards, so an injected (or real) in-flight corruption
+// surfaces as a retryable TransientCommError instead of silently poisoning
+// selection counts. Table-driven, no dependencies.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace uoi::support {
+
+/// CRC-32 of `size` bytes at `data`. `seed` chains incremental updates:
+/// crc32(b, crc32(a)) == crc32(a ++ b).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+}  // namespace uoi::support

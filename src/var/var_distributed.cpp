@@ -347,6 +347,9 @@ UoiVarDistributedResult uoi_var_distributed(
        1.0 - 1.0 / static_cast<double>(p),
        {}},
       {},
+      {},
+      false,
+      1.0,
       {}};
   UoiVarResult& model = out.model;
 
@@ -460,6 +463,9 @@ UoiVarDistributedResult uoi_var_distributed(
 
   const auto save = [&](Comm& c) {
     if (!checkpointing || c.rank() != 0) return;
+    // Degraded runs mark their lost cells done; persisting that would let
+    // a later full-quorum resume silently inherit the losses.
+    if (out.degraded) return;
     uoi::core::SelectionCheckpoint checkpoint;
     checkpoint.fingerprint = fingerprint;
     checkpoint.lambdas = model.lambdas;
@@ -834,17 +840,26 @@ UoiVarDistributedResult uoi_var_distributed(
   // ---- Recovery attempt loop (see uoi_lasso_distributed.cpp) ----
   bool selection_complete = false;
   int attempts_left = recovery.max_recovery_attempts;
+  // Per-lambda completed-bootstrap counts of a quorum-degraded run; the
+  // intersection thresholds renormalize to these instead of B1.
+  std::vector<double> degraded_achieved;
   for (;;) {
     try {
       if (!selection_complete) {
         run_selection(*active);
-        const double count_threshold = std::max(
+        const double base_threshold = std::max(
             1.0, std::ceil(options.intersection_fraction *
                                static_cast<double>(b1) -
                            1e-12));
         model.candidate_supports.clear();
         model.candidate_supports.reserve(q);
         for (std::size_t j = 0; j < q; ++j) {
+          const double count_threshold =
+              out.degraded
+                  ? std::max(1.0, std::ceil(options.intersection_fraction *
+                                                degraded_achieved[j] -
+                                            1e-12))
+                  : base_threshold;
           std::vector<std::size_t> selected;
           const auto row = counts_merged.row(j);
           for (std::size_t i = 0; i < n_coeffs; ++i) {
@@ -857,7 +872,11 @@ UoiVarDistributedResult uoi_var_distributed(
       run_estimation(*active);
       break;
     } catch (const uoi::sim::RankFailedError&) {
-      if (attempts_left-- <= 0) {
+      const bool out_of_attempts = attempts_left-- <= 0;
+      // Quorum-degraded completion is a selection-phase escape hatch only.
+      const bool try_degraded = out_of_attempts && !selection_complete &&
+                                recovery.min_bootstrap_quorum < 1.0;
+      if (out_of_attempts && !try_degraded) {
         // Give up symmetrically: uneven groups detect a death at different
         // collectives, so a rank that exits here could leave a peer blocked
         // in a comm-wide barrier forever. Revoking wakes it to follow.
@@ -875,14 +894,50 @@ UoiVarDistributedResult uoi_var_distributed(
       active = &*owned;
       n_groups = std::min(n_groups, active->size());
       merge(*active);
-      if (!selection_complete) {
-        std::uint64_t missing = 0;
-        for (std::size_t i = 0; i < done_merged.size(); ++i) {
-          if (done_merged.data()[i] == 0.0) ++missing;
+      if (try_degraded) {
+        // Decide from the replicated done matrix so every survivor takes
+        // the same branch; capture the achieved counts BEFORE the lost
+        // cells are marked done.
+        degraded_achieved.assign(q, 0.0);
+        for (std::size_t k = 0; k < b1; ++k) {
+          for (std::size_t j = 0; j < q; ++j) {
+            degraded_achieved[j] += done_merged(k, j);
+          }
         }
-        folded_rec.cells_recovered += missing;
+        double min_fraction = 1.0;
+        for (std::size_t j = 0; j < q; ++j) {
+          min_fraction = std::min(
+              min_fraction, degraded_achieved[j] / static_cast<double>(b1));
+        }
+        if (min_fraction < recovery.min_bootstrap_quorum) {
+          active->revoke();
+          throw;
+        }
+        for (std::size_t k = 0; k < b1; ++k) {
+          for (std::size_t j = 0; j < q; ++j) {
+            if (done_merged(k, j) == 0.0) {
+              out.lost_cells.emplace_back(k, j);
+              done_merged(k, j) = 1.0;
+            }
+          }
+        }
+        out.degraded = true;
+        out.achieved_quorum = min_fraction;
+        UOI_LOG_WARN.field("achieved_quorum", min_fraction)
+                .field("cells_lost",
+                       static_cast<std::uint64_t>(out.lost_cells.size()))
+            << "recovery budget exhausted; completing VAR selection "
+               "degraded under bootstrap quorum";
+      } else {
+        if (!selection_complete) {
+          std::uint64_t missing = 0;
+          for (std::size_t i = 0; i < done_merged.size(); ++i) {
+            if (done_merged.data()[i] == 0.0) ++missing;
+          }
+          folded_rec.cells_recovered += missing;
+        }
+        save(*active);
       }
-      save(*active);
     }
   }
 
@@ -935,6 +990,12 @@ UoiVarDistributedResult uoi_var_distributed(
               static_cast<double>(setup_flops_charged));
   metrics.add(trace_rank, "solver.setup_flops_amortized",
               static_cast<double>(setup_flops_amortized));
+  if (out.degraded) {
+    metrics.add(trace_rank, "recovery.degraded", 1.0);
+    metrics.add(trace_rank, "recovery.achieved_quorum", out.achieved_quorum);
+    metrics.add(trace_rank, "recovery.cells_lost",
+                static_cast<double>(out.lost_cells.size()));
+  }
   return out;
 }
 

@@ -99,6 +99,12 @@ struct UoiVarDistributedResult {
   /// exposed so fault-injection tests can assert bit-identical counts
   /// against a fault-free run.
   uoi::linalg::Matrix selection_counts;
+  /// Quorum-degraded completion record; same semantics as
+  /// UoiLassoDistributedResult (see UoiRecoveryOptions::
+  /// min_bootstrap_quorum).
+  bool degraded = false;
+  double achieved_quorum = 1.0;
+  std::vector<std::pair<std::size_t, std::size_t>> lost_cells;
 };
 
 /// Distributed UoI_VAR driver. Collective over `comm`; the full series is

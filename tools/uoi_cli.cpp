@@ -39,7 +39,23 @@
 // faultdemo-specific:
 //   --ranks P             simulated cluster size (default 4)
 //   --inject-fault R@S    kill global rank R at its S-th collective
+//   --hang R@S            hang global rank R at its S-th collective; needs
+//                         the watchdog armed (--comm-timeout-ms) so the
+//                         survivors can detect the stalled rank and recover
+//   --comm-timeout-ms MS  arm the per-rank progress watchdog: a rank whose
+//                         progress epoch stays flat for MS milliseconds at a
+//                         synchronization point is declared failed
+//                         (equivalent to $UOI_COMM_TIMEOUT_MS)
+//   --min-bootstrap-quorum F
+//                         allow quorum-degraded completion: when the
+//                         recovery budget is exhausted mid-selection, finish
+//                         anyway if >= F of the selection bootstraps
+//                         completed at every lambda (default 1.0 = off)
 //   --max-retries N       one-sided retry budget (default 4)
+//   --max-recovery-attempts N
+//                         shrink-and-resume budget for rank failures
+//                         (default 1); 0 + --min-bootstrap-quorum shows
+//                         quorum-degraded completion
 
 #include <cstdio>
 #include <cstdlib>
@@ -94,7 +110,11 @@ struct Args {
   std::string report_json_path;  ///< run-report output, empty = no report
   std::string analyze_input;  ///< trace file for `uoi analyze`
   std::string inject_fault;  ///< "rank@step", empty = no fault
+  std::string hang_fault;    ///< "rank@step" hang injection, empty = none
+  long comm_timeout_ms = -1;  ///< watchdog timeout; < 0 defers to env
+  double min_bootstrap_quorum = 1.0;  ///< degraded-completion floor
   int max_retries = 4;
+  int max_recovery_attempts = 1;  ///< shrink-and-resume budget
   int ranks = 4;
   /// kAuto defers to $UOI_SCHED_POLICY (default cost_lpt).
   uoi::sched::SchedulePolicy sched_policy = uoi::sched::SchedulePolicy::kAuto;
@@ -110,7 +130,9 @@ struct Args {
                "[--tolerance T] [--dot FILE] [--json FILE] [--save-model FILE] "
                "[--forecast H] [--seed S] [--checkpoint-path FILE] "
                "[--trace-json FILE] [--report-json FILE] "
-               "[--ranks P] [--inject-fault RANK@STEP] [--max-retries N] "
+               "[--ranks P] [--inject-fault RANK@STEP] [--hang RANK@STEP] "
+               "[--comm-timeout-ms MS] [--min-bootstrap-quorum F] "
+               "[--max-retries N] [--max-recovery-attempts N] "
                "[--sched-policy static|cost_lpt|work_steal] "
                "[--solver-cache-mb MB]\n"
                "       %s analyze TRACE.json [--report-json FILE]\n",
@@ -163,8 +185,30 @@ Args parse_args(int argc, char** argv) {
       args.analyze_input = flag;
     } else if (flag == "--inject-fault") {
       args.inject_fault = value();
+    } else if (flag == "--hang") {
+      args.hang_fault = value();
+    } else if (flag == "--comm-timeout-ms") {
+      args.comm_timeout_ms = std::strtol(value(), nullptr, 10);
+      if (args.comm_timeout_ms <= 0) {
+        std::fprintf(stderr, "--comm-timeout-ms must be > 0\n");
+        usage(argv[0]);
+      }
+    } else if (flag == "--min-bootstrap-quorum") {
+      args.min_bootstrap_quorum = std::strtod(value(), nullptr);
+      if (args.min_bootstrap_quorum <= 0.0 ||
+          args.min_bootstrap_quorum > 1.0) {
+        std::fprintf(stderr, "--min-bootstrap-quorum must be in (0, 1]\n");
+        usage(argv[0]);
+      }
     } else if (flag == "--max-retries") {
       args.max_retries = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (flag == "--max-recovery-attempts") {
+      args.max_recovery_attempts =
+          static_cast<int>(std::strtol(value(), nullptr, 10));
+      if (args.max_recovery_attempts < 0) {
+        std::fprintf(stderr, "--max-recovery-attempts must be >= 0\n");
+        usage(argv[0]);
+      }
     } else if (flag == "--ranks") {
       args.ranks = static_cast<int>(std::strtol(value(), nullptr, 10));
     } else if (flag == "--sched-policy") {
@@ -442,27 +486,59 @@ int run_faultdemo(const Args& args) {
   options.recovery.checkpoint_path = args.checkpoint_path;
   options.recovery.checkpoint_interval = 1;
   options.recovery.onesided_max_attempts = args.max_retries;
+  options.recovery.max_recovery_attempts = args.max_recovery_attempts;
+  options.recovery.min_bootstrap_quorum = args.min_bootstrap_quorum;
+
+  // Parses "RANK@STEP"; returns false (after its own diagnostic) on a
+  // malformed or out-of-range spec.
+  const auto parse_rank_step = [&](const std::string& spec, const char* flag,
+                                   int& rank, std::uint64_t& step) {
+    const auto at = spec.find('@');
+    if (at == std::string::npos) {
+      std::fprintf(stderr, "%s expects RANK@STEP, got %s\n", flag,
+                   spec.c_str());
+      return false;
+    }
+    rank = static_cast<int>(
+        std::strtol(spec.substr(0, at).c_str(), nullptr, 10));
+    step = std::strtoull(spec.substr(at + 1).c_str(), nullptr, 10);
+    if (rank < 0 || rank >= args.ranks) {
+      std::fprintf(stderr, "%s rank %d outside [0, %d)\n", flag, rank,
+                   args.ranks);
+      return false;
+    }
+    return true;
+  };
 
   auto plan = std::make_shared<uoi::sim::FaultPlan>();
-  int victim = -1;
+  bool have_fault = false;
   if (!args.inject_fault.empty()) {
-    const auto at = args.inject_fault.find('@');
-    if (at == std::string::npos) {
-      std::fprintf(stderr, "--inject-fault expects RANK@STEP, got %s\n",
-                   args.inject_fault.c_str());
-      return 2;
-    }
-    victim = static_cast<int>(
-        std::strtol(args.inject_fault.substr(0, at).c_str(), nullptr, 10));
-    const std::uint64_t step = std::strtoull(
-        args.inject_fault.substr(at + 1).c_str(), nullptr, 10);
-    if (victim < 0 || victim >= args.ranks) {
-      std::fprintf(stderr, "--inject-fault rank %d outside [0, %d)\n", victim,
-                   args.ranks);
+    int victim = -1;
+    std::uint64_t step = 0;
+    if (!parse_rank_step(args.inject_fault, "--inject-fault", victim, step)) {
       return 2;
     }
     plan->kills.push_back({victim, step});
+    have_fault = true;
     std::printf("fault plan: kill rank %d at its %llu-th collective\n", victim,
+                static_cast<unsigned long long>(step));
+  }
+  uoi::sim::WatchdogConfig watchdog;
+  if (args.comm_timeout_ms > 0) watchdog.timeout_ms = args.comm_timeout_ms;
+  if (!args.hang_fault.empty()) {
+    int victim = -1;
+    std::uint64_t step = 0;
+    if (!parse_rank_step(args.hang_fault, "--hang", victim, step)) return 2;
+    if (!watchdog.armed() && !uoi::sim::WatchdogConfig::from_env().armed()) {
+      std::fprintf(stderr,
+                   "--hang needs the progress watchdog armed "
+                   "(--comm-timeout-ms or $UOI_COMM_TIMEOUT_MS), or the "
+                   "hung rank would stall the run forever\n");
+      return 2;
+    }
+    plan->hangs.push_back({victim, step});
+    have_fault = true;
+    std::printf("fault plan: hang rank %d at its %llu-th collective\n", victim,
                 static_cast<unsigned long long>(step));
   }
 
@@ -470,14 +546,16 @@ int run_faultdemo(const Args& args) {
       static_cast<std::size_t>(args.ranks));
   const auto reports = uoi::sim::Cluster::run_collect_reports(
       args.ranks, [&](uoi::sim::Comm& comm) {
-        if (victim >= 0) comm.set_fault_plan(plan);
+        if (have_fault) comm.set_fault_plan(plan);
+        if (watchdog.armed()) comm.set_watchdog(watchdog);
         results[static_cast<std::size_t>(comm.rank())] =
             uoi::core::uoi_lasso_distributed(comm, data.x, data.y, options,
                                              {1, 1});
       });
 
-  uoi::support::Table table({"rank", "outcome", "failures seen", "shrinks",
-                             "cells redone", "retries", "ckpt resumes"});
+  uoi::support::Table table({"rank", "outcome", "failures seen", "hangs",
+                             "shrinks", "cells redone", "retries",
+                             "ckpt resumes"});
   for (int r = 0; r < args.ranks; ++r) {
     const auto& recovery = reports[static_cast<std::size_t>(r)].recovery;
     table.add_row({std::to_string(r),
@@ -485,6 +563,7 @@ int run_faultdemo(const Args& args) {
                        ? "finished"
                        : "killed (planned)",
                    std::to_string(recovery.rank_failures_detected),
+                   std::to_string(recovery.hangs_detected),
                    std::to_string(recovery.shrinks),
                    std::to_string(recovery.cells_recovered),
                    std::to_string(recovery.retries),
@@ -494,13 +573,20 @@ int run_faultdemo(const Args& args) {
 
   for (int r = 0; r < args.ranks; ++r) {
     if (!results[static_cast<std::size_t>(r)].has_value()) continue;
-    const auto& fit = results[static_cast<std::size_t>(r)]->model;
+    const auto& result = *results[static_cast<std::size_t>(r)];
+    const auto& fit = result.model;
     std::printf("survivor rank %d: final support {", r);
     const auto& indices = fit.support.indices();
     for (std::size_t i = 0; i < indices.size(); ++i) {
       std::printf("%s%zu", i == 0 ? "" : ", ", indices[i]);
     }
     std::printf("} (true support size %zu)\n", spec.support_size);
+    if (result.degraded) {
+      std::printf(
+          "degraded completion: achieved quorum %.3f, %zu selection "
+          "cell(s) abandoned\n",
+          result.achieved_quorum, result.lost_cells.size());
+    }
     break;  // replicated result: one survivor speaks for all
   }
   if (!args.checkpoint_path.empty()) {
