@@ -121,6 +121,12 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
   std::uint64_t cache_evictions = 0;
   std::uint64_t setup_flops_charged = 0;
   std::uint64_t setup_flops_amortized = 0;
+  std::uint64_t admm_iterations = 0;
+  std::uint64_t admm_rho_updates = 0;
+  std::uint64_t admm_allreduce_calls = 0;
+  std::uint64_t admm_allreduce_bytes = 0;
+  std::uint64_t admm_consensus_rounds = 0;
+  std::uint64_t admm_lazy_iterations = 0;
 
   support::Stopwatch phase_watch;
   const auto comm_seconds = [&] {
@@ -174,6 +180,12 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
         const double ratio = model.l1_ratios[c / q];
         const auto fit =
             solver.solve_elastic_net(lambda * ratio, lambda * (1.0 - ratio));
+        admm_iterations += fit.iterations;
+        admm_rho_updates += fit.rho_updates;
+        admm_allreduce_calls += fit.allreduce_calls;
+        admm_allreduce_bytes += fit.allreduce_bytes;
+        admm_consensus_rounds += fit.consensus_rounds;
+        admm_lazy_iterations += fit.lazy_iterations;
         if (task.task_rank == 0) {
           auto row = counts.row(c);
           for (std::size_t i = 0; i < p; ++i) {
@@ -268,6 +280,12 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
           const Matrix x_train_s = x_train.gather_cols(support);
           const auto fit = uoi::solvers::distributed_lasso_admm(
               task_comm, x_train_s, y_train, /*lambda=*/0.0, options.admm);
+          admm_iterations += fit.iterations;
+          admm_rho_updates += fit.rho_updates;
+          admm_allreduce_calls += fit.allreduce_calls;
+          admm_allreduce_bytes += fit.allreduce_bytes;
+          admm_consensus_rounds += fit.consensus_rounds;
+          admm_lazy_iterations += fit.lazy_iterations;
           for (std::size_t i = 0; i < support.size(); ++i) {
             beta[support[i]] = fit.beta[i];
           }
@@ -343,6 +361,21 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
   comm.mutable_stats() += task_comm.stats();
 
   auto& metrics = support::MetricsRegistry::instance();
+  metrics.add(trace_rank, "admm.iterations",
+              static_cast<double>(admm_iterations));
+  metrics.add(trace_rank, "admm.rho_updates",
+              static_cast<double>(admm_rho_updates));
+  metrics.add(trace_rank, "admm.allreduce_calls",
+              static_cast<double>(admm_allreduce_calls));
+  metrics.add(trace_rank, "admm.allreduce_bytes",
+              static_cast<double>(admm_allreduce_bytes));
+  metrics.add(trace_rank, "admm.consensus_rounds",
+              static_cast<double>(admm_consensus_rounds));
+  metrics.add(trace_rank, "admm.lazy_iterations",
+              static_cast<double>(admm_lazy_iterations));
+  metrics.add(trace_rank, "admm.consensus_interval",
+              static_cast<double>(uoi::solvers::resolve_consensus_interval(
+                  options.admm.consensus_interval)));
   metrics.add(trace_rank, "solver_cache.hits",
               static_cast<double>(cache_hits));
   metrics.add(trace_rank, "solver_cache.misses",

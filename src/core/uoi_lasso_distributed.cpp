@@ -144,6 +144,8 @@ UoiLassoDistributedResult uoi_lasso_distributed(
   std::uint64_t admm_rho_updates = 0;
   std::uint64_t admm_allreduce_calls = 0;
   std::uint64_t admm_allreduce_bytes = 0;
+  std::uint64_t admm_consensus_rounds = 0;
+  std::uint64_t admm_lazy_iterations = 0;
   const std::size_t cache_budget =
       uoi::solvers::resolve_solver_cache_bytes(options.solver_cache_mb);
   std::uint64_t cache_hits = 0;
@@ -333,6 +335,8 @@ UoiLassoDistributedResult uoi_lasso_distributed(
           admm_rho_updates += fit.rho_updates;
           admm_allreduce_calls += fit.allreduce_calls;
           admm_allreduce_bytes += fit.allreduce_bytes;
+          admm_consensus_rounds += fit.consensus_rounds;
+          admm_lazy_iterations += fit.lazy_iterations;
           if (tl.task_rank == 0) {
             auto row = staged.row(m);
             for (std::size_t i = 0; i < p; ++i) {
@@ -500,6 +504,8 @@ UoiLassoDistributedResult uoi_lasso_distributed(
             admm_rho_updates += fit.rho_updates;
             admm_allreduce_calls += fit.allreduce_calls;
             admm_allreduce_bytes += fit.allreduce_bytes;
+            admm_consensus_rounds += fit.consensus_rounds;
+            admm_lazy_iterations += fit.lazy_iterations;
             for (std::size_t i = 0; i < support.size(); ++i) {
               beta[support[i]] = fit.beta[i];
             }
@@ -749,6 +755,13 @@ UoiLassoDistributedResult uoi_lasso_distributed(
               static_cast<double>(admm_allreduce_calls));
   metrics.add(trace_rank, "admm.allreduce_bytes",
               static_cast<double>(admm_allreduce_bytes));
+  metrics.add(trace_rank, "admm.consensus_rounds",
+              static_cast<double>(admm_consensus_rounds));
+  metrics.add(trace_rank, "admm.lazy_iterations",
+              static_cast<double>(admm_lazy_iterations));
+  metrics.add(trace_rank, "admm.consensus_interval",
+              static_cast<double>(uoi::solvers::resolve_consensus_interval(
+                  options.admm.consensus_interval)));
   metrics.add(trace_rank, "solver_cache.hits",
               static_cast<double>(cache_hits));
   metrics.add(trace_rank, "solver_cache.misses",

@@ -109,6 +109,12 @@ UoiLogisticDistributedResult uoi_logistic_distributed(
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  std::uint64_t admm_iterations = 0;
+  std::uint64_t admm_rho_updates = 0;
+  std::uint64_t admm_allreduce_calls = 0;
+  std::uint64_t admm_allreduce_bytes = 0;
+  std::uint64_t admm_consensus_rounds = 0;
+  std::uint64_t admm_lazy_iterations = 0;
 
   support::Stopwatch phase_watch;
   const auto comm_seconds = [&] {
@@ -121,6 +127,7 @@ UoiLogisticDistributedResult uoi_logistic_distributed(
   admm.eps_abs = 1e-7;
   admm.eps_rel = 1e-5;
   admm.max_iterations = 2000;
+  admm.consensus_interval = options.consensus_interval;
 
   // ---- selection ----
   Matrix counts(q, p, 0.0);
@@ -145,6 +152,12 @@ UoiLogisticDistributedResult uoi_logistic_distributed(
       for (std::size_t j : selection_grid.chain_lambdas(cell.chain)) {
         const auto fit = uoi::solvers::distributed_logistic_lasso(
             task_comm, entry->x_local, entry->y_local, model.lambdas[j], admm);
+        admm_iterations += fit.iterations;
+        admm_rho_updates += fit.rho_updates;
+        admm_allreduce_calls += fit.allreduce_calls;
+        admm_allreduce_bytes += fit.allreduce_bytes;
+        admm_consensus_rounds += fit.consensus_rounds;
+        admm_lazy_iterations += fit.lazy_iterations;
         if (task.task_rank == 0) {
           auto row = counts.row(j);
           for (std::size_t i = 0; i < p; ++i) {
@@ -313,6 +326,21 @@ UoiLogisticDistributedResult uoi_logistic_distributed(
   comm.mutable_stats() += task_comm.stats();
 
   auto& metrics = support::MetricsRegistry::instance();
+  metrics.add(trace_rank, "admm.iterations",
+              static_cast<double>(admm_iterations));
+  metrics.add(trace_rank, "admm.rho_updates",
+              static_cast<double>(admm_rho_updates));
+  metrics.add(trace_rank, "admm.allreduce_calls",
+              static_cast<double>(admm_allreduce_calls));
+  metrics.add(trace_rank, "admm.allreduce_bytes",
+              static_cast<double>(admm_allreduce_bytes));
+  metrics.add(trace_rank, "admm.consensus_rounds",
+              static_cast<double>(admm_consensus_rounds));
+  metrics.add(trace_rank, "admm.lazy_iterations",
+              static_cast<double>(admm_lazy_iterations));
+  metrics.add(trace_rank, "admm.consensus_interval",
+              static_cast<double>(uoi::solvers::resolve_consensus_interval(
+                  options.consensus_interval)));
   metrics.add(trace_rank, "solver_cache.hits",
               static_cast<double>(cache_hits));
   metrics.add(trace_rank, "solver_cache.misses",

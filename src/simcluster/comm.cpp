@@ -1,7 +1,10 @@
 #include "simcluster/comm.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <tuple>
 
@@ -102,6 +105,61 @@ const char* to_string(CommCategory category) {
     default:
       return "?";
   }
+}
+
+const char* to_string(AllreduceAlgo algo) {
+  switch (algo) {
+    case AllreduceAlgo::kStaged:
+      return "staged";
+    case AllreduceAlgo::kRing:
+      return "ring";
+    case AllreduceAlgo::kRecursiveDoubling:
+      return "recursive_doubling";
+    case AllreduceAlgo::kHierarchical:
+      return "hierarchical";
+    case AllreduceAlgo::kAuto:
+      return "auto";
+    default:
+      return "?";
+  }
+}
+
+bool allreduce_algo_from_string(const char* name, AllreduceAlgo& out) {
+  if (name == nullptr) return false;
+  const std::string s(name);
+  if (s == "staged") {
+    out = AllreduceAlgo::kStaged;
+  } else if (s == "ring") {
+    out = AllreduceAlgo::kRing;
+  } else if (s == "recursive_doubling" || s == "rd") {
+    out = AllreduceAlgo::kRecursiveDoubling;
+  } else if (s == "hierarchical" || s == "hier") {
+    out = AllreduceAlgo::kHierarchical;
+  } else if (s == "auto") {
+    out = AllreduceAlgo::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+AllreduceAlgo allreduce_algo_from_env() {
+  const char* env = std::getenv("UOI_ALLREDUCE_ALGO");
+  if (env == nullptr || env[0] == '\0') return AllreduceAlgo::kStaged;
+  AllreduceAlgo algo = AllreduceAlgo::kStaged;
+  if (!allreduce_algo_from_string(env, algo)) {
+    UOI_LOG_WARN.field("UOI_ALLREDUCE_ALGO", env)
+        << "unknown allreduce algorithm; using staged";
+    return AllreduceAlgo::kStaged;
+  }
+  return algo;
+}
+
+int hierarchical_group_size(int comm_size) {
+  if (comm_size <= 3) return comm_size;
+  const int g = static_cast<int>(
+      std::lround(std::sqrt(static_cast<double>(comm_size))));
+  return std::max(2, std::min(g, comm_size));
 }
 
 CommStats& CommStats::operator+=(const CommStats& other) {
@@ -233,7 +291,26 @@ void Comm::allreduce_impl(std::span<T> data, ReduceOp op) {
 }
 
 void Comm::allreduce(std::span<double> data, ReduceOp op) {
-  allreduce_impl(data, op);
+  AllreduceAlgo algo = allreduce_algo_;
+  if (algo == AllreduceAlgo::kAuto) {
+    // Latency-bound cases (small payloads, narrow communicators) stay on
+    // the staged algorithm; wide communicators moving real payloads take
+    // the two-level tree, mirroring how MPI implementations switch
+    // between latency- and bandwidth-optimal algorithms.
+    algo = (size() >= 8 && data.size_bytes() >= 8192)
+               ? AllreduceAlgo::kHierarchical
+               : AllreduceAlgo::kStaged;
+  }
+  switch (algo) {
+    case AllreduceAlgo::kRing:
+      return allreduce_ring(data, op);
+    case AllreduceAlgo::kRecursiveDoubling:
+      return allreduce_recursive_doubling(data, op);
+    case AllreduceAlgo::kHierarchical:
+      return allreduce_hierarchical(data, op);
+    default:
+      return allreduce_impl(data, op);
+  }
 }
 void Comm::allreduce(std::span<std::uint64_t> data, ReduceOp op) {
   allreduce_impl(data, op);
@@ -445,6 +522,124 @@ void Comm::allreduce_recursive_doubling(std::span<double> data,
   entry.seconds += inject_latency(CommCategory::kAllreduce, data.size_bytes());
 }
 
+void Comm::allreduce_hierarchical(std::span<double> data, ReduceOp op,
+                                  int group_size) {
+  maybe_kill();
+  const int p = size();
+  if (p == 1) {
+    auto& entry = stats_.of(CommCategory::kAllreduce);
+    ++entry.calls;
+    entry.bytes += data.size_bytes();
+    return;
+  }
+  int g = group_size > 0 ? std::min(group_size, p) : hierarchical_group_size(p);
+  if (g <= 1) {
+    // Every rank is its own leader: degenerates to the flat leader
+    // exchange, which recursive doubling already implements.
+    return allreduce_recursive_doubling(data, op);
+  }
+  CommTraceScope span(*this, CommCategory::kAllreduce);
+  support::Stopwatch watch;
+
+  const int leader = (rank_ / g) * g;
+  const int group_end = std::min(leader + g, p);
+  const int members = group_end - leader;
+  const int lrank = rank_ - leader;
+  const std::size_t n = data.size();
+  std::vector<double> incoming(n);
+
+  // Phase 1: intra-group ring allreduce (reduce-scatter + allgather among
+  // the member ranks). Afterwards every member — in particular the leader
+  // — holds the group sum. Tag bases are phase-local; FIFO order per
+  // (source, destination, tag) keeps back-to-back hierarchical calls from
+  // interleaving.
+  if (members > 1) {
+    std::vector<std::size_t> bounds(static_cast<std::size_t>(members) + 1);
+    for (int c = 0; c <= members; ++c) {
+      bounds[static_cast<std::size_t>(c)] =
+          n * static_cast<std::size_t>(c) / static_cast<std::size_t>(members);
+    }
+    auto chunk = [&](int c) -> std::span<double> {
+      const int cc = ((c % members) + members) % members;
+      return data.subspan(bounds[static_cast<std::size_t>(cc)],
+                          bounds[static_cast<std::size_t>(cc) + 1] -
+                              bounds[static_cast<std::size_t>(cc)]);
+    };
+    const int next = leader + (lrank + 1) % members;
+    const int prev = leader + (lrank - 1 + members) % members;
+    for (int step = 0; step < members - 1; ++step) {
+      const auto out = chunk(lrank - step);
+      const auto in = chunk(lrank - step - 1);
+      send(next, out, /*tag=*/4000 + step);
+      recv(prev, std::span<double>(incoming.data(), in.size()),
+           /*tag=*/4000 + step);
+      apply_reduce<double>(
+          op, in, std::span<const double>(incoming.data(), in.size()));
+    }
+    for (int step = 0; step < members - 1; ++step) {
+      const auto out = chunk(lrank + 1 - step);
+      const auto in = chunk(lrank - step);
+      send(next, out, /*tag=*/4200 + step);
+      recv(prev, std::span<double>(incoming.data(), in.size()),
+           /*tag=*/4200 + step);
+      std::copy(incoming.begin(),
+                incoming.begin() + static_cast<std::ptrdiff_t>(in.size()),
+                in.begin());
+    }
+  }
+
+  // Phase 2: the group leaders (ranks 0, g, 2g, ...) recursive-double
+  // among themselves; non-power-of-two leader counts fold the excess
+  // leaders in and out exactly like the flat algorithm.
+  const int n_leaders = (p + g - 1) / g;
+  if (rank_ == leader && n_leaders > 1) {
+    const int li = rank_ / g;
+    const auto leader_rank = [&](int i) { return i * g; };
+    int pow2 = 1;
+    while (pow2 * 2 <= n_leaders) pow2 *= 2;
+    const int excess = n_leaders - pow2;
+    const auto reduce_in = [&] {
+      apply_reduce<double>(
+          op, data, std::span<const double>(incoming.data(), incoming.size()));
+    };
+    constexpr int kFoldTag = 4600;
+    if (li >= pow2) {
+      send(leader_rank(li - pow2), data, kFoldTag);
+    } else if (li < excess) {
+      recv(leader_rank(li + pow2), incoming, kFoldTag);
+      reduce_in();
+    }
+    if (li < pow2) {
+      for (int mask = 1; mask < pow2; mask <<= 1) {
+        const int partner = leader_rank(li ^ mask);
+        sendrecv(partner, data, partner, incoming, /*tag=*/4700 + mask);
+        reduce_in();
+      }
+    }
+    if (li < excess) {
+      send(leader_rank(li + pow2), data, kFoldTag);
+    } else if (li >= pow2) {
+      recv(leader_rank(li - pow2), data, kFoldTag);
+    }
+  }
+
+  // Phase 3: each leader fans the global result back out to its members.
+  if (members > 1) {
+    constexpr int kBcastTag = 4999;
+    if (rank_ == leader) {
+      for (int m = leader + 1; m < group_end; ++m) send(m, data, kBcastTag);
+    } else {
+      recv(leader, data, kBcastTag);
+    }
+  }
+
+  auto& entry = stats_.of(CommCategory::kAllreduce);
+  ++entry.calls;
+  entry.bytes += data.size_bytes();
+  entry.seconds += watch.seconds();
+  entry.seconds += inject_latency(CommCategory::kAllreduce, data.size_bytes());
+}
+
 bool Comm::all_agree(bool local) {
   std::uint64_t flag = local ? 1 : 0;
   allreduce(std::span<std::uint64_t>(&flag, 1), ReduceOp::kMin);
@@ -626,6 +821,7 @@ Comm Comm::split(int color, int key) {
   child.latency_injector_ = latency_injector_;
   child.fault_plan_ = fault_plan_;
   child.watchdog_ = watchdog_;
+  child.allreduce_algo_ = allreduce_algo_;
   child.acknowledged_fail_seq_ = acknowledged_fail_seq_;
   return child;
 }
@@ -681,6 +877,7 @@ Comm Comm::shrink() {
   child.latency_injector_ = latency_injector_;
   child.fault_plan_ = fault_plan_;
   child.watchdog_ = watchdog_;
+  child.allreduce_algo_ = allreduce_algo_;
   // Every failure up to now is part of the epoch this shrink recovers
   // from; only *new* deaths raise through the shrunk communicator.
   child.acknowledged_fail_seq_ = registry->fail_seq();

@@ -49,9 +49,36 @@ struct AdmmOptions {
   /// communicator). The convergence decision then acts on one-iteration-
   /// stale residual norms — the paper's "non-blocking MPI and
   /// asynchronous execution" future-work direction. Halves the number of
-  /// blocking collectives per iteration.
+  /// blocking collectives per iteration. Takes precedence over
+  /// fused_residual_reduction (the dup-comm machinery carries the
+  /// residual reduction instead of the fused payload).
   bool pipelined_convergence_check = false;
+
+  /// Distributed solvers only: fold the 3-scalar residual reduction into
+  /// the p-length consensus Allreduce as one (p+3)-double payload,
+  /// halving the reduction rounds per iteration (arXiv:1808.06992's
+  /// reduced-communication direction). The stopping verdict is then one
+  /// consensus iteration stale; a rho rescale triggers one redo of the
+  /// speculative x-update + reduction so the iterate trajectory stays
+  /// bitwise identical to the unfused blocking loop.
+  bool fused_residual_reduction = true;
+
+  /// Distributed solvers only: k-step lazy consensus (communication
+  /// avoidance). Every k-th iteration runs the global z-update and
+  /// stopping test; the k-1 iterations in between run the local x-update
+  /// and a damped dual-ascent correction u += (x - z)/(2(k-1)) against
+  /// the frozen consensus z, with no communication at all. The damping
+  /// caps the dual progress per window at 1.5x one consensus step —
+  /// inside ADMM's stable dual-step range — and the lazy steps vanish at
+  /// the fixed point (x = z), so every k converges to the k = 1 solution.
+  /// 0 = resolve from $UOI_CONSENSUS_INTERVAL (default 1); 1 matches the
+  /// classic consensus loop bitwise.
+  std::size_t consensus_interval = 0;
 };
+
+/// Resolves AdmmOptions::consensus_interval: an explicit value >= 1 wins;
+/// 0 falls back to $UOI_CONSENSUS_INTERVAL, then to 1.
+[[nodiscard]] std::size_t resolve_consensus_interval(std::size_t requested);
 
 /// Solver output: the estimate plus convergence diagnostics.
 struct AdmmResult {

@@ -27,13 +27,24 @@ namespace uoi::solvers {
 /// Result of a distributed solve, including communication accounting.
 struct DistributedAdmmResult {
   uoi::linalg::Vector beta;  ///< consensus z (identical on every rank)
+  /// Completed ADMM iterations covered by the reported verdict (the
+  /// residuals below refer to exactly this many iterations, in every
+  /// mode — blocking, fused, and pipelined report the same count for the
+  /// same trajectory; speculative work discarded at a stale harvest is
+  /// not counted).
   std::size_t iterations = 0;
   bool converged = false;
   double primal_residual = 0.0;
   double dual_residual = 0.0;
-  std::uint64_t local_flops = 0;       ///< this rank's compute
-  std::uint64_t allreduce_calls = 0;   ///< p-length reductions performed
+  std::uint64_t local_flops = 0;  ///< this rank's compute
+  /// Reduction rounds performed: consensus reductions plus every residual
+  /// reduction (the blocking 3-double reduction, the pipelined
+  /// iallreduce, and the fused-payload flush all count).
+  std::uint64_t allreduce_calls = 0;
   std::uint64_t allreduce_bytes = 0;   ///< bytes this rank contributed
+  std::uint64_t consensus_rounds = 0;  ///< p(+3)-length consensus reductions
+  std::uint64_t lazy_iterations = 0;   ///< communication-free x/u iterations
+  std::size_t consensus_interval = 1;  ///< resolved k used by this solve
   std::size_t rho_updates = 0;         ///< residual-balancing rescales applied
 };
 

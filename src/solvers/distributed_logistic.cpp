@@ -124,7 +124,11 @@ DistributedLogisticResult distributed_logistic_lasso(
   out.intercept = consensus.beta[p];
   out.iterations = consensus.iterations;
   out.converged = consensus.converged;
+  out.rho_updates = consensus.rho_updates;
   out.allreduce_calls = consensus.allreduce_calls;
+  out.allreduce_bytes = consensus.allreduce_bytes;
+  out.consensus_rounds = consensus.consensus_rounds;
+  out.lazy_iterations = consensus.lazy_iterations;
   return out;
 }
 

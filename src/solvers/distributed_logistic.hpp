@@ -24,7 +24,11 @@ struct DistributedLogisticResult {
   double intercept = 0.0;
   std::size_t iterations = 0;
   bool converged = false;
+  std::size_t rho_updates = 0;
   std::uint64_t allreduce_calls = 0;
+  std::uint64_t allreduce_bytes = 0;
+  std::uint64_t consensus_rounds = 0;
+  std::uint64_t lazy_iterations = 0;
 };
 
 /// Collective over `comm`; each rank passes its local row block. `lambda`

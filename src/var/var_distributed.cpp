@@ -389,6 +389,8 @@ UoiVarDistributedResult uoi_var_distributed(
   std::uint64_t admm_rho_updates = 0;
   std::uint64_t admm_allreduce_calls = 0;
   std::uint64_t admm_allreduce_bytes = 0;
+  std::uint64_t admm_consensus_rounds = 0;
+  std::uint64_t admm_lazy_iterations = 0;
 
   // Solver/gather cache accounting (accumulated across passes/attempts;
   // each pass attempt owns a fresh BootstrapCache so replayed cells can
@@ -567,6 +569,8 @@ UoiVarDistributedResult uoi_var_distributed(
           admm_rho_updates += fit.rho_updates;
           admm_allreduce_calls += fit.allreduce_calls;
           admm_allreduce_bytes += fit.allreduce_bytes;
+          admm_consensus_rounds += fit.consensus_rounds;
+          admm_lazy_iterations += fit.lazy_iterations;
           if (tl.task_rank == 0) {
             auto row = staged.row(m);
             for (std::size_t i = 0; i < n_coeffs; ++i) {
@@ -980,6 +984,13 @@ UoiVarDistributedResult uoi_var_distributed(
               static_cast<double>(admm_allreduce_calls));
   metrics.add(trace_rank, "admm.allreduce_bytes",
               static_cast<double>(admm_allreduce_bytes));
+  metrics.add(trace_rank, "admm.consensus_rounds",
+              static_cast<double>(admm_consensus_rounds));
+  metrics.add(trace_rank, "admm.lazy_iterations",
+              static_cast<double>(admm_lazy_iterations));
+  metrics.add(trace_rank, "admm.consensus_interval",
+              static_cast<double>(uoi::solvers::resolve_consensus_interval(
+                  options.admm.consensus_interval)));
   metrics.add(trace_rank, "solver_cache.hits",
               static_cast<double>(cache_hits));
   metrics.add(trace_rank, "solver_cache.misses",

@@ -120,6 +120,9 @@ struct Args {
   uoi::sched::SchedulePolicy sched_policy = uoi::sched::SchedulePolicy::kAuto;
   /// < 0 defers to $UOI_SOLVER_CACHE_MB (default 256); 0 disables.
   long solver_cache_mb = -1;
+  /// ADMM consensus interval k; 0 defers to $UOI_CONSENSUS_INTERVAL
+  /// (default 1 = consensus allreduce every iteration).
+  std::size_t consensus_interval = 0;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -134,7 +137,7 @@ struct Args {
                "[--comm-timeout-ms MS] [--min-bootstrap-quorum F] "
                "[--max-retries N] [--max-recovery-attempts N] "
                "[--sched-policy static|cost_lpt|work_steal] "
-               "[--solver-cache-mb MB]\n"
+               "[--solver-cache-mb MB] [--consensus-interval K]\n"
                "       %s analyze TRACE.json [--report-json FILE]\n",
                argv0, argv0);
   std::exit(2);
@@ -223,6 +226,13 @@ Args parse_args(int argc, char** argv) {
         std::fprintf(stderr, "--solver-cache-mb must be >= 0\n");
         usage(argv[0]);
       }
+    } else if (flag == "--consensus-interval") {
+      const long k = std::strtol(value(), nullptr, 10);
+      if (k < 1) {
+        std::fprintf(stderr, "--consensus-interval must be >= 1\n");
+        usage(argv[0]);
+      }
+      args.consensus_interval = static_cast<std::size_t>(k);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       usage(argv[0]);
@@ -262,6 +272,7 @@ int run_lasso(const Args& args) {
   options.seed = args.seed;
   options.schedule = args.sched_policy;
   options.solver_cache_mb = args.solver_cache_mb;
+  options.admm.consensus_interval = args.consensus_interval;
   const auto fit = [&] {
     uoi::support::TraceScope span("uoi-lasso-fit",
                                   uoi::support::TraceCategory::kComputation);
@@ -313,6 +324,7 @@ int run_logistic(const Args& args) {
   options.seed = args.seed;
   options.schedule = args.sched_policy;
   options.solver_cache_mb = args.solver_cache_mb;
+  options.consensus_interval = args.consensus_interval;
   const auto fit = [&] {
     uoi::support::TraceScope span("uoi-logistic-fit",
                                   uoi::support::TraceCategory::kComputation);
@@ -348,6 +360,7 @@ int run_var(const Args& args) {
   options.seed = args.seed;
   options.schedule = args.sched_policy;
   options.solver_cache_mb = args.solver_cache_mb;
+  options.admm.consensus_interval = args.consensus_interval;
   const auto fit = [&] {
     uoi::support::TraceScope span("uoi-var-fit",
                                   uoi::support::TraceCategory::kComputation);
@@ -442,6 +455,7 @@ int run_demo(const Args& args) {
   options.seed = args.seed;
   options.schedule = args.sched_policy;
   options.solver_cache_mb = args.solver_cache_mb;
+  options.admm.consensus_interval = args.consensus_interval;
   const auto fit = [&] {
     uoi::support::TraceScope span("uoi-var-fit",
                                   uoi::support::TraceCategory::kComputation);
@@ -483,6 +497,7 @@ int run_faultdemo(const Args& args) {
   options.seed = args.seed;
   options.schedule = args.sched_policy;
   options.solver_cache_mb = args.solver_cache_mb;
+  options.admm.consensus_interval = args.consensus_interval;
   options.recovery.checkpoint_path = args.checkpoint_path;
   options.recovery.checkpoint_interval = 1;
   options.recovery.onesided_max_attempts = args.max_retries;
