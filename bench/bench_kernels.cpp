@@ -12,6 +12,8 @@
 #include "linalg/sparse.hpp"
 #include "solvers/admm_lasso.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -194,6 +196,61 @@ void BM_LassoAdmmSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LassoAdmmSolve)->Arg(32)->Arg(128);
+
+// Observability overhead: one TraceScope span with event capture off
+// (totals + histogram update only — the always-on cost every traced
+// communication call pays) vs. on (adds the event-buffer append the
+// --trace-json / --report-json paths enable).
+void BM_TracerSpan(benchmark::State& state) {
+  auto& tracer = uoi::support::Tracer::instance();
+  tracer.clear();
+  tracer.set_capture_events(false);
+  for (auto _ : state) {
+    uoi::support::TraceScope span(
+        "bench-span", uoi::support::TraceCategory::kCommunication);
+    benchmark::ClobberMemory();
+  }
+  tracer.clear();
+}
+BENCHMARK(BM_TracerSpan);
+
+void BM_TracerSpanCaptured(benchmark::State& state) {
+  auto& tracer = uoi::support::Tracer::instance();
+  tracer.clear();
+  tracer.set_capture_events(true);
+  std::size_t recorded = 0;
+  for (auto _ : state) {
+    uoi::support::TraceScope span(
+        "bench-span", uoi::support::TraceCategory::kCommunication);
+    benchmark::ClobberMemory();
+    if (++recorded % (1 << 16) == 0) tracer.clear();  // bound the buffer
+  }
+  tracer.set_capture_events(false);
+  tracer.clear();
+}
+BENCHMARK(BM_TracerSpanCaptured);
+
+// One live-telemetry snapshot line (what the emitter thread does per
+// interval): short-lock tracer/metrics snapshot + JSON-line build.
+void BM_TelemetrySnapshot(benchmark::State& state) {
+  auto& tracer = uoi::support::Tracer::instance();
+  tracer.clear();
+  for (int rank = 0; rank < 8; ++rank) {
+    for (int c = 0; c < 4; ++c) {
+      tracer.record("warm", static_cast<uoi::support::TraceCategory>(c), rank,
+                    0.0, 1e-6);
+    }
+  }
+  std::map<int, uoi::support::TraceTotals> prev;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    const auto line = uoi::support::TelemetryEmitter::build_snapshot_line(
+        seq++, 0.0, 500, 0, prev);
+    benchmark::DoNotOptimize(line.data());
+  }
+  tracer.clear();
+}
+BENCHMARK(BM_TelemetrySnapshot);
 
 }  // namespace
 

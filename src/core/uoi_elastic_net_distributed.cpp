@@ -102,6 +102,14 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
   const sched::TaskGrid selection_grid(b1, n_cells, n_chains, options.seed);
   const sched::TaskGrid estimation_grid(b2, n_cells, n_chains,
                                         options.seed + 1);
+  // Live-telemetry progress denominator; one rank owns it so the
+  // cross-rank sum counts the grid once.
+  if (comm.rank() == 0) {
+    support::MetricsRegistry::instance().set(
+        trace_rank, "progress.cells_total",
+        static_cast<double>(selection_grid.n_cells() +
+                            estimation_grid.n_cells()));
+  }
   std::vector<double> cell_lambdas(n_cells, 0.0);
   for (std::size_t cell = 0; cell < n_cells; ++cell) {
     cell_lambdas[cell] = model.lambdas[cell % q];

@@ -96,6 +96,14 @@ UoiLogisticDistributedResult uoi_logistic_distributed(
       std::max<std::size_t>(1, std::min(static_cast<std::size_t>(pl), q));
   const sched::TaskGrid selection_grid(b1, q, n_chains, options.seed);
   const sched::TaskGrid estimation_grid(b2, q, n_chains, options.seed + 1);
+  // Live-telemetry progress denominator; one rank owns it so the
+  // cross-rank sum counts the grid once.
+  if (comm.rank() == 0) {
+    support::MetricsRegistry::instance().set(
+        trace_rank, "progress.cells_total",
+        static_cast<double>(selection_grid.n_cells() +
+                            estimation_grid.n_cells()));
+  }
   const double pass_seconds_seed = sched::lasso_pass_seconds_estimate(
       n, p, b1, b2, q, /*admm_iterations=*/2000, comm.size());
   const std::vector<double> selection_costs =

@@ -1,0 +1,507 @@
+#include "report/event_dag.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+namespace uoi::report {
+
+using support::TraceCategory;
+using support::TraceEvent;
+
+namespace {
+
+constexpr std::size_t kNCategories =
+    static_cast<std::size_t>(TraceCategory::kCategoryCount);
+
+double event_end(const TraceEvent& e) {
+  return e.start_seconds + e.duration_seconds;
+}
+
+/// One collective occurrence: all ranks of communicator `comm` that
+/// executed collective number `edge` (name disambiguates the dedicated
+/// shrink counter from the collective counter, which share a communicator).
+using CollectiveKey = std::tuple<std::int64_t, std::int64_t, std::string>;
+
+/// One p2p message: (comm, source, destination, tag, edge). The mailbox is
+/// FIFO per (source, destination, tag), so equal edge counters on the two
+/// sides identify the same message.
+using P2pKey = std::tuple<std::int64_t, int, int, int, std::int64_t>;
+
+bool is_collective(const TraceEvent& e) {
+  return e.stamp.stamped() && e.stamp.flow == support::kFlowNone &&
+         e.stamp.edge >= 0;
+}
+
+bool is_p2p(const TraceEvent& e) {
+  return e.stamp.stamped() && e.stamp.flow != support::kFlowNone &&
+         e.stamp.peer >= 0 && e.stamp.edge >= 0;
+}
+
+P2pKey p2p_key(const TraceEvent& e) {
+  const bool is_send = e.stamp.flow == support::kFlowSend;
+  const int src = is_send ? e.rank : e.stamp.peer;
+  const int dst = is_send ? e.stamp.peer : e.rank;
+  return {e.stamp.comm, src, dst, e.stamp.tag, e.stamp.edge};
+}
+
+/// Indexed view of a merged trace: per-rank communication events (end
+/// order, for the backward walk), per-rank local spans (start order, for
+/// gap attribution), collective groups, and the p2p send/recv maps.
+struct DagIndex {
+  double t0 = 0.0;  ///< earliest start across all events
+  double t1 = 0.0;  ///< latest end across all events
+  int last_rank = 0;
+  std::size_t n_stamped = 0;
+  std::map<int, std::vector<const TraceEvent*>> comm_by_rank;
+  std::map<int, std::vector<const TraceEvent*>> local_by_rank;
+  std::map<int, double> rank_last_end;
+  std::map<CollectiveKey, std::vector<const TraceEvent*>> collectives;
+  std::map<P2pKey, const TraceEvent*> sends;
+  std::map<P2pKey, const TraceEvent*> recvs;
+
+  explicit DagIndex(const std::vector<TraceEvent>& events) {
+    bool first = true;
+    for (const TraceEvent& e : events) {
+      const double end = event_end(e);
+      if (first || e.start_seconds < t0) t0 = e.start_seconds;
+      if (first || end > t1) {
+        t1 = end;
+        last_rank = e.rank;
+      }
+      first = false;
+      auto [it, inserted] = rank_last_end.emplace(e.rank, end);
+      if (!inserted && end > it->second) it->second = end;
+      if (e.stamp.stamped()) {
+        ++n_stamped;
+        comm_by_rank[e.rank].push_back(&e);
+        if (is_collective(e)) {
+          collectives[{e.stamp.comm, e.stamp.edge, e.name}].push_back(&e);
+        } else if (is_p2p(e)) {
+          auto& side =
+              e.stamp.flow == support::kFlowSend ? sends : recvs;
+          side.emplace(p2p_key(e), &e);
+        }
+      } else if (e.duration_seconds > 0.0) {
+        local_by_rank[e.rank].push_back(&e);
+      }
+    }
+    for (auto& [rank, list] : comm_by_rank) {
+      std::sort(list.begin(), list.end(),
+                [](const TraceEvent* a, const TraceEvent* b) {
+                  return event_end(*a) < event_end(*b);
+                });
+    }
+    for (auto& [rank, list] : local_by_rank) {
+      std::sort(list.begin(), list.end(),
+                [](const TraceEvent* a, const TraceEvent* b) {
+                  return a->start_seconds < b->start_seconds;
+                });
+    }
+  }
+
+  /// The last arriver of `e`'s collective group: the participant whose
+  /// entry released everyone (max start). Returns `e` itself for
+  /// single-member groups.
+  [[nodiscard]] const TraceEvent* last_arriver(const TraceEvent& e) const {
+    const auto it =
+        collectives.find({e.stamp.comm, e.stamp.edge, e.name});
+    if (it == collectives.end()) return &e;
+    const TraceEvent* last = &e;
+    for (const TraceEvent* p : it->second) {
+      if (p->start_seconds > last->start_seconds) last = p;
+    }
+    return last;
+  }
+};
+
+/// A sub-interval of local (non-communication) time attributed to the
+/// innermost covering span.
+struct LocalPiece {
+  double start = 0.0;
+  double end = 0.0;
+  TraceCategory category = TraceCategory::kComputation;
+  const char* name = "(uncovered)";
+};
+
+/// Attributes the interval [a, b] on one rank through its local spans:
+/// boundaries are cut at every overlapping span edge and each piece takes
+/// the category of the innermost (latest-starting) span covering it;
+/// uncovered time is computation. Pieces tile [a, b] exactly.
+std::vector<LocalPiece> attribute_local(
+    const std::vector<const TraceEvent*>* spans, double a, double b) {
+  std::vector<LocalPiece> pieces;
+  if (b <= a) return pieces;
+  std::vector<const TraceEvent*> overlapping;
+  std::vector<double> cuts{a, b};
+  if (spans != nullptr) {
+    for (const TraceEvent* s : *spans) {
+      if (s->start_seconds >= b) break;
+      const double end = event_end(*s);
+      if (end <= a) continue;
+      overlapping.push_back(s);
+      if (s->start_seconds > a) cuts.push_back(s->start_seconds);
+      if (end < b) cuts.push_back(end);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double lo = cuts[i];
+    const double hi = cuts[i + 1];
+    const double mid = 0.5 * (lo + hi);
+    const TraceEvent* innermost = nullptr;
+    for (const TraceEvent* s : overlapping) {
+      if (s->start_seconds <= mid && mid < event_end(*s) &&
+          (innermost == nullptr ||
+           s->start_seconds >= innermost->start_seconds)) {
+        innermost = s;
+      }
+    }
+    LocalPiece piece;
+    piece.start = lo;
+    piece.end = hi;
+    if (innermost != nullptr) {
+      piece.category = innermost->category;
+      piece.name = innermost->name.c_str();
+    }
+    // Merge with the previous piece when the attribution did not change
+    // (keeps the segment list proportional to real transitions).
+    if (!pieces.empty() && pieces.back().end == lo &&
+        pieces.back().category == piece.category &&
+        std::string_view(pieces.back().name) == piece.name) {
+      pieces.back().end = hi;
+    } else {
+      pieces.push_back(piece);
+    }
+  }
+  return pieces;
+}
+
+/// Per-category seconds of [a, b] on one rank (replay prep).
+std::array<double, kNCategories> local_breakdown(
+    const std::vector<const TraceEvent*>* spans, double a, double b) {
+  std::array<double, kNCategories> out{};
+  for (const LocalPiece& piece : attribute_local(spans, a, b)) {
+    out[static_cast<std::size_t>(piece.category)] += piece.end - piece.start;
+  }
+  return out;
+}
+
+}  // namespace
+
+ExactCriticalPath exact_critical_path(
+    const std::vector<TraceEvent>& events) {
+  ExactCriticalPath out;
+  out.n_events = events.size();
+  if (events.empty()) {
+    out.failure = "no trace events";
+    return out;
+  }
+  const DagIndex dag(events);
+  out.n_stamped = dag.n_stamped;
+  out.n_collectives = dag.collectives.size();
+  for (const auto& [key, send] : dag.sends) {
+    if (dag.recvs.count(key) > 0) ++out.n_matched_p2p;
+  }
+  out.window_seconds = dag.t1 - dag.t0;
+  if (dag.n_stamped == 0) {
+    out.failure =
+        "no stamped communication events (trace predates causal stamps?)";
+    return out;
+  }
+
+  const auto local_spans = [&](int rank) {
+    const auto it = dag.local_by_rank.find(rank);
+    return it == dag.local_by_rank.end() ? nullptr : &it->second;
+  };
+  const auto add_segment = [&](int rank, const char* name,
+                               TraceCategory category, double start,
+                               double end, bool cross_rank) {
+    if (end <= start) return;
+    CriticalSegment seg;
+    seg.rank = rank;
+    seg.name = name;
+    seg.category = category;
+    seg.start_seconds = start;
+    seg.duration_seconds = end - start;
+    seg.cross_rank = cross_rank;
+    out.segments.push_back(std::move(seg));
+    out.category_seconds[static_cast<std::size_t>(category)] += end - start;
+  };
+  const auto add_local_gap = [&](int rank, double a, double b) {
+    for (const LocalPiece& piece :
+         attribute_local(local_spans(rank), a, b)) {
+      add_segment(rank, piece.name, piece.category, piece.start, piece.end,
+                  false);
+    }
+  };
+
+  // Per-rank cursor into the end-sorted comm list: only events below the
+  // cursor are candidates, so each is consumed at most once and the walk
+  // is O(n) even with zero-duration events.
+  std::map<int, std::size_t> cursor;
+  for (const auto& [rank, list] : dag.comm_by_rank) {
+    cursor[rank] = list.size();
+  }
+
+  int rank = dag.last_rank;
+  double now = dag.t1;
+  const std::size_t max_steps = events.size() + 16;
+  for (std::size_t step = 0; step < max_steps && now > dag.t0; ++step) {
+    // Latest unconsumed communication event on this rank ending at or
+    // before `now`.
+    const TraceEvent* e = nullptr;
+    const auto it = dag.comm_by_rank.find(rank);
+    if (it != dag.comm_by_rank.end()) {
+      std::size_t& idx = cursor[rank];
+      while (idx > 0 && event_end(*it->second[idx - 1]) > now) --idx;
+      if (idx > 0) {
+        e = it->second[idx - 1];
+        --idx;
+      }
+    }
+    if (e == nullptr) {
+      // No earlier synchronization on this rank: the remainder of the
+      // window is local work here.
+      add_local_gap(rank, dag.t0, now);
+      now = dag.t0;
+      break;
+    }
+    const double end = event_end(*e);
+    add_local_gap(rank, end, now);
+    if (is_collective(*e)) {
+      const TraceEvent* last = dag.last_arriver(*e);
+      const double entry = std::min(last->start_seconds, end);
+      add_segment(e->rank, e->name.c_str(), e->category, entry, end,
+                  last->rank != e->rank);
+      if (last->rank != e->rank) ++out.n_rank_jumps;
+      rank = last->rank;
+      now = entry;
+    } else if (e->stamp.flow == support::kFlowRecv) {
+      const auto send_it = dag.sends.find(p2p_key(*e));
+      const TraceEvent* send =
+          send_it == dag.sends.end() ? nullptr : send_it->second;
+      const double avail = send != nullptr ? event_end(*send) : e->start_seconds;
+      if (send != nullptr && avail > e->start_seconds && avail <= end) {
+        // The receive waited for the message: the path runs through the
+        // sender's deposit.
+        add_segment(e->rank, e->name.c_str(), e->category, avail, end, true);
+        ++out.n_rank_jumps;
+        rank = send->rank;
+        now = avail;
+      } else {
+        add_segment(e->rank, e->name.c_str(), e->category, e->start_seconds,
+                    end, false);
+        now = e->start_seconds;
+      }
+    } else {
+      // Send, one-sided, or unmatched event: same-rank communication time.
+      add_segment(e->rank, e->name.c_str(), e->category, e->start_seconds,
+                  end, false);
+      now = e->start_seconds;
+    }
+  }
+  if (now > dag.t0) {
+    // Safety cap hit (malformed trace): close the path so the sum still
+    // tiles the window.
+    add_local_gap(rank, dag.t0, now);
+  }
+  for (const double s : out.category_seconds) out.path_seconds += s;
+  out.valid = true;
+  return out;
+}
+
+namespace {
+
+/// Replay operations, per rank in timeline order.
+struct ReplayOp {
+  enum class Kind { kLocal, kCollective, kSend, kRecv };
+  Kind kind = Kind::kLocal;
+  /// kLocal: per-category seconds (each scaled independently).
+  std::array<double, kNCategories> local{};
+  /// Comm ops: the span's own category and its service time (the part of
+  /// the measured duration not spent waiting on peers).
+  TraceCategory category = TraceCategory::kCommunication;
+  double service = 0.0;
+  CollectiveKey coll_key;
+  P2pKey p2p_key;
+  bool matched = false;  ///< kRecv: a measured send exists
+};
+
+}  // namespace
+
+WhatIfResult what_if_replay(const std::vector<TraceEvent>& events,
+                            const std::vector<WhatIfScale>& scales) {
+  WhatIfResult out;
+  if (events.empty()) {
+    out.failure = "no trace events";
+    return out;
+  }
+  const DagIndex dag(events);
+  out.measured_seconds = dag.t1 - dag.t0;
+  if (dag.n_stamped == 0) {
+    out.failure =
+        "no stamped communication events (trace predates causal stamps?)";
+    return out;
+  }
+
+  std::array<double, kNCategories> factor;
+  factor.fill(1.0);
+  std::array<double, kNCategories> requested = factor;
+  for (const WhatIfScale& s : scales) {
+    requested[static_cast<std::size_t>(s.category)] = s.factor;
+  }
+
+  // Build per-rank op lists from the measured timeline.
+  std::map<int, std::vector<ReplayOp>> ops;
+  // Replay releases wait for one arrival per distinct participating rank
+  // (a desynchronized trace could list a rank twice in one group; counting
+  // ranks keeps that from deadlocking the replay).
+  std::map<CollectiveKey, std::size_t> group_size;
+  for (const auto& [key, group] : dag.collectives) {
+    std::set<int> ranks;
+    for (const TraceEvent* e : group) ranks.insert(e->rank);
+    group_size[key] = ranks.size();
+  }
+  for (const auto& [rank, last_end] : dag.rank_last_end) {
+    auto& list = ops[rank];
+    const auto comm_it = dag.comm_by_rank.find(rank);
+    const auto local_it = dag.local_by_rank.find(rank);
+    const auto* spans =
+        local_it == dag.local_by_rank.end() ? nullptr : &local_it->second;
+    double clock = dag.t0;
+    if (comm_it != dag.comm_by_rank.end()) {
+      // comm_by_rank is end-sorted; re-sort by start for the forward pass.
+      auto comm = comm_it->second;
+      std::sort(comm.begin(), comm.end(),
+                [](const TraceEvent* a, const TraceEvent* b) {
+                  return a->start_seconds < b->start_seconds;
+                });
+      for (const TraceEvent* e : comm) {
+        if (e->start_seconds > clock) {
+          ReplayOp local;
+          local.local = local_breakdown(spans, clock, e->start_seconds);
+          list.push_back(local);
+        }
+        ReplayOp op;
+        op.category = e->category;
+        if (is_collective(*e)) {
+          op.kind = ReplayOp::Kind::kCollective;
+          op.coll_key = {e->stamp.comm, e->stamp.edge, e->name};
+          const TraceEvent* last = dag.last_arriver(*e);
+          op.service =
+              std::max(0.0, event_end(*e) - std::max(last->start_seconds,
+                                                     e->start_seconds));
+        } else if (is_p2p(*e)) {
+          op.p2p_key = p2p_key(*e);
+          if (e->stamp.flow == support::kFlowSend) {
+            op.kind = ReplayOp::Kind::kSend;
+            op.service = e->duration_seconds;
+          } else {
+            op.kind = ReplayOp::Kind::kRecv;
+            const auto send_it = dag.sends.find(op.p2p_key);
+            op.matched = send_it != dag.sends.end();
+            const double avail = op.matched
+                                     ? event_end(*send_it->second)
+                                     : e->start_seconds;
+            op.service = std::max(
+                0.0, event_end(*e) - std::max(avail, e->start_seconds));
+          }
+        } else {
+          // One-sided (or future unpaired stamps): local scalable time of
+          // the event's own category.
+          op.kind = ReplayOp::Kind::kLocal;
+          op.local[static_cast<std::size_t>(e->category)] =
+              e->duration_seconds;
+        }
+        list.push_back(op);
+        clock = std::max(clock, event_end(*e));
+      }
+    }
+    if (last_end > clock) {
+      ReplayOp tail;
+      tail.local = local_breakdown(spans, clock, last_end);
+      list.push_back(tail);
+    }
+  }
+
+  // Discrete-event forward execution with the given category factors.
+  const auto run = [&](const std::array<double, kNCategories>& scale,
+                       double& wall) -> bool {
+    std::map<int, double> clock;
+    std::map<int, std::size_t> idx;
+    for (const auto& [rank, list] : ops) {
+      clock[rank] = dag.t0;
+      idx[rank] = 0;
+    }
+    std::map<CollectiveKey, std::map<int, double>> arrivals;
+    std::map<CollectiveKey, double> release;
+    std::map<P2pKey, double> deposit;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto& [rank, list] : ops) {
+        double& t = clock[rank];
+        std::size_t& i = idx[rank];
+        while (i < list.size()) {
+          const ReplayOp& op = list[i];
+          if (op.kind == ReplayOp::Kind::kLocal) {
+            for (std::size_t c = 0; c < kNCategories; ++c) {
+              t += scale[c] * op.local[c];
+            }
+          } else if (op.kind == ReplayOp::Kind::kSend) {
+            t += scale[static_cast<std::size_t>(op.category)] * op.service;
+            deposit[op.p2p_key] = t;
+          } else if (op.kind == ReplayOp::Kind::kRecv) {
+            const auto dep = deposit.find(op.p2p_key);
+            if (op.matched && dep == deposit.end()) break;  // wait for send
+            if (dep != deposit.end()) t = std::max(t, dep->second);
+            t += scale[static_cast<std::size_t>(op.category)] * op.service;
+          } else {  // kCollective
+            auto& group = arrivals[op.coll_key];
+            group.emplace(rank, t);
+            if (group.size() < group_size[op.coll_key]) break;  // wait
+            auto rel = release.find(op.coll_key);
+            if (rel == release.end()) {
+              double r = 0.0;
+              for (const auto& [member, arrival] : group) {
+                r = std::max(r, arrival);
+              }
+              rel = release.emplace(op.coll_key, r).first;
+            }
+            t = std::max(t, rel->second) +
+                scale[static_cast<std::size_t>(op.category)] * op.service;
+          }
+          ++i;
+          progress = true;
+        }
+      }
+    }
+    for (const auto& [rank, i] : idx) {
+      if (i < ops[rank].size()) return false;  // deadlock
+    }
+    wall = 0.0;
+    for (const auto& [rank, t] : clock) wall = std::max(wall, t - dag.t0);
+    return true;
+  };
+
+  std::array<double, kNCategories> unit;
+  unit.fill(1.0);
+  if (!run(unit, out.baseline_seconds)) {
+    out.failure = "factor-1 replay deadlocked (incomplete trace?)";
+    return out;
+  }
+  if (!run(requested, out.predicted_seconds)) {
+    out.failure = "what-if replay deadlocked (incomplete trace?)";
+    return out;
+  }
+  out.valid = true;
+  return out;
+}
+
+}  // namespace uoi::report

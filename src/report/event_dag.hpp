@@ -1,0 +1,111 @@
+#pragma once
+// Cross-rank event DAG over stamped trace events: exact critical-path
+// extraction and what-if replay.
+//
+// Every uoi::sim communication span carries a TraceStamp (support/trace):
+// collectives of one communicator share a (comm, edge) key on all
+// participating ranks, p2p sends/recvs pair up via per-(peer, tag) edge
+// counters, and shrink recovery groups key on a dedicated counter. Merged
+// per-rank traces therefore form a true event DAG — every span's release
+// time is caused either by local work on the same rank or by the matched
+// peer event(s) on other ranks. All ranks of the in-process cluster share
+// one steady_clock epoch, so cross-rank timestamps are directly
+// comparable.
+//
+// exact_critical_path() walks that DAG backwards from the last-ending
+// event: at a collective it jumps to the last arriver (whose entry time
+// released everyone), at a receive it jumps to the matching send when the
+// message arrived after the receive started, and gaps between
+// synchronization points are attributed through the innermost covering
+// non-communication span. By construction the attributed segments tile
+// the whole trace window [first start, last end], so the path-segment sum
+// reconciles with the measured wall exactly — unlike the per-rank lower
+// bound RunReport falls back to when no stamps are available.
+//
+// what_if_replay() re-executes the same DAG forward as a discrete-event
+// simulation with per-category duration scale factors (e.g. allreduce
+// time x0 predicts the comm-avoidance headroom the perfmodel bounds). A
+// factor-1.0 replay reproduces the measured wall, which doubles as the
+// model's self-check.
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/trace.hpp"
+
+namespace uoi::report {
+
+/// One attributed segment of the exact critical path, in walk order
+/// (latest first). `cross_rank` marks segments entered through a matched
+/// peer edge (collective release or message arrival) — the waits
+/// communication-avoidance removes — as opposed to same-rank time.
+struct CriticalSegment {
+  int rank = 0;
+  std::string name;
+  support::TraceCategory category = support::TraceCategory::kComputation;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  bool cross_rank = false;
+};
+
+/// Exact longest path through the cross-rank event DAG.
+struct ExactCriticalPath {
+  bool valid = false;
+  std::string failure;  ///< why extraction was not possible (when !valid)
+
+  double window_seconds = 0.0;  ///< trace window: last end - first start
+  double path_seconds = 0.0;    ///< sum of segment durations (== window)
+  /// Seconds of the path attributed to each trace category.
+  std::array<double, static_cast<int>(support::TraceCategory::kCategoryCount)>
+      category_seconds{};
+  std::vector<CriticalSegment> segments;
+
+  std::size_t n_events = 0;       ///< events considered
+  std::size_t n_stamped = 0;      ///< events carrying a causal stamp
+  std::size_t n_collectives = 0;  ///< collective groups matched
+  std::size_t n_matched_p2p = 0;  ///< send/recv pairs matched
+  std::size_t n_rank_jumps = 0;   ///< cross-rank hops on the path
+
+  [[nodiscard]] double category(support::TraceCategory c) const {
+    return category_seconds[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Extracts the exact critical path from merged trace events. Requires at
+/// least one stamped communication event; `failure` explains degraded
+/// inputs otherwise (analyze then reports only the lower bound).
+[[nodiscard]] ExactCriticalPath exact_critical_path(
+    const std::vector<support::TraceEvent>& events);
+
+/// Per-category duration scale factor for what-if replay. Factor 0 removes
+/// the category's time entirely; 1 reproduces the measurement.
+struct WhatIfScale {
+  support::TraceCategory category = support::TraceCategory::kCommunication;
+  double factor = 1.0;
+};
+
+/// Result of a what-if forward replay of the event DAG.
+struct WhatIfResult {
+  bool valid = false;
+  std::string failure;
+  double measured_seconds = 0.0;   ///< trace window of the input
+  double baseline_seconds = 0.0;   ///< factor-1 replay (self-check)
+  double predicted_seconds = 0.0;  ///< replay with the requested factors
+  /// predicted / measured (1.0 = no change).
+  [[nodiscard]] double speedup() const {
+    return predicted_seconds > 0.0 ? measured_seconds / predicted_seconds
+                                   : 0.0;
+  }
+};
+
+/// Replays the event DAG as a discrete-event simulation with the given
+/// category scale factors applied to every span's service time. Collective
+/// releases wait for the slowest scaled arrival; receives wait for the
+/// scaled send deposit.
+[[nodiscard]] WhatIfResult what_if_replay(
+    const std::vector<support::TraceEvent>& events,
+    const std::vector<WhatIfScale>& scales);
+
+}  // namespace uoi::report

@@ -360,6 +360,11 @@ RunReport build_run_report(const ReportInputs& inputs) {
     report.critical_path_fraction =
         report.critical_path_seconds / report.wall_seconds;
   }
+  if (!inputs.events.empty()) {
+    report.exact_path = exact_critical_path(inputs.events);
+  } else {
+    report.exact_path.failure = "no captured events";
+  }
 
   // Latency percentiles per category, merged across ranks.
   for (std::size_t c = 0; c < kNCategories; ++c) {
@@ -418,6 +423,36 @@ std::string RunReport::to_json() const {
   out += ",\"fraction_of_wall\":" + json_number(critical_path_fraction);
   out += ",\"sync_points\":" + std::to_string(sync_points);
   out += ",\"method\":" + json_quote(critical_path_method);
+  out += ",\"exact\":{";
+  out += std::string("\"valid\":") + (exact_path.valid ? "true" : "false");
+  if (exact_path.valid) {
+    out += ",\"path_seconds\":" + json_number(exact_path.path_seconds);
+    out += ",\"window_seconds\":" + json_number(exact_path.window_seconds);
+    const double exact_fraction =
+        wall_seconds > 0.0 ? exact_path.path_seconds / wall_seconds : 0.0;
+    out += ",\"fraction_of_wall\":" + json_number(exact_fraction);
+    out += ",\"categories\":{";
+    bool first_cat = true;
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(support::TraceCategory::kCategoryCount);
+         ++c) {
+      if (exact_path.category_seconds[c] <= 0.0) continue;
+      if (!first_cat) out += ',';
+      first_cat = false;
+      out += json_quote(to_string(static_cast<support::TraceCategory>(c)));
+      out += ":" + json_number(exact_path.category_seconds[c]);
+    }
+    out += "}";
+    out += ",\"n_events\":" + std::to_string(exact_path.n_events);
+    out += ",\"n_stamped\":" + std::to_string(exact_path.n_stamped);
+    out += ",\"n_collectives\":" + std::to_string(exact_path.n_collectives);
+    out += ",\"n_matched_p2p\":" + std::to_string(exact_path.n_matched_p2p);
+    out += ",\"n_rank_jumps\":" + std::to_string(exact_path.n_rank_jumps);
+    out += ",\"n_segments\":" + std::to_string(exact_path.segments.size());
+  } else {
+    out += ",\"failure\":" + json_quote(exact_path.failure);
+  }
+  out += "}";
   out += "}";
   out += ",\"latency\":{";
   for (std::size_t i = 0; i < latency.size(); ++i) {
@@ -521,6 +556,26 @@ std::string RunReport::to_text() const {
          format_fixed(100.0 * critical_path_fraction, 1) + "% of wall, " +
          critical_path_method + " method, " + std::to_string(sync_points) +
          " sync points)\n";
+  if (exact_path.valid) {
+    out += "exact critical path: " + format_seconds(exact_path.path_seconds) +
+           " over " + std::to_string(exact_path.n_rank_jumps) +
+           " cross-rank hop(s) (" +
+           std::to_string(exact_path.n_collectives) + " collectives, " +
+           std::to_string(exact_path.n_matched_p2p) + " matched messages);";
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(support::TraceCategory::kCategoryCount);
+         ++c) {
+      if (exact_path.category_seconds[c] <= 0.0) continue;
+      const double pct = exact_path.path_seconds > 0.0
+                             ? 100.0 * exact_path.category_seconds[c] /
+                                   exact_path.path_seconds
+                             : 0.0;
+      out += std::string(" ") +
+             to_string(static_cast<support::TraceCategory>(c)) + " " +
+             format_fixed(pct, 1) + "%";
+    }
+    out += "\n";
+  }
 
   if (scheduler.present) {
     support::Table table({"policy", "agents", "tasks", "steals ok/try",

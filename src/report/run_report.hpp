@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "report/event_dag.hpp"
 #include "support/histogram.hpp"
 #include "support/trace.hpp"
 
@@ -150,6 +151,11 @@ struct RunReport {
   double critical_path_fraction = 0.0;  ///< of wall; low == slack/imbalance
   std::size_t sync_points = 0;  ///< aligned collective spans used
   std::string critical_path_method;  ///< "events" or "totals"
+
+  /// Exact longest path over the cross-rank event DAG (event_dag.hpp).
+  /// Valid when the captured events carry causal stamps; the JSON adds it
+  /// under critical_path.exact without touching the lower-bound keys.
+  ExactCriticalPath exact_path;
 
   std::vector<CategoryLatency> latency;  ///< categories with any spans
 

@@ -2,10 +2,14 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <istream>
+#include <iterator>
+#include <map>
 #include <sstream>
+#include <tuple>
 
 #include "support/error.hpp"
 
@@ -247,6 +251,46 @@ class TraceJsonParser {
     }
   }
 
+  /// Reads the causal stamp the writer puts in "args" (unknown args keys
+  /// are skipped so foreign traces still parse).
+  void parse_args(support::TraceStamp& stamp) {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (key == "comm") {
+        stamp.comm = static_cast<std::int64_t>(parse_number());
+      } else if (key == "seq") {
+        stamp.seq = static_cast<std::int64_t>(parse_number());
+      } else if (key == "peer") {
+        stamp.peer = static_cast<int>(parse_number());
+      } else if (key == "tag") {
+        stamp.tag = static_cast<int>(parse_number());
+      } else if (key == "edge") {
+        stamp.edge = static_cast<std::int64_t>(parse_number());
+      } else if (key == "flow") {
+        stamp.flow = static_cast<int>(parse_number());
+      } else {
+        skip_value();
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        skip_ws();
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
   void parse_event_array(std::vector<TraceEvent>& events) {
     expect('[');
     skip_ws();
@@ -297,6 +341,8 @@ class TraceJsonParser {
         event.start_seconds = parse_number() * 1e-6;
       } else if (key == "dur") {
         event.duration_seconds = parse_number() * 1e-6;
+      } else if (key == "args") {
+        parse_args(event.stamp);
       } else {
         skip_value();
       }
@@ -334,6 +380,85 @@ std::vector<TraceEvent> read_chrome_trace_file(const std::string& path) {
     throw support::IoError("cannot open trace file for reading: " + path);
   }
   return read_chrome_trace(file);
+}
+
+namespace {
+
+/// Key identifying one collective occurrence across ranks (and files).
+using CollectiveKey = std::tuple<std::int64_t, std::int64_t, std::string>;
+
+/// Latest exit time per collective key within one file.
+std::map<CollectiveKey, double> collective_exits(
+    const std::vector<TraceEvent>& events) {
+  std::map<CollectiveKey, double> exits;
+  for (const auto& e : events) {
+    if (!e.stamp.stamped() || e.stamp.edge < 0 || e.stamp.flow != 0 ||
+        e.stamp.peer >= 0) {
+      continue;
+    }
+    const CollectiveKey key{e.stamp.comm, e.stamp.edge, e.name};
+    const double end = e.start_seconds + e.duration_seconds;
+    auto [it, inserted] = exits.emplace(key, end);
+    if (!inserted && end > it->second) it->second = end;
+  }
+  return exits;
+}
+
+double min_start(const std::vector<TraceEvent>& events) {
+  double t = 0.0;
+  bool first = true;
+  for (const auto& e : events) {
+    if (first || e.start_seconds < t) t = e.start_seconds;
+    first = false;
+  }
+  return t;
+}
+
+}  // namespace
+
+std::vector<TraceEvent> read_and_merge_trace_files(
+    const std::vector<std::string>& paths) {
+  std::vector<std::vector<TraceEvent>> files;
+  files.reserve(paths.size());
+  for (const auto& path : paths) {
+    files.push_back(read_chrome_trace_file(path));
+  }
+  if (files.size() > 1) {
+    // Shared collective keys across every file, and the reference exits of
+    // the first file.
+    std::vector<std::map<CollectiveKey, double>> exits;
+    exits.reserve(files.size());
+    for (const auto& f : files) exits.push_back(collective_exits(f));
+    const CollectiveKey* anchor = nullptr;
+    double anchor_exit = 0.0;
+    for (const auto& [key, exit] : exits.front()) {
+      bool shared = true;
+      for (std::size_t f = 1; f < exits.size() && shared; ++f) {
+        shared = exits[f].count(key) > 0;
+      }
+      // Anchor on the earliest shared collective: later ones accumulate
+      // more per-file clock drift.
+      if (shared && (anchor == nullptr || exit < anchor_exit)) {
+        anchor = &key;
+        anchor_exit = exit;
+      }
+    }
+    for (std::size_t f = 1; f < files.size(); ++f) {
+      const double offset =
+          anchor != nullptr
+              ? anchor_exit - exits[f].at(*anchor)
+              : min_start(files.front()) - min_start(files[f]);
+      if (offset != 0.0) {
+        for (auto& e : files[f]) e.start_seconds += offset;
+      }
+    }
+  }
+  std::vector<TraceEvent> merged;
+  for (auto& f : files) {
+    merged.insert(merged.end(), std::make_move_iterator(f.begin()),
+                  std::make_move_iterator(f.end()));
+  }
+  return merged;
 }
 
 }  // namespace uoi::report

@@ -26,4 +26,14 @@ namespace uoi::report {
 [[nodiscard]] std::vector<support::TraceEvent> read_chrome_trace_file(
     const std::string& path);
 
+/// Reads several per-rank trace files and merges them onto one timeline.
+/// Files written by one process share the tracer epoch and merge verbatim;
+/// files from separate processes are aligned on the earliest collective
+/// (comm, edge, name) key present in every file — all participants of a
+/// collective leave it at the same physical instant (barrier release), so
+/// matching exit times across files recovers the epoch offsets. With no
+/// shared collective each file is normalized to start at zero.
+[[nodiscard]] std::vector<support::TraceEvent> read_and_merge_trace_files(
+    const std::vector<std::string>& paths);
+
 }  // namespace uoi::report

@@ -181,6 +181,12 @@ PassStats run_work_steal(sim::Comm& c, sim::Comm& task_comm,
       execute(grid.cell(round[1]));
       stats.cell_seconds[round[1]] = watch.seconds();
       ++stats.tasks_executed;
+      // Live-telemetry progress: the agent counts the cell once for the
+      // whole group (one coarse counter add per ADMM solve — negligible).
+      if (info.group_rank == 0) {
+        support::MetricsRegistry::instance().add(
+            support::Tracer::thread_rank(), "progress.cells_done", 1.0);
+      }
     } else if (round[0] == kDone) {
       break;
     } else if (round[0] == kAbortFailed) {
@@ -225,6 +231,10 @@ PassStats run_pass(sim::Comm& c, sim::Comm& task_comm, const GroupInfo& info,
     execute(grid.cell(id));
     stats.cell_seconds[id] = watch.seconds();
     ++stats.tasks_executed;
+    if (info.group_rank == 0) {
+      support::MetricsRegistry::instance().add(
+          support::Tracer::thread_rank(), "progress.cells_done", 1.0);
+    }
   }
   return stats;
 }

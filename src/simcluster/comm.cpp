@@ -50,14 +50,21 @@ std::span<const T> stage_view(const std::vector<std::uint8_t>& slot) {
 /// allreduce algorithms (ring, recursive doubling) are built on send/recv,
 /// so a thread-local depth counter suppresses the nested spans — the trace
 /// shows "allreduce", not thirty point-to-point fragments, and bucket
-/// totals count each collective's wall time exactly once.
+/// totals count each collective's wall time exactly once. The active
+/// (depth-0) span also carries the handle's causal stamp, allocated at
+/// entry so stamp order equals program order; suppressed nested spans bump
+/// no counters, keeping the per-(peer, tag) edge counters aligned with the
+/// events that actually land in the trace.
 class CommTraceScope {
  public:
-  CommTraceScope(const Comm& comm, CommCategory category)
+  CommTraceScope(Comm& comm, CommCategory category, int peer = -1,
+                 int tag = -1, bool is_send = false)
       : active_(depth()++ == 0),
         category_(category),
         rank_(comm.global_rank()),
-        start_(support::Tracer::instance().now_seconds()) {}
+        start_(support::Tracer::instance().now_seconds()) {
+    if (active_) stamp_ = comm.next_trace_stamp(category, peer, tag, is_send);
+  }
   CommTraceScope(const CommTraceScope&) = delete;
   CommTraceScope& operator=(const CommTraceScope&) = delete;
   ~CommTraceScope() {
@@ -66,7 +73,7 @@ class CommTraceScope {
     auto& tracer = support::Tracer::instance();
     const double duration = std::max(0.0, tracer.now_seconds() - start_);
     tracer.record(to_string(category_), support::TraceCategory::kCommunication,
-                  rank_, start_, duration);
+                  rank_, start_, duration, stamp_);
   }
 
  private:
@@ -78,6 +85,7 @@ class CommTraceScope {
   CommCategory category_;
   int rank_;
   double start_;
+  support::TraceStamp stamp_;
 };
 
 }  // namespace
@@ -326,7 +334,8 @@ void Comm::send(int destination, std::span<const double> data, int tag) {
     raise_rank_failed("send to a failed rank");
   }
   context_->registry()->bump_progress(global_rank());
-  CommTraceScope span(*this, CommCategory::kPointToPoint);
+  CommTraceScope span(*this, CommCategory::kPointToPoint, destination, tag,
+                      /*is_send=*/true);
   support::Stopwatch watch;
   std::vector<std::uint8_t> payload(data.size_bytes());
   if (!data.empty()) {
@@ -343,7 +352,8 @@ void Comm::send(int destination, std::span<const double> data, int tag) {
 void Comm::recv(int source, std::span<double> data, int tag) {
   UOI_CHECK(source >= 0 && source < size(), "recv source out of range");
   context_->registry()->bump_progress(global_rank());
-  CommTraceScope span(*this, CommCategory::kPointToPoint);
+  CommTraceScope span(*this, CommCategory::kPointToPoint, source, tag,
+                      /*is_send=*/false);
   support::Stopwatch watch;
   // Buffered messages win over an abort; an unmatched receive from a dead
   // rank (or on a revoked communicator) raises instead of hanging. With
@@ -830,10 +840,46 @@ Comm Comm::dup() { return split(0, rank_); }
 
 void Comm::revoke() { context_->revoke(); }
 
+/// RAII span carrying a pre-allocated causal stamp; records even when the
+/// guarded scope unwinds with an exception (like TraceScope).
+class StampedTraceScope {
+ public:
+  StampedTraceScope(const char* name, support::TraceCategory category,
+                    int rank, support::TraceStamp stamp)
+      : name_(name),
+        category_(category),
+        rank_(rank),
+        stamp_(stamp),
+        start_(support::Tracer::instance().now_seconds()) {}
+  StampedTraceScope(const StampedTraceScope&) = delete;
+  StampedTraceScope& operator=(const StampedTraceScope&) = delete;
+  ~StampedTraceScope() {
+    auto& tracer = support::Tracer::instance();
+    const double duration = std::max(0.0, tracer.now_seconds() - start_);
+    tracer.record(name_, category_, rank_, start_, duration, stamp_);
+  }
+
+ private:
+  const char* name_;
+  support::TraceCategory category_;
+  int rank_;
+  support::TraceStamp stamp_;
+  double start_;
+};
+
 Comm Comm::shrink() {
   auto registry = context_->registry();
-  support::TraceScope span("shrink", support::TraceCategory::kRecovery,
-                           global_rank());
+  // Shrink groups match across ranks by occurrence, not by the collective
+  // edge counter: ranks can reach shrink through asymmetric failure paths
+  // (some from a revoked collective, some directly), so only the count of
+  // completed shrinks on this handle is guaranteed to agree on every
+  // survivor.
+  support::TraceStamp shrink_stamp;
+  shrink_stamp.comm = context_->comm_id();
+  shrink_stamp.seq = stamp_counters_.seq++;
+  shrink_stamp.edge = stamp_counters_.shrink_edge++;
+  StampedTraceScope span("shrink", support::TraceCategory::kRecovery,
+                         global_rank(), shrink_stamp);
   support::Stopwatch watch;
   // Revoke first (idempotent): any rank still blocked in — or about to
   // enter — a normal collective on this communicator raises
@@ -891,6 +937,37 @@ Comm Comm::shrink() {
 }
 
 int Comm::global_rank() const { return context_->global_rank(rank_); }
+
+std::int64_t Comm::comm_id() const { return context_->comm_id(); }
+
+support::TraceStamp Comm::next_trace_stamp(CommCategory category, int peer,
+                                           int tag, bool is_send) {
+  support::TraceStamp stamp;
+  stamp.comm = context_->comm_id();
+  stamp.seq = stamp_counters_.seq++;
+  if (category == CommCategory::kPointToPoint && peer >= 0) {
+    // The mailbox is FIFO per (source, destination, tag), so the n-th send
+    // on a (peer, tag) pair pairs with the n-th recv on the other side —
+    // the edge counter encodes exactly that n.
+    const int peer_global = context_->global_rank(peer);
+    stamp.peer = peer_global;
+    stamp.tag = tag;
+    auto& edges =
+        is_send ? stamp_counters_.send_edge : stamp_counters_.recv_edge;
+    stamp.edge = edges[{peer_global, tag}]++;
+    stamp.flow = is_send ? support::kFlowSend : support::kFlowRecv;
+  } else if (category == CommCategory::kOneSided) {
+    // One-sided ops have no target-side event to pair with; the stamp
+    // still records the target so hot windows are attributable.
+    if (peer >= 0) stamp.peer = context_->global_rank(peer);
+  } else {
+    // SPMD discipline: every rank invokes collectives on a communicator in
+    // the same order, so the per-handle collective counter agrees across
+    // ranks and keys one collective's events together.
+    stamp.edge = stamp_counters_.collective_edge++;
+  }
+  return stamp;
+}
 
 bool Comm::is_alive(int rank) const {
   UOI_CHECK(rank >= 0 && rank < size(), "rank out of range");
@@ -1058,16 +1135,19 @@ double Comm::inject_latency(CommCategory category, std::uint64_t bytes) {
   return watch.seconds();
 }
 
-void Comm::account_onesided(std::uint64_t bytes, double seconds) {
+void Comm::account_onesided(std::uint64_t bytes, double seconds, int target) {
   auto& entry = stats_.of(CommCategory::kOneSided);
   ++entry.calls;
   entry.bytes += bytes;
   const double injected = inject_latency(CommCategory::kOneSided, bytes);
-  entry.seconds += seconds + injected;
+  const double total = seconds + injected;
+  entry.seconds += total;
   // One-sided window traffic is the paper's Distribution bucket.
-  support::Tracer::instance().record_complete(
-      "one-sided", support::TraceCategory::kDistribution, global_rank(),
-      seconds + injected);
+  const auto stamp = next_trace_stamp(CommCategory::kOneSided, target);
+  auto& tracer = support::Tracer::instance();
+  const double end = tracer.now_seconds();
+  tracer.record("one-sided", support::TraceCategory::kDistribution,
+                global_rank(), std::max(0.0, end - total), total, stamp);
 }
 
 }  // namespace uoi::sim

@@ -19,12 +19,15 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "simcluster/fault.hpp"
+#include "support/trace.hpp"
 
 namespace uoi::sim {
 
@@ -251,6 +254,24 @@ class Comm {
   /// This rank's job-wide (root communicator) rank.
   [[nodiscard]] int global_rank() const;
 
+  /// Globally unique id of the underlying communicator — identical on
+  /// every member rank, distinct across communicators (split/dup/shrink
+  /// children get fresh ids). This is the `comm` key of trace stamps, so
+  /// merged per-rank traces group events of one communicator together.
+  [[nodiscard]] std::int64_t comm_id() const;
+
+  /// Allocates the causal stamp for the next top-level traced
+  /// communication event on this handle (internal: called by the comm
+  /// trace scope and one-sided accounting). `peer` is a *local* rank for
+  /// point-to-point / one-sided targets, -1 for collectives. Every call
+  /// bumps the per-communicator sequence id; point-to-point calls
+  /// additionally bump the per-(peer, tag) edge counter of the matching
+  /// direction, collectives the per-handle collective edge counter.
+  [[nodiscard]] support::TraceStamp next_trace_stamp(CommCategory category,
+                                                     int peer = -1,
+                                                     int tag = -1,
+                                                     bool is_send = false);
+
   /// Failure queries (local, no communication).
   [[nodiscard]] bool is_alive(int rank) const;
   [[nodiscard]] std::vector<int> alive_ranks() const;
@@ -304,7 +325,9 @@ class Comm {
   CommStats& mutable_stats() noexcept { return stats_; }
 
   /// Used by Window to charge one-sided traffic to this rank's stats.
-  void account_onesided(std::uint64_t bytes, double seconds);
+  /// `target` is the local rank of the window side touched (stamped as the
+  /// peer of the one-sided trace event; -1 leaves the peer unset).
+  void account_onesided(std::uint64_t bytes, double seconds, int target = -1);
 
   /// Installs (or clears, with nullptr-like empty function) the latency
   /// injector for this rank's handle. Per-Comm, so ranks can emulate
@@ -342,8 +365,21 @@ class Comm {
   };
   OneSidedAction onesided_fault_point();
 
+  /// Causal-stamp counters (see support::TraceStamp). Fresh handles start
+  /// at zero — split/dup/shrink children deliberately do NOT inherit them,
+  /// so a child communicator's sequence restarts at 0 on every member and
+  /// stays aligned across ranks regardless of the parent's history.
+  struct StampCounters {
+    std::int64_t seq = 0;              ///< every stamped event
+    std::int64_t collective_edge = 0;  ///< collectives (SPMD call order)
+    std::int64_t shrink_edge = 0;      ///< shrink recovery groups
+    std::map<std::pair<int, int>, std::int64_t> send_edge;  ///< (peer, tag)
+    std::map<std::pair<int, int>, std::int64_t> recv_edge;  ///< (peer, tag)
+  };
+
   std::shared_ptr<detail::Context> context_;
   int rank_ = -1;
+  StampCounters stamp_counters_;
   CommStats stats_;
   RecoveryStats recovery_stats_;
   LatencyInjector latency_injector_;

@@ -298,6 +298,17 @@ class Mailbox {
 
 class Context {
  public:
+  /// Process-wide communicator id allocator. Contexts are shared objects
+  /// (one per communicator, referenced by every member rank's Comm
+  /// handle), so the id assigned at construction is identical on all
+  /// member ranks and distinct across communicators — including children
+  /// produced by split/dup/shrink. Trace stamps use it as the `comm` key
+  /// of the cross-rank event DAG.
+  static std::int64_t next_comm_id() {
+    static std::atomic<std::int64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Root context of a job: global rank r is local rank r, fresh registry.
   explicit Context(int size)
       : Context(size, std::make_shared<FailureRegistry>(size),
@@ -318,6 +329,8 @@ class Context {
                    static_cast<std::size_t>(size)) {
     registry_->register_context(this);
   }
+
+  [[nodiscard]] std::int64_t comm_id() const noexcept { return comm_id_; }
 
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
@@ -587,6 +600,7 @@ class Context {
   }
 
   int size_;
+  std::int64_t comm_id_ = next_comm_id();
   std::shared_ptr<FailureRegistry> registry_;
   std::vector<int> global_ranks_;
   std::mutex mutex_;

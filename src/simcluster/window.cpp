@@ -108,7 +108,7 @@ void Window::get(int target, std::size_t offset, std::span<double> out) {
     std::memcpy(out.data(), state_->bases[t] + offset, out.size_bytes());
   }
   if (action.corrupt) corrupt_first(out);
-  comm_->account_onesided(out.size_bytes(), watch.seconds());
+  comm_->account_onesided(out.size_bytes(), watch.seconds(), target);
   if (check_crc &&
       support::crc32(out.data(), out.size_bytes()) != source_crc) {
     auto& recovery = comm_->mutable_recovery_stats();
@@ -146,7 +146,7 @@ void Window::put(int target, std::size_t offset, std::span<const double> in) {
         support::crc32(state_->bases[t] + offset, in.size_bytes()) !=
             source_crc;
   }
-  comm_->account_onesided(in.size_bytes(), watch.seconds());
+  comm_->account_onesided(in.size_bytes(), watch.seconds(), target);
   if (crc_mismatch) {
     auto& recovery = comm_->mutable_recovery_stats();
     ++recovery.crc_detected;
@@ -172,7 +172,7 @@ void Window::accumulate_add(int target, std::size_t offset,
     double* base = state_->bases[t] + offset;
     for (std::size_t i = 0; i < in.size(); ++i) base[i] += in[i];
   }
-  comm_->account_onesided(in.size_bytes(), watch.seconds());
+  comm_->account_onesided(in.size_bytes(), watch.seconds(), target);
 }
 
 double Window::fetch_add(int target, std::size_t offset, double delta) {
@@ -194,7 +194,7 @@ double Window::fetch_add(int target, std::size_t offset, double delta) {
     previous = *cell;
     *cell += delta;
   }
-  comm_->account_onesided(sizeof(double), watch.seconds());
+  comm_->account_onesided(sizeof(double), watch.seconds(), target);
   return previous;
 }
 

@@ -123,6 +123,13 @@ double Tracer::now_seconds() const {
 
 void Tracer::record(std::string name, TraceCategory category, int rank,
                     double start_seconds, double duration_seconds) {
+  record(std::move(name), category, rank, start_seconds, duration_seconds,
+         TraceStamp{});
+}
+
+void Tracer::record(std::string name, TraceCategory category, int rank,
+                    double start_seconds, double duration_seconds,
+                    const TraceStamp& stamp) {
   if (rank < 0) rank = thread_rank();
   const bool capture = capture_events();
   std::lock_guard<std::mutex> lock(mutex_);
@@ -133,7 +140,7 @@ void Tracer::record(std::string name, TraceCategory category, int rank,
   if (capture) {
     events_.push_back(TraceEvent{std::move(name), category, rank,
                                  this_thread_tid(), start_seconds,
-                                 duration_seconds});
+                                 duration_seconds, stamp});
   }
 }
 
@@ -218,13 +225,50 @@ std::size_t Tracer::event_count() const {
   return events_.size();
 }
 
+namespace {
+
+/// Stable flow-event id for a matched p2p message edge: both sides of the
+/// pair agree on (comm, source, destination, tag, edge), so Perfetto draws
+/// one arrow from the send span's end to the recv span's end.
+std::string flow_edge_id(const TraceEvent& e) {
+  const bool is_send = e.stamp.flow == kFlowSend;
+  const int src = is_send ? e.rank : e.stamp.peer;
+  const int dst = is_send ? e.stamp.peer : e.rank;
+  return std::to_string(e.stamp.comm) + ":" + std::to_string(src) + ":" +
+         std::to_string(dst) + ":" + std::to_string(e.stamp.tag) + ":" +
+         std::to_string(e.stamp.edge);
+}
+
+void append_stamp_args(std::string& buffer, const TraceStamp& s) {
+  buffer += ",\"args\":{\"comm\":";
+  buffer += std::to_string(s.comm);
+  buffer += ",\"seq\":";
+  buffer += std::to_string(s.seq);
+  buffer += ",\"peer\":";
+  buffer += std::to_string(s.peer);
+  buffer += ",\"tag\":";
+  buffer += std::to_string(s.tag);
+  buffer += ",\"edge\":";
+  buffer += std::to_string(s.edge);
+  buffer += ",\"flow\":";
+  buffer += std::to_string(s.flow);
+  buffer += "}";
+}
+
+}  // namespace
+
 void Tracer::write_chrome_trace(std::ostream& out) const {
   const auto sorted = events();
   std::string buffer;
-  buffer.reserve(sorted.size() * 96 + 16);
+  buffer.reserve(sorted.size() * 128 + 16);
   buffer += "[\n";
-  for (std::size_t i = 0; i < sorted.size(); ++i) {
-    const TraceEvent& e = sorted[i];
+  bool first = true;
+  const auto begin_entry = [&buffer, &first]() {
+    if (!first) buffer += ",\n";
+    first = false;
+  };
+  for (const TraceEvent& e : sorted) {
+    begin_entry();
     buffer += "{\"name\":\"";
     append_json_escaped(buffer, e.name);
     buffer += "\",\"cat\":\"";
@@ -237,11 +281,31 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
     buffer += format_double(e.start_seconds * 1e6);
     buffer += ",\"dur\":";
     buffer += format_double(e.duration_seconds * 1e6);
+    if (e.stamp.stamped()) append_stamp_args(buffer, e.stamp);
     buffer += "}";
-    if (i + 1 < sorted.size()) buffer += ",";
-    buffer += "\n";
+    // Matched p2p message edges additionally get Chrome flow events so
+    // Perfetto renders the cross-rank causality arrows: ph:"s" anchored at
+    // the send span's end, ph:"f" (bp:"e") at the matching recv span's end.
+    if (e.stamp.stamped() && e.stamp.flow != kFlowNone && e.stamp.peer >= 0) {
+      const bool is_send = e.stamp.flow == kFlowSend;
+      const double anchor = (e.start_seconds + e.duration_seconds) * 1e6;
+      begin_entry();
+      buffer += "{\"name\":\"msg\",\"cat\":\"communication\",\"ph\":\"";
+      buffer += is_send ? "s" : "f";
+      buffer += "\"";
+      if (!is_send) buffer += ",\"bp\":\"e\"";
+      buffer += ",\"pid\":";
+      buffer += std::to_string(e.rank);
+      buffer += ",\"tid\":";
+      buffer += std::to_string(e.tid);
+      buffer += ",\"ts\":";
+      buffer += format_double(anchor);
+      buffer += ",\"id\":\"";
+      append_json_escaped(buffer, flow_edge_id(e));
+      buffer += "\"}";
+    }
   }
-  buffer += "]\n";
+  buffer += "\n]\n";
   out << buffer;
 }
 

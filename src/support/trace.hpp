@@ -69,6 +69,30 @@ enum class TraceCategory : int {
 using CategoryHistograms =
     std::array<LogHistogram, static_cast<int>(TraceCategory::kCategoryCount)>;
 
+/// Causal stamp attached to communication spans so merged per-rank traces
+/// form a cross-rank event DAG. `comm` identifies the communicator handle
+/// (globally unique per uoi::sim::Comm context), `seq` is the per-handle
+/// monotone sequence id (bumped for every stamped event on that handle),
+/// and `edge` is the cross-rank matching key: collectives share one edge
+/// value across all participating ranks (SPMD call order), while p2p edges
+/// count per (peer, tag) pair on each side so the n-th send matches the
+/// n-th recv (mailboxes are FIFO per (source, destination, tag)). `flow`
+/// marks message direction for p2p/one-sided edges.
+struct TraceStamp {
+  std::int64_t comm = -1;  ///< communicator id (-1: unstamped event)
+  std::int64_t seq = -1;   ///< per-communicator monotone sequence id
+  int peer = -1;           ///< peer rank (p2p/one-sided), -1 for collectives
+  int tag = -1;            ///< p2p message tag, -1 otherwise
+  std::int64_t edge = -1;  ///< cross-rank matching key (see above)
+  int flow = 0;            ///< 0 = none, 1 = send side, 2 = receive side
+
+  [[nodiscard]] bool stamped() const { return comm >= 0; }
+};
+
+inline constexpr int kFlowNone = 0;
+inline constexpr int kFlowSend = 1;
+inline constexpr int kFlowRecv = 2;
+
 /// One completed span on a rank's timeline. Timestamps are seconds since
 /// the tracer's epoch (construction or last clear()).
 struct TraceEvent {
@@ -78,6 +102,7 @@ struct TraceEvent {
   int tid = 0;   ///< recording thread within the process
   double start_seconds = 0.0;
   double duration_seconds = 0.0;
+  TraceStamp stamp;  ///< causal stamp; default (comm = -1) means unstamped
 };
 
 /// Per-category aggregate totals (always maintained, even when event
@@ -126,6 +151,12 @@ class Tracer {
   /// Records a completed span. `start_seconds` is relative to the epoch.
   void record(std::string name, TraceCategory category, int rank,
               double start_seconds, double duration_seconds);
+
+  /// Records a completed span carrying a causal stamp (communication
+  /// events; see TraceStamp).
+  void record(std::string name, TraceCategory category, int rank,
+              double start_seconds, double duration_seconds,
+              const TraceStamp& stamp);
 
   /// Records a span that ends now and lasted `duration_seconds`.
   void record_complete(std::string name, TraceCategory category, int rank,

@@ -448,6 +448,14 @@ UoiVarDistributedResult uoi_var_distributed(
       1, std::min(static_cast<std::size_t>(pl), q));
   const sched::TaskGrid selection_grid(b1, q, n_chains, options.seed);
   const sched::TaskGrid estimation_grid(b2, q, n_chains, options.seed + 1);
+  // Live-telemetry progress denominator; one rank owns it so the
+  // cross-rank sum counts the grid once.
+  if (comm.rank() == 0) {
+    support::MetricsRegistry::instance().set(
+        trace_rank, "progress.cells_total",
+        static_cast<double>(selection_grid.n_cells() +
+                            estimation_grid.n_cells()));
+  }
   const double pass_seconds_seed = sched::var_pass_seconds_estimate(
       p, series.rows(), d, b1, b2, q, options.admm.max_iterations,
       comm.size());

@@ -1,0 +1,343 @@
+// Tests for the cross-rank causal stamps on uoi::sim communication
+// events (support::TraceStamp) and the trace plumbing built on them:
+//
+//   - every stamped event of a communicator handle carries a monotone
+//     per-handle sequence id, including across split/dup children (which
+//     deliberately restart at zero on their own comm id);
+//   - collectives share one (comm, edge) key across all participating
+//     ranks; p2p sends/recvs pair up via per-(peer, tag) edge counters
+//     (and survive rank rebinding through global ids);
+//   - shrink recovery groups key on a dedicated edge counter even though
+//     survivors reach shrink() through asymmetric failure paths;
+//   - the Chrome-trace export writes stamp args + Perfetto flow events,
+//     and report::read_chrome_trace_file round-trips the stamps;
+//   - read_and_merge_trace_files aligns per-rank trace files on shared
+//     collective stamps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <span>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "report/trace_reader.hpp"
+#include "simcluster/cluster.hpp"
+#include "support/trace.hpp"
+
+namespace {
+
+using uoi::sim::Cluster;
+using uoi::sim::Comm;
+using uoi::sim::FaultPlan;
+using uoi::sim::RankFailedError;
+using uoi::sim::ReduceOp;
+using uoi::support::TraceCategory;
+using uoi::support::TraceEvent;
+using uoi::support::Tracer;
+
+/// Runs `body` on `ranks` ranks with event capture on and returns the
+/// captured events (capture state restored afterwards).
+template <typename Body>
+std::vector<TraceEvent> capture_run(int ranks, Body&& body) {
+  auto& tracer = Tracer::instance();
+  tracer.clear();
+  tracer.set_capture_events(true);
+  Cluster::run(ranks, body);
+  auto events = tracer.events();
+  tracer.set_capture_events(false);
+  tracer.clear();
+  return events;
+}
+
+std::vector<const TraceEvent*> stamped_of_rank(
+    const std::vector<TraceEvent>& events, int rank) {
+  std::vector<const TraceEvent*> out;
+  for (const auto& e : events) {
+    if (e.rank == rank && e.stamp.stamped()) out.push_back(&e);
+  }
+  return out;
+}
+
+TEST(CausalStamp, SequenceIdsAreMonotonePerRank) {
+  const auto events = capture_run(3, [](Comm& comm) {
+    double x = comm.rank();
+    for (int i = 0; i < 4; ++i) {
+      comm.allreduce(std::span<double>(&x, 1), ReduceOp::kSum);
+    }
+    comm.barrier();
+    comm.bcast(std::span<double>(&x, 1), 0);
+  });
+  for (int rank = 0; rank < 3; ++rank) {
+    const auto stamped = stamped_of_rank(events, rank);
+    ASSERT_FALSE(stamped.empty()) << "rank " << rank;
+    // All on the world communicator; seq must be strictly increasing in
+    // program (start-time) order, starting at 0.
+    std::vector<const TraceEvent*> ordered = stamped;
+    std::sort(ordered.begin(), ordered.end(),
+              [](const TraceEvent* a, const TraceEvent* b) {
+                return a->start_seconds < b->start_seconds;
+              });
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+      EXPECT_EQ(ordered[i]->stamp.seq, static_cast<std::int64_t>(i))
+          << "rank " << rank << " event " << ordered[i]->name;
+      EXPECT_EQ(ordered[i]->stamp.comm, ordered[0]->stamp.comm);
+    }
+  }
+}
+
+TEST(CausalStamp, CollectivesShareOneEdgeAcrossRanks) {
+  constexpr int kRanks = 4;
+  const auto events = capture_run(kRanks, [](Comm& comm) {
+    double x = 1.0;
+    comm.allreduce(std::span<double>(&x, 1), ReduceOp::kSum);
+    comm.barrier();
+    comm.allreduce(std::span<double>(&x, 1), ReduceOp::kMax);
+  });
+  // Group by (comm, edge, name): every group must contain one event per
+  // rank — that is the cross-rank matching contract the event DAG uses.
+  std::map<std::tuple<std::int64_t, std::int64_t, std::string>, std::set<int>>
+      groups;
+  for (const auto& e : events) {
+    if (!e.stamp.stamped() || e.stamp.edge < 0 || e.stamp.peer >= 0) continue;
+    groups[{e.stamp.comm, e.stamp.edge, e.name}].insert(e.rank);
+  }
+  ASSERT_GE(groups.size(), 3u);
+  for (const auto& [key, ranks] : groups) {
+    EXPECT_EQ(ranks.size(), static_cast<std::size_t>(kRanks))
+        << std::get<2>(key) << " edge " << std::get<1>(key);
+  }
+}
+
+TEST(CausalStamp, PointToPointEdgesMatchSendToRecv) {
+  const auto events = capture_run(2, [](Comm& comm) {
+    double buf[2] = {0.0, 0.0};
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 3; ++i) {
+        buf[0] = i;
+        comm.send(1, std::span<const double>(buf, 1), /*tag=*/7);
+      }
+      comm.recv(1, std::span<double>(buf, 1), /*tag=*/9);
+    } else {
+      for (int i = 0; i < 3; ++i) {
+        comm.recv(0, std::span<double>(buf, 1), /*tag=*/7);
+      }
+      comm.send(0, std::span<const double>(buf, 1), /*tag=*/9);
+    }
+  });
+  using uoi::support::kFlowRecv;
+  using uoi::support::kFlowSend;
+  // Key a p2p edge by (comm, src, dst, tag, edge); each must appear
+  // exactly once per direction.
+  std::map<std::tuple<std::int64_t, int, int, int, std::int64_t>, int> sends;
+  std::map<std::tuple<std::int64_t, int, int, int, std::int64_t>, int> recvs;
+  for (const auto& e : events) {
+    if (!e.stamp.stamped() || e.stamp.flow == 0) continue;
+    EXPECT_GE(e.stamp.edge, 0);
+    EXPECT_GE(e.stamp.peer, 0);
+    if (e.stamp.flow == kFlowSend) {
+      ++sends[{e.stamp.comm, e.rank, e.stamp.peer, e.stamp.tag,
+               e.stamp.edge}];
+    } else if (e.stamp.flow == kFlowRecv) {
+      ++recvs[{e.stamp.comm, e.stamp.peer, e.rank, e.stamp.tag,
+               e.stamp.edge}];
+    }
+  }
+  ASSERT_EQ(sends.size(), 4u);  // 3 on tag 7 + 1 on tag 9
+  EXPECT_EQ(recvs.size(), sends.size());
+  for (const auto& [key, n] : sends) {
+    EXPECT_EQ(n, 1);
+    EXPECT_EQ(recvs.count(key), 1u)
+        << "unmatched send edge " << std::get<4>(key);
+  }
+}
+
+TEST(CausalStamp, SplitChildrenGetFreshCommIdAndRestartSeq) {
+  const auto events = capture_run(4, [](Comm& comm) {
+    double x = 1.0;
+    comm.allreduce(std::span<double>(&x, 1), ReduceOp::kSum);
+    Comm half = comm.split(comm.rank() % 2, comm.rank());
+    half.allreduce(std::span<double>(&x, 1), ReduceOp::kSum);
+    half.barrier();
+  });
+  for (int rank = 0; rank < 4; ++rank) {
+    const auto stamped = stamped_of_rank(events, rank);
+    std::set<std::int64_t> comm_ids;
+    std::map<std::int64_t, std::vector<std::int64_t>> seq_by_comm;
+    for (const auto* e : stamped) {
+      comm_ids.insert(e->stamp.comm);
+      seq_by_comm[e->stamp.comm].push_back(e->stamp.seq);
+    }
+    // World + this rank's split child (split ids differ by color, but
+    // each rank sees exactly two handles).
+    EXPECT_EQ(comm_ids.size(), 2u) << "rank " << rank;
+    for (auto& [comm_id, seqs] : seq_by_comm) {
+      std::sort(seqs.begin(), seqs.end());
+      for (std::size_t i = 0; i < seqs.size(); ++i) {
+        EXPECT_EQ(seqs[i], static_cast<std::int64_t>(i))
+            << "comm " << comm_id << " on rank " << rank;
+      }
+    }
+  }
+  // The two split colors are distinct communicators with distinct ids.
+  std::set<std::int64_t> split_ids;
+  for (const auto& e : events) {
+    if (e.stamp.stamped()) split_ids.insert(e.stamp.comm);
+  }
+  EXPECT_EQ(split_ids.size(), 3u);  // world + 2 colors
+}
+
+TEST(CausalStamp, ShrinkEventsShareOneEdgeAcrossSurvivors) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->kills.push_back({2, 2});
+  const auto events = capture_run(4, [&](Comm& comm) {
+    comm.set_fault_plan(plan);
+    try {
+      for (int i = 0; i < 6; ++i) {
+        double x = 1.0;
+        comm.allreduce(std::span<double>(&x, 1), ReduceOp::kSum);
+      }
+    } catch (const RankFailedError&) {
+      // Survivors reach shrink() through their own (asymmetric) unwind
+      // paths; the dedicated shrink edge must still line them up.
+      Comm shrunk = comm.shrink();
+      double x = 1.0;
+      shrunk.allreduce(std::span<double>(&x, 1), ReduceOp::kSum);
+      EXPECT_DOUBLE_EQ(x, 3.0);
+      return;
+    }
+    FAIL() << "fault was never detected";
+  });
+  std::map<std::int64_t, std::set<int>> shrink_ranks;  // edge -> ranks
+  std::int64_t shrink_comm = -1;
+  for (const auto& e : events) {
+    if (e.name != "shrink" || !e.stamp.stamped()) continue;
+    EXPECT_EQ(e.category, TraceCategory::kRecovery);
+    shrink_ranks[e.stamp.edge].insert(e.rank);
+    shrink_comm = e.stamp.comm;
+  }
+  ASSERT_EQ(shrink_ranks.size(), 1u) << "one shrink, one edge";
+  EXPECT_EQ(shrink_ranks.begin()->second, (std::set<int>{0, 1, 3}));
+  // The post-shrink allreduce runs on a fresh communicator id.
+  std::set<std::int64_t> post_shrink_comms;
+  for (const auto& e : events) {
+    if (e.stamp.stamped() && e.stamp.comm != shrink_comm) {
+      post_shrink_comms.insert(e.stamp.comm);
+    }
+  }
+  EXPECT_FALSE(post_shrink_comms.empty());
+}
+
+TEST(CausalStamp, ChromeTraceRoundTripsStampsAndFlowEvents) {
+  const auto events = capture_run(2, [](Comm& comm) {
+    double x = 1.0;
+    comm.allreduce(std::span<double>(&x, 1), ReduceOp::kSum);
+    if (comm.rank() == 0) {
+      comm.send(1, std::span<const double>(&x, 1), /*tag=*/3);
+    } else {
+      comm.recv(0, std::span<double>(&x, 1), /*tag=*/3);
+    }
+  });
+  // Re-record into the tracer and export (capture_run cleared it).
+  auto& tracer = Tracer::instance();
+  tracer.clear();
+  tracer.set_capture_events(true);
+  for (const auto& e : events) {
+    tracer.record(e.name, e.category, e.rank, e.start_seconds,
+                  e.duration_seconds, e.stamp);
+  }
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  tracer.set_capture_events(false);
+  tracer.clear();
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"edge\":"), std::string::npos);
+
+  const std::string path = "causal_trace_roundtrip.json";
+  {
+    std::ofstream file(path);
+    file << json;
+  }
+  const auto back = uoi::report::read_chrome_trace_file(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(back.size(), events.size());  // flow events are filtered out
+  std::size_t stamped = 0;
+  std::size_t p2p = 0;
+  for (const auto& e : back) {
+    if (e.stamp.stamped()) ++stamped;
+    if (e.stamp.flow != 0) {
+      ++p2p;
+      EXPECT_GE(e.stamp.peer, 0);
+      EXPECT_EQ(e.stamp.tag, 3);
+      EXPECT_GE(e.stamp.edge, 0);
+    }
+  }
+  EXPECT_EQ(stamped, events.size());
+  EXPECT_EQ(p2p, 2u);
+}
+
+TEST(CausalStamp, MergeAlignsPerRankFilesOnSharedCollectives) {
+  const auto events = capture_run(2, [](Comm& comm) {
+    double x = 1.0;
+    for (int i = 0; i < 3; ++i) {
+      comm.allreduce(std::span<double>(&x, 1), ReduceOp::kSum);
+    }
+  });
+  // Write each rank's events to its own file, shifting rank 1's clock by
+  // a large bogus offset (per-process trace files have distinct epochs).
+  auto write_rank_file = [&](int rank, double shift, const std::string& path) {
+    auto& tracer = Tracer::instance();
+    tracer.clear();
+    tracer.set_capture_events(true);
+    for (const auto& e : events) {
+      if (e.rank != rank) continue;
+      tracer.record(e.name, e.category, e.rank, e.start_seconds + shift,
+                    e.duration_seconds, e.stamp);
+    }
+    std::ofstream file(path);
+    std::ostringstream out;
+    tracer.write_chrome_trace(out);
+    file << out.str();
+    tracer.set_capture_events(false);
+    tracer.clear();
+  };
+  write_rank_file(0, 0.0, "merge_rank0.json");
+  write_rank_file(1, 123.456, "merge_rank1.json");
+  const auto merged = uoi::report::read_and_merge_trace_files(
+      {"merge_rank0.json", "merge_rank1.json"});
+  std::remove("merge_rank0.json");
+  std::remove("merge_rank1.json");
+  ASSERT_EQ(merged.size(), events.size());
+  // After alignment the matched collective exits coincide again: for each
+  // (edge) the max-end across ranks must agree within a microsecond-ish
+  // tolerance (the exporter quantizes timestamps to microseconds).
+  std::map<std::int64_t, std::map<int, double>> ends;  // edge -> rank -> end
+  for (const auto& e : merged) {
+    if (!e.stamp.stamped() || e.stamp.edge < 0 || e.stamp.peer >= 0) continue;
+    ends[e.stamp.edge][e.rank] = e.start_seconds + e.duration_seconds;
+  }
+  ASSERT_GE(ends.size(), 3u);
+  for (const auto& [edge, by_rank] : ends) {
+    ASSERT_EQ(by_rank.size(), 2u) << "edge " << edge;
+  }
+  // The anchor collective's exit matches exactly; later ones stay within
+  // the real skew of the original run (sub-millisecond here), proving the
+  // 123.456 s bogus offset was removed.
+  for (const auto& [edge, by_rank] : ends) {
+    const double skew = std::abs(by_rank.at(0) - by_rank.at(1));
+    EXPECT_LT(skew, 0.05) << "edge " << edge;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,234 @@
+// Tests for report/event_dag: exact critical-path extraction over
+// synthetic stamped event lists (where the true longest path is known by
+// construction) and the what-if forward replay, plus the degraded-input
+// failure modes (`uoi analyze` falls back to the lower bound on those).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "report/event_dag.hpp"
+#include "support/trace.hpp"
+
+namespace {
+
+using uoi::report::exact_critical_path;
+using uoi::report::what_if_replay;
+using uoi::report::WhatIfScale;
+using uoi::support::kFlowRecv;
+using uoi::support::kFlowSend;
+using uoi::support::TraceCategory;
+using uoi::support::TraceEvent;
+using uoi::support::TraceStamp;
+
+TraceEvent make_event(std::string name, TraceCategory category, int rank,
+                      double start, double duration) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = category;
+  e.rank = rank;
+  e.start_seconds = start;
+  e.duration_seconds = duration;
+  return e;
+}
+
+TraceEvent make_collective(int rank, double start, double duration,
+                           std::int64_t seq, std::int64_t edge,
+                           std::int64_t comm = 0) {
+  auto e = make_event("allreduce", TraceCategory::kCommunication, rank, start,
+                      duration);
+  e.stamp.comm = comm;
+  e.stamp.seq = seq;
+  e.stamp.edge = edge;
+  return e;
+}
+
+TraceEvent make_p2p(int rank, int peer, double start, double duration,
+                    std::int64_t seq, std::int64_t edge, int flow,
+                    int tag = 0) {
+  auto e = make_event("point-to-point", TraceCategory::kCommunication, rank,
+                      start, duration);
+  e.stamp.comm = 0;
+  e.stamp.seq = seq;
+  e.stamp.edge = edge;
+  e.stamp.peer = peer;
+  e.stamp.tag = tag;
+  e.stamp.flow = flow;
+  return e;
+}
+
+/// Two ranks, one collective. Rank 1 computes 1.0 s before entering the
+/// collective; rank 0 computes 0.2 s and waits. The true critical path is
+/// rank 0's collective exit <- (cross-rank jump) <- rank 1's compute.
+std::vector<TraceEvent> straggler_events() {
+  std::vector<TraceEvent> events;
+  events.push_back(
+      make_event("solve", TraceCategory::kComputation, 0, 0.0, 0.2));
+  events.push_back(make_collective(0, 0.2, 0.85, /*seq=*/0, /*edge=*/0));
+  events.push_back(
+      make_event("solve", TraceCategory::kComputation, 1, 0.0, 1.0));
+  events.push_back(make_collective(1, 1.0, 0.05, /*seq=*/0, /*edge=*/0));
+  return events;
+}
+
+TEST(EventDag, EmptyInputIsInvalid) {
+  const auto path = exact_critical_path({});
+  EXPECT_FALSE(path.valid);
+  EXPECT_FALSE(path.failure.empty());
+}
+
+TEST(EventDag, UnstampedEventsAreInvalidWithExplanation) {
+  std::vector<TraceEvent> events;
+  events.push_back(
+      make_event("solve", TraceCategory::kComputation, 0, 0.0, 1.0));
+  const auto path = exact_critical_path(events);
+  EXPECT_FALSE(path.valid);
+  EXPECT_NE(path.failure.find("stamp"), std::string::npos) << path.failure;
+}
+
+TEST(EventDag, PathSegmentsTileTheWindowExactly) {
+  const auto path = exact_critical_path(straggler_events());
+  ASSERT_TRUE(path.valid) << path.failure;
+  EXPECT_DOUBLE_EQ(path.window_seconds, 1.05);
+  // Segments tile [first start, last end] by construction — the exact-CP
+  // reconciliation guarantee RunReport's 1% gate checks in CI.
+  EXPECT_NEAR(path.path_seconds, path.window_seconds, 1e-12);
+  double sum = 0.0;
+  for (const auto& seg : path.segments) sum += seg.duration_seconds;
+  EXPECT_NEAR(sum, path.path_seconds, 1e-12);
+  EXPECT_EQ(path.n_events, 4u);
+  EXPECT_EQ(path.n_stamped, 2u);
+  EXPECT_EQ(path.n_collectives, 1u);
+}
+
+TEST(EventDag, CollectiveJumpsToLastArriver) {
+  const auto path = exact_critical_path(straggler_events());
+  ASSERT_TRUE(path.valid) << path.failure;
+  // The path must hop rank 0 -> rank 1 (the straggler) and attribute the
+  // straggler's compute, not rank 0's wait inside the collective.
+  EXPECT_GE(path.n_rank_jumps, 1u);
+  EXPECT_NEAR(path.category(TraceCategory::kComputation), 1.0, 1e-9);
+  EXPECT_NEAR(path.category(TraceCategory::kCommunication), 0.05, 1e-9);
+  bool straggler_compute_on_path = false;
+  for (const auto& seg : path.segments) {
+    if (seg.rank == 1 && seg.category == TraceCategory::kComputation) {
+      straggler_compute_on_path = true;
+    }
+    EXPECT_NE(seg.rank == 0 && seg.category == TraceCategory::kComputation &&
+                  seg.duration_seconds > 0.25,
+              true)
+        << "rank 0's pre-collective wait must not dominate the path";
+  }
+  EXPECT_TRUE(straggler_compute_on_path);
+}
+
+TEST(EventDag, MatchedRecvJumpsToSender) {
+  // Rank 0 sends at t=1.0 after 1.0 s of compute; rank 1 posts the recv at
+  // t=0.1, blocks until the message lands at t=1.2, and finishes the copy
+  // at t=1.25. The path is recv tail <- sender's deposit <- sender compute.
+  std::vector<TraceEvent> events;
+  events.push_back(
+      make_event("solve", TraceCategory::kComputation, 0, 0.0, 1.0));
+  events.push_back(make_p2p(0, 1, 1.0, 0.2, /*seq=*/0, /*edge=*/0,
+                            kFlowSend));
+  events.push_back(
+      make_event("setup", TraceCategory::kComputation, 1, 0.0, 0.1));
+  events.push_back(make_p2p(1, 0, 0.1, 1.15, /*seq=*/0, /*edge=*/0,
+                            kFlowRecv));
+  const auto path = exact_critical_path(events);
+  ASSERT_TRUE(path.valid) << path.failure;
+  EXPECT_EQ(path.n_matched_p2p, 1u);
+  EXPECT_EQ(path.n_rank_jumps, 1u);
+  EXPECT_NEAR(path.path_seconds, path.window_seconds, 1e-12);
+  // The sender's compute dominates; rank 1's blocked recv must only be
+  // charged the post-deposit tail (0.05 s), not the 1.1 s wait.
+  EXPECT_NEAR(path.category(TraceCategory::kComputation), 1.0, 1e-9);
+  EXPECT_NEAR(path.category(TraceCategory::kCommunication), 0.25, 1e-9);
+}
+
+TEST(EventDag, WhatIfFactorOneReproducesMeasuredWall) {
+  const auto result = what_if_replay(straggler_events(), {});
+  ASSERT_TRUE(result.valid) << result.failure;
+  EXPECT_DOUBLE_EQ(result.measured_seconds, 1.05);
+  EXPECT_NEAR(result.baseline_seconds, result.measured_seconds, 1e-9);
+  EXPECT_NEAR(result.predicted_seconds, result.measured_seconds, 1e-9);
+  EXPECT_NEAR(result.speedup(), 1.0, 1e-9);
+}
+
+TEST(EventDag, WhatIfZeroCommunicationLeavesComputeBound) {
+  const auto result = what_if_replay(
+      straggler_events(), {{TraceCategory::kCommunication, 0.0}});
+  ASSERT_TRUE(result.valid) << result.failure;
+  // With collective service time removed, the run is bounded by the
+  // straggler's 1.0 s of compute.
+  EXPECT_NEAR(result.predicted_seconds, 1.0, 1e-9);
+  EXPECT_GT(result.speedup(), 1.0);
+}
+
+TEST(EventDag, WhatIfScalesComputation) {
+  const auto result = what_if_replay(straggler_events(),
+                                     {{TraceCategory::kComputation, 0.5}});
+  ASSERT_TRUE(result.valid) << result.failure;
+  // Straggler compute halves to 0.5 s; its collective tail (0.05 s) still
+  // gates the release. Rank 0 enters at 0.1 and leaves with the group.
+  EXPECT_NEAR(result.predicted_seconds, 0.55, 1e-9);
+}
+
+TEST(EventDag, WhatIfReplayDoesNotDeadlockOnChainedDependencies) {
+  // collective -> p2p -> collective across three ranks; replay must order
+  // releases causally without deadlocking or losing events.
+  //   rank 0: solve 0.1 | coll A [0.1,0.35] | send->2 [0.36,0.38]
+  //           | coll B [0.39,0.45]
+  //   rank 1: solve 0.2 | coll A [0.2,0.35]  | coll B [0.36,0.45]
+  //   rank 2: solve 0.3 | coll A [0.3,0.35]  | recv<-0 [0.35,0.39]
+  //           | coll B [0.40,0.45]
+  std::vector<TraceEvent> events;
+  events.push_back(
+      make_event("solve", TraceCategory::kComputation, 0, 0.0, 0.1));
+  events.push_back(make_collective(0, 0.1, 0.25, /*seq=*/0, /*edge=*/0));
+  events.push_back(make_p2p(0, 2, 0.36, 0.02, /*seq=*/1, /*edge=*/0,
+                            kFlowSend, /*tag=*/5));
+  events.push_back(make_collective(0, 0.39, 0.06, /*seq=*/2, /*edge=*/1));
+  events.push_back(
+      make_event("solve", TraceCategory::kComputation, 1, 0.0, 0.2));
+  events.push_back(make_collective(1, 0.2, 0.15, /*seq=*/0, /*edge=*/0));
+  events.push_back(make_collective(1, 0.36, 0.09, /*seq=*/1, /*edge=*/1));
+  events.push_back(
+      make_event("solve", TraceCategory::kComputation, 2, 0.0, 0.3));
+  events.push_back(make_collective(2, 0.3, 0.05, /*seq=*/0, /*edge=*/0));
+  events.push_back(make_p2p(2, 0, 0.35, 0.04, /*seq=*/1, /*edge=*/0,
+                            kFlowRecv, /*tag=*/5));
+  events.push_back(make_collective(2, 0.40, 0.05, /*seq=*/2, /*edge=*/1));
+
+  const auto baseline = what_if_replay(events, {});
+  ASSERT_TRUE(baseline.valid) << baseline.failure;
+  EXPECT_NEAR(baseline.measured_seconds, 0.45, 1e-12);
+  EXPECT_NEAR(baseline.predicted_seconds, baseline.measured_seconds, 1e-9);
+  const auto faster = what_if_replay(
+      events, {{TraceCategory::kCommunication, 0.5}});
+  ASSERT_TRUE(faster.valid) << faster.failure;
+  // Hand-replayed: coll A releases at 0.3 (+0.025 service), rank 0
+  // deposits at 0.345, rank 2 leaves the recv at 0.35, coll B releases at
+  // 0.36 (+0.025) -> 0.385 s wall.
+  EXPECT_NEAR(faster.predicted_seconds, 0.385, 1e-9);
+  EXPECT_LT(faster.predicted_seconds, baseline.predicted_seconds);
+  EXPECT_GE(faster.predicted_seconds, 0.3);  // compute floor remains
+
+  const auto path = exact_critical_path(events);
+  ASSERT_TRUE(path.valid) << path.failure;
+  EXPECT_NEAR(path.path_seconds, path.window_seconds, 1e-12);
+  EXPECT_EQ(path.n_collectives, 2u);
+  EXPECT_EQ(path.n_matched_p2p, 1u);
+  EXPECT_GE(path.n_rank_jumps, 3u);  // B->last arriver, recv->send, A->last
+}
+
+TEST(EventDag, WhatIfEmptyInputIsInvalid) {
+  const auto result = what_if_replay({}, {});
+  EXPECT_FALSE(result.valid);
+  EXPECT_FALSE(result.failure.empty());
+}
+
+}  // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -116,6 +117,69 @@ TEST(Histogram, BucketIndexIsMonotone) {
   }
 }
 
+TEST(Histogram, ValueAtBucketLowerBoundLandsInsideItsBucket) {
+  // A value sitting exactly on a bucket edge must land in a bucket whose
+  // range contains it (floating-point log/exp round-trips may put the edge
+  // itself in either neighbor, but never further away).
+  for (const std::size_t i : {1u, 10u, 40u, 80u, 95u}) {
+    const double edge = LogHistogram::bucket_lower_bound(i);
+    const std::size_t index = LogHistogram::bucket_index(edge);
+    EXPECT_TRUE(index == i || index + 1 == i) << "edge of bucket " << i
+                                              << " landed in " << index;
+    EXPECT_LE(LogHistogram::bucket_lower_bound(index), edge * (1.0 + 1e-12));
+    EXPECT_GT(LogHistogram::bucket_lower_bound(index + 2), edge);
+  }
+}
+
+TEST(Histogram, IdenticalSamplesAtABucketEdgeQuantileExactly) {
+  // min == max clamping makes every quantile exact even when the sample
+  // sits on a bucket boundary where geometric interpolation would
+  // otherwise return the edge of the neighboring bucket.
+  const double edge = LogHistogram::bucket_lower_bound(40);
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.add(edge);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), edge);
+  EXPECT_DOUBLE_EQ(h.p50(), edge);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), edge);
+}
+
+TEST(Histogram, QuantileInterpolatesAcrossABucketBoundary) {
+  // 50 samples at the geometric midpoint of bucket i, 50 at the midpoint
+  // of bucket i+1. The quantile whose target rank is the last observation
+  // of the lower bucket interpolates to the shared bucket edge; one rank
+  // later lands just above it — the estimate must cross the boundary
+  // continuously (no jump past the next midpoint).
+  const std::size_t i = LogHistogram::bucket_index(1e-3);
+  const double lo = LogHistogram::bucket_lower_bound(i);
+  const double edge = LogHistogram::bucket_lower_bound(i + 1);
+  const double hi = LogHistogram::bucket_lower_bound(i + 2);
+  const double mid_low = std::sqrt(lo * edge);
+  const double mid_high = std::sqrt(edge * hi);
+  LogHistogram h;
+  for (int k = 0; k < 50; ++k) h.add(mid_low);
+  for (int k = 0; k < 50; ++k) h.add(mid_high);
+  ASSERT_EQ(h.count(), 100u);
+  // q = 49/99: target rank 50 = the last sample of the lower bucket;
+  // within-bucket fraction 1.0 interpolates to the bucket's upper edge.
+  const double at_edge = h.quantile(49.0 / 99.0);
+  EXPECT_NEAR(at_edge, edge, edge * 1e-12);
+  // q = 50/99: target rank 51 = first sample of the upper bucket; the
+  // estimate moves just above the edge, well below the upper midpoint.
+  const double past_edge = h.quantile(50.0 / 99.0);
+  EXPECT_GE(past_edge, at_edge);
+  EXPECT_LT(past_edge, mid_high);
+  // Quantiles stay monotone in q across the boundary.
+  double last = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double value = h.quantile(q);
+    EXPECT_GE(value, last) << "q=" << q;
+    last = value;
+  }
+  // And remain clamped to the observed range at the extremes.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), mid_low);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), mid_high);
+}
+
 TEST(Histogram, TracerMaintainsHistogramsMatchingTotals) {
   auto& tracer = Tracer::instance();
   tracer.clear();
@@ -139,12 +203,12 @@ TEST(Histogram, TracerMaintainsHistogramsMatchingTotals) {
 /// allreduce; rank 1 works 0.5 s and waits 0.7 s in the same collective.
 std::vector<TraceEvent> synthetic_skewed_run() {
   std::vector<TraceEvent> events;
-  events.push_back({"work", TraceCategory::kComputation, 0, 0, 0.0, 1.0});
+  events.push_back({"work", TraceCategory::kComputation, 0, 0, 0.0, 1.0, {}});
   events.push_back({"allreduce", TraceCategory::kCommunication, 0, 0, 1.0,
-                    0.2});
-  events.push_back({"work", TraceCategory::kComputation, 1, 1, 0.0, 0.5});
+                    0.2, {}});
+  events.push_back({"work", TraceCategory::kComputation, 1, 1, 0.0, 0.5, {}});
   events.push_back({"allreduce", TraceCategory::kCommunication, 1, 1, 0.5,
-                    0.7});
+                    0.7, {}});
   return events;
 }
 

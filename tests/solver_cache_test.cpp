@@ -202,7 +202,7 @@ TEST(CholeskyShift, ReadsOnlyTheLowerTriangle) {
 // ---- RidgeGram / factor-stage reuse ----
 
 TEST(RidgeSystem, FactorStageMatchesColdStartBitwise) {
-  for (const auto [rows, cols] : {std::pair<std::size_t, std::size_t>{90, 30},
+  for (const auto& [rows, cols] : {std::pair<std::size_t, std::size_t>{90, 30},
                                   {20, 60} /* Woodbury: rows < cols */}) {
     const Matrix a = random_matrix(rows, cols, 500 + rows);
     const Vector q = random_vector(cols, 600 + rows);

@@ -1,0 +1,230 @@
+// Tests for support/telemetry: the snapshot-line builder / parser
+// round-trip, the file-sink emitter lifecycle, env-driven options, the
+// `uoi top` renderer, and rejection of malformed or foreign-schema lines.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/telemetry.hpp"
+#include "support/trace.hpp"
+
+namespace {
+
+using uoi::support::MetricsRegistry;
+using uoi::support::parse_telemetry_line;
+using uoi::support::render_top;
+using uoi::support::TelemetryEmitter;
+using uoi::support::TelemetryOptions;
+using uoi::support::telemetry_options_from_env;
+using uoi::support::TraceCategory;
+using uoi::support::Tracer;
+using uoi::support::TraceTotals;
+
+/// Resets both process-wide singletons around each test so one test's
+/// spans/counters never leak into another's snapshot.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().clear();
+    MetricsRegistry::instance().clear();
+  }
+  void TearDown() override {
+    Tracer::instance().clear();
+    MetricsRegistry::instance().clear();
+  }
+};
+
+TEST_F(TelemetryTest, SnapshotLineRoundTripsThroughParser) {
+  auto& tracer = Tracer::instance();
+  tracer.record("solve", TraceCategory::kComputation, /*rank=*/0, 0.0, 0.25);
+  tracer.record("allreduce", TraceCategory::kCommunication, /*rank=*/1, 0.1,
+                0.5);
+  MetricsRegistry::instance().set(0, "progress.cells_total", 40.0);
+  MetricsRegistry::instance().add(0, "progress.cells_done", 12.0);
+
+  std::map<int, TraceTotals> prev;
+  const std::string line = TelemetryEmitter::build_snapshot_line(
+      /*seq=*/3, /*t_seconds=*/1.5, /*interval_ms=*/250, /*dropped=*/1, prev);
+
+  const auto sample = parse_telemetry_line(line);
+  ASSERT_TRUE(sample.valid) << sample.error;
+  EXPECT_EQ(sample.seq, 3u);
+  EXPECT_DOUBLE_EQ(sample.t_seconds, 1.5);
+  EXPECT_EQ(sample.interval_ms, 250);
+  EXPECT_EQ(sample.dropped_lines, 1u);
+  ASSERT_EQ(sample.ranks.size(), 2u);
+  EXPECT_EQ(sample.ranks[0].rank, 0);
+  ASSERT_EQ(sample.ranks[0].buckets.count("computation"), 1u);
+  const auto& compute = sample.ranks[0].buckets.at("computation");
+  EXPECT_EQ(compute.calls, 1u);
+  EXPECT_DOUBLE_EQ(compute.seconds, 0.25);
+  // First snapshot: no previous totals, delta == cumulative.
+  EXPECT_DOUBLE_EQ(compute.delta_seconds, 0.25);
+  const auto& comm = sample.ranks[1].buckets.at("communication");
+  EXPECT_DOUBLE_EQ(comm.seconds, 0.5);
+  EXPECT_DOUBLE_EQ(sample.metric(0, "progress.cells_total"), 40.0);
+  EXPECT_DOUBLE_EQ(sample.metric_sum("progress.cells_done"), 12.0);
+  EXPECT_DOUBLE_EQ(sample.metric(1, "progress.cells_total"), 0.0);
+}
+
+TEST_F(TelemetryTest, DeltaSecondsTracksChangeBetweenSnapshots) {
+  auto& tracer = Tracer::instance();
+  std::map<int, TraceTotals> prev;
+  tracer.record("solve", TraceCategory::kComputation, 0, 0.0, 1.0);
+  const auto first =
+      parse_telemetry_line(TelemetryEmitter::build_snapshot_line(
+          0, 0.5, 500, 0, prev));
+  ASSERT_TRUE(first.valid) << first.error;
+  EXPECT_DOUBLE_EQ(first.ranks[0].buckets.at("computation").delta_seconds,
+                   1.0);
+  tracer.record("solve", TraceCategory::kComputation, 0, 1.0, 0.25);
+  const auto second =
+      parse_telemetry_line(TelemetryEmitter::build_snapshot_line(
+          1, 1.0, 500, 0, prev));
+  ASSERT_TRUE(second.valid) << second.error;
+  const auto& bucket = second.ranks[0].buckets.at("computation");
+  EXPECT_DOUBLE_EQ(bucket.seconds, 1.25);  // cumulative
+  EXPECT_DOUBLE_EQ(bucket.delta_seconds, 0.25);
+  EXPECT_EQ(bucket.calls, 2u);
+}
+
+TEST_F(TelemetryTest, EmitterWritesValidLinesToFileSink) {
+  const std::string path = "telemetry_test_sink.jsonl";
+  Tracer::instance().record("solve", TraceCategory::kComputation, 0, 0.0,
+                            0.1);
+  TelemetryOptions options;
+  options.sink = path;
+  options.interval_ms = 10;
+  TelemetryEmitter emitter(options);
+  ASSERT_TRUE(emitter.start());
+  EXPECT_TRUE(emitter.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  emitter.stop();
+  EXPECT_FALSE(emitter.running());
+  EXPECT_GE(emitter.lines_written(), 1u);
+  EXPECT_EQ(emitter.lines_dropped(), 0u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::uint64_t last_seq = 0;
+  std::size_t n = 0;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto sample = parse_telemetry_line(line);
+    ASSERT_TRUE(sample.valid) << sample.error << "\n" << line;
+    if (!first) {
+      EXPECT_GT(sample.seq, last_seq);
+    }
+    last_seq = sample.seq;
+    first = false;
+    ++n;
+  }
+  in.close();
+  std::remove(path.c_str());
+  EXPECT_EQ(n, emitter.lines_written());
+}
+
+TEST_F(TelemetryTest, UnopenableSinkDisablesEmitterButRunContinues) {
+  TelemetryOptions options;
+  options.sink = "/nonexistent-dir-for-telemetry/test.jsonl";
+  TelemetryEmitter emitter(options);
+  EXPECT_FALSE(emitter.start());
+  EXPECT_FALSE(emitter.running());
+  emitter.stop();  // must be a safe no-op
+  EXPECT_EQ(emitter.lines_written(), 0u);
+}
+
+TEST_F(TelemetryTest, EmptySinkIsANoOp) {
+  TelemetryEmitter emitter{TelemetryOptions{}};
+  EXPECT_FALSE(emitter.start());
+  EXPECT_FALSE(emitter.running());
+  emitter.stop();
+}
+
+TEST_F(TelemetryTest, OptionsFromEnvClampInterval) {
+  ::setenv("UOI_TELEMETRY_INTERVAL_MS", "25", 1);
+  auto options = telemetry_options_from_env("sink.jsonl");
+  EXPECT_EQ(options.sink, "sink.jsonl");
+  EXPECT_EQ(options.interval_ms, 25);
+  ::setenv("UOI_TELEMETRY_INTERVAL_MS", "1", 1);
+  EXPECT_EQ(telemetry_options_from_env("s").interval_ms, 10);  // clamp low
+  ::setenv("UOI_TELEMETRY_INTERVAL_MS", "999999999", 1);
+  EXPECT_EQ(telemetry_options_from_env("s").interval_ms, 60000);  // clamp hi
+  ::setenv("UOI_TELEMETRY_INTERVAL_MS", "not-a-number", 1);
+  EXPECT_EQ(telemetry_options_from_env("s").interval_ms, 500);  // default
+  ::unsetenv("UOI_TELEMETRY_INTERVAL_MS");
+  EXPECT_EQ(telemetry_options_from_env("s").interval_ms, 500);
+}
+
+TEST_F(TelemetryTest, ParserRejectsMalformedAndForeignLines) {
+  EXPECT_FALSE(parse_telemetry_line("").valid);
+  EXPECT_FALSE(parse_telemetry_line("not json at all").valid);
+  EXPECT_FALSE(parse_telemetry_line("{\"truncated\":").valid);
+  const auto wrong_schema = parse_telemetry_line(
+      "{\"schema\":\"uoi-telemetry-v999\",\"seq\":0,\"t\":0,"
+      "\"interval_ms\":500,\"dropped_lines\":0,\"ranks\":[],\"metrics\":[]}");
+  EXPECT_FALSE(wrong_schema.valid);
+  EXPECT_FALSE(wrong_schema.error.empty());
+  // An array is valid JSON but not a telemetry object.
+  EXPECT_FALSE(parse_telemetry_line("[1,2,3]").valid);
+}
+
+TEST_F(TelemetryTest, ParserSkipsUnknownKeysForForwardCompatibility) {
+  const auto sample = parse_telemetry_line(
+      "{\"schema\":\"uoi-telemetry-v1\",\"seq\":7,\"t\":2.0,"
+      "\"interval_ms\":100,\"dropped_lines\":0,"
+      "\"future_key\":{\"nested\":[1,2,{\"x\":\"y\"}]},"
+      "\"ranks\":[{\"rank\":0,\"extra\":true,\"buckets\":{"
+      "\"computation\":{\"calls\":2,\"seconds\":0.5,\"delta_seconds\":0.1,"
+      "\"p99\":0.2}}}],\"metrics\":[]}");
+  ASSERT_TRUE(sample.valid) << sample.error;
+  EXPECT_EQ(sample.seq, 7u);
+  ASSERT_EQ(sample.ranks.size(), 1u);
+  EXPECT_DOUBLE_EQ(sample.ranks[0].buckets.at("computation").seconds, 0.5);
+}
+
+TEST_F(TelemetryTest, RenderTopShowsProgressBucketsAndHealth) {
+  auto& tracer = Tracer::instance();
+  tracer.record("solve", TraceCategory::kComputation, 0, 0.0, 0.75);
+  tracer.record("allreduce", TraceCategory::kCommunication, 0, 0.75, 0.25);
+  tracer.record("solve", TraceCategory::kComputation, 1, 0.0, 1.0);
+  auto& metrics = MetricsRegistry::instance();
+  metrics.set(0, "progress.cells_total", 10.0);
+  metrics.add(0, "progress.cells_done", 4.0);
+  metrics.add(1, "progress.cells_done", 1.0);
+  metrics.add(0, "solver_cache.hits", 30.0);
+  metrics.add(0, "solver_cache.misses", 10.0);
+
+  std::map<int, TraceTotals> prev;
+  const auto sample = parse_telemetry_line(
+      TelemetryEmitter::build_snapshot_line(0, 3.25, 500, 0, prev));
+  ASSERT_TRUE(sample.valid) << sample.error;
+  const std::string top = render_top(sample);
+  EXPECT_NE(top.find("uoi top"), std::string::npos);
+  // 5 of 10 cells done -> the progress line carries the counts.
+  EXPECT_NE(top.find("5"), std::string::npos);
+  EXPECT_NE(top.find("10"), std::string::npos);
+  // Solver cache: 30 hits / 40 lookups = 75%.
+  EXPECT_NE(top.find("75"), std::string::npos);
+  // Both ranks appear in the per-rank table.
+  EXPECT_NE(top.find("rank"), std::string::npos);
+  EXPECT_NE(top.find("compute"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, RenderTopOnInvalidSampleDoesNotCrash) {
+  const auto bad = parse_telemetry_line("garbage");
+  const std::string top = render_top(bad);
+  EXPECT_FALSE(top.empty());
+}
+
+}  // namespace

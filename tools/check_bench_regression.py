@@ -152,6 +152,32 @@ def main():
             elif msg:
                 notes.append(msg)
 
+    # Live-telemetry emitter gate: figures exporting
+    # telemetry_overhead_pct (fig6) must keep the emitter below 2% of
+    # wall. Runs shorter than --floor in the telemetry-off configuration
+    # are pure noise at that percentage and are skipped like any other
+    # sub-floor timing; the bitwise-identity flag is structural either
+    # way (a perturbed result means the emitter wrote state it must only
+    # read).
+    for figure, cur in sorted(current.items()):
+        config = cur.get("config", {})
+        if "telemetry_bitwise" in config and config["telemetry_bitwise"] != 1:
+            structural.append(
+                f"{figure}: telemetry run was not bit-identical "
+                f"(telemetry_bitwise={config['telemetry_bitwise']})")
+        overhead = config.get("telemetry_overhead_pct")
+        wall_off = config.get("telemetry_wall_off_seconds", 0.0)
+        if overhead is None:
+            continue
+        if wall_off < args.floor:
+            notes.append(f"{figure}: telemetry overhead {overhead:.2f}% "
+                         f"unchecked (off-run wall {wall_off:.3f}s below "
+                         f"floor {args.floor}s)")
+        elif overhead > 2.0:
+            regressions.append(
+                f"{figure}: telemetry emitter overhead {overhead:.2f}% "
+                f"exceeds the 2% gate (off-run wall {wall_off:.3f}s)")
+
     for figure in sorted(set(current) - set(baseline)):
         notes.append(f"{figure}: new figure (no baseline yet)")
 

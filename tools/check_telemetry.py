@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Validate a --live-telemetry JSON-lines stream ("uoi-telemetry-v1").
+
+Checks every line is a standalone JSON object of the documented schema:
+monotone seq, non-decreasing t, per-rank buckets with non-negative
+cumulative seconds that never decrease across lines, and well-formed
+metric entries. Used by the CI smoke leg after a distributed run with
+--live-telemetry.
+
+Usage:
+  check_telemetry.py TELEMETRY.jsonl [--min-lines N] [--expect-ranks P]
+
+Exit status: 0 ok, 1 validation failure, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "uoi-telemetry-v1"
+TOP_KEYS = ("schema", "seq", "t", "interval_ms", "dropped_lines", "ranks",
+            "metrics")
+BUCKET_KEYS = ("calls", "seconds", "delta_seconds")
+
+
+def fail(lineno, msg):
+    print(f"FAIL: line {lineno}: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="telemetry JSON-lines file")
+    parser.add_argument("--min-lines", type=int, default=1,
+                        help="require at least this many lines (default 1)")
+    parser.add_argument("--expect-ranks", type=int, default=0,
+                        help="require the final line to cover at least this "
+                             "many ranks (default 0 = no check)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as f:
+            raw_lines = [l for l in f.read().splitlines() if l.strip()]
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if len(raw_lines) < args.min_lines:
+        print(f"FAIL: {len(raw_lines)} line(s), expected >= {args.min_lines}",
+              file=sys.stderr)
+        return 1
+
+    prev_seq = -1
+    prev_t = -1.0
+    prev_seconds = {}  # (rank, bucket) -> cumulative seconds
+    last = None
+    for lineno, raw in enumerate(raw_lines, 1):
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            return fail(lineno, f"not valid JSON ({exc})")
+        for key in TOP_KEYS:
+            if key not in doc:
+                return fail(lineno, f"missing key '{key}'")
+        if doc["schema"] != SCHEMA:
+            return fail(lineno, f"schema '{doc['schema']}' != '{SCHEMA}'")
+        if not isinstance(doc["seq"], int) or doc["seq"] <= prev_seq:
+            return fail(lineno, f"seq {doc['seq']} not monotone "
+                                f"(previous {prev_seq})")
+        prev_seq = doc["seq"]
+        if not isinstance(doc["t"], (int, float)) or doc["t"] < prev_t:
+            return fail(lineno, f"t {doc['t']} decreased (previous {prev_t})")
+        prev_t = doc["t"]
+        if not isinstance(doc["interval_ms"], int) or doc["interval_ms"] <= 0:
+            return fail(lineno, f"bad interval_ms {doc['interval_ms']}")
+        if not isinstance(doc["ranks"], list):
+            return fail(lineno, "ranks is not an array")
+        for entry in doc["ranks"]:
+            if not isinstance(entry.get("rank"), int):
+                return fail(lineno, "rank entry missing integer 'rank'")
+            buckets = entry.get("buckets")
+            if not isinstance(buckets, dict):
+                return fail(lineno, "rank entry missing 'buckets' object")
+            for name, bucket in buckets.items():
+                for key in BUCKET_KEYS:
+                    if not isinstance(bucket.get(key), (int, float)):
+                        return fail(lineno,
+                                    f"bucket '{name}' missing number '{key}'")
+                if bucket["seconds"] < 0 or bucket["delta_seconds"] < 0:
+                    return fail(lineno, f"bucket '{name}' negative seconds")
+                cum_key = (entry["rank"], name)
+                if bucket["seconds"] < prev_seconds.get(cum_key, 0.0) - 1e-12:
+                    return fail(lineno,
+                                f"bucket '{name}' rank {entry['rank']} "
+                                f"cumulative seconds decreased")
+                prev_seconds[cum_key] = bucket["seconds"]
+        if not isinstance(doc["metrics"], list):
+            return fail(lineno, "metrics is not an array")
+        for metric in doc["metrics"]:
+            if (not isinstance(metric.get("rank"), int)
+                    or not isinstance(metric.get("name"), str)
+                    or not isinstance(metric.get("value"), (int, float))):
+                return fail(lineno, f"malformed metric entry {metric}")
+        last = doc
+
+    if args.expect_ranks > 0 and len(last["ranks"]) < args.expect_ranks:
+        print(f"FAIL: final line covers {len(last['ranks'])} rank(s), "
+              f"expected >= {args.expect_ranks}", file=sys.stderr)
+        return 1
+
+    print(f"ok: {len(raw_lines)} line(s), final seq {last['seq']}, "
+          f"{len(last['ranks'])} rank(s), {len(last['metrics'])} metric(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,10 +15,17 @@
 //   uoi faultdemo                           fault-injected distributed run:
 //                                           kill a rank mid-selection, watch
 //                                           the survivors shrink + recover
-//   uoi analyze TRACE.json                  post-hoc run-report analytics
-//                                           (load imbalance, critical path,
-//                                           latency percentiles) from a
-//                                           Chrome-trace file
+//   uoi analyze TRACE.json [TRACE2.json...] post-hoc run-report analytics
+//                                           (load imbalance, exact critical
+//                                           path over the cross-rank event
+//                                           DAG, latency percentiles) from
+//                                           one or more Chrome-trace files;
+//                                           per-rank files are merged on the
+//                                           shared collective stamps
+//   uoi top TELEMETRY.jsonl [--follow]      render live-telemetry progress
+//                                           (per-rank buckets, progress bar,
+//                                           cache hit rate, health) from a
+//                                           --live-telemetry stream
 //
 // Common options:
 //   --b1 N / --b2 N       selection / estimation bootstraps
@@ -29,6 +36,16 @@
 //                         (open in Perfetto / chrome://tracing; pid = rank)
 //   --report-json F       write run-report analytics (run_report.json
 //                         schema) and print the text summary
+//   --live-telemetry S    stream "uoi-telemetry-v1" JSON lines to S (a file
+//                         path or unix:/path socket) every
+//                         $UOI_TELEMETRY_INTERVAL_MS ms (default 500) while
+//                         the command runs; view with `uoi top S`
+// analyze-specific:
+//   --what-if CAT=FACTOR  replay the event DAG with category CAT's span
+//                         durations scaled by FACTOR (repeatable; e.g.
+//                         --what-if communication=0 predicts the comm-
+//                         avoidance headroom, cross-checked against the
+//                         exact critical path's communication share)
 // var-specific:
 //   --order D             VAR order (default 1)
 //   --tolerance T         edge magnitude threshold (default 0.01)
@@ -57,6 +74,7 @@
 //                         (default 1); 0 + --min-bootstrap-quorum shows
 //                         quorum-degraded completion
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -64,6 +82,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/metrics.hpp"
@@ -82,6 +101,7 @@
 #include "support/log.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 #include "support/trace.hpp"
 #include "var/granger.hpp"
 #include "var/granger_test.hpp"
@@ -108,7 +128,12 @@ struct Args {
   std::string checkpoint_path;
   std::string trace_json_path;  ///< Chrome-trace output, empty = no trace
   std::string report_json_path;  ///< run-report output, empty = no report
-  std::string analyze_input;  ///< trace file for `uoi analyze`
+  /// Positional inputs: trace files for `uoi analyze` (merged when more
+  /// than one), the telemetry file for `uoi top`.
+  std::vector<std::string> inputs;
+  std::string live_telemetry;  ///< telemetry sink, empty = off
+  std::vector<std::string> what_if;  ///< "CATEGORY=FACTOR" replay scales
+  bool top_follow = false;  ///< `uoi top --follow`: keep tailing
   std::string inject_fault;  ///< "rank@step", empty = no fault
   std::string hang_fault;    ///< "rank@step" hang injection, empty = none
   long comm_timeout_ms = -1;  ///< watchdog timeout; < 0 defers to env
@@ -137,9 +162,12 @@ struct Args {
                "[--comm-timeout-ms MS] [--min-bootstrap-quorum F] "
                "[--max-retries N] [--max-recovery-attempts N] "
                "[--sched-policy static|cost_lpt|work_steal] "
-               "[--solver-cache-mb MB] [--consensus-interval K]\n"
-               "       %s analyze TRACE.json [--report-json FILE]\n",
-               argv0, argv0);
+               "[--solver-cache-mb MB] [--consensus-interval K] "
+               "[--live-telemetry SINK]\n"
+               "       %s analyze TRACE.json [TRACE2.json ...] "
+               "[--report-json FILE] [--what-if CATEGORY=FACTOR]...\n"
+               "       %s top TELEMETRY.jsonl [--follow]\n",
+               argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -183,9 +211,15 @@ Args parse_args(int argc, char** argv) {
       args.trace_json_path = value();
     } else if (flag == "--report-json") {
       args.report_json_path = value();
-    } else if (flag.rfind("--", 0) != 0 && args.command == "analyze" &&
-               args.analyze_input.empty()) {
-      args.analyze_input = flag;
+    } else if (flag.rfind("--", 0) != 0 &&
+               (args.command == "analyze" || args.command == "top")) {
+      args.inputs.push_back(flag);
+    } else if (flag == "--live-telemetry") {
+      args.live_telemetry = value();
+    } else if (flag == "--what-if") {
+      args.what_if.push_back(value());
+    } else if (flag == "--follow") {
+      args.top_follow = true;
     } else if (flag == "--inject-fault") {
       args.inject_fault = value();
     } else if (flag == "--hang") {
@@ -602,6 +636,19 @@ int run_faultdemo(const Args& args) {
           "cell(s) abandoned\n",
           result.achieved_quorum, result.lost_cells.size());
     }
+    // The fitted coefficients are replicated across survivors; dump them
+    // in full precision when asked so CI can assert bit-identity between
+    // telemetry-on and telemetry-off runs.
+    if (!args.model_path.empty()) {
+      std::ofstream out(args.model_path);
+      out.precision(17);
+      out << "intercept " << result.model.intercept << "\n";
+      for (std::size_t i = 0; i < result.model.beta.size(); ++i) {
+        out << "beta[" << i << "] " << result.model.beta[i] << "\n";
+      }
+      std::printf("wrote %s (%zu coefficients, %%.17g)\n",
+                  args.model_path.c_str(), result.model.beta.size());
+    }
     break;  // replicated result: one survivor speaks for all
   }
   if (!args.checkpoint_path.empty()) {
@@ -612,26 +659,140 @@ int run_faultdemo(const Args& args) {
 }
 
 int run_analyze(const Args& args) {
-  // Post-hoc analytics over a previously captured Chrome-trace file.
-  if (args.analyze_input.empty()) {
+  // Post-hoc analytics over previously captured Chrome-trace file(s);
+  // multiple per-rank files are merged on shared collective stamps.
+  if (args.inputs.empty()) {
     std::fprintf(stderr, "analyze needs a TRACE.json argument\n");
     return 2;
   }
-  const auto events = uoi::report::read_chrome_trace_file(args.analyze_input);
+  const auto events = uoi::report::read_and_merge_trace_files(args.inputs);
   if (events.empty()) {
-    std::fprintf(stderr, "no span events in %s\n", args.analyze_input.c_str());
+    std::fprintf(stderr, "no span events in the given trace file(s)\n");
     return 2;
   }
   const auto report =
       uoi::report::build_run_report(uoi::report::inputs_from_events(events));
-  std::printf("run report for %s (%zu events)\n%s",
-              args.analyze_input.c_str(), events.size(),
-              report.to_text().c_str());
+  std::printf("run report for %s%s (%zu events)\n%s",
+              args.inputs.front().c_str(),
+              args.inputs.size() > 1
+                  ? (" + " + std::to_string(args.inputs.size() - 1) +
+                     " more file(s)")
+                        .c_str()
+                  : "",
+              events.size(), report.to_text().c_str());
+
+  if (!args.what_if.empty()) {
+    std::vector<uoi::report::WhatIfScale> scales;
+    for (const std::string& spec : args.what_if) {
+      const auto eq = spec.find('=');
+      uoi::report::WhatIfScale scale;
+      if (eq == std::string::npos ||
+          !uoi::support::trace_category_from_string(spec.substr(0, eq),
+                                                    scale.category)) {
+        std::fprintf(stderr,
+                     "--what-if expects CATEGORY=FACTOR (e.g. "
+                     "communication=0), got %s\n",
+                     spec.c_str());
+        return 2;
+      }
+      scale.factor = std::strtod(spec.substr(eq + 1).c_str(), nullptr);
+      if (scale.factor < 0.0) {
+        std::fprintf(stderr, "--what-if factor must be >= 0\n");
+        return 2;
+      }
+      scales.push_back(scale);
+    }
+    const auto what_if = uoi::report::what_if_replay(events, scales);
+    if (!what_if.valid) {
+      std::fprintf(stderr, "what-if replay failed: %s\n",
+                   what_if.failure.c_str());
+      return 2;
+    }
+    std::printf("what-if replay:");
+    for (const auto& s : scales) {
+      std::printf(" %s x%g", uoi::support::to_string(s.category), s.factor);
+    }
+    std::printf("\n  measured  %s\n  baseline  %s (factor-1 self-check)\n"
+                "  predicted %s (speedup %.3fx)\n",
+                uoi::support::format_seconds(what_if.measured_seconds).c_str(),
+                uoi::support::format_seconds(what_if.baseline_seconds).c_str(),
+                uoi::support::format_seconds(what_if.predicted_seconds).c_str(),
+                what_if.speedup());
+    if (report.exact_path.valid) {
+      // Cross-check against the exact critical path: removing a category
+      // entirely can at best strip its on-path share, so the predicted
+      // wall must stay above window - sum(on-path share of scaled-down
+      // categories). This is the same bound the perfmodel's comm-avoidance
+      // analysis places on Allreduce restructuring.
+      double removable = 0.0;
+      for (const auto& s : scales) {
+        if (s.factor < 1.0) {
+          removable +=
+              (1.0 - s.factor) * report.exact_path.category(s.category);
+        }
+      }
+      const double floor_seconds =
+          report.exact_path.window_seconds - removable;
+      std::printf("  critical-path floor %s (%s)\n",
+                  uoi::support::format_seconds(floor_seconds).c_str(),
+                  what_if.predicted_seconds >= floor_seconds - 1e-9
+                      ? "consistent"
+                      : "INCONSISTENT with exact critical path");
+    }
+  }
+
   if (!args.report_json_path.empty()) {
     uoi::report::write_run_report(report, args.report_json_path);
     std::printf("wrote %s\n", args.report_json_path.c_str());
   }
   return 0;
+}
+
+int run_top(const Args& args) {
+  // Tails a --live-telemetry JSON-lines stream and renders a dashboard.
+  if (args.inputs.empty()) {
+    std::fprintf(stderr, "top needs a TELEMETRY.jsonl argument\n");
+    return 2;
+  }
+  const std::string& path = args.inputs.front();
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  uoi::support::TelemetrySample latest;
+  std::string line;
+  const auto drain = [&] {
+    bool any = false;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      auto sample = uoi::support::parse_telemetry_line(line);
+      if (sample.valid) {
+        latest = std::move(sample);
+        any = true;
+      }
+    }
+    in.clear();  // clear EOF so follow mode sees appended lines
+    return any;
+  };
+  bool fresh = drain();
+  if (!args.top_follow) {
+    if (!fresh) {
+      std::fprintf(stderr, "no valid uoi-telemetry-v1 lines in %s\n",
+                   path.c_str());
+      return 2;
+    }
+    std::printf("%s", uoi::support::render_top(latest).c_str());
+    return 0;
+  }
+  while (true) {  // follow mode: redraw on new lines until interrupted
+    if (fresh) {
+      std::printf("\033[H\033[2J%s", uoi::support::render_top(latest).c_str());
+      std::fflush(stdout);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    fresh = drain();
+  }
 }
 
 int dispatch(const Args& args) {
@@ -643,6 +804,7 @@ int dispatch(const Args& args) {
   if (args.command == "demo") return run_demo(args);
   if (args.command == "faultdemo") return run_faultdemo(args);
   if (args.command == "analyze") return run_analyze(args);
+  if (args.command == "top") return run_top(args);
   return -1;  // unknown command
 }
 
@@ -658,15 +820,31 @@ int main(int argc, char** argv) {
   if (tracing || reporting) {
     uoi::support::Tracer::instance().set_capture_events(true);
   }
+  // Live telemetry streams while the command runs; the emitter only reads
+  // the tracer/metrics singletons, so results are bit-identical on/off.
+  uoi::support::TelemetryEmitter telemetry(
+      uoi::support::telemetry_options_from_env(
+          args.command == "analyze" || args.command == "top"
+              ? std::string()
+              : args.live_telemetry));
+  telemetry.start();
   uoi::support::Stopwatch wall;
   int status = -1;
   try {
     status = dispatch(args);
   } catch (const std::exception& e) {
+    telemetry.stop();
     UOI_LOG_ERROR.field("command", args.command) << e.what();
     return 1;
   }
   const double wall_seconds = wall.seconds();
+  telemetry.stop();
+  if (telemetry.lines_written() > 0) {
+    std::printf("telemetry: %llu line(s) to %s (%llu dropped)\n",
+                static_cast<unsigned long long>(telemetry.lines_written()),
+                args.live_telemetry.c_str(),
+                static_cast<unsigned long long>(telemetry.lines_dropped()));
+  }
   if (status < 0) usage(argv[0]);
   if (tracing) {
     try {
