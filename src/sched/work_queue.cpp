@@ -12,14 +12,22 @@ TicketBoard::TicketBoard(sim::Comm& comm, int n_groups,
   if (comm.rank() == 0) {
     holder->assign(static_cast<std::size_t>(n_groups_), 0.0);
   }
-  // Publish rank 0's allocation the same way Window shares its state: the
-  // encoded pointer travels by bcast and the closing barrier keeps the
-  // source alive until every rank copied the shared_ptr.
+  // Publish rank 0's allocation the same way the thread Window shares its
+  // state: the encoded pointer travels by bcast and the closing barrier
+  // keeps the source alive until every rank copied the shared_ptr. Across
+  // processes the pointer is meaningless — every counter access already
+  // goes through the window to rank 0, so non-zero ranks just keep their
+  // (empty) local allocation. The bcast+barrier still run on both
+  // backends, keeping FaultPlan collective-op indices aligned.
   std::size_t encoded = reinterpret_cast<std::size_t>(&holder);
   comm.bcast(std::span<std::size_t>(&encoded, 1), 0);
-  const auto* source =
-      reinterpret_cast<const std::shared_ptr<std::vector<double>>*>(encoded);
-  counters_ = *source;
+  if (comm.shared_address_space()) {
+    const auto* source =
+        reinterpret_cast<const std::shared_ptr<std::vector<double>>*>(encoded);
+    counters_ = *source;
+  } else {
+    counters_ = std::move(holder);
+  }
   comm.barrier();
   window_.emplace(comm, comm.rank() == 0
                             ? std::span<double>(*counters_)

@@ -1,5 +1,6 @@
 #include "simcluster/cluster.hpp"
 
+#include <cstdlib>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -7,8 +8,11 @@
 #include <thread>
 
 #include "simcluster/context.hpp"
+#include "simcluster/socket_context.hpp"
 #include "support/error.hpp"
+#include "support/log.hpp"
 #include "support/trace.hpp"
+#include "transport/socket_runtime.hpp"
 
 namespace uoi::sim {
 
@@ -59,12 +63,89 @@ void export_rank_metrics(const Comm& comm) {
   }
 }
 
+/// One process = one rank: the socket-backend variant of the run loop.
+/// Every process of the job executes the same SPMD program; this process
+/// contributes only its own rank's report (the others are default-empty).
+std::vector<RankReport> run_socket_job(
+    int n_ranks, const std::function<void(Comm&)>& spmd) {
+  auto config = transport::job_config_from_env();
+  UOI_CHECK(config.has_value(), "socket transport requested without a job "
+                                "environment (run under `uoi launch`)");
+  UOI_CHECK(config->size == n_ranks,
+            "cluster rank count does not match the launched job size");
+  // One socket mesh per Cluster run: every process executes the same SPMD
+  // sequence of runs, so the per-process ordinal agrees job-wide and keys
+  // both the rendezvous socket names and the communicator-id interval.
+  static int run_counter = 0;
+  config->run_index = run_counter++;
+  const int job_rank = config->rank;
+
+  auto registry = std::make_shared<detail::FailureRegistry>(n_ranks);
+  registry->set_local_stacks_only();
+  transport::JobHooks hooks;
+  hooks.peer_failed = [registry](int rank) { registry->mark_failed(rank); };
+  hooks.peer_progress = [registry](int rank, std::uint64_t epoch) {
+    registry->note_progress(rank, epoch);
+  };
+  hooks.own_epoch = [registry, job_rank] {
+    // Deliberately NOT auto-incrementing: a wedged rank's epoch must stay
+    // frozen in its keepalives even though the io thread keeps beating,
+    // or peers' watchdogs could never tell hung from alive.
+    return registry->progress_epoch(job_rank);
+  };
+  auto runtime = std::make_shared<transport::SocketRuntime>(*config, hooks);
+  // Re-broadcast first-seen failures so every process's local view
+  // converges (raw pointer: the registry never outlives this frame's
+  // explicit clear below).
+  transport::SocketRuntime* runtime_raw = runtime.get();
+  registry->set_failure_broadcast([runtime_raw](int rank) {
+    transport::FailedMsg msg;
+    msg.rank = static_cast<std::uint32_t>(rank);
+    runtime_raw->broadcast(msg.encode());
+  });
+
+  auto context = detail::make_root_socket_context(runtime, registry, n_ranks,
+                                                  job_rank, config->run_index);
+  std::vector<RankReport> reports(static_cast<std::size_t>(n_ranks));
+  std::exception_ptr error;
+  {
+    Comm comm(std::static_pointer_cast<detail::Context>(context), job_rank);
+    const int previous_trace_rank = support::Tracer::thread_rank();
+    support::Tracer::set_thread_rank(comm.global_rank());
+    try {
+      spmd(comm);
+    } catch (const RankKilledError&) {
+      // Hang-injection victim: peers already agreed this rank is dead and
+      // will never talk to it again. Exit without a goodbye — the
+      // survivors' outcome decides the job.
+      UOI_LOG_WARN.field("rank", job_rank)
+          << "rank declared dead by the job; exiting";
+      std::_Exit(0);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    reports[static_cast<std::size_t>(job_rank)] = {comm.stats(),
+                                                   comm.recovery_stats()};
+    export_rank_metrics(comm);
+    support::Tracer::set_thread_rank(previous_trace_rank);
+    registry->mark_done(job_rank);
+  }
+  context.reset();
+  registry->set_failure_broadcast({});
+  runtime->shutdown();
+  if (error) std::rethrow_exception(error);
+  return reports;
+}
+
 }  // namespace
 
 std::vector<RankReport> Cluster::run_collect_reports(
     int n_ranks, const std::function<void(Comm&)>& spmd) {
   UOI_CHECK(n_ranks >= 1, "cluster needs at least one rank");
-  auto context = std::make_shared<detail::Context>(n_ranks);
+  if (transport::socket_job_active()) {
+    return run_socket_job(n_ranks, spmd);
+  }
+  auto context = std::make_shared<detail::ThreadContext>(n_ranks);
   auto registry = context->registry();
   std::vector<RankReport> reports(static_cast<std::size_t>(n_ranks));
   std::exception_ptr first_error;

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <tuple>
+
+#include <unistd.h>
 
 #include "simcluster/context.hpp"
 #include "support/error.hpp"
@@ -233,7 +236,7 @@ void Comm::bcast_impl(std::span<T> data, int root) {
   }
   sync();
   if (rank_ != root) {
-    const auto view = stage_view<T>(context_->staging(root));
+    const auto view = stage_view<T>(context_->staging_view(root));
     UOI_CHECK_DIMS(view.size() == data.size(), "bcast size mismatch");
     std::copy(view.begin(), view.end(), data.begin());
   }
@@ -262,11 +265,12 @@ void Comm::reduce(std::span<double> data, ReduceOp op, int root) {
   sync();
   if (rank_ == root) {
     // Deterministic reduction order: rank 0, 1, ..., P-1.
-    auto first = stage_view<double>(context_->staging(0));
+    auto first = stage_view<double>(context_->staging_view(0));
     UOI_CHECK_DIMS(first.size() == data.size(), "reduce size mismatch");
     std::copy(first.begin(), first.end(), data.begin());
     for (int r = 1; r < size(); ++r) {
-      apply_reduce<double>(op, data, stage_view<double>(context_->staging(r)));
+      apply_reduce<double>(op, data,
+                           stage_view<double>(context_->staging_view(r)));
     }
   }
   sync();
@@ -284,11 +288,11 @@ void Comm::allreduce_impl(std::span<T> data, ReduceOp op) {
   support::Stopwatch watch;
   stage_copy_in<T>(context_->staging(rank_), std::span<const T>(data));
   sync();
-  auto first = stage_view<T>(context_->staging(0));
+  auto first = stage_view<T>(context_->staging_view(0));
   UOI_CHECK_DIMS(first.size() == data.size(), "allreduce size mismatch");
   std::copy(first.begin(), first.end(), data.begin());
   for (int r = 1; r < size(); ++r) {
-    apply_reduce<T>(op, data, stage_view<T>(context_->staging(r)));
+    apply_reduce<T>(op, data, stage_view<T>(context_->staging_view(r)));
   }
   sync();
   auto& entry = stats_.of(CommCategory::kAllreduce);
@@ -341,7 +345,7 @@ void Comm::send(int destination, std::span<const double> data, int tag) {
   if (!data.empty()) {
     std::memcpy(payload.data(), data.data(), data.size_bytes());
   }
-  context_->mailbox(rank_, destination).deposit(tag, std::move(payload));
+  context_->p2p_send(rank_, destination, tag, std::move(payload));
   auto& entry = stats_.of(CommCategory::kPointToPoint);
   ++entry.calls;
   entry.bytes += data.size_bytes();
@@ -364,7 +368,7 @@ void Comm::recv(int source, std::span<double> data, int tag) {
   const int source_global = context_->global_rank(source);
   support::Stopwatch deadline_watch;
   bool suspected = false;
-  auto payload = context_->mailbox(source, rank_).collect(tag, [&] {
+  auto payload = context_->p2p_collect(source, rank_, tag, [&] {
     if (context_->revoked() || context_->rank_is_failed(source) ||
         context_->rank_is_failed(rank_)) {
       return true;
@@ -668,7 +672,7 @@ void Comm::gather(std::span<const double> send, std::span<double> recv,
     UOI_CHECK_DIMS(recv.size() == send.size() * static_cast<std::size_t>(size()),
                    "gather recv buffer has the wrong size");
     for (int r = 0; r < size(); ++r) {
-      const auto view = stage_view<double>(context_->staging(r));
+      const auto view = stage_view<double>(context_->staging_view(r));
       UOI_CHECK_DIMS(view.size() == send.size(), "gather contribution size");
       std::copy(view.begin(), view.end(),
                 recv.begin() + static_cast<std::ptrdiff_t>(
@@ -693,7 +697,7 @@ void Comm::allgather_impl(std::span<const T> send, std::span<T> recv) {
   stage_copy_in<T>(context_->staging(rank_), send);
   sync();
   for (int r = 0; r < size(); ++r) {
-    const auto view = stage_view<T>(context_->staging(r));
+    const auto view = stage_view<T>(context_->staging_view(r));
     UOI_CHECK_DIMS(view.size() == send.size(), "allgather contribution size");
     std::copy(view.begin(), view.end(),
               recv.begin() + static_cast<std::ptrdiff_t>(
@@ -725,7 +729,7 @@ std::vector<double> Comm::allgather_variable(
   std::vector<double> out;
   if (counts != nullptr) counts->assign(static_cast<std::size_t>(size()), 0);
   for (int r = 0; r < size(); ++r) {
-    const auto view = stage_view<double>(context_->staging(r));
+    const auto view = stage_view<double>(context_->staging_view(r));
     if (counts != nullptr) (*counts)[static_cast<std::size_t>(r)] = view.size();
     out.insert(out.end(), view.begin(), view.end());
   }
@@ -752,7 +756,7 @@ void Comm::scatter(std::span<const double> send, std::span<double> recv,
   }
   sync();
   {
-    const auto view = stage_view<double>(context_->staging(root));
+    const auto view = stage_view<double>(context_->staging_view(root));
     UOI_CHECK_DIMS(view.size() == recv.size() * static_cast<std::size_t>(size()),
                    "scatter staged size mismatch");
     const auto begin =
@@ -789,17 +793,23 @@ Comm Comm::split(int color, int key) {
   members.reserve(static_cast<std::size_t>(size()));
   for (int r = 0; r < size(); ++r) {
     Request req{};
-    std::memcpy(&req, context_->staging(r).data(), sizeof(Request));
+    std::memcpy(&req, context_->staging_view(r).data(), sizeof(Request));
     members.emplace_back(req.color, req.key, r);
   }
   std::sort(members.begin(), members.end());
 
   int group_size = 0;
   int new_rank = -1;
-  int group_leader = -1;          // old rank of the first member of my group
+  int group_leader = -1;           // old rank of the first member of my group
+  int group_index = 0;             // ordinal of my color among the groups
   std::vector<int> group_globals;  // job-wide ranks in new-rank order
   for (std::size_t i = 0; i < members.size(); ++i) {
-    if (std::get<0>(members[i]) != color) continue;
+    const int member_color = std::get<0>(members[i]);
+    if (member_color < color &&
+        (i == 0 || member_color != std::get<0>(members[i - 1]))) {
+      ++group_index;
+    }
+    if (member_color != color) continue;
     if (group_leader < 0) group_leader = std::get<2>(members[i]);
     if (std::get<2>(members[i]) == rank_) new_rank = group_size;
     group_globals.push_back(context_->global_rank(std::get<2>(members[i])));
@@ -807,23 +817,12 @@ Comm Comm::split(int color, int key) {
   }
   UOI_CHECK(new_rank >= 0, "split bookkeeping failure");
 
-  // The group leader allocates the shared context and publishes a pointer to
-  // a shared_ptr that peers copy (ownership is shared safely because the
-  // source shared_ptr outlives the exchange's closing barrier).
-  std::shared_ptr<detail::Context> new_context;
-  std::shared_ptr<detail::Context> leader_holder;
-  if (rank_ == group_leader) {
-    leader_holder = std::make_shared<detail::Context>(
-        group_size, context_->registry(), std::move(group_globals));
-    context_->pointer_slot(rank_) = &leader_holder;
-  }
-  sync();
-  {
-    const auto* holder = static_cast<const std::shared_ptr<detail::Context>*>(
-        context_->pointer_slot(group_leader));
-    new_context = *holder;
-  }
-  sync();
+  // The backend builds every member an equivalent child context; the
+  // group index keeps concurrently-created sibling contexts' communicator
+  // ids distinct across processes in the socket backend.
+  auto new_context = context_->make_child(rank_, group_leader, group_index,
+                                          std::move(group_globals),
+                                          [this] { sync(); });
   Comm child(std::move(new_context), new_rank);
   // Children emulate the same network and fault schedule as their parent,
   // and inherit its failure horizon: anything the parent handle already
@@ -884,42 +883,15 @@ Comm Comm::shrink() {
   // Revoke first (idempotent): any rank still blocked in — or about to
   // enter — a normal collective on this communicator raises
   // RankFailedError and converges here. This is the agreement protocol:
-  // once the recovery barrier below releases, every alive rank is inside
-  // shrink, and since fault-plan kills only trigger at normal collective
-  // entries, the alive set is stable until the new communicator exists.
+  // once the recovery barrier inside shrink_exchange releases, every alive
+  // rank is inside shrink, and since fault-plan kills only trigger at
+  // normal collective entries, the alive set is stable until the new
+  // communicator exists.
   context_->revoke();
-  context_->recovery_barrier_wait(rank_);
-
-  const auto alive = context_->alive_local_ranks();
-  UOI_CHECK(!alive.empty(), "shrink with no surviving ranks");
-  int new_rank = -1;
-  std::vector<int> global_ranks;
-  global_ranks.reserve(alive.size());
-  for (std::size_t i = 0; i < alive.size(); ++i) {
-    if (alive[i] == rank_) new_rank = static_cast<int>(i);
-    global_ranks.push_back(context_->global_rank(alive[i]));
-  }
-  UOI_CHECK(new_rank >= 0, "shrink called by a failed rank");
-
-  // The lowest surviving rank builds the fresh context and publishes it
-  // through the recovery slot (the staging area belongs to the revoked
-  // normal path).
-  std::shared_ptr<detail::Context> fresh;
-  std::shared_ptr<detail::Context> leader_holder;
-  if (rank_ == alive.front()) {
-    leader_holder = std::make_shared<detail::Context>(
-        static_cast<int>(alive.size()), registry, std::move(global_ranks));
-    context_->recovery_slot() = &leader_holder;
-  }
-  context_->recovery_barrier_wait(rank_);
-  {
-    const auto* holder = static_cast<const std::shared_ptr<detail::Context>*>(
-        context_->recovery_slot());
-    fresh = *holder;
-  }
-  context_->recovery_barrier_wait(rank_);
-
-  Comm child(std::move(fresh), new_rank);
+  auto shrunk = context_->shrink_exchange(rank_);
+  const int survivors = shrunk.context->size();
+  const int new_rank = shrunk.new_rank;
+  Comm child(std::move(shrunk.context), new_rank);
   child.latency_injector_ = latency_injector_;
   child.fault_plan_ = fault_plan_;
   child.watchdog_ = watchdog_;
@@ -929,7 +901,7 @@ Comm Comm::shrink() {
   child.acknowledged_fail_seq_ = registry->fail_seq();
   ++recovery_stats_.shrinks;
   recovery_stats_.recovery_seconds += watch.seconds();
-  UOI_LOG_INFO.field("survivors", alive.size())
+  UOI_LOG_INFO.field("survivors", survivors)
           .field("new_rank", new_rank)
           .field("seconds", watch.seconds())
       << "communicator shrunk after rank failure";
@@ -937,6 +909,10 @@ Comm Comm::shrink() {
 }
 
 int Comm::global_rank() const { return context_->global_rank(rank_); }
+
+bool Comm::shared_address_space() const noexcept {
+  return context_->shared_address_space();
+}
 
 std::int64_t Comm::comm_id() const { return context_->comm_id(); }
 
@@ -1030,6 +1006,16 @@ void Comm::maybe_kill() {
   if (fault_plan_ == nullptr) return;
   const std::uint64_t op = registry.next_collective_op(global);
   if (fault_plan_->kills_at(global, op)) {
+    if (!context_->shared_address_space()) {
+      // Real process death: survivors detect it through the transport
+      // (connection EOF / missed keepalives), exactly as they would a
+      // crashed node. No unwind, no park — the process is simply gone.
+      UOI_LOG_WARN.field("rank", global).field("collective_op", op)
+          << "fault plan killing this process (SIGKILL)";
+      support::Tracer::instance().instant(
+          "rank-killed", support::TraceCategory::kFault, global);
+      ::kill(::getpid(), SIGKILL);
+    }
     registry.mark_failed(global);
     support::Tracer::instance().instant("rank-killed",
                                         support::TraceCategory::kFault, global);
@@ -1096,7 +1082,7 @@ void Comm::raise_rank_failed(const char* what) {
   throw RankFailedError(message);
 }
 
-Comm::OneSidedAction Comm::onesided_fault_point() {
+OneSidedAction Comm::onesided_fault_point() {
   OneSidedAction action;
   auto& registry = *context_->registry();
   const int global = global_rank();

@@ -254,6 +254,12 @@ class Comm {
   /// This rank's job-wide (root communicator) rank.
   [[nodiscard]] int global_rank() const;
 
+  /// True when every rank of the job shares this process's address space
+  /// (thread backend). Protocols that pass raw pointers between ranks —
+  /// the TicketBoard's shared-counter bootstrap, tests peeking at peer
+  /// state — must gate on this and use message-based exchange otherwise.
+  [[nodiscard]] bool shared_address_space() const noexcept;
+
   /// Globally unique id of the underlying communicator — identical on
   /// every member rank, distinct across communicators (split/dup/shrink
   /// children get fresh ids). This is the `comm` key of trace stamps, so
@@ -359,10 +365,6 @@ class Comm {
   void raise_rank_failed(const char* what);
   /// FaultPlan one-sided hook used by Window: throws TransientCommError
   /// for transient entries; returns the delay/corruption to apply.
-  struct OneSidedAction {
-    double delay_seconds = 0.0;
-    bool corrupt = false;
-  };
   OneSidedAction onesided_fault_point();
 
   /// Causal-stamp counters (see support::TraceStamp). Fresh handles start

@@ -1,7 +1,21 @@
 #pragma once
-// Shared state behind one communicator: a generation-counted central barrier
-// plus a per-rank staging area used by the two-barrier collective protocol
-// (write own slot -> barrier -> read peers' slots -> barrier).
+// Shared state behind one communicator. Context is the transport seam of
+// the runtime: Comm implements every collective against this interface
+// (staging slots + a failure-aware barrier, point-to-point channels,
+// child-communicator creation, shrink agreement, one-sided window
+// backends), and a backend supplies the mechanics.
+//
+// Two backends exist:
+//  - ThreadContext (this header): ranks are std::threads of one process
+//    sharing the staging area directly. A generation-counted central
+//    barrier implements the two-barrier collective protocol (write own
+//    slot -> barrier -> read peers' slots -> barrier). This is the seed
+//    behavior, bit-identical to the pre-transport runtime, and stays the
+//    default / fast test path.
+//  - SocketContext (socket_context.hpp): ranks are OS processes connected
+//    by Unix-domain sockets; each process holds a local mirror of the
+//    staging area that barrier messages keep coherent (see
+//    src/transport/ and ARCHITECTURE.md §11).
 //
 // Failure awareness (ULFM-style): every context of one job shares a
 // FailureRegistry. Barriers release when every *alive* rank has arrived and
@@ -25,13 +39,19 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "simcluster/fault.hpp"
 #include "support/error.hpp"
+
+namespace uoi::sim {
+class Comm;
+}
 
 namespace uoi::sim::detail {
 
@@ -41,6 +61,12 @@ class Context;
 /// which global ranks are dead, in what order they died, and which
 /// survivors have acknowledged each death. Also owns the per-rank
 /// operation counters FaultPlan triggers are indexed by.
+///
+/// The socket backend reuses this registry as each process's *local view*
+/// of the job: peer progress epochs are mirrored from transport keepalives
+/// (note_progress), confirmed failures are broadcast between processes,
+/// and the shared-stack unwind protocol (acknowledge / park) is disabled
+/// because no process can read another's stack.
 class FailureRegistry {
  public:
   explicit FailureRegistry(int job_size)
@@ -114,8 +140,11 @@ class FailureRegistry {
   /// Parks the dying rank until every other alive rank has either
   /// acknowledged its death or finished, keeping the victim's stack (and
   /// thus any window buffers registered from it) alive while survivors
-  /// may still legitimately read them.
+  /// may still legitimately read them. A no-op in per-process (socket)
+  /// jobs: no peer can reach this process's stack, and the victim's
+  /// process exits instead of unwinding in place.
   void park_until_safe_to_unwind(int global_rank) {
+    if (!shared_stacks_) return;
     const auto my_death =
         death_seq_in_lock_free(global_rank);
     std::unique_lock<std::mutex> lock(mutex_);
@@ -129,6 +158,19 @@ class FailureRegistry {
       }
       return true;
     });
+  }
+
+  /// Socket mode: ranks live in separate address spaces, so the
+  /// park/acknowledge stack-lifetime protocol has nothing to protect.
+  void set_local_stacks_only() { shared_stacks_ = false; }
+
+  /// Installs a hook invoked (outside the registry lock) whenever a rank
+  /// transitions to failed for the first time in this process. The socket
+  /// backend uses it to broadcast the death to peer processes so every
+  /// local view converges.
+  void set_failure_broadcast(std::function<void(int)> fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    failure_broadcast_ = std::move(fn);
   }
 
   /// Per-rank operation counters (post-incremented) used to index
@@ -160,7 +202,29 @@ class FailureRegistry {
     const auto r = static_cast<std::size_t>(global_rank);
     progress_epochs_[r].fetch_add(1, std::memory_order_relaxed);
     std::uint64_t suspected = suspected_epochs_[r].load(std::memory_order_relaxed);
-    if (suspected != kNotSuspected) {
+    if (suspected != kNotSuspected && suspected != kClaimed) {
+      suspected_epochs_[r].compare_exchange_strong(suspected, kNotSuspected);
+    }
+  }
+
+  /// Mirrors a peer process's progress epoch from a transport keepalive
+  /// (socket backend). Monotone: stale keepalives never move an epoch
+  /// backwards. An advancing epoch withdraws any unclaimed suspicion, the
+  /// same guarantee bump_progress gives in shared memory.
+  void note_progress(int global_rank, std::uint64_t epoch) {
+    const auto r = static_cast<std::size_t>(global_rank);
+    std::uint64_t current = progress_epochs_[r].load(std::memory_order_relaxed);
+    bool advanced = false;
+    while (epoch > current) {
+      if (progress_epochs_[r].compare_exchange_weak(current, epoch,
+                                                    std::memory_order_relaxed)) {
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) return;
+    std::uint64_t suspected = suspected_epochs_[r].load(std::memory_order_relaxed);
+    if (suspected != kNotSuspected && suspected != kClaimed) {
       suspected_epochs_[r].compare_exchange_strong(suspected, kNotSuspected);
     }
   }
@@ -249,6 +313,8 @@ class FailureRegistry {
   std::vector<std::uint64_t> death_seq_;  // guarded by mutex_
   std::vector<std::uint64_t> acked_seq_;  // guarded by mutex_
   std::vector<bool> done_;                // guarded by mutex_
+  bool shared_stacks_ = true;
+  std::function<void(int)> failure_broadcast_;  // guarded by mutex_
 };
 
 /// A buffered point-to-point channel for one (source, destination) pair.
@@ -296,47 +362,59 @@ class Mailbox {
   std::deque<Message> messages_;
 };
 
+/// Backend of one one-sided Window: raw data movement plus the payload
+/// integrity guard. Window (window.cpp) keeps the policy — liveness
+/// checks, fault-plan injection points, stats/trace accounting glue —
+/// and delegates the mechanics here. Ops return false iff the target rank
+/// died mid-operation (the caller raises RankFailedError); a payload
+/// failing the CRC guard throws TransientCommError after charging the
+/// recovery stats.
+class WindowBackend {
+ public:
+  virtual ~WindowBackend() = default;
+  [[nodiscard]] virtual std::size_t size_at(int rank) const = 0;
+  [[nodiscard]] virtual std::span<double> local() const = 0;
+  virtual bool get(int target, std::size_t offset, std::span<double> out,
+                   const OneSidedAction& action) = 0;
+  virtual bool put(int target, std::size_t offset, std::span<const double> in,
+                   const OneSidedAction& action) = 0;
+  virtual bool accumulate_add(int target, std::size_t offset,
+                              std::span<const double> in,
+                              const OneSidedAction& action) = 0;
+  virtual bool fetch_add(int target, std::size_t offset, double delta,
+                         const OneSidedAction& action, double& previous) = 0;
+};
+
+/// Transport-agnostic interface of one communicator's shared state. Comm
+/// talks only to this; ThreadContext and SocketContext implement it.
 class Context {
  public:
-  /// Process-wide communicator id allocator. Contexts are shared objects
-  /// (one per communicator, referenced by every member rank's Comm
-  /// handle), so the id assigned at construction is identical on all
-  /// member ranks and distinct across communicators — including children
-  /// produced by split/dup/shrink. Trace stamps use it as the `comm` key
-  /// of the cross-rank event DAG.
+  /// Process-wide communicator id allocator for the thread backend.
+  /// Thread contexts are shared objects (one per communicator, referenced
+  /// by every member rank's Comm handle), so the id assigned at
+  /// construction is identical on all member ranks and distinct across
+  /// communicators — including children produced by split/dup/shrink.
+  /// Trace stamps use it as the `comm` key of the cross-rank event DAG.
+  /// (The socket backend cannot share an allocator across processes and
+  /// derives deterministic ids instead; see SocketContext.)
   static std::int64_t next_comm_id() {
     static std::atomic<std::int64_t> counter{0};
     return counter.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Root context of a job: global rank r is local rank r, fresh registry.
-  explicit Context(int size)
-      : Context(size, std::make_shared<FailureRegistry>(size),
-                identity_ranks(size)) {}
-
-  /// Sub-communicator context: `global_ranks[r]` maps local rank r to its
-  /// job-wide rank in the shared registry.
-  Context(int size, std::shared_ptr<FailureRegistry> registry,
+  Context(int size, std::int64_t comm_id,
+          std::shared_ptr<FailureRegistry> registry,
           std::vector<int> global_ranks)
       : size_(size),
+        comm_id_(comm_id),
         registry_(std::move(registry)),
-        global_ranks_(std::move(global_ranks)),
-        arrived_(static_cast<std::size_t>(size), 0),
-        recovery_arrived_(static_cast<std::size_t>(size), 0),
-        staging_(static_cast<std::size_t>(size)),
-        pointer_slots_(static_cast<std::size_t>(size)),
-        mailboxes_(static_cast<std::size_t>(size) *
-                   static_cast<std::size_t>(size)) {
-    registry_->register_context(this);
-  }
-
-  [[nodiscard]] std::int64_t comm_id() const noexcept { return comm_id_; }
+        global_ranks_(std::move(global_ranks)) {}
 
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
+  virtual ~Context() = default;
 
-  ~Context() { registry_->unregister_context(this); }
-
+  [[nodiscard]] std::int64_t comm_id() const noexcept { return comm_id_; }
   [[nodiscard]] int size() const noexcept { return size_; }
 
   [[nodiscard]] int global_rank(int local_rank) const {
@@ -362,7 +440,13 @@ class Context {
     return out;
   }
 
-  /// Central barrier; releases all ranks when every alive rank has
+  /// True when every rank of the job can dereference this process's
+  /// pointers (thread backend). Gates the shared_ptr-over-bcast tricks
+  /// (Window registration, TicketBoard) and switches FaultPlan kills from
+  /// in-place unwinds to real process death.
+  [[nodiscard]] virtual bool shared_address_space() const noexcept = 0;
+
+  /// Failure-aware barrier; releases all ranks when every alive rank has
   /// arrived. Returns the registry failure-sequence snapshot taken at
   /// release time — identical on every rank released together, so every
   /// survivor detects a failure at the same logical collective. Throws
@@ -375,8 +459,119 @@ class Context {
   /// timeout and, if their progress epoch has not advanced by the full
   /// timeout, declared failed (watchdog detections and cleared suspicions
   /// are charged to `recovery` when non-null).
+  virtual std::uint64_t barrier_wait(int rank,
+                                     const WatchdogConfig* watchdog = nullptr,
+                                     RecoveryStats* recovery = nullptr) = 0;
+
+  /// Marks the context unusable: every rank currently inside (or later
+  /// entering) one of its barriers raises RankFailedError instead of
+  /// waiting. The MPI_Comm_revoke analogue; idempotent. The socket
+  /// backend additionally tells every peer process.
+  virtual void revoke() = 0;
+
+  /// Called by FailureRegistry::mark_failed (registry lock held): releases
+  /// any barrier now complete without the dead rank and wakes waiters so
+  /// self-failed or revoked ranks can raise.
+  virtual void on_failure_update() = 0;
+
+  /// Byte staging slot for `rank` — write access, callers only write their
+  /// own slot (collective roots write theirs). The socket backend tracks
+  /// the write so the next barrier round publishes the slot to peers.
+  [[nodiscard]] virtual std::vector<std::uint8_t>& staging(int rank) = 0;
+
+  /// Read view of `rank`'s staging slot, valid between the two barriers of
+  /// a collective exchange. Reads must use this accessor (not staging()):
+  /// the socket backend serves them from its local mirror.
+  [[nodiscard]] virtual const std::vector<std::uint8_t>& staging_view(
+      int rank) const = 0;
+
+  /// Buffered point-to-point send from local rank `source` (the caller) to
+  /// `destination`; FIFO per (source, destination, tag).
+  virtual void p2p_send(int source, int destination, int tag,
+                        std::vector<std::uint8_t> payload) = 0;
+
+  /// Blocking point-to-point collect on local rank `destination` (the
+  /// caller) for a message from `source`; `abort` is polled between waits.
+  /// Returns nullopt when aborted.
+  [[nodiscard]] virtual std::optional<std::vector<std::uint8_t>> p2p_collect(
+      int source, int destination, int tag,
+      const std::function<bool()>& abort) = 0;
+
+  /// Builds the child context for one group of a split. Every member calls
+  /// this with identical group data (new-rank-ordered global ranks,
+  /// group leader's parent-local rank, the group's ordinal among the
+  /// split's color groups) and its own parent-local rank; `sync` runs a
+  /// failure-aware barrier on the parent. All members return equivalent
+  /// contexts carrying the same communicator id.
+  [[nodiscard]] virtual std::shared_ptr<Context> make_child(
+      int parent_rank, int group_leader, int group_index,
+      std::vector<int> group_globals, const std::function<void()>& sync) = 0;
+
+  struct ShrinkResult {
+    std::shared_ptr<Context> context;
+    int new_rank = -1;
+  };
+
+  /// The agreement + rebuild half of Comm::shrink(), entered by every
+  /// surviving rank after the context is revoked: agree on the surviving
+  /// set, build the replacement context over it (survivors in old-rank
+  /// order), and synchronize so the replacement is usable on return.
+  [[nodiscard]] virtual ShrinkResult shrink_exchange(int rank) = 0;
+
+  /// Builds the one-sided window backend for this communicator; collective
+  /// (every rank calls it from the Window constructor with its local
+  /// exposure buffer).
+  [[nodiscard]] virtual std::shared_ptr<WindowBackend> make_window(
+      Comm& comm, std::span<double> local) = 0;
+
+ protected:
+  int size_;
+  std::int64_t comm_id_;
+  std::shared_ptr<FailureRegistry> registry_;
+  std::vector<int> global_ranks_;
+  std::atomic<bool> revoked_{false};
+
+  static std::vector<int> identity_ranks(int size) {
+    std::vector<int> out(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) out[static_cast<std::size_t>(r)] = r;
+    return out;
+  }
+};
+
+/// The shared-memory backend: ranks are threads of one process, staging
+/// slots are read in place, and the barrier is a generation-counted
+/// central barrier. This is the seed implementation, moved verbatim
+/// behind the Context interface.
+class ThreadContext final : public Context {
+ public:
+  /// Root context of a job: global rank r is local rank r, fresh registry.
+  explicit ThreadContext(int size)
+      : ThreadContext(size, std::make_shared<FailureRegistry>(size),
+                      identity_ranks(size)) {}
+
+  /// Sub-communicator context: `global_ranks[r]` maps local rank r to its
+  /// job-wide rank in the shared registry.
+  ThreadContext(int size, std::shared_ptr<FailureRegistry> registry,
+                std::vector<int> global_ranks)
+      : Context(size, next_comm_id(), std::move(registry),
+                std::move(global_ranks)),
+        arrived_(static_cast<std::size_t>(size), 0),
+        recovery_arrived_(static_cast<std::size_t>(size), 0),
+        staging_(static_cast<std::size_t>(size)),
+        pointer_slots_(static_cast<std::size_t>(size)),
+        mailboxes_(static_cast<std::size_t>(size) *
+                   static_cast<std::size_t>(size)) {
+    registry_->register_context(this);
+  }
+
+  ~ThreadContext() override { registry_->unregister_context(this); }
+
+  [[nodiscard]] bool shared_address_space() const noexcept override {
+    return true;
+  }
+
   std::uint64_t barrier_wait(int rank, const WatchdogConfig* watchdog = nullptr,
-                             RecoveryStats* recovery = nullptr) {
+                             RecoveryStats* recovery = nullptr) override {
     std::unique_lock<std::mutex> lock(mutex_);
     throw_if_unusable(rank);
     arrived_[static_cast<std::size_t>(rank)] = 1;
@@ -404,10 +599,7 @@ class Context {
                               : "rank failed while inside a barrier");
   }
 
-  /// Marks the context unusable: every rank currently inside (or later
-  /// entering) one of its barriers raises RankFailedError instead of
-  /// waiting. The MPI_Comm_revoke analogue; idempotent.
-  void revoke() {
+  void revoke() override {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       revoked_.store(true);
@@ -416,6 +608,119 @@ class Context {
     recovery_cv_.notify_all();
   }
 
+  void on_failure_update() override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!revoked_.load() && any_arrived() && all_alive_arrived()) {
+        release_barrier_locked();
+      }
+      if (any_recovery_arrived() && all_alive_recovery_arrived()) {
+        std::fill(recovery_arrived_.begin(), recovery_arrived_.end(), 0);
+        ++recovery_generation_;
+      }
+    }
+    cv_.notify_all();
+    recovery_cv_.notify_all();
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t>& staging(int rank) override {
+    return staging_[static_cast<std::size_t>(rank)];
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& staging_view(
+      int rank) const override {
+    return staging_[static_cast<std::size_t>(rank)];
+  }
+
+  void p2p_send(int source, int destination, int tag,
+                std::vector<std::uint8_t> payload) override {
+    mailbox(source, destination).deposit(tag, std::move(payload));
+  }
+
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> p2p_collect(
+      int source, int destination, int tag,
+      const std::function<bool()>& abort) override {
+    return mailbox(source, destination).collect(tag, abort);
+  }
+
+  [[nodiscard]] std::shared_ptr<Context> make_child(
+      int parent_rank, int group_leader, int /*group_index*/,
+      std::vector<int> group_globals,
+      const std::function<void()>& sync) override {
+    const int group_size = static_cast<int>(group_globals.size());
+    // The group leader allocates the shared context and publishes a pointer
+    // to a shared_ptr that peers copy (ownership is shared safely because
+    // the source shared_ptr outlives the exchange's closing barrier).
+    std::shared_ptr<Context> new_context;
+    std::shared_ptr<Context> leader_holder;
+    if (parent_rank == group_leader) {
+      leader_holder = std::make_shared<ThreadContext>(
+          group_size, registry_, std::move(group_globals));
+      pointer_slot(parent_rank) = &leader_holder;
+    }
+    sync();
+    {
+      const auto* holder = static_cast<const std::shared_ptr<Context>*>(
+          pointer_slot(group_leader));
+      new_context = *holder;
+    }
+    sync();
+    return new_context;
+  }
+
+  [[nodiscard]] ShrinkResult shrink_exchange(int rank) override {
+    recovery_barrier_wait(rank);
+
+    const auto alive = alive_local_ranks();
+    UOI_CHECK(!alive.empty(), "shrink with no surviving ranks");
+    int new_rank = -1;
+    std::vector<int> new_globals;
+    new_globals.reserve(alive.size());
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      if (alive[i] == rank) new_rank = static_cast<int>(i);
+      new_globals.push_back(global_rank(alive[i]));
+    }
+    UOI_CHECK(new_rank >= 0, "shrink called by a failed rank");
+
+    // The lowest surviving rank builds the fresh context and publishes it
+    // through the recovery slot (the staging area belongs to the revoked
+    // normal path).
+    std::shared_ptr<Context> fresh;
+    std::shared_ptr<Context> leader_holder;
+    if (rank == alive.front()) {
+      leader_holder = std::make_shared<ThreadContext>(
+          static_cast<int>(alive.size()), registry_, std::move(new_globals));
+      recovery_slot_ = &leader_holder;
+    }
+    recovery_barrier_wait(rank);
+    {
+      const auto* holder =
+          static_cast<const std::shared_ptr<Context>*>(recovery_slot_);
+      fresh = *holder;
+    }
+    recovery_barrier_wait(rank);
+    return {std::move(fresh), new_rank};
+  }
+
+  // Implemented in window.cpp (needs the Comm API for the registration
+  // exchange).
+  [[nodiscard]] std::shared_ptr<WindowBackend> make_window(
+      Comm& comm, std::span<double> local) override;
+
+  /// Raw pointer slot for `rank`; used to hand shared_ptr control blocks and
+  /// split results between ranks inside a two-barrier exchange.
+  [[nodiscard]] const void*& pointer_slot(int rank) {
+    return pointer_slots_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Point-to-point channel from `source` to `destination`.
+  [[nodiscard]] Mailbox& mailbox(int source, int destination) {
+    return mailboxes_[static_cast<std::size_t>(source) *
+                          static_cast<std::size_t>(size_) +
+                      static_cast<std::size_t>(destination)];
+  }
+
+ private:
   /// Barrier over the *alive* ranks only, on state disjoint from the
   /// normal barrier; used exclusively by the shrink protocol (which runs
   /// on a revoked context). The alive set is stable inside shrink — kills
@@ -434,53 +739,6 @@ class Context {
     }
     recovery_cv_.wait(lock,
                       [&] { return recovery_generation_ != my_generation; });
-  }
-
-  /// Publication slot for the shrink protocol (the staging area belongs to
-  /// the revoked normal path and is left untouched).
-  [[nodiscard]] const void*& recovery_slot() { return recovery_slot_; }
-
-  /// Called by FailureRegistry::mark_failed (registry lock held): releases
-  /// any barrier now complete without the dead rank and wakes waiters so
-  /// self-failed or revoked ranks can raise.
-  void on_failure_update() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!revoked_.load() && any_arrived() && all_alive_arrived()) {
-        release_barrier_locked();
-      }
-      if (any_recovery_arrived() && all_alive_recovery_arrived()) {
-        std::fill(recovery_arrived_.begin(), recovery_arrived_.end(), 0);
-        ++recovery_generation_;
-      }
-    }
-    cv_.notify_all();
-    recovery_cv_.notify_all();
-  }
-
-  /// Byte staging slot for `rank` (resized by the writer as needed).
-  [[nodiscard]] std::vector<std::uint8_t>& staging(int rank) {
-    return staging_[static_cast<std::size_t>(rank)];
-  }
-
-  /// Raw pointer slot for `rank`; used to hand shared_ptr control blocks and
-  /// split results between ranks inside a two-barrier exchange.
-  [[nodiscard]] const void*& pointer_slot(int rank) {
-    return pointer_slots_[static_cast<std::size_t>(rank)];
-  }
-
-  /// Point-to-point channel from `source` to `destination`.
-  [[nodiscard]] Mailbox& mailbox(int source, int destination) {
-    return mailboxes_[static_cast<std::size_t>(source) *
-                          static_cast<std::size_t>(size_) +
-                      static_cast<std::size_t>(destination)];
-  }
-
- private:
-  static std::vector<int> identity_ranks(int size) {
-    std::vector<int> out(static_cast<std::size_t>(size));
-    for (int r = 0; r < size; ++r) out[static_cast<std::size_t>(r)] = r;
-    return out;
   }
 
   void throw_if_unusable(int rank) {
@@ -599,10 +857,6 @@ class Context {
     cv_.notify_all();
   }
 
-  int size_;
-  std::int64_t comm_id_ = next_comm_id();
-  std::shared_ptr<FailureRegistry> registry_;
-  std::vector<int> global_ranks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable recovery_cv_;
@@ -611,7 +865,6 @@ class Context {
   std::uint64_t generation_ = 0;
   std::uint64_t recovery_generation_ = 0;
   std::uint64_t release_snapshot_ = 0;
-  std::atomic<bool> revoked_{false};
   const void* recovery_slot_ = nullptr;
   std::vector<std::vector<std::uint8_t>> staging_;
   std::vector<const void*> pointer_slots_;
@@ -620,9 +873,12 @@ class Context {
 
 inline std::uint64_t FailureRegistry::mark_failed(int global_rank) {
   std::uint64_t my_seq = 0;
+  bool newly_failed = false;
+  std::function<void(int)> broadcast;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!failed_[static_cast<std::size_t>(global_rank)].exchange(true)) {
+      newly_failed = true;
       my_seq = fail_seq_.fetch_add(1) + 1;
       death_seq_[static_cast<std::size_t>(global_rank)] = my_seq;
     } else {
@@ -631,8 +887,10 @@ inline std::uint64_t FailureRegistry::mark_failed(int global_rank) {
     // Sweep under the registry lock (lock order: registry before context)
     // so a context cannot be unregistered and destroyed mid-sweep.
     for (Context* context : contexts_) context->on_failure_update();
+    if (newly_failed) broadcast = failure_broadcast_;
   }
   cv_.notify_all();
+  if (broadcast) broadcast(global_rank);
   return my_seq;
 }
 

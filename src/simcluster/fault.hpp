@@ -126,6 +126,16 @@ struct FaultPlan {
                                                    std::size_t n_faults);
 };
 
+/// Resolved effect of a FaultPlan one-sided entry on a single operation,
+/// handed from Comm's fault hook to the window backend executing the op:
+/// stall for `delay_seconds` (kDelay) and/or flip a mantissa bit of the
+/// payload's first element (kCorrupt). Transient entries never reach a
+/// backend — the hook throws TransientCommError instead.
+struct OneSidedAction {
+  double delay_seconds = 0.0;
+  bool corrupt = false;
+};
+
 /// Hang/stall detection policy for one communicator handle. Disarmed by
 /// default so the runtime's blocking waits stay plain condition-variable
 /// waits and seed behavior is bitwise unchanged; armed (timeout_ms > 0)

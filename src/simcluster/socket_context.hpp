@@ -1,0 +1,158 @@
+#pragma once
+// The multi-process communicator backend (ARCHITECTURE.md §11): one
+// SocketContext per (process, communicator), speaking the framed protocol
+// of src/transport/ over a SocketRuntime's connection mesh.
+//
+// Where the thread backend reads peer state directly, this backend keeps a
+// local mirror of the staging area and runs a full-mesh barrier: every
+// member broadcasts kBarrierEnter — carrying the staging slots it wrote
+// since the last barrier — and releases itself once every believed-alive
+// member's enter for the current generation has arrived. The full mesh
+// (rather than a leader) means a member death never strands protocol
+// state on a single coordinator: each process re-evaluates its own
+// release condition whenever the failure registry changes.
+//
+// Shrink runs rounds of kRecoveryEnter frames, each carrying the sender's
+// believed-failed set, until every survivor's set equals the union — the
+// survivors then deterministically build the same child communicator.
+// One-sided windows are served by the io thread from a per-context
+// exposure table, with request/reply correlation ids and optional CRC
+// guards mapping corruption to TransientCommError exactly like the
+// shared-memory backend.
+//
+// Communicator ids must agree across processes without shared memory:
+// each root context owns the half-open id interval
+// [lo, lo + span), derived from the per-process run ordinal, and children
+// carve deterministic sub-intervals out of it — every member runs the
+// same SPMD sequence of split/shrink calls, so slot ordinals (and thus
+// ids) match by construction.
+//
+// Internal header; users include cluster.hpp / comm.hpp.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "simcluster/context.hpp"
+#include "transport/socket_runtime.hpp"
+
+namespace uoi::sim::detail {
+
+class SocketContext final : public Context, public transport::FrameSink {
+ public:
+  /// `id_lo` is this communicator's id (identical on every member) and
+  /// [id_lo, id_lo + id_span) the interval its children carve ids from.
+  SocketContext(std::shared_ptr<transport::SocketRuntime> runtime,
+                std::shared_ptr<FailureRegistry> registry, int size,
+                int local_rank, std::vector<int> global_ranks,
+                std::int64_t id_lo, std::int64_t id_span);
+  ~SocketContext() override;
+
+  [[nodiscard]] bool shared_address_space() const noexcept override {
+    return false;
+  }
+
+  std::uint64_t barrier_wait(int rank, const WatchdogConfig* watchdog,
+                             RecoveryStats* recovery) override;
+  void revoke() override;
+  void on_failure_update() override;
+
+  [[nodiscard]] std::vector<std::uint8_t>& staging(int rank) override;
+  [[nodiscard]] const std::vector<std::uint8_t>& staging_view(
+      int rank) const override;
+
+  void p2p_send(int source, int destination, int tag,
+                std::vector<std::uint8_t> payload) override;
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> p2p_collect(
+      int source, int destination, int tag,
+      const std::function<bool()>& abort) override;
+
+  [[nodiscard]] std::shared_ptr<Context> make_child(
+      int parent_rank, int group_leader, int group_index,
+      std::vector<int> group_globals,
+      const std::function<void()>& sync) override;
+
+  [[nodiscard]] ShrinkResult shrink_exchange(int rank) override;
+
+  [[nodiscard]] std::shared_ptr<WindowBackend> make_window(
+      Comm& comm, std::span<double> local) override;
+
+  void on_frame(const transport::Frame& frame) override;
+
+ private:
+  friend class SocketWindowBackend;
+
+  /// One rank's registered window exposure, served to peers by the io
+  /// thread. shared_ptr so an in-flight request survives deregistration.
+  struct LocalWindow {
+    double* base = nullptr;
+    std::size_t size = 0;
+    std::mutex lock;
+  };
+
+  /// Releases every barrier generation whose believed-alive member set has
+  /// fully arrived. Caller holds mutex_; caller notifies cv_ afterwards.
+  void release_ready_generations_locked();
+
+  /// Alive members not yet arrived at generation `gen`, as global ranks.
+  /// Caller holds mutex_.
+  [[nodiscard]] std::vector<int> straggler_globals_locked(
+      std::uint64_t gen) const;
+
+  void watchdog_wait_locked(std::unique_lock<std::mutex>& lock, int rank,
+                            std::uint64_t my_generation,
+                            const WatchdogConfig& watchdog,
+                            RecoveryStats* recovery);
+
+  void handle_barrier_enter(const transport::BarrierEnterMsg& msg);
+  void handle_recovery_enter(const transport::RecoveryEnterMsg& msg);
+  void handle_win_request(const transport::WinRequestMsg& msg);
+
+  /// Sends `frame` to every other member (dead members' frames are dropped
+  /// by the runtime).
+  void broadcast_to_members(const transport::Frame& frame);
+
+  /// Sends a window request to `target` (a communicator-local rank) and
+  /// blocks until its reply arrives; nullopt when the target is dead.
+  [[nodiscard]] std::optional<transport::WinReplyMsg> window_roundtrip(
+      int target, const transport::WinRequestMsg& request);
+
+  std::shared_ptr<transport::SocketRuntime> runtime_;
+  const int local_rank_;
+  const std::int64_t id_lo_;
+  const std::int64_t id_span_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t release_snapshot_ = 0;
+  /// Arrived member sets per pending generation (at most two in flight:
+  /// a peer can run one barrier ahead, never more).
+  std::map<std::uint64_t, std::set<int>> arrived_;
+  /// Believed-failed sets per shrink agreement round.
+  std::map<std::uint64_t, std::map<int, std::vector<int>>> recovery_rounds_;
+  std::vector<std::vector<std::uint8_t>> mirror_;
+  std::set<int> dirty_slots_;
+  int child_seq_ = 0;
+
+  std::vector<Mailbox> inboxes_;  ///< indexed by source local rank
+
+  std::mutex win_mutex_;
+  std::condition_variable win_cv_;
+  std::uint64_t win_seq_ = 0;
+  std::map<std::uint64_t, std::shared_ptr<LocalWindow>> windows_;
+  std::map<std::uint64_t, transport::WinReplyMsg> pending_replies_;
+};
+
+/// Builds the root communicator context of one socket job run: global rank
+/// r is job rank r, ids carved from the per-run interval.
+[[nodiscard]] std::shared_ptr<SocketContext> make_root_socket_context(
+    std::shared_ptr<transport::SocketRuntime> runtime,
+    std::shared_ptr<FailureRegistry> registry, int n_ranks, int local_rank,
+    int run_index);
+
+}  // namespace uoi::sim::detail

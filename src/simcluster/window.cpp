@@ -15,22 +15,10 @@ namespace uoi::sim {
 
 namespace detail {
 
-struct WindowState {
-  explicit WindowState(std::size_t n_ranks)
-      : bases(n_ranks, nullptr), sizes(n_ranks, 0), locks(n_ranks) {}
-  std::vector<double*> bases;
-  std::vector<std::size_t> sizes;
-  std::vector<std::mutex> locks;
-};
-
-}  // namespace detail
-
-namespace {
-
 /// Deterministic payload corruption: one flipped mantissa bit in the first
 /// transferred element — large enough to derail a fit, small enough not to
-/// trip range checks.
-void corrupt_first(std::span<double> data) {
+/// trip range checks. Shared with the socket window backend.
+void corrupt_first_element(std::span<double> data) {
   if (data.empty()) return;
   std::uint64_t bits;
   std::memcpy(&bits, &data[0], sizeof(bits));
@@ -42,7 +30,7 @@ void corrupt_first(std::span<double> data) {
 /// guard: put/get checksum the source before the copy and verify the
 /// destination afterwards, turning corruption into a retryable
 /// TransientCommError. Off by default — the checksum costs a second pass
-/// over every transferred payload.
+/// over every transferred payload. Shared with the socket window backend.
 bool onesided_crc_enabled() {
   static const bool enabled = [] {
     const char* raw = std::getenv("UOI_ONESIDED_CRC");
@@ -52,40 +40,169 @@ bool onesided_crc_enabled() {
   return enabled;
 }
 
+namespace {
+
+/// Per-communicator registration table shared by every rank's thread
+/// window backend: raw base pointers into each rank's exposure buffer plus
+/// per-target locks serializing overlapping put/accumulate traffic.
+struct WindowState {
+  explicit WindowState(std::size_t n_ranks)
+      : bases(n_ranks, nullptr), sizes(n_ranks, 0), locks(n_ranks) {}
+  std::vector<double*> bases;
+  std::vector<std::size_t> sizes;
+  std::vector<std::mutex> locks;
+};
+
+/// Shared-memory data movement: direct loads/stores through the peers'
+/// registered base pointers. The seed Window implementation, verbatim,
+/// behind the WindowBackend interface. Ops never observe a dead target
+/// (the buffers outlive the epoch by the park/acknowledge protocol), so
+/// every op reports success.
+class ThreadWindowBackend final : public WindowBackend {
+ public:
+  ThreadWindowBackend(Comm& comm, std::shared_ptr<WindowState> state)
+      : comm_(&comm), state_(std::move(state)) {}
+
+  [[nodiscard]] std::size_t size_at(int rank) const override {
+    return state_->sizes[static_cast<std::size_t>(rank)];
+  }
+
+  [[nodiscard]] std::span<double> local() const override {
+    const auto r = static_cast<std::size_t>(comm_->rank());
+    return {state_->bases[r], state_->sizes[r]};
+  }
+
+  bool get(int target, std::size_t offset, std::span<double> out,
+           const OneSidedAction& action) override {
+    const auto t = static_cast<std::size_t>(target);
+    support::Stopwatch watch;
+    busy_wait_seconds(action.delay_seconds);
+    const bool check_crc = onesided_crc_enabled() && !out.empty();
+    std::uint32_t source_crc = 0;
+    if (!out.empty()) {
+      if (check_crc) {
+        source_crc =
+            support::crc32(state_->bases[t] + offset, out.size_bytes());
+      }
+      std::memcpy(out.data(), state_->bases[t] + offset, out.size_bytes());
+    }
+    if (action.corrupt) corrupt_first_element(out);
+    comm_->account_onesided(out.size_bytes(), watch.seconds(), target);
+    if (check_crc &&
+        support::crc32(out.data(), out.size_bytes()) != source_crc) {
+      auto& recovery = comm_->mutable_recovery_stats();
+      ++recovery.crc_detected;
+      ++recovery.transient_faults;
+      throw TransientCommError("one-sided get payload failed the CRC check");
+    }
+    return true;
+  }
+
+  bool put(int target, std::size_t offset, std::span<const double> in,
+           const OneSidedAction& action) override {
+    const auto t = static_cast<std::size_t>(target);
+    support::Stopwatch watch;
+    busy_wait_seconds(action.delay_seconds);
+    const bool check_crc = onesided_crc_enabled() && !in.empty();
+    bool crc_mismatch = false;
+    if (!in.empty()) {
+      const std::uint32_t source_crc =
+          check_crc ? support::crc32(in.data(), in.size_bytes()) : 0;
+      std::lock_guard<std::mutex> lock(state_->locks[t]);
+      std::memcpy(state_->bases[t] + offset, in.data(), in.size_bytes());
+      if (action.corrupt) {
+        corrupt_first_element({state_->bases[t] + offset, in.size()});
+      }
+      // Verify the landed bytes under the target lock so a concurrent put
+      // to an overlapping range cannot masquerade as corruption.
+      crc_mismatch =
+          check_crc &&
+          support::crc32(state_->bases[t] + offset, in.size_bytes()) !=
+              source_crc;
+    }
+    comm_->account_onesided(in.size_bytes(), watch.seconds(), target);
+    if (crc_mismatch) {
+      auto& recovery = comm_->mutable_recovery_stats();
+      ++recovery.crc_detected;
+      ++recovery.transient_faults;
+      throw TransientCommError("one-sided put payload failed the CRC check");
+    }
+    return true;
+  }
+
+  bool accumulate_add(int target, std::size_t offset,
+                      std::span<const double> in,
+                      const OneSidedAction& /*action*/) override {
+    const auto t = static_cast<std::size_t>(target);
+    support::Stopwatch watch;
+    if (!in.empty()) {
+      std::lock_guard<std::mutex> lock(state_->locks[t]);
+      double* base = state_->bases[t] + offset;
+      for (std::size_t i = 0; i < in.size(); ++i) base[i] += in[i];
+    }
+    comm_->account_onesided(in.size_bytes(), watch.seconds(), target);
+    return true;
+  }
+
+  bool fetch_add(int target, std::size_t offset, double delta,
+                 const OneSidedAction& action, double& previous) override {
+    const auto t = static_cast<std::size_t>(target);
+    support::Stopwatch watch;
+    busy_wait_seconds(action.delay_seconds);
+    {
+      std::lock_guard<std::mutex> lock(state_->locks[t]);
+      double* cell = state_->bases[t] + offset;
+      previous = *cell;
+      *cell += delta;
+    }
+    comm_->account_onesided(sizeof(double), watch.seconds(), target);
+    return true;
+  }
+
+ private:
+  Comm* comm_;
+  std::shared_ptr<WindowState> state_;
+};
+
 }  // namespace
 
-Window::Window(Comm& comm, std::span<double> local) : comm_(&comm) {
+std::shared_ptr<WindowBackend> ThreadContext::make_window(
+    Comm& comm, std::span<double> local) {
   const auto n_ranks = static_cast<std::size_t>(comm.size());
   // Rank 0 allocates the shared registration table; peers copy the
   // shared_ptr during the exchange (the source outlives the closing
   // barrier, so copying the control block is safe).
-  std::shared_ptr<detail::WindowState> holder;
+  std::shared_ptr<WindowState> holder;
   if (comm.rank() == 0) {
-    holder = std::make_shared<detail::WindowState>(n_ranks);
+    holder = std::make_shared<WindowState>(n_ranks);
   }
-  // Reuse the allgather machinery to publish the holder address: encode the
+  // Reuse the bcast machinery to publish the holder address: encode the
   // pointer-to-shared_ptr as a size_t from rank 0.
   std::size_t encoded = reinterpret_cast<std::size_t>(&holder);
   comm.bcast(std::span<std::size_t>(&encoded, 1), 0);
   const auto* source =
-      reinterpret_cast<const std::shared_ptr<detail::WindowState>*>(encoded);
-  state_ = *source;
+      reinterpret_cast<const std::shared_ptr<WindowState>*>(encoded);
+  auto state = *source;
   comm.barrier();  // rank 0's `holder` must stay alive until everyone copied
 
-  state_->bases[static_cast<std::size_t>(comm.rank())] = local.data();
-  state_->sizes[static_cast<std::size_t>(comm.rank())] = local.size();
+  state->bases[static_cast<std::size_t>(comm.rank())] = local.data();
+  state->sizes[static_cast<std::size_t>(comm.rank())] = local.size();
   comm.barrier();  // registration complete on all ranks
+  return std::make_shared<ThreadWindowBackend>(comm, std::move(state));
+}
+
+}  // namespace detail
+
+Window::Window(Comm& comm, std::span<double> local) : comm_(&comm) {
+  backend_ = comm.context_->make_window(comm, local);
 }
 
 std::size_t Window::size_at(int rank) const {
   UOI_CHECK(rank >= 0 && rank < comm_->size(), "window rank out of range");
-  return state_->sizes[static_cast<std::size_t>(rank)];
+  return backend_->size_at(rank);
 }
 
-std::span<double> Window::local() const {
-  const auto r = static_cast<std::size_t>(comm_->rank());
-  return {state_->bases[r], state_->sizes[r]};
-}
+std::span<double> Window::local() const { return backend_->local(); }
 
 void Window::get(int target, std::size_t offset, std::span<double> out) {
   UOI_CHECK(target >= 0 && target < comm_->size(), "get target out of range");
@@ -93,28 +210,10 @@ void Window::get(int target, std::size_t offset, std::span<double> out) {
     comm_->raise_rank_failed("one-sided get from a failed rank");
   }
   const auto action = comm_->onesided_fault_point();
-  const auto t = static_cast<std::size_t>(target);
-  UOI_CHECK_DIMS(offset + out.size() <= state_->sizes[t],
+  UOI_CHECK_DIMS(offset + out.size() <= backend_->size_at(target),
                  "one-sided get out of the target buffer's range");
-  support::Stopwatch watch;
-  detail::busy_wait_seconds(action.delay_seconds);
-  const bool check_crc = onesided_crc_enabled() && !out.empty();
-  std::uint32_t source_crc = 0;
-  if (!out.empty()) {
-    if (check_crc) {
-      source_crc =
-          support::crc32(state_->bases[t] + offset, out.size_bytes());
-    }
-    std::memcpy(out.data(), state_->bases[t] + offset, out.size_bytes());
-  }
-  if (action.corrupt) corrupt_first(out);
-  comm_->account_onesided(out.size_bytes(), watch.seconds(), target);
-  if (check_crc &&
-      support::crc32(out.data(), out.size_bytes()) != source_crc) {
-    auto& recovery = comm_->mutable_recovery_stats();
-    ++recovery.crc_detected;
-    ++recovery.transient_faults;
-    throw TransientCommError("one-sided get payload failed the CRC check");
+  if (!backend_->get(target, offset, out, action)) {
+    comm_->raise_rank_failed("one-sided get from a failed rank");
   }
 }
 
@@ -124,34 +223,10 @@ void Window::put(int target, std::size_t offset, std::span<const double> in) {
     comm_->raise_rank_failed("one-sided put to a failed rank");
   }
   const auto action = comm_->onesided_fault_point();
-  const auto t = static_cast<std::size_t>(target);
-  UOI_CHECK_DIMS(offset + in.size() <= state_->sizes[t],
+  UOI_CHECK_DIMS(offset + in.size() <= backend_->size_at(target),
                  "one-sided put out of the target buffer's range");
-  support::Stopwatch watch;
-  detail::busy_wait_seconds(action.delay_seconds);
-  const bool check_crc = onesided_crc_enabled() && !in.empty();
-  bool crc_mismatch = false;
-  if (!in.empty()) {
-    const std::uint32_t source_crc =
-        check_crc ? support::crc32(in.data(), in.size_bytes()) : 0;
-    std::lock_guard<std::mutex> lock(state_->locks[t]);
-    std::memcpy(state_->bases[t] + offset, in.data(), in.size_bytes());
-    if (action.corrupt) {
-      corrupt_first({state_->bases[t] + offset, in.size()});
-    }
-    // Verify the landed bytes under the target lock so a concurrent put to
-    // an overlapping range cannot masquerade as corruption.
-    crc_mismatch =
-        check_crc &&
-        support::crc32(state_->bases[t] + offset, in.size_bytes()) !=
-            source_crc;
-  }
-  comm_->account_onesided(in.size_bytes(), watch.seconds(), target);
-  if (crc_mismatch) {
-    auto& recovery = comm_->mutable_recovery_stats();
-    ++recovery.crc_detected;
-    ++recovery.transient_faults;
-    throw TransientCommError("one-sided put payload failed the CRC check");
+  if (!backend_->put(target, offset, in, action)) {
+    comm_->raise_rank_failed("one-sided put to a failed rank");
   }
 }
 
@@ -162,17 +237,12 @@ void Window::accumulate_add(int target, std::size_t offset,
   if (!comm_->is_alive(target)) {
     comm_->raise_rank_failed("one-sided accumulate to a failed rank");
   }
-  (void)comm_->onesided_fault_point();
-  const auto t = static_cast<std::size_t>(target);
-  UOI_CHECK_DIMS(offset + in.size() <= state_->sizes[t],
+  const auto action = comm_->onesided_fault_point();
+  UOI_CHECK_DIMS(offset + in.size() <= backend_->size_at(target),
                  "one-sided accumulate out of the target buffer's range");
-  support::Stopwatch watch;
-  if (!in.empty()) {
-    std::lock_guard<std::mutex> lock(state_->locks[t]);
-    double* base = state_->bases[t] + offset;
-    for (std::size_t i = 0; i < in.size(); ++i) base[i] += in[i];
+  if (!backend_->accumulate_add(target, offset, in, action)) {
+    comm_->raise_rank_failed("one-sided accumulate to a failed rank");
   }
-  comm_->account_onesided(in.size_bytes(), watch.seconds(), target);
 }
 
 double Window::fetch_add(int target, std::size_t offset, double delta) {
@@ -182,19 +252,12 @@ double Window::fetch_add(int target, std::size_t offset, double delta) {
     comm_->raise_rank_failed("one-sided fetch_add to a failed rank");
   }
   const auto action = comm_->onesided_fault_point();
-  const auto t = static_cast<std::size_t>(target);
-  UOI_CHECK_DIMS(offset + 1 <= state_->sizes[t],
+  UOI_CHECK_DIMS(offset + 1 <= backend_->size_at(target),
                  "one-sided fetch_add out of the target buffer's range");
-  support::Stopwatch watch;
-  detail::busy_wait_seconds(action.delay_seconds);
-  double previous;
-  {
-    std::lock_guard<std::mutex> lock(state_->locks[t]);
-    double* cell = state_->bases[t] + offset;
-    previous = *cell;
-    *cell += delta;
+  double previous = 0.0;
+  if (!backend_->fetch_add(target, offset, delta, action, previous)) {
+    comm_->raise_rank_failed("one-sided fetch_add to a failed rank");
   }
-  comm_->account_onesided(sizeof(double), watch.seconds(), target);
   return previous;
 }
 

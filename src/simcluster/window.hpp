@@ -21,7 +21,7 @@
 namespace uoi::sim {
 
 namespace detail {
-struct WindowState;
+class WindowBackend;
 }
 
 class Window {
@@ -65,7 +65,7 @@ class Window {
 
  private:
   Comm* comm_ = nullptr;
-  std::shared_ptr<detail::WindowState> state_;
+  std::shared_ptr<detail::WindowBackend> backend_;
 };
 
 }  // namespace uoi::sim

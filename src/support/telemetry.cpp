@@ -204,7 +204,16 @@ std::string TelemetryEmitter::build_snapshot_line(
 void TelemetryEmitter::write_line(std::string line) {
   pending_.push_back(std::move(line));
   while (pending_.size() > options_.max_buffered_lines) {
-    pending_.pop_front();
+    // Never drop the front line once part of it is on the wire — that
+    // would splice the tail of one record into the head of the next. Drop
+    // the oldest whole line instead.
+    if (socket_front_offset_ == 0) {
+      pending_.pop_front();
+    } else if (pending_.size() > 1) {
+      pending_.erase(pending_.begin() + 1);
+    } else {
+      break;
+    }
     ++lines_dropped_;
   }
   while (!pending_.empty()) {
@@ -219,25 +228,34 @@ void TelemetryEmitter::write_line(std::string line) {
 #if UOI_TELEMETRY_HAVE_UNIX_SOCKETS
     if (socket_fd_ >= 0) {
       const ssize_t n =
-          ::send(socket_fd_, front.data(), front.size(),
+          ::send(socket_fd_, front.data() + socket_front_offset_,
+                 front.size() - socket_front_offset_,
 #ifdef MSG_NOSIGNAL
                  MSG_NOSIGNAL
 #else
                  0
 #endif
           );
-      if (n == static_cast<ssize_t>(front.size())) {
-        ++lines_written_;
-        pending_.pop_front();
+      if (n > 0) {
+        // Short writes are routine on a socket with a small or full send
+        // buffer; resume from the offset until the record completes.
+        socket_front_offset_ += static_cast<std::size_t>(n);
+        if (socket_front_offset_ == front.size()) {
+          ++lines_written_;
+          pending_.pop_front();
+          socket_front_offset_ = 0;
+        }
         continue;
       }
+      if (n < 0 && errno == EINTR) continue;
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         return;  // backpressure: keep the line buffered, retry next tick
       }
-      // Partial write or hard error: drop the line rather than block or
-      // emit a torn record; a dead consumer must not stall the run.
+      // Hard error: the consumer is gone; drop the line rather than block
+      // or stall the run.
       ++lines_dropped_;
       pending_.pop_front();
+      socket_front_offset_ = 0;
       continue;
     }
 #endif

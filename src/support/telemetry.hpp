@@ -113,6 +113,10 @@ class TelemetryEmitter {
   std::uint64_t lines_written_ = 0;
   std::uint64_t lines_dropped_ = 0;
   std::deque<std::string> pending_;
+  /// Bytes of pending_.front() already on the socket: a line that started
+  /// transmitting must finish (short writes resume here), or the consumer
+  /// would see a torn record spliced into the next line.
+  std::size_t socket_front_offset_ = 0;
   std::map<int, TraceTotals> prev_totals_;
   std::chrono::steady_clock::time_point start_time_{};
 };

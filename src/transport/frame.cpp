@@ -1,0 +1,584 @@
+#include "transport/frame.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "support/crc32.hpp"
+
+namespace uoi::transport {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+bool valid_type(std::uint16_t raw) {
+  return raw >= static_cast<std::uint16_t>(FrameType::kHello) &&
+         raw <= static_cast<std::uint16_t>(FrameType::kGoodbye);
+}
+
+}  // namespace
+
+const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kEndpoints: return "endpoints";
+    case FrameType::kGo: return "go";
+    case FrameType::kBarrierEnter: return "barrier-enter";
+    case FrameType::kBarrierRelease: return "barrier-release";
+    case FrameType::kRecoveryEnter: return "recovery-enter";
+    case FrameType::kRecoveryRelease: return "recovery-release";
+    case FrameType::kP2p: return "p2p";
+    case FrameType::kWinRequest: return "win-request";
+    case FrameType::kWinReply: return "win-reply";
+    case FrameType::kHeartbeat: return "heartbeat";
+    case FrameType::kFailed: return "failed";
+    case FrameType::kRevoke: return "revoke";
+    case FrameType::kGoodbye: return "goodbye";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  if (frame.payload.size() > kMaxPayloadBytes) {
+    throw FrameError("frame payload exceeds the size limit");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  put_u32(out, kFrameMagic);
+  put_u16(out, static_cast<std::uint16_t>(frame.type));
+  put_u16(out, 0);  // flags, reserved
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  put_u32(out, support::crc32(frame.payload.data(), frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+std::optional<Frame> FrameReader::next() {
+  // Compact lazily: drop consumed prefix once it dominates the buffer, so
+  // feeding a long stream does not grow memory without bound.
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return std::nullopt;
+  const std::uint8_t* header = buffer_.data() + consumed_;
+  if (get_u32(header) != kFrameMagic) {
+    throw FrameError("bad frame magic: stream is out of sync");
+  }
+  const std::uint16_t raw_type = get_u16(header + 4);
+  if (!valid_type(raw_type)) {
+    throw FrameError("unknown frame type " + std::to_string(raw_type));
+  }
+  const std::uint32_t length = get_u32(header + 8);
+  if (length > kMaxPayloadBytes) {
+    throw FrameError("frame payload length " + std::to_string(length) +
+                     " exceeds the size limit");
+  }
+  if (available < kFrameHeaderBytes + length) return std::nullopt;
+  const std::uint32_t expected_crc = get_u32(header + 12);
+  const std::uint8_t* payload = header + kFrameHeaderBytes;
+  if (support::crc32(payload, length) != expected_crc) {
+    throw FrameError(std::string("frame payload failed the CRC check (") +
+                     to_string(static_cast<FrameType>(raw_type)) + ")");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(raw_type);
+  frame.payload.assign(payload, payload + length);
+  consumed_ += kFrameHeaderBytes + length;
+  return frame;
+}
+
+// --- Payload writer/reader -------------------------------------------------
+
+void PayloadWriter::u32(std::uint32_t v) { put_u32(*out_, v); }
+
+void PayloadWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PayloadWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void PayloadWriter::bytes(std::span<const std::uint8_t> v) {
+  u64(v.size());
+  out_->insert(out_->end(), v.begin(), v.end());
+}
+
+void PayloadWriter::str(const std::string& v) {
+  u64(v.size());
+  out_->insert(out_->end(), v.begin(), v.end());
+}
+
+void PayloadReader::need(std::size_t n) const {
+  if (pos_ + n > data_.size()) {
+    throw FrameError("truncated frame payload");
+  }
+}
+
+std::uint8_t PayloadReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t PayloadReader::u32() {
+  need(4);
+  const std::uint32_t v = get_u32(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t PayloadReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double PayloadReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::vector<std::uint8_t> PayloadReader::bytes() {
+  const std::uint64_t n = u64();
+  if (n > kMaxPayloadBytes) throw FrameError("implausible blob length");
+  need(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() +
+                                    static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += static_cast<std::size_t>(n);
+  return out;
+}
+
+std::string PayloadReader::str() {
+  const std::uint64_t n = u64();
+  if (n > kMaxPayloadBytes) throw FrameError("implausible string length");
+  need(static_cast<std::size_t>(n));
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_),
+                  static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return out;
+}
+
+void PayloadReader::expect_end() const {
+  if (pos_ != data_.size()) {
+    throw FrameError("trailing bytes after the last payload field");
+  }
+}
+
+// --- Typed messages --------------------------------------------------------
+
+namespace {
+
+Frame make_frame(FrameType type) {
+  Frame f;
+  f.type = type;
+  return f;
+}
+
+PayloadReader open(const Frame& frame, FrameType expected) {
+  if (frame.type != expected) {
+    throw FrameError(std::string("expected a ") + to_string(expected) +
+                     " frame, got " + to_string(frame.type));
+  }
+  return PayloadReader(frame.payload);
+}
+
+void write_rank_set(PayloadWriter& w, const std::vector<std::uint32_t>& set) {
+  w.u32(static_cast<std::uint32_t>(set.size()));
+  for (const auto r : set) w.u32(r);
+}
+
+std::vector<std::uint32_t> read_rank_set(PayloadReader& r) {
+  const std::uint32_t n = r.u32();
+  if (n > 1u << 20) throw FrameError("implausible rank-set size");
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.u32());
+  return out;
+}
+
+void write_updates(PayloadWriter& w, const std::vector<SlotUpdate>& updates) {
+  w.u32(static_cast<std::uint32_t>(updates.size()));
+  for (const auto& u : updates) {
+    w.u32(u.rank);
+    w.bytes(u.data);
+  }
+}
+
+std::vector<SlotUpdate> read_updates(PayloadReader& r) {
+  const std::uint32_t n = r.u32();
+  if (n > 1u << 20) throw FrameError("implausible update count");
+  std::vector<SlotUpdate> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    SlotUpdate u;
+    u.rank = r.u32();
+    u.data = r.bytes();
+    out.push_back(std::move(u));
+  }
+  return out;
+}
+
+}  // namespace
+
+Frame HelloMsg::encode() const {
+  Frame f = make_frame(FrameType::kHello);
+  PayloadWriter w(f.payload);
+  w.u32(rank);
+  return f;
+}
+HelloMsg HelloMsg::decode(const Frame& frame) {
+  auto r = open(frame, FrameType::kHello);
+  HelloMsg m;
+  m.rank = r.u32();
+  r.expect_end();
+  return m;
+}
+
+Frame EndpointsMsg::encode() const {
+  Frame f = make_frame(FrameType::kEndpoints);
+  PayloadWriter w(f.payload);
+  w.u32(static_cast<std::uint32_t>(paths.size()));
+  for (const auto& p : paths) w.str(p);
+  return f;
+}
+EndpointsMsg EndpointsMsg::decode(const Frame& frame) {
+  auto r = open(frame, FrameType::kEndpoints);
+  EndpointsMsg m;
+  const std::uint32_t n = r.u32();
+  if (n > 1u << 20) throw FrameError("implausible endpoint count");
+  m.paths.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) m.paths.push_back(r.str());
+  r.expect_end();
+  return m;
+}
+
+Frame GoMsg::encode() const { return make_frame(FrameType::kGo); }
+GoMsg GoMsg::decode(const Frame& frame) {
+  auto r = open(frame, FrameType::kGo);
+  r.expect_end();
+  return GoMsg{};
+}
+
+Frame BarrierEnterMsg::encode() const {
+  Frame f = make_frame(FrameType::kBarrierEnter);
+  PayloadWriter w(f.payload);
+  w.i64(comm_id);
+  w.u64(generation);
+  w.u32(local_rank);
+  write_updates(w, updates);
+  return f;
+}
+BarrierEnterMsg BarrierEnterMsg::decode(const Frame& frame) {
+  auto r = open(frame, FrameType::kBarrierEnter);
+  BarrierEnterMsg m;
+  m.comm_id = r.i64();
+  m.generation = r.u64();
+  m.local_rank = r.u32();
+  m.updates = read_updates(r);
+  r.expect_end();
+  return m;
+}
+
+Frame BarrierReleaseMsg::encode() const {
+  Frame f = make_frame(FrameType::kBarrierRelease);
+  PayloadWriter w(f.payload);
+  w.i64(comm_id);
+  w.u64(generation);
+  write_rank_set(w, failed_globals);
+  write_updates(w, updates);
+  return f;
+}
+BarrierReleaseMsg BarrierReleaseMsg::decode(const Frame& frame) {
+  auto r = open(frame, FrameType::kBarrierRelease);
+  BarrierReleaseMsg m;
+  m.comm_id = r.i64();
+  m.generation = r.u64();
+  m.failed_globals = read_rank_set(r);
+  m.updates = read_updates(r);
+  r.expect_end();
+  return m;
+}
+
+Frame RecoveryEnterMsg::encode() const {
+  Frame f = make_frame(FrameType::kRecoveryEnter);
+  PayloadWriter w(f.payload);
+  w.i64(comm_id);
+  w.u64(round);
+  w.u32(local_rank);
+  write_rank_set(w, failed_globals);
+  return f;
+}
+RecoveryEnterMsg RecoveryEnterMsg::decode(const Frame& frame) {
+  auto r = open(frame, FrameType::kRecoveryEnter);
+  RecoveryEnterMsg m;
+  m.comm_id = r.i64();
+  m.round = r.u64();
+  m.local_rank = r.u32();
+  m.failed_globals = read_rank_set(r);
+  r.expect_end();
+  return m;
+}
+
+Frame RecoveryReleaseMsg::encode() const {
+  Frame f = make_frame(FrameType::kRecoveryRelease);
+  PayloadWriter w(f.payload);
+  w.i64(comm_id);
+  w.u64(round);
+  write_rank_set(w, failed_globals);
+  return f;
+}
+RecoveryReleaseMsg RecoveryReleaseMsg::decode(const Frame& frame) {
+  auto r = open(frame, FrameType::kRecoveryRelease);
+  RecoveryReleaseMsg m;
+  m.comm_id = r.i64();
+  m.round = r.u64();
+  m.failed_globals = read_rank_set(r);
+  r.expect_end();
+  return m;
+}
+
+Frame P2pMsg::encode() const {
+  Frame f = make_frame(FrameType::kP2p);
+  PayloadWriter w(f.payload);
+  w.i64(comm_id);
+  w.u32(source);
+  w.u32(destination);
+  w.i32(tag);
+  w.bytes(data);
+  return f;
+}
+P2pMsg P2pMsg::decode(const Frame& frame) {
+  auto r = open(frame, FrameType::kP2p);
+  P2pMsg m;
+  m.comm_id = r.i64();
+  m.source = r.u32();
+  m.destination = r.u32();
+  m.tag = r.i32();
+  m.data = r.bytes();
+  r.expect_end();
+  return m;
+}
+
+Frame WinRequestMsg::encode() const {
+  Frame f = make_frame(FrameType::kWinRequest);
+  PayloadWriter w(f.payload);
+  w.i64(comm_id);
+  w.u64(window);
+  w.u64(request);
+  w.u32(origin);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u64(offset);
+  w.u64(count);
+  w.u8(want_crc);
+  w.f64(delta);
+  w.bytes(data);
+  return f;
+}
+WinRequestMsg WinRequestMsg::decode(const Frame& frame) {
+  auto r = open(frame, FrameType::kWinRequest);
+  WinRequestMsg m;
+  m.comm_id = r.i64();
+  m.window = r.u64();
+  m.request = r.u64();
+  m.origin = r.u32();
+  const std::uint8_t raw_op = r.u8();
+  if (raw_op > static_cast<std::uint8_t>(WinOp::kFetchAdd)) {
+    throw FrameError("unknown one-sided opcode");
+  }
+  m.op = static_cast<WinOp>(raw_op);
+  m.offset = r.u64();
+  m.count = r.u64();
+  m.want_crc = r.u8();
+  m.delta = r.f64();
+  m.data = r.bytes();
+  r.expect_end();
+  return m;
+}
+
+Frame WinReplyMsg::encode() const {
+  Frame f = make_frame(FrameType::kWinReply);
+  PayloadWriter w(f.payload);
+  w.i64(comm_id);
+  w.u64(request);
+  w.u8(static_cast<std::uint8_t>(status));
+  w.u32(crc);
+  w.f64(previous);
+  w.bytes(data);
+  return f;
+}
+WinReplyMsg WinReplyMsg::decode(const Frame& frame) {
+  auto r = open(frame, FrameType::kWinReply);
+  WinReplyMsg m;
+  m.comm_id = r.i64();
+  m.request = r.u64();
+  const std::uint8_t raw_status = r.u8();
+  if (raw_status > static_cast<std::uint8_t>(WinStatus::kNoWindow)) {
+    throw FrameError("unknown one-sided reply status");
+  }
+  m.status = static_cast<WinStatus>(raw_status);
+  m.crc = r.u32();
+  m.previous = r.f64();
+  m.data = r.bytes();
+  r.expect_end();
+  return m;
+}
+
+Frame HeartbeatMsg::encode() const {
+  Frame f = make_frame(FrameType::kHeartbeat);
+  PayloadWriter w(f.payload);
+  w.u32(rank);
+  w.u64(epoch);
+  return f;
+}
+HeartbeatMsg HeartbeatMsg::decode(const Frame& frame) {
+  auto r = open(frame, FrameType::kHeartbeat);
+  HeartbeatMsg m;
+  m.rank = r.u32();
+  m.epoch = r.u64();
+  r.expect_end();
+  return m;
+}
+
+Frame FailedMsg::encode() const {
+  Frame f = make_frame(FrameType::kFailed);
+  PayloadWriter w(f.payload);
+  w.u32(rank);
+  return f;
+}
+FailedMsg FailedMsg::decode(const Frame& frame) {
+  auto r = open(frame, FrameType::kFailed);
+  FailedMsg m;
+  m.rank = r.u32();
+  r.expect_end();
+  return m;
+}
+
+Frame RevokeMsg::encode() const {
+  Frame f = make_frame(FrameType::kRevoke);
+  PayloadWriter w(f.payload);
+  w.i64(comm_id);
+  return f;
+}
+RevokeMsg RevokeMsg::decode(const Frame& frame) {
+  auto r = open(frame, FrameType::kRevoke);
+  RevokeMsg m;
+  m.comm_id = r.i64();
+  r.expect_end();
+  return m;
+}
+
+Frame GoodbyeMsg::encode() const {
+  Frame f = make_frame(FrameType::kGoodbye);
+  PayloadWriter w(f.payload);
+  w.u32(rank);
+  return f;
+}
+GoodbyeMsg GoodbyeMsg::decode(const Frame& frame) {
+  auto r = open(frame, FrameType::kGoodbye);
+  GoodbyeMsg m;
+  m.rank = r.u32();
+  r.expect_end();
+  return m;
+}
+
+// --- Blocking fd helpers ---------------------------------------------------
+
+void write_all(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw FrameError(std::string("write failed: ") + std::strerror(errno));
+  }
+}
+
+namespace {
+
+void read_exact(int fd, std::uint8_t* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, out + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) throw FrameError("connection closed mid-frame");
+    if (errno == EINTR) continue;
+    throw FrameError(std::string("read failed: ") + std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+Frame read_frame(int fd) {
+  // Reads exactly one frame and not a byte more: the bootstrap handshake
+  // interleaves these blocking reads with handing the same fd over to the
+  // io thread's FrameReader, so over-reading here would silently swallow
+  // whatever frame the peer pipelined next (its first barrier enter, say).
+  std::uint8_t header[kFrameHeaderBytes];
+  read_exact(fd, header, sizeof(header));
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(header[8]) |
+      static_cast<std::uint32_t>(header[9]) << 8 |
+      static_cast<std::uint32_t>(header[10]) << 16 |
+      static_cast<std::uint32_t>(header[11]) << 24;
+  if (payload_len > kMaxPayloadBytes) {
+    throw FrameError("oversized frame payload: " + std::to_string(payload_len));
+  }
+  FrameReader reader;
+  reader.feed({header, sizeof(header)});
+  std::vector<std::uint8_t> payload(payload_len);
+  read_exact(fd, payload.data(), payload.size());
+  reader.feed(payload);
+  auto frame = reader.next();  // validates magic, type, and payload CRC
+  if (!frame) throw FrameError("frame decoder stalled on a complete frame");
+  return std::move(*frame);
+}
+
+void write_frame(int fd, const Frame& frame) {
+  write_all(fd, encode_frame(frame));
+}
+
+}  // namespace uoi::transport

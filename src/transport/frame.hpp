@@ -1,0 +1,290 @@
+#pragma once
+// Wire format of the socket transport backend (ARCHITECTURE.md §11).
+//
+// Every message travels as one length-prefixed frame:
+//
+//   +--------+------+-------+-------------+-------------+=============+
+//   | magic  | type | flags | payload_len | payload_crc |   payload   |
+//   | u32    | u16  | u16   | u32         | u32         |  (len bytes)|
+//   +--------+------+-------+-------------+-------------+=============+
+//
+// All integers little-endian (the backend targets a single-architecture
+// job; fields are still serialized byte-by-byte so the format is
+// unambiguous and testable). payload_crc is CRC-32 (support/crc32) over
+// the payload bytes; a mismatch means in-flight corruption and the frame
+// is rejected with FrameError — the receiving layer maps that to
+// TransientCommError so the one-sided retry path can absorb it.
+//
+// FrameReader consumes an arbitrary byte stream incrementally (short
+// reads, split headers, coalesced frames) and yields complete validated
+// frames. The blocking read_frame/write helpers below handle EINTR and
+// partial transfers, which the nonblocking runtime re-implements around
+// poll().
+//
+// This layer depends only on uoi_support; it knows nothing about
+// communicators or the simcluster runtime.
+
+#include <cstdint>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace uoi::transport {
+
+/// A malformed, truncated, or corrupted frame (bad magic, unknown type,
+/// oversized length, CRC mismatch). The connection that produced it is
+/// unusable — framing has lost sync.
+class FrameError : public uoi::support::Error {
+ public:
+  using Error::Error;
+};
+
+enum class FrameType : std::uint16_t {
+  kHello = 1,            ///< joiner -> leader / mesh peer: my job rank
+  kEndpoints = 2,        ///< leader -> joiner: the endpoint table
+  kGo = 3,               ///< leader -> joiner: bootstrap complete
+  kBarrierEnter = 4,     ///< member -> barrier leader (+ dirty staging slots)
+  kBarrierRelease = 5,   ///< barrier leader -> member (+ merged updates)
+  kRecoveryEnter = 6,    ///< survivor -> recovery leader (+ failed set)
+  kRecoveryRelease = 7,  ///< recovery leader -> survivor (agreed failed set)
+  kP2p = 8,              ///< point-to-point message
+  kWinRequest = 9,       ///< one-sided operation request
+  kWinReply = 10,        ///< one-sided operation reply
+  kHeartbeat = 11,       ///< transport keepalive carrying a progress epoch
+  kFailed = 12,          ///< a rank is agreed dead
+  kRevoke = 13,          ///< a communicator is revoked
+  kGoodbye = 14,         ///< clean shutdown: subsequent EOF is not a death
+};
+
+[[nodiscard]] const char* to_string(FrameType type);
+
+/// One decoded frame: a validated type plus its raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::vector<std::uint8_t> payload;
+};
+
+inline constexpr std::uint32_t kFrameMagic = 0x46494F55u;  // "UOIF"
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Upper bound on a payload; far above any real message (the largest are
+/// window transfers and merged staging updates) but small enough that a
+/// desynchronized stream cannot trigger a multi-gigabyte allocation.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
+
+/// Serializes a frame (header + payload, CRC filled in).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Incremental frame decoder: feed() arbitrary byte chunks, next() pops
+/// complete frames. Throws FrameError on a malformed header or a payload
+/// CRC mismatch; after a throw the stream is unusable.
+class FrameReader {
+ public:
+  void feed(std::span<const std::uint8_t> bytes) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// The next complete frame, or nullopt if more bytes are needed.
+  [[nodiscard]] std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed (diagnostics; a nonempty value at
+  /// EOF means the peer died mid-frame).
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+};
+
+// --- Payload (de)serialization helpers ------------------------------------
+
+/// Appends little-endian fields to a payload under construction.
+class PayloadWriter {
+ public:
+  explicit PayloadWriter(std::vector<std::uint8_t>& out) : out_(&out) {}
+  void u8(std::uint8_t v) { out_->push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  /// Length-prefixed byte blob.
+  void bytes(std::span<const std::uint8_t> v);
+  /// Length-prefixed string.
+  void str(const std::string& v);
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+/// Reads little-endian fields back; throws FrameError on underrun or an
+/// implausible length prefix, so truncated payloads are rejected rather
+/// than read out of bounds.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const std::uint8_t> data) : data_(data) {}
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::vector<std::uint8_t> bytes();
+  [[nodiscard]] std::string str();
+  /// All fields consumed exactly; call at the end of a decode.
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// --- Typed messages --------------------------------------------------------
+//
+// Each message encodes to / decodes from one frame of its type. decode()
+// throws FrameError on any structural problem (wrong type, truncation,
+// trailing garbage).
+
+struct HelloMsg {
+  std::uint32_t rank = 0;
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static HelloMsg decode(const Frame& frame);
+};
+
+struct EndpointsMsg {
+  std::vector<std::string> paths;  ///< indexed by job rank
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static EndpointsMsg decode(const Frame& frame);
+};
+
+struct GoMsg {
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static GoMsg decode(const Frame& frame);
+};
+
+/// A rank's staging-slot write, published at the next barrier.
+struct SlotUpdate {
+  std::uint32_t rank = 0;  ///< communicator-local slot index
+  std::vector<std::uint8_t> data;
+};
+
+struct BarrierEnterMsg {
+  std::int64_t comm_id = 0;
+  std::uint64_t generation = 0;
+  std::uint32_t local_rank = 0;
+  std::vector<SlotUpdate> updates;
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static BarrierEnterMsg decode(const Frame& frame);
+};
+
+struct BarrierReleaseMsg {
+  std::int64_t comm_id = 0;
+  std::uint64_t generation = 0;
+  std::vector<std::uint32_t> failed_globals;  ///< job-wide dead ranks
+  std::vector<SlotUpdate> updates;            ///< merged from every enter
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static BarrierReleaseMsg decode(const Frame& frame);
+};
+
+struct RecoveryEnterMsg {
+  std::int64_t comm_id = 0;
+  std::uint64_t round = 0;
+  std::uint32_t local_rank = 0;
+  std::vector<std::uint32_t> failed_globals;  ///< joiner's believed-dead set
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static RecoveryEnterMsg decode(const Frame& frame);
+};
+
+struct RecoveryReleaseMsg {
+  std::int64_t comm_id = 0;
+  std::uint64_t round = 0;
+  std::vector<std::uint32_t> failed_globals;  ///< agreed union
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static RecoveryReleaseMsg decode(const Frame& frame);
+};
+
+struct P2pMsg {
+  std::int64_t comm_id = 0;
+  std::uint32_t source = 0;       ///< communicator-local sender
+  std::uint32_t destination = 0;  ///< communicator-local receiver
+  std::int32_t tag = 0;
+  std::vector<std::uint8_t> data;
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static P2pMsg decode(const Frame& frame);
+};
+
+enum class WinOp : std::uint8_t { kGet = 0, kPut = 1, kAccumulate = 2, kFetchAdd = 3 };
+
+struct WinRequestMsg {
+  std::int64_t comm_id = 0;
+  std::uint64_t window = 0;  ///< per-communicator window ordinal
+  std::uint64_t request = 0;  ///< origin-process-unique correlation id
+  std::uint32_t origin = 0;   ///< communicator-local requesting rank
+  WinOp op = WinOp::kGet;
+  std::uint64_t offset = 0;  ///< element offset into the target buffer
+  std::uint64_t count = 0;   ///< elements to read (kGet)
+  std::uint8_t want_crc = 0;  ///< target returns a payload CRC (kGet/kPut)
+  double delta = 0.0;         ///< kFetchAdd operand
+  std::vector<std::uint8_t> data;  ///< kPut/kAccumulate payload (raw doubles)
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static WinRequestMsg decode(const Frame& frame);
+};
+
+enum class WinStatus : std::uint8_t { kOk = 0, kNoWindow = 1 };
+
+struct WinReplyMsg {
+  std::int64_t comm_id = 0;
+  std::uint64_t request = 0;
+  WinStatus status = WinStatus::kOk;
+  std::uint32_t crc = 0;      ///< CRC of the server-side payload (want_crc)
+  double previous = 0.0;      ///< kFetchAdd result
+  std::vector<std::uint8_t> data;  ///< kGet payload (raw doubles)
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static WinReplyMsg decode(const Frame& frame);
+};
+
+struct HeartbeatMsg {
+  std::uint32_t rank = 0;      ///< sender's job rank
+  std::uint64_t epoch = 0;     ///< sender's progress epoch
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static HeartbeatMsg decode(const Frame& frame);
+};
+
+struct FailedMsg {
+  std::uint32_t rank = 0;  ///< the job rank agreed dead (may be a third party)
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static FailedMsg decode(const Frame& frame);
+};
+
+struct RevokeMsg {
+  std::int64_t comm_id = 0;
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static RevokeMsg decode(const Frame& frame);
+};
+
+struct GoodbyeMsg {
+  std::uint32_t rank = 0;
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static GoodbyeMsg decode(const Frame& frame);
+};
+
+// --- Blocking fd helpers (bootstrap path) ----------------------------------
+
+/// Writes all of `bytes` to `fd`, looping over EINTR and partial writes.
+/// Throws FrameError on a hard error (the bootstrap connection is dead).
+void write_all(int fd, std::span<const std::uint8_t> bytes);
+
+/// Reads exactly one frame from `fd` (blocking), looping over EINTR and
+/// short reads. Throws FrameError on EOF or a hard error.
+[[nodiscard]] Frame read_frame(int fd);
+
+/// Convenience: encode + write_all.
+void write_frame(int fd, const Frame& frame);
+
+}  // namespace uoi::transport

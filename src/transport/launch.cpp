@@ -1,0 +1,194 @@
+#include "transport/launch.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace uoi::transport {
+
+namespace {
+
+long env_grace_ms() {
+  const char* raw = std::getenv("UOI_LAUNCH_GRACE_MS");
+  if (raw == nullptr || raw[0] == '\0') return -1;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < 0) return -1;
+  return value;
+}
+
+void remove_job_dir(const std::string& dir) {
+  // Only endpoint sockets and rank logs live here; remove what we know.
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle != nullptr) {
+    while (dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(handle);
+  }
+  ::rmdir(dir.c_str());
+}
+
+/// waitpid that never blocks; returns true when the child was reaped.
+bool try_reap(pid_t pid, int& status) {
+  const pid_t r = ::waitpid(pid, &status, WNOHANG);
+  return r == pid;
+}
+
+}  // namespace
+
+int launch_job(const LaunchOptions& options,
+               const std::vector<std::string>& command) {
+  UOI_CHECK(options.ranks >= 1, "launch needs at least one rank");
+  UOI_CHECK(!command.empty(), "launch needs a command to run");
+
+  std::string dir = options.job_dir;
+  bool owns_dir = false;
+  if (dir.empty()) {
+    char tmpl[] = "/tmp/uoi-job-XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      throw uoi::support::Error(std::string("mkdtemp failed: ") +
+                                std::strerror(errno));
+    }
+    dir = tmpl;
+    owns_dir = true;
+  }
+
+  long grace_ms = env_grace_ms();
+  if (grace_ms < 0) grace_ms = options.grace_ms;
+
+  std::vector<char*> argv;
+  argv.reserve(command.size() + 1);
+  for (const auto& arg : command) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  std::vector<pid_t> children(static_cast<std::size_t>(options.ranks), -1);
+  for (int r = 0; r < options.ranks; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      for (int k = 0; k < r; ++k) ::kill(children[static_cast<std::size_t>(k)], SIGKILL);
+      throw uoi::support::Error(std::string("fork failed: ") +
+                                std::strerror(errno));
+    }
+    if (pid == 0) {
+      ::setenv("UOI_TRANSPORT", "socket", 1);
+      ::setenv("UOI_JOB_RANK", std::to_string(r).c_str(), 1);
+      ::setenv("UOI_JOB_SIZE", std::to_string(options.ranks).c_str(), 1);
+      ::setenv("UOI_JOB_DIR", dir.c_str(), 1);
+      if (r != 0) {
+        const std::string log_path = dir + "/rank-" + std::to_string(r) + ".log";
+        const int log_fd =
+            ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (log_fd >= 0) {
+          ::dup2(log_fd, STDOUT_FILENO);
+          ::dup2(log_fd, STDERR_FILENO);
+          ::close(log_fd);
+        }
+      }
+      ::execvp(argv[0], argv.data());
+      // Only reached when exec failed.
+      std::fprintf(stderr, "uoi launch: exec %s failed: %s\n", argv[0],
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    children[static_cast<std::size_t>(r)] = pid;
+  }
+
+  UOI_LOG_INFO.field("ranks", options.ranks).field("dir", dir)
+      << "launched socket job";
+
+  // Wait for rank 0; reap other ranks opportunistically as they finish.
+  int rank0_status = 0;
+  std::vector<bool> reaped(static_cast<std::size_t>(options.ranks), false);
+  std::vector<int> statuses(static_cast<std::size_t>(options.ranks), 0);
+  while (!reaped[0]) {
+    for (int r = 0; r < options.ranks; ++r) {
+      if (reaped[static_cast<std::size_t>(r)]) continue;
+      int status = 0;
+      if (try_reap(children[static_cast<std::size_t>(r)], status)) {
+        reaped[static_cast<std::size_t>(r)] = true;
+        statuses[static_cast<std::size_t>(r)] = status;
+        if (r == 0) rank0_status = status;
+      }
+    }
+    if (!reaped[0]) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  // Grace period for the rest, then SIGKILL stragglers.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(grace_ms);
+  for (;;) {
+    bool all = true;
+    for (int r = 1; r < options.ranks; ++r) {
+      if (reaped[static_cast<std::size_t>(r)]) continue;
+      int status = 0;
+      if (try_reap(children[static_cast<std::size_t>(r)], status)) {
+        reaped[static_cast<std::size_t>(r)] = true;
+        statuses[static_cast<std::size_t>(r)] = status;
+      } else {
+        all = false;
+      }
+    }
+    if (all) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      for (int r = 1; r < options.ranks; ++r) {
+        if (reaped[static_cast<std::size_t>(r)]) continue;
+        UOI_LOG_WARN.field("rank", r)
+            << "rank still running after rank 0 exited; killing it";
+        ::kill(children[static_cast<std::size_t>(r)], SIGKILL);
+        int status = 0;
+        ::waitpid(children[static_cast<std::size_t>(r)], &status, 0);
+        reaped[static_cast<std::size_t>(r)] = true;
+        statuses[static_cast<std::size_t>(r)] = status;
+      }
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  int rc = WIFEXITED(rank0_status) ? WEXITSTATUS(rank0_status) : 1;
+  if (WIFSIGNALED(rank0_status)) {
+    UOI_LOG_WARN.field("signal", WTERMSIG(rank0_status))
+        << "rank 0 died on a signal";
+    rc = 128 + WTERMSIG(rank0_status);
+  }
+  for (int r = 1; r < options.ranks; ++r) {
+    const int status = statuses[static_cast<std::size_t>(r)];
+    if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) {
+      // Deliberate: fault plans SIGKILL ranks and the job recovers.
+      UOI_LOG_WARN.field("rank", r) << "rank was killed (expected under fault injection)";
+      continue;
+    }
+    if ((WIFEXITED(status) && WEXITSTATUS(status) != 0) || WIFSIGNALED(status)) {
+      UOI_LOG_WARN.field("rank", r).field("status", status)
+          << "rank exited abnormally";
+      if (rc == 0) rc = 1;
+    }
+  }
+
+  if (owns_dir) remove_job_dir(dir);
+  return rc;
+}
+
+}  // namespace uoi::transport

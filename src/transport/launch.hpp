@@ -1,0 +1,34 @@
+#pragma once
+// Process launcher for the socket transport backend (`uoi launch`).
+//
+// Spawns one OS process per rank with the $UOI_TRANSPORT / $UOI_JOB_*
+// environment set, creates the rendezvous directory, and reaps children.
+// Rank 0 is the job's mouthpiece: its exit code becomes the job's exit
+// code and only its stdout/stderr stay on the launcher's terminal; other
+// ranks log to $UOI_JOB_DIR/rank-<r>.log. A child that dies by SIGKILL is
+// reported but does not fail the job (fault-injection runs kill ranks on
+// purpose and recover); any other abnormal child exit does.
+
+#include <string>
+#include <vector>
+
+namespace uoi::transport {
+
+struct LaunchOptions {
+  int ranks = 2;
+  /// Rendezvous directory; empty means a fresh mkdtemp under /tmp that the
+  /// launcher removes afterwards.
+  std::string job_dir;
+  /// Grace period after rank 0 exits before stragglers are SIGKILLed
+  /// ($UOI_LAUNCH_GRACE_MS, default 10000).
+  long grace_ms = 10000;
+};
+
+/// Runs `command` (argv-style, command[0] is the executable) once per rank
+/// and returns the job exit code (rank 0's exit code, or nonzero if a
+/// non-SIGKILL child failure occurred). Throws support::Error on setup
+/// failures (fork, mkdtemp, ...).
+int launch_job(const LaunchOptions& options,
+               const std::vector<std::string>& command);
+
+}  // namespace uoi::transport

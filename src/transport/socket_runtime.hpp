@@ -1,0 +1,168 @@
+#pragma once
+// Per-process socket transport runtime (ARCHITECTURE.md §11).
+//
+// One SocketRuntime connects this process (one job rank) to every peer
+// rank over Unix-domain stream sockets:
+//
+//   bootstrap   leader-brokered: every rank listens at
+//               $UOI_JOB_DIR/ep-<run>-<rank>.sock; ranks > 0 dial rank 0
+//               and send kHello; once all hellos arrived the leader
+//               replies with the endpoint table (kEndpoints) and kGo;
+//               each rank then dials every lower-ranked peer to complete
+//               the full mesh. The broker doubles as a startup barrier.
+//   io thread   a single thread owns every connection after bootstrap:
+//               poll()-driven nonblocking reads feed per-peer
+//               FrameReaders; writes drain per-peer outbound queues
+//               (handling EINTR / partial transfers); a keepalive tick
+//               heartbeats this rank's progress epoch to every peer.
+//   dispatch    ALL frames — including frames this rank sends to itself —
+//               are dispatched on the io thread, so sinks never race
+//               with themselves. Comm-scoped frames (payload leading
+//               with a comm id) route to the FrameSink registered for
+//               that id; early frames for a not-yet-registered id are
+//               parked and replayed at registration. Job-scoped frames
+//               (heartbeat / failed / goodbye) drive the JobHooks.
+//   failure     a connection EOF or hard error without a preceding
+//               kGoodbye means the peer process died: the runtime
+//               reports it through JobHooks::peer_failed, which is how
+//               real process death (SIGKILL) enters the watchdog's
+//               alive -> suspected -> agreed-failed protocol.
+//
+// This layer depends only on uoi_support; the simcluster glue lives in
+// simcluster/socket_context.*.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/frame.hpp"
+
+namespace uoi::transport {
+
+/// Identity of this process within a socket job, normally read from the
+/// environment the launcher set up.
+struct JobConfig {
+  int rank = 0;
+  int size = 1;
+  std::string dir;           ///< rendezvous directory for endpoint sockets
+  long keepalive_ms = 50;    ///< heartbeat interval ($UOI_TRANSPORT_KEEPALIVE_MS)
+  int run_index = 0;         ///< disambiguates multiple jobs per process
+};
+
+/// True when this process runs under `uoi launch` with the socket backend:
+/// $UOI_TRANSPORT == "socket" and the $UOI_JOB_* triplet is present. Read
+/// fresh on every call (never cached) so forked child processes that set
+/// the environment after startup observe their own values.
+[[nodiscard]] bool socket_job_active();
+
+/// The job identity from $UOI_JOB_RANK / $UOI_JOB_SIZE / $UOI_JOB_DIR, or
+/// nullopt when the job environment is absent or malformed.
+[[nodiscard]] std::optional<JobConfig> job_config_from_env();
+
+/// Receiver of comm-scoped frames. on_frame always runs on the runtime's
+/// io thread; implementations must not block indefinitely.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual void on_frame(const Frame& frame) = 0;
+};
+
+/// Job-level callbacks (all invoked from the io thread).
+struct JobHooks {
+  /// A peer process is dead: its connection closed without a goodbye, or
+  /// a kFailed frame announced an agreed death.
+  std::function<void(int rank)> peer_failed;
+  /// A keepalive carried the peer's progress epoch.
+  std::function<void(int rank, std::uint64_t epoch)> peer_progress;
+  /// This rank's own progress epoch, stamped into outgoing keepalives.
+  std::function<std::uint64_t()> own_epoch;
+};
+
+class SocketRuntime {
+ public:
+  /// Bootstraps the full connection mesh (blocking) and starts the io
+  /// thread. Throws FrameError if a peer cannot be reached. Pass the job
+  /// hooks here: frames can arrive the instant the io thread starts.
+  explicit SocketRuntime(const JobConfig& config, JobHooks hooks = {});
+  SocketRuntime(const SocketRuntime&) = delete;
+  SocketRuntime& operator=(const SocketRuntime&) = delete;
+  ~SocketRuntime();
+
+  [[nodiscard]] int rank() const noexcept { return config_.rank; }
+  [[nodiscard]] int size() const noexcept { return config_.size; }
+
+  /// Routes frames whose payload leads with `comm_id` to `sink`. Frames
+  /// that arrived before registration are replayed (on the io thread)
+  /// right after it. One sink per id.
+  void register_sink(std::int64_t comm_id, FrameSink* sink);
+
+  /// Stops routing for `comm_id`; late frames for it are dropped.
+  void unregister_sink(std::int64_t comm_id);
+
+  /// Enqueues `frame` for `peer` (a job rank) and wakes the io thread.
+  /// Sending to self is allowed and dispatches through the same io-thread
+  /// path as remote frames. Sends to a dead/closed peer are dropped
+  /// silently — failure is observed through JobHooks, not send errors.
+  void send(int peer, const Frame& frame);
+
+  /// Broadcasts to every peer except self.
+  void broadcast(const Frame& frame);
+
+  /// True once `peer`'s connection is gone (goodbye or death).
+  [[nodiscard]] bool peer_closed(int peer) const;
+
+  /// Announces a clean exit (kGoodbye) to every peer, flushes the
+  /// outbound queues, and stops the io thread. Idempotent; the
+  /// destructor calls it.
+  void shutdown();
+
+ private:
+  struct Peer {
+    int fd = -1;
+    FrameReader reader;
+    std::deque<std::vector<std::uint8_t>> outbound;  // guarded by out_mutex_
+    std::size_t front_offset = 0;                    // bytes of front already sent
+    bool goodbye_received = false;
+    bool closed = false;  ///< fd closed (goodbye, death, or job end)
+    bool failure_reported = false;
+  };
+
+  void bootstrap();
+  void io_loop();
+  void wake();
+  void dispatch(const Frame& frame);
+  void handle_peer_input(int peer);
+  void flush_peer_output(int peer);
+  void close_peer(int peer, bool peer_died);
+  void send_keepalives();
+
+  JobConfig config_;
+  const JobHooks hooks_;  ///< immutable after construction
+  std::vector<std::string> endpoint_paths_;
+  std::vector<Peer> peers_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+
+  mutable std::mutex out_mutex_;  ///< guards outbound queues + self queue
+  std::deque<Frame> self_queue_;
+
+  std::mutex sink_mutex_;  ///< guards sinks_ / orphans_ / retired_
+  std::map<std::int64_t, FrameSink*> sinks_;
+  std::map<std::int64_t, std::deque<Frame>> orphans_;
+  std::set<std::int64_t> retired_;
+
+  std::atomic<bool> stopping_{false};
+  bool shut_down_ = false;
+  std::thread io_thread_;
+};
+
+}  // namespace uoi::transport

@@ -13,6 +13,15 @@
 #include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
 #include "support/telemetry.hpp"
 #include "support/trace.hpp"
 
@@ -165,6 +174,94 @@ TEST_F(TelemetryTest, OptionsFromEnvClampInterval) {
   ::unsetenv("UOI_TELEMETRY_INTERVAL_MS");
   EXPECT_EQ(telemetry_options_from_env("s").interval_ms, 500);
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST_F(TelemetryTest, SocketSinkResumesShortWritesWithoutTearingRecords) {
+  // Regression test for the short-write bug: a nonblocking send() that
+  // takes only a prefix of a record must resume from that offset, not drop
+  // the rest — otherwise the consumer sees the tail of one record spliced
+  // into the head of the next. Force the condition by making each snapshot
+  // line far larger than a socket send buffer (so no single send() can
+  // take it whole) and draining the consumer side slowly in small chunks.
+  auto& metrics = MetricsRegistry::instance();
+  const std::string padding(48, 'x');
+  for (int i = 0; i < 6000; ++i) {
+    metrics.set(i % 4, "padding." + padding + "." + std::to_string(i), 1.0);
+  }
+
+  const std::string path = "telemetry_shortwrite.sock";
+  std::remove(path.c_str());
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(path.size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+
+  TelemetryOptions options;
+  options.sink = "unix:" + path;
+  options.interval_ms = 10;
+  TelemetryEmitter emitter(options);
+  ASSERT_TRUE(emitter.start());
+  const int conn = ::accept(listener, nullptr, nullptr);
+  ASSERT_GE(conn, 0);
+  // Shrink the kernel buffering as far as it will let us, so backpressure
+  // (and with it the partial-send path) kicks in early and often.
+  int tiny = 1;
+  ::setsockopt(conn, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+
+  std::string stream;
+  char chunk[4096];
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (emitter.lines_written() < 4 &&
+         std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::recv(conn, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (n > 0) {
+      stream.append(chunk, static_cast<std::size_t>(n));
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  EXPECT_GE(emitter.lines_written(), 4u);
+  emitter.stop();
+  // The emitter closed its end; drain the delivered remainder to EOF.
+  for (;;) {
+    const ssize_t n = ::recv(conn, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      stream.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    break;
+  }
+  ::close(conn);
+  ::close(listener);
+  std::remove(path.c_str());
+
+  // Every newline-terminated record must parse — a torn record (the
+  // pre-fix failure) concatenates two half lines into unparseable JSON.
+  // An unterminated trailing fragment is fine: it is a record the close
+  // legitimately cut off mid-transmission, and it was never counted in
+  // lines_written().
+  std::size_t parsed = 0;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = stream.find('\n', start);
+    if (nl == std::string::npos) break;
+    const std::string line = stream.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+    const auto sample = parse_telemetry_line(line);
+    EXPECT_TRUE(sample.valid)
+        << sample.error << "\nline length " << line.size();
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, emitter.lines_written());
+}
+#endif
 
 TEST_F(TelemetryTest, ParserRejectsMalformedAndForeignLines) {
   EXPECT_FALSE(parse_telemetry_line("").valid);

@@ -1,0 +1,312 @@
+// Tests for src/transport's wire format: encode/decode round-trips for
+// every message type, header structure, rejection of truncated / corrupted
+// / desynchronized streams, and a randomized split-point fuzz of the
+// incremental FrameReader.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "transport/frame.hpp"
+
+namespace {
+
+using namespace uoi::transport;
+
+// Deterministic LCG so the fuzz splits are reproducible without seeding
+// from the clock.
+struct Lcg {
+  std::uint64_t state;
+  std::uint32_t next(std::uint32_t bound) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>((state >> 33) % bound);
+  }
+};
+
+std::vector<SlotUpdate> sample_updates() {
+  SlotUpdate a;
+  a.rank = 0;
+  a.data = {1, 2, 3, 4, 5};
+  SlotUpdate b;
+  b.rank = 3;
+  b.data = {};  // empty slots travel too
+  return {a, b};
+}
+
+/// Every message type, with non-default field values, encoded to a frame.
+std::vector<Frame> one_of_each() {
+  std::vector<Frame> frames;
+
+  HelloMsg hello;
+  hello.rank = 7;
+  frames.push_back(hello.encode());
+
+  EndpointsMsg endpoints;
+  endpoints.paths = {"/tmp/job/ep-0-0.sock", "/tmp/job/ep-0-1.sock", ""};
+  frames.push_back(endpoints.encode());
+
+  frames.push_back(GoMsg{}.encode());
+
+  BarrierEnterMsg enter;
+  enter.comm_id = -42;  // ids are signed; a negative one must survive
+  enter.generation = 0xfeedfacecafeull;
+  enter.local_rank = 2;
+  enter.updates = sample_updates();
+  frames.push_back(enter.encode());
+
+  BarrierReleaseMsg release;
+  release.comm_id = 99;
+  release.generation = 3;
+  release.failed_globals = {1, 5};
+  release.updates = sample_updates();
+  frames.push_back(release.encode());
+
+  RecoveryEnterMsg recovery_enter;
+  recovery_enter.comm_id = 4;
+  recovery_enter.round = 2;
+  recovery_enter.local_rank = 1;
+  recovery_enter.failed_globals = {3};
+  frames.push_back(recovery_enter.encode());
+
+  RecoveryReleaseMsg recovery_release;
+  recovery_release.comm_id = 4;
+  recovery_release.round = 2;
+  recovery_release.failed_globals = {3, 6};
+  frames.push_back(recovery_release.encode());
+
+  P2pMsg p2p;
+  p2p.comm_id = 17;
+  p2p.source = 1;
+  p2p.destination = 0;
+  p2p.tag = -5;
+  p2p.data = {0xde, 0xad, 0xbe, 0xef};
+  frames.push_back(p2p.encode());
+
+  WinRequestMsg request;
+  request.comm_id = 17;
+  request.window = 2;
+  request.request = 0x123456789abcull;
+  request.origin = 3;
+  request.op = WinOp::kPut;
+  request.offset = 128;
+  request.count = 0;
+  request.want_crc = 1;
+  request.delta = -2.5;
+  request.data = {8, 0, 0, 0, 0, 0, 0, 0};
+  frames.push_back(request.encode());
+
+  WinReplyMsg reply;
+  reply.comm_id = 17;
+  reply.request = 0x123456789abcull;
+  reply.status = WinStatus::kNoWindow;
+  reply.crc = 0xdeadbeef;
+  reply.previous = 3.75;
+  reply.data = {1, 2, 3};
+  frames.push_back(reply.encode());
+
+  HeartbeatMsg heartbeat;
+  heartbeat.rank = 5;
+  heartbeat.epoch = 0xffffffffffffffffull;  // epochs are full-width
+  frames.push_back(heartbeat.encode());
+
+  FailedMsg failed;
+  failed.rank = 2;
+  frames.push_back(failed.encode());
+
+  RevokeMsg revoke;
+  revoke.comm_id = -1;
+  frames.push_back(revoke.encode());
+
+  GoodbyeMsg goodbye;
+  goodbye.rank = 6;
+  frames.push_back(goodbye.encode());
+
+  return frames;
+}
+
+TEST(TransportFrame, EveryMessageTypeRoundTrips) {
+  const auto frames = one_of_each();
+  ASSERT_EQ(frames.size(), 14u);  // one per FrameType
+
+  const auto hello = HelloMsg::decode(frames[0]);
+  EXPECT_EQ(hello.rank, 7u);
+
+  const auto endpoints = EndpointsMsg::decode(frames[1]);
+  ASSERT_EQ(endpoints.paths.size(), 3u);
+  EXPECT_EQ(endpoints.paths[0], "/tmp/job/ep-0-0.sock");
+  EXPECT_EQ(endpoints.paths[2], "");
+
+  (void)GoMsg::decode(frames[2]);
+
+  const auto enter = BarrierEnterMsg::decode(frames[3]);
+  EXPECT_EQ(enter.comm_id, -42);
+  EXPECT_EQ(enter.generation, 0xfeedfacecafeull);
+  EXPECT_EQ(enter.local_rank, 2u);
+  ASSERT_EQ(enter.updates.size(), 2u);
+  EXPECT_EQ(enter.updates[0].data, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(enter.updates[1].rank, 3u);
+  EXPECT_TRUE(enter.updates[1].data.empty());
+
+  const auto release = BarrierReleaseMsg::decode(frames[4]);
+  EXPECT_EQ(release.failed_globals, (std::vector<std::uint32_t>{1, 5}));
+  EXPECT_EQ(release.updates.size(), 2u);
+
+  const auto recovery_enter = RecoveryEnterMsg::decode(frames[5]);
+  EXPECT_EQ(recovery_enter.round, 2u);
+  EXPECT_EQ(recovery_enter.failed_globals, (std::vector<std::uint32_t>{3}));
+
+  const auto recovery_release = RecoveryReleaseMsg::decode(frames[6]);
+  EXPECT_EQ(recovery_release.failed_globals,
+            (std::vector<std::uint32_t>{3, 6}));
+
+  const auto p2p = P2pMsg::decode(frames[7]);
+  EXPECT_EQ(p2p.comm_id, 17);
+  EXPECT_EQ(p2p.tag, -5);
+  EXPECT_EQ(p2p.data, (std::vector<std::uint8_t>{0xde, 0xad, 0xbe, 0xef}));
+
+  const auto request = WinRequestMsg::decode(frames[8]);
+  EXPECT_EQ(request.op, WinOp::kPut);
+  EXPECT_EQ(request.request, 0x123456789abcull);
+  EXPECT_EQ(request.offset, 128u);
+  EXPECT_EQ(request.want_crc, 1u);
+  EXPECT_DOUBLE_EQ(request.delta, -2.5);
+  EXPECT_EQ(request.data.size(), 8u);
+
+  const auto reply = WinReplyMsg::decode(frames[9]);
+  EXPECT_EQ(reply.status, WinStatus::kNoWindow);
+  EXPECT_EQ(reply.crc, 0xdeadbeefu);
+  EXPECT_DOUBLE_EQ(reply.previous, 3.75);
+
+  const auto heartbeat = HeartbeatMsg::decode(frames[10]);
+  EXPECT_EQ(heartbeat.epoch, 0xffffffffffffffffull);
+
+  EXPECT_EQ(FailedMsg::decode(frames[11]).rank, 2u);
+  EXPECT_EQ(RevokeMsg::decode(frames[12]).comm_id, -1);
+  EXPECT_EQ(GoodbyeMsg::decode(frames[13]).rank, 6u);
+}
+
+TEST(TransportFrame, HeaderLayoutIsLittleEndianWithMagicAndCrc) {
+  HeartbeatMsg msg;
+  msg.rank = 1;
+  msg.epoch = 2;
+  const auto bytes = encode_frame(msg.encode());
+  ASSERT_GE(bytes.size(), kFrameHeaderBytes);
+  // magic "UOIF" little-endian.
+  EXPECT_EQ(bytes[0], 0x55u);  // 'U'
+  EXPECT_EQ(bytes[1], 0x4fu);  // 'O'
+  EXPECT_EQ(bytes[2], 0x49u);  // 'I'
+  EXPECT_EQ(bytes[3], 0x46u);  // 'F'
+  EXPECT_EQ(bytes[4], static_cast<std::uint8_t>(FrameType::kHeartbeat));
+  EXPECT_EQ(bytes[5], 0u);
+  const std::uint32_t payload_len = bytes[8] | (bytes[9] << 8) |
+                                    (bytes[10] << 16) | (bytes[11] << 24);
+  EXPECT_EQ(payload_len, bytes.size() - kFrameHeaderBytes);
+}
+
+TEST(TransportFrame, DecodeRejectsWrongTypeAndTrailingGarbage) {
+  HelloMsg hello;
+  hello.rank = 1;
+  Frame frame = hello.encode();
+  EXPECT_THROW((void)GoodbyeMsg::decode(frame), FrameError);
+  frame.payload.push_back(0);  // trailing garbage after the last field
+  EXPECT_THROW((void)HelloMsg::decode(frame), FrameError);
+  frame.payload.clear();  // truncation below the fixed fields
+  EXPECT_THROW((void)HelloMsg::decode(frame), FrameError);
+}
+
+TEST(TransportFrame, ReaderHoldsIncompleteFramesUntilTheBytesArrive) {
+  BarrierEnterMsg msg;
+  msg.comm_id = 1;
+  msg.generation = 1;
+  msg.updates = sample_updates();
+  const auto bytes = encode_frame(msg.encode());
+
+  FrameReader reader;
+  // Feed everything but the last byte: no frame yet, but no error either —
+  // a slow sender is not a protocol violation.
+  reader.feed({bytes.data(), bytes.size() - 1});
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_GT(reader.pending_bytes(), 0u);
+  reader.feed({bytes.data() + bytes.size() - 1, 1});
+  const auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kBarrierEnter);
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(TransportFrame, ReaderRejectsCorruptedPayload) {
+  P2pMsg msg;
+  msg.comm_id = 9;
+  msg.data = {10, 20, 30, 40};
+  auto bytes = encode_frame(msg.encode());
+  bytes[kFrameHeaderBytes + 2] ^= 0x01;  // flip one payload bit in flight
+
+  FrameReader reader;
+  reader.feed(bytes);
+  EXPECT_THROW((void)reader.next(), FrameError);
+}
+
+TEST(TransportFrame, ReaderRejectsBadMagicUnknownTypeAndOversizedLength) {
+  const auto good = encode_frame(HelloMsg{}.encode());
+  {
+    auto bytes = good;
+    bytes[0] ^= 0xff;
+    FrameReader reader;
+    reader.feed(bytes);
+    EXPECT_THROW((void)reader.next(), FrameError);
+  }
+  {
+    auto bytes = good;
+    bytes[4] = 0xee;  // type far outside the enum
+    FrameReader reader;
+    reader.feed(bytes);
+    EXPECT_THROW((void)reader.next(), FrameError);
+  }
+  {
+    auto bytes = good;
+    bytes[11] = 0xff;  // payload_len high byte -> multi-gigabyte claim
+    FrameReader reader;
+    reader.feed(bytes);
+    EXPECT_THROW((void)reader.next(), FrameError);
+  }
+}
+
+TEST(TransportFrame, ReaderReassemblesRandomlySplitStreams) {
+  // The incremental decoder must produce the identical frame sequence no
+  // matter how the byte stream is fragmented: single bytes, mid-header
+  // splits, several frames coalesced into one chunk.
+  std::vector<std::uint8_t> stream;
+  std::vector<Frame> sent;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (auto& frame : one_of_each()) {
+      const auto bytes = encode_frame(frame);
+      stream.insert(stream.end(), bytes.begin(), bytes.end());
+      sent.push_back(std::move(frame));
+    }
+  }
+
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Lcg rng{seed};
+    FrameReader reader;
+    std::vector<Frame> received;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t n = std::min<std::size_t>(
+          1 + rng.next(97), stream.size() - pos);
+      reader.feed({stream.data() + pos, n});
+      pos += n;
+      while (auto frame = reader.next()) received.push_back(std::move(*frame));
+    }
+    ASSERT_EQ(received.size(), sent.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      EXPECT_EQ(received[i].type, sent[i].type) << "seed " << seed;
+      EXPECT_EQ(received[i].payload, sent[i].payload)
+          << "seed " << seed << " frame " << i;
+    }
+    EXPECT_EQ(reader.pending_bytes(), 0u);
+  }
+}
+
+}  // namespace

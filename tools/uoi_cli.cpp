@@ -26,6 +26,13 @@
 //                                           (per-rank buckets, progress bar,
 //                                           cache hit rate, health) from a
 //                                           --live-telemetry stream
+//   uoi launch --ranks N [--backend socket] [--dir D] -- CMD [ARGS...]
+//                                           run CMD once per rank as real OS
+//                                           processes wired together by the
+//                                           socket transport (rank 0 owns the
+//                                           terminal; ranks > 0 log to
+//                                           D/rank-<r>.log); --backend thread
+//                                           just execs CMD in place
 //
 // Common options:
 //   --b1 N / --b2 N       selection / estimation bootstraps
@@ -54,7 +61,12 @@
 //   --save-model FILE     write the fitted model (model_io format)
 //   --forecast H          print an H-step forecast
 // faultdemo-specific:
-//   --ranks P             simulated cluster size (default 4)
+//   --ranks P             cluster size (default 4)
+//   --transport B         communicator backend: "thread" (default; ranks are
+//                         threads of this process) or "socket" (the command
+//                         re-launches itself as --ranks real processes over
+//                         the Unix-socket transport, so an injected fault
+//                         SIGKILLs an actual process)
 //   --inject-fault R@S    kill global rank R at its S-th collective
 //   --hang R@S            hang global rank R at its S-th collective; needs
 //                         the watchdog armed (--comm-timeout-ms) so the
@@ -74,6 +86,7 @@
 //                         (default 1); 0 + --min-bootstrap-quorum shows
 //                         quorum-degraded completion
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -81,8 +94,10 @@
 #include <fstream>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "core/metrics.hpp"
@@ -103,6 +118,8 @@
 #include "support/table.hpp"
 #include "support/telemetry.hpp"
 #include "support/trace.hpp"
+#include "transport/launch.hpp"
+#include "transport/socket_runtime.hpp"
 #include "var/granger.hpp"
 #include "var/granger_test.hpp"
 #include "var/model_io.hpp"
@@ -141,6 +158,7 @@ struct Args {
   int max_retries = 4;
   int max_recovery_attempts = 1;  ///< shrink-and-resume budget
   int ranks = 4;
+  std::string transport;  ///< "thread" (default) or "socket"
   /// kAuto defers to $UOI_SCHED_POLICY (default cost_lpt).
   uoi::sched::SchedulePolicy sched_policy = uoi::sched::SchedulePolicy::kAuto;
   /// < 0 defers to $UOI_SOLVER_CACHE_MB (default 256); 0 disables.
@@ -163,11 +181,14 @@ struct Args {
                "[--max-retries N] [--max-recovery-attempts N] "
                "[--sched-policy static|cost_lpt|work_steal] "
                "[--solver-cache-mb MB] [--consensus-interval K] "
+               "[--transport thread|socket] "
                "[--live-telemetry SINK]\n"
                "       %s analyze TRACE.json [TRACE2.json ...] "
                "[--report-json FILE] [--what-if CATEGORY=FACTOR]...\n"
-               "       %s top TELEMETRY.jsonl [--follow]\n",
-               argv0, argv0, argv0);
+               "       %s top TELEMETRY.jsonl [--follow]\n"
+               "       %s launch --ranks N [--backend thread|socket] "
+               "[--dir D] [--grace-ms MS] -- CMD [ARGS...]\n",
+               argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -248,6 +269,12 @@ Args parse_args(int argc, char** argv) {
       }
     } else if (flag == "--ranks") {
       args.ranks = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (flag == "--transport") {
+      args.transport = value();
+      if (args.transport != "thread" && args.transport != "socket") {
+        std::fprintf(stderr, "--transport must be thread or socket\n");
+        usage(argv[0]);
+      }
     } else if (flag == "--sched-policy") {
       const char* name = value();
       if (!uoi::sched::policy_from_string(name, args.sched_policy)) {
@@ -514,8 +541,13 @@ int run_faultdemo(const Args& args) {
     std::fprintf(stderr, "faultdemo needs --ranks >= 2\n");
     return 2;
   }
-  std::printf("== fault-injection demo: distributed UoI_LASSO on %d ranks ==\n",
-              args.ranks);
+  // Under `--transport socket` every rank is a separate process running
+  // this same function; each one knows only its own report, and ranks > 0
+  // write to per-rank logs while rank 0 owns the terminal.
+  const auto job = uoi::transport::job_config_from_env();
+  const bool socket_job = uoi::transport::socket_job_active() && job;
+  std::printf("== fault-injection demo: distributed UoI_LASSO on %d %s ==\n",
+              args.ranks, socket_job ? "processes" : "ranks");
 
   uoi::data::RegressionSpec spec;
   spec.n_samples = 120;
@@ -561,6 +593,7 @@ int run_faultdemo(const Args& args) {
 
   auto plan = std::make_shared<uoi::sim::FaultPlan>();
   bool have_fault = false;
+  std::set<int> planned_victims;
   if (!args.inject_fault.empty()) {
     int victim = -1;
     std::uint64_t step = 0;
@@ -568,6 +601,7 @@ int run_faultdemo(const Args& args) {
       return 2;
     }
     plan->kills.push_back({victim, step});
+    planned_victims.insert(victim);
     have_fault = true;
     std::printf("fault plan: kill rank %d at its %llu-th collective\n", victim,
                 static_cast<unsigned long long>(step));
@@ -586,6 +620,7 @@ int run_faultdemo(const Args& args) {
       return 2;
     }
     plan->hangs.push_back({victim, step});
+    planned_victims.insert(victim);
     have_fault = true;
     std::printf("fault plan: hang rank %d at its %llu-th collective\n", victim,
                 static_cast<unsigned long long>(step));
@@ -606,6 +641,9 @@ int run_faultdemo(const Args& args) {
                              "shrinks", "cells redone", "retries",
                              "ckpt resumes"});
   for (int r = 0; r < args.ranks; ++r) {
+    // Each socket-job process knows only its own report; the other rows
+    // live in the other processes' logs.
+    if (socket_job && r != job->rank) continue;
     const auto& recovery = reports[static_cast<std::size_t>(r)].recovery;
     table.add_row({std::to_string(r),
                    results[static_cast<std::size_t>(r)].has_value()
@@ -638,8 +676,15 @@ int run_faultdemo(const Args& args) {
     }
     // The fitted coefficients are replicated across survivors; dump them
     // in full precision when asked so CI can assert bit-identity between
-    // telemetry-on and telemetry-off runs.
-    if (!args.model_path.empty()) {
+    // telemetry-on and telemetry-off runs. In a socket job every surviving
+    // process reaches this block, so only the lowest-ranked planned
+    // survivor writes — the processes share a working directory.
+    const int writer_rank = [&] {
+      int w = 0;
+      while (planned_victims.count(w) != 0) ++w;
+      return w;
+    }();
+    if (!args.model_path.empty() && (!socket_job || job->rank == writer_rank)) {
       std::ofstream out(args.model_path);
       out.precision(17);
       out << "intercept " << result.model.intercept << "\n";
@@ -795,6 +840,67 @@ int run_top(const Args& args) {
   }
 }
 
+int run_launch(int argc, char** argv) {
+  // `uoi launch --ranks N [--backend socket] [--dir D] -- CMD [ARGS...]`:
+  // run CMD once per rank as real OS processes wired together by the
+  // socket transport. Flags before `--` belong to launch; everything after
+  // is the command.
+  uoi::transport::LaunchOptions options;
+  std::string backend = "socket";
+  std::vector<std::string> command;
+  int i = 2;
+  for (; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--") {
+      ++i;
+      break;
+    }
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--ranks") {
+      options.ranks = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (flag == "--backend") {
+      backend = value();
+    } else if (flag == "--dir") {
+      options.job_dir = value();
+    } else if (flag == "--grace-ms") {
+      options.grace_ms = std::strtol(value(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown launch flag: %s\n", flag.c_str());
+      usage(argv[0]);
+    }
+  }
+  for (; i < argc; ++i) command.emplace_back(argv[i]);
+  if (command.empty()) {
+    std::fprintf(stderr, "launch needs a command after --\n");
+    usage(argv[0]);
+  }
+  if (options.ranks < 1) {
+    std::fprintf(stderr, "--ranks must be >= 1\n");
+    return 2;
+  }
+  if (backend == "thread") {
+    // The thread backend needs no processes: exec the command in place and
+    // let it build its usual in-process cluster.
+    std::vector<char*> cargv;
+    cargv.reserve(command.size() + 1);
+    for (auto& arg : command) cargv.push_back(arg.data());
+    cargv.push_back(nullptr);
+    ::execvp(cargv[0], cargv.data());
+    std::fprintf(stderr, "launch: cannot exec %s: %s\n", command[0].c_str(),
+                 std::strerror(errno));
+    return 127;
+  }
+  if (backend != "socket") {
+    std::fprintf(stderr, "unknown --backend: %s (expected thread or socket)\n",
+                 backend.c_str());
+    return 2;
+  }
+  return uoi::transport::launch_job(options, command);
+}
+
 int dispatch(const Args& args) {
   if (args.command == "lasso") return run_lasso(args);
   if (args.command == "logistic") return run_logistic(args);
@@ -811,7 +917,28 @@ int dispatch(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "launch") == 0) {
+    return run_launch(argc, argv);
+  }
   const Args args = parse_args(argc, argv);
+  if (args.transport == "socket" && !uoi::transport::socket_job_active()) {
+    // `--transport socket` outside a job: re-launch this exact invocation
+    // as a --ranks-process socket job. Only faultdemo builds a cluster from
+    // the CLI; the library drivers pick the backend up from the job
+    // environment in their own harnesses.
+    if (args.command != "faultdemo") {
+      std::fprintf(stderr,
+                   "--transport socket only applies to faultdemo (the other "
+                   "commands run single-process); use `%s launch` to run an "
+                   "arbitrary command as a socket job\n",
+                   argv[0]);
+      return 2;
+    }
+    uoi::transport::LaunchOptions options;
+    options.ranks = args.ranks;
+    return uoi::transport::launch_job(
+        options, std::vector<std::string>(argv, argv + argc));
+  }
   const bool tracing = !args.trace_json_path.empty();
   const bool reporting =
       !args.report_json_path.empty() && args.command != "analyze";
