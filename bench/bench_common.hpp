@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "linalg/simd.hpp"
 #include "perfmodel/lasso_cost.hpp"
 #include "report/run_report.hpp"
 #include "support/error.hpp"
@@ -153,6 +154,12 @@ class BenchReport {
       out += ':';
       out += config_[i].second;
     }
+    // Every figure records the SIMD dispatch level it actually ran with,
+    // so baseline diffs across machines / UOI_SIMD legs are attributable.
+    if (!config_.empty()) out += ',';
+    out += "\"simd\":";
+    out += js::json_quote(uoi::linalg::simd::simd_level_name(
+        uoi::linalg::simd::resolve_simd_level()));
     out += "},\"wall_seconds\":";
     out += js::json_number(report.wall_seconds);
     out += ",\"n_ranks\":" + std::to_string(report.n_ranks);

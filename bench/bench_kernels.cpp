@@ -6,9 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/kron.hpp"
+#include "linalg/simd.hpp"
 #include "linalg/sparse.hpp"
 #include "solvers/admm_lasso.hpp"
 #include "support/rng.hpp"
@@ -112,6 +116,72 @@ void BM_Dist2(benchmark::State& state) {
       benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_Dist2)->Arg(1024)->Arg(16384);
+
+// Per-ISA level-1 kernels: the same benchmark body run through each
+// entry of the runtime dispatch table (arg 1 = SimdLevel), so the
+// scalar / AVX2 / AVX-512 implementations can be compared on one
+// machine. Levels the CPU lacks clamp to the detected level (the label
+// shows which table actually ran).
+uoi::linalg::simd::SimdLevel bench_simd_level(benchmark::State& state) {
+  auto requested =
+      static_cast<uoi::linalg::simd::SimdLevel>(state.range(1));
+  const auto effective = std::min(requested,
+                                  uoi::linalg::simd::detect_simd_level());
+  state.SetLabel(uoi::linalg::simd::simd_level_name(effective));
+  return requested;
+}
+
+void BM_SimdDot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& kernels =
+      uoi::linalg::simd::kernel_table(bench_simd_level(state));
+  const Vector x = random_vector(n, 19);
+  const Vector y = random_vector(n, 20);
+  for (auto _ : state) {
+    double d = kernels.dot(x.data(), y.data(), n);
+    benchmark::DoNotOptimize(d);
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SimdDot)->ArgsProduct({{1024, 16384, 262144}, {0, 1, 2}});
+
+void BM_SimdAxpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& kernels =
+      uoi::linalg::simd::kernel_table(bench_simd_level(state));
+  const Vector x = random_vector(n, 21);
+  Vector y = random_vector(n, 22);
+  for (auto _ : state) {
+    kernels.axpy(0.37, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SimdAxpy)->ArgsProduct({{1024, 16384, 262144}, {0, 1, 2}});
+
+void BM_SimdGatherScatter(benchmark::State& state) {
+  // The working-set compact/expand pair the screening path runs per ADMM
+  // iteration: stride-8 survivors model a ~12% survivor fraction.
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const auto& kernels =
+      uoi::linalg::simd::kernel_table(bench_simd_level(state));
+  const Vector full = random_vector(p, 23);
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < p; i += 8) idx.push_back(i);
+  Vector compact(idx.size(), 0.0);
+  Vector expanded(p, 0.0);
+  for (auto _ : state) {
+    kernels.gather(full.data(), idx.data(), idx.size(), compact.data());
+    kernels.scatter(compact.data(), idx.data(), idx.size(),
+                    expanded.data());
+    benchmark::DoNotOptimize(expanded.data());
+  }
+}
+BENCHMARK(BM_SimdGatherScatter)->ArgsProduct({{16384, 262144}, {0, 1, 2}});
 
 void BM_CholeskyFactorAndSolve(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -69,22 +69,22 @@ UoiElasticNetResult UoiElasticNet::fit(ConstMatrixView x,
     const auto idx = selection_bootstrap_indices(lasso_options, n, k);
     const Matrix x_boot = x_owned.gather_rows(idx);
     const Vector y_boot = gather(y, idx);
-    const uoi::solvers::LassoAdmmSolver solver(x_boot, y_boot, options_.admm);
     for (std::size_t r = 0; r < n_ratios; ++r) {
       const double ratio = result.l1_ratios[r];
-      uoi::solvers::AdmmResult previous;
+      // One screened chain per (bootstrap, ratio): each ratio traverses
+      // its own descending lambda1 path (screening.hpp).
+      uoi::solvers::ScreenedLassoChain chain(x_boot, y_boot, options_.admm,
+                                             options_.screen);
       for (std::size_t j = 0; j < q; ++j) {
         const double lambda1 = result.lambdas[j] * ratio;
         const double lambda2 = result.lambdas[j] * (1.0 - ratio);
-        auto fit = solver.solve_elastic_net(lambda1, lambda2,
-                                            j == 0 ? nullptr : &previous);
+        const auto fit = chain.solve(lambda1, lambda2);
         auto row = counts.row(r * q + j);
         for (std::size_t i = 0; i < p; ++i) {
           if (std::abs(fit.beta[i]) > options_.support_tolerance) {
             row[i] += 1.0;
           }
         }
-        previous = std::move(fit);
       }
     }
   }

@@ -28,6 +28,9 @@ struct UoiElasticNetOptions {
   EstimationCriterion criterion = EstimationCriterion::kMse;
   std::uint64_t seed = 20200518;
   uoi::solvers::AdmmOptions admm;
+  /// Screening along each (bootstrap, l1_ratio) lambda chain; byte-
+  /// identical across modes (see UoiLassoOptions::screen).
+  uoi::solvers::ScreenOptions screen;
   /// Distributed-driver task placement (see UoiLassoOptions::schedule).
   uoi::sched::SchedulePolicy schedule = uoi::sched::SchedulePolicy::kAuto;
   /// Per-rank solver/gather cache budget in MB for the distributed driver.

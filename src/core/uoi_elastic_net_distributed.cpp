@@ -12,6 +12,7 @@
 #include "solvers/distributed_admm.hpp"
 #include "solvers/lambda_grid.hpp"
 #include "solvers/ols.hpp"
+#include "solvers/screening.hpp"
 #include "solvers/solver_cache.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
@@ -46,6 +47,10 @@ UoiLassoOptions resample_options(const UoiElasticNetOptions& options) {
 struct EnetSelectionEntry {
   Matrix x_local;
   Vector y_local;
+  /// Replicated screening quantities shared by every chain of the
+  /// bootstrap (one collective build; see screening.hpp).
+  uoi::solvers::DistributedScreenInputs screen_inputs;
+  /// Full-p factorization; built only in off mode.
   std::optional<uoi::solvers::DistributedLassoAdmmSolver> solver;
   std::size_t bytes_estimate = 0;
   [[nodiscard]] std::size_t bytes() const noexcept { return bytes_estimate; }
@@ -135,6 +140,12 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
   std::uint64_t admm_allreduce_bytes = 0;
   std::uint64_t admm_consensus_rounds = 0;
   std::uint64_t admm_lazy_iterations = 0;
+  // Resolved once: the cache entry's shape must match on every rank.
+  uoi::solvers::ScreenOptions screen_opts = options.screen;
+  screen_opts.mode = uoi::solvers::resolve_screen_mode(options.screen.mode);
+  const bool screening_on =
+      screen_opts.mode != uoi::solvers::ScreenMode::kOff;
+  uoi::solvers::ScreenStats screen_stats;
 
   support::Stopwatch phase_watch;
   const auto comm_seconds = [&] {
@@ -170,24 +181,42 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
                                             support::TraceCategory::kGram,
                                             trace_rank);
               support::Stopwatch gram_watch;
-              fresh->solver.emplace(task_comm, fresh->x_local, fresh->y_local,
-                                    options.admm);
+              fresh->screen_inputs = uoi::solvers::build_screen_inputs(
+                  task_comm, fresh->x_local, fresh->y_local);
+              if (!screening_on) {
+                // Cached full solvers must match the chain's refined
+                // stopping rules.
+                fresh->solver.emplace(
+                    task_comm, fresh->x_local, fresh->y_local,
+                    uoi::solvers::detail::refined_admm_options(
+                        options.admm, screen_opts));
+              }
               out.breakdown.gram_seconds += gram_watch.seconds();
             }
-            fresh->bytes_estimate = (n * (p + 1) + p * p) * sizeof(double);
+            fresh->bytes_estimate =
+                (n * (p + 1) + (screening_on ? 0 : p * p) + 2 * p + 1) *
+                sizeof(double);
             return fresh;
           });
-      const uoi::solvers::DistributedLassoAdmmSolver& solver = *entry->solver;
-      if (cache.stats().hits > hits_before) {
-        setup_flops_amortized += solver.setup_flops();
-      } else {
-        setup_flops_charged += solver.setup_flops();
+      if (entry->solver.has_value()) {
+        if (cache.stats().hits > hits_before) {
+          setup_flops_amortized += entry->solver->setup_flops();
+        } else {
+          setup_flops_charged += entry->solver->setup_flops();
+        }
       }
+      // One screened chain per scheduled cell: lambda1 descends within a
+      // ratio block and jumps up at ratio boundaries, which resets the
+      // chain's screening state (screening.hpp handles the reset).
+      uoi::solvers::DistributedScreenedLassoChain screened(
+          task_comm, entry->x_local, entry->y_local, entry->screen_inputs,
+          options.admm, screen_opts,
+          entry->solver.has_value() ? &*entry->solver : nullptr);
       for (std::size_t c : selection_grid.chain_lambdas(cell.chain)) {
         const double lambda = model.lambdas[c % q];
         const double ratio = model.l1_ratios[c / q];
         const auto fit =
-            solver.solve_elastic_net(lambda * ratio, lambda * (1.0 - ratio));
+            screened.solve(lambda * ratio, lambda * (1.0 - ratio));
         admm_iterations += fit.iterations;
         admm_rho_updates += fit.rho_updates;
         admm_allreduce_calls += fit.allreduce_calls;
@@ -203,6 +232,7 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
           }
         }
       }
+      screen_stats += screened.stats();
     };
     std::vector<std::size_t> cells(selection_grid.n_cells());
     for (std::size_t i = 0; i < cells.size(); ++i) cells[i] = i;
@@ -248,6 +278,16 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
           selection_grid, selection_costs, selection_stats.cell_seconds);
       sched::apply_calibration(estimation_grid, calibration,
                                estimation_costs);
+      // Estimation solves OLS restricted to each cell's candidate
+      // support; reweight per-chain costs by the survivor counts of the
+      // screened selection pass (supports are replicated on every rank).
+      std::vector<double> survivors(n_cells, 0.0);
+      for (std::size_t cell = 0; cell < n_cells; ++cell) {
+        survivors[cell] = static_cast<double>(
+            model.candidate_supports[cell].indices().size());
+      }
+      sched::apply_survivor_weights(estimation_grid, survivors,
+                                    estimation_costs);
       if (task.task_rank == 0) {
         support::MetricsRegistry::instance().set(
             trace_rank, "sched.placement_error",
@@ -384,6 +424,22 @@ UoiElasticNetDistributedResult uoi_elastic_net_distributed(
   metrics.add(trace_rank, "admm.consensus_interval",
               static_cast<double>(uoi::solvers::resolve_consensus_interval(
                   options.admm.consensus_interval)));
+  metrics.set(trace_rank, "screen.mode",
+              static_cast<double>(static_cast<int>(screen_opts.mode)));
+  metrics.add(trace_rank, "screen.lambdas",
+              static_cast<double>(screen_stats.lambdas));
+  metrics.add(trace_rank, "screen.survivors",
+              static_cast<double>(screen_stats.survivors));
+  metrics.add(trace_rank, "screen.kkt_violations",
+              static_cast<double>(screen_stats.kkt_violations));
+  metrics.add(trace_rank, "screen.kkt_rounds",
+              static_cast<double>(screen_stats.kkt_rounds));
+  metrics.add(trace_rank, "screen.gram_cols_saved",
+              static_cast<double>(screen_stats.gram_cols_saved));
+  metrics.add(trace_rank, "screen.canonical_solves",
+              static_cast<double>(screen_stats.canonical_solves));
+  metrics.add(trace_rank, "screen.total_columns",
+              static_cast<double>(screen_stats.total_columns));
   metrics.add(trace_rank, "solver_cache.hits",
               static_cast<double>(cache_hits));
   metrics.add(trace_rank, "solver_cache.misses",

@@ -151,7 +151,9 @@ std::uint64_t UoiLasso::selection_fingerprint(
       .add(options_.admm.rho)
       .add(options_.admm.eps_abs)
       .add(options_.admm.eps_rel)
-      .add(static_cast<std::uint64_t>(options_.admm.max_iterations));
+      .add(static_cast<std::uint64_t>(options_.admm.max_iterations))
+      .add(static_cast<std::uint64_t>(
+          uoi::solvers::resolve_screen_mode(options_.screen.mode)));
   for (const double l : lambdas) fp.add(l);
   return fp.value();
 }
@@ -213,17 +215,17 @@ UoiLassoResult UoiLasso::fit_impl(ConstMatrixView x_view,
     const auto idx = selection_bootstrap_indices(options_, n, k);
     const Matrix x_boot = x_owned.gather_rows(idx);
     const Vector y_boot = gather(y, idx);
-    const uoi::solvers::LassoAdmmSolver solver(x_boot, y_boot, options_.admm);
-    uoi::solvers::AdmmResult previous;
+    // Screened chain: warm starts down the descending lambda path and
+    // solves over the surviving columns only (screening.hpp).
+    uoi::solvers::ScreenedLassoChain chain(x_boot, y_boot, options_.admm,
+                                           options_.screen);
     for (std::size_t j = 0; j < q; ++j) {
-      // Warm start down the descending lambda path.
-      auto fit = solver.solve(result.lambdas[j], j == 0 ? nullptr : &previous);
+      const auto fit = chain.solve(result.lambdas[j]);
       result.total_flops += fit.flops;
       auto row = counts.row(j);
       for (std::size_t i = 0; i < p; ++i) {
         if (std::abs(fit.beta[i]) > options_.support_tolerance) row[i] += 1.0;
       }
-      previous = std::move(fit);
     }
     if (checkpoint_path != nullptr) {
       SelectionCheckpoint checkpoint;

@@ -22,6 +22,7 @@
 #include "sched/schedule_policy.hpp"
 #include "simcluster/fault.hpp"
 #include "solvers/admm_lasso.hpp"
+#include "solvers/screening.hpp"
 
 namespace uoi::core {
 
@@ -117,6 +118,10 @@ struct UoiLassoOptions {
   EstimationCriterion criterion = EstimationCriterion::kMse;
   std::uint64_t seed = 20200518;  ///< master seed for all resampling
   uoi::solvers::AdmmOptions admm;
+  /// SAFE / strong-rule screening along each selection lambda chain.
+  /// kAuto resolves $UOI_SCREEN (default: strong); every mode produces
+  /// byte-identical models (screening.hpp's canonical two-stage contract).
+  uoi::solvers::ScreenOptions screen;
   /// Fault tolerance (used by the distributed drivers; the serial driver
   /// honors only `checkpoint_path` semantics via fit_with_checkpoint).
   UoiRecoveryOptions recovery;

@@ -13,6 +13,7 @@
 #include "sched/scheduler.hpp"
 #include "sched/task_grid.hpp"
 #include "solvers/distributed_admm.hpp"
+#include "solvers/screening.hpp"
 #include "solvers/solver_cache.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
@@ -67,6 +68,11 @@ DistributedEvaluation distributed_mse(Comm& task_comm,
 struct LassoSelectionEntry {
   Matrix x_local;
   Vector y_local;
+  /// Replicated screening quantities (A'b, column norms, lambda_max);
+  /// built collectively once per bootstrap, shared by every chain.
+  uoi::solvers::DistributedScreenInputs screen_inputs;
+  /// Full-p factorization; built only in off mode (screened chains build
+  /// reduced factorizations per lambda instead).
   std::optional<uoi::solvers::DistributedLassoAdmmSolver> solver;
   std::size_t bytes_estimate = 0;
   [[nodiscard]] std::size_t bytes() const noexcept { return bytes_estimate; }
@@ -153,6 +159,14 @@ UoiLassoDistributedResult uoi_lasso_distributed(
   std::uint64_t cache_evictions = 0;
   std::uint64_t setup_flops_charged = 0;
   std::uint64_t setup_flops_amortized = 0;
+  // Screening mode is resolved once up front: the cache entry's shape
+  // (full solver or not) and bytes_estimate must be identical on every
+  // rank, and all ranks see the same environment in-process.
+  uoi::solvers::ScreenOptions screen_opts = options.screen;
+  screen_opts.mode = uoi::solvers::resolve_screen_mode(options.screen.mode);
+  const bool screening_on =
+      screen_opts.mode != uoi::solvers::ScreenMode::kOff;
+  uoi::solvers::ScreenStats screen_stats;
 
   // Selection state. `*_merged` is replicated and globally consistent;
   // `*_local` holds this rank's contributions not yet committed by a
@@ -314,30 +328,45 @@ UoiLassoDistributedResult uoi_lasso_distributed(
                 support::TraceScope gram_span(
                     "selection-gram", support::TraceCategory::kGram,
                     trace_rank);
-                fresh->solver.emplace(task_comm, fresh->x_local,
-                                      fresh->y_local, options.admm);
+                fresh->screen_inputs = uoi::solvers::build_screen_inputs(
+                    task_comm, fresh->x_local, fresh->y_local);
+                if (!screening_on) {
+                  // Only off mode pays the full-p Gram/Cholesky up front;
+                  // screened chains factorize the survivors per lambda.
+                  // Refined options: cached full solvers must match the
+                  // chain's internal stopping rules.
+                  fresh->solver.emplace(
+                      task_comm, fresh->x_local, fresh->y_local,
+                      uoi::solvers::detail::refined_admm_options(
+                          options.admm, screen_opts));
+                }
               }
               fresh->bytes_estimate =
-                  (n * (p + 1) + p * p) * sizeof(double);
+                  (n * (p + 1) + (screening_on ? 0 : p * p) + 2 * p + 1) *
+                  sizeof(double);
               return fresh;
             });
-        const uoi::solvers::DistributedLassoAdmmSolver& solver =
-            *entry->solver;
-        if (cache.stats().hits > hits_before) {
-          setup_flops_amortized += solver.setup_flops();
-        } else {
-          setup_flops_charged += solver.setup_flops();
+        if (entry->solver.has_value()) {
+          if (cache.stats().hits > hits_before) {
+            setup_flops_amortized += entry->solver->setup_flops();
+          } else {
+            setup_flops_charged += entry->solver->setup_flops();
+          }
         }
-        uoi::solvers::DistributedAdmmResult previous;
-        bool have_previous = false;
+        // The screened chain owns the warm start: every rank derives the
+        // identical working set from the replicated screen inputs, so the
+        // reduced consensus payload is (|W|+3) doubles instead of (p+3).
+        uoi::solvers::DistributedScreenedLassoChain screened(
+            task_comm, entry->x_local, entry->y_local, entry->screen_inputs,
+            options.admm, screen_opts,
+            entry->solver.has_value() ? &*entry->solver : nullptr);
         // Indicators are staged and committed only once the whole
         // chain finished: a failure mid-chain must leave no partial
         // contribution, so the chain reruns cold — replaying exactly
         // the warm-start trajectory a fault-free run produces.
         Matrix staged(chain.size(), p, 0.0);
         for (std::size_t m = 0; m < chain.size(); ++m) {
-          auto fit = solver.solve(model.lambdas[chain[m]],
-                                  have_previous ? &previous : nullptr);
+          auto fit = screened.solve(model.lambdas[chain[m]]);
           local_flops += fit.local_flops;
           admm_iterations += fit.iterations;
           admm_rho_updates += fit.rho_updates;
@@ -353,9 +382,8 @@ UoiLassoDistributedResult uoi_lasso_distributed(
               }
             }
           }
-          previous = std::move(fit);
-          have_previous = true;
         }
+        screen_stats += screened.stats();
         if (tl.task_rank == 0) {
           for (std::size_t m = 0; m < chain.size(); ++m) {
             auto dest = counts_local.row(chain[m]);
@@ -455,6 +483,17 @@ UoiLassoDistributedResult uoi_lasso_distributed(
             selection_grid, selection_costs, selection_stats.cell_seconds);
         sched::apply_calibration(estimation_grid, calibration,
                                  std::span<double>(estimation_costs));
+        // Estimation solves OLS restricted to each lambda's candidate
+        // support, so reweight the per-chain costs by the survivor counts
+        // the screened selection pass produced (replicated: the supports
+        // derive from the merged counts every rank holds).
+        std::vector<double> survivors(q, 0.0);
+        for (std::size_t j = 0; j < q; ++j) {
+          survivors[j] = static_cast<double>(
+              model.candidate_supports[j].indices().size());
+        }
+        sched::apply_survivor_weights(estimation_grid, survivors,
+                                      std::span<double>(estimation_costs));
         if (tl.task_rank == 0) {
           support::MetricsRegistry::instance().set(
               trace_rank, "sched.placement_error",
@@ -770,6 +809,22 @@ UoiLassoDistributedResult uoi_lasso_distributed(
   metrics.add(trace_rank, "admm.consensus_interval",
               static_cast<double>(uoi::solvers::resolve_consensus_interval(
                   options.admm.consensus_interval)));
+  metrics.set(trace_rank, "screen.mode",
+              static_cast<double>(static_cast<int>(screen_opts.mode)));
+  metrics.add(trace_rank, "screen.lambdas",
+              static_cast<double>(screen_stats.lambdas));
+  metrics.add(trace_rank, "screen.survivors",
+              static_cast<double>(screen_stats.survivors));
+  metrics.add(trace_rank, "screen.kkt_violations",
+              static_cast<double>(screen_stats.kkt_violations));
+  metrics.add(trace_rank, "screen.kkt_rounds",
+              static_cast<double>(screen_stats.kkt_rounds));
+  metrics.add(trace_rank, "screen.gram_cols_saved",
+              static_cast<double>(screen_stats.gram_cols_saved));
+  metrics.add(trace_rank, "screen.canonical_solves",
+              static_cast<double>(screen_stats.canonical_solves));
+  metrics.add(trace_rank, "screen.total_columns",
+              static_cast<double>(screen_stats.total_columns));
   metrics.add(trace_rank, "solver_cache.hits",
               static_cast<double>(cache_hits));
   metrics.add(trace_rank, "solver_cache.misses",

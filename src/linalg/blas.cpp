@@ -4,37 +4,23 @@
 #include <cmath>
 #include <vector>
 
+#include "linalg/simd.hpp"
+
 namespace uoi::linalg {
+
+// Level-1 hot loops dispatch through the runtime-selected SIMD kernel
+// table (see simd.hpp). All levels implement identical arithmetic — eight
+// accumulator lanes, fixed reduction tree, no FMA — so the dispatch choice
+// never changes a result bit, only how fast it arrives.
 
 double dot(std::span<const double> x, std::span<const double> y) {
   UOI_CHECK_DIMS(x.size() == y.size(), "dot length mismatch");
-  // Four accumulators break the dependency chain and let GCC vectorize.
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  std::size_t i = 0;
-  const std::size_t n4 = x.size() & ~std::size_t{3};
-  for (; i < n4; i += 4) {
-    s0 += x[i] * y[i];
-    s1 += x[i + 1] * y[i + 1];
-    s2 += x[i + 2] * y[i + 2];
-    s3 += x[i + 3] * y[i + 3];
-  }
-  for (; i < x.size(); ++i) s0 += x[i] * y[i];
-  return (s0 + s1) + (s2 + s3);
+  return simd::active_kernels().dot(x.data(), y.data(), x.size());
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   UOI_CHECK_DIMS(x.size() == y.size(), "axpy length mismatch");
-  // Same four-wide unroll as dot: no loop-carried dependency, so this is
-  // purely about giving the autovectorizer a clean stride-1 body.
-  std::size_t i = 0;
-  const std::size_t n4 = x.size() & ~std::size_t{3};
-  for (; i < n4; i += 4) {
-    y[i] += alpha * x[i];
-    y[i + 1] += alpha * x[i + 1];
-    y[i + 2] += alpha * x[i + 2];
-    y[i + 3] += alpha * x[i + 3];
-  }
-  for (; i < x.size(); ++i) y[i] += alpha * x[i];
+  simd::active_kernels().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void scal(double alpha, std::span<double> x) {
@@ -47,40 +33,26 @@ double nrm2_squared(std::span<const double> x) { return dot(x, x); }
 
 double dist2(std::span<const double> x, std::span<const double> y) {
   UOI_CHECK_DIMS(x.size() == y.size(), "dist2 length mismatch");
-  // Four accumulators break the dependency chain (this sits on the ADMM
-  // convergence check every iteration).
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  std::size_t i = 0;
-  const std::size_t n4 = x.size() & ~std::size_t{3};
-  for (; i < n4; i += 4) {
-    const double d0 = x[i] - y[i];
-    const double d1 = x[i + 1] - y[i + 1];
-    const double d2 = x[i + 2] - y[i + 2];
-    const double d3 = x[i + 3] - y[i + 3];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
-  }
-  for (; i < x.size(); ++i) {
-    const double d = x[i] - y[i];
-    s0 += d * d;
-  }
-  return std::sqrt((s0 + s1) + (s2 + s3));
+  return std::sqrt(
+      simd::active_kernels().dist2_squared(x.data(), y.data(), x.size()));
 }
 
 double nrm1(std::span<const double> x) {
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  std::size_t i = 0;
-  const std::size_t n4 = x.size() & ~std::size_t{3};
-  for (; i < n4; i += 4) {
-    s0 += std::abs(x[i]);
-    s1 += std::abs(x[i + 1]);
-    s2 += std::abs(x[i + 2]);
-    s3 += std::abs(x[i + 3]);
-  }
-  for (; i < x.size(); ++i) s0 += std::abs(x[i]);
-  return (s0 + s1) + (s2 + s3);
+  return simd::active_kernels().nrm1(x.data(), x.size());
+}
+
+void gather_compact(std::span<const double> src,
+                    std::span<const std::size_t> idx, std::span<double> dst) {
+  UOI_CHECK_DIMS(idx.size() == dst.size(), "gather_compact length mismatch");
+  simd::active_kernels().gather(src.data(), idx.data(), idx.size(),
+                                dst.data());
+}
+
+void scatter_expand(std::span<const double> src,
+                    std::span<const std::size_t> idx, std::span<double> dst) {
+  UOI_CHECK_DIMS(idx.size() == src.size(), "scatter_expand length mismatch");
+  simd::active_kernels().scatter(src.data(), idx.data(), idx.size(),
+                                 dst.data());
 }
 
 void gemv(double alpha, ConstMatrixView a, std::span<const double> x,
@@ -102,12 +74,14 @@ void gemv_transposed(double alpha, ConstMatrixView a, std::span<const double> x,
   } else if (beta != 1.0) {
     scal(beta, y);
   }
-  // Row-wise accumulation keeps accesses to A contiguous.
+  // Row-wise accumulation keeps accesses to A contiguous; each row update
+  // is an axpy, so it rides the dispatched kernel.
+  const auto& kernels = simd::active_kernels();
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const double xr = alpha * x[r];
     if (xr == 0.0) continue;
     const auto row = a.row(r);
-    for (std::size_t c = 0; c < row.size(); ++c) y[c] += xr * row[c];
+    kernels.axpy(xr, row.data(), y.data(), row.size());
   }
 }
 
@@ -193,59 +167,20 @@ void syrk_pack_panel(ConstMatrixView a, std::size_t k0, std::size_t k1,
 }
 
 /// C[i0:i1, j0:j1] += alpha * Pi Pj' for packed panels Pi ((i1-i0) x kk)
-/// and Pj ((j1-j0) x kk). 2x4 micro-kernel: eight independent accumulators
-/// per tile, six panel-row streams, all unit stride.
+/// and Pj ((j1-j0) x kk). Each output is one unit-stride dot over the
+/// packed rows, routed through the dispatched SIMD kernel so the Gram
+/// build vectorizes to the runtime ISA while staying bit-identical to the
+/// scalar path (every level shares the dot arithmetic contract).
 void syrk_block(double alpha, const double* pi, std::size_t ilen,
                 const double* pj, std::size_t jlen, std::size_t kk,
                 double* c, std::size_t ldc, std::size_t ci0,
                 std::size_t cj0) {
-  std::size_t i = 0;
-  for (; i + 1 < ilen; i += 2) {
-    const double* a0 = pi + i * kk;
-    const double* a1 = a0 + kk;
-    double* c0 = c + (ci0 + i) * ldc + cj0;
-    double* c1 = c0 + ldc;
-    std::size_t j = 0;
-    for (; j + 3 < jlen; j += 4) {
-      const double* b0 = pj + j * kk;
-      const double* b1 = b0 + kk;
-      const double* b2 = b1 + kk;
-      const double* b3 = b2 + kk;
-      double s00 = 0.0, s01 = 0.0, s02 = 0.0, s03 = 0.0;
-      double s10 = 0.0, s11 = 0.0, s12 = 0.0, s13 = 0.0;
-      for (std::size_t k = 0; k < kk; ++k) {
-        const double a0k = a0[k];
-        const double a1k = a1[k];
-        s00 += a0k * b0[k];
-        s01 += a0k * b1[k];
-        s02 += a0k * b2[k];
-        s03 += a0k * b3[k];
-        s10 += a1k * b0[k];
-        s11 += a1k * b1[k];
-        s12 += a1k * b2[k];
-        s13 += a1k * b3[k];
-      }
-      c0[j] += alpha * s00;
-      c0[j + 1] += alpha * s01;
-      c0[j + 2] += alpha * s02;
-      c0[j + 3] += alpha * s03;
-      c1[j] += alpha * s10;
-      c1[j + 1] += alpha * s11;
-      c1[j + 2] += alpha * s12;
-      c1[j + 3] += alpha * s13;
-    }
-    for (; j < jlen; ++j) {
-      const double* b = pj + j * kk;
-      c0[j] += alpha * dot({a0, kk}, {b, kk});
-      c1[j] += alpha * dot({a1, kk}, {b, kk});
-    }
-  }
-  for (; i < ilen; ++i) {
+  const auto& kernels = simd::active_kernels();
+  for (std::size_t i = 0; i < ilen; ++i) {
     const double* ai = pi + i * kk;
     double* ci = c + (ci0 + i) * ldc + cj0;
     for (std::size_t j = 0; j < jlen; ++j) {
-      const double* b = pj + j * kk;
-      ci[j] += alpha * dot({ai, kk}, {b, kk});
+      ci[j] += alpha * kernels.dot(ai, pj + j * kk, kk);
     }
   }
 }
@@ -255,12 +190,12 @@ void syrk_block(double alpha, const double* pi, std::size_t ilen,
 void syrk_diag_block(double alpha, const double* p, std::size_t ilen,
                      std::size_t kk, double* c, std::size_t ldc,
                      std::size_t c0) {
+  const auto& kernels = simd::active_kernels();
   for (std::size_t i = 0; i < ilen; ++i) {
     const double* ai = p + i * kk;
     double* ci = c + (c0 + i) * ldc + c0;
     for (std::size_t j = i; j < ilen; ++j) {
-      const double* b = p + j * kk;
-      ci[j] += alpha * dot({ai, kk}, {b, kk});
+      ci[j] += alpha * kernels.dot(ai, p + j * kk, kk);
     }
   }
 }

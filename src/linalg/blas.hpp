@@ -37,6 +37,16 @@ void scal(double alpha, std::span<double> x);
 /// L1 norm.
 [[nodiscard]] double nrm1(std::span<const double> x);
 
+/// dst[i] = src[idx[i]] — compact a full-length vector onto a working set
+/// (indices must be in range; dst.size() == idx.size()).
+void gather_compact(std::span<const double> src,
+                    std::span<const std::size_t> idx, std::span<double> dst);
+
+/// dst[idx[i]] = src[i] — scatter a compacted vector back into a
+/// full-length vector (src.size() == idx.size()).
+void scatter_expand(std::span<const double> src,
+                    std::span<const std::size_t> idx, std::span<double> dst);
+
 // ---- Level 2 ----------------------------------------------------------
 
 /// y = alpha * A x + beta * y

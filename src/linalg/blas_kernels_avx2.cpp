@@ -1,0 +1,125 @@
+// AVX2 kernel table. Two ymm accumulators carry the eight lanes of the
+// scalar reference (low register = lanes 0-3, high register = lanes 4-7);
+// the tail is folded into lane 0 after the vector loop and the reduction
+// runs the same ((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)) tree, all with
+// explicit mul-then-add (no FMA), so every result is bit-identical to the
+// scalar table. Compiled with -mavx2 -ffp-contract=off; when the
+// toolchain lacks AVX2 the table aliases the scalar kernels.
+
+#include "linalg/simd_scalar_kernels.hpp"
+#include "linalg/simd_tables.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace uoi::linalg::simd::detail {
+namespace {
+
+double dot_avx2(const double* x, const double* y, std::size_t n) {
+  __m256d lo = _mm256_setzero_pd();
+  __m256d hi = _mm256_setzero_pd();
+  std::size_t i = 0;
+  const std::size_t n8 = n & ~std::size_t{7};
+  for (; i < n8; i += 8) {
+    lo = _mm256_add_pd(
+        lo, _mm256_mul_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+    hi = _mm256_add_pd(hi, _mm256_mul_pd(_mm256_loadu_pd(x + i + 4),
+                                         _mm256_loadu_pd(y + i + 4)));
+  }
+  alignas(32) double s[8];
+  _mm256_store_pd(s, lo);
+  _mm256_store_pd(s + 4, hi);
+  for (; i < n; ++i) s[0] += x[i] * y[i];
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+void axpy_avx2(double alpha, const double* x, double* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (; i < n4; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(va, _mm256_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double dist2_squared_avx2(const double* x, const double* y, std::size_t n) {
+  __m256d lo = _mm256_setzero_pd();
+  __m256d hi = _mm256_setzero_pd();
+  std::size_t i = 0;
+  const std::size_t n8 = n & ~std::size_t{7};
+  for (; i < n8; i += 8) {
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_loadu_pd(x + i + 4), _mm256_loadu_pd(y + i + 4));
+    lo = _mm256_add_pd(lo, _mm256_mul_pd(d0, d0));
+    hi = _mm256_add_pd(hi, _mm256_mul_pd(d1, d1));
+  }
+  alignas(32) double s[8];
+  _mm256_store_pd(s, lo);
+  _mm256_store_pd(s + 4, hi);
+  for (; i < n; ++i) {
+    const double d = x[i] - y[i];
+    s[0] += d * d;
+  }
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+double nrm1_avx2(const double* x, std::size_t n) {
+  // |v| by clearing the sign bit — bitwise identical to std::abs(double).
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  __m256d lo = _mm256_setzero_pd();
+  __m256d hi = _mm256_setzero_pd();
+  std::size_t i = 0;
+  const std::size_t n8 = n & ~std::size_t{7};
+  for (; i < n8; i += 8) {
+    lo = _mm256_add_pd(lo, _mm256_andnot_pd(sign, _mm256_loadu_pd(x + i)));
+    hi = _mm256_add_pd(hi, _mm256_andnot_pd(sign, _mm256_loadu_pd(x + i + 4)));
+  }
+  alignas(32) double s[8];
+  _mm256_store_pd(s, lo);
+  _mm256_store_pd(s + 4, hi);
+  for (; i < n; ++i) s[0] += std::abs(x[i]);
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+void gather_avx2(const double* src, const std::size_t* idx, std::size_t n,
+                 double* dst) {
+  std::size_t i = 0;
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (; i < n4; i += 4) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    _mm256_storeu_pd(dst + i, _mm256_i64gather_pd(src, vi, 8));
+  }
+  for (; i < n; ++i) dst[i] = src[idx[i]];
+}
+
+}  // namespace
+
+const KernelTable kAvx2Table = {
+    &dot_avx2, &axpy_avx2,   &dist2_squared_avx2,
+    &nrm1_avx2, &gather_avx2, &scatter_scalar,
+};
+const bool kAvx2Compiled = true;
+
+}  // namespace uoi::linalg::simd::detail
+
+#else  // !__AVX2__
+
+namespace uoi::linalg::simd::detail {
+
+const KernelTable kAvx2Table = {
+    &dot_scalar,  &axpy_scalar,   &dist2_squared_scalar,
+    &nrm1_scalar, &gather_scalar, &scatter_scalar,
+};
+const bool kAvx2Compiled = false;
+
+}  // namespace uoi::linalg::simd::detail
+
+#endif

@@ -1,0 +1,126 @@
+// AVX-512 kernel table. One zmm register carries all eight lanes of the
+// scalar reference directly (lane l = accumulator s_l); the tail folds
+// into lane 0 after the vector loop and the reduction runs the same
+// ((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)) tree, with explicit mul-then-add
+// (no FMA), so results are bit-identical to the scalar and AVX2 tables.
+// Compiled with -mavx512f -ffp-contract=off; when the toolchain lacks
+// AVX-512 the table aliases the scalar kernels.
+
+#include "linalg/simd_scalar_kernels.hpp"
+#include "linalg/simd_tables.hpp"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace uoi::linalg::simd::detail {
+namespace {
+
+double dot_avx512(const double* x, const double* y, std::size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t i = 0;
+  const std::size_t n8 = n & ~std::size_t{7};
+  for (; i < n8; i += 8) {
+    acc = _mm512_add_pd(
+        acc, _mm512_mul_pd(_mm512_loadu_pd(x + i), _mm512_loadu_pd(y + i)));
+  }
+  alignas(64) double s[8];
+  _mm512_store_pd(s, acc);
+  for (; i < n; ++i) s[0] += x[i] * y[i];
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+void axpy_avx512(double alpha, const double* x, double* y, std::size_t n) {
+  const __m512d va = _mm512_set1_pd(alpha);
+  std::size_t i = 0;
+  const std::size_t n8 = n & ~std::size_t{7};
+  for (; i < n8; i += 8) {
+    _mm512_storeu_pd(
+        y + i, _mm512_add_pd(_mm512_loadu_pd(y + i),
+                             _mm512_mul_pd(va, _mm512_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double dist2_squared_avx512(const double* x, const double* y, std::size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t i = 0;
+  const std::size_t n8 = n & ~std::size_t{7};
+  for (; i < n8; i += 8) {
+    const __m512d d =
+        _mm512_sub_pd(_mm512_loadu_pd(x + i), _mm512_loadu_pd(y + i));
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(d, d));
+  }
+  alignas(64) double s[8];
+  _mm512_store_pd(s, acc);
+  for (; i < n; ++i) {
+    const double d = x[i] - y[i];
+    s[0] += d * d;
+  }
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+double nrm1_avx512(const double* x, std::size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t i = 0;
+  const std::size_t n8 = n & ~std::size_t{7};
+  for (; i < n8; i += 8) {
+    acc = _mm512_add_pd(acc, _mm512_abs_pd(_mm512_loadu_pd(x + i)));
+  }
+  alignas(64) double s[8];
+  _mm512_store_pd(s, acc);
+  for (; i < n; ++i) s[0] += std::abs(x[i]);
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+void gather_avx512(const double* src, const std::size_t* idx, std::size_t n,
+                   double* dst) {
+  std::size_t i = 0;
+  const std::size_t n8 = n & ~std::size_t{7};
+  for (; i < n8; i += 8) {
+    const __m512i vi =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(idx + i));
+    // Fully-masked form: the unmasked intrinsic leaves its pass-through
+    // operand formally uninitialized, which GCC's header flags.
+    _mm512_storeu_pd(dst + i, _mm512_mask_i64gather_pd(_mm512_setzero_pd(),
+                                                       0xFF, vi, src, 8));
+  }
+  for (; i < n; ++i) dst[i] = src[idx[i]];
+}
+
+void scatter_avx512(const double* src, const std::size_t* idx, std::size_t n,
+                    double* dst) {
+  std::size_t i = 0;
+  const std::size_t n8 = n & ~std::size_t{7};
+  for (; i < n8; i += 8) {
+    const __m512i vi =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(idx + i));
+    _mm512_i64scatter_pd(dst, vi, _mm512_loadu_pd(src + i), 8);
+  }
+  for (; i < n; ++i) dst[idx[i]] = src[i];
+}
+
+}  // namespace
+
+const KernelTable kAvx512Table = {
+    &dot_avx512,  &axpy_avx512,   &dist2_squared_avx512,
+    &nrm1_avx512, &gather_avx512, &scatter_avx512,
+};
+const bool kAvx512Compiled = true;
+
+}  // namespace uoi::linalg::simd::detail
+
+#else  // !__AVX512F__
+
+namespace uoi::linalg::simd::detail {
+
+const KernelTable kAvx512Table = {
+    &dot_scalar,  &axpy_scalar,   &dist2_squared_scalar,
+    &nrm1_scalar, &gather_scalar, &scatter_scalar,
+};
+const bool kAvx512Compiled = false;
+
+}  // namespace uoi::linalg::simd::detail
+
+#endif

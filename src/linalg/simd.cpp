@@ -1,0 +1,122 @@
+#include "linalg/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <unistd.h>
+
+#include "linalg/simd_tables.hpp"
+#include "support/log.hpp"
+
+namespace uoi::linalg::simd {
+
+namespace {
+
+SimdLevel detect_impl() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f") && detail::kAvx512Compiled) {
+    return SimdLevel::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2") && detail::kAvx2Compiled) {
+    return SimdLevel::kAvx2;
+  }
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel resolve_impl() {
+  const SimdLevel detected = detect_simd_level();
+  const char* env = std::getenv("UOI_SIMD");
+  if (env == nullptr || env[0] == '\0' || std::strcmp(env, "auto") == 0) {
+    return detected;
+  }
+  SimdLevel requested = detected;
+  if (std::strcmp(env, "scalar") == 0) {
+    requested = SimdLevel::kScalar;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    requested = SimdLevel::kAvx2;
+  } else if (std::strcmp(env, "avx512") == 0) {
+    requested = SimdLevel::kAvx512;
+  } else {
+    UOI_LOG_WARN.field("UOI_SIMD", env)
+        << "unknown SIMD level; using auto";
+    return detected;
+  }
+  if (requested > detected) {
+    UOI_LOG_WARN.field("UOI_SIMD", env)
+        .field("detected", simd_level_name(detected))
+        << "requested SIMD level unavailable; clamping";
+    return detected;
+  }
+  return requested;
+}
+
+}  // namespace
+
+SimdLevel detect_simd_level() {
+  static const SimdLevel level = detect_impl();
+  return level;
+}
+
+SimdLevel resolve_simd_level() {
+  static const SimdLevel level = resolve_impl();
+  return level;
+}
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+const KernelTable& kernel_table(SimdLevel level) {
+  if (level > detect_simd_level()) level = detect_simd_level();
+  switch (level) {
+    case SimdLevel::kAvx512:
+      return detail::kAvx512Table;
+    case SimdLevel::kAvx2:
+      return detail::kAvx2Table;
+    case SimdLevel::kScalar:
+      break;
+  }
+  return detail::kScalarTable;
+}
+
+const KernelTable& active_kernels() {
+  static const KernelTable& table = kernel_table(resolve_simd_level());
+  return table;
+}
+
+bool level_compiled(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx512:
+      return detail::kAvx512Compiled;
+    case SimdLevel::kAvx2:
+      return detail::kAvx2Compiled;
+    case SimdLevel::kScalar:
+      return true;
+  }
+  return true;
+}
+
+CacheSizes cache_sizes() {
+  CacheSizes sizes;
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  sizes.l1d = sysconf(_SC_LEVEL1_DCACHE_SIZE);
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  sizes.l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+#endif
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+  sizes.l3 = sysconf(_SC_LEVEL3_CACHE_SIZE);
+#endif
+  return sizes;
+}
+
+}  // namespace uoi::linalg::simd

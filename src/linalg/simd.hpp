@@ -1,0 +1,71 @@
+#pragma once
+// Runtime-dispatched SIMD kernel layer for the level-1 hot loops in
+// blas.cpp (dot/axpy/dist2/nrm1 plus the gather/scatter-compact pair the
+// screening path uses to move between full-p and working-set vectors).
+//
+// Every ISA level implements the SAME arithmetic: eight independent
+// accumulator lanes (lane l sums elements i+l for i stepping by 8), a
+// scalar tail folded into lane 0 after the main loop, and the fixed
+// reduction tree ((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)). The vector
+// variants use explicit mul-then-add intrinsics (no FMA contraction) and
+// the kernel translation units are compiled with -ffp-contract=off, so
+// results are bit-identical across scalar, AVX2 (2 x 4 lanes) and
+// AVX-512 (1 x 8 lanes). That identity is what lets UOI_SIMD=scalar CI
+// legs pin the numerics of the vectorized production path.
+//
+// Level selection: detect_simd_level() queries the CPU once;
+// resolve_simd_level() applies the UOI_SIMD={auto,avx512,avx2,scalar}
+// override, clamped to what the CPU supports. Tests compare levels in one
+// process through kernel_table(level).
+
+#include <cstddef>
+
+namespace uoi::linalg::simd {
+
+enum class SimdLevel { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Function-pointer table for one ISA level. Raw-pointer signatures keep
+/// the indirect call overhead to a single load + call in the wrappers.
+struct KernelTable {
+  double (*dot)(const double* x, const double* y, std::size_t n);
+  void (*axpy)(double alpha, const double* x, double* y, std::size_t n);
+  double (*dist2_squared)(const double* x, const double* y, std::size_t n);
+  double (*nrm1)(const double* x, std::size_t n);
+  /// dst[i] = src[idx[i]] — compact full-p data onto a working set.
+  void (*gather)(const double* src, const std::size_t* idx, std::size_t n,
+                 double* dst);
+  /// dst[idx[i]] = src[i] — expand working-set data back to full p.
+  void (*scatter)(const double* src, const std::size_t* idx, std::size_t n,
+                  double* dst);
+};
+
+/// Highest ISA level this CPU supports (queried once, cached).
+[[nodiscard]] SimdLevel detect_simd_level();
+
+/// Level after applying the UOI_SIMD env override, clamped to
+/// detect_simd_level(). Parsed once on first use.
+[[nodiscard]] SimdLevel resolve_simd_level();
+
+/// "scalar" / "avx2" / "avx512".
+[[nodiscard]] const char* simd_level_name(SimdLevel level);
+
+/// The kernel table for an explicit level (for cross-level bitwise tests;
+/// levels above detect_simd_level() fall back to the detected level).
+[[nodiscard]] const KernelTable& kernel_table(SimdLevel level);
+
+/// The table blas.cpp dispatches through: kernel_table(resolve_simd_level()).
+[[nodiscard]] const KernelTable& active_kernels();
+
+/// Whether each level was compiled with its real intrinsics (false means
+/// the toolchain lacked the ISA and the level aliases scalar code).
+[[nodiscard]] bool level_compiled(SimdLevel level);
+
+/// Data-cache sizes in bytes (-1 when the platform will not say).
+struct CacheSizes {
+  long l1d = -1;
+  long l2 = -1;
+  long l3 = -1;
+};
+[[nodiscard]] CacheSizes cache_sizes();
+
+}  // namespace uoi::linalg::simd

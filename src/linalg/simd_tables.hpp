@@ -1,0 +1,17 @@
+#pragma once
+// Internal linkage between the per-ISA kernel translation units and the
+// dispatcher in simd.cpp. Each TU defines its table; the kAvx*Compiled
+// flags record whether the TU was actually built with the ISA enabled
+// (false means its table aliases the scalar kernels).
+
+#include "linalg/simd.hpp"
+
+namespace uoi::linalg::simd::detail {
+
+extern const KernelTable kScalarTable;
+extern const KernelTable kAvx2Table;
+extern const KernelTable kAvx512Table;
+extern const bool kAvx2Compiled;
+extern const bool kAvx512Compiled;
+
+}  // namespace uoi::linalg::simd::detail

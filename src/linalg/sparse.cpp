@@ -99,7 +99,10 @@ void SparseMatrix::gemv(double alpha, std::span<const double> x, double beta,
     for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
       acc += values_[k] * x[col_indices_[k]];
     }
-    y[r] = beta * y[r] + alpha * acc;
+    // BLAS overwrite semantics: beta == 0 ignores the previous contents of
+    // y entirely (so empty rows write exactly 0 even into NaN-initialized
+    // output) instead of computing 0 * y[r].
+    y[r] = (beta == 0.0) ? alpha * acc : beta * y[r] + alpha * acc;
   }
 }
 
@@ -152,8 +155,13 @@ Matrix SparseMatrix::to_dense() const {
 void SparseMatrix::append_row(std::span<const std::size_t> cols,
                               std::span<const double> values) {
   UOI_CHECK_DIMS(cols.size() == values.size(), "append_row length mismatch");
-  UOI_CHECK(std::is_sorted(cols.begin(), cols.end()),
-            "append_row requires sorted columns");
+  // Strictly increasing, not merely sorted: a duplicate column would break
+  // the binary-search contract of at() and double-count in gemv.
+  UOI_CHECK(std::adjacent_find(cols.begin(), cols.end(),
+                               [](std::size_t a, std::size_t b) {
+                                 return a >= b;
+                               }) == cols.end(),
+            "append_row requires strictly increasing columns");
   if (!cols.empty()) {
     UOI_CHECK_DIMS(cols.back() < cols_, "append_row column out of range");
   }

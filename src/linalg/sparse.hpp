@@ -69,8 +69,9 @@ class SparseMatrix {
   }
   [[nodiscard]] std::span<const double> values() const { return values_; }
 
-  /// Appends a fully-formed row (sorted column indices). Rows must be
-  /// appended in order; used by streaming assembly.
+  /// Appends a fully-formed row (strictly increasing column indices —
+  /// duplicates are rejected, they would break the at() binary search).
+  /// Rows must be appended in order; used by streaming assembly.
   void append_row(std::span<const std::size_t> cols,
                   std::span<const double> values);
 

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "sched/schedule_policy.hpp"
+#include "solvers/screening.hpp"
 #include "support/error.hpp"
 #include "support/format.hpp"
 #include "support/json.hpp"
@@ -163,6 +164,56 @@ SchedulerSummary summarize_scheduler(
     s.tasks_max_over_mean =
         *std::max_element(tasks_per_agent.begin(), tasks_per_agent.end()) /
         mean;
+  }
+  return s;
+}
+
+/// Folds the per-rank screen.* counters into one summary. Every counter
+/// is genuinely per-rank work (each rank screens its own lambda chunk),
+/// so they all sum; the mode is a set-per-rank enum value decoded like
+/// sched.policy.
+ScreeningSummary summarize_screening(
+    const std::vector<MetricsRegistry::Entry>& metrics) {
+  ScreeningSummary s;
+  double mode_value = -1.0;
+  for (const auto& entry : metrics) {
+    if (entry.name.rfind("screen.", 0) != 0) continue;
+    s.present = true;
+    if (entry.name == "screen.mode") {
+      mode_value = entry.value;
+    } else if (entry.name == "screen.lambdas") {
+      s.lambdas += entry.value;
+    } else if (entry.name == "screen.survivors") {
+      s.survivors += entry.value;
+    } else if (entry.name == "screen.kkt_violations") {
+      s.kkt_violations += entry.value;
+    } else if (entry.name == "screen.kkt_rounds") {
+      s.kkt_rounds += entry.value;
+    } else if (entry.name == "screen.gram_cols_saved") {
+      s.gram_cols_saved += entry.value;
+    } else if (entry.name == "screen.canonical_solves") {
+      s.canonical_solves += entry.value;
+    } else if (entry.name == "screen.total_columns") {
+      s.total_columns += entry.value;
+    }
+  }
+  if (!s.present) return s;
+  switch (static_cast<int>(mode_value)) {
+    case static_cast<int>(uoi::solvers::ScreenMode::kOff):
+      s.mode = "off";
+      break;
+    case static_cast<int>(uoi::solvers::ScreenMode::kSafe):
+      s.mode = "safe";
+      break;
+    case static_cast<int>(uoi::solvers::ScreenMode::kStrong):
+      s.mode = "strong";
+      break;
+    default:
+      s.mode = "unknown";
+      break;
+  }
+  if (s.total_columns > 0.0) {
+    s.survivor_fraction = s.survivors / s.total_columns;
   }
   return s;
 }
@@ -346,6 +397,7 @@ RunReport build_run_report(const ReportInputs& inputs) {
   }
 
   report.scheduler = summarize_scheduler(inputs.metrics);
+  report.screening = summarize_screening(inputs.metrics);
   report.health = summarize_health(inputs.metrics);
 
   // Critical path.
@@ -482,6 +534,21 @@ std::string RunReport::to_json() const {
     out += ",\"placement_error\":" + json_number(scheduler.placement_error);
   }
   out += "}";
+  out += ",\"screening\":{";
+  out += std::string("\"present\":") + (screening.present ? "true" : "false");
+  if (screening.present) {
+    out += ",\"mode\":" + json_quote(screening.mode);
+    out += ",\"lambdas\":" + json_number(screening.lambdas);
+    out += ",\"survivors\":" + json_number(screening.survivors);
+    out += ",\"kkt_violations\":" + json_number(screening.kkt_violations);
+    out += ",\"kkt_rounds\":" + json_number(screening.kkt_rounds);
+    out += ",\"gram_cols_saved\":" + json_number(screening.gram_cols_saved);
+    out += ",\"canonical_solves\":" + json_number(screening.canonical_solves);
+    out += ",\"total_columns\":" + json_number(screening.total_columns);
+    out += ",\"survivor_fraction\":" +
+           json_number(screening.survivor_fraction);
+  }
+  out += "}";
   out += ",\"health\":{";
   out += std::string("\"present\":") + (health.present ? "true" : "false");
   if (health.present) {
@@ -589,6 +656,18 @@ std::string RunReport::to_text() const {
          format_fixed(scheduler.tasks_max_over_mean, 3),
          format_fixed(scheduler.placement_error, 3)});
     out += "scheduler:\n" + table.to_text();
+  }
+
+  if (screening.present) {
+    support::Table table({"mode", "lambdas", "survivors", "kkt viol",
+                          "gram saved", "canonical", "survive frac"});
+    table.add_row({screening.mode, format_fixed(screening.lambdas, 0),
+                   format_fixed(screening.survivors, 0),
+                   format_fixed(screening.kkt_violations, 0),
+                   format_fixed(screening.gram_cols_saved, 0),
+                   format_fixed(screening.canonical_solves, 0),
+                   format_fixed(screening.survivor_fraction, 3)});
+    out += "screening:\n" + table.to_text();
   }
 
   if (health.present) {

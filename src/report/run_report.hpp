@@ -90,6 +90,27 @@ struct SchedulerSummary {
   double placement_error = 0.0;      ///< calibration mean |rel error| (max)
 };
 
+/// Screening counters aggregated from the screen.* metrics the lasso /
+/// elastic-net / VAR drivers export per selection pass: how many columns
+/// the SAFE / strong rules admitted to the working sets, how many KKT
+/// violators had to be re-admitted, and how many Gram columns the gather
+/// path avoided. `present` is false (and the JSON section says so) when
+/// the run recorded no screened chain — e.g. a replayed v1-era trace.
+struct ScreeningSummary {
+  bool present = false;
+  std::string mode;                 ///< "off" / "safe" / "strong"
+  double lambdas = 0.0;             ///< sum: chain steps across ranks
+  double survivors = 0.0;           ///< sum: working-set columns admitted
+  double kkt_violations = 0.0;      ///< sum: violators re-admitted
+  double kkt_rounds = 0.0;          ///< sum: KKT re-check rounds run
+  double gram_cols_saved = 0.0;     ///< sum: columns never gathered
+  double canonical_solves = 0.0;    ///< sum: restricted polish solves
+  double total_columns = 0.0;       ///< sum: p x chain steps (denominator)
+  /// survivors / total_columns when the denominator is positive; the
+  /// headline "how aggressive was screening" number (1.0 == no pruning).
+  double survivor_fraction = 1.0;
+};
+
 /// Fault/recovery health aggregated from the recovery.* metrics the
 /// cluster exports per rank: transient-fault retries, hang detections by
 /// the progress watchdog, CRC payload rejections, shrink-and-resume
@@ -161,13 +182,16 @@ struct RunReport {
 
   SchedulerSummary scheduler;
 
+  ScreeningSummary screening;
+
   HealthSummary health;
 
   std::vector<support::MetricsRegistry::Entry> metrics;
 
-  /// {"schema":"uoi-run-report-v2", ...}. v2 adds the "scheduler" and
-  /// "health" sections; every v1 key is preserved unchanged, so v1
-  /// consumers keep working by ignoring the new sections.
+  /// {"schema":"uoi-run-report-v2", ...}. v2 adds the "scheduler",
+  /// "screening", and "health" sections; every v1 key is preserved
+  /// unchanged, so v1 consumers keep working by ignoring the new
+  /// sections.
   [[nodiscard]] std::string to_json() const;
   /// Human summary: per-rank bucket table, imbalance and critical-path
   /// lines, latency-percentile table.

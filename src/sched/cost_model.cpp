@@ -151,4 +151,41 @@ void apply_calibration(const TaskGrid& grid, const Calibration& calibration,
   }
 }
 
+void apply_survivor_weights(const TaskGrid& grid,
+                            std::span<const double> survivors_per_lambda,
+                            std::span<double> costs) {
+  UOI_CHECK_DIMS(costs.size() == grid.n_cells(),
+                 "survivor weighting does not match the grid");
+  std::vector<double> chain_weight(grid.n_chains(), 1.0);
+  std::vector<bool> chain_measured(grid.n_chains(), false);
+  double weight_sum = 0.0;
+  std::size_t measured_chains = 0;
+  for (std::size_t c = 0; c < grid.n_chains(); ++c) {
+    double survivor_sum = 0.0;
+    std::size_t measured = 0;
+    for (std::size_t j : grid.chain_lambdas(c)) {
+      if (j < survivors_per_lambda.size() && survivors_per_lambda[j] >= 0.0) {
+        survivor_sum += survivors_per_lambda[j];
+        ++measured;
+      }
+    }
+    if (measured == 0) continue;
+    chain_weight[c] = 1.0 + survivor_sum / static_cast<double>(measured);
+    chain_measured[c] = true;
+    weight_sum += chain_weight[c];
+    ++measured_chains;
+  }
+  if (measured_chains == 0) return;
+  const double mean =
+      weight_sum / static_cast<double>(measured_chains);
+  if (!(mean > 0.0)) return;
+  for (std::size_t c = 0; c < grid.n_chains(); ++c) {
+    if (!chain_measured[c]) continue;
+    chain_weight[c] = std::clamp(chain_weight[c] / mean, 0.1, 10.0);
+  }
+  for (std::size_t id = 0; id < grid.n_cells(); ++id) {
+    costs[id] *= chain_weight[grid.cell(id).chain];
+  }
+}
+
 }  // namespace uoi::sched

@@ -65,4 +65,17 @@ struct Calibration {
 void apply_calibration(const TaskGrid& grid, const Calibration& calibration,
                        std::span<double> costs);
 
+/// Reweights per-cell costs by the per-lambda survivor counts the screened
+/// selection pass measured: the estimation pass solves problems restricted
+/// to the selected columns, so a chain whose lambdas kept few survivors is
+/// proportionally cheaper than the analytic seed (which assumes all p
+/// columns) predicts. Each chain's weight is 1 + the mean survivor count
+/// over its measured lambdas, normalized to mean 1 across measured chains
+/// and clamped to [0.1, 10]; entries < 0 mean "not measured" and chains
+/// with no measured lambda keep weight 1. Placement-only, like every cost
+/// input.
+void apply_survivor_weights(const TaskGrid& grid,
+                            std::span<const double> survivors_per_lambda,
+                            std::span<double> costs);
+
 }  // namespace uoi::sched

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <memory>
+#include <optional>
 
 #include "linalg/blas.hpp"
 #include "linalg/sparse.hpp"
 #include "solvers/admm_lasso_sparse.hpp"
+#include "solvers/admm_loop.hpp"
 #include "solvers/lambda_grid.hpp"
 #include "solvers/ols.hpp"
+#include "solvers/ridge_system.hpp"
+#include "solvers/screening.hpp"
 #include "support/error.hpp"
 #include "var/lag_matrix.hpp"
 
@@ -39,6 +45,321 @@ Vector center_columns(Matrix& series) {
     for (std::size_t c = 0; c < row.size(); ++c) row[c] -= means[c];
   }
   return means;
+}
+
+/// Replicable screening quantities of the vectorized VAR problem (the
+/// serial mirror of the distributed driver's fused allreduce): coefficient
+/// g = e*dp + c sees column c of the shared lag matrix in equation e's
+/// rows only, so the per-column norms tile p times.
+uoi::solvers::DistributedScreenInputs var_screen_inputs(
+    const LagRegression& lag, std::span<const double> vec_y) {
+  const std::size_t rows = lag.x.rows();
+  const std::size_t dp = lag.x.cols();
+  const std::size_t p = lag.y.cols();
+  const std::size_t nc = dp * p;
+  uoi::solvers::DistributedScreenInputs in;
+  in.atb.assign(nc, 0.0);
+  in.col_sq_norms.assign(nc, 0.0);
+  Vector colsq(dp, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto row = lag.x.row(r);
+    for (std::size_t c = 0; c < dp; ++c) colsq[c] += row[c] * row[c];
+  }
+  for (std::size_t e = 0; e < p; ++e) {
+    uoi::linalg::gemv_transposed(
+        1.0, lag.x, vec_y.subspan(e * rows, rows), 0.0,
+        std::span<double>(in.atb).subspan(e * dp, dp));
+    std::copy(colsq.begin(), colsq.end(),
+              in.col_sq_norms.begin() + static_cast<std::ptrdiff_t>(e * dp));
+  }
+  in.b_norm_sq = uoi::linalg::nrm2_squared(vec_y);
+  for (const double v : in.atb) {
+    in.lambda_max = std::max(in.lambda_max, std::abs(v));
+  }
+  return in;
+}
+
+/// c = A'(b - A beta) of the vectorized problem for a full-length beta.
+Vector var_correlation(const LagRegression& lag, std::span<const double> vec_y,
+                       std::span<const double> beta_full,
+                       std::uint64_t& flops) {
+  const std::size_t rows = lag.x.rows();
+  const std::size_t dp = lag.x.cols();
+  const std::size_t p = lag.y.cols();
+  Vector c(dp * p, 0.0);
+  Vector r(rows);
+  for (std::size_t e = 0; e < p; ++e) {
+    const auto y_e = vec_y.subspan(e * rows, rows);
+    std::copy(y_e.begin(), y_e.end(), r.begin());
+    uoi::linalg::gemv(-1.0, lag.x, beta_full.subspan(e * dp, dp), 1.0, r);
+    uoi::linalg::gemv_transposed(1.0, lag.x, r, 0.0,
+                                 std::span<double>(c).subspan(e * dp, dp));
+    flops += 2 * uoi::linalg::gemv_flops(rows, dp);
+  }
+  return c;
+}
+
+/// Serial active-set solver over a sorted subset of the vectorized VAR
+/// coefficients: the joint ADMM runs in compacted working coordinates and
+/// the x-update factorizes per equation over the surviving columns (a
+/// view of the shared lag matrix when all dp survive, a gathered copy
+/// otherwise) — the serial mirror of the reduced DistributedVarAdmmSolver.
+class VarWorkingSetSolver {
+ public:
+  VarWorkingSetSolver(const LagRegression& lag, std::span<const double> vec_y,
+                      std::span<const std::size_t> working,
+                      const uoi::solvers::AdmmOptions& options)
+      : lag_(&lag), options_(options), nw_(working.size()) {
+    const std::size_t rows = lag.x.rows();
+    const std::size_t dp = lag.x.cols();
+    const std::size_t p = lag.y.cols();
+    atb_.assign(nw_, 0.0);
+    std::size_t w = 0;
+    for (std::size_t e = 0; e < p && w < nw_; ++e) {
+      const std::size_t lo = w;
+      while (w < nw_ && working[w] < (e + 1) * dp) ++w;
+      const std::size_t width = w - lo;
+      if (width == 0) continue;
+      Equation eq;
+      eq.offset = lo;
+      eq.width = width;
+      if (width < dp) {
+        std::vector<std::size_t> cols(width);
+        for (std::size_t i = 0; i < width; ++i) {
+          cols[i] = working[lo + i] - e * dp;
+        }
+        eq.cols = uoi::solvers::detail::gather_cols_view(lag.x, cols);
+      }
+      const ConstMatrixView v =
+          eq.cols.rows() > 0 ? ConstMatrixView(eq.cols)
+                             : ConstMatrixView(lag.x);
+      eq.solver =
+          std::make_unique<uoi::solvers::RidgeSystemSolver>(v, options.rho);
+      setup_flops_ += eq.solver->setup_flops();
+      Vector partial(width, 0.0);
+      uoi::linalg::gemv_transposed(1.0, v, vec_y.subspan(e * rows, rows),
+                                   0.0, partial);
+      std::copy(partial.begin(), partial.end(),
+                atb_.begin() + static_cast<std::ptrdiff_t>(lo));
+      equations_.push_back(std::move(eq));
+    }
+    pending_setup_flops_ = setup_flops_;
+  }
+
+  [[nodiscard]] uoi::solvers::AdmmResult solve(
+      double lambda, const uoi::solvers::AdmmResult* warm_start) const {
+    std::uint64_t per_iter = 0;
+    for (const auto& eq : equations_) per_iter += eq.solver->solve_flops();
+    double current_rho = options_.rho;
+    std::vector<std::unique_ptr<uoi::solvers::RidgeSystemSolver>> rebuilt;
+    const std::uint64_t charged = pending_setup_flops_;
+    pending_setup_flops_ = 0;
+    const auto solve_ls = [&](std::span<const double> q, std::span<double> x,
+                              double rho) {
+      if (rho != current_rho) {
+        rebuilt.clear();
+        rebuilt.reserve(equations_.size());
+        for (const auto& eq : equations_) {
+          const ConstMatrixView v = eq.cols.rows() > 0
+                                        ? ConstMatrixView(eq.cols)
+                                        : ConstMatrixView(lag_->x);
+          rebuilt.push_back(
+              std::make_unique<uoi::solvers::RidgeSystemSolver>(
+                  v, rho, eq.solver->gram()));
+        }
+        current_rho = rho;
+      }
+      for (std::size_t k = 0; k < equations_.size(); ++k) {
+        const auto& eq = equations_[k];
+        const auto& s = rebuilt.empty() ? *eq.solver : *rebuilt[k];
+        s.solve(q.subspan(eq.offset, eq.width),
+                x.subspan(eq.offset, eq.width));
+      }
+    };
+    return uoi::solvers::detail::run_admm_loop(nw_, lambda, options_, atb_,
+                                               solve_ls, charged, per_iter,
+                                               warm_start);
+  }
+
+ private:
+  struct Equation {
+    std::size_t offset = 0;  ///< first compacted coordinate
+    std::size_t width = 0;   ///< surviving columns of this equation
+    Matrix cols;             ///< gathered subset; empty when width == dp
+    std::unique_ptr<uoi::solvers::RidgeSystemSolver> solver;
+  };
+  const LagRegression* lag_;
+  uoi::solvers::AdmmOptions options_;
+  std::size_t nw_;
+  Vector atb_;
+  std::vector<Equation> equations_;
+  std::uint64_t setup_flops_ = 0;
+  mutable std::uint64_t pending_setup_flops_ = 0;
+};
+
+/// Serial screened lambda-chain driver for the vectorized VAR problem:
+/// the same canonical two-stage contract as solvers::ScreenedLassoChain
+/// (working solve over W, KKT re-admission, |S|-restricted canonical
+/// polish), shared by both serial backends — only the off-mode full solve
+/// is backend-specific, injected via `full_solve`.
+class SerialScreenedVarChain {
+ public:
+  using FullSolve = std::function<uoi::solvers::AdmmResult(
+      double, const uoi::solvers::AdmmResult*)>;
+
+  SerialScreenedVarChain(const LagRegression& lag,
+                         std::span<const double> vec_y,
+                         const uoi::solvers::AdmmOptions& admm,
+                         const uoi::solvers::ScreenOptions& screen,
+                         FullSolve full_solve)
+      : lag_(&lag), vec_y_(vec_y),
+        admm_(uoi::solvers::detail::refined_admm_options(admm, screen)),
+        screen_(screen),
+        mode_(uoi::solvers::resolve_screen_mode(screen.mode)),
+        full_solve_(std::move(full_solve)),
+        inputs_(var_screen_inputs(lag, vec_y)) {
+    state_.reset(inputs_.atb.size());
+  }
+
+  [[nodiscard]] uoi::solvers::AdmmResult solve(double lambda);
+
+  [[nodiscard]] const uoi::solvers::ScreenStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  const LagRegression* lag_;
+  std::span<const double> vec_y_;
+  uoi::solvers::AdmmOptions admm_;
+  uoi::solvers::ScreenOptions screen_;
+  uoi::solvers::ScreenMode mode_;
+  FullSolve full_solve_;
+  uoi::solvers::DistributedScreenInputs inputs_;
+  uoi::solvers::detail::ChainScreenState state_;
+  uoi::solvers::ScreenStats stats_;
+};
+
+uoi::solvers::AdmmResult SerialScreenedVarChain::solve(double lambda) {
+  namespace sdetail = uoi::solvers::detail;
+  using uoi::solvers::AdmmResult;
+  using uoi::solvers::ScreenMode;
+  const std::size_t nc = inputs_.atb.size();
+  if (state_.has_prev && lambda > state_.lambda_prev) state_.reset(nc);
+  ++stats_.lambdas;
+  stats_.total_columns += nc;
+
+  std::vector<std::size_t> working = sdetail::screen_working_set(
+      mode_, nc, lambda, inputs_.atb, inputs_.col_sq_norms,
+      inputs_.b_norm_sq, inputs_.lambda_max, state_);
+  std::vector<char> in_working(nc, 0);
+  for (const std::size_t j : working) in_working[j] = 1;
+
+  AdmmResult work;
+  Vector c(nc, 0.0);
+  bool have_c = false;
+  std::uint64_t total_flops = 0;
+  std::uint64_t total_iterations = 0;
+  std::uint64_t total_rho_updates = 0;
+
+  const auto accumulate = [&](const AdmmResult& fit) {
+    total_flops += fit.flops;
+    total_iterations += fit.iterations;
+    total_rho_updates += fit.rho_updates;
+  };
+  const auto expand = [&](std::span<const double> reduced,
+                          std::span<const std::size_t> idx) {
+    Vector full(nc, 0.0);
+    if (!reduced.empty()) uoi::linalg::scatter_expand(reduced, idx, full);
+    return full;
+  };
+
+  for (std::size_t round = 0;; ++round) {
+    if (mode_ == ScreenMode::kOff) {
+      AdmmResult ws;
+      ws.beta = state_.beta_prev;
+      work = full_solve_(lambda, &ws);
+    } else if (working.empty()) {
+      work = AdmmResult{};
+      work.converged = true;
+    } else {
+      const VarWorkingSetSolver sub(*lag_, vec_y_, working, admm_);
+      AdmmResult ws;
+      ws.beta = sdetail::gather_vector(state_.beta_prev, working);
+      work = sub.solve(lambda, &ws);
+    }
+    accumulate(work);
+    if (mode_ == ScreenMode::kOff) break;
+
+    const Vector beta_full = expand(work.beta, working);
+    c = var_correlation(*lag_, vec_y_, beta_full, total_flops);
+    have_c = true;
+    if (round >= screen_.max_kkt_rounds) break;
+    const auto violators =
+        sdetail::kkt_violators(c, in_working, lambda, screen_);
+    if (violators.empty()) break;
+    stats_.kkt_violations += violators.size();
+    ++stats_.kkt_rounds;
+    for (const std::size_t j : violators) in_working[j] = 1;
+    std::vector<std::size_t> merged;
+    merged.reserve(working.size() + violators.size());
+    std::merge(working.begin(), working.end(), violators.begin(),
+               violators.end(), std::back_inserter(merged));
+    working = std::move(merged);
+  }
+  stats_.survivors += working.size();
+  stats_.gram_cols_saved += nc - working.size();
+
+  std::vector<std::size_t> support;
+  if (mode_ == ScreenMode::kOff) {
+    for (std::size_t j = 0; j < nc; ++j) {
+      if (work.beta[j] != 0.0) support.push_back(j);
+    }
+  } else {
+    for (std::size_t i = 0; i < working.size(); ++i) {
+      if (work.beta[i] != 0.0) support.push_back(working[i]);
+    }
+  }
+
+  AdmmResult final_result;
+  bool canonical_ran = false;
+  if (support.size() == working.size()) {
+    // The working solve IS the canonical solve, bit for bit.
+    final_result = std::move(work);
+    if (mode_ != ScreenMode::kOff) {
+      final_result.beta = expand(final_result.beta, working);
+    }
+  } else {
+    ++stats_.canonical_solves;
+    canonical_ran = true;
+    if (support.empty()) {
+      final_result = AdmmResult{};
+      final_result.converged = true;
+      final_result.beta.assign(nc, 0.0);
+    } else {
+      const VarWorkingSetSolver sub(*lag_, vec_y_, support, admm_);
+      AdmmResult ws;
+      ws.beta = sdetail::gather_vector(state_.beta_prev, support);
+      final_result = sub.solve(lambda, &ws);
+      accumulate(final_result);
+      final_result.beta = expand(final_result.beta, support);
+    }
+  }
+  final_result.flops = total_flops;
+  final_result.iterations = total_iterations;
+  final_result.rho_updates = total_rho_updates;
+
+  state_.has_prev = true;
+  state_.lambda_prev = lambda;
+  state_.beta_prev = final_result.beta;
+  for (const std::size_t j : support) state_.ever_active[j] = 1;
+  if (mode_ == ScreenMode::kStrong) {
+    if (canonical_ran || !have_c) {
+      c = var_correlation(*lag_, vec_y_, final_result.beta,
+                          final_result.flops);
+    }
+    state_.c_prev = c;
+  }
+  return final_result;
 }
 
 }  // namespace
@@ -171,36 +492,46 @@ UoiVarResult UoiVar::fit(ConstMatrixView series_view) const {
     const LagRegression lag = build_lag_regression(sample, d);
     const VectorizedProblem problem = vectorize(lag);
 
-    uoi::solvers::AdmmResult previous;
-    bool have_previous = false;
-    auto record = [&](std::size_t j, uoi::solvers::AdmmResult fit) {
+    auto record = [&](std::size_t j, const uoi::solvers::AdmmResult& fit) {
       result.total_flops += fit.flops;
       auto row = selection_counts.row(j);
       for (std::size_t i = 0; i < n_coeffs; ++i) {
         if (std::abs(fit.beta[i]) > options_.support_tolerance) row[i] += 1.0;
       }
-      previous = std::move(fit);
-      have_previous = true;
     };
 
-    if (options_.backend == VarSolverBackend::kStructured) {
-      const uoi::solvers::KronLassoAdmmSolver solver(problem.design,
-                                                     problem.vec_y,
-                                                     options_.admm);
-      for (std::size_t j = 0; j < q; ++j) {
-        record(j, solver.solve(result.lambdas[j],
-                               have_previous ? &previous : nullptr));
-      }
-    } else {
-      // The paper's sparse path: materialize I (x) X as CSR.
-      const uoi::linalg::SparseMatrix design =
-          uoi::linalg::SparseMatrix::block_diagonal(lag.x, p);
-      const uoi::solvers::SparseLassoAdmmSolver solver(design, problem.vec_y,
-                                                       options_.admm);
-      for (std::size_t j = 0; j < q; ++j) {
-        record(j, solver.solve(result.lambdas[j],
-                               have_previous ? &previous : nullptr));
-      }
+    // Both backends drive the canonical screened chain (warm starts and
+    // the two-stage solve live there); they differ only in how an off-mode
+    // full solve is produced. The full solver — and for the sparse path
+    // the materialized CSR I (x) X — is built lazily, so screened runs
+    // never pay for it.
+    std::optional<uoi::linalg::SparseMatrix> design;
+    std::optional<uoi::solvers::KronLassoAdmmSolver> kron_solver;
+    std::optional<uoi::solvers::SparseLassoAdmmSolver> sparse_solver;
+    // Off-mode full solvers serve chain working solves, so they must run
+    // under the chain's refined stopping rules.
+    const uoi::solvers::AdmmOptions chain_admm =
+        uoi::solvers::detail::refined_admm_options(options_.admm,
+                                                   options_.screen);
+    SerialScreenedVarChain chain(
+        lag, problem.vec_y, options_.admm, options_.screen,
+        [&](double lambda, const uoi::solvers::AdmmResult* warm) {
+          if (options_.backend == VarSolverBackend::kStructured) {
+            if (!kron_solver) {
+              kron_solver.emplace(problem.design, problem.vec_y, chain_admm);
+            }
+            return kron_solver->solve(lambda, warm);
+          }
+          if (!sparse_solver) {
+            // The paper's sparse path: materialize I (x) X as CSR.
+            design.emplace(
+                uoi::linalg::SparseMatrix::block_diagonal(lag.x, p));
+            sparse_solver.emplace(*design, problem.vec_y, chain_admm);
+          }
+          return sparse_solver->solve(lambda, warm);
+        });
+    for (std::size_t j = 0; j < q; ++j) {
+      record(j, chain.solve(result.lambdas[j]));
     }
   }
   const double count_threshold = std::max(

@@ -54,6 +54,10 @@ struct UoiVarOptions {
   bool center = true;
   std::uint64_t seed = 20200518;
   uoi::solvers::AdmmOptions admm;
+  /// Screening along each selection lambda chain (both serial backends
+  /// and the distributed driver run the same canonical two-stage chain).
+  /// Modes are byte-identical (see core::UoiLassoOptions::screen).
+  uoi::solvers::ScreenOptions screen;
   /// Fault tolerance for the distributed driver: shrink-and-resume on rank
   /// failure, retry budget for transient one-sided faults, and optional
   /// selection checkpointing (see core::UoiRecoveryOptions).

@@ -17,6 +17,7 @@
 #include "solvers/consensus_loop.hpp"
 #include "solvers/ols.hpp"
 #include "solvers/ridge_system.hpp"
+#include "solvers/screening.hpp"
 #include "solvers/solver_cache.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
@@ -186,15 +187,39 @@ struct DistributedVarAdmmSolver::EquationSystem {
   std::size_t equation;
   std::size_t row_begin;  // local row range [row_begin, row_end)
   std::size_t row_end;
+  std::size_t offset;  // first solve-vector coordinate of this equation
+  std::size_t width;   // solve-vector coordinates (== dp unless reduced)
+  /// Gathered surviving columns; empty when all dp columns survive, in
+  /// which case the original row block is used directly.
+  uoi::linalg::Matrix cols;
   std::unique_ptr<uoi::solvers::RidgeSystemSolver> solver;
+
+  [[nodiscard]] ConstMatrixView rows(const VarLocalBlock& block) const {
+    if (cols.rows() > 0) return cols;
+    return block.x_rows.row_block(row_begin, row_end - row_begin);
+  }
 };
 
 DistributedVarAdmmSolver::DistributedVarAdmmSolver(
     Comm& comm, const VarLocalBlock& block,
     const uoi::solvers::AdmmOptions& options)
     : comm_(&comm), block_(&block), options_(options) {
+  init({});
+}
+
+DistributedVarAdmmSolver::DistributedVarAdmmSolver(
+    Comm& comm, const VarLocalBlock& block,
+    std::span<const std::size_t> working,
+    const uoi::solvers::AdmmOptions& options)
+    : comm_(&comm), block_(&block), options_(options), reduced_(true) {
+  init(working);
+}
+
+void DistributedVarAdmmSolver::init(std::span<const std::size_t> working) {
+  const VarLocalBlock& block = *block_;
   const std::size_t dp = block.dp;
-  atb_.assign(block.n_coefficients(), 0.0);
+  n_solve_coeffs_ = reduced_ ? working.size() : block.n_coefficients();
+  atb_.assign(n_solve_coeffs_, 0.0);
 
   // Local rows arrive grouped by equation (global rows are contiguous), so
   // one pass finds the per-equation ranges.
@@ -205,21 +230,50 @@ DistributedVarAdmmSolver::DistributedVarAdmmSolver(
     const std::size_t e = block.equation_of_row[begin];
     while (end < n_local && block.equation_of_row[end] == e) ++end;
 
-    const ConstMatrixView rows_view =
-        block.x_rows.row_block(begin, end - begin);
-    auto solver = std::make_unique<uoi::solvers::RidgeSystemSolver>(
-        rows_view, options_.rho);
-    setup_flops_ += solver->setup_flops();
+    // Solve-vector slice of equation e. Global coefficients g = e*dp + c
+    // ascend with e, so a sorted working set keeps each equation's
+    // survivors contiguous — the reduced offset is a binary search away.
+    std::size_t offset = e * dp;
+    std::size_t width = dp;
+    std::vector<std::size_t> local_cols;
+    if (reduced_) {
+      const auto lo =
+          std::lower_bound(working.begin(), working.end(), e * dp);
+      const auto hi =
+          std::lower_bound(lo, working.end(), (e + 1) * dp);
+      offset = static_cast<std::size_t>(lo - working.begin());
+      width = static_cast<std::size_t>(hi - lo);
+      if (width == 0) {
+        // No surviving columns: the equation's rows vanish from the
+        // reduced problem (x = z - u covers every reduced coordinate).
+        begin = end;
+        continue;
+      }
+      if (width < dp) {
+        local_cols.resize(width);
+        for (std::size_t i = 0; i < width; ++i) local_cols[i] = lo[i] - e * dp;
+      }
+    }
 
-    // A'b restricted to this equation's coordinate block.
-    Vector partial(dp, 0.0);
+    EquationSystem sys{e, begin, end, offset, width, {}, nullptr};
+    if (!local_cols.empty()) {
+      sys.cols = uoi::solvers::detail::gather_cols_view(
+          block.x_rows.row_block(begin, end - begin), local_cols);
+    }
+    const ConstMatrixView rows_view = sys.rows(block);
+    sys.solver = std::make_unique<uoi::solvers::RidgeSystemSolver>(
+        rows_view, options_.rho);
+    setup_flops_ += sys.solver->setup_flops();
+
+    // A'b restricted to this equation's surviving coordinates.
+    Vector partial(width, 0.0);
     uoi::linalg::gemv_transposed(
         1.0, rows_view,
         std::span<const double>(block.y).subspan(begin, end - begin), 0.0,
         partial);
-    for (std::size_t c = 0; c < dp; ++c) atb_[e * dp + c] = partial[c];
+    for (std::size_t c = 0; c < width; ++c) atb_[offset + c] = partial[c];
 
-    systems_.push_back({e, begin, end, std::move(solver)});
+    systems_.push_back(std::move(sys));
     begin = end;
   }
   pending_setup_flops_ = setup_flops_;
@@ -230,13 +284,12 @@ DistributedVarAdmmSolver::~DistributedVarAdmmSolver() = default;
 uoi::solvers::DistributedAdmmResult DistributedVarAdmmSolver::solve(
     double lambda,
     const uoi::solvers::DistributedAdmmResult* warm_start) const {
-  const std::size_t n_coeffs = block_->n_coefficients();
-  const std::size_t dp = block_->dp;
+  const std::size_t n_coeffs = n_solve_coeffs_;
 
   std::uint64_t per_iter_flops = 0;
   for (const auto& sys : systems_) per_iter_flops += sys.solver->solve_flops();
 
-  Vector q(dp);
+  Vector q(block_->dp);
   std::vector<std::unique_ptr<uoi::solvers::RidgeSystemSolver>> rebuilt;
   double current_rho = options_.rho;
   std::uint64_t refactor_flops = 0;
@@ -253,9 +306,7 @@ uoi::solvers::DistributedAdmmResult DistributedVarAdmmSolver::solve(
           rebuilt.reserve(systems_.size());
           for (const auto& sys : systems_) {
             rebuilt.push_back(std::make_unique<uoi::solvers::RidgeSystemSolver>(
-                block_->x_rows.row_block(sys.row_begin,
-                                         sys.row_end - sys.row_begin),
-                rho, sys.solver->gram()));
+                sys.rows(*block_), rho, sys.solver->gram()));
             refactor_flops += rebuilt.back()->setup_flops();
           }
           current_rho = rho;
@@ -265,12 +316,13 @@ uoi::solvers::DistributedAdmmResult DistributedVarAdmmSolver::solve(
         // Per-equation dense solves on the local row ranges.
         for (std::size_t k = 0; k < systems_.size(); ++k) {
           const auto& sys = systems_[k];
-          const std::size_t off = sys.equation * dp;
-          for (std::size_t c = 0; c < dp; ++c) {
+          const std::size_t off = sys.offset;
+          for (std::size_t c = 0; c < sys.width; ++c) {
             q[c] = atb_[off + c] + rho * (z[off + c] - u[off + c]);
           }
           const auto& solver = rebuilt.empty() ? *sys.solver : *rebuilt[k];
-          solver.solve(q, std::span<double>(x).subspan(off, dp));
+          solver.solve(std::span<const double>(q).first(sys.width),
+                       std::span<double>(x).subspan(off, sys.width));
         }
       },
       charged_setup, per_iter_flops, warm_start);
@@ -285,6 +337,259 @@ bool owns_equation(std::size_t e, int c_ranks, int c_rank) {
   return static_cast<int>(e % static_cast<std::size_t>(c_ranks)) == c_rank;
 }
 
+/// Replicated screening inputs for the vectorized VAR problem: one fused
+/// (2 dp p + 1)-double allreduce over [A'b | column ||.||^2 | b'b], where
+/// column g = e*dp + c lives only in equation e's rows.
+uoi::solvers::DistributedScreenInputs build_var_screen_inputs(
+    Comm& comm, const VarLocalBlock& block) {
+  const std::size_t nc = block.n_coefficients();
+  const std::size_t dp = block.dp;
+  Vector buffer(2 * nc + 1, 0.0);
+  std::size_t begin = 0;
+  const std::size_t n_local = block.equation_of_row.size();
+  while (begin < n_local) {
+    std::size_t end = begin;
+    const std::size_t e = block.equation_of_row[begin];
+    while (end < n_local && block.equation_of_row[end] == e) ++end;
+    const ConstMatrixView rows = block.x_rows.row_block(begin, end - begin);
+    uoi::linalg::gemv_transposed(
+        1.0, rows, std::span<const double>(block.y).subspan(begin, end - begin),
+        0.0, std::span<double>(buffer).subspan(e * dp, dp));
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
+      const auto row = rows.row(r);
+      for (std::size_t c = 0; c < dp; ++c) {
+        buffer[nc + e * dp + c] += row[c] * row[c];
+      }
+    }
+    begin = end;
+  }
+  buffer[2 * nc] = uoi::linalg::nrm2_squared(block.y);
+  comm.allreduce(std::span<double>(buffer), ReduceOp::kSum);
+
+  uoi::solvers::DistributedScreenInputs inputs;
+  inputs.atb.assign(buffer.begin(),
+                    buffer.begin() + static_cast<std::ptrdiff_t>(nc));
+  inputs.col_sq_norms.assign(
+      buffer.begin() + static_cast<std::ptrdiff_t>(nc),
+      buffer.begin() + static_cast<std::ptrdiff_t>(2 * nc));
+  inputs.b_norm_sq = buffer[2 * nc];
+  for (const double v : inputs.atb) {
+    inputs.lambda_max = std::max(inputs.lambda_max, std::abs(v));
+  }
+  return inputs;
+}
+
+/// Local contribution to c = A'(b - A beta) for a full-length beta,
+/// exploiting the block structure (equation e's rows touch only the
+/// coefficient block [e*dp, (e+1)*dp)).
+Vector var_correlation_local(const VarLocalBlock& block,
+                             std::span<const double> beta_full,
+                             std::uint64_t& flops) {
+  const std::size_t dp = block.dp;
+  Vector c(block.n_coefficients(), 0.0);
+  std::size_t begin = 0;
+  const std::size_t n_local = block.equation_of_row.size();
+  while (begin < n_local) {
+    std::size_t end = begin;
+    const std::size_t e = block.equation_of_row[begin];
+    while (end < n_local && block.equation_of_row[end] == e) ++end;
+    const ConstMatrixView rows = block.x_rows.row_block(begin, end - begin);
+    Vector r(block.y.begin() + static_cast<std::ptrdiff_t>(begin),
+             block.y.begin() + static_cast<std::ptrdiff_t>(end));
+    uoi::linalg::gemv(-1.0, rows, beta_full.subspan(e * dp, dp), 1.0, r);
+    uoi::linalg::gemv_transposed(1.0, rows, r, 0.0,
+                                 std::span<double>(c).subspan(e * dp, dp));
+    flops += 2 * uoi::linalg::gemv_flops(end - begin, dp);
+    begin = end;
+  }
+  return c;
+}
+
+/// Distributed screened lambda-chain driver over the block-structured VAR
+/// solver: the same canonical two-stage contract as solvers::
+/// DistributedScreenedLassoChain (working solve on W, KKT re-admission,
+/// |S|-restricted canonical polish), with reduced solves delegated to the
+/// active-set DistributedVarAdmmSolver so the fused consensus payload
+/// shrinks from (dp*p + 3) to (|W| + 3) doubles.
+class ScreenedVarChain {
+ public:
+  ScreenedVarChain(Comm& comm, const VarLocalBlock& block,
+                   const uoi::solvers::DistributedScreenInputs& shared,
+                   const uoi::solvers::AdmmOptions& admm,
+                   const uoi::solvers::ScreenOptions& screen,
+                   const DistributedVarAdmmSolver* full_solver)
+      : comm_(&comm), block_(&block), shared_(&shared),
+        admm_(uoi::solvers::detail::refined_admm_options(admm, screen)),
+        screen_(screen), mode_(uoi::solvers::resolve_screen_mode(screen.mode)),
+        full_solver_(full_solver) {
+    state_.reset(block.n_coefficients());
+  }
+
+  [[nodiscard]] uoi::solvers::DistributedAdmmResult solve(double lambda);
+
+  [[nodiscard]] const uoi::solvers::ScreenStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  Comm* comm_;
+  const VarLocalBlock* block_;
+  const uoi::solvers::DistributedScreenInputs* shared_;
+  uoi::solvers::AdmmOptions admm_;
+  uoi::solvers::ScreenOptions screen_;
+  uoi::solvers::ScreenMode mode_;
+  const DistributedVarAdmmSolver* full_solver_;
+  std::optional<DistributedVarAdmmSolver> owned_full_solver_;
+  uoi::solvers::detail::ChainScreenState state_;
+  uoi::solvers::ScreenStats stats_;
+};
+
+uoi::solvers::DistributedAdmmResult ScreenedVarChain::solve(double lambda) {
+  namespace sdetail = uoi::solvers::detail;
+  using uoi::solvers::DistributedAdmmResult;
+  using uoi::solvers::ScreenMode;
+  const std::size_t nc = block_->n_coefficients();
+  if (state_.has_prev && lambda > state_.lambda_prev) state_.reset(nc);
+  ++stats_.lambdas;
+  stats_.total_columns += nc;
+
+  std::vector<std::size_t> working = sdetail::screen_working_set(
+      mode_, nc, lambda, shared_->atb, shared_->col_sq_norms,
+      shared_->b_norm_sq, shared_->lambda_max, state_);
+  std::vector<char> in_working(nc, 0);
+  for (const std::size_t j : working) in_working[j] = 1;
+
+  DistributedAdmmResult work;
+  Vector c(nc, 0.0);
+  bool have_c = false;
+  DistributedAdmmResult totals;  // additive counters only
+
+  const auto accumulate = [&](const DistributedAdmmResult& fit) {
+    totals.iterations += fit.iterations;
+    totals.local_flops += fit.local_flops;
+    totals.allreduce_calls += fit.allreduce_calls;
+    totals.allreduce_bytes += fit.allreduce_bytes;
+    totals.consensus_rounds += fit.consensus_rounds;
+    totals.lazy_iterations += fit.lazy_iterations;
+    totals.rho_updates += fit.rho_updates;
+  };
+
+  // Expands a working solve's compacted beta to full length.
+  const auto expand = [&](std::span<const double> reduced,
+                          std::span<const std::size_t> idx) {
+    Vector full(nc, 0.0);
+    if (!reduced.empty()) uoi::linalg::scatter_expand(reduced, idx, full);
+    return full;
+  };
+
+  for (std::size_t round = 0;; ++round) {
+    if (mode_ == ScreenMode::kOff) {
+      if (full_solver_ == nullptr && !owned_full_solver_) {
+        owned_full_solver_.emplace(*comm_, *block_, admm_);
+      }
+      const DistributedVarAdmmSolver& solver =
+          full_solver_ != nullptr ? *full_solver_ : *owned_full_solver_;
+      DistributedAdmmResult ws;
+      ws.beta = state_.beta_prev;
+      work = solver.solve(lambda, &ws);
+    } else if (working.empty()) {
+      work = DistributedAdmmResult{};
+      work.converged = true;
+    } else {
+      // No collectives in the reduced constructor, so building a fresh
+      // active-set solver per lambda stays collective-safe; its setup
+      // FLOPs are charged to the first solve.
+      const DistributedVarAdmmSolver sub(*comm_, *block_, working, admm_);
+      DistributedAdmmResult ws;
+      ws.beta = sdetail::gather_vector(state_.beta_prev, working);
+      work = sub.solve(lambda, &ws);
+    }
+    accumulate(work);
+    if (mode_ == ScreenMode::kOff) break;
+
+    // KKT check over all coefficients: one nc-length allreduce per round.
+    const Vector beta_full = expand(work.beta, working);
+    c = var_correlation_local(*block_, beta_full, totals.local_flops);
+    comm_->allreduce(std::span<double>(c), ReduceOp::kSum);
+    totals.allreduce_calls += 1;
+    totals.allreduce_bytes += nc * sizeof(double);
+    have_c = true;
+    if (round >= screen_.max_kkt_rounds) break;
+    const auto violators =
+        sdetail::kkt_violators(c, in_working, lambda, screen_);
+    if (violators.empty()) break;
+    stats_.kkt_violations += violators.size();
+    ++stats_.kkt_rounds;
+    for (const std::size_t j : violators) in_working[j] = 1;
+    std::vector<std::size_t> merged;
+    merged.reserve(working.size() + violators.size());
+    std::merge(working.begin(), working.end(), violators.begin(),
+               violators.end(), std::back_inserter(merged));
+    working = std::move(merged);
+  }
+  stats_.survivors += working.size();
+  stats_.gram_cols_saved += nc - working.size();
+
+  std::vector<std::size_t> support;
+  if (mode_ == ScreenMode::kOff) {
+    for (std::size_t j = 0; j < nc; ++j) {
+      if (work.beta[j] != 0.0) support.push_back(j);
+    }
+  } else {
+    for (std::size_t i = 0; i < working.size(); ++i) {
+      if (work.beta[i] != 0.0) support.push_back(working[i]);
+    }
+  }
+
+  DistributedAdmmResult final_result;
+  bool canonical_ran = false;
+  if (support.size() == working.size()) {
+    // The working solve IS the canonical solve, bit for bit.
+    final_result = std::move(work);
+    if (mode_ != ScreenMode::kOff) {
+      final_result.beta = expand(final_result.beta, working);
+    }
+  } else {
+    ++stats_.canonical_solves;
+    canonical_ran = true;
+    if (support.empty()) {
+      final_result = DistributedAdmmResult{};
+      final_result.converged = true;
+      final_result.beta.assign(nc, 0.0);
+    } else {
+      const DistributedVarAdmmSolver sub(*comm_, *block_, support, admm_);
+      DistributedAdmmResult ws;
+      ws.beta = sdetail::gather_vector(state_.beta_prev, support);
+      final_result = sub.solve(lambda, &ws);
+      accumulate(final_result);
+      final_result.beta = expand(final_result.beta, support);
+    }
+  }
+  final_result.iterations = totals.iterations;
+  final_result.local_flops = totals.local_flops;
+  final_result.allreduce_calls = totals.allreduce_calls;
+  final_result.allreduce_bytes = totals.allreduce_bytes;
+  final_result.consensus_rounds = totals.consensus_rounds;
+  final_result.lazy_iterations = totals.lazy_iterations;
+  final_result.rho_updates = totals.rho_updates;
+
+  state_.has_prev = true;
+  state_.lambda_prev = lambda;
+  state_.beta_prev = final_result.beta;
+  for (const std::size_t j : support) state_.ever_active[j] = 1;
+  if (mode_ == ScreenMode::kStrong) {
+    if (canonical_ran || !have_c) {
+      c = var_correlation_local(*block_, final_result.beta,
+                                final_result.local_flops);
+      comm_->allreduce(std::span<double>(c), ReduceOp::kSum);
+      final_result.allreduce_calls += 1;
+      final_result.allreduce_bytes += nc * sizeof(double);
+    }
+    state_.c_prev = c;
+  }
+  return final_result;
+}
+
 // Per-bootstrap cache entries. bytes() returns an estimate computed from
 // the *global* problem shape, not the local row counts: the selection
 // build is collective over the task group, so every rank must make the
@@ -292,6 +597,10 @@ bool owns_equation(std::size_t e, int c_ranks, int c_rank) {
 // part of the group waiting in a collective forever.
 struct VarSelectionEntry {
   VarLocalBlock block;
+  /// Replicated screening inputs shared by every chain of the bootstrap.
+  uoi::solvers::DistributedScreenInputs screen_inputs;
+  /// Full-coefficient solver; built only in off mode (screened chains
+  /// build reduced active-set solvers per lambda instead).
   std::optional<DistributedVarAdmmSolver> solver;
   std::size_t bytes_estimate = 0;
   [[nodiscard]] std::size_t bytes() const noexcept { return bytes_estimate; }
@@ -371,7 +680,9 @@ UoiVarDistributedResult uoi_var_distributed(
       .add(static_cast<std::uint64_t>(options.block_length))
       .add(static_cast<std::uint64_t>(series.rows()))
       .add(static_cast<std::uint64_t>(p))
-      .add(options.support_tolerance);
+      .add(options.support_tolerance)
+      .add(static_cast<std::uint64_t>(
+          uoi::solvers::resolve_screen_mode(options.screen.mode)));
   for (const double l : model.lambdas) fp.add(l);
   const std::uint64_t fingerprint = fp.value();
 
@@ -402,6 +713,13 @@ UoiVarDistributedResult uoi_var_distributed(
   std::uint64_t cache_evictions = 0;
   std::uint64_t setup_flops_charged = 0;
   std::uint64_t setup_flops_amortized = 0;
+  // Resolved once: the cache entry's shape (full solver or not) must be
+  // identical on every rank.
+  uoi::solvers::ScreenOptions screen_opts = options.screen;
+  screen_opts.mode = uoi::solvers::resolve_screen_mode(options.screen.mode);
+  const bool screening_on =
+      screen_opts.mode != uoi::solvers::ScreenMode::kOff;
+  uoi::solvers::ScreenStats screen_stats;
 
   // Selection state: merged (replicated, globally consistent) versus this
   // rank's unmerged contributions. See uoi_lasso_distributed.cpp — the
@@ -551,27 +869,42 @@ UoiVarDistributedResult uoi_var_distributed(
                 support::TraceScope gram_span(
                     "var-selection-gram", support::TraceCategory::kGram,
                     trace_rank);
-                fresh->solver.emplace(task_comm, fresh->block, options.admm);
+                fresh->screen_inputs =
+                    build_var_screen_inputs(task_comm, fresh->block);
+                if (!screening_on) {
+                  // Off-mode chains reuse this cached full solver; it must
+                  // run under the chain's refined stopping rules.
+                  fresh->solver.emplace(
+                      task_comm, fresh->block,
+                      uoi::solvers::detail::refined_admm_options(
+                          options.admm, screen_opts));
+                }
               }
               fresh->bytes_estimate =
-                  (vec_rows * (dp + 1) + dp * dp) * sizeof(double);
+                  (vec_rows * (dp + 1) + (screening_on ? 0 : dp * dp) +
+                   2 * n_coeffs + 1) *
+                  sizeof(double);
               return fresh;
             });
-        DistributedVarAdmmSolver& solver = *entry->solver;
-        if (cache.stats().hits != hits_before) {
-          setup_flops_amortized += solver.setup_flops();
-        } else {
-          setup_flops_charged += solver.setup_flops();
+        if (entry->solver.has_value()) {
+          if (cache.stats().hits != hits_before) {
+            setup_flops_amortized += entry->solver->setup_flops();
+          } else {
+            setup_flops_charged += entry->solver->setup_flops();
+          }
         }
-        uoi::solvers::DistributedAdmmResult previous;
-        bool have_previous = false;
+        // The screened chain owns the warm start; reduced active-set
+        // solves shrink the consensus payload to (|W|+3) doubles.
+        ScreenedVarChain screened(
+            task_comm, entry->block, entry->screen_inputs, options.admm,
+            screen_opts,
+            entry->solver.has_value() ? &*entry->solver : nullptr);
         // Committed atomically once the warm-start chain finished, so
         // an interrupted chain reruns cold — replaying exactly the
         // trajectory of a fault-free run.
         Matrix staged(chain.size(), n_coeffs, 0.0);
         for (std::size_t m = 0; m < chain.size(); ++m) {
-          auto fit = solver.solve(model.lambdas[chain[m]],
-                                  have_previous ? &previous : nullptr);
+          auto fit = screened.solve(model.lambdas[chain[m]]);
           local_flops += fit.local_flops;
           admm_iterations += fit.iterations;
           admm_rho_updates += fit.rho_updates;
@@ -587,9 +920,8 @@ UoiVarDistributedResult uoi_var_distributed(
               }
             }
           }
-          previous = std::move(fit);
-          have_previous = true;
         }
+        screen_stats += screened.stats();
         if (tl.task_rank == 0) {
           for (std::size_t m = 0; m < chain.size(); ++m) {
             auto dest = counts_local.row(chain[m]);
@@ -690,6 +1022,17 @@ UoiVarDistributedResult uoi_var_distributed(
             selection_grid, selection_costs, selection_stats.cell_seconds);
         sched::apply_calibration(estimation_grid, calibration,
                                  estimation_costs);
+        // Estimation solves per-equation OLS restricted to each lambda's
+        // candidate support; reweight per-chain costs by the survivor
+        // counts of the screened selection pass (supports are replicated
+        // on every rank).
+        std::vector<double> survivors(q, 0.0);
+        for (std::size_t j = 0; j < q; ++j) {
+          survivors[j] = static_cast<double>(
+              model.candidate_supports[j].indices().size());
+        }
+        sched::apply_survivor_weights(estimation_grid, survivors,
+                                      estimation_costs);
         if (tl.task_rank == 0) {
           support::MetricsRegistry::instance().set(
               trace_rank, "sched.placement_error",
@@ -999,6 +1342,22 @@ UoiVarDistributedResult uoi_var_distributed(
   metrics.add(trace_rank, "admm.consensus_interval",
               static_cast<double>(uoi::solvers::resolve_consensus_interval(
                   options.admm.consensus_interval)));
+  metrics.set(trace_rank, "screen.mode",
+              static_cast<double>(static_cast<int>(screen_opts.mode)));
+  metrics.add(trace_rank, "screen.lambdas",
+              static_cast<double>(screen_stats.lambdas));
+  metrics.add(trace_rank, "screen.survivors",
+              static_cast<double>(screen_stats.survivors));
+  metrics.add(trace_rank, "screen.kkt_violations",
+              static_cast<double>(screen_stats.kkt_violations));
+  metrics.add(trace_rank, "screen.kkt_rounds",
+              static_cast<double>(screen_stats.kkt_rounds));
+  metrics.add(trace_rank, "screen.gram_cols_saved",
+              static_cast<double>(screen_stats.gram_cols_saved));
+  metrics.add(trace_rank, "screen.canonical_solves",
+              static_cast<double>(screen_stats.canonical_solves));
+  metrics.add(trace_rank, "screen.total_columns",
+              static_cast<double>(screen_stats.total_columns));
   metrics.add(trace_rank, "solver_cache.hits",
               static_cast<double>(cache_hits));
   metrics.add(trace_rank, "solver_cache.misses",

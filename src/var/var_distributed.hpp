@@ -67,6 +67,18 @@ class DistributedVarAdmmSolver {
  public:
   DistributedVarAdmmSolver(uoi::sim::Comm& comm, const VarLocalBlock& block,
                            const uoi::solvers::AdmmOptions& options = {});
+  /// Reduced (active-set) solver over the sorted global coefficient
+  /// subset `working`: the consensus vector, warm starts and the returned
+  /// beta live in compacted coordinates (entry i <-> coefficient
+  /// working[i]), shrinking the fused consensus allreduce from
+  /// (d p^2 + 3) to (|working| + 3) doubles. Per equation, the surviving
+  /// columns are gathered into a dense sub-block (or the original view
+  /// when all dp columns survive). `working` must be identical on every
+  /// rank — screened working sets are, being pure functions of
+  /// replicated data (see solvers/screening.hpp).
+  DistributedVarAdmmSolver(uoi::sim::Comm& comm, const VarLocalBlock& block,
+                           std::span<const std::size_t> working,
+                           const uoi::solvers::AdmmOptions& options = {});
   ~DistributedVarAdmmSolver();
   DistributedVarAdmmSolver(DistributedVarAdmmSolver&&) = default;
 
@@ -81,10 +93,15 @@ class DistributedVarAdmmSolver {
 
  private:
   struct EquationSystem;
+  void init(std::span<const std::size_t> working);
   uoi::sim::Comm* comm_;
   const VarLocalBlock* block_;
   uoi::solvers::AdmmOptions options_;
-  uoi::linalg::Vector atb_;  // full-length A'b restricted to local coords
+  bool reduced_ = false;
+  /// Consensus-vector length: n_coefficients() for the full solver,
+  /// |working| for the reduced one.
+  std::size_t n_solve_coeffs_ = 0;
+  uoi::linalg::Vector atb_;  // solve-coordinate A'b from local rows
   std::vector<EquationSystem> systems_;
   std::uint64_t setup_flops_ = 0;
   // Charged to the first solve() only, so a chain of lambdas (or a cached

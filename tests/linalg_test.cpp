@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "linalg/blas.hpp"
+#include "support/error.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/kron.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/simd.hpp"
 #include "linalg/sparse.hpp"
 #include "support/rng.hpp"
 
@@ -324,6 +327,57 @@ TEST(Sparse, AppendRowStreaming) {
   EXPECT_DOUBLE_EQ(s.at(1, 2), 0.0);
 }
 
+TEST(Sparse, EmptyRowsAndZeroNnzEdgeCases) {
+  // Rows with no stored entries must overwrite y under beta == 0 even when
+  // y starts as NaN (BLAS overwrite semantics), matching gemv_transposed.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  auto s = SparseMatrix::from_triplets(3, 2, {{1, 0, 2.0}});
+  const Vector x{1.5, -1.0};
+  Vector y(3, nan);
+  s.gemv(1.0, x, 0.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+
+  // Zero-nnz matrix: both spmv directions, gram, and at() are well defined.
+  const SparseMatrix empty(4, 3);
+  EXPECT_EQ(empty.nnz(), 0u);
+  EXPECT_DOUBLE_EQ(empty.sparsity(), 1.0);
+  Vector ye(4, nan);
+  empty.gemv(1.0, Vector(3, 1.0), 0.0, ye);
+  for (const double v : ye) EXPECT_DOUBLE_EQ(v, 0.0);
+  Vector yt(3, nan);
+  empty.gemv_transposed(1.0, Vector(4, 1.0), 0.0, yt);
+  for (const double v : yt) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_EQ(uoi::linalg::max_abs_diff(empty.gram(), Matrix(3, 3)), 0.0);
+  EXPECT_DOUBLE_EQ(empty.at(3, 2), 0.0);
+
+  // 0 x n and degenerate 0 x 0 shapes round-trip through the kernels.
+  const SparseMatrix zero_rows(0, 3);
+  Vector yz(3, nan);
+  zero_rows.gemv_transposed(1.0, Vector{}, 0.0, yz);
+  for (const double v : yz) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_DOUBLE_EQ(SparseMatrix().sparsity(), 0.0);
+
+  // Trailing all-empty rows from triplets keep the row pointers coherent.
+  auto trailing = SparseMatrix::from_triplets(5, 2, {{0, 1, 4.0}});
+  EXPECT_EQ(trailing.row_offsets().size(), 6u);
+  EXPECT_EQ(trailing.row_offsets()[5], 1u);
+  EXPECT_DOUBLE_EQ(trailing.at(4, 1), 0.0);
+}
+
+TEST(Sparse, AppendRowRejectsDuplicateColumns) {
+  SparseMatrix s(0, 4);
+  const std::vector<std::size_t> dup{1, 1, 3};
+  const std::vector<double> vals{1.0, 2.0, 3.0};
+  EXPECT_THROW(s.append_row(dup, vals), uoi::support::InvalidArgument);
+  const std::vector<std::size_t> unsorted{3, 1};
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW(s.append_row(unsorted, two), uoi::support::InvalidArgument);
+  EXPECT_EQ(s.rows(), 0u);
+  EXPECT_EQ(s.nnz(), 0u);
+}
+
 TEST(Kron, VecUnvecRoundTrip) {
   const Matrix m = random_matrix(4, 3, 26);
   const Vector v = uoi::linalg::vec(m);
@@ -359,6 +413,87 @@ TEST(Kron, BlockGramIsXtX) {
   Matrix expect(4, 4);
   uoi::linalg::syrk_at_a(1.0, x, 0.0, expect);
   EXPECT_LT(uoi::linalg::max_abs_diff(op.block_gram(), expect), 1e-11);
+}
+
+// --------------------------------------------------- SIMD kernel dispatch
+
+// Every compiled ISA level must produce bit-identical results: the same 8
+// accumulator lanes, tail handling, and reduction tree, with FP contraction
+// disabled. Sizes straddle the vector width (tails of every length) and the
+// dispatch boundaries (0, 1, below/at/above 8, and a large odd size).
+TEST(Simd, KernelsAreBitIdenticalAcrossLevels) {
+  namespace simd = uoi::linalg::simd;
+  const simd::SimdLevel detected = simd::detect_simd_level();
+  const std::vector<std::size_t> sizes{0, 1, 3, 7, 8, 9, 15, 16, 17,
+                                       63, 64, 65, 257, 1001};
+  for (const std::size_t n : sizes) {
+    const Vector x = random_vector(n, 1000 + n);
+    const Vector y = random_vector(n, 2000 + n);
+    const auto& scalar = simd::kernel_table(simd::SimdLevel::kScalar);
+    for (const simd::SimdLevel level :
+         {simd::SimdLevel::kAvx2, simd::SimdLevel::kAvx512}) {
+      if (level > detected || !simd::level_compiled(level)) continue;
+      const auto& table = simd::kernel_table(level);
+      EXPECT_EQ(scalar.dot(x.data(), y.data(), n),
+                table.dot(x.data(), y.data(), n))
+          << simd::simd_level_name(level) << " dot n=" << n;
+      EXPECT_EQ(scalar.dist2_squared(x.data(), y.data(), n),
+                table.dist2_squared(x.data(), y.data(), n))
+          << simd::simd_level_name(level) << " dist2 n=" << n;
+      EXPECT_EQ(scalar.nrm1(x.data(), n), table.nrm1(x.data(), n))
+          << simd::simd_level_name(level) << " nrm1 n=" << n;
+      Vector y_scalar = y, y_vec = y;
+      scalar.axpy(0.37, x.data(), y_scalar.data(), n);
+      table.axpy(0.37, x.data(), y_vec.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(y_scalar[i], y_vec[i])
+            << simd::simd_level_name(level) << " axpy n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Simd, GatherScatterRoundTripAcrossLevels) {
+  namespace simd = uoi::linalg::simd;
+  const simd::SimdLevel detected = simd::detect_simd_level();
+  const std::size_t p = 97;
+  const Vector full = random_vector(p, 31);
+  // A strided working set whose size exercises the vector tail.
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < p; i += 3) idx.push_back(i);
+  for (const simd::SimdLevel level :
+       {simd::SimdLevel::kScalar, simd::SimdLevel::kAvx2,
+        simd::SimdLevel::kAvx512}) {
+    if (level > detected) continue;
+    const auto& table = simd::kernel_table(level);
+    Vector packed(idx.size(), 0.0);
+    table.gather(full.data(), idx.data(), idx.size(), packed.data());
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      ASSERT_EQ(packed[i], full[idx[i]])
+          << simd::simd_level_name(level) << " gather i=" << i;
+    }
+    Vector expanded(p, 0.0);
+    table.scatter(packed.data(), idx.data(), idx.size(), expanded.data());
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      ASSERT_EQ(expanded[idx[i]], full[idx[i]])
+          << simd::simd_level_name(level) << " scatter i=" << i;
+    }
+    // Empty working set: both directions are no-ops.
+    table.gather(full.data(), idx.data(), 0, packed.data());
+    table.scatter(packed.data(), idx.data(), 0, expanded.data());
+  }
+}
+
+TEST(Simd, ResolutionIsClampedAndNamed) {
+  namespace simd = uoi::linalg::simd;
+  EXPECT_LE(simd::resolve_simd_level(), simd::detect_simd_level());
+  EXPECT_TRUE(simd::level_compiled(simd::SimdLevel::kScalar));
+  EXPECT_STREQ(simd::simd_level_name(simd::SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd::simd_level_name(simd::SimdLevel::kAvx2), "avx2");
+  EXPECT_STREQ(simd::simd_level_name(simd::SimdLevel::kAvx512), "avx512");
+  // The active table is exactly the resolved level's table.
+  EXPECT_EQ(&simd::active_kernels(),
+            &simd::kernel_table(simd::resolve_simd_level()));
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "report/run_report.hpp"
 #include "report/trace_reader.hpp"
 #include "simcluster/cluster.hpp"
+#include "solvers/screening.hpp"
 #include "support/error.hpp"
 #include "support/histogram.hpp"
 #include "support/json.hpp"
@@ -323,6 +324,59 @@ TEST(RunReport, SchedulerSectionAggregatesAgentCounters) {
   const std::string text = report.to_text();
   EXPECT_NE(text.find("scheduler:"), std::string::npos);
   EXPECT_NE(text.find("work_steal"), std::string::npos);
+}
+
+TEST(RunReport, ScreeningSectionAggregatesChainCounters) {
+  ReportInputs inputs;
+  inputs.wall_seconds = 1.0;
+  // Two ranks running screened chains over their own lambda chunks; all
+  // counters sum across ranks, the mode is a set-per-rank enum value.
+  using Entry = uoi::support::MetricsRegistry::Entry;
+  const double strong =
+      static_cast<double>(uoi::solvers::ScreenMode::kStrong);
+  inputs.metrics = std::vector<Entry>{
+      {0, "screen.mode", strong},
+      {0, "screen.lambdas", 3.0},
+      {0, "screen.survivors", 40.0},
+      {0, "screen.kkt_violations", 2.0},
+      {0, "screen.kkt_rounds", 4.0},
+      {0, "screen.gram_cols_saved", 260.0},
+      {0, "screen.canonical_solves", 1.0},
+      {0, "screen.total_columns", 300.0},
+      {1, "screen.mode", strong},
+      {1, "screen.lambdas", 2.0},
+      {1, "screen.survivors", 10.0},
+      {1, "screen.kkt_violations", 0.0},
+      {1, "screen.kkt_rounds", 2.0},
+      {1, "screen.gram_cols_saved", 190.0},
+      {1, "screen.canonical_solves", 0.0},
+      {1, "screen.total_columns", 200.0},
+  };
+  const RunReport report = build_run_report(inputs);
+  EXPECT_TRUE(report.screening.present);
+  EXPECT_EQ(report.screening.mode, "strong");
+  EXPECT_DOUBLE_EQ(report.screening.lambdas, 5.0);
+  EXPECT_DOUBLE_EQ(report.screening.survivors, 50.0);
+  EXPECT_DOUBLE_EQ(report.screening.kkt_violations, 2.0);
+  EXPECT_DOUBLE_EQ(report.screening.kkt_rounds, 6.0);
+  EXPECT_DOUBLE_EQ(report.screening.gram_cols_saved, 450.0);
+  EXPECT_DOUBLE_EQ(report.screening.canonical_solves, 1.0);
+  EXPECT_DOUBLE_EQ(report.screening.total_columns, 500.0);
+  EXPECT_NEAR(report.screening.survivor_fraction, 0.1, 1e-12);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"screening\":{\"present\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\":\"strong\""), std::string::npos);
+  EXPECT_NE(json.find("\"survivor_fraction\":"), std::string::npos);
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("screening:"), std::string::npos);
+
+  // Without screen.* metrics the section is present-but-flagged-absent,
+  // keeping v1/v2 consumers working unchanged.
+  const RunReport empty = build_run_report(ReportInputs{});
+  EXPECT_FALSE(empty.screening.present);
+  EXPECT_NE(empty.to_json().find("\"screening\":{\"present\":false}"),
+            std::string::npos);
 }
 
 TEST(RunReport, WriteRunReportFailsWithIoError) {

@@ -27,6 +27,7 @@
 #include "solvers/cd_lasso.hpp"
 #include "solvers/distributed_admm.hpp"
 #include "solvers/lambda_grid.hpp"
+#include "solvers/screening.hpp"
 #include "support/rng.hpp"
 #include "support/stopwatch.hpp"
 #include "var/var_distributed.hpp"
@@ -615,6 +616,40 @@ TEST(FaultRecovery, LassoRankKilledMidSelectionIsBitIdentical) {
     recovered += report.recovery.cells_recovered;
   }
   EXPECT_GE(recovered, 1u);
+}
+
+TEST(FaultRecovery, KillMidChainReplayIsBitIdenticalWithScreening) {
+  // A rank killed mid-lambda-chain forces survivors to replay screened
+  // chains from a cold ChainScreenState. The replay must land on the same
+  // supports and counts bit-for-bit, and the screened faulty run must also
+  // match the clean unscreened run (the screening byte-identity contract
+  // extends through shrink-and-replay).
+  const auto data = lasso_data();
+  const uoi::core::UoiParallelLayout layout{5, 1};
+  auto options = lasso_options();
+
+  options.screen.mode = uoi::solvers::ScreenMode::kOff;
+  const auto clean_off = run_lasso(5, data, options, layout, nullptr);
+
+  options.screen.mode = uoi::solvers::ScreenMode::kStrong;
+  const auto clean_strong = run_lasso(5, data, options, layout, nullptr);
+  expect_same_model(clean_strong.results[0], clean_off.results[0],
+                    /*bit_identical_counts=*/true);
+
+  // Kill inside the screened selection loop, past setup, positioned from
+  // the strong-mode clean schedule (screening changes collective counts).
+  const auto kill_at = collective_calls(clean_strong.reports[2].comm) / 4;
+  const auto faulty =
+      run_lasso(5, data, options, layout, kill_plan(2, kill_at));
+  for (const int r : {0, 1, 3, 4}) {
+    const auto& result = faulty.results[static_cast<std::size_t>(r)];
+    expect_same_model(result, clean_strong.results[0],
+                      /*bit_identical_counts=*/true);
+    expect_same_model(result, clean_off.results[0],
+                      /*bit_identical_counts=*/true);
+    EXPECT_GE(faulty.reports[static_cast<std::size_t>(r)].recovery.shrinks, 1u)
+        << "rank " << r;
+  }
 }
 
 TEST(FaultRecovery, LassoRecoversAcrossConsensusGroups) {

@@ -200,6 +200,39 @@ TEST(CostModel, CalibrationRecoversScaleAndChainSkew) {
   }
 }
 
+TEST(CostModel, SurvivorWeightsCheapenSparseChains) {
+  // 4 lambdas over 2 chains (chain c owns {j : j % 2 == c}). Chain 0's
+  // lambdas kept many survivors, chain 1's almost none: after the
+  // reweighting chain 1's cells must be proportionally cheaper, with the
+  // grid total preserved up to the mean-1 normalization.
+  const TaskGrid grid(3, 4, 2, 5);
+  std::vector<double> costs(grid.n_cells(), 1.0);
+  const std::vector<double> survivors{200.0, 2.0, 200.0, 2.0};
+  uoi::sched::apply_survivor_weights(grid, survivors, costs);
+  double chain0 = 0.0, chain1 = 0.0;
+  for (std::size_t id = 0; id < costs.size(); ++id) {
+    (grid.cell(id).chain == 0 ? chain0 : chain1) += costs[id];
+  }
+  EXPECT_GT(chain0, chain1);
+  // weights: chain 0 = 1+200, chain 1 = 1+2, normalized by the mean 102;
+  // chain 1's 3/102 hits the 0.1 clamp floor.
+  EXPECT_NEAR(chain0 / chain1, (201.0 / 102.0) / 0.1, 1e-9);
+
+  // Unmeasured lambdas (negative) leave their chains untouched.
+  std::vector<double> untouched(grid.n_cells(), 1.0);
+  const std::vector<double> unmeasured{-1.0, -1.0, -1.0, -1.0};
+  uoi::sched::apply_survivor_weights(grid, unmeasured, untouched);
+  for (const double cost : untouched) EXPECT_DOUBLE_EQ(cost, 1.0);
+
+  // Partially measured: chain 1 has no measured lambda and keeps weight
+  // 1 while chain 0 is normalized against itself (weight exactly 1 when
+  // it is the only measured chain).
+  std::vector<double> partial(grid.n_cells(), 1.0);
+  const std::vector<double> half{50.0, -1.0, 10.0, -1.0};
+  uoi::sched::apply_survivor_weights(grid, half, partial);
+  for (const double cost : partial) EXPECT_DOUBLE_EQ(cost, 1.0);
+}
+
 // ------------------------------------------------- ticket board (TSan)
 
 // Every ticket of a shared victim queue must be claimed exactly once no

@@ -12,6 +12,7 @@
 #include "data/synthetic_var.hpp"
 #include "linalg/blas.hpp"
 #include "solvers/admm_lasso_sparse.hpp"
+#include "solvers/screening.hpp"
 #include "simcluster/cluster.hpp"
 #include "var/block_bootstrap.hpp"
 #include "var/granger.hpp"
@@ -309,6 +310,42 @@ TEST(UoiVar, StructuredAndSparseBackendsAgree) {
   EXPECT_LT(
       uoi::linalg::max_abs_diff(structured.vec_beta, sparse.vec_beta), 1e-4);
   EXPECT_EQ(structured.support, sparse.support);
+}
+
+TEST(UoiVar, ScreeningModesAreByteIdenticalEndToEnd) {
+  // The canonical two-stage chain contract: off / safe / strong must give
+  // bit-for-bit the same VAR fit on both serial backends. Screening only
+  // changes which columns get gathered, never the trajectory.
+  uoi::data::VarSpec spec;
+  spec.n_nodes = 6;
+  spec.seed = 31;
+  const auto truth = uoi::data::make_sparse_var(spec);
+  uoi::var::SimulateOptions sim;
+  sim.n_samples = 200;
+  sim.seed = 32;
+  const Matrix series = uoi::var::simulate(truth, sim);
+
+  auto options = fast_var_options();
+  options.n_selection_bootstraps = 4;
+  options.n_estimation_bootstraps = 3;
+  options.n_lambdas = 6;
+  for (const auto backend : {uoi::var::VarSolverBackend::kStructured,
+                             uoi::var::VarSolverBackend::kSparse}) {
+    options.backend = backend;
+    options.screen.mode = uoi::solvers::ScreenMode::kOff;
+    const auto off = uoi::var::UoiVar(options).fit(series);
+    for (const auto mode :
+         {uoi::solvers::ScreenMode::kSafe, uoi::solvers::ScreenMode::kStrong}) {
+      options.screen.mode = mode;
+      const auto screened = uoi::var::UoiVar(options).fit(series);
+      EXPECT_EQ(
+          uoi::linalg::max_abs_diff(screened.vec_beta, off.vec_beta), 0.0)
+          << "backend " << static_cast<int>(backend) << " mode "
+          << uoi::solvers::screen_mode_name(mode);
+      EXPECT_EQ(screened.support, off.support);
+      EXPECT_EQ(screened.lambdas, off.lambdas);
+    }
+  }
 }
 
 TEST(UoiVar, EstimatedModelIsUsuallyStable) {

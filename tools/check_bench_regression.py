@@ -178,6 +178,26 @@ def main():
                 f"{figure}: telemetry emitter overhead {overhead:.2f}% "
                 f"exceeds the 2% gate (off-run wall {wall_off:.3f}s)")
 
+    # Screening / SIMD fast-path gates (fig16). The bitwise flags are
+    # structural: a screened or vectorized solve that changes the model
+    # violates the canonical two-stage / fixed-reduction-tree contracts
+    # regardless of machine speed. The speedup gate is a perf regression
+    # (machine-dependent, so it respects --informational).
+    for figure, cur in sorted(current.items()):
+        config = cur.get("config", {})
+        for flag, contract in (
+                ("screen_bitwise", "screened solves changed the model"),
+                ("simd_bitwise", "dispatched SIMD kernels diverged "
+                                 "from scalar")):
+            if flag in config and config[flag] != 1:
+                structural.append(
+                    f"{figure}: {contract} ({flag}={config[flag]})")
+        speedup = config.get("screen_speedup")
+        if speedup is not None and speedup < 3.0:
+            regressions.append(
+                f"{figure}: screening selection-compute speedup "
+                f"{speedup:.2f}x below the 3x gate")
+
     for figure in sorted(set(current) - set(baseline)):
         notes.append(f"{figure}: new figure (no baseline yet)")
 

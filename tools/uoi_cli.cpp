@@ -108,7 +108,9 @@
 #include "data/synthetic_regression.hpp"
 #include "data/synthetic_var.hpp"
 #include "io/csv.hpp"
+#include "linalg/simd.hpp"
 #include "report/run_report.hpp"
+#include "solvers/screening.hpp"
 #include "report/trace_reader.hpp"
 #include "sched/schedule_policy.hpp"
 #include "simcluster/cluster.hpp"
@@ -166,6 +168,9 @@ struct Args {
   /// ADMM consensus interval k; 0 defers to $UOI_CONSENSUS_INTERVAL
   /// (default 1 = consensus allreduce every iteration).
   std::size_t consensus_interval = 0;
+  /// kAuto defers to $UOI_SCREEN (default strong); every mode emits
+  /// byte-identical models.
+  uoi::solvers::ScreenMode screen_mode = uoi::solvers::ScreenMode::kAuto;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -181,14 +186,16 @@ struct Args {
                "[--max-retries N] [--max-recovery-attempts N] "
                "[--sched-policy static|cost_lpt|work_steal] "
                "[--solver-cache-mb MB] [--consensus-interval K] "
+               "[--screen off|safe|strong] "
                "[--transport thread|socket] "
                "[--live-telemetry SINK]\n"
+               "       %s info\n"
                "       %s analyze TRACE.json [TRACE2.json ...] "
                "[--report-json FILE] [--what-if CATEGORY=FACTOR]...\n"
                "       %s top TELEMETRY.jsonl [--follow]\n"
                "       %s launch --ranks N [--backend thread|socket] "
                "[--dir D] [--grace-ms MS] -- CMD [ARGS...]\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -294,6 +301,18 @@ Args parse_args(int argc, char** argv) {
         usage(argv[0]);
       }
       args.consensus_interval = static_cast<std::size_t>(k);
+    } else if (flag == "--screen") {
+      const std::string mode = value();
+      if (mode == "off") {
+        args.screen_mode = uoi::solvers::ScreenMode::kOff;
+      } else if (mode == "safe") {
+        args.screen_mode = uoi::solvers::ScreenMode::kSafe;
+      } else if (mode == "strong") {
+        args.screen_mode = uoi::solvers::ScreenMode::kStrong;
+      } else {
+        std::fprintf(stderr, "--screen must be off, safe, or strong\n");
+        usage(argv[0]);
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       usage(argv[0]);
@@ -334,6 +353,7 @@ int run_lasso(const Args& args) {
   options.schedule = args.sched_policy;
   options.solver_cache_mb = args.solver_cache_mb;
   options.admm.consensus_interval = args.consensus_interval;
+  options.screen.mode = args.screen_mode;
   const auto fit = [&] {
     uoi::support::TraceScope span("uoi-lasso-fit",
                                   uoi::support::TraceCategory::kComputation);
@@ -422,6 +442,7 @@ int run_var(const Args& args) {
   options.schedule = args.sched_policy;
   options.solver_cache_mb = args.solver_cache_mb;
   options.admm.consensus_interval = args.consensus_interval;
+  options.screen.mode = args.screen_mode;
   const auto fit = [&] {
     uoi::support::TraceScope span("uoi-var-fit",
                                   uoi::support::TraceCategory::kComputation);
@@ -517,6 +538,7 @@ int run_demo(const Args& args) {
   options.schedule = args.sched_policy;
   options.solver_cache_mb = args.solver_cache_mb;
   options.admm.consensus_interval = args.consensus_interval;
+  options.screen.mode = args.screen_mode;
   const auto fit = [&] {
     uoi::support::TraceScope span("uoi-var-fit",
                                   uoi::support::TraceCategory::kComputation);
@@ -564,6 +586,7 @@ int run_faultdemo(const Args& args) {
   options.schedule = args.sched_policy;
   options.solver_cache_mb = args.solver_cache_mb;
   options.admm.consensus_interval = args.consensus_interval;
+  options.screen.mode = args.screen_mode;
   options.recovery.checkpoint_path = args.checkpoint_path;
   options.recovery.checkpoint_interval = 1;
   options.recovery.onesided_max_attempts = args.max_retries;
@@ -901,6 +924,48 @@ int run_launch(int argc, char** argv) {
   return uoi::transport::launch_job(options, command);
 }
 
+int run_info(const Args&) {
+  namespace simd = uoi::linalg::simd;
+  const auto detected = simd::detect_simd_level();
+  const auto active = simd::resolve_simd_level();
+  const char* simd_env = std::getenv("UOI_SIMD");
+  const char* screen_env = std::getenv("UOI_SCREEN");
+  std::printf("uoi build/runtime info\n");
+  std::printf("  simd detected:   %s\n", simd::simd_level_name(detected));
+  std::printf("  simd active:     %s  (UOI_SIMD=%s)\n",
+              simd::simd_level_name(active),
+              simd_env != nullptr && simd_env[0] != '\0' ? simd_env : "auto");
+  std::printf("  levels compiled: scalar=%s avx2=%s avx512=%s\n",
+              simd::level_compiled(simd::SimdLevel::kScalar) ? "yes" : "no",
+              simd::level_compiled(simd::SimdLevel::kAvx2) ? "yes" : "no",
+              simd::level_compiled(simd::SimdLevel::kAvx512) ? "yes" : "no");
+  const auto caches = simd::cache_sizes();
+  auto kib = [](long bytes) { return bytes >= 0 ? bytes / 1024 : -1; };
+  std::printf("  data caches:     L1d %ld KiB, L2 %ld KiB, L3 %ld KiB "
+              "(-1 = unknown)\n",
+              kib(caches.l1d), kib(caches.l2), kib(caches.l3));
+  std::printf("  screen default:  %s  (UOI_SCREEN=%s)\n",
+              uoi::solvers::screen_mode_name(uoi::solvers::resolve_screen_mode(
+                  uoi::solvers::ScreenMode::kAuto)),
+              screen_env != nullptr && screen_env[0] != '\0' ? screen_env
+                                                            : "unset");
+  std::printf("  compiler:        %s\n", __VERSION__);
+#ifdef NDEBUG
+  const char* build_kind = "release (NDEBUG)";
+#else
+  const char* build_kind = "debug (asserts on)";
+#endif
+#ifdef __OPTIMIZE__
+  const bool optimized = true;
+#else
+  const bool optimized = false;
+#endif
+  std::printf("  build flags:     %s, optimized=%s, fp-contract kernels "
+              "pinned off\n",
+              build_kind, optimized ? "yes" : "no");
+  return 0;
+}
+
 int dispatch(const Args& args) {
   if (args.command == "lasso") return run_lasso(args);
   if (args.command == "logistic") return run_logistic(args);
@@ -911,6 +976,7 @@ int dispatch(const Args& args) {
   if (args.command == "faultdemo") return run_faultdemo(args);
   if (args.command == "analyze") return run_analyze(args);
   if (args.command == "top") return run_top(args);
+  if (args.command == "info") return run_info(args);
   return -1;  // unknown command
 }
 
